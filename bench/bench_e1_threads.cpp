@@ -1,0 +1,46 @@
+// E1 — the paper's central performance claim (§5): fine-grain
+// multithreading removes reduction-hazard stalls. A reduction-dense
+// kernel (every rsum immediately consumed) runs with 1..16 threads on
+// machines of 16..1024 PEs; IPC climbs toward 1 once enough threads
+// exist to cover the b+r latency.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace masc;
+
+  bench::header("E1 — IPC vs hardware threads for a reduction-dense kernel",
+                "§5 claim (promised software evaluation of §9); latency = b + r");
+
+  constexpr unsigned kTotalWork = 2048;
+  const std::uint32_t pe_counts[] = {16, 64, 256, 1024};
+  const std::uint32_t thread_counts[] = {1, 2, 4, 8, 16, 32};
+
+  std::printf("\n%8s |", "PEs(b+r)");
+  for (const auto t : thread_counts) std::printf("  t=%-5u", t);
+  std::printf("\n---------+");
+  for (std::size_t i = 0; i < std::size(thread_counts); ++i) std::printf("--------");
+  std::printf("\n");
+
+  for (const auto p : pe_counts) {
+    MachineConfig probe;
+    probe.num_pes = p;
+    probe.word_width = 16;
+    const unsigned br = probe.broadcast_latency() + probe.reduction_latency();
+    std::printf("%4u(%2u) |", p, br);
+    for (const auto t : thread_counts) {
+      MachineConfig cfg = probe;
+      cfg.num_threads = t;
+      const auto st = bench::run_stats(cfg, bench::reduction_chain_program(kTotalWork));
+      std::printf("  %6.3f", st.ipc());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nreading: one thread sustains IPC ~ 4/(4 + b + r) (four useful\n"
+              "instructions then a b+r stall); IPC approaches 1.0 once threads\n"
+              ">= (b+r)/4 + 1. Larger machines need more threads — the paper's\n"
+              "argument for multithreading over compile-time scheduling (§5).\n");
+  return 0;
+}

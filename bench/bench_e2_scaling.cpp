@@ -1,0 +1,43 @@
+// E2 — stall anatomy as the machine scales (§4.2/§5): with one thread,
+// reduction-hazard idle cycles grow with log p and dominate execution;
+// with 16 threads they nearly vanish. Prints the full stall breakdown.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace masc;
+
+  bench::header("E2 — idle-cycle breakdown vs machine size, 1 vs 16 threads",
+                "§4.2 hazards / §5 multithreading claim");
+
+  constexpr unsigned kTotalWork = 2048;
+
+  std::printf("\n%6s %8s | %10s %10s %12s %12s %10s | %8s\n", "PEs", "threads",
+              "cycles", "idle", "reduction", "bcast-red", "control", "IPC");
+  for (const std::uint32_t p : {4u, 16u, 64u, 256u, 1024u}) {
+    for (const std::uint32_t t : {1u, 16u}) {
+      MachineConfig cfg;
+      cfg.num_pes = p;
+      cfg.word_width = 16;
+      cfg.num_threads = t;
+      const auto st = bench::run_stats(cfg, bench::mixed_asc_program(kTotalWork));
+      std::printf("%6u %8u | %10llu %10llu %12llu %12llu %10llu | %8.3f\n", p, t,
+                  static_cast<unsigned long long>(st.cycles),
+                  static_cast<unsigned long long>(st.idle_cycles),
+                  static_cast<unsigned long long>(st.idle_by_cause[static_cast<std::size_t>(
+                      StallCause::kReductionHazard)]),
+                  static_cast<unsigned long long>(st.idle_by_cause[static_cast<std::size_t>(
+                      StallCause::kBroadcastReductionHazard)]),
+                  static_cast<unsigned long long>(st.idle_by_cause[static_cast<std::size_t>(
+                      StallCause::kControlPenalty)]),
+                  st.ipc());
+    }
+  }
+
+  std::printf("\nreading: single-thread idle cycles are dominated by reduction\n"
+              "hazards and grow with log p (the stall is b + r = Theta(log p)).\n"
+              "Sixteen threads absorb nearly all of them at every machine size,\n"
+              "which is the paper's scalability argument.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// E3 — the software evaluation §9 promises: real associative workloads
+// on the prototype vs its prior-generation baselines.
+//
+// Part 1: single-kernel workloads (MST, SAD block match, string match)
+// across the four machines — the pipelining story: combinational
+// networks cost no cycles but collapse the clock; pipelined networks
+// cost log-p cycles per reduction.
+//
+// Part 2: a concurrent-query associative database scenario — the
+// multithreading story: 16 independent queries over a shared in-memory
+// table, split across however many hardware threads exist.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "asclib/algorithms/image.hpp"
+#include "asclib/algorithms/mst.hpp"
+#include "asclib/algorithms/string_match.hpp"
+#include "baseline/comparison.hpp"
+#include "bench_util.hpp"
+#include "common/random.hpp"
+
+namespace {
+
+using namespace masc;
+
+std::vector<std::vector<Word>> make_graph(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Word>> w(n, std::vector<Word>(n, asc::AscMst::kNoEdge));
+  for (std::size_t i = 0; i < n; ++i) w[i][i] = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const Word weight = 1 + rng.next_word(7);
+    w[i][i - 1] = w[i - 1][i] = weight;
+  }
+  for (std::size_t e = 0; e < 3 * n; ++e) {
+    const auto a = rng.next_below(n), b = rng.next_below(n);
+    if (a == b) continue;
+    const Word weight = 1 + rng.next_word(8);
+    if (weight < w[a][b]) w[a][b] = w[b][a] = weight;
+  }
+  return w;
+}
+
+/// 16 exact-match queries over a shared table, work split across threads.
+std::string concurrent_query_program(std::uint32_t slots) {
+  const std::string S = std::to_string(slots);
+  return R"(
+main:
+    nthreads r1
+    li r2, 1
+    la r3, worker
+spawn:
+    bgeu r2, r1, body
+    tspawn r4, r3
+    addi r2, r2, 1
+    j spawn
+worker:
+body:
+    nthreads r1
+    tid r10              # this thread handles queries tid, tid+T, ...
+    pindex p6
+    li r13, 0
+qloop:
+    li r11, 16
+    bgeu r10, r11, qdone
+    andi r9, r10, 7      # key for this query
+    li r5, 0
+    li r6, )" + S + R"(
+sloop:
+    pbcast p1, r5
+    plw p2, 0(p1)
+    plw p3, )" + S + R"((p1)
+    pcnes pf2, r0, p3
+    pceqs pf1, r9, p2
+    pfand pf1, pf1, pf2
+    rcount r3, pf1
+    add r13, r13, r3
+    addi r5, r5, 1
+    bne r5, r6, sloop
+    add r10, r10, r1
+    j qloop
+qdone:
+    tid r10
+    sw r13, 0(r10)
+    texit
+)";
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E3 — associative workloads: prototype vs §3 baselines",
+                "§9 promised software evaluation; baselines from §3 [6],[7]");
+
+  const std::uint32_t kPes = 64;
+
+  // ---- Part 1: single-kernel workloads -------------------------------------
+  struct Wl {
+    const char* name;
+    baseline::Workload fn;
+  };
+  const std::vector<Wl> workloads = {
+      {"MST (48 vertices)",
+       [](const MachineConfig& cfg) {
+         asc::AscMst mst(cfg, make_graph(48, 42));
+         return mst.run().outcome.stats;
+       }},
+      {"SAD block match (64 wins x 16 px)",
+       [](const MachineConfig& cfg) {
+         Rng rng(7);
+         std::vector<Word> tmpl(16);
+         for (auto& px : tmpl) px = rng.next_word(8);
+         std::vector<std::vector<Word>> wins(cfg.num_pes, std::vector<Word>(16));
+         for (auto& w : wins)
+           for (auto& px : w) px = rng.next_word(8);
+         asc::ImageKernels img(cfg);
+         return img.sad_search(wins, tmpl).outcome.stats;
+       }},
+      {"string match (200 chars, m=4)",
+       [](const MachineConfig& cfg) {
+         Rng rng(9);
+         std::string text;
+         for (int i = 0; i < 200; ++i)
+           text += static_cast<char>('a' + rng.next_below(4));
+         asc::StringMatcher sm(cfg, text);
+         return sm.find_all("abca").outcome.stats;
+       }},
+  };
+
+  for (const auto& wl : workloads) {
+    std::printf("\n--- %s, %u PEs ---\n", wl.name, kPes);
+    const auto rows = baseline::compare(baseline::comparison_set(kPes), wl.fn);
+    std::printf("%s", baseline::render_table(rows).c_str());
+  }
+  std::printf("\n(single-threaded kernels: the multithreaded machine matches\n"
+              " pipelined-net-ST in cycles and wins on clock; see part 2 for\n"
+              " thread-level parallelism.)\n");
+
+  // ---- Part 2: concurrent queries -------------------------------------------
+  std::printf("\n--- 16 concurrent exact-match queries, shared table of 256 "
+              "records, %u PEs ---\n", kPes);
+  Rng rng(1234);
+  std::vector<Word> table(256);
+  for (auto& v : table) v = rng.next_word(3);
+  const std::uint32_t slots = asc::slots_for(table.size(), kPes);
+
+  const auto rows = baseline::compare(
+      baseline::comparison_set(kPes),
+      [&](const MachineConfig& cfg) {
+        asc::AscMachine m(cfg);
+        m.load_source(concurrent_query_program(asc::slots_for(table.size(), cfg.num_pes)));
+        m.bind_strided(0, table);
+        m.bind_strided_validity(asc::slots_for(table.size(), cfg.num_pes),
+                                table.size());
+        const auto out = m.run();
+        if (!out.finished) throw SimulationError("query workload timed out");
+        return out.stats;
+      });
+  (void)slots;
+  std::printf("%s", baseline::render_table(rows).c_str());
+  std::printf("\nreading: with 16 threads the query mix keeps the issue slot\n"
+              "full while individual threads wait out their reduction\n"
+              "latencies — cycles drop well below the single-threaded pipelined\n"
+              "machine AND the clock stays at the pipelined rate.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E6 — broadcast tree arity study (§6.4: "The arity (k) of the tree ...
+// is variable and is chosen so as to maximize system performance").
+// Larger k shortens the tree (fewer broadcast stages b = ceil(log_k p))
+// but each registered node drives k fanouts, so past some k the node
+// delay overtakes the PE forwarding path and drags Fmax down. We sweep k
+// and report b, Fmax, workload cycles, and modeled wall-clock — whose
+// minimum identifies the best arity per machine size.
+#include <cstdio>
+
+#include "arch/timing_model.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace masc;
+
+  bench::header("E6 — choosing the broadcast tree arity k",
+                "§6.4 design statement (arity chosen to maximize performance)");
+
+  constexpr unsigned kWork = 1024;
+  for (const std::uint32_t p : {64u, 256u, 1024u}) {
+    std::printf("\n%u PEs, single thread (stall-bound worst case):\n", p);
+    std::printf("  %4s %4s %6s %12s %10s %12s\n", "k", "b", "b+r", "cycles",
+                "Fmax", "time(us)");
+    double best_time = 1e30;
+    std::uint32_t best_k = 2;
+    for (const std::uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
+      MachineConfig cfg;
+      cfg.num_pes = p;
+      cfg.word_width = 16;
+      cfg.num_threads = 1;
+      cfg.broadcast_arity = k;
+      const auto st = bench::run_stats(cfg, bench::reduction_chain_program(kWork));
+      const double fmax = arch::TimingModel::fmax_mhz(cfg, arch::ep2c35());
+      const double us = arch::TimingModel::seconds(cfg, arch::ep2c35(),
+                                                   static_cast<double>(st.cycles)) * 1e6;
+      std::printf("  %4u %4u %6u %12llu %9.1fM %12.2f\n", k,
+                  cfg.broadcast_latency(),
+                  cfg.broadcast_latency() + cfg.reduction_latency(),
+                  static_cast<unsigned long long>(st.cycles), fmax, us);
+      if (us < best_time) {
+        best_time = us;
+        best_k = k;
+      }
+    }
+    std::printf("  -> best arity at p=%u: k=%u\n", p, best_k);
+  }
+
+  std::printf("\nwith 16 threads the stall term nearly vanishes, so the arity\n"
+              "choice shifts toward whatever keeps the clock highest:\n");
+  std::printf("  %6s %4s %12s %10s %12s\n", "PEs", "k", "cycles", "Fmax", "time(us)");
+  for (const std::uint32_t p : {256u, 1024u}) {
+    for (const std::uint32_t k : {2u, 8u, 32u}) {
+      MachineConfig cfg;
+      cfg.num_pes = p;
+      cfg.word_width = 16;
+      cfg.num_threads = 16;
+      cfg.broadcast_arity = k;
+      const auto st = bench::run_stats(cfg, bench::reduction_chain_program(kWork));
+      const double fmax = arch::TimingModel::fmax_mhz(cfg, arch::ep2c35());
+      const double us = arch::TimingModel::seconds(cfg, arch::ep2c35(),
+                                                   static_cast<double>(st.cycles)) * 1e6;
+      std::printf("  %6u %4u %12llu %9.1fM %12.2f\n", p, k,
+                  static_cast<unsigned long long>(st.cycles), fmax, us);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E9 — the §5 multithreading taxonomy, measured: coarse-grain vs
+// fine-grain vs SMT on the reduction-dense kernel. The paper argues (in
+// prose) that coarse-grain switching cannot cover reduction hazards —
+// "the latency of a reduction operation ... can vary from a few cycles
+// for a small machine to tens of cycles for a larger one, so fine-grain
+// multithreading or SMT is necessary" — and that the prototype therefore
+// uses fine-grain. This bench turns that argument into numbers.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace masc;
+
+  bench::header("E9 — multithreading taxonomy: coarse vs fine-grain vs SMT",
+                "§5 (the design argument for fine-grain multithreading)");
+
+  constexpr unsigned kWork = 2048;
+  struct Policy {
+    const char* name;
+    ThreadSchedPolicy policy;
+    std::uint32_t issue_width;
+  };
+  const Policy policies[] = {
+      {"coarse-grain (switch=8)", ThreadSchedPolicy::kCoarseGrain, 1},
+      {"fine-grain (prototype)", ThreadSchedPolicy::kFineGrain, 1},
+      {"SMT x2 (idealized)", ThreadSchedPolicy::kSmt, 2},
+  };
+
+  std::printf("\nreduction-dense kernel, 16 threads, fixed total work:\n");
+  std::printf("%-26s %6s %7s | %10s %8s %10s %10s\n", "policy", "PEs", "b+r",
+              "cycles", "IPC", "idle", "switches");
+  for (const std::uint32_t p : {16u, 256u, 1024u}) {
+    for (const auto& pol : policies) {
+      MachineConfig cfg;
+      cfg.num_pes = p;
+      cfg.word_width = 16;
+      cfg.num_threads = 16;
+      cfg.sched_policy = pol.policy;
+      cfg.issue_width = pol.issue_width;
+      const auto st = bench::run_stats(cfg, bench::reduction_chain_program(kWork));
+      std::printf("%-26s %6u %7u | %10llu %8.3f %10llu %10llu\n", pol.name, p,
+                  cfg.broadcast_latency() + cfg.reduction_latency(),
+                  static_cast<unsigned long long>(st.cycles), st.ipc(),
+                  static_cast<unsigned long long>(st.idle_cycles),
+                  static_cast<unsigned long long>(st.thread_switches));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("coarse-grain switch-penalty sensitivity (256 PEs, b+r = 16):\n");
+  std::printf("%12s | %10s %10s %10s\n", "penalty", "cycles", "IPC", "switches");
+  for (const std::uint32_t pen : {2u, 4u, 8u, 16u, 32u}) {
+    MachineConfig cfg;
+    cfg.num_pes = 256;
+    cfg.word_width = 16;
+    cfg.num_threads = 16;
+    cfg.sched_policy = ThreadSchedPolicy::kCoarseGrain;
+    cfg.switch_penalty = pen;
+    const auto st = bench::run_stats(cfg, bench::reduction_chain_program(kWork));
+    std::printf("%12u | %10llu %10.3f %10llu\n", pen,
+                static_cast<unsigned long long>(st.cycles), st.ipc(),
+                static_cast<unsigned long long>(st.thread_switches));
+  }
+
+  std::printf("\nreading: no coarse-grain switch penalty wins — cheap switches\n"
+              "thrash on every reduction, expensive ones degenerate toward\n"
+              "single-threading. Fine-grain interleaving reaches IPC ~1 at\n"
+              "every machine size, i.e. it already saturates the single issue\n"
+              "slot; SMT's further gain comes entirely from paying for a\n"
+              "second (here idealized) issue port, and §5 notes SMT has \"the\n"
+              "highest hardware cost of all three approaches\" — hence the\n"
+              "prototype's choice of fine-grain multithreading.\n");
+  return 0;
+}

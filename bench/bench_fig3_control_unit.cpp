@@ -1,0 +1,65 @@
+// Figure 3 reproduction: control unit organization. The figure is
+// structural (fetch unit + thread status table, per-thread decode,
+// rotating-priority scheduler + instruction status table, scalar
+// datapath); we demonstrate each mechanism observably:
+//   1. per-thread contexts advance independently (thread status table),
+//   2. the scheduler issues one instruction per cycle, rotating among
+//      ready threads (fairness),
+//   3. the instruction status table (scoreboard) blocks only the hazarded
+//      thread, never its peers.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "isa/encoding.hpp"
+
+int main() {
+  using namespace masc;
+
+  bench::header("Figure 3 — control unit organization (observable behaviour)",
+                "Schaffer & Walker 2007, Fig. 3 / §6.3");
+
+  MachineConfig cfg;
+  cfg.num_pes = 16;
+  cfg.word_width = 16;
+  cfg.num_threads = 4;
+
+  Machine m(cfg);
+  m.enable_trace(256);
+  m.load(assemble(R"(
+main:
+    la r1, worker
+    tspawn r2, r1
+    tspawn r2, r1
+    tspawn r2, r1
+worker:
+    pindex p1
+    rsum r3, p1          # reduction hazard for the *next* instruction
+    add r4, r4, r3       # ... which only blocks this thread
+    addi r5, r5, 1
+    addi r5, r5, 2
+    texit
+)"));
+  if (!m.run(100000)) return 1;
+
+  std::printf("\nissue trace (cycle : thread : instruction):\n");
+  for (const auto& e : m.trace()) {
+    if (e.issue > 40) break;
+    std::printf("  %4llu : t%u : %s%s\n",
+                static_cast<unsigned long long>(e.issue), e.thread,
+                disassemble(e.instr).c_str(),
+                e.stalled_on == StallCause::kNone
+                    ? ""
+                    : (std::string("   [was blocked: ") + to_string(e.stalled_on) +
+                       "]").c_str());
+  }
+
+  const auto& st = m.stats();
+  std::printf("\nscheduler fairness (rotating priority): per-thread issues =");
+  for (const auto n : st.issued_by_thread) std::printf(" %llu",
+      static_cast<unsigned long long>(n));
+  std::printf("\nidle cycles: %llu of %llu (blocked threads were skipped, not "
+              "stalled the machine)\n",
+              static_cast<unsigned long long>(st.idle_cycles),
+              static_cast<unsigned long long>(st.cycles));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// M1 — simulator host performance (google-benchmark): simulated cycles
+// per host-second for the cycle-accurate model and instructions per
+// host-second for the functional model, across machine sizes. This is
+// the "cycle-accurate simulator runs on a laptop" check.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/funcsim.hpp"
+
+namespace {
+
+using namespace masc;
+
+void BM_CycleSim(benchmark::State& state) {
+  const auto pes = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  MachineConfig cfg;
+  cfg.num_pes = pes;
+  cfg.num_threads = threads;
+  cfg.word_width = 16;
+  const Program prog = assemble(bench::mixed_asc_program(512));
+
+  Cycle total_cycles = 0;
+  for (auto _ : state) {
+    Machine m(cfg);
+    m.load(prog);
+    benchmark::DoNotOptimize(m.run(10'000'000));
+    total_cycles += m.stats().cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
+  state.counters["cycles/run"] =
+      static_cast<double>(total_cycles) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_CycleSim)
+    ->Args({16, 1})
+    ->Args({16, 16})
+    ->Args({256, 16})
+    ->Args({1024, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FuncSim(benchmark::State& state) {
+  const auto pes = static_cast<std::uint32_t>(state.range(0));
+  MachineConfig cfg;
+  cfg.num_pes = pes;
+  cfg.num_threads = 16;
+  cfg.word_width = 16;
+  const Program prog = assemble(bench::mixed_asc_program(512));
+
+  std::uint64_t total_instr = 0;
+  for (auto _ : state) {
+    FuncSim f(cfg);
+    f.load(prog);
+    benchmark::DoNotOptimize(f.run());
+    total_instr += f.instructions();
+  }
+  state.counters["instr/s"] = benchmark::Counter(
+      static_cast<double>(total_instr), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FuncSim)->Arg(16)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Assembler(benchmark::State& state) {
+  const std::string src = bench::mixed_asc_program(512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assemble(src));
+  }
+}
+BENCHMARK(BM_Assembler);
+
+}  // namespace

@@ -1,0 +1,55 @@
+// Table 1 reproduction: FPGA resource usage of the prototype
+// (16 x 8-bit PEs, 16 threads, 1 KB local memory, Cyclone II EP2C35).
+#include <cstdio>
+
+#include "arch/resource_model.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace masc;
+  using namespace masc::arch;
+
+  bench::header("Table 1 — resource usage of the initial prototype",
+                "Schaffer & Walker 2007, Table 1 / §7");
+
+  MachineConfig cfg;  // prototype shape
+  cfg.num_pes = 16;
+  cfg.num_threads = 16;
+  cfg.word_width = 8;
+  cfg.local_mem_bytes = 1024;
+  cfg.broadcast_arity = 2;
+  cfg.multiplier = MultiplierKind::kNone;  // "a few features ... missing"
+  cfg.divider = DividerKind::kNone;
+
+  const auto rep = ResourceModel::estimate(cfg);
+  const auto dev = ep2c35();
+  std::printf("\nmodel estimate:\n%s", ResourceModel::render(rep, dev).c_str());
+
+  struct Row { const char* name; unsigned le, ram, mle, mram; };
+  const auto tot = rep.total();
+  const Row rows[] = {
+      {"Control Unit", 1897, 8, rep.control_unit.logic_elements, rep.control_unit.ram_blocks},
+      {"PE Array (16 PEs)", 5984, 96, rep.pe_array.logic_elements, rep.pe_array.ram_blocks},
+      {"Network", 1791, 0, rep.network.logic_elements, rep.network.ram_blocks},
+      {"Total", 9672, 104, tot.logic_elements, tot.ram_blocks},
+  };
+  std::printf("\npaper vs model:\n");
+  std::printf("  %-20s %10s %10s %10s %10s\n", "component", "paper LE",
+              "model LE", "paper RAM", "model RAM");
+  bool exact = true;
+  for (const auto& r : rows) {
+    std::printf("  %-20s %10u %10u %10u %10u\n", r.name, r.le, r.mle, r.ram, r.mram);
+    exact = exact && r.le == r.mle && r.ram == r.mram;
+  }
+  std::printf("\n%s\n", exact ? "MATCH: model reproduces Table 1 exactly "
+                                "(constants calibrated; formulas structural)"
+                              : "MISMATCH — see EXPERIMENTS.md");
+
+  std::printf("\nlimiting resource check (paper: \"the main factor that limits "
+              "the number of PEs\n is the availability of RAM blocks\"):\n");
+  MachineConfig bigger = cfg;
+  bigger.num_pes = 17;
+  std::printf("  at p=17 on EP2C35 the design is limited by: %s\n",
+              to_string(ResourceModel::limiting_resource(bigger, dev)));
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Pipeline hazard visualizer: runs a snippet on the traced simulator and
+// prints the paper-style (Fig. 2) stage diagram. Pass a path to an
+// assembly file, or run without arguments for the three built-in hazard
+// demonstrations from the paper.
+//
+//   $ ./hazard_visualizer [program.s]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "assembler/assembler.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace masc;
+
+/// Fig. 2's assumed shape: b = 2 (16 PEs, 4-ary broadcast), r = 4.
+MachineConfig fig2_config() {
+  MachineConfig cfg;
+  cfg.num_pes = 16;
+  cfg.broadcast_arity = 4;
+  cfg.word_width = 16;
+  return cfg;
+}
+
+void show(const std::string& title, const std::string& src) {
+  Machine m(fig2_config());
+  m.enable_trace();
+  m.load(assemble(src));
+  if (!m.run(100000)) {
+    std::printf("%s: timed out\n", title.c_str());
+    return;
+  }
+  std::printf("=== %s ===\n%s\n", title.c_str(),
+              render_pipeline_diagram(m.trace(), m.config(), true).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    show(argv[1], buf.str());
+    return 0;
+  }
+
+  std::printf("Pipeline hazard diagrams (b=2 broadcast stages, r=4 reduction\n"
+              "stages, as assumed by the paper's Fig. 2). Stalls appear as\n"
+              "repeated ID stages.\n\n");
+
+  show("broadcast hazard — eliminated by EX->B1 forwarding", R"(
+    li r2, 30
+    li r3, 10
+    sub r1, r2, r3
+    padds p1, r1, p2
+    halt
+)");
+
+  show("reduction hazard — scalar consumer stalls b+r = 6 cycles", R"(
+    pindex p2
+    li r2, 1
+    rmax r1, p2
+    sub r3, r1, r2
+    halt
+)");
+
+  show("broadcast-reduction hazard — parallel consumer stalls b+r", R"(
+    pindex p2
+    rmax r1, p2
+    padds p3, r1, p2
+    halt
+)");
+
+  show("the fix — a second thread fills the stall cycles", R"(
+main:
+    la r1, worker
+    tspawn r2, r1
+    pindex p2
+    rmax r1, p2
+    sub r3, r1, r0
+    tjoin r2
+    halt
+worker:
+    pindex p2
+    rmin r1, p2
+    sub r3, r1, r0
+    texit
+)");
+  return 0;
+}

@@ -1,0 +1,11 @@
+# The paper's Fig. 2 reduction hazard, ready for the pipeline viewer:
+#
+#   masc-run examples/programs/hazard_demo.s --pes 16 --arity 4 --trace
+#   masc-dbg examples/programs/hazard_demo.s      (then: c, trace)
+main:
+    pindex p2
+    li   r2, 1
+    rmax r1, p2            # reduction result ready only after b + r
+    sub  r3, r1, r2        # dependent scalar: stalls (repeated ID)
+    padds p3, r1, p2       # dependent parallel: forwarded now that r1 is live
+    halt

@@ -1,0 +1,24 @@
+# Reduction showcase for masc-run / masc-dbg: every global operation the
+# ASC model requires (paper §2), in one program.
+#
+#   masc-run examples/programs/reduction_demo.s --pes 16 --regs --stats
+main:
+    pindex p1              # per-PE data: the PE index
+    pmul  p2, p1, p1       # field = index^2
+
+    rmax  r1, p2           # max / min (signed)
+    rmin  r2, p2
+    rsum  r3, p2           # saturating sum
+    rand  r4, p2           # bitwise AND / OR
+    ror   r5, p2
+
+    li    r6, 30
+    pcgts pf1, r6, p2      # associative search: field < 30
+    rcount r7, pf1         # exact responder count
+    rany  r8, pf1          # some/none
+
+    rsel  pf2, pf1         # pick the first responder...
+    rmaxu r9, p2 ?pf2      # ...and read its field
+    rstep pf1, pf1         # knock it out
+    rcount r10, pf1        # one fewer responder now
+    halt

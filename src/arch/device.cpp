@@ -1,0 +1,39 @@
+#include "arch/device.hpp"
+
+namespace masc::arch {
+
+Device ep2c35() {
+  // Cyclone II EP2C35: 33,216 LEs, 105 M4K blocks, 70 embedded 9-bit
+  // multiplier elements. Table 1's "Available" row.
+  return Device{"EP2C35", 33216, 105, 4096, 70, 1.0};
+}
+
+Device ep2c70() {
+  return Device{"EP2C70", 68416, 250, 4096, 300, 1.0};
+}
+
+Device ep1s80() {
+  // Stratix EP1S80: 79,040 LEs; 364 M512 + 183 M4K + 9 M-RAM. We count
+  // the M4K-class blocks; Stratix logic is faster than Cyclone II.
+  return Device{"EP1S80", 79040, 183, 4096, 176, 0.75};
+}
+
+Device xcv1000e() {
+  // Virtex-E XCV1000E: 27,648 logic cells, 96 BlockRAMs of 4096 bits.
+  // Older 180 nm process: slower logic.
+  return Device{"XCV1000E", 27648, 96, 4096, 0, 1.15};
+}
+
+Device apex20k1000() {
+  // APEX 20K1000E: ~38,400 LEs, 160 ESBs (2048-bit granules, counted as
+  // 80 M4K equivalents). Used by the scalable ASC Processor [6].
+  return Device{"APEX20K1000", 38400, 80, 4096, 0, 1.25};
+}
+
+const std::vector<Device>& known_devices() {
+  static const std::vector<Device> devices = {
+      ep2c35(), ep2c70(), ep1s80(), xcv1000e(), apex20k1000()};
+  return devices;
+}
+
+}  // namespace masc::arch

@@ -1,0 +1,37 @@
+// FPGA device capacity table.
+//
+// Capacities for the devices the paper and its related work used
+// (Altera Cyclone II / Stratix, Xilinx Virtex-E), plus larger Cyclone II
+// parts for the §9 scaling study. LE = logic element (4-input LUT + FF);
+// RAM blocks are M4K-class (4096 data bits) or the nearest equivalent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace masc::arch {
+
+struct Device {
+  std::string name;
+  std::uint32_t logic_elements = 0;
+  std::uint32_t ram_blocks = 0;      ///< M4K-equivalent blocks
+  std::uint32_t ram_block_bits = 4096;
+  std::uint32_t hard_multipliers = 0; ///< 9-bit embedded multiplier elements
+  double speed_factor = 1.0;  ///< relative logic delay (1.0 = Cyclone II C6)
+};
+
+/// The paper's prototype target (§6, §7): Altera Cyclone II EP2C35.
+Device ep2c35();
+/// Largest Cyclone II part — the §9 "fit more PEs" candidate.
+Device ep2c70();
+/// Related work [11]: Altera Stratix EP1S80.
+Device ep1s80();
+/// Related work [10]: Xilinx Virtex-E XCV1000E.
+Device xcv1000e();
+/// Predecessor ASC Processor target [6]: Altera APEX 20K1000.
+Device apex20k1000();
+
+const std::vector<Device>& known_devices();
+
+}  // namespace masc::arch

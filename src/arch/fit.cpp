@@ -1,0 +1,41 @@
+#include "arch/fit.hpp"
+
+namespace masc::arch {
+
+FitResult max_pes_on_device(const masc::MachineConfig& shape, const Device& dev) {
+  FitResult res;
+  masc::MachineConfig cfg = shape;
+
+  // Resource usage is monotone in p, so binary-search the largest fit.
+  std::uint32_t lo = 0, hi = 1;
+  auto fits_p = [&](std::uint32_t p) {
+    if (p == 0) return true;
+    cfg.num_pes = p;
+    return ResourceModel::fits(cfg, dev);
+  };
+  while (fits_p(hi) && hi < (1u << 20)) hi *= 2;
+  lo = hi / 2;
+  while (lo + 1 < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    (fits_p(mid) ? lo : hi) = mid;
+  }
+  res.max_pes = fits_p(hi) ? hi : lo;
+
+  if (res.max_pes > 0) {
+    cfg.num_pes = res.max_pes;
+    res.usage_at_max = ResourceModel::estimate(cfg);
+  }
+  cfg.num_pes = res.max_pes + 1;
+  res.limited_by = ResourceModel::limiting_resource(cfg, dev);
+  return res;
+}
+
+std::vector<std::pair<Device, FitResult>> fit_across_devices(
+    const masc::MachineConfig& shape) {
+  std::vector<std::pair<Device, FitResult>> out;
+  for (const auto& dev : known_devices())
+    out.emplace_back(dev, max_pes_on_device(shape, dev));
+  return out;
+}
+
+}  // namespace masc::arch

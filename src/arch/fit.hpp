@@ -1,0 +1,25 @@
+// Device-fit solver (paper §7 and §9): how many PEs of a given shape fit
+// on a device, and which resource runs out first.
+#pragma once
+
+#include <vector>
+
+#include "arch/resource_model.hpp"
+
+namespace masc::arch {
+
+struct FitResult {
+  std::uint32_t max_pes = 0;           ///< largest p that fits
+  LimitingResource limited_by = LimitingResource::kNone;  ///< what stops p+1
+  ResourceReport usage_at_max;         ///< usage at max_pes
+};
+
+/// Find the largest power-of-two-free PE count (any integer p) that fits
+/// `dev` with the non-PE parameters taken from `shape`.
+FitResult max_pes_on_device(const masc::MachineConfig& shape, const Device& dev);
+
+/// Sweep table used by bench E5: fit results across a device list.
+std::vector<std::pair<Device, FitResult>> fit_across_devices(
+    const masc::MachineConfig& shape);
+
+}  // namespace masc::arch

@@ -1,0 +1,215 @@
+#include "arch/resource_model.hpp"
+
+#include <sstream>
+
+#include "common/bits.hpp"
+
+namespace masc::arch {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Calibration constants. Structural counts (block replication, tree node
+// counts) follow from the microarchitecture; per-bit LE costs and the two
+// residuals are fitted so the prototype configuration (p=16, t=16, w=8,
+// 1 KB local memory, k=2) reproduces Table 1 exactly.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kRamBits = 4096;  ///< M4K data capacity
+
+// Register files built from block RAM need one replica per simultaneous
+// read port (each replica's second port takes the shared write).
+constexpr std::uint32_t kGpReplicas = 3;    ///< rs, rt, and store-data reads
+constexpr std::uint32_t kFlagReplicas = 4;  ///< fs, ft, mask reads + write
+// Flag storage is tiny, so one replica set is shared by a group of PEs
+// (paper §6.2: "share one RAM block between multiple PEs").
+constexpr std::uint32_t kFlagGroup = 4;
+
+// Control unit LEs: per-thread decode units (Fig. 3), a word-width scalar
+// datapath with forwarding, fetch unit, rotating-priority scheduler.
+constexpr std::uint32_t kDecodeLePerThread = 64;
+constexpr std::uint32_t kScalarDatapathLePerBit = 45;
+constexpr std::uint32_t kFetchLe = 160;
+constexpr std::uint32_t kSchedulerLePerThread = 8;
+// Residual: PC muxing, thread/instruction status tables' glue logic.
+constexpr std::uint32_t kCuResidualLe = 225;
+// CU RAM: a fixed-size instruction cache plus the thread status table /
+// instruction buffers (paper Fig. 3).
+constexpr std::uint32_t kICacheBlocks = 4;
+constexpr std::uint32_t kThreadTableBitsPerThread = 96;  ///< 2-entry buffer + PC + state
+
+// PE LEs, per bit of datapath width plus fixed controls.
+constexpr std::uint32_t kPeAluLePerBit = 18;
+constexpr std::uint32_t kPeForwardLePerBit = 12;  ///< the §7 critical path
+constexpr std::uint32_t kPeFlagUnitLe = 40;
+constexpr std::uint32_t kPeControlLe = 60;
+constexpr std::uint32_t kPeAddressLe = 34;
+// Optional functional units (absent from the first prototype, so they do
+// not contribute to Table 1). A sequential shift-add multiplier/divider
+// costs roughly a datapath-width of logic plus control; a pipelined
+// multiplier lives in hard DSP blocks and needs only glue LEs.
+constexpr std::uint32_t kSeqMulDivLePerBit = 9;
+constexpr std::uint32_t kSeqMulDivFixedLe = 24;
+constexpr std::uint32_t kPipelinedMulGlueLe = 20;
+// Alternative PE organizations (§9 "alternative PE organizations that
+// require fewer RAM blocks and take advantage of unused logic"):
+//   LUT-RAM register file: a 4-input-LUT RAM cell stores 16 bits, and
+//   address decoding roughly doubles the cost; replicated per read port
+//   like the block-RAM version. Grows linearly with thread count, which
+//   is why §6.2 rules it out for large register files.
+constexpr std::uint32_t kLutRamBitsPerLe = 16;
+constexpr std::uint32_t kLutRamOverheadFactor = 2;
+//   Flip-flop flag file: one LE per flag bit (register + mux).
+constexpr std::uint32_t kFlagFlopLePerBit = 1;
+// Falkoff bit-serial max/min unit: per-PE candidate logic plus a w-bit
+// controller in the CU — far cheaper than p-1 tree comparators.
+constexpr std::uint32_t kFalkoffLePerPe = 6;
+constexpr std::uint32_t kFalkoffCtrlLePerBit = 8;
+
+// Network LEs: pipelined trees with one register/functional node per
+// internal tree node.
+constexpr std::uint32_t kInstrBits = 32;
+constexpr std::uint32_t kLogicNodeLePerBit = 1;   // OR gates + invert bypass
+constexpr std::uint32_t kLogicNodeFixedLe = 2;
+constexpr std::uint32_t kMaxMinNodeLePerBit = 3;  // compare + mux + register
+constexpr std::uint32_t kMaxMinNodeFixedLe = 4;
+constexpr std::uint32_t kSumNodeLePerBit = 2;     // saturating adder + register
+constexpr std::uint32_t kSumNodeFixedLe = 2;
+constexpr std::uint32_t kCountNodeFixedLe = 2;    // + lg p counter bits
+constexpr std::uint32_t kResolverLePerPrefixCell = 2;
+// Residual: CU-side network interfaces, thread-tag routing alongside each
+// in-flight operation.
+constexpr std::uint32_t kNetResidualLe = 133;
+
+std::uint32_t ceil_div(std::uint32_t a, std::uint32_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+const char* to_string(LimitingResource r) {
+  switch (r) {
+    case LimitingResource::kNone: return "fits";
+    case LimitingResource::kLogic: return "logic elements";
+    case LimitingResource::kRam: return "RAM blocks";
+    case LimitingResource::kMultipliers: return "hard multipliers";
+  }
+  return "?";
+}
+
+ResourceReport ResourceModel::estimate(const masc::MachineConfig& cfg) {
+  const std::uint32_t p = cfg.num_pes;
+  const std::uint32_t t = cfg.effective_threads();
+  const std::uint32_t w = cfg.word_width;
+  ResourceReport rep;
+
+  // --- Control unit ----------------------------------------------------------
+  rep.control_unit.logic_elements =
+      kDecodeLePerThread * t + kScalarDatapathLePerBit * w + kFetchLe +
+      kSchedulerLePerThread * t + kCuResidualLe;
+  const std::uint32_t sreg_bits = cfg.num_scalar_regs * t * w;
+  rep.control_unit.ram_blocks =
+      kICacheBlocks + kGpReplicas * ceil_div(sreg_bits, kRamBits) +
+      ceil_div(kThreadTableBitsPerThread * t, kRamBits);
+
+  // --- PE array ----------------------------------------------------------------
+  std::uint32_t pe_le = kPeAluLePerBit * w + kPeForwardLePerBit * w +
+                        kPeFlagUnitLe + kPeControlLe + kPeAddressLe;
+  if (cfg.multiplier == masc::MultiplierKind::kSequential)
+    pe_le += kSeqMulDivLePerBit * w + kSeqMulDivFixedLe;
+  else if (cfg.multiplier == masc::MultiplierKind::kPipelined)
+    pe_le += kPipelinedMulGlueLe;
+  if (cfg.divider == masc::DividerKind::kSequential)
+    pe_le += kSeqMulDivLePerBit * w + kSeqMulDivFixedLe;
+  rep.pe_array.logic_elements = pe_le * p;
+  // Local memory is word-addressed: local_mem_bytes entries of w bits.
+  const std::uint32_t local_bits = cfg.local_mem_bytes * w;
+  const std::uint32_t preg_bits = cfg.num_parallel_regs * t * w;
+  std::uint32_t per_pe_blocks = ceil_div(local_bits, kRamBits);
+  if (cfg.regfile_impl == masc::RegFileImpl::kBlockRam) {
+    per_pe_blocks += kGpReplicas * ceil_div(preg_bits, kRamBits);
+  } else {
+    // Distributed LUT RAM: no blocks, LEs instead (per replica).
+    rep.pe_array.logic_elements +=
+        p * kGpReplicas *
+        ceil_div(preg_bits, kLutRamBitsPerLe) * kLutRamOverheadFactor;
+  }
+  // Flags: one replica set per group of kFlagGroup PEs (groups shrink if a
+  // group's bits outgrow one block), or plain flip-flops.
+  std::uint32_t flag_blocks = 0;
+  if (cfg.flagfile_impl == masc::FlagFileImpl::kSharedBlockRam) {
+    const std::uint32_t flag_bits_per_group =
+        kFlagGroup * cfg.num_flag_regs * t;
+    const std::uint32_t blocks_per_replica =
+        ceil_div(flag_bits_per_group, kRamBits);
+    flag_blocks = kFlagReplicas * blocks_per_replica * ceil_div(p, kFlagGroup);
+  } else {
+    rep.pe_array.logic_elements +=
+        p * cfg.num_flag_regs * t * kFlagFlopLePerBit;
+  }
+  rep.pe_array.ram_blocks = per_pe_blocks * p + flag_blocks;
+
+  // --- Broadcast/reduction network -------------------------------------------
+  // k-ary broadcast tree: ceil((p-1)/(k-1)) internal nodes, each a
+  // registered (instruction + data word) stage.
+  const std::uint32_t k = cfg.broadcast_arity;
+  const std::uint32_t bc_nodes = p > 1 ? ceil_div(p - 1, k - 1) : 0;
+  const std::uint32_t red_nodes = p > 1 ? p - 1 : 0;  // binary trees
+  const std::uint32_t lgp = masc::ceil_log2(p);
+  const std::uint32_t maxmin_le =
+      cfg.maxmin_unit == masc::MaxMinUnitKind::kPipelinedTree
+          ? red_nodes * (kMaxMinNodeLePerBit * w + kMaxMinNodeFixedLe)
+          : p * kFalkoffLePerPe + kFalkoffCtrlLePerBit * w;
+  const std::uint32_t net_le =
+      bc_nodes * (kInstrBits + w) +
+      red_nodes * (kLogicNodeLePerBit * w + kLogicNodeFixedLe) +
+      maxmin_le +
+      red_nodes * (kSumNodeLePerBit * w + kSumNodeFixedLe) +
+      red_nodes * (lgp + kCountNodeFixedLe) +
+      p * lgp * kResolverLePerPrefixCell + kNetResidualLe;
+  rep.network.logic_elements = net_le;
+  rep.network.ram_blocks = 0;  // Table 1: the network uses no RAM blocks
+
+  return rep;
+}
+
+bool ResourceModel::fits(const masc::MachineConfig& cfg, const Device& dev) {
+  return limiting_resource(cfg, dev) == LimitingResource::kNone;
+}
+
+LimitingResource ResourceModel::limiting_resource(const masc::MachineConfig& cfg,
+                                                  const Device& dev) {
+  const auto rep = estimate(cfg);
+  const auto tot = rep.total();
+  // Check RAM first: it is the binding constraint on every device the
+  // paper considers, and reporting it first mirrors §7's conclusion.
+  if (tot.ram_blocks > dev.ram_blocks) return LimitingResource::kRam;
+  if (tot.logic_elements > dev.logic_elements) return LimitingResource::kLogic;
+  if (cfg.multiplier == masc::MultiplierKind::kPipelined) {
+    // A pipelined w-bit multiplier consumes ceil(w/9)^2 nine-bit embedded
+    // multiplier elements per PE (plus one for the control unit).
+    const std::uint32_t per = ceil_div(cfg.word_width, 9) * ceil_div(cfg.word_width, 9);
+    if (per * (cfg.num_pes + 1) > dev.hard_multipliers)
+      return LimitingResource::kMultipliers;
+  }
+  return LimitingResource::kNone;
+}
+
+std::string ResourceModel::render(const ResourceReport& rep, const Device& dev) {
+  std::ostringstream os;
+  auto row = [&os](const std::string& name, std::uint32_t le, std::uint32_t ram) {
+    os << "  " << name;
+    os << std::string(name.size() < 22 ? 22 - name.size() : 1, ' ');
+    std::string les = std::to_string(le), rams = std::to_string(ram);
+    os << std::string(les.size() < 8 ? 8 - les.size() : 1, ' ') << les;
+    os << std::string(rams.size() < 8 ? 8 - rams.size() : 1, ' ') << rams << '\n';
+  };
+  os << "  Component                  LEs    RAMs\n";
+  row("Control Unit", rep.control_unit.logic_elements, rep.control_unit.ram_blocks);
+  row("PE Array", rep.pe_array.logic_elements, rep.pe_array.ram_blocks);
+  row("Network", rep.network.logic_elements, rep.network.ram_blocks);
+  const auto tot = rep.total();
+  row("Total", tot.logic_elements, tot.ram_blocks);
+  row("Available (" + dev.name + ")", dev.logic_elements, dev.ram_blocks);
+  return os.str();
+}
+
+}  // namespace masc::arch

@@ -1,0 +1,74 @@
+#include "arch/timing_model.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+
+namespace masc::arch {
+
+namespace {
+
+// Forwarding-path delay t = c0 + c1*w + c2*lg(threads) [ns]: the result
+// mux fans in one leg per forwarding source and thread-select bits widen
+// the bypass comparators. Calibrated to 75 MHz (13.333 ns) at w=8, t=16.
+constexpr double kFwdBase = 5.333;
+constexpr double kFwdPerBit = 0.75;
+constexpr double kFwdPerLogThread = 0.5;
+
+// Combinational broadcast: wire delay grows with die distance ~ sqrt(p)
+// plus fanout buffering ~ lg p.
+constexpr double kWirePerSqrtPe = 1.2;
+constexpr double kWirePerLogPe = 0.4;
+
+// Combinational reduction: lg p tree levels of (gate + carry) delay,
+// wider words have longer carry chains.
+constexpr double kRedLevelBase = 0.3;
+constexpr double kRedLevelPerBit = 0.05;
+
+// One registered stage of the pipelined k-ary broadcast tree: a k-fanout
+// buffered node. Negligible at the prototype's k=2, but the stage delay
+// grows with fanout, which is the performance tradeoff behind §6.4's
+// "the arity of the tree ... is chosen so as to maximize system
+// performance": larger k means fewer stages (smaller b) until the node
+// delay overtakes the forwarding path and caps Fmax (bench E6).
+constexpr double kNetStageBase = 1.5;
+constexpr double kNetStagePerFanout = 0.6;
+
+}  // namespace
+
+TimingBreakdown TimingModel::estimate(const masc::MachineConfig& cfg,
+                                      const Device& dev) {
+  TimingBreakdown tb;
+  const double w = cfg.word_width;
+  const double lgt = std::log2(static_cast<double>(cfg.effective_threads()));
+  const double p = cfg.num_pes;
+  const double lgp = masc::ceil_log2(cfg.num_pes);
+
+  tb.forwarding_ns = kFwdBase + kFwdPerBit * w + kFwdPerLogThread * lgt;
+  double path_ns;
+  if (!cfg.pipelined_network) {
+    tb.broadcast_wire_ns = kWirePerSqrtPe * std::sqrt(p) + kWirePerLogPe * lgp;
+    tb.reduction_tree_ns = lgp * (kRedLevelBase + kRedLevelPerBit * w);
+    path_ns = tb.forwarding_ns + tb.broadcast_wire_ns + tb.reduction_tree_ns;
+  } else {
+    // Registered network: the clock must also accommodate one k-fanout
+    // broadcast tree stage; the slower of the two paths sets the cycle.
+    const double stage_ns =
+        kNetStageBase + kNetStagePerFanout * cfg.broadcast_arity;
+    path_ns = std::max(tb.forwarding_ns, stage_ns);
+  }
+  tb.cycle_ns = path_ns * dev.speed_factor;
+  tb.fmax_mhz = 1000.0 / tb.cycle_ns;
+  return tb;
+}
+
+double TimingModel::fmax_mhz(const masc::MachineConfig& cfg, const Device& dev) {
+  return estimate(cfg, dev).fmax_mhz;
+}
+
+double TimingModel::seconds(const masc::MachineConfig& cfg, const Device& dev,
+                            double cycles) {
+  return cycles * estimate(cfg, dev).cycle_ns * 1e-9;
+}
+
+}  // namespace masc::arch

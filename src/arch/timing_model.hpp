@@ -1,0 +1,47 @@
+// Analytic clock-rate (Fmax) model (paper §7, §8).
+//
+// The paper's performance argument is a cycles-versus-clock tradeoff:
+//
+//   * With *pipelined* broadcast/reduction networks, the critical path is
+//     the PE forwarding logic (§7) — independent of p — so Fmax stays
+//     flat as the array grows (~75 MHz on the EP2C35 prototype), at the
+//     cost of log-p network latencies in cycles.
+//   * With *non-pipelined* (combinational) networks, broadcast wire delay
+//     and reduction tree depth sit inside the clock period, so Fmax
+//     decays as p grows (the broadcast/reduction bottleneck of [3]);
+//     related work [10] (95 PEs, non-pipelined broadcast) reached only
+//     68 MHz while [11] (88 PEs, pipelined broadcast) reached 121 MHz.
+//
+// The model expresses each candidate critical path in nanoseconds with
+// constants calibrated to the prototype's 75 MHz; device speed factors
+// scale between FPGA families. All constants are documented below.
+#pragma once
+
+#include "arch/device.hpp"
+#include "common/config.hpp"
+
+namespace masc::arch {
+
+struct TimingBreakdown {
+  double forwarding_ns = 0;      ///< PE forwarding + ALU path
+  double broadcast_wire_ns = 0;  ///< only if the broadcast is combinational
+  double reduction_tree_ns = 0;  ///< only if the reduction is combinational
+  double cycle_ns = 0;           ///< total critical path
+  double fmax_mhz = 0;
+};
+
+class TimingModel {
+ public:
+  /// Critical-path estimate for a configuration on a device.
+  static TimingBreakdown estimate(const masc::MachineConfig& cfg,
+                                  const Device& dev);
+
+  /// Fmax in MHz (shorthand).
+  static double fmax_mhz(const masc::MachineConfig& cfg, const Device& dev);
+
+  /// Wall-clock seconds for a cycle count under this configuration/device.
+  static double seconds(const masc::MachineConfig& cfg, const Device& dev,
+                        double cycles);
+};
+
+}  // namespace masc::arch

@@ -1,0 +1,61 @@
+#include "ascal/ascal.hpp"
+
+#include "common/error.hpp"
+
+namespace masc::ascal {
+
+AscalProgram::AscalProgram(const MachineConfig& cfg, const std::string& source)
+    : compiled_(compile(source)), machine_(cfg) {
+  // The compiler's register convention needs the full architectural
+  // register complement.
+  expect(cfg.num_scalar_regs >= 16 && cfg.num_parallel_regs >= 16 &&
+             cfg.num_flag_regs >= 8,
+         "ASCAL requires 16 scalar / 16 parallel / 8 flag registers");
+  machine_.load_source(compiled_.assembly);
+}
+
+asc::RunOutcome AscalProgram::run(Cycle max_cycles) {
+  return machine_.run(max_cycles);
+}
+
+RegNum AscalProgram::reg_of(const std::map<std::string, RegNum>& table,
+                            const std::string& name) const {
+  const auto it = table.find(name);
+  if (it == table.end())
+    throw SimulationError("ascal: no such variable '" + name + "'");
+  return it->second;
+}
+
+Word AscalProgram::value_of(const std::string& name) const {
+  return machine_.machine().state().sreg(0, reg_of(compiled_.scalar_vars, name));
+}
+
+std::vector<Word> AscalProgram::parallel_of(const std::string& name) const {
+  return machine_.machine().state().read_preg_vector(
+      0, reg_of(compiled_.parallel_vars, name));
+}
+
+std::vector<std::uint8_t> AscalProgram::flag_of(const std::string& name) const {
+  const RegNum f = reg_of(compiled_.flag_vars, name);
+  const auto& st = machine_.machine().state();
+  std::vector<std::uint8_t> out(machine_.num_pes());
+  for (PEIndex pe = 0; pe < out.size(); ++pe)
+    out[pe] = st.pflag(0, f, pe) ? 1 : 0;
+  return out;
+}
+
+void AscalProgram::bind_parallel(const std::string& name,
+                                 std::span<const Word> values) {
+  const RegNum r = reg_of(compiled_.parallel_vars, name);
+  auto& st = machine_.machine().state();
+  expect(values.size() <= machine_.num_pes(), "bind_parallel: too many values");
+  for (PEIndex pe = 0; pe < values.size(); ++pe)
+    st.set_preg(0, r, pe, values[pe]);
+}
+
+void AscalProgram::set_value(const std::string& name, Word value) {
+  machine_.machine().state().set_sreg(0, reg_of(compiled_.scalar_vars, name),
+                                      value);
+}
+
+}  // namespace masc::ascal

@@ -1,0 +1,45 @@
+// ASCAL public API: compile associative-language programs and run them
+// on the simulated Multithreaded ASC Processor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ascal/codegen.hpp"
+#include "asclib/asc_machine.hpp"
+
+namespace masc::ascal {
+
+/// Compile + load + run convenience wrapper. Variables are readable
+/// after run() by name.
+class AscalProgram {
+ public:
+  /// Throws CompileError (bad source) or AssemblyError (internal).
+  AscalProgram(const MachineConfig& cfg, const std::string& source);
+
+  asc::RunOutcome run(Cycle max_cycles = 100'000'000);
+
+  /// Scalar variable value (after run).
+  Word value_of(const std::string& name) const;
+  /// Parallel variable, one word per PE.
+  std::vector<Word> parallel_of(const std::string& name) const;
+  /// Parallel flag, one 0/1 per PE.
+  std::vector<std::uint8_t> flag_of(const std::string& name) const;
+
+  /// Host-side data binding before run(): set a parallel variable.
+  void bind_parallel(const std::string& name, std::span<const Word> values);
+  /// Set a scalar variable.
+  void set_value(const std::string& name, Word value);
+
+  const std::string& assembly() const { return compiled_.assembly; }
+  asc::AscMachine& machine() { return machine_; }
+
+ private:
+  RegNum reg_of(const std::map<std::string, RegNum>& table,
+                const std::string& name) const;
+
+  CompileResult compiled_;
+  asc::AscMachine machine_;
+};
+
+}  // namespace masc::ascal

@@ -1,0 +1,82 @@
+// Abstract syntax tree for ASCAL (docs/ASCAL.md).
+//
+// The tree is deliberately untyped at parse time; the code generator
+// classifies every expression as scalar / parallel / flag from its
+// operands and rejects ill-typed combinations with source locations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace masc::ascal {
+
+/// Compile-time diagnostics (syntax, types, resource limits).
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(unsigned line, const std::string& msg)
+      : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  unsigned line() const { return line_; }
+
+ private:
+  unsigned line_;
+};
+
+/// Declared variable classes.
+enum class VarClass : std::uint8_t { kScalar, kParallel, kFlag };
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kIntLit,    ///< value
+    kVar,       ///< name
+    kUnary,     ///< op ("!" or "-"), args[0]
+    kBinary,    ///< op, args[0], args[1]
+    kCall,      ///< name (builtin), args
+    kMemRead,   ///< mem[args[0]] — scalar memory, scalar index
+    kLocalRead, ///< local[args[0]] — PE local memory, per-PE address
+  };
+  Kind kind = Kind::kIntLit;
+  std::int64_t value = 0;
+  std::string name;
+  std::string op;
+  std::vector<Expr> args;
+  unsigned line = 0;
+};
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kAssign,      ///< target = expr
+    kStoreMem,    ///< mem[index] = expr
+    kStoreLocal,  ///< local[index] = expr
+    kIf,          ///< expr cond; body / else_body
+    kWhile,
+    kAny,      ///< expr flag cond; body / else_body
+    kWhere,    ///< expr flag cond; body
+    kForeach,  ///< expr flag cond; body
+    kHalt,
+  };
+  Kind kind = Kind::kHalt;
+  std::string target;
+  std::optional<Expr> expr;
+  std::optional<Expr> index;  ///< for kStoreMem / kStoreLocal
+  std::vector<Stmt> body;
+  std::vector<Stmt> else_body;
+  unsigned line = 0;
+};
+
+struct Declaration {
+  VarClass var_class = VarClass::kScalar;
+  std::string name;
+  unsigned line = 0;
+};
+
+struct ProgramAst {
+  std::vector<Declaration> decls;
+  std::vector<Stmt> stmts;
+};
+
+}  // namespace masc::ascal

@@ -1,0 +1,674 @@
+#include "ascal/codegen.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "ascal/parser.hpp"
+
+namespace masc::ascal {
+
+namespace {
+
+/// What an evaluated expression produced.
+struct Operand {
+  VarClass cls = VarClass::kScalar;
+  std::string reg;    ///< "r5", "p3", or "pf2"
+  bool temp = false;  ///< owned by a pool (must be freed by the consumer)
+};
+
+/// A fixed pool of temporary registers of one class.
+class Pool {
+ public:
+  Pool(std::string what, std::deque<std::string> regs)
+      : what_(std::move(what)), free_(std::move(regs)) {}
+
+  std::string alloc(unsigned line) {
+    if (free_.empty())
+      throw CompileError(line, "expression too complex: out of " + what_ +
+                                   " temporary registers");
+    std::string r = free_.front();
+    free_.pop_front();
+    return r;
+  }
+
+  void release(const std::string& reg) { free_.push_front(reg); }
+
+ private:
+  std::string what_;
+  std::deque<std::string> free_;
+};
+
+class CodeGen {
+ public:
+  explicit CodeGen(const ProgramAst& prog) : prog_(prog) {}
+
+  CompileResult run() {
+    declare_variables();
+    emit("pindex p15");
+    for (const auto& s : prog_.stmts) gen_stmt(s);
+    emit("halt");
+    result_.assembly = os_.str();
+    return result_;
+  }
+
+ private:
+  // --- infrastructure ---------------------------------------------------------
+  void emit(const std::string& line) { os_ << "    " << line << '\n'; }
+  void label(const std::string& name) { os_ << name << ":\n"; }
+  std::string fresh(const char* stem) {
+    return std::string(stem) + "_" + std::to_string(counter_++);
+  }
+
+  Pool& pool_of(VarClass cls) {
+    switch (cls) {
+      case VarClass::kScalar: return scalar_temps_;
+      case VarClass::kParallel: return parallel_temps_;
+      case VarClass::kFlag: return flag_temps_;
+    }
+    return scalar_temps_;
+  }
+
+  Operand make_temp(VarClass cls, unsigned line) {
+    return Operand{cls, pool_of(cls).alloc(line), true};
+  }
+
+  void release(const Operand& op) {
+    if (op.temp) pool_of(op.cls).release(op.reg);
+  }
+
+  /// Current activity mask suffix (" ?pfN", empty when unmasked).
+  std::string mask_suffix() const {
+    return mask_stack_.empty() ? "" : " ?" + mask_stack_.back();
+  }
+  std::string mask_reg() const {
+    return mask_stack_.empty() ? "pf0" : mask_stack_.back();
+  }
+
+  // --- symbols -----------------------------------------------------------------
+  void declare_variables() {
+    RegNum next_scalar = 4, next_parallel = 1, next_flag = 1;
+    for (const auto& d : prog_.decls) {
+      if (vars_.count(d.name))
+        throw CompileError(d.line, "duplicate variable '" + d.name + "'");
+      std::string reg;
+      switch (d.var_class) {
+        case VarClass::kScalar:
+          if (next_scalar > 12)
+            throw CompileError(d.line, "too many scalar variables (max 9)");
+          reg = "r" + std::to_string(next_scalar);
+          result_.scalar_vars[d.name] = next_scalar++;
+          break;
+        case VarClass::kParallel:
+          if (next_parallel > 10)
+            throw CompileError(d.line, "too many parallel variables (max 10)");
+          reg = "p" + std::to_string(next_parallel);
+          result_.parallel_vars[d.name] = next_parallel++;
+          break;
+        case VarClass::kFlag:
+          if (next_flag > 3)
+            throw CompileError(d.line, "too many flag variables (max 3)");
+          reg = "pf" + std::to_string(next_flag);
+          result_.flag_vars[d.name] = next_flag++;
+          break;
+      }
+      vars_[d.name] = Operand{d.var_class, reg, false};
+    }
+  }
+
+  const Operand& lookup(const std::string& name, unsigned line) {
+    const auto it = vars_.find(name);
+    if (it == vars_.end())
+      throw CompileError(line, "undeclared variable '" + name + "'");
+    return it->second;
+  }
+
+  // --- expressions --------------------------------------------------------------
+
+  /// A destination preference from the enclosing assignment: when the
+  /// top-level producer's result class matches, it writes the target
+  /// register directly instead of a temp followed by a move. Never
+  /// propagated into subexpressions.
+  struct Hint {
+    VarClass cls;
+    std::string reg;
+  };
+
+  /// Result register for a producer that consumes operand `x`.
+  Operand finish(Operand& x, VarClass cls, unsigned line, const Hint* hint) {
+    if (hint && hint->cls == cls) {
+      release(x);
+      return Operand{cls, hint->reg, false};
+    }
+    return reuse_or_alloc(x, cls, line);
+  }
+
+  /// Result register for a producer with no reusable operand.
+  Operand dest(VarClass cls, unsigned line, const Hint* hint) {
+    if (hint && hint->cls == cls) return Operand{cls, hint->reg, false};
+    return make_temp(cls, line);
+  }
+
+  Operand gen_expr(const Expr& e, const Hint* hint = nullptr) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit: {
+        Operand dst = dest(VarClass::kScalar, e.line, hint);
+        emit("li " + dst.reg + ", " + std::to_string(e.value));
+        return dst;
+      }
+      case Expr::Kind::kVar:
+        return lookup(e.name, e.line);
+      case Expr::Kind::kUnary:
+        return gen_unary(e, hint);
+      case Expr::Kind::kBinary:
+        return gen_binary(e, hint);
+      case Expr::Kind::kCall:
+        return gen_call(e, hint);
+      case Expr::Kind::kMemRead: {
+        Operand idx = gen_expr(e.args[0]);
+        if (idx.cls != VarClass::kScalar)
+          throw CompileError(e.line, "mem[] index must be scalar");
+        const std::string addr = idx.reg;
+        Operand dst = finish(idx, VarClass::kScalar, e.line, hint);
+        emit("lw " + dst.reg + ", 0(" + addr + ")");
+        return dst;
+      }
+      case Expr::Kind::kLocalRead: {
+        // Per-PE local memory; the read is masked so inactive PEs never
+        // dereference whatever garbage their address lanes hold.
+        Operand addr = local_address(e.args[0], e.line);
+        Operand dst = dest(VarClass::kParallel, e.line, hint);
+        emit("plw " + dst.reg + ", 0(" + addr.reg + ")" + mask_suffix());
+        release(addr);
+        return dst;
+      }
+    }
+    throw CompileError(e.line, "internal: unknown expression kind");
+  }
+
+  /// Evaluate a local-memory address expression into a parallel register
+  /// (broadcasting a scalar address if needed).
+  Operand local_address(const Expr& e, unsigned line) {
+    Operand a = gen_expr(e);
+    if (a.cls == VarClass::kParallel) return a;
+    if (a.cls != VarClass::kScalar)
+      throw CompileError(line, "local[] address must be a word value");
+    Operand bc = make_temp(VarClass::kParallel, line);
+    emit("pbcast " + bc.reg + ", " + a.reg);
+    release(a);
+    return bc;
+  }
+
+  Operand gen_unary(const Expr& e, const Hint* hint) {
+    Operand x = gen_expr(e.args[0]);
+    if (e.op == "!") {
+      if (x.cls == VarClass::kFlag) {
+        const std::string src = x.reg;
+        Operand dst = finish(x, VarClass::kFlag, e.line, hint);
+        emit("pfnot " + dst.reg + ", " + src);
+        return dst;
+      }
+      if (x.cls == VarClass::kScalar) {
+        const std::string src = x.reg;
+        Operand dst = finish(x, VarClass::kScalar, e.line, hint);
+        emit("sltiu " + dst.reg + ", " + src + ", 1");
+        return dst;
+      }
+      throw CompileError(e.line, "'!' needs a flag or scalar operand");
+    }
+    // Unary minus.
+    if (x.cls == VarClass::kScalar) {
+      const std::string src = x.reg;
+      Operand dst = finish(x, VarClass::kScalar, e.line, hint);
+      emit("sub " + dst.reg + ", r0, " + src);
+      return dst;
+    }
+    if (x.cls == VarClass::kParallel) {
+      const std::string src = x.reg;
+      Operand dst = finish(x, VarClass::kParallel, e.line, hint);
+      emit("psubs " + dst.reg + ", r0, " + src);
+      return dst;
+    }
+    throw CompileError(e.line, "cannot negate a flag");
+  }
+
+  /// Reuse x's register as the destination if it is a temp of the right
+  /// class; otherwise allocate (and leave x to be released by caller...
+  /// here x is consumed either way, so handle release internally).
+  Operand reuse_or_alloc(Operand& x, VarClass cls, unsigned line) {
+    if (x.temp && x.cls == cls) {
+      Operand dst = x;
+      x.temp = false;  // ownership moved to dst
+      return dst;
+    }
+    release(x);
+    return make_temp(cls, line);
+  }
+
+  static bool is_relop(const std::string& op) {
+    return op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+           op == ">=";
+  }
+
+  static bool is_flagop(const std::string& op) {
+    return op == "&" || op == "|" || op == "^";
+  }
+
+  Operand gen_binary(const Expr& e, const Hint* hint) {
+    Operand a = gen_expr(e.args[0]);
+    Operand b = gen_expr(e.args[1]);
+    const std::string& op = e.op;
+
+    // Flag logic.
+    if (a.cls == VarClass::kFlag || b.cls == VarClass::kFlag) {
+      if (a.cls != VarClass::kFlag || b.cls != VarClass::kFlag || !is_flagop(op))
+        throw CompileError(e.line, "flags only combine with '&', '|', '^'");
+      const char* mn = op == "&" ? "pfand" : op == "|" ? "pfor" : "pfxor";
+      const std::string ar = a.reg;
+      Operand dst = finish(a, VarClass::kFlag, e.line, hint);
+      emit(std::string(mn) + " " + dst.reg + ", " + ar + ", " + b.reg);
+      release(b);
+      return dst;
+    }
+
+    if (is_relop(op)) return gen_compare(e, a, b, hint);
+
+    // Word arithmetic. Unsigned semantics: / -> divu, % -> remu, >> -> srl.
+    static const std::map<std::string, std::string> kMnemonic = {
+        {"+", "add"}, {"-", "sub"}, {"*", "mul"}, {"/", "divu"},
+        {"%", "remu"}, {"&", "and"}, {"|", "or"}, {"^", "xor"},
+        {"<<", "sll"}, {">>", "srl"}};
+    const std::string mn = kMnemonic.at(op);
+
+    if (a.cls == VarClass::kScalar && b.cls == VarClass::kScalar) {
+      const std::string ar = a.reg, br = b.reg;
+      Operand dst = finish(a, VarClass::kScalar, e.line, hint);
+      emit(mn + " " + dst.reg + ", " + ar + ", " + br);
+      release(b);
+      return dst;
+    }
+
+    // Parallel result.
+    if (a.cls == VarClass::kScalar) {
+      // Broadcast-scalar form: scalar is the left operand, as required.
+      const std::string ar = a.reg, br = b.reg;
+      release(a);
+      Operand dst = finish(b, VarClass::kParallel, e.line, hint);
+      emit("p" + mn + "s " + dst.reg + ", " + ar + ", " + br);
+      return dst;
+    }
+    if (b.cls == VarClass::kScalar) {
+      const bool commutative =
+          op == "+" || op == "*" || op == "&" || op == "|" || op == "^";
+      if (commutative) {
+        const std::string ar = a.reg, br = b.reg;
+        release(b);
+        Operand dst = finish(a, VarClass::kParallel, e.line, hint);
+        emit("p" + mn + "s " + dst.reg + ", " + br + ", " + ar);
+        return dst;
+      }
+      // Non-commutative with the scalar on the right: materialize it.
+      Operand bc = make_temp(VarClass::kParallel, e.line);
+      emit("pbcast " + bc.reg + ", " + b.reg);
+      release(b);
+      const std::string ar = a.reg;
+      Operand dst = finish(a, VarClass::kParallel, e.line, hint);
+      emit("p" + mn + " " + dst.reg + ", " + ar + ", " + bc.reg);
+      release(bc);
+      return dst;
+    }
+    // Both parallel.
+    const std::string ar = a.reg, br = b.reg;
+    Operand dst = finish(a, VarClass::kParallel, e.line, hint);
+    emit("p" + mn + " " + dst.reg + ", " + ar + ", " + br);
+    release(b);
+    return dst;
+  }
+
+  Operand gen_compare(const Expr& e, Operand& a, Operand& b, const Hint* hint) {
+    const std::string& op = e.op;
+    if (a.cls == VarClass::kScalar && b.cls == VarClass::kScalar) {
+      // 0/1 scalar result from unsigned comparisons.
+      const std::string ar = a.reg, br = b.reg;
+      Operand dst = finish(a, VarClass::kScalar, e.line, hint);
+      if (op == "<") emit("sltu " + dst.reg + ", " + ar + ", " + br);
+      else if (op == ">") emit("sltu " + dst.reg + ", " + br + ", " + ar);
+      else if (op == "<=") {
+        emit("sltu " + dst.reg + ", " + br + ", " + ar);
+        emit("xori " + dst.reg + ", " + dst.reg + ", 1");
+      } else if (op == ">=") {
+        emit("sltu " + dst.reg + ", " + ar + ", " + br);
+        emit("xori " + dst.reg + ", " + dst.reg + ", 1");
+      } else if (op == "==") {
+        emit("xor " + dst.reg + ", " + ar + ", " + br);
+        emit("sltiu " + dst.reg + ", " + dst.reg + ", 1");
+      } else {  // !=
+        emit("xor " + dst.reg + ", " + ar + ", " + br);
+        emit("sltu " + dst.reg + ", r0, " + dst.reg);
+      }
+      release(b);
+      return dst;
+    }
+
+    // Parallel comparison -> flag. Unsigned compare functs.
+    static const std::map<std::string, std::string> kFunct = {
+        {"==", "eq"}, {"!=", "ne"}, {"<", "ltu"}, {"<=", "leu"},
+        {">", "gtu"}, {">=", "geu"}};
+    static const std::map<std::string, std::string> kMirror = {
+        {"==", "eq"}, {"!=", "ne"}, {"<", "gtu"}, {"<=", "geu"},
+        {">", "ltu"}, {">=", "leu"}};
+    Operand dst = dest(VarClass::kFlag, e.line, hint);
+    if (a.cls == VarClass::kScalar) {
+      emit("pc" + kFunct.at(op) + "s " + dst.reg + ", " + a.reg + ", " + b.reg);
+    } else if (b.cls == VarClass::kScalar) {
+      emit("pc" + kMirror.at(op) + "s " + dst.reg + ", " + b.reg + ", " + a.reg);
+    } else {
+      emit("pc" + kFunct.at(op) + " " + dst.reg + ", " + a.reg + ", " + b.reg);
+    }
+    release(a);
+    release(b);
+    return dst;
+  }
+
+  /// Mask for a reduction builtin: the optional flag argument ANDed with
+  /// the enclosing mask. Returns (reg, operand-to-release-or-empty).
+  std::pair<std::string, Operand> reduction_mask(const Expr& e,
+                                                 std::size_t flag_arg_index) {
+    if (e.args.size() <= flag_arg_index) return {mask_reg(), Operand{}};
+    Operand f = gen_expr(e.args[flag_arg_index]);
+    if (f.cls != VarClass::kFlag)
+      throw CompileError(e.line, e.name + ": second argument must be a flag");
+    if (mask_stack_.empty()) return {f.reg, f};
+    Operand combined = make_temp(VarClass::kFlag, e.line);
+    emit("pfand " + combined.reg + ", " + f.reg + ", " + mask_reg());
+    release(f);
+    return {combined.reg, combined};
+  }
+
+  Operand gen_call(const Expr& e, const Hint* hint) {
+    const std::string& fn = e.name;
+    auto expect_args = [&](std::size_t lo, std::size_t hi) {
+      if (e.args.size() < lo || e.args.size() > hi)
+        throw CompileError(e.line, fn + ": wrong number of arguments");
+    };
+
+    if (fn == "index") {
+      expect_args(0, 0);
+      return Operand{VarClass::kParallel, "p15", false};
+    }
+    if (fn == "npes" || fn == "nthreads") {
+      expect_args(0, 0);
+      Operand dst = dest(VarClass::kScalar, e.line, hint);
+      emit(fn + " " + dst.reg);
+      return dst;
+    }
+    if (fn == "any" || fn == "count") {
+      expect_args(1, 1);
+      Operand f = gen_expr(e.args[0]);
+      if (f.cls != VarClass::kFlag)
+        throw CompileError(e.line, fn + ": argument must be a flag");
+      Operand dst = dest(VarClass::kScalar, e.line, hint);
+      emit(std::string(fn == "any" ? "rany" : "rcount") + " " + dst.reg +
+           ", " + f.reg + mask_suffix());
+      release(f);
+      return dst;
+    }
+
+    static const std::map<std::string, std::string> kReductions = {
+        {"maxval", "rmaxu"}, {"minval", "rminu"}, {"sumval", "rsumu"},
+        {"reduce_and", "rand"}, {"reduce_or", "ror"}};
+    if (const auto it = kReductions.find(fn); it != kReductions.end()) {
+      expect_args(1, 2);
+      Operand p = gen_expr(e.args[0]);
+      if (p.cls != VarClass::kParallel)
+        throw CompileError(e.line, fn + ": first argument must be parallel");
+      auto [mreg, mop] = reduction_mask(e, 1);
+      Operand dst = dest(VarClass::kScalar, e.line, hint);
+      emit(it->second + " " + dst.reg + ", " + p.reg + " ?" + mreg);
+      release(p);
+      release(mop);
+      return dst;
+    }
+
+    if (fn == "maxdex" || fn == "mindex") {
+      expect_args(1, 2);
+      Operand p = gen_expr(e.args[0]);
+      if (p.cls != VarClass::kParallel)
+        throw CompileError(e.line, fn + ": first argument must be parallel");
+      auto [mreg, mop] = reduction_mask(e, 1);
+      Operand v = make_temp(VarClass::kScalar, e.line);
+      emit(std::string(fn == "maxdex" ? "rmaxu" : "rminu") + " " + v.reg +
+           ", " + p.reg + " ?" + mreg);
+      Operand hit = make_temp(VarClass::kFlag, e.line);
+      emit("pceqs " + hit.reg + ", " + v.reg + ", " + p.reg);
+      emit("pfand " + hit.reg + ", " + hit.reg + ", " + mreg);
+      Operand sel = make_temp(VarClass::kFlag, e.line);
+      emit("rsel " + sel.reg + ", " + hit.reg);
+      Operand dst = finish(v, VarClass::kScalar, e.line, hint);
+      emit("rmaxu " + dst.reg + ", p15 ?" + sel.reg);
+      release(p);
+      release(mop);
+      release(hit);
+      release(sel);
+      return dst;
+    }
+
+    if (fn == "get" || fn == "getindex") {
+      if (foreach_sel_.empty())
+        throw CompileError(e.line, fn + "() is only valid inside foreach");
+      Operand dst = dest(VarClass::kScalar, e.line, hint);
+      if (fn == "getindex") {
+        expect_args(0, 0);
+        emit("rmaxu " + dst.reg + ", p15 ?" + foreach_sel_.back());
+      } else {
+        expect_args(1, 1);
+        Operand p = gen_expr(e.args[0]);
+        if (p.cls != VarClass::kParallel)
+          throw CompileError(e.line, "get: argument must be parallel");
+        emit("rmaxu " + dst.reg + ", " + p.reg + " ?" + foreach_sel_.back());
+        release(p);
+      }
+      return dst;
+    }
+
+    throw CompileError(e.line, "unknown builtin '" + fn + "'");
+  }
+
+  // --- statements ----------------------------------------------------------------
+  void gen_block(const std::vector<Stmt>& body) {
+    for (const auto& s : body) gen_stmt(s);
+  }
+
+  Operand gen_scalar_cond(const Expr& e, const char* what) {
+    Operand c = gen_expr(e);
+    if (c.cls == VarClass::kFlag)
+      throw CompileError(e.line, std::string(what) +
+                                     ": condition is a flag — wrap it in any()");
+    if (c.cls != VarClass::kScalar)
+      throw CompileError(e.line, std::string(what) + ": condition must be scalar");
+    return c;
+  }
+
+  Operand gen_flag_cond(const Expr& e, const char* what) {
+    Operand c = gen_expr(e);
+    if (c.cls != VarClass::kFlag)
+      throw CompileError(e.line, std::string(what) + ": condition must be a flag");
+    return c;
+  }
+
+  void gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kHalt:
+        emit("halt");
+        return;
+
+      case Stmt::Kind::kStoreMem: {
+        Operand idx = gen_expr(*s.index);
+        if (idx.cls != VarClass::kScalar)
+          throw CompileError(s.line, "mem[] index must be scalar");
+        Operand v = gen_expr(*s.expr);
+        if (v.cls != VarClass::kScalar)
+          throw CompileError(s.line, "mem[] stores a scalar value");
+        emit("sw " + v.reg + ", 0(" + idx.reg + ")");
+        release(idx);
+        release(v);
+        return;
+      }
+
+      case Stmt::Kind::kStoreLocal: {
+        Operand addr = local_address(*s.index, s.line);
+        Operand v = gen_expr(*s.expr);
+        if (v.cls == VarClass::kScalar) {
+          Operand bc = make_temp(VarClass::kParallel, s.line);
+          emit("pbcast " + bc.reg + ", " + v.reg);
+          release(v);
+          v = bc;
+        } else if (v.cls != VarClass::kParallel) {
+          throw CompileError(s.line, "local[] stores a word value");
+        }
+        emit("psw " + v.reg + ", 0(" + addr.reg + ")" + mask_suffix());
+        release(addr);
+        release(v);
+        return;
+      }
+
+      case Stmt::Kind::kAssign: {
+        const Operand target = lookup(s.target, s.line);
+        // Scalar assignments always execute; parallel/flag targets can
+        // only be written directly when no mask is active.
+        const Hint hint{target.cls, target.reg};
+        const bool hintable =
+            target.cls == VarClass::kScalar || mask_stack_.empty();
+        Operand v = gen_expr(*s.expr, hintable ? &hint : nullptr);
+        switch (target.cls) {
+          case VarClass::kScalar:
+            if (v.cls != VarClass::kScalar)
+              throw CompileError(s.line, "cannot assign a " +
+                                             std::string(v.cls == VarClass::kFlag
+                                                             ? "flag" : "parallel value") +
+                                             " to scalar '" + s.target + "'");
+            if (v.reg != target.reg) emit("mov " + target.reg + ", " + v.reg);
+            break;
+          case VarClass::kParallel:
+            if (v.cls == VarClass::kScalar)
+              emit("pbcast " + target.reg + ", " + v.reg + mask_suffix());
+            else if (v.cls == VarClass::kParallel) {
+              if (v.reg != target.reg || !mask_stack_.empty())
+                emit("pmov " + target.reg + ", " + v.reg + mask_suffix());
+            } else {
+              throw CompileError(s.line, "cannot assign a flag to pint '" +
+                                             s.target + "'");
+            }
+            break;
+          case VarClass::kFlag:
+            if (v.cls != VarClass::kFlag)
+              throw CompileError(s.line, "pflag '" + s.target +
+                                             "' needs a flag expression");
+            if (v.reg != target.reg || !mask_stack_.empty())
+              emit("pfmov " + target.reg + ", " + v.reg + mask_suffix());
+            break;
+        }
+        release(v);
+        return;
+      }
+
+      case Stmt::Kind::kIf:
+      case Stmt::Kind::kAny: {
+        Operand c;
+        if (s.kind == Stmt::Kind::kIf) {
+          c = gen_scalar_cond(*s.expr, "if");
+        } else {
+          Operand f = gen_flag_cond(*s.expr, "any");
+          c = make_temp(VarClass::kScalar, s.line);
+          emit("rany " + c.reg + ", " + f.reg + mask_suffix());
+          release(f);
+        }
+        const auto lbl_else = fresh("else");
+        const auto lbl_end = fresh("endif");
+        emit("beq " + c.reg + ", r0, " + lbl_else);
+        release(c);
+        gen_block(s.body);
+        if (!s.else_body.empty()) emit("j " + lbl_end);
+        label(lbl_else);
+        if (!s.else_body.empty()) {
+          gen_block(s.else_body);
+          label(lbl_end);
+        }
+        return;
+      }
+
+      case Stmt::Kind::kWhile: {
+        const auto lbl_top = fresh("while");
+        const auto lbl_end = fresh("endwhile");
+        label(lbl_top);
+        Operand c = gen_scalar_cond(*s.expr, "while");
+        emit("beq " + c.reg + ", r0, " + lbl_end);
+        release(c);
+        gen_block(s.body);
+        emit("j " + lbl_top);
+        label(lbl_end);
+        return;
+      }
+
+      case Stmt::Kind::kWhere: {
+        Operand f = gen_flag_cond(*s.expr, "where");
+        Operand m = make_temp(VarClass::kFlag, s.line);
+        emit("pfand " + m.reg + ", " + f.reg + ", " + mask_reg());
+        release(f);
+        mask_stack_.push_back(m.reg);
+        gen_block(s.body);
+        mask_stack_.pop_back();
+        release(m);
+        return;
+      }
+
+      case Stmt::Kind::kForeach: {
+        Operand f = gen_flag_cond(*s.expr, "foreach");
+        Operand work = make_temp(VarClass::kFlag, s.line);
+        emit("pfand " + work.reg + ", " + f.reg + ", " + mask_reg());
+        release(f);
+        Operand sel = make_temp(VarClass::kFlag, s.line);
+        const auto lbl_top = fresh("foreach");
+        const auto lbl_end = fresh("endforeach");
+        label(lbl_top);
+        {
+          Operand t = make_temp(VarClass::kScalar, s.line);
+          emit("rany " + t.reg + ", " + work.reg);
+          emit("beq " + t.reg + ", r0, " + lbl_end);
+          release(t);
+        }
+        emit("rsel " + sel.reg + ", " + work.reg);
+        mask_stack_.push_back(sel.reg);
+        foreach_sel_.push_back(sel.reg);
+        gen_block(s.body);
+        foreach_sel_.pop_back();
+        mask_stack_.pop_back();
+        emit("pfandn " + work.reg + ", " + work.reg + ", " + sel.reg);
+        emit("j " + lbl_top);
+        label(lbl_end);
+        release(sel);
+        release(work);
+        return;
+      }
+    }
+  }
+
+  const ProgramAst& prog_;
+  std::ostringstream os_;
+  int counter_ = 0;
+  CompileResult result_;
+  std::map<std::string, Operand> vars_;
+  std::vector<std::string> mask_stack_;
+  std::vector<std::string> foreach_sel_;
+  Pool scalar_temps_{"scalar", {"r13", "r14", "r15", "r3", "r2", "r1"}};
+  Pool parallel_temps_{"parallel", {"p11", "p12", "p13", "p14"}};
+  Pool flag_temps_{"flag", {"pf4", "pf5", "pf6", "pf7"}};
+};
+
+}  // namespace
+
+CompileResult compile(const std::string& source) {
+  return CodeGen(parse(source)).run();
+}
+
+}  // namespace masc::ascal

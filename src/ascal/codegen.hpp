@@ -1,0 +1,28 @@
+// ASCAL → MASC assembly code generation.
+//
+// Register convention (compiler-reserved, documented in docs/ASCAL.md):
+//   scalar vars   r4..r12      scalar temps  r13-r15, r3-r1
+//   parallel vars p1..p10      parallel temps p11..p14, PE index p15
+//   flag vars     pf1..pf3     flag temps    pf4..pf7
+// Exceeding a pool is a CompileError, as is any type mismatch.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ascal/ast.hpp"
+#include "common/types.hpp"
+
+namespace masc::ascal {
+
+struct CompileResult {
+  std::string assembly;
+  std::map<std::string, RegNum> scalar_vars;    ///< name -> rN
+  std::map<std::string, RegNum> parallel_vars;  ///< name -> pN
+  std::map<std::string, RegNum> flag_vars;      ///< name -> pfN
+};
+
+/// Compile ASCAL source to assembly. Throws CompileError.
+CompileResult compile(const std::string& source);
+
+}  // namespace masc::ascal

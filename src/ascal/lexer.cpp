@@ -1,0 +1,100 @@
+#include "ascal/lexer.hpp"
+
+#include <cctype>
+
+#include "ascal/ast.hpp"
+
+namespace masc::ascal {
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  unsigned line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](Tok k, std::string text = "", std::int64_t v = 0) {
+    out.push_back(Token{k, std::move(text), v, line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') { ++line; ++i; continue; }
+    if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
+    if (c == '#' || (c == '/' && i + 1 < n && src[i + 1] == '/')) {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      int base = 10;
+      if (c == '0' && j + 1 < n && (src[j + 1] == 'x' || src[j + 1] == 'X')) {
+        base = 16;
+        j += 2;
+      }
+      std::int64_t v = 0;
+      const std::size_t digits_start = j;
+      for (; j < n; ++j) {
+        const char d = src[j];
+        int dv;
+        if (d >= '0' && d <= '9') dv = d - '0';
+        else if (base == 16 && d >= 'a' && d <= 'f') dv = d - 'a' + 10;
+        else if (base == 16 && d >= 'A' && d <= 'F') dv = d - 'A' + 10;
+        else break;
+        v = v * base + dv;
+        if (v > 0xFFFFFFFFLL) throw CompileError(line, "integer literal too large");
+      }
+      if (j == digits_start) throw CompileError(line, "malformed integer literal");
+      push(Tok::kInt, "", v);
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) || src[j] == '_'))
+        ++j;
+      push(Tok::kIdent, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && src[i + 1] == b;
+    };
+    if (two('=', '=')) { push(Tok::kEq); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::kNe); i += 2; continue; }
+    if (two('<', '=')) { push(Tok::kLe); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::kGe); i += 2; continue; }
+    if (two('<', '<')) { push(Tok::kShl); i += 2; continue; }
+    if (two('>', '>')) { push(Tok::kShr); i += 2; continue; }
+    if (two('&', '&')) { push(Tok::kAmp); i += 2; continue; }   // && == &
+    if (two('|', '|')) { push(Tok::kPipe); i += 2; continue; }  // || == |
+    switch (c) {
+      case '(': push(Tok::kLParen); break;
+      case ')': push(Tok::kRParen); break;
+      case '{': push(Tok::kLBrace); break;
+      case '}': push(Tok::kRBrace); break;
+      case '[': push(Tok::kLBracket); break;
+      case ']': push(Tok::kRBracket); break;
+      case ',': push(Tok::kComma); break;
+      case ';': push(Tok::kSemi); break;
+      case '=': push(Tok::kAssign); break;
+      case '+': push(Tok::kPlus); break;
+      case '-': push(Tok::kMinus); break;
+      case '*': push(Tok::kStar); break;
+      case '/': push(Tok::kSlash); break;
+      case '%': push(Tok::kPercent); break;
+      case '&': push(Tok::kAmp); break;
+      case '|': push(Tok::kPipe); break;
+      case '^': push(Tok::kCaret); break;
+      case '!': push(Tok::kBang); break;
+      case '<': push(Tok::kLt); break;
+      case '>': push(Tok::kGt); break;
+      default:
+        throw CompileError(line, std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+  out.push_back(Token{Tok::kEnd, "", 0, line});
+  return out;
+}
+
+}  // namespace masc::ascal

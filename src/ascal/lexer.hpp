@@ -1,0 +1,31 @@
+// ASCAL tokenizer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace masc::ascal {
+
+enum class Tok : std::uint8_t {
+  kIdent, kInt,
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket, kComma, kSemi,
+  kAssign,                    // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kBang, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::int64_t value = 0;
+  unsigned line = 1;
+};
+
+/// Tokenize ASCAL source; throws CompileError on stray characters or
+/// malformed literals. Comments: '//' and '#'.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace masc::ascal

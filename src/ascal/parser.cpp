@@ -1,0 +1,295 @@
+#include "ascal/parser.hpp"
+
+#include "ascal/lexer.hpp"
+
+namespace masc::ascal {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : toks_(lex(src)) {}
+
+  ProgramAst run() {
+    ProgramAst prog;
+    // Declarations first.
+    while (at_ident("int") || at_ident("pint") || at_ident("pflag")) {
+      const VarClass vc = cur().text == "int"    ? VarClass::kScalar
+                          : cur().text == "pint" ? VarClass::kParallel
+                                                 : VarClass::kFlag;
+      take();
+      for (;;) {
+        const Token name = expect(Tok::kIdent, "variable name");
+        check_not_keyword(name);
+        prog.decls.push_back(Declaration{vc, name.text, name.line});
+        if (!at(Tok::kComma)) break;
+        take();
+      }
+      expect(Tok::kSemi, "';'");
+    }
+    while (!at(Tok::kEnd)) prog.stmts.push_back(statement());
+    return prog;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool at_ident(const char* s) const {
+    return cur().kind == Tok::kIdent && cur().text == s;
+  }
+  Token take() { return toks_[pos_++]; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw CompileError(cur().line, msg);
+  }
+
+  Token expect(Tok k, const char* what) {
+    if (!at(k)) fail(std::string("expected ") + what);
+    return take();
+  }
+
+  static bool is_keyword(const std::string& s) {
+    return s == "int" || s == "pint" || s == "pflag" || s == "if" ||
+           s == "else" || s == "while" || s == "any" || s == "where" ||
+           s == "foreach" || s == "halt" || s == "mem" || s == "local";
+  }
+
+  /// Parse the '[ expr ]' of a mem/local access (keyword already taken).
+  Expr bracket_index() {
+    expect(Tok::kLBracket, "'['");
+    Expr idx = expression();
+    expect(Tok::kRBracket, "']'");
+    return idx;
+  }
+
+  void check_not_keyword(const Token& t) {
+    if (is_keyword(t.text))
+      throw CompileError(t.line, "'" + t.text + "' is a reserved word");
+  }
+
+  // --- statements -----------------------------------------------------------
+  std::vector<Stmt> block() {
+    expect(Tok::kLBrace, "'{'");
+    std::vector<Stmt> out;
+    while (!at(Tok::kRBrace)) {
+      if (at(Tok::kEnd)) fail("unterminated block");
+      out.push_back(statement());
+    }
+    take();
+    return out;
+  }
+
+  Stmt statement() {
+    Stmt s;
+    s.line = cur().line;
+    if (at_ident("halt")) {
+      take();
+      expect(Tok::kSemi, "';'");
+      s.kind = Stmt::Kind::kHalt;
+      return s;
+    }
+    if (at_ident("mem") || at_ident("local")) {
+      const bool is_mem = cur().text == "mem";
+      take();
+      s.kind = is_mem ? Stmt::Kind::kStoreMem : Stmt::Kind::kStoreLocal;
+      s.index = bracket_index();
+      expect(Tok::kAssign, "'='");
+      s.expr = expression();
+      expect(Tok::kSemi, "';'");
+      return s;
+    }
+    if (at_ident("if") || at_ident("while") || at_ident("any") ||
+        at_ident("where") || at_ident("foreach")) {
+      const std::string kw = take().text;
+      expect(Tok::kLParen, "'('");
+      s.expr = expression();
+      expect(Tok::kRParen, "')'");
+      s.body = block();
+      if (kw == "if") s.kind = Stmt::Kind::kIf;
+      else if (kw == "while") s.kind = Stmt::Kind::kWhile;
+      else if (kw == "any") s.kind = Stmt::Kind::kAny;
+      else if (kw == "where") s.kind = Stmt::Kind::kWhere;
+      else s.kind = Stmt::Kind::kForeach;
+      if ((s.kind == Stmt::Kind::kIf || s.kind == Stmt::Kind::kAny) &&
+          at_ident("else")) {
+        take();
+        s.else_body = block();
+      }
+      return s;
+    }
+    // Assignment.
+    const Token name = expect(Tok::kIdent, "statement");
+    check_not_keyword(name);
+    expect(Tok::kAssign, "'='");
+    s.kind = Stmt::Kind::kAssign;
+    s.target = name.text;
+    s.expr = expression();
+    expect(Tok::kSemi, "';'");
+    return s;
+  }
+
+  // --- expressions (precedence climbing) -------------------------------------
+  Expr expression() { return parse_or(); }
+
+  Expr binary(Expr lhs, const char* op, Expr rhs, unsigned line) {
+    Expr e;
+    e.kind = Expr::Kind::kBinary;
+    e.op = op;
+    e.line = line;
+    e.args.push_back(std::move(lhs));
+    e.args.push_back(std::move(rhs));
+    return e;
+  }
+
+  Expr parse_or() {
+    Expr lhs = parse_xor();
+    while (at(Tok::kPipe)) {
+      const unsigned line = take().line;
+      lhs = binary(std::move(lhs), "|", parse_xor(), line);
+    }
+    return lhs;
+  }
+
+  Expr parse_xor() {
+    Expr lhs = parse_and();
+    while (at(Tok::kCaret)) {
+      const unsigned line = take().line;
+      lhs = binary(std::move(lhs), "^", parse_and(), line);
+    }
+    return lhs;
+  }
+
+  Expr parse_and() {
+    Expr lhs = parse_equality();
+    while (at(Tok::kAmp)) {
+      const unsigned line = take().line;
+      lhs = binary(std::move(lhs), "&", parse_equality(), line);
+    }
+    return lhs;
+  }
+
+  Expr parse_equality() {
+    Expr lhs = parse_relational();
+    while (at(Tok::kEq) || at(Tok::kNe)) {
+      const bool eq = at(Tok::kEq);
+      const unsigned line = take().line;
+      lhs = binary(std::move(lhs), eq ? "==" : "!=", parse_relational(), line);
+    }
+    return lhs;
+  }
+
+  Expr parse_relational() {
+    Expr lhs = parse_shift();
+    while (at(Tok::kLt) || at(Tok::kLe) || at(Tok::kGt) || at(Tok::kGe)) {
+      const Tok k = cur().kind;
+      const unsigned line = take().line;
+      const char* op = k == Tok::kLt   ? "<"
+                       : k == Tok::kLe ? "<="
+                       : k == Tok::kGt ? ">"
+                                       : ">=";
+      lhs = binary(std::move(lhs), op, parse_shift(), line);
+    }
+    return lhs;
+  }
+
+  Expr parse_shift() {
+    Expr lhs = parse_additive();
+    while (at(Tok::kShl) || at(Tok::kShr)) {
+      const bool shl = at(Tok::kShl);
+      const unsigned line = take().line;
+      lhs = binary(std::move(lhs), shl ? "<<" : ">>", parse_additive(), line);
+    }
+    return lhs;
+  }
+
+  Expr parse_additive() {
+    Expr lhs = parse_multiplicative();
+    while (at(Tok::kPlus) || at(Tok::kMinus)) {
+      const bool plus = at(Tok::kPlus);
+      const unsigned line = take().line;
+      lhs = binary(std::move(lhs), plus ? "+" : "-", parse_multiplicative(), line);
+    }
+    return lhs;
+  }
+
+  Expr parse_multiplicative() {
+    Expr lhs = parse_unary();
+    while (at(Tok::kStar) || at(Tok::kSlash) || at(Tok::kPercent)) {
+      const Tok k = cur().kind;
+      const unsigned line = take().line;
+      const char* op = k == Tok::kStar ? "*" : k == Tok::kSlash ? "/" : "%";
+      lhs = binary(std::move(lhs), op, parse_unary(), line);
+    }
+    return lhs;
+  }
+
+  Expr parse_unary() {
+    if (at(Tok::kBang) || at(Tok::kMinus)) {
+      const bool bang = at(Tok::kBang);
+      const unsigned line = take().line;
+      Expr e;
+      e.kind = Expr::Kind::kUnary;
+      e.op = bang ? "!" : "-";
+      e.line = line;
+      e.args.push_back(parse_unary());
+      return e;
+    }
+    return parse_primary();
+  }
+
+  Expr parse_primary() {
+    Expr e;
+    e.line = cur().line;
+    if (at(Tok::kInt)) {
+      e.kind = Expr::Kind::kIntLit;
+      e.value = take().value;
+      return e;
+    }
+    if (at(Tok::kLParen)) {
+      take();
+      e = expression();
+      expect(Tok::kRParen, "')'");
+      return e;
+    }
+    if (at(Tok::kIdent)) {
+      const Token name = take();
+      if (name.text == "mem" || name.text == "local") {
+        e.kind = name.text == "mem" ? Expr::Kind::kMemRead
+                                    : Expr::Kind::kLocalRead;
+        e.args.push_back(bracket_index());
+        return e;
+      }
+      // 'any' doubles as a statement keyword and an expression builtin
+      // (`a = any(f);`); every other keyword is statement-only.
+      if (is_keyword(name.text) && !(name.text == "any" && at(Tok::kLParen)))
+        throw CompileError(name.line, "unexpected '" + name.text + "'");
+      if (at(Tok::kLParen)) {
+        take();
+        e.kind = Expr::Kind::kCall;
+        e.name = name.text;
+        if (!at(Tok::kRParen)) {
+          for (;;) {
+            e.args.push_back(expression());
+            if (!at(Tok::kComma)) break;
+            take();
+          }
+        }
+        expect(Tok::kRParen, "')'");
+        return e;
+      }
+      e.kind = Expr::Kind::kVar;
+      e.name = name.text;
+      return e;
+    }
+    fail("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ProgramAst parse(const std::string& source) { return Parser(source).run(); }
+
+}  // namespace masc::ascal

@@ -1,0 +1,13 @@
+// ASCAL recursive-descent parser.
+#pragma once
+
+#include <string>
+
+#include "ascal/ast.hpp"
+
+namespace masc::ascal {
+
+/// Parse ASCAL source into an AST. Throws CompileError with line info.
+ProgramAst parse(const std::string& source);
+
+}  // namespace masc::ascal

@@ -1,0 +1,210 @@
+#include "asclib/algorithms/hull.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "asclib/kernels.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/saturate.hpp"
+
+namespace masc::asc {
+
+namespace {
+
+// Scalar-memory layout.
+// The stack may hold up to 2 + 2n frames of 5 words (n <= 100), so the
+// hull output area starts well clear of it.
+constexpr Addr kStackBase = 256;   // software recursion stack (5-word frames)
+constexpr Addr kHullBase = 2048;   // output hull points, (x, y) pairs
+// Local-memory layout: columns 0/1 hold x/y; candidate-mask columns
+// follow from column 2, allocated monotonically (never reused).
+constexpr int kFirstMaskCol = 2;
+
+/// Emit cross-product computation: p5 <- (B-A) x (P-A) for every PE's
+/// point P = (p1, p2), with the edge endpoints in scalar registers.
+/// Uses r14/r15 and p3/p4 as scratch.
+void emit_cross(KernelBuilder& k, const char* ax, const char* ay,
+                const char* bx, const char* by) {
+  k.comment(std::string("cross = (") + bx + "-" + ax + ")*(py-" + ay +
+            ") - (" + by + "-" + ay + ")*(px-" + ax + ")");
+  k.line(std::string("sub r14, ") + bx + ", " + ax);
+  k.line(std::string("sub r15, ") + by + ", " + ay);
+  k.line(std::string("pbcast p3, ") + ay);
+  k.line("psub p3, p2, p3");
+  k.line("pmuls p4, r14, p3");
+  k.line(std::string("pbcast p3, ") + ax);
+  k.line("psub p3, p1, p3");
+  k.line("pmuls p3, r15, p3");
+  k.line("psub p5, p4, p3");
+}
+
+/// Emit: compute candidates strictly left of edge (ax,ay)->(bx,by) among
+/// parallel flag `among`, store as a fresh mask column (counter in r1),
+/// and push the frame (ax ay bx by col) on the stack (sp in r7).
+void emit_partition_and_push(KernelBuilder& k, const char* ax, const char* ay,
+                             const char* bx, const char* by,
+                             const char* among) {
+  emit_cross(k, ax, ay, bx, by);
+  k.line("pclts pf3, r0, p5");  // 0 < cross  (strictly left)
+  k.line(std::string("pfand pf3, pf3, ") + among);
+  k.flag_to_word("p4", "pf3");
+  k.line("pbcast p3, r1");
+  k.line("psw p4, 0(p3)");
+  k.line(std::string("sw ") + ax + ", 0(r7)");
+  k.line(std::string("sw ") + ay + ", 1(r7)");
+  k.line(std::string("sw ") + bx + ", 2(r7)");
+  k.line(std::string("sw ") + by + ", 3(r7)");
+  k.line("sw r1, 4(r7)");
+  k.line("addi r7, r7, 5");
+  k.line("addi r1, r1, 1");
+}
+
+}  // namespace
+
+AscHull::AscHull(const MachineConfig& cfg, std::vector<Point> points)
+    : cfg_(cfg), points_(std::move(points)) {
+  const std::size_t n = points_.size();
+  expect(n >= 3, "AscHull: need at least three points");
+  expect(n <= cfg_.num_pes, "AscHull: more points than PEs");
+  expect(n <= 100, "AscHull: too many points for the mask-column layout");
+  expect(cfg_.num_scalar_regs >= 16, "AscHull: kernel needs 16 scalar registers");
+  // Mask columns: at most 2 per recorded hull point + 2 initial.
+  expect(kFirstMaskCol + 2 * n + 2 <= cfg_.local_mem_bytes,
+         "AscHull: local memory too small");
+  Word max_coord = 0;
+  for (const auto& [x, y] : points_) max_coord = std::max({max_coord, x, y});
+  const DWord worst = 2 * static_cast<DWord>(max_coord) * max_coord;
+  const auto limit = static_cast<DWord>(
+      sign_extend(signed_max_word(cfg_.word_width), cfg_.word_width));
+  expect(worst <= limit,
+         "AscHull: coordinates too large — cross products would overflow");
+}
+
+AscHull::Result AscHull::run() {
+  KernelBuilder k;
+  // Register map: r2..r5 current edge (A, B); r6 hull write pointer;
+  // r7 stack pointer; r8 = n (arg); r9 popped mask column; r10/r11 the
+  // farthest point F (and scratch); r12 stack base; r13 hull count;
+  // r1 next free mask column; r14/r15 cross-product scratch.
+  k.standard_prologue();
+  k.line("pcgts pf5, r8, p6");  // valid points: pe < n
+  k.line("plw p1, 0(p0)");      // x
+  k.line("plw p2, 1(p0)");      // y
+  k.line("li r12, " + std::to_string(kStackBase));
+  k.line("mov r7, r12");
+  k.line("li r6, " + std::to_string(kHullBase));
+  k.line("li r1, " + std::to_string(kFirstMaskCol));
+  k.line("li r13, 0");
+
+  k.comment("A = a point with minimum x, B = one with maximum x");
+  k.line("rminu r2, p1 ?pf5");
+  k.line("pceqs pf1, r2, p1");
+  k.line("pfand pf1, pf1, pf5");
+  k.line("rsel pf2, pf1");
+  k.line("rmaxu r3, p2 ?pf2");
+  k.line("rmaxu r4, p1 ?pf5");
+  k.line("pceqs pf1, r4, p1");
+  k.line("pfand pf1, pf1, pf5");
+  k.line("rsel pf2, pf1");
+  k.line("rmaxu r5, p2 ?pf2");
+
+  k.comment("record A and B as hull vertices");
+  k.line("sw r2, 0(r6)");
+  k.line("sw r3, 1(r6)");
+  k.line("sw r4, 2(r6)");
+  k.line("sw r5, 3(r6)");
+  k.line("addi r6, r6, 4");
+  k.line("li r13, 2");
+
+  k.comment("seed the stack with both sides of the A-B line");
+  k.line("pfmov pf1, pf5");
+  emit_partition_and_push(k, "r2", "r3", "r4", "r5", "pf1");
+  emit_partition_and_push(k, "r4", "r5", "r2", "r3", "pf1");
+
+  const auto loop = k.fresh("qh_loop");
+  const auto edge_done = k.fresh("qh_edge");
+  const auto done = k.fresh("qh_done");
+  k.label(loop);
+  k.line("beq r7, r12, " + done);
+  k.comment("pop frame: edge (A,B) + candidate mask column");
+  k.line("addi r7, r7, -5");
+  k.line("lw r2, 0(r7)");
+  k.line("lw r3, 1(r7)");
+  k.line("lw r4, 2(r7)");
+  k.line("lw r5, 3(r7)");
+  k.line("lw r9, 4(r7)");
+  k.line("pbcast p3, r9");
+  k.line("plw p4, 0(p3)");
+  k.line("pcnes pf1, r0, p4");
+  emit_cross(k, "r2", "r3", "r4", "r5");
+  k.line("pclts pf2, r0, p5");
+  k.line("pfand pf2, pf2, pf1");
+  k.line("rany r10, pf2");
+  k.line("beq r10, r0, " + edge_done);
+  k.comment("F = candidate with maximum (signed) cross distance");
+  k.line("rmax r11, p5 ?pf2");
+  k.line("pceqs pf3, r11, p5");
+  k.line("pfand pf3, pf3, pf2");
+  k.line("rsel pf4, pf3");
+  k.line("rmaxu r10, p1 ?pf4");
+  k.line("rmaxu r11, p2 ?pf4");
+  k.line("sw r10, 0(r6)");
+  k.line("sw r11, 1(r6)");
+  k.line("addi r6, r6, 2");
+  k.line("addi r13, r13, 1");
+  k.comment("recurse on (A,F) and (F,B), restricted to this frame's set");
+  emit_partition_and_push(k, "r2", "r3", "r10", "r11", "pf1");
+  emit_partition_and_push(k, "r10", "r11", "r4", "r5", "pf1");
+  k.label(edge_done);
+  k.line("j " + loop);
+  k.label(done);
+  k.line("sw r13, 0(r0)");
+  k.line("halt");
+
+  AscMachine m(cfg_);
+  m.load_source(k.str());
+  std::vector<Word> xs, ys;
+  for (const auto& [x, y] : points_) {
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  m.bind_local_column(0, xs);
+  m.bind_local_column(1, ys);
+  m.set_arg(kArg0, static_cast<Word>(points_.size()));
+
+  Result res;
+  res.outcome = m.run();
+  expect(res.outcome.finished, "hull kernel timed out");
+  const Word count = m.mem(0);
+  for (Word i = 0; i < count; ++i)
+    res.hull.emplace_back(m.mem(kHullBase + 2 * i), m.mem(kHullBase + 2 * i + 1));
+  return res;
+}
+
+std::vector<AscHull::Point> AscHull::reference_hull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const std::size_t n = points.size();
+  if (n < 3) return points;
+  auto cross = [](const Point& o, const Point& a, const Point& b) {
+    return static_cast<SDWord>(static_cast<SDWord>(a.first) - o.first) *
+               (static_cast<SDWord>(b.second) - o.second) -
+           static_cast<SDWord>(static_cast<SDWord>(a.second) - o.second) *
+               (static_cast<SDWord>(b.first) - o.first);
+  };
+  std::vector<Point> hull(2 * n);
+  std::size_t sz = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower
+    while (sz >= 2 && cross(hull[sz - 2], hull[sz - 1], points[i]) <= 0) --sz;
+    hull[sz++] = points[i];
+  }
+  for (std::size_t i = n - 1, lower = sz + 1; i-- > 0;) {  // upper
+    while (sz >= lower && cross(hull[sz - 2], hull[sz - 1], points[i]) <= 0) --sz;
+    hull[sz++] = points[i];
+  }
+  hull.resize(sz - 1);
+  return hull;
+}
+
+}  // namespace masc::asc

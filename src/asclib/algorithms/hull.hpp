@@ -1,0 +1,45 @@
+// Associative Quickhull (2-D convex hull).
+//
+// One point per PE. Each Quickhull step is O(1) parallel work (two
+// broadcast subtractions + two multiplies to form every point's cross
+// product against the current edge) plus two reductions (max-distance
+// selection, responder pick) — so the machine does O(h) rounds for an
+// h-vertex hull, versus O(n log n)/O(n h) serial comparisons. Recursion
+// runs as a software stack in scalar memory with per-frame candidate
+// masks parked in PE local memory, demonstrating nontrivial control flow
+// on the architecture.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "asclib/asc_machine.hpp"
+
+namespace masc::asc {
+
+class AscHull {
+ public:
+  using Point = std::pair<Word, Word>;  ///< (x, y), unsigned coordinates
+
+  /// Requires: 3 <= n <= min(num_pes, 100); coordinates small enough
+  /// that cross products cannot overflow the signed word range
+  /// (2 * max_coord^2 < 2^(w-1)).
+  AscHull(const MachineConfig& cfg, std::vector<Point> points);
+
+  struct Result {
+    std::vector<Point> hull;  ///< hull vertices (unordered set)
+    RunOutcome outcome;
+  };
+
+  Result run();
+
+  /// Host reference: Andrew's monotone chain, collinear points excluded.
+  static std::vector<Point> reference_hull(std::vector<Point> points);
+
+ private:
+  MachineConfig cfg_;
+  std::vector<Point> points_;
+};
+
+}  // namespace masc::asc

@@ -1,0 +1,223 @@
+#include "asclib/algorithms/image.hpp"
+
+#include <algorithm>
+
+#include "asclib/kernels.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/saturate.hpp"
+
+namespace masc::asc {
+
+ImageKernels::ImageKernels(const MachineConfig& cfg) : cfg_(cfg) {}
+
+ImageKernels::GlobalStats ImageKernels::global_stats(
+    const std::vector<Word>& pixels) {
+  expect(!pixels.empty(), "global_stats: empty image");
+  const std::uint32_t slots = slots_for(pixels.size(), cfg_.num_pes);
+  expect(2 * slots <= 255 && 2 * slots <= cfg_.local_mem_bytes,
+         "global_stats: image too large for local memory layout");
+
+  // Layout: pixels at [0, S), validity at [S, 2S).
+  KernelBuilder k;
+  k.standard_prologue();
+  k.line("li r13, 0");   // sum
+  k.line("li r14, -1");  // min (unsigned identity)
+  k.line("li r15, 0");   // max
+  const auto loop = k.begin_slot_loop(slots, "r1", "r2", "p1");
+  k.line("plw p2, 0(p1)");
+  k.line("plw p3, " + std::to_string(slots) + "(p1)");
+  k.line("pcnes pf2, r0, p3");
+  k.comment("per-slot reductions through the sum and max/min units");
+  k.line("rsumu r3, p2 ?pf2");
+  k.line("rminu r4, p2 ?pf2");
+  k.line("rmaxu r5, p2 ?pf2");
+  k.line("add r13, r13, r3");
+  {
+    const auto keep = k.fresh("keepmin");
+    k.line("cltu sf1, r4, r14");
+    k.line("bfclr sf1, " + keep);
+    k.line("mov r14, r4");
+    k.label(keep);
+  }
+  {
+    const auto keep = k.fresh("keepmax");
+    k.line("cltu sf1, r15, r5");
+    k.line("bfclr sf1, " + keep);
+    k.line("mov r15, r5");
+    k.label(keep);
+  }
+  k.end_slot_loop(loop, "r1", "r2");
+  k.comment("mean = sum / count (count in r8)");
+  k.line("divu r12, r13, r8");
+  k.line("sw r12, 0(r0)");
+  k.line("halt");
+
+  AscMachine m(cfg_);
+  m.load_source(k.str());
+  m.bind_strided(0, pixels);
+  m.bind_strided_validity(slots, pixels.size());
+  m.set_arg(kArg0, static_cast<Word>(pixels.size()));
+
+  GlobalStats gs;
+  gs.outcome = m.run();
+  expect(gs.outcome.finished, "global_stats kernel timed out");
+  gs.sum = m.result(kRes0);
+  gs.min = m.result(kRes1);
+  gs.max = m.result(kRes2);
+  gs.mean = m.mem(0);
+  return gs;
+}
+
+ImageKernels::Histogram ImageKernels::histogram(const std::vector<Word>& pixels,
+                                                Word num_bins) {
+  expect(!pixels.empty(), "histogram: empty image");
+  expect(num_bins >= 1, "histogram: need at least one bin");
+  const std::uint32_t slots = slots_for(pixels.size(), cfg_.num_pes);
+  expect(2 * slots <= 255 && 2 * slots <= cfg_.local_mem_bytes,
+         "histogram: image too large for local memory layout");
+
+  // Outer loop over bins (bin value broadcast as the compare key), inner
+  // loop over slots; counts accumulate into scalar memory [bin].
+  KernelBuilder k;
+  k.standard_prologue();
+  const auto bins = k.fresh("bins");
+  k.line("li r3, 0");                 // bin value
+  k.line("mov r4, r8");               // num_bins (arg)
+  k.label(bins);
+  k.line("li r13, 0");
+  const auto loop = k.begin_slot_loop(slots, "r1", "r2", "p1");
+  k.line("plw p2, 0(p1)");
+  k.line("plw p3, " + std::to_string(slots) + "(p1)");
+  k.line("pcnes pf2, r0, p3");
+  k.line("pceqs pf1, r3, p2");
+  k.line("pfand pf1, pf1, pf2");
+  k.line("rcount r5, pf1");
+  k.line("add r13, r13, r5");
+  k.end_slot_loop(loop, "r1", "r2");
+  k.line("sw r13, 0(r3)");
+  k.line("addi r3, r3, 1");
+  k.line("bne r3, r4, " + bins);
+  k.line("halt");
+
+  AscMachine m(cfg_);
+  m.load_source(k.str());
+  m.bind_strided(0, pixels);
+  m.bind_strided_validity(slots, pixels.size());
+  m.set_arg(kArg0, num_bins);
+
+  Histogram h;
+  h.outcome = m.run();
+  expect(h.outcome.finished, "histogram kernel timed out");
+  for (Word b = 0; b < num_bins; ++b) h.bins.push_back(m.mem(b));
+  return h;
+}
+
+ImageKernels::SadResult ImageKernels::sad_search(
+    const std::vector<std::vector<Word>>& windows,
+    const std::vector<Word>& tmpl) {
+  const auto num_windows = static_cast<std::uint32_t>(windows.size());
+  const auto m_len = static_cast<std::uint32_t>(tmpl.size());
+  expect(num_windows >= 1 && num_windows <= cfg_.num_pes,
+         "sad_search: window count must be in [1, num_pes]");
+  expect(m_len >= 1 && m_len <= 254, "sad_search: template too long");
+  expect(m_len + 1 <= cfg_.local_mem_bytes, "sad_search: local memory too small");
+  for (const auto& w : windows)
+    expect(w.size() == m_len, "sad_search: window/template length mismatch");
+
+  // Layout: window pixels at [0, m), template staged in scalar memory.
+  // Kernel: for each k, broadcast tmpl[k], accumulate |w[k] - t| in p5.
+  KernelBuilder k;
+  k.standard_prologue();
+  k.comment("valid windows: pe < count (count in r9)");
+  k.line("pcgts pf5, r9, p6");
+  k.line("pmovi p5, 0");
+  const auto loop = k.fresh("sad_loop");
+  k.line("li r1, 0");
+  k.line("li r2, " + std::to_string(m_len));
+  k.line("la r4, tmpl");
+  k.label(loop);
+  k.line("lw r3, 0(r4)");       // tmpl[k]
+  k.line("pbcast p1, r1");
+  k.line("plw p2, 0(p1)");      // window pixel k
+  k.comment("absolute difference via both subtractions and a select");
+  k.line("psubs p3, r3, p2");   // t - w
+  k.line("pbcast p4, r3");
+  k.line("psub p4, p2, p4");    // w - t
+  k.line("pcgtus pf1, r3, p2"); // t > w
+  k.line("pmov p4, p3 ?pf1");
+  k.line("padd p5, p5, p4");
+  k.line("addi r1, r1, 1");
+  k.line("addi r4, r4, 1");
+  k.line("bne r1, r2, " + loop);
+  k.comment("best window: min SAD + first responder");
+  k.line("rminu r13, p5 ?pf5");
+  k.line("pceqs pf2, r13, p5");
+  k.line("pfand pf2, pf2, pf5");
+  k.first_responder_index("r14", "pf2", "pf3");
+  k.line("halt");
+  k.line(".data");
+  k.label("tmpl");
+  {
+    std::string words = ".word ";
+    for (std::uint32_t i = 0; i < m_len; ++i) {
+      words += std::to_string(tmpl[i]);
+      if (i + 1 < m_len) words += ", ";
+    }
+    k.line(words);
+  }
+
+  AscMachine m(cfg_);
+  m.load_source(k.str());
+  for (PEIndex w = 0; w < num_windows; ++w)
+    for (std::uint32_t i = 0; i < m_len; ++i)
+      m.machine().state().set_local_mem(w, i, windows[w][i]);
+  m.set_arg(kArg1, num_windows);
+
+  SadResult res;
+  res.outcome = m.run();
+  expect(res.outcome.finished, "sad kernel timed out");
+  res.best_sad = m.result(kRes0);
+  res.best_window = m.result(kRes1);
+  return res;
+}
+
+ImageKernels::GlobalStats ImageKernels::reference_stats(
+    const std::vector<Word>& pixels, unsigned width) {
+  GlobalStats gs;
+  gs.min = low_mask(width);
+  gs.max = 0;
+  Word sum = 0;
+  for (const Word p : pixels) {
+    // Matches the machine: per-slot saturating tree sums accumulated with
+    // wrapping scalar adds would be hard to mirror exactly, so reference
+    // users keep pixel ranges small enough that nothing saturates.
+    sum = truncate(sum + p, width);
+    gs.min = std::min(gs.min, p);
+    gs.max = std::max(gs.max, p);
+  }
+  gs.sum = sum;
+  gs.mean = truncate(sum / static_cast<Word>(pixels.size()), width);
+  return gs;
+}
+
+ImageKernels::SadResult ImageKernels::reference_sad(
+    const std::vector<std::vector<Word>>& windows, const std::vector<Word>& tmpl,
+    unsigned width) {
+  SadResult best;
+  best.best_sad = low_mask(width);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    Word sad = 0;
+    for (std::size_t i = 0; i < tmpl.size(); ++i) {
+      const Word a = windows[w][i], b = tmpl[i];
+      sad = truncate(sad + (a > b ? a - b : b - a), width);
+    }
+    if (sad < best.best_sad) {
+      best.best_sad = sad;
+      best.best_window = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace masc::asc

@@ -1,0 +1,68 @@
+// Image/video kernels — the application domain the paper cites when
+// motivating the sum unit (§6.4: "it is used in a number of image and
+// video processing algorithms").
+//
+// Two workloads:
+//  * Global statistics (sum / mean / min / max) over an image distributed
+//    round-robin across PEs — a pure reduction-throughput workload.
+//  * SAD block matching (motion-estimation style): each PE holds one
+//    candidate window; the template is broadcast pixel by pixel and each
+//    PE accumulates |window - template|; an unsigned min-reduction plus
+//    responder selection returns the best-matching window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asclib/asc_machine.hpp"
+
+namespace masc::asc {
+
+class ImageKernels {
+ public:
+  explicit ImageKernels(const MachineConfig& cfg);
+
+  struct GlobalStats {
+    Word sum = 0;   ///< saturating at the machine word width
+    Word min = 0;
+    Word max = 0;
+    Word mean = 0;  ///< sum / count (machine division)
+    RunOutcome outcome;
+  };
+
+  /// Sum/min/max/mean over all pixels. Pixel count must fit the layout
+  /// (3 * slots <= 255).
+  GlobalStats global_stats(const std::vector<Word>& pixels);
+
+  struct Histogram {
+    std::vector<Word> bins;  ///< responder count per bin value [0, num_bins)
+    RunOutcome outcome;
+  };
+
+  /// Exact histogram over pixel values in [0, num_bins): one
+  /// broadcast-compare + responder count per (bin, slot) pair — the
+  /// response counter doing its canonical job.
+  Histogram histogram(const std::vector<Word>& pixels, Word num_bins);
+
+  struct SadResult {
+    std::size_t best_window = 0;  ///< index of the minimizing candidate
+    Word best_sad = 0;
+    RunOutcome outcome;
+  };
+
+  /// windows[w][k]: pixel k of candidate window w (one window per PE,
+  /// count <= num_pes); tmpl[k]: the template block.
+  SadResult sad_search(const std::vector<std::vector<Word>>& windows,
+                       const std::vector<Word>& tmpl);
+
+  /// Host references for validation.
+  static GlobalStats reference_stats(const std::vector<Word>& pixels,
+                                     unsigned width);
+  static SadResult reference_sad(const std::vector<std::vector<Word>>& windows,
+                                 const std::vector<Word>& tmpl, unsigned width);
+
+ private:
+  MachineConfig cfg_;
+};
+
+}  // namespace masc::asc

@@ -1,0 +1,112 @@
+#include "asclib/algorithms/mst.hpp"
+
+#include <algorithm>
+
+#include "asclib/kernels.hpp"
+#include "common/error.hpp"
+
+namespace masc::asc {
+
+AscMst::AscMst(const MachineConfig& cfg, std::vector<std::vector<Word>> weights)
+    : cfg_(cfg), weights_(std::move(weights)) {
+  const std::size_t n = weights_.size();
+  expect(n >= 2, "AscMst: need at least two vertices");
+  expect(n <= cfg_.num_pes, "AscMst: more vertices than PEs");
+  expect(n <= 255, "AscMst: adjacency rows exceed local-memory addressing");
+  expect(n + 1 <= cfg_.local_mem_bytes, "AscMst: local memory too small");
+  for (const auto& row : weights_)
+    expect(row.size() == n, "AscMst: adjacency matrix not square");
+}
+
+AscMst::Result AscMst::run() {
+  const auto n = static_cast<std::uint32_t>(weights_.size());
+
+  // Kernel registers:
+  //   p1 dist to tree, p2 broadcast scratch, p3 fetched weight column
+  //   pf1 in-tree, pf2 candidates, pf3 responders, pf4 selected, pf5 valid
+  //   r13 total weight, r1 loop counter, r3 current min, r4 new vertex id
+  // Vertex insertion order is written to scalar memory at [0, n).
+  KernelBuilder k;
+  k.standard_prologue();
+  k.comment("valid vertices: pe < n   (n in r8)");
+  k.line("pcgts pf5, r8, p6");
+  k.comment("start from vertex 0: in-tree = {0}");
+  k.line("pfclr pf1");
+  k.line("pceqs pf4, r0, p6");
+  k.line("pfor pf1, pf1, pf4");
+  k.comment("dist_i = w(i, 0)");
+  k.line("pbcast p2, r0");
+  k.line("plw p1, 0(p2)");
+  k.line("li r13, 0");
+  k.line("sw r0, 0(r0)");  // order[0] = vertex 0
+  k.line("li r1, 1");      // vertices added so far
+  k.line("li r2, " + std::to_string(n));
+  const auto loop = k.fresh("mst_loop");
+  k.label(loop);
+  k.comment("candidates = valid & ~in-tree");
+  k.line("pfandn pf2, pf5, pf1");
+  k.comment("global min distance over candidates");
+  k.line("rminu r3, p1 ?pf2");
+  k.comment("responders: candidates at the min; pick the first");
+  k.line("pceqs pf3, r3, p1");
+  k.line("pfand pf3, pf3, pf2");
+  k.first_responder_index("r4", "pf3", "pf4");
+  k.line("add r13, r13, r3");
+  k.line("sw r4, 0(r1)");  // record insertion order
+  k.comment("add the selected vertex to the tree (pf4 is its one-hot)");
+  k.line("pfor pf1, pf1, pf4");
+  k.comment("dist_i = min(dist_i, w(i, new))");
+  k.line("pbcast p2, r4");
+  k.line("plw p3, 0(p2)");
+  k.line("pcltu pf4, p3, p1");
+  k.line("pmov p1, p3 ?pf4");
+  k.line("addi r1, r1, 1");
+  k.line("bne r1, r2, " + loop);
+  k.line("halt");
+
+  AscMachine m(cfg_);
+  m.load_source(k.str());
+  for (PEIndex i = 0; i < n; ++i) {
+    std::vector<Word> row = weights_[i];
+    auto& st = m.machine().state();
+    for (std::uint32_t j = 0; j < n; ++j) st.set_local_mem(i, j, row[j]);
+  }
+  m.set_arg(kArg0, n);
+
+  Result res;
+  res.outcome = m.run();
+  expect(res.outcome.finished, "MST kernel timed out");
+  res.total_weight = m.result(kRes0);
+  for (std::uint32_t i = 0; i < n; ++i)
+    res.order.push_back(static_cast<PEIndex>(m.mem(i)));
+  return res;
+}
+
+Word AscMst::reference_weight(const std::vector<std::vector<Word>>& weights) {
+  const std::size_t n = weights.size();
+  std::vector<Word> dist(n, kNoEdge);
+  std::vector<bool> in_tree(n, false);
+  Word total = 0;
+  in_tree[0] = true;
+  for (std::size_t i = 0; i < n; ++i) dist[i] = weights[0][i];
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t best = 0;
+    Word best_w = kNoEdge;
+    bool found = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      if (!found || dist[v] < best_w) {
+        best = v;
+        best_w = dist[v];
+        found = true;
+      }
+    }
+    total += best_w;
+    in_tree[best] = true;
+    for (std::size_t v = 0; v < n; ++v)
+      if (!in_tree[v]) dist[v] = std::min(dist[v], weights[best][v]);
+  }
+  return total;
+}
+
+}  // namespace masc::asc

@@ -1,0 +1,43 @@
+// Minimum spanning tree in the classic ASC formulation (Prim's algorithm
+// with associative min-reduction and responder selection).
+//
+// One vertex per PE; each PE's local memory holds its adjacency row.
+// Each of the n-1 iterations does O(1) parallel work plus two
+// reductions, giving the O(n) ASC running time that made MST a flagship
+// demonstration of associative computing (Potter et al. [4]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asclib/asc_machine.hpp"
+
+namespace masc::asc {
+
+class AscMst {
+ public:
+  /// `weights[i][j]` is the edge weight between vertices i and j;
+  /// use kNoEdge for absent edges. Must be symmetric with a zero
+  /// diagonal; the graph must be connected. Requires n <= num_pes and
+  /// n <= 255 (local-memory addressing).
+  static constexpr Word kNoEdge = 0xFFFF;
+
+  AscMst(const MachineConfig& cfg, std::vector<std::vector<Word>> weights);
+
+  struct Result {
+    Word total_weight = 0;
+    std::vector<PEIndex> order;  ///< vertices in tree-insertion order
+    RunOutcome outcome;
+  };
+
+  Result run();
+
+  /// Host reference (Prim's, O(n^2)) for validation and benchmarking.
+  static Word reference_weight(const std::vector<std::vector<Word>>& weights);
+
+ private:
+  MachineConfig cfg_;
+  std::vector<std::vector<Word>> weights_;
+};
+
+}  // namespace masc::asc

@@ -1,0 +1,122 @@
+#include "asclib/algorithms/query.hpp"
+
+#include "asclib/kernels.hpp"
+#include "common/error.hpp"
+
+namespace masc::asc {
+
+namespace {
+
+/// Scalar-memory layout: query arguments from address 0 (one word per
+/// exact-match query; lo/hi pairs for ranges), results from kResultBase.
+constexpr Addr kResultBase = 256;
+
+}  // namespace
+
+ConcurrentQueries::ConcurrentQueries(const MachineConfig& cfg,
+                                     std::vector<Word> table)
+    : cfg_(cfg), table_(std::move(table)) {
+  expect(!table_.empty(), "ConcurrentQueries: empty table");
+  const auto slots = slots_for(table_.size(), cfg_.num_pes);
+  expect(2 * slots <= 255 && 2 * slots <= cfg_.local_mem_bytes,
+         "ConcurrentQueries: table too large for local memory layout");
+}
+
+ConcurrentQueries::BatchResult ConcurrentQueries::run_batch(
+    std::size_t num_queries, bool range, const std::vector<Word>& arg_words) {
+  expect(num_queries >= 1 && num_queries <= 64,
+         "ConcurrentQueries: batch size must be in [1, 64]");
+  const std::uint32_t slots = slots_for(table_.size(), cfg_.num_pes);
+  const std::string S = std::to_string(slots);
+
+  // Worker threads grab queries tid, tid+T, tid+2T, ...; every context
+  // (including thread 0, which falls through after spawning) runs the
+  // same worker body and exits, ending the machine without HALT.
+  KernelBuilder k;
+  k.label("main");
+  k.line("nthreads r1");
+  k.line("li r2, 1");
+  k.line("la r3, worker");
+  const auto spawn = k.fresh("spawn");
+  k.label(spawn);
+  k.line("bgeu r2, r1, body");
+  k.line("tspawn r4, r3");
+  k.line("addi r2, r2, 1");
+  k.line("j " + spawn);
+  k.label("worker");
+  k.label("body");
+  k.line("nthreads r1");
+  k.line("tid r10");
+  k.line("pindex p6");
+  k.line("li r11, " + std::to_string(num_queries));
+  const auto qloop = k.fresh("qloop");
+  const auto qdone = k.fresh("qdone");
+  k.label(qloop);
+  k.line("bgeu r10, r11, " + qdone);
+  if (range) {
+    k.line("slli r12, r10, 1");   // arg address = 2 * query
+    k.line("lw r8, 0(r12)");      // lo
+    k.line("lw r9, 1(r12)");      // hi
+  } else {
+    k.line("lw r8, 0(r10)");      // key
+  }
+  k.line("li r13, 0");
+  {
+    const auto sloop = k.fresh("sloop");
+    k.line("li r5, 0");
+    k.line("li r6, " + S);
+    k.label(sloop);
+    k.line("pbcast p1, r5");
+    k.line("plw p2, 0(p1)");
+    k.line("plw p3, " + S + "(p1)");
+    k.line("pcnes pf2, r0, p3");
+    if (range) {
+      k.line("pcleus pf1, r8, p2");
+      k.line("pcgeus pf3, r9, p2");
+      k.line("pfand pf1, pf1, pf3");
+    } else {
+      k.line("pceqs pf1, r8, p2");
+    }
+    k.line("pfand pf1, pf1, pf2");
+    k.line("rcount r3, pf1");
+    k.line("add r13, r13, r3");
+    k.line("addi r5, r5, 1");
+    k.line("bne r5, r6, " + sloop);
+  }
+  k.line("addi r12, r10, " + std::to_string(kResultBase));
+  k.line("sw r13, 0(r12)");
+  k.line("add r10, r10, r1");
+  k.line("j " + qloop);
+  k.label(qdone);
+  k.line("texit");
+
+  AscMachine m(cfg_);
+  m.load_source(k.str());
+  m.bind_strided(0, table_);
+  m.bind_strided_validity(slots, table_.size());
+  m.bind_scalar_mem(0, arg_words);
+
+  BatchResult res;
+  res.outcome = m.run();
+  expect(res.outcome.finished, "query batch timed out");
+  for (std::size_t q = 0; q < num_queries; ++q)
+    res.counts.push_back(m.mem(kResultBase + static_cast<Addr>(q)));
+  return res;
+}
+
+ConcurrentQueries::BatchResult ConcurrentQueries::count_equal(
+    const std::vector<Word>& keys) {
+  return run_batch(keys.size(), /*range=*/false, keys);
+}
+
+ConcurrentQueries::BatchResult ConcurrentQueries::count_in_range(
+    const std::vector<std::pair<Word, Word>>& ranges) {
+  std::vector<Word> args;
+  for (const auto& [lo, hi] : ranges) {
+    args.push_back(lo);
+    args.push_back(hi);
+  }
+  return run_batch(ranges.size(), /*range=*/true, args);
+}
+
+}  // namespace masc::asc

@@ -1,0 +1,42 @@
+// Concurrent associative queries — the workload shape the multithreaded
+// design exists for: many independent searches over one shared
+// in-memory table. Each hardware thread processes a slice of the query
+// batch; while one thread waits out its reduction latency, the others
+// keep the issue slot and the broadcast/reduction networks full
+// (the networks accept one operation per cycle, paper §6.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asclib/asc_machine.hpp"
+
+namespace masc::asc {
+
+class ConcurrentQueries {
+ public:
+  /// The table is distributed round-robin across PEs (shared by all
+  /// threads — local memory is thread-shared, paper §6.2).
+  ConcurrentQueries(const MachineConfig& cfg, std::vector<Word> table);
+
+  struct BatchResult {
+    std::vector<Word> counts;  ///< responder count per query
+    RunOutcome outcome;
+  };
+
+  /// Run one exact-match query per batch entry, split across all
+  /// hardware threads. Up to 64 queries per batch.
+  BatchResult count_equal(const std::vector<Word>& keys);
+
+  /// Range queries: count of lo <= field <= hi per (lo, hi) pair.
+  BatchResult count_in_range(const std::vector<std::pair<Word, Word>>& ranges);
+
+ private:
+  BatchResult run_batch(std::size_t num_queries, bool range,
+                        const std::vector<Word>& arg_words);
+
+  MachineConfig cfg_;
+  std::vector<Word> table_;
+};
+
+}  // namespace masc::asc

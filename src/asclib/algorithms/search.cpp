@@ -1,0 +1,168 @@
+#include "asclib/algorithms/search.hpp"
+
+#include "asclib/kernels.hpp"
+#include "common/error.hpp"
+
+namespace masc::asc {
+
+namespace {
+
+/// Local-memory layout: field column(s) at [0, S), validity at [S, 2S),
+/// responder bitmap written by the kernel at [2S, 3S).
+struct Layout {
+  std::uint32_t slots;
+  Addr field() const { return 0; }
+  Addr valid() const { return slots; }
+  Addr bitmap() const { return 2 * slots; }
+};
+
+}  // namespace
+
+AssociativeSearch::AssociativeSearch(const MachineConfig& cfg,
+                                     std::vector<Word> field)
+    : cfg_(cfg), field_(std::move(field)) {
+  expect(!field_.empty(), "AssociativeSearch: empty table");
+  const auto slots = slots_for(field_.size(), cfg_.num_pes);
+  // plw/psw offsets are 9-bit immediates; 3 columns must stay reachable.
+  expect(3 * slots <= 255, "AssociativeSearch: table too large for layout");
+  expect(3 * slots <= cfg_.local_mem_bytes,
+         "AssociativeSearch: local memory too small");
+}
+
+AscMachine AssociativeSearch::fresh_machine(const std::string& src) {
+  AscMachine m(cfg_);
+  m.load_source(src);
+  const Layout lay{slots_for(field_.size(), cfg_.num_pes)};
+  m.bind_strided(lay.field(), field_);
+  m.bind_strided_validity(lay.valid(), field_.size());
+  return m;
+}
+
+AssociativeSearch::MatchResult AssociativeSearch::match_query(Cmp cmp, Word a,
+                                                              Word b) {
+  const Layout lay{slots_for(field_.size(), cfg_.num_pes)};
+  KernelBuilder k;
+  k.standard_prologue();
+  k.line("li r13, 0");
+  const auto loop = k.begin_slot_loop(lay.slots, "r1", "r2", "p1");
+  k.line("plw p2, " + std::to_string(lay.field()) + "(p1)");
+  k.line("plw p3, " + std::to_string(lay.valid()) + "(p1)");
+  k.line("pcnes pf2, r0, p3");
+  if (cmp == Cmp::kEq) {
+    k.comment("responders: field == key (key in r8)");
+    k.line("pceqs pf1, r8, p2");
+  } else {
+    k.comment("responders: lo <= field <= hi (lo in r8, hi in r9)");
+    k.line("pcleus pf1, r8, p2");
+    k.line("pcgeus pf3, r9, p2");
+    k.line("pfand pf1, pf1, pf3");
+  }
+  k.line("pfand pf1, pf1, pf2");
+  k.line("rcount r3, pf1");
+  k.line("add r13, r13, r3");
+  k.flag_to_word("p4", "pf1");
+  k.line("psw p4, " + std::to_string(lay.bitmap()) + "(p1)");
+  k.end_slot_loop(loop, "r1", "r2");
+  k.line("halt");
+
+  AscMachine m = fresh_machine(k.str());
+  m.set_arg(kArg0, a);
+  m.set_arg(kArg1, b);
+
+  MatchResult res;
+  res.outcome = m.run();
+  expect(res.outcome.finished, "search kernel timed out");
+  res.count = m.result(kRes0);
+  res.any = res.count != 0;
+  const auto bitmap = m.read_strided(lay.bitmap(), field_.size());
+  for (std::size_t i = 0; i < bitmap.size(); ++i)
+    if (bitmap[i]) res.positions.push_back(i);
+  return res;
+}
+
+AssociativeSearch::MatchResult AssociativeSearch::exact_match(Word key) {
+  return match_query(Cmp::kEq, key, 0);
+}
+
+AssociativeSearch::MatchResult AssociativeSearch::range_query(Word lo, Word hi) {
+  return match_query(Cmp::kRange, lo, hi);
+}
+
+namespace {
+
+/// Shared max/min kernel: pass 1 reduces the extremum across slots into
+/// r13; pass 2 locates the first record attaining it (index into r14).
+std::string extremum_kernel(const Layout& lay, bool maximize) {
+  KernelBuilder k;
+  k.standard_prologue();
+  k.line(maximize ? "li r13, 0" : "li r13, -1");  // identity for unsigned
+  {
+    const auto loop = k.begin_slot_loop(lay.slots, "r1", "r2", "p1");
+    k.line("plw p2, " + std::to_string(lay.field()) + "(p1)");
+    k.line("plw p3, " + std::to_string(lay.valid()) + "(p1)");
+    k.line("pcnes pf2, r0, p3");
+    k.line(std::string(maximize ? "rmaxu" : "rminu") + " r3, p2 ?pf2");
+    const auto keep = k.fresh("keep");
+    // Update the running extremum. Empty slots return the reduction
+    // identity, which never wins the comparison.
+    if (maximize) {
+      k.line("cltu sf1, r13, r3");
+    } else {
+      k.line("cltu sf1, r3, r13");
+    }
+    k.line("bfclr sf1, " + keep);
+    k.line("mov r13, r3");
+    k.label(keep);
+    k.end_slot_loop(loop, "r1", "r2");
+  }
+  k.comment("pass 2: first record with field == extremum");
+  k.line("npes r5");
+  k.line("li r6, 0");  // index of slot base
+  {
+    const auto loop = k.begin_slot_loop(lay.slots, "r1", "r2", "p1");
+    const auto next = k.fresh("next");
+    const auto done = k.fresh("done");
+    k.line("plw p2, " + std::to_string(lay.field()) + "(p1)");
+    k.line("plw p3, " + std::to_string(lay.valid()) + "(p1)");
+    k.line("pcnes pf2, r0, p3");
+    k.line("pceqs pf1, r13, p2");
+    k.line("pfand pf1, pf1, pf2");
+    k.line("rany r3, pf1");
+    k.line("beq r3, r0, " + next);
+    k.first_responder_index("r4", "pf1", "pf3");
+    k.line("add r14, r6, r4");
+    k.line("j " + done);
+    k.label(next);
+    k.line("add r6, r6, r5");
+    k.end_slot_loop(loop, "r1", "r2");
+    k.label(done);
+  }
+  k.line("halt");
+  return k.str();
+}
+
+}  // namespace
+
+AssociativeSearch::ExtremumResult AssociativeSearch::max_field() {
+  const Layout lay{slots_for(field_.size(), cfg_.num_pes)};
+  AscMachine m = fresh_machine(extremum_kernel(lay, /*maximize=*/true));
+  ExtremumResult res;
+  res.outcome = m.run();
+  expect(res.outcome.finished, "max_field kernel timed out");
+  res.value = m.result(kRes0);
+  res.position = m.result(kRes1);
+  return res;
+}
+
+AssociativeSearch::ExtremumResult AssociativeSearch::min_field() {
+  const Layout lay{slots_for(field_.size(), cfg_.num_pes)};
+  AscMachine m = fresh_machine(extremum_kernel(lay, /*maximize=*/false));
+  ExtremumResult res;
+  res.outcome = m.run();
+  expect(res.outcome.finished, "min_field kernel timed out");
+  res.value = m.result(kRes0);
+  res.position = m.result(kRes1);
+  return res;
+}
+
+}  // namespace masc::asc

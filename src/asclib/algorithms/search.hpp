@@ -1,0 +1,56 @@
+// Associative (tabular) database search — the canonical ASC workload
+// (paper §2: search all PEs in parallel, detect/count/pick responders,
+// find extrema).
+//
+// A table of records is distributed one record per PE, wrapping into
+// local-memory slots when there are more records than PEs. Queries run
+// entirely on the machine: compare-broadcast + responder reductions per
+// slot, with a validity column masking the tail padding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asclib/asc_machine.hpp"
+
+namespace masc::asc {
+
+class AssociativeSearch {
+ public:
+  /// `field` holds the searchable field of each record (unsigned words).
+  AssociativeSearch(const MachineConfig& cfg, std::vector<Word> field);
+
+  struct MatchResult {
+    Word count = 0;                        ///< number of responders
+    bool any = false;                      ///< some/none responder signal
+    std::vector<std::size_t> positions;    ///< record indices of responders
+    RunOutcome outcome;
+  };
+
+  /// Records with field == key.
+  MatchResult exact_match(Word key);
+  /// Records with lo <= field <= hi (unsigned).
+  MatchResult range_query(Word lo, Word hi);
+
+  struct ExtremumResult {
+    Word value = 0;
+    std::size_t position = 0;  ///< first record attaining the extremum
+    RunOutcome outcome;
+  };
+
+  /// Maximum/minimum field value and the first record attaining it.
+  ExtremumResult max_field();
+  ExtremumResult min_field();
+
+  std::size_t size() const { return field_.size(); }
+
+ private:
+  enum class Cmp { kEq, kRange };
+  MatchResult match_query(Cmp cmp, Word a, Word b);
+  AscMachine fresh_machine(const std::string& src);
+
+  MachineConfig cfg_;
+  std::vector<Word> field_;
+};
+
+}  // namespace masc::asc

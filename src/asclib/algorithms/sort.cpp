@@ -1,0 +1,132 @@
+#include "asclib/algorithms/sort.hpp"
+
+#include "asclib/kernels.hpp"
+#include "common/error.hpp"
+
+namespace masc::asc {
+
+namespace {
+
+/// Local-memory layout: values at [0, S), validity at [S, 2S), and a
+/// mutable "alive" column at [2S, 3S) that the kernel consumes as
+/// elements are extracted.
+struct Layout {
+  std::uint32_t slots;
+  Addr values() const { return 0; }
+  Addr valid() const { return slots; }
+  Addr alive() const { return 2 * slots; }
+};
+
+}  // namespace
+
+AscSorter::AscSorter(const MachineConfig& cfg, std::vector<Word> values)
+    : cfg_(cfg), values_(std::move(values)) {
+  expect(!values_.empty(), "AscSorter: empty input");
+  const auto slots = slots_for(values_.size(), cfg_.num_pes);
+  expect(3 * slots <= 255, "AscSorter: table too large for layout");
+  expect(3 * slots <= cfg_.local_mem_bytes, "AscSorter: local memory too small");
+}
+
+AscSorter::Result AscSorter::extract(std::uint32_t k, bool ascending) {
+  expect(k >= 1 && k <= values_.size(), "AscSorter: k out of range");
+  const Layout lay{slots_for(values_.size(), cfg_.num_pes)};
+  const std::string S = std::to_string(lay.slots);
+
+  // Each extraction: pass 1 finds the global extremum among alive
+  // elements (per-slot reduction folded in scalar code); pass 2 locates
+  // its first holder, records (value, global index) to scalar memory,
+  // and clears that element's alive bit. O(k * slots) reductions total.
+  KernelBuilder b;
+  b.standard_prologue();
+  b.comment("alive := validity (working copy)");
+  {
+    const auto loop = b.begin_slot_loop(lay.slots, "r1", "r2", "p1");
+    b.line("plw p2, " + std::to_string(lay.valid()) + "(p1)");
+    b.line("psw p2, " + std::to_string(lay.alive()) + "(p1)");
+    b.end_slot_loop(loop, "r1", "r2");
+  }
+  b.line("npes r5");
+  b.line("li r10, 0");  // extraction counter
+  const auto kloop = b.fresh("extract");
+  b.label(kloop);
+  b.comment(ascending ? "pass 1: global minimum among alive"
+                      : "pass 1: global maximum among alive");
+  b.line(ascending ? "li r3, -1" : "li r3, 0");
+  {
+    const auto loop = b.begin_slot_loop(lay.slots, "r1", "r2", "p1");
+    const auto skip = b.fresh("keep");
+    b.line("plw p2, " + std::to_string(lay.values()) + "(p1)");
+    b.line("plw p3, " + std::to_string(lay.alive()) + "(p1)");
+    b.line("pcnes pf2, r0, p3");
+    b.line(std::string(ascending ? "rminu" : "rmaxu") + " r4, p2 ?pf2");
+    if (ascending)
+      b.line("cltu sf1, r4, r3");
+    else
+      b.line("cltu sf1, r3, r4");
+    b.line("bfclr sf1, " + skip);
+    b.line("mov r3, r4");
+    b.label(skip);
+    b.end_slot_loop(loop, "r1", "r2");
+  }
+  b.comment("pass 2: first alive holder of the extremum");
+  b.line("li r6, 0");  // slot base index
+  {
+    const auto loop = b.begin_slot_loop(lay.slots, "r1", "r2", "p1");
+    const auto next = b.fresh("next");
+    const auto done = b.fresh("found");
+    b.line("plw p2, " + std::to_string(lay.values()) + "(p1)");
+    b.line("plw p3, " + std::to_string(lay.alive()) + "(p1)");
+    b.line("pcnes pf2, r0, p3");
+    b.line("pceqs pf1, r3, p2");
+    b.line("pfand pf1, pf1, pf2");
+    b.line("rany r4, pf1");
+    b.line("beq r4, r0, " + next);
+    b.line("rsel pf3, pf1");
+    b.line("rmaxu r4, p6 ?pf3");
+    b.line("add r7, r6, r4");
+    b.comment("record (value, index); K is in r9");
+    b.line("sw r3, 0(r10)");
+    b.line("add r8, r10, r9");
+    b.line("sw r7, 0(r8)");
+    b.comment("clear the winner's alive bit");
+    b.line("pmovi p4, 0");
+    b.line("psw p4, " + std::to_string(lay.alive()) + "(p1) ?pf3");
+    b.line("j " + done);
+    b.label(next);
+    b.line("add r6, r6, r5");
+    b.end_slot_loop(loop, "r1", "r2");
+    b.label(done);
+  }
+  b.line("addi r10, r10, 1");
+  b.line("bne r10, r9, " + kloop);
+  b.line("halt");
+
+  AscMachine m(cfg_);
+  m.load_source(b.str());
+  m.bind_strided(lay.values(), values_);
+  m.bind_strided_validity(lay.valid(), values_.size());
+  m.set_arg(kArg1, k);
+
+  Result res;
+  res.outcome = m.run();
+  expect(res.outcome.finished, "sort kernel timed out");
+  for (std::uint32_t i = 0; i < k; ++i) {
+    res.sorted.push_back(m.mem(i));
+    res.permutation.push_back(m.mem(k + i));
+  }
+  return res;
+}
+
+AscSorter::Result AscSorter::sort_ascending() {
+  return extract(static_cast<std::uint32_t>(values_.size()), /*ascending=*/true);
+}
+
+AscSorter::Result AscSorter::smallest_k(std::uint32_t k) {
+  return extract(k, /*ascending=*/true);
+}
+
+AscSorter::Result AscSorter::largest_k(std::uint32_t k) {
+  return extract(k, /*ascending=*/false);
+}
+
+}  // namespace masc::asc

@@ -1,0 +1,47 @@
+// Associative selection sort / top-k extraction.
+//
+// The textbook ASC idiom: repeatedly (1) min-reduce the remaining set,
+// (2) resolve the first responder holding the minimum, (3) read its
+// index, (4) knock it out of the candidate set. Each extraction is O(1)
+// parallel work plus two reductions, so a full sort is O(n) machine
+// rounds where a serial selection sort does O(n^2) comparisons — the
+// same shape of win as the MST kernel. Top-k simply stops early.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asclib/asc_machine.hpp"
+
+namespace masc::asc {
+
+class AscSorter {
+ public:
+  /// Elements are distributed round-robin across PEs (slots), so tables
+  /// larger than the array are supported (3 * ceil(n/p) <= 255 local
+  /// addresses). Unsigned ordering; ties resolve in element order.
+  AscSorter(const MachineConfig& cfg, std::vector<Word> values);
+
+  struct Result {
+    std::vector<Word> sorted;             ///< extracted values, in order
+    std::vector<std::size_t> permutation; ///< original index of each output
+    RunOutcome outcome;
+  };
+
+  /// Full ascending sort (n extractions).
+  Result sort_ascending();
+  /// The k smallest values, ascending.
+  Result smallest_k(std::uint32_t k);
+  /// The k largest values, descending.
+  Result largest_k(std::uint32_t k);
+
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  Result extract(std::uint32_t k, bool ascending);
+
+  MachineConfig cfg_;
+  std::vector<Word> values_;
+};
+
+}  // namespace masc::asc

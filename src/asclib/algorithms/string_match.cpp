@@ -1,0 +1,115 @@
+#include "asclib/algorithms/string_match.hpp"
+
+#include "asclib/kernels.hpp"
+#include "common/error.hpp"
+
+namespace masc::asc {
+
+StringMatcher::StringMatcher(const MachineConfig& cfg, std::string text)
+    : cfg_(cfg), text_(std::move(text)) {
+  expect(!text_.empty(), "StringMatcher: empty text");
+}
+
+StringMatcher::Result StringMatcher::find_all(const std::string& pattern) {
+  const std::size_t n = text_.size();
+  const auto m_len = static_cast<std::uint32_t>(pattern.size());
+  expect(m_len >= 1, "find_all: empty pattern");
+  Result res;
+  if (m_len > n) return res;
+
+  const std::size_t positions = n - m_len + 1;
+  const std::uint32_t p = cfg_.num_pes;
+  const std::uint32_t slots = slots_for(positions, p);
+
+  // Local layout per candidate position: its m-character window, one
+  // column group per slot: window char j of slot s lives at s*m + j...
+  // plus a validity column and a result bitmap column at the end.
+  const Addr valid_base = static_cast<Addr>(slots) * m_len;
+  const Addr bitmap_base = valid_base + slots;
+  expect(bitmap_base + slots <= cfg_.local_mem_bytes,
+         "find_all: text too large for local memory");
+  expect(bitmap_base + slots <= 255, "find_all: layout exceeds addressing");
+
+  KernelBuilder k;
+  k.standard_prologue();
+  k.line("li r13, 0");
+  // Outer loop over slots: address column base = slot * m.
+  const auto outer = k.fresh("outer");
+  k.line("li r1, 0");                              // slot
+  k.line("li r2, " + std::to_string(slots));
+  k.line("li r5, 0");                              // slot * m
+  k.label(outer);
+  k.line("pfset pf1");                             // running match flag
+  {
+    // Inner loop over pattern offsets.
+    const auto inner = k.fresh("inner");
+    k.line("li r3, 0");
+    k.line("la r6, pat");
+    k.label(inner);
+    k.line("add r4, r5, r3");                      // window char address
+    k.line("pbcast p1, r4");
+    k.line("plw p2, 0(p1)");
+    k.line("lw r7, 0(r6)");                        // pattern[j]
+    k.line("pceqs pf2, r7, p2");
+    k.line("pfand pf1, pf1, pf2");
+    k.line("addi r3, r3, 1");
+    k.line("addi r6, r6, 1");
+    k.line("blt r3, r12, " + inner);               // r12 = m (arg)
+  }
+  k.comment("mask invalid tail candidates");
+  k.line("pbcast p1, r1");
+  k.line("plw p3, " + std::to_string(valid_base) + "(p1)");
+  k.line("pcnes pf3, r0, p3");
+  k.line("pfand pf1, pf1, pf3");
+  k.line("rcount r4, pf1");
+  k.line("add r13, r13, r4");
+  k.flag_to_word("p4", "pf1");
+  k.line("psw p4, " + std::to_string(bitmap_base) + "(p1)");
+  k.line("add r5, r5, r12");
+  k.line("addi r1, r1, 1");
+  k.line("bne r1, r2, " + outer);
+  k.line("halt");
+  k.line(".data");
+  k.label("pat");
+  {
+    std::string words = ".word ";
+    for (std::uint32_t j = 0; j < m_len; ++j) {
+      words += std::to_string(static_cast<unsigned char>(pattern[j]));
+      if (j + 1 < m_len) words += ", ";
+    }
+    k.line(words);
+  }
+
+  AscMachine machine(cfg_);
+  machine.load_source(k.str());
+  // Stage each candidate's window: candidate i -> PE i%p, slot i/p.
+  auto& st = machine.machine().state();
+  for (std::size_t i = 0; i < positions; ++i) {
+    const auto pe = static_cast<PEIndex>(i % p);
+    const auto slot = static_cast<Addr>(i / p);
+    for (std::uint32_t j = 0; j < m_len; ++j)
+      st.set_local_mem(pe, slot * m_len + j,
+                       static_cast<unsigned char>(text_[i + j]));
+  }
+  machine.bind_strided_validity(valid_base, positions);
+  machine.set_arg(12, m_len);
+
+  res.outcome = machine.run();
+  expect(res.outcome.finished, "string match kernel timed out");
+  res.count = machine.result(kRes0);
+  const auto bitmap = machine.read_strided(bitmap_base, positions);
+  for (std::size_t i = 0; i < positions; ++i)
+    if (bitmap[i]) res.positions.push_back(i);
+  return res;
+}
+
+std::vector<std::size_t> StringMatcher::reference_find(
+    const std::string& text, const std::string& pattern) {
+  std::vector<std::size_t> out;
+  if (pattern.empty() || pattern.size() > text.size()) return out;
+  for (std::size_t i = 0; i + pattern.size() <= text.size(); ++i)
+    if (text.compare(i, pattern.size(), pattern) == 0) out.push_back(i);
+  return out;
+}
+
+}  // namespace masc::asc

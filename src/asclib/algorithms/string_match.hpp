@@ -1,0 +1,41 @@
+// Associative string matching.
+//
+// Every text position is a candidate match handled by one PE (wrapping
+// into slots for long texts). Since the prototype has no inter-PE
+// network, each candidate's m-character window is staged into its PE's
+// local memory by the host (the classic trade of memory for
+// communication on pure associative machines). Matching then runs in
+// O(m) broadcast-compare steps independent of text length per slot:
+// for each pattern offset j, broadcast pattern[j] and AND the
+// equality flags; surviving responders are match positions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asclib/asc_machine.hpp"
+
+namespace masc::asc {
+
+class StringMatcher {
+ public:
+  StringMatcher(const MachineConfig& cfg, std::string text);
+
+  struct Result {
+    std::vector<std::size_t> positions;  ///< all match positions, ascending
+    Word count = 0;
+    RunOutcome outcome;
+  };
+
+  Result find_all(const std::string& pattern);
+
+  /// Host reference (naive scan).
+  static std::vector<std::size_t> reference_find(const std::string& text,
+                                                 const std::string& pattern);
+
+ private:
+  MachineConfig cfg_;
+  std::string text_;
+};
+
+}  // namespace masc::asc

@@ -1,0 +1,75 @@
+#include "asclib/asc_machine.hpp"
+
+#include "assembler/assembler.hpp"
+
+namespace masc::asc {
+
+AscMachine::AscMachine(const MachineConfig& cfg) : machine_(cfg) {}
+
+void AscMachine::load_source(const std::string& asm_source) {
+  machine_.load(assemble(asm_source));
+}
+
+void AscMachine::bind_local_column(Addr addr, std::span<const Word> values) {
+  expect(values.size() <= num_pes(), "bind_local_column: more values than PEs");
+  auto& st = machine_.state();
+  for (PEIndex pe = 0; pe < values.size(); ++pe)
+    st.set_local_mem(pe, addr, values[pe]);
+}
+
+std::uint32_t AscMachine::bind_strided(Addr base, std::span<const Word> values) {
+  auto& st = machine_.state();
+  const std::uint32_t p = num_pes();
+  for (std::size_t i = 0; i < values.size(); ++i)
+    st.set_local_mem(static_cast<PEIndex>(i % p),
+                     base + static_cast<Addr>(i / p), values[i]);
+  return slots_for(values.size(), p);
+}
+
+void AscMachine::bind_strided_validity(Addr base, std::size_t count) {
+  auto& st = machine_.state();
+  const std::uint32_t p = num_pes();
+  const std::uint32_t slots = slots_for(count, p);
+  for (std::uint32_t s = 0; s < slots; ++s)
+    for (PEIndex pe = 0; pe < p; ++pe)
+      st.set_local_mem(pe, base + s,
+                       (static_cast<std::size_t>(s) * p + pe) < count ? 1 : 0);
+}
+
+void AscMachine::bind_scalar_mem(Addr base, std::span<const Word> values) {
+  auto& st = machine_.state();
+  for (std::size_t i = 0; i < values.size(); ++i)
+    st.set_scalar_mem(base + static_cast<Addr>(i), values[i]);
+}
+
+void AscMachine::set_arg(RegNum reg, Word value) {
+  machine_.state().set_sreg(0, reg, value);
+}
+
+RunOutcome AscMachine::run(Cycle max_cycles) {
+  RunOutcome out;
+  out.finished = machine_.run(max_cycles);
+  out.cycles = machine_.stats().cycles;
+  out.stats = machine_.stats();
+  return out;
+}
+
+Word AscMachine::result(RegNum reg) const { return machine_.state().sreg(0, reg); }
+
+Word AscMachine::mem(Addr addr) const { return machine_.state().scalar_mem(addr); }
+
+std::vector<Word> AscMachine::read_local_column(Addr addr) const {
+  return machine_.state().read_local_column(addr);
+}
+
+std::vector<Word> AscMachine::read_strided(Addr base, std::size_t count) const {
+  std::vector<Word> out(count);
+  const std::uint32_t p = num_pes();
+  const auto& st = machine_.state();
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = st.local_mem(static_cast<PEIndex>(i % p),
+                          base + static_cast<Addr>(i / p));
+  return out;
+}
+
+}  // namespace masc::asc

@@ -1,0 +1,71 @@
+// High-level host API over the cycle-accurate simulator.
+//
+// The ASC programming pattern: the host binds parallel data into the PE
+// local memories (which the paper describes as programmer-managed
+// caches; off-chip transfer is outside the prototype's scope), sets
+// scalar argument registers, runs an assembly kernel, and reads results
+// back from scalar registers / memories.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace masc::asc {
+
+struct RunOutcome {
+  bool finished = false;
+  Cycle cycles = 0;
+  Stats stats;
+};
+
+class AscMachine {
+ public:
+  explicit AscMachine(const MachineConfig& cfg);
+
+  /// Assemble and load a kernel. Resets nothing else; call before binds
+  /// so the data segment does not overwrite bound scalar memory.
+  void load_source(const std::string& asm_source);
+
+  // --- Data binding (host -> machine) -------------------------------------
+  /// One word per PE at a single local-memory address. Shorter vectors
+  /// leave the remaining PEs untouched.
+  void bind_local_column(Addr addr, std::span<const Word> values);
+  /// Values distributed round-robin across PEs into consecutive
+  /// local-memory slots: element i goes to PE (i % p), address
+  /// base + i / p. Returns the number of slots used.
+  std::uint32_t bind_strided(Addr base, std::span<const Word> values);
+  /// Validity column(s) for a strided bind: local word = 1 where an
+  /// element exists, 0 in the tail padding.
+  void bind_strided_validity(Addr base, std::size_t count);
+  void bind_scalar_mem(Addr base, std::span<const Word> values);
+  /// Scalar argument register of thread 0.
+  void set_arg(RegNum reg, Word value);
+
+  // --- Execution -------------------------------------------------------------
+  RunOutcome run(Cycle max_cycles = 200'000'000);
+
+  // --- Result readback ---------------------------------------------------------
+  Word result(RegNum reg) const;            ///< thread-0 scalar register
+  Word mem(Addr addr) const;                ///< scalar memory word
+  std::vector<Word> read_local_column(Addr addr) const;
+  /// Inverse of bind_strided.
+  std::vector<Word> read_strided(Addr base, std::size_t count) const;
+
+  Machine& machine() { return machine_; }
+  const Machine& machine() const { return machine_; }
+  const MachineConfig& config() const { return machine_.config(); }
+  std::uint32_t num_pes() const { return config().num_pes; }
+
+ private:
+  Machine machine_;
+};
+
+/// Number of local-memory slots a strided bind of `count` elements needs.
+inline std::uint32_t slots_for(std::size_t count, std::uint32_t num_pes) {
+  return static_cast<std::uint32_t>((count + num_pes - 1) / num_pes);
+}
+
+}  // namespace masc::asc

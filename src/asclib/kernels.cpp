@@ -1,0 +1,41 @@
+#include "asclib/kernels.hpp"
+
+namespace masc::asc {
+
+std::string KernelBuilder::begin_slot_loop(std::uint32_t slots,
+                                           const std::string& ctr_reg,
+                                           const std::string& limit_reg,
+                                           const std::string& addr_preg) {
+  const std::string lbl = fresh("slot_loop");
+  line("li " + ctr_reg + ", 0");
+  line("li " + limit_reg + ", " + std::to_string(slots));
+  label(lbl);
+  line("pbcast " + addr_preg + ", " + ctr_reg);
+  return lbl;
+}
+
+void KernelBuilder::end_slot_loop(const std::string& loop_label,
+                                  const std::string& ctr_reg,
+                                  const std::string& limit_reg) {
+  line("addi " + ctr_reg + ", " + ctr_reg + ", 1");
+  line("bne " + ctr_reg + ", " + limit_reg + ", " + loop_label);
+}
+
+KernelBuilder& KernelBuilder::flag_to_word(const std::string& dst_preg,
+                                           const std::string& flag) {
+  line("pmovi " + dst_preg + ", 0");
+  line("pmovi " + dst_preg + ", 1 ?" + flag);
+  return *this;
+}
+
+KernelBuilder& KernelBuilder::first_responder_index(
+    const std::string& dst_reg, const std::string& flag,
+    const std::string& scratch_flag) {
+  line("rsel " + scratch_flag + ", " + flag);
+  // With a one-hot mask, an unsigned max-reduction of the PE index vector
+  // extracts the selected PE's index.
+  line("rmaxu " + dst_reg + ", p6 ?" + scratch_flag);
+  return *this;
+}
+
+}  // namespace masc::asc

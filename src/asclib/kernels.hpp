@@ -1,0 +1,81 @@
+// Assembly kernel builder: small composable emitter used by the asclib
+// algorithms to generate MASC assembly, plus canned snippets for the
+// recurring ASC idioms (slot loops over strided data, responder
+// position extraction, flag materialization).
+//
+// Register conventions used by all asclib kernels:
+//   r1..r5   kernel-internal temporaries
+//   r8..r12  host-bound arguments (set_arg before run)
+//   r13..r15 results (read with result() after run)
+//   p1..p5   kernel-internal parallel temporaries
+//   p6       PE index (set by standard_prologue)
+//   pf1..pf5 kernel-internal flags
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace masc::asc {
+
+/// Argument/result register conventions.
+inline constexpr RegNum kArg0 = 8, kArg1 = 9, kArg2 = 10, kArg3 = 11;
+inline constexpr RegNum kRes0 = 13, kRes1 = 14, kRes2 = 15;
+
+class KernelBuilder {
+ public:
+  /// Append one instruction/directive line.
+  KernelBuilder& line(const std::string& text) {
+    os_ << "    " << text << '\n';
+    return *this;
+  }
+
+  /// Define a label at the current position.
+  KernelBuilder& label(const std::string& name) {
+    os_ << name << ":\n";
+    return *this;
+  }
+
+  /// A fresh unique label with the given stem.
+  std::string fresh(const std::string& stem) {
+    return stem + "_" + std::to_string(counter_++);
+  }
+
+  KernelBuilder& comment(const std::string& text) {
+    os_ << "    # " << text << '\n';
+    return *this;
+  }
+
+  /// pindex p6 — every kernel wants the PE index vector.
+  KernelBuilder& standard_prologue() {
+    comment("prologue: PE index in p6");
+    return line("pindex p6");
+  }
+
+  /// Open a loop running `slots` iterations with the counter in `ctr_reg`
+  /// and the broadcast slot address in `addr_preg`. Returns the label to
+  /// pass to end_slot_loop.
+  std::string begin_slot_loop(std::uint32_t slots, const std::string& ctr_reg,
+                              const std::string& limit_reg,
+                              const std::string& addr_preg);
+  void end_slot_loop(const std::string& loop_label, const std::string& ctr_reg,
+                     const std::string& limit_reg);
+
+  /// Materialize a parallel flag as a 0/1 word into `dst_preg`.
+  KernelBuilder& flag_to_word(const std::string& dst_preg,
+                              const std::string& flag);
+
+  /// r<dst> <- PE index of the first responder in `flag` (requires p6).
+  KernelBuilder& first_responder_index(const std::string& dst_reg,
+                                       const std::string& flag,
+                                       const std::string& scratch_flag);
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+  int counter_ = 0;
+};
+
+}  // namespace masc::asc

@@ -1,0 +1,674 @@
+#include "assembler/assembler.hpp"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "assembler/lexer.hpp"
+#include "common/error.hpp"
+#include "isa/encoding.hpp"
+
+namespace masc {
+
+namespace {
+
+// How an unresolved symbol patches into an instruction's imm field.
+enum class FixupKind : std::uint8_t {
+  kNone,
+  kAbsolute,   ///< imm <- symbol value (j/jal targets, li/la low half)
+  kRelative,   ///< imm <- symbol - (addr + 1) (branch offsets)
+  kHigh16,     ///< imm <- (symbol >> 16) & 0xFFFF (lui half of la)
+  kLow16,      ///< imm <- symbol & 0xFFFF (ori half of la)
+};
+
+struct PendingInstr {
+  Instruction instr;
+  FixupKind fixup = FixupKind::kNone;
+  std::string symbol;
+  Addr addr = 0;      ///< text address of this instruction
+  unsigned line = 0;  ///< for error reporting
+};
+
+struct PendingDatum {
+  Addr addr = 0;
+  std::int64_t literal = 0;
+  std::string symbol;  ///< non-empty if the word is a symbol reference
+  unsigned line = 0;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(const std::string& source) : toks_(tokenize(source)) {}
+
+  Program run() {
+    while (!at(TokKind::kEnd)) statement();
+    return finalize();
+  }
+
+ private:
+  // ---- token helpers ------------------------------------------------------
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(TokKind k) const { return cur().kind == k; }
+  Token take() { return toks_[pos_++]; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw AssemblyError("line " + std::to_string(cur().line) + ": " + msg);
+  }
+
+  Token expect(TokKind k, const char* what) {
+    if (!at(k)) fail(std::string("expected ") + what);
+    return take();
+  }
+
+  void comma() { expect(TokKind::kComma, "','"); }
+
+  void end_statement() {
+    if (at(TokKind::kEnd)) return;
+    expect(TokKind::kNewline, "end of statement");
+  }
+
+  // ---- operand parsers ----------------------------------------------------
+  RegNum reg(char prefix, const char* what, RegNum limit = 32) {
+    const Token t = expect(TokKind::kIdent, what);
+    const std::string& s = t.text;
+    std::size_t digits_at = 1;
+    bool ok = s.size() >= 2 && s[0] == prefix;
+    if (prefix == 'F') {  // 'F' selects the two-letter prefixes sf / pf
+      ok = s.size() >= 3 && (s[0] == 's' || s[0] == 'p') && s[1] == 'f';
+      digits_at = 2;
+    }
+    if (!ok) fail(std::string("expected ") + what + ", got '" + s + "'");
+    RegNum n = 0;
+    for (std::size_t i = digits_at; i < s.size(); ++i) {
+      if (s[i] < '0' || s[i] > '9')
+        fail(std::string("malformed register '") + s + "'");
+      n = n * 10 + static_cast<RegNum>(s[i] - '0');
+    }
+    if (n >= limit) fail("register number out of range: '" + s + "'");
+    return n;
+  }
+
+  RegNum sreg() { return reg('r', "scalar register rN"); }
+  RegNum preg() { return reg('p', "parallel register pN"); }
+
+  RegNum sflag() {
+    const Token& t = cur();
+    if (t.kind != TokKind::kIdent || t.text.size() < 3 || t.text[0] != 's' || t.text[1] != 'f')
+      fail("expected scalar flag sfN");
+    return reg('F', "scalar flag sfN", 8);
+  }
+
+  RegNum pflag() {
+    const Token& t = cur();
+    if (t.kind != TokKind::kIdent || t.text.size() < 3 || t.text[0] != 'p' || t.text[1] != 'f')
+      fail("expected parallel flag pfN");
+    return reg('F', "parallel flag pfN", 8);
+  }
+
+  /// An immediate operand: integer literal or symbol reference.
+  struct Imm {
+    std::int64_t value = 0;
+    std::string symbol;  ///< non-empty = unresolved
+  };
+
+  Imm immediate() {
+    if (at(TokKind::kInt)) return Imm{take().value, {}};
+    if (at(TokKind::kIdent)) {
+      const std::string name = take().text;
+      if (auto it = equs_.find(name); it != equs_.end()) return Imm{it->second, {}};
+      return Imm{0, name};
+    }
+    fail("expected immediate or symbol");
+  }
+
+  /// Optional trailing mask: "?pfN".
+  RegNum opt_mask() {
+    if (!at(TokKind::kQuestion)) return 0;
+    take();
+    return pflag();
+  }
+
+  // ---- emission -----------------------------------------------------------
+  void emit(Instruction i, FixupKind fx = FixupKind::kNone, std::string sym = {}) {
+    PendingInstr p;
+    p.instr = i;
+    p.fixup = fx;
+    p.symbol = std::move(sym);
+    p.addr = text_loc_;
+    p.line = cur().line;
+    instrs_.push_back(std::move(p));
+    ++text_loc_;
+  }
+
+  void emit_imm(Instruction templ, const Imm& v, FixupKind fx) {
+    if (v.symbol.empty()) {
+      templ.imm = static_cast<std::int32_t>(v.value);
+      emit(templ);
+    } else {
+      emit(templ, fx, v.symbol);
+    }
+  }
+
+  // ---- statements ---------------------------------------------------------
+  void statement() {
+    if (at(TokKind::kNewline)) { take(); return; }
+    Token t = expect(TokKind::kIdent, "label, directive, or mnemonic");
+    // Labels (possibly several on one line).
+    while (at(TokKind::kColon)) {
+      take();
+      define_symbol(t.text, in_text_ ? text_loc_ : data_loc_);
+      if (at(TokKind::kNewline) || at(TokKind::kEnd)) { end_statement(); return; }
+      t = expect(TokKind::kIdent, "directive or mnemonic");
+    }
+    if (t.text[0] == '.') directive(t.text);
+    else instruction(t.text);
+    end_statement();
+  }
+
+  void define_symbol(const std::string& name, std::int64_t value) {
+    if (!symbols_.emplace(name, value).second)
+      fail("duplicate symbol '" + name + "'");
+  }
+
+  void directive(const std::string& d) {
+    if (d == ".text") { in_text_ = true; return; }
+    if (d == ".data") { in_text_ = false; return; }
+    if (d == ".entry") {
+      const Token t = expect(TokKind::kIdent, "entry label");
+      entry_symbol_ = t.text;
+      return;
+    }
+    if (d == ".equ") {
+      const Token name = expect(TokKind::kIdent, "constant name");
+      comma();
+      const Imm v = immediate();
+      if (!v.symbol.empty()) fail(".equ value must be a resolved constant");
+      equs_[name.text] = v.value;
+      define_symbol(name.text, v.value);
+      return;
+    }
+    if (d == ".org") {
+      const Imm v = immediate();
+      if (!v.symbol.empty()) fail(".org requires a constant");
+      Addr& loc = in_text_ ? text_loc_ : data_loc_;
+      if (v.value < loc) fail(".org may not move backwards");
+      loc = static_cast<Addr>(v.value);
+      return;
+    }
+    if (d == ".word") {
+      if (in_text_) fail(".word only allowed in the data segment");
+      for (;;) {
+        const Imm v = immediate();
+        data_.push_back(PendingDatum{data_loc_, v.value, v.symbol, cur().line});
+        ++data_loc_;
+        if (!at(TokKind::kComma)) break;
+        take();
+      }
+      return;
+    }
+    if (d == ".space") {
+      if (in_text_) fail(".space only allowed in the data segment");
+      const Imm v = immediate();
+      if (!v.symbol.empty() || v.value < 0) fail(".space requires a non-negative constant");
+      data_loc_ += static_cast<Addr>(v.value);
+      return;
+    }
+    fail("unknown directive '" + d + "'");
+  }
+
+  void instruction(const std::string& m);
+
+  // ---- finalization -------------------------------------------------------
+  std::int64_t resolve(const std::string& sym, unsigned line) const {
+    const auto it = symbols_.find(sym);
+    if (it == symbols_.end())
+      throw AssemblyError("line " + std::to_string(line) +
+                          ": undefined symbol '" + sym + "'");
+    return it->second;
+  }
+
+  Program finalize() {
+    Program prog;
+    prog.symbols = symbols_;
+    for (auto& p : instrs_) {
+      if (p.fixup != FixupKind::kNone) {
+        const std::int64_t v = resolve(p.symbol, p.line);
+        std::int64_t imm = 0;
+        switch (p.fixup) {
+          case FixupKind::kAbsolute: imm = v; break;
+          case FixupKind::kRelative: imm = v - (static_cast<std::int64_t>(p.addr) + 1); break;
+          case FixupKind::kHigh16: imm = (v >> 16) & 0xFFFF; break;
+          case FixupKind::kLow16: imm = v & 0xFFFF; break;
+          case FixupKind::kNone: break;
+        }
+        // kLow16 may produce values >= 0x8000 that don't fit a *signed*
+        // imm16 field; they are bit patterns, so wrap them.
+        if (p.fixup == FixupKind::kLow16 || p.fixup == FixupKind::kHigh16) {
+          if (imm >= 0x8000) imm -= 0x10000;
+        }
+        if (imm < -32768 || imm > 32767)
+          throw AssemblyError("line " + std::to_string(p.line) +
+                              ": symbol '" + p.symbol +
+                              "' out of range for immediate field");
+        p.instr.imm = static_cast<std::int32_t>(imm);
+      }
+      if (p.addr >= prog.text.size()) prog.text.resize(p.addr + 1, encode(ir::nop()));
+      try {
+        prog.text[p.addr] = encode(p.instr);
+      } catch (const DecodeError& e) {
+        throw AssemblyError("line " + std::to_string(p.line) + ": " + e.what());
+      }
+    }
+    for (const auto& dval : data_) {
+      if (dval.addr >= prog.data.size()) prog.data.resize(dval.addr + 1, 0);
+      const std::int64_t v =
+          dval.symbol.empty() ? dval.literal : resolve(dval.symbol, dval.line);
+      prog.data[dval.addr] = static_cast<Word>(static_cast<std::uint64_t>(v));
+    }
+    if (data_loc_ > prog.data.size()) prog.data.resize(data_loc_, 0);
+    if (!entry_symbol_.empty())
+      prog.entry = static_cast<Addr>(resolve(entry_symbol_, 0));
+    else if (auto it = symbols_.find("main"); it != symbols_.end())
+      prog.entry = static_cast<Addr>(it->second);
+    return prog;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  bool in_text_ = true;
+  Addr text_loc_ = 0;
+  Addr data_loc_ = 0;
+  std::map<std::string, std::int64_t> symbols_;
+  std::map<std::string, std::int64_t> equs_;
+  std::string entry_symbol_;
+  std::vector<PendingInstr> instrs_;
+  std::vector<PendingDatum> data_;
+};
+
+// ---- mnemonic tables -------------------------------------------------------
+
+const std::map<std::string, AluFunct> kAlu3 = {
+    {"add", AluFunct::kAdd}, {"sub", AluFunct::kSub}, {"and", AluFunct::kAnd},
+    {"or", AluFunct::kOr},   {"xor", AluFunct::kXor}, {"nor", AluFunct::kNor},
+    {"sll", AluFunct::kSll}, {"srl", AluFunct::kSrl}, {"sra", AluFunct::kSra},
+    {"slt", AluFunct::kSlt}, {"sltu", AluFunct::kSltu},
+    {"mul", AluFunct::kMul}, {"div", AluFunct::kDiv}, {"rem", AluFunct::kRem},
+    {"divu", AluFunct::kDivU}, {"remu", AluFunct::kRemU},
+};
+
+const std::map<std::string, CmpFunct> kCmp = {
+    {"eq", CmpFunct::kEq},   {"ne", CmpFunct::kNe},  {"lt", CmpFunct::kLt},
+    {"le", CmpFunct::kLe},   {"ltu", CmpFunct::kLtu}, {"leu", CmpFunct::kLeu},
+    {"gt", CmpFunct::kGt},   {"ge", CmpFunct::kGe},  {"gtu", CmpFunct::kGtu},
+    {"geu", CmpFunct::kGeu},
+};
+
+const std::map<std::string, Opcode> kImmOps = {
+    {"addi", Opcode::kAddi}, {"andi", Opcode::kAndi}, {"ori", Opcode::kOri},
+    {"xori", Opcode::kXori}, {"slti", Opcode::kSlti}, {"sltiu", Opcode::kSltiu},
+    {"slli", Opcode::kSlli}, {"srli", Opcode::kSrli}, {"srai", Opcode::kSrai},
+};
+
+const std::map<std::string, Opcode> kBranches = {
+    {"beq", Opcode::kBeq},   {"bne", Opcode::kBne},  {"blt", Opcode::kBlt},
+    {"bge", Opcode::kBge},   {"bltu", Opcode::kBltu}, {"bgeu", Opcode::kBgeu},
+};
+
+// Pseudo-branches that swap their operands onto a real branch.
+const std::map<std::string, Opcode> kSwappedBranches = {
+    {"bgt", Opcode::kBlt}, {"ble", Opcode::kBge},
+    {"bgtu", Opcode::kBltu}, {"bleu", Opcode::kBgeu},
+};
+
+const std::map<std::string, PImmOp> kPImms = {
+    {"paddi", PImmOp::kAddi}, {"pandi", PImmOp::kAndi}, {"pori", PImmOp::kOri},
+    {"pxori", PImmOp::kXori}, {"pslli", PImmOp::kSlli}, {"psrli", PImmOp::kSrli},
+    {"psrai", PImmOp::kSrai},
+};
+
+const std::map<std::string, RedFunct> kRedWord = {
+    {"rand", RedFunct::kAnd},  {"ror", RedFunct::kOr},
+    {"rmax", RedFunct::kMax},  {"rmin", RedFunct::kMin},
+    {"rmaxu", RedFunct::kMaxU}, {"rminu", RedFunct::kMinU},
+    {"rsum", RedFunct::kSum},  {"rsumu", RedFunct::kSumU},
+};
+
+const std::map<std::string, FlagFunct> kFlag3 = {
+    {"and", FlagFunct::kAnd}, {"or", FlagFunct::kOr},
+    {"xor", FlagFunct::kXor}, {"andn", FlagFunct::kAndNot},
+};
+
+void Assembler::instruction(const std::string& m) {
+  // --- system ---------------------------------------------------------------
+  if (m == "nop") { emit(ir::nop()); return; }
+  if (m == "halt") { emit(ir::halt()); return; }
+
+  // --- scalar ALU -----------------------------------------------------------
+  if (auto it = kAlu3.find(m); it != kAlu3.end()) {
+    const RegNum rd = sreg(); comma();
+    const RegNum rs = sreg(); comma();
+    const RegNum rt = sreg();
+    emit(ir::salu(it->second, rd, rs, rt));
+    return;
+  }
+  if (m == "mov") {
+    const RegNum rd = sreg(); comma();
+    const RegNum rs = sreg();
+    emit(ir::salu(AluFunct::kMov, rd, rs, 0));
+    return;
+  }
+  if (m == "neg") {  // pseudo: rd <- 0 - rs
+    const RegNum rd = sreg(); comma();
+    const RegNum rs = sreg();
+    emit(ir::salu(AluFunct::kSub, rd, 0, rs));
+    return;
+  }
+  if (m == "not") {  // pseudo: rd <- ~rs
+    const RegNum rd = sreg(); comma();
+    const RegNum rs = sreg();
+    emit(ir::salu(AluFunct::kNor, rd, rs, 0));
+    return;
+  }
+
+  // --- scalar compares -> scalar flag ----------------------------------------
+  if (m.size() >= 2 && m[0] == 'c' && kCmp.count(m.substr(1))) {
+    const RegNum fd = sflag(); comma();
+    const RegNum rs = sreg(); comma();
+    const RegNum rt = sreg();
+    emit(ir::scmp(kCmp.at(m.substr(1)), fd, rs, rt));
+    return;
+  }
+
+  // --- scalar flag logic ------------------------------------------------------
+  if (m.size() > 2 && m[0] == 's' && m[1] == 'f') {
+    const std::string op = m.substr(2);
+    if (auto it = kFlag3.find(op); it != kFlag3.end()) {
+      const RegNum fd = sflag(); comma();
+      const RegNum fs = sflag(); comma();
+      const RegNum ft = sflag();
+      emit(ir::sflag(it->second, fd, fs, ft));
+      return;
+    }
+    if (op == "not" || op == "mov") {
+      const RegNum fd = sflag(); comma();
+      const RegNum fs = sflag();
+      emit(ir::sflag(op == "not" ? FlagFunct::kNot : FlagFunct::kMov, fd, fs, 0));
+      return;
+    }
+    if (op == "set" || op == "clr") {
+      const RegNum fd = sflag();
+      emit(ir::sflag(op == "set" ? FlagFunct::kSet : FlagFunct::kClr, fd, 0, 0));
+      return;
+    }
+  }
+
+  // --- scalar immediates ------------------------------------------------------
+  if (auto it = kImmOps.find(m); it != kImmOps.end()) {
+    const RegNum rd = sreg(); comma();
+    const RegNum rs = sreg(); comma();
+    const Imm v = immediate();
+    emit_imm(ir::imm_op(it->second, rd, rs, 0), v, FixupKind::kAbsolute);
+    return;
+  }
+  if (m == "lui") {
+    const RegNum rd = sreg(); comma();
+    const Imm v = immediate();
+    emit_imm(ir::imm_op(Opcode::kLui, rd, 0, 0), v, FixupKind::kHigh16);
+    return;
+  }
+  if (m == "li" || m == "la") {
+    const RegNum rd = sreg(); comma();
+    const Imm v = immediate();
+    if (v.symbol.empty() && v.value >= -32768 && v.value <= 32767) {
+      emit(ir::imm_op(Opcode::kAddi, rd, 0, static_cast<std::int32_t>(v.value)));
+    } else if (v.symbol.empty()) {
+      const auto u = static_cast<std::uint32_t>(v.value);
+      std::int32_t hi = static_cast<std::int32_t>((u >> 16) & 0xFFFF);
+      std::int32_t lo = static_cast<std::int32_t>(u & 0xFFFF);
+      if (hi >= 0x8000) hi -= 0x10000;
+      if (lo >= 0x8000) lo -= 0x10000;
+      emit(ir::imm_op(Opcode::kLui, rd, 0, hi));
+      emit(ir::imm_op(Opcode::kOri, rd, rd, lo));
+    } else {
+      emit(ir::imm_op(Opcode::kLui, rd, 0, 0), FixupKind::kHigh16, v.symbol);
+      emit(ir::imm_op(Opcode::kOri, rd, rd, 0), FixupKind::kLow16, v.symbol);
+    }
+    return;
+  }
+
+  // --- scalar memory -----------------------------------------------------------
+  if (m == "lw" || m == "sw") {
+    const RegNum r = sreg(); comma();
+    const Imm off = immediate();
+    expect(TokKind::kLParen, "'('");
+    const RegNum base = sreg();
+    expect(TokKind::kRParen, "')'");
+    Instruction i = (m == "lw") ? ir::lw(r, base, 0) : ir::sw(r, base, 0);
+    emit_imm(i, off, FixupKind::kAbsolute);
+    return;
+  }
+
+  // --- control flow ---------------------------------------------------------
+  if (auto it = kBranches.find(m); it != kBranches.end()) {
+    const RegNum a = sreg(); comma();
+    const RegNum b = sreg(); comma();
+    const Imm target = immediate();
+    emit_imm(ir::branch(it->second, a, b, 0), target, FixupKind::kRelative);
+    return;
+  }
+  if (auto it = kSwappedBranches.find(m); it != kSwappedBranches.end()) {
+    const RegNum a = sreg(); comma();
+    const RegNum b = sreg(); comma();
+    const Imm target = immediate();
+    emit_imm(ir::branch(it->second, b, a, 0), target, FixupKind::kRelative);
+    return;
+  }
+  if (m == "bfset" || m == "bfclr") {
+    const RegNum f = sflag(); comma();
+    const Imm target = immediate();
+    emit_imm(ir::branch_flag(m == "bfset" ? Opcode::kBfset : Opcode::kBfclr, f, 0),
+             target, FixupKind::kRelative);
+    return;
+  }
+  if (m == "b") {  // pseudo: unconditional relative branch
+    const Imm target = immediate();
+    emit_imm(ir::branch(Opcode::kBeq, 0, 0, 0), target, FixupKind::kRelative);
+    return;
+  }
+  if (m == "j") {
+    const Imm target = immediate();
+    emit_imm(ir::jump(Opcode::kJ, 0), target, FixupKind::kAbsolute);
+    return;
+  }
+  if (m == "jal") {
+    const RegNum link = sreg(); comma();
+    const Imm target = immediate();
+    emit_imm(ir::jal(link, 0), target, FixupKind::kAbsolute);
+    return;
+  }
+  if (m == "jr") { emit(ir::jr(sreg())); return; }
+
+  // --- parallel ALU (register and broadcast-scalar forms) ---------------------
+  if (m.size() > 1 && m[0] == 'p') {
+    const std::string body = m.substr(1);
+    // broadcast-scalar: trailing 's' (padds, psubs, ..., pslts)
+    if (body.size() > 1 && body.back() == 's' && kAlu3.count(body.substr(0, body.size() - 1))) {
+      const AluFunct f = kAlu3.at(body.substr(0, body.size() - 1));
+      const RegNum rd = preg(); comma();
+      const RegNum rs = sreg(); comma();
+      const RegNum rt = preg();
+      emit(ir::palus(f, rd, rs, rt, opt_mask()));
+      return;
+    }
+    if (kAlu3.count(body)) {
+      const RegNum rd = preg(); comma();
+      const RegNum rs = preg(); comma();
+      const RegNum rt = preg();
+      emit(ir::palu(kAlu3.at(body), rd, rs, rt, opt_mask()));
+      return;
+    }
+    if (body == "mov") {
+      const RegNum rd = preg(); comma();
+      const RegNum rs = preg();
+      emit(ir::palu(AluFunct::kMov, rd, rs, 0, opt_mask()));
+      return;
+    }
+  }
+  if (auto it = kPImms.find(m); it != kPImms.end()) {
+    const RegNum rd = preg(); comma();
+    const RegNum rs = preg(); comma();
+    const Imm v = immediate();
+    if (!v.symbol.empty()) fail("parallel immediates must be constants");
+    emit(ir::pimm(it->second, rd, rs, static_cast<std::int32_t>(v.value), opt_mask()));
+    return;
+  }
+  if (m == "pmovi") {
+    const RegNum rd = preg(); comma();
+    const Imm v = immediate();
+    if (!v.symbol.empty()) fail("parallel immediates must be constants");
+    emit(ir::pimm(PImmOp::kMovi, rd, 0, static_cast<std::int32_t>(v.value), opt_mask()));
+    return;
+  }
+
+  // --- parallel compares -> parallel flag --------------------------------------
+  if (m.size() > 2 && m[0] == 'p' && m[1] == 'c') {
+    std::string op = m.substr(2);
+    const bool scalar_form = op.size() > 1 && op.back() == 's' && kCmp.count(op.substr(0, op.size() - 1));
+    if (scalar_form) op = op.substr(0, op.size() - 1);
+    if (kCmp.count(op)) {
+      const RegNum fd = pflag(); comma();
+      if (scalar_form) {
+        const RegNum rs = sreg(); comma();
+        const RegNum rt = preg();
+        emit(ir::pcmps(kCmp.at(op), fd, rs, rt, opt_mask()));
+      } else {
+        const RegNum rs = preg(); comma();
+        const RegNum rt = preg();
+        emit(ir::pcmp(kCmp.at(op), fd, rs, rt, opt_mask()));
+      }
+      return;
+    }
+  }
+
+  // --- parallel flag logic -------------------------------------------------------
+  if (m.size() > 2 && m[0] == 'p' && m[1] == 'f') {
+    const std::string op = m.substr(2);
+    if (auto it = kFlag3.find(op); it != kFlag3.end()) {
+      const RegNum fd = pflag(); comma();
+      const RegNum fs = pflag(); comma();
+      const RegNum ft = pflag();
+      emit(ir::pflag(it->second, fd, fs, ft, opt_mask()));
+      return;
+    }
+    if (op == "not" || op == "mov") {
+      const RegNum fd = pflag(); comma();
+      const RegNum fs = pflag();
+      emit(ir::pflag(op == "not" ? FlagFunct::kNot : FlagFunct::kMov, fd, fs, 0, opt_mask()));
+      return;
+    }
+    if (op == "set" || op == "clr") {
+      const RegNum fd = pflag();
+      emit(ir::pflag(op == "set" ? FlagFunct::kSet : FlagFunct::kClr, fd, 0, 0, opt_mask()));
+      return;
+    }
+  }
+
+  // --- parallel memory -------------------------------------------------------
+  if (m == "plw" || m == "psw") {
+    const RegNum r = preg(); comma();
+    const Imm off = immediate();
+    if (!off.symbol.empty()) fail("parallel memory offsets must be constants");
+    expect(TokKind::kLParen, "'('");
+    const RegNum base = preg();
+    expect(TokKind::kRParen, "')'");
+    const auto o = static_cast<std::int32_t>(off.value);
+    emit(m == "plw" ? ir::plw(r, base, o, 0) : ir::psw(r, base, o, 0));
+    // Mask suffix comes after the close paren.
+    if (at(TokKind::kQuestion)) { take(); instrs_.back().instr.mask = pflag(); }
+    return;
+  }
+  if (m == "pbcast") {
+    const RegNum rd = preg(); comma();
+    const RegNum rs = sreg();
+    emit(ir::pbcast(rd, rs, opt_mask()));
+    return;
+  }
+  if (m == "pindex") {
+    const RegNum rd = preg();
+    emit(ir::pindex(rd, opt_mask()));
+    return;
+  }
+
+  // --- reductions ----------------------------------------------------------------
+  if (auto it = kRedWord.find(m); it != kRedWord.end()) {
+    const RegNum rd = sreg(); comma();
+    const RegNum rs = preg();
+    emit(ir::red(it->second, rd, rs, 0, opt_mask()));
+    return;
+  }
+  if (m == "rcount" || m == "rany") {
+    const RegNum rd = sreg(); comma();
+    const RegNum fs = pflag();
+    emit(ir::red(m == "rcount" ? RedFunct::kCount_ : RedFunct::kAny, rd, fs, 0, opt_mask()));
+    return;
+  }
+  if (m == "rfand" || m == "rfor") {
+    const RegNum fd = sflag(); comma();
+    const RegNum fs = pflag();
+    emit(ir::red(m == "rfand" ? RedFunct::kFAnd : RedFunct::kFOr, fd, fs, 0, opt_mask()));
+    return;
+  }
+  if (m == "getpe") {
+    const RegNum rd = sreg(); comma();
+    const RegNum ps = preg(); comma();
+    const RegNum rt = sreg();
+    emit(ir::red(RedFunct::kGetPe, rd, ps, rt, opt_mask()));
+    return;
+  }
+  if (m == "rsel" || m == "rstep") {
+    const RegNum fd = pflag(); comma();
+    const RegNum fs = pflag();
+    emit(ir::rsel(m == "rsel" ? RSelFunct::kFirst : RSelFunct::kClearFirst, fd, fs, opt_mask()));
+    return;
+  }
+
+  // --- threads ------------------------------------------------------------------
+  if (m == "tspawn") {
+    const RegNum rd = sreg(); comma();
+    const RegNum rs = sreg();
+    emit(ir::tctl(TCtlFunct::kSpawn, rd, rs));
+    return;
+  }
+  if (m == "tjoin") { emit(ir::tctl(TCtlFunct::kJoin, 0, sreg())); return; }
+  if (m == "texit") { emit(ir::tctl(TCtlFunct::kExit)); return; }
+  if (m == "tid" || m == "npes" || m == "nthreads") {
+    const RegNum rd = sreg();
+    const TCtlFunct f = (m == "tid")    ? TCtlFunct::kTid
+                        : (m == "npes") ? TCtlFunct::kNPes
+                                        : TCtlFunct::kNThreads;
+    emit(ir::tctl(f, rd));
+    return;
+  }
+  if (m == "tput" || m == "tget") {
+    const RegNum rd = sreg(); comma();
+    const RegNum rs = sreg(); comma();
+    const RegNum rt = sreg();
+    emit(ir::tmov(m == "tput" ? TMovFunct::kPut : TMovFunct::kGet, rd, rs, rt));
+    return;
+  }
+
+  fail("unknown mnemonic '" + m + "'");
+}
+
+}  // namespace
+
+std::int64_t Program::symbol(const std::string& name) const {
+  const auto it = symbols.find(name);
+  if (it == symbols.end())
+    throw AssemblyError("undefined symbol '" + name + "'");
+  return it->second;
+}
+
+Program assemble(const std::string& source) { return Assembler(source).run(); }
+
+}  // namespace masc

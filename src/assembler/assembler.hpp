@@ -1,0 +1,28 @@
+// Two-pass assembler for MASC assembly.
+//
+// Syntax summary (full reference in docs/ISA.md):
+//   label:   addi  r1, r0, 5          # scalar immediate
+//            padd  p1, p2, p3 ?pf2    # parallel, masked by flag pf2
+//            padds p1, r4, p2         # broadcast-scalar operand form
+//            rmax  r5, p1             # reduction to a scalar register
+//            lw    r2, 3(r1)          # word-addressed memory
+//            beq   r1, r2, label
+//            .data
+//   tbl:     .word 1, 2, 3
+//
+// Registers: rN scalar GPR, pN parallel GPR, sfN scalar flag, pfN parallel
+// flag. r0/p0 read as 0; sf0/pf0 read as 1. Comments: '#', ';', '//'.
+// Directives: .text .data .org .word .space .equ .entry
+#pragma once
+
+#include <string>
+
+#include "assembler/program.hpp"
+
+namespace masc {
+
+/// Assemble source text into a program image.
+/// Throws AssemblyError with line/column context on any source error.
+Program assemble(const std::string& source);
+
+}  // namespace masc

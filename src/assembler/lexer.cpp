@@ -1,0 +1,126 @@
+#include "assembler/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace masc {
+
+namespace {
+
+[[noreturn]] void fail(unsigned line, unsigned col, const std::string& msg) {
+  throw AssemblyError("line " + std::to_string(line) + ":" +
+                      std::to_string(col) + ": " + msg);
+}
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.'; }
+bool ident_cont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.'; }
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  unsigned line = 1, col = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokKind k, std::string text = "", std::int64_t v = 0) {
+    out.push_back(Token{k, std::move(text), v, line, col});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      // Collapse runs of blank lines into one newline token.
+      if (!out.empty() && out.back().kind != TokKind::kNewline)
+        push(TokKind::kNewline);
+      ++i;
+      ++line;
+      col = 1;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') { ++i; ++col; continue; }
+    if (c == '#' || c == ';' || (c == '/' && i + 1 < n && src[i + 1] == '/')) {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == ',') { push(TokKind::kComma); ++i; ++col; continue; }
+    if (c == ':') { push(TokKind::kColon); ++i; ++col; continue; }
+    if (c == '(') { push(TokKind::kLParen); ++i; ++col; continue; }
+    if (c == ')') { push(TokKind::kRParen); ++i; ++col; continue; }
+    if (c == '?') { push(TokKind::kQuestion); ++i; ++col; continue; }
+
+    if (c == '\'') {
+      if (i + 2 >= n) fail(line, col, "unterminated character literal");
+      char v = src[i + 1];
+      std::size_t adv = 3;
+      if (v == '\\') {
+        if (i + 3 >= n) fail(line, col, "unterminated character literal");
+        const char e = src[i + 2];
+        switch (e) {
+          case 'n': v = '\n'; break;
+          case 't': v = '\t'; break;
+          case '0': v = '\0'; break;
+          case '\\': v = '\\'; break;
+          case '\'': v = '\''; break;
+          default: fail(line, col, "unknown escape in character literal");
+        }
+        adv = 4;
+      }
+      if (src[i + adv - 1] != '\'') fail(line, col, "unterminated character literal");
+      push(TokKind::kInt, "", static_cast<std::int64_t>(v));
+      i += adv;
+      col += static_cast<unsigned>(adv);
+      continue;
+    }
+
+    const bool neg = (c == '-');
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (neg && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i + (neg ? 1 : 0);
+      int base = 10;
+      if (j + 1 < n && src[j] == '0' && (src[j + 1] == 'x' || src[j + 1] == 'X')) {
+        base = 16;
+        j += 2;
+      } else if (j + 1 < n && src[j] == '0' && (src[j + 1] == 'b' || src[j + 1] == 'B')) {
+        base = 2;
+        j += 2;
+      }
+      std::int64_t v = 0;
+      std::size_t digits = 0;
+      for (; j < n; ++j, ++digits) {
+        const char d = src[j];
+        int dv;
+        if (d >= '0' && d <= '9') dv = d - '0';
+        else if (base == 16 && d >= 'a' && d <= 'f') dv = d - 'a' + 10;
+        else if (base == 16 && d >= 'A' && d <= 'F') dv = d - 'A' + 10;
+        else break;
+        if (dv >= base) fail(line, col, "digit out of range for base");
+        v = v * base + dv;
+        if (v > 0xFFFFFFFFLL) fail(line, col, "integer literal too large");
+      }
+      if (digits == 0) fail(line, col, "malformed integer literal");
+      push(TokKind::kInt, "", neg ? -v : v);
+      col += static_cast<unsigned>(j - i);
+      i = j;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_cont(src[j])) ++j;
+      push(TokKind::kIdent, src.substr(i, j - i));
+      col += static_cast<unsigned>(j - i);
+      i = j;
+      continue;
+    }
+
+    fail(line, col, std::string("unexpected character '") + c + "'");
+  }
+  if (!out.empty() && out.back().kind != TokKind::kNewline)
+    out.push_back(Token{TokKind::kNewline, "", 0, line, col});
+  out.push_back(Token{TokKind::kEnd, "", 0, line, col});
+  return out;
+}
+
+}  // namespace masc

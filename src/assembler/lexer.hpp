@@ -1,0 +1,34 @@
+// Tokenizer for MASC assembly source.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace masc {
+
+enum class TokKind : std::uint8_t {
+  kIdent,      ///< mnemonic, label, register name, directive (leading '.')
+  kInt,        ///< integer literal (decimal, 0x hex, 0b binary, 'c' char)
+  kComma,
+  kColon,
+  kLParen,
+  kRParen,
+  kQuestion,   ///< introduces the ?pfN mask suffix
+  kNewline,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;        ///< identifier spelling
+  std::int64_t value = 0;  ///< integer value for kInt
+  unsigned line = 0;
+  unsigned col = 0;
+};
+
+/// Tokenize a full source buffer. Throws AssemblyError on malformed
+/// literals or stray characters, with line/column in the message.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace masc

@@ -1,0 +1,28 @@
+// Assembled program image.
+//
+// Memories are word-addressed throughout the MASC ISA: each address in
+// instruction memory holds one 32-bit instruction; each address in scalar
+// or PE-local data memory holds one machine word. This keeps the ISA
+// independent of the configured word width.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace masc {
+
+struct Program {
+  std::vector<InstrWord> text;   ///< instruction memory image (word 0 = PC 0)
+  std::vector<Word> data;        ///< scalar data memory image, from address 0
+  Addr entry = 0;                ///< initial PC of thread 0
+  std::map<std::string, std::int64_t> symbols;  ///< labels and .equ constants
+
+  /// Address of a label/constant; throws AssemblyError if undefined.
+  std::int64_t symbol(const std::string& name) const;
+};
+
+}  // namespace masc

@@ -1,0 +1,137 @@
+#include "assembler/program_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "isa/encoding.hpp"
+
+namespace masc {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'A', 'S', 'C', 'O', 'B', 'J', '1'};
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  os.write(b, 4);
+}
+
+void put_i64(std::ostream& os, std::int64_t sv) {
+  auto v = static_cast<std::uint64_t>(sv);
+  for (int i = 0; i < 8; ++i) {
+    const char byte = static_cast<char>(v >> (8 * i));
+    os.write(&byte, 1);
+  }
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  unsigned char b[4];
+  is.read(reinterpret_cast<char*>(b), 4);
+  if (!is) throw AssemblyError("truncated program file");
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::int64_t get_i64(std::istream& is) {
+  std::uint64_t v = 0;
+  unsigned char b[8];
+  is.read(reinterpret_cast<char*>(b), 8);
+  if (!is) throw AssemblyError("truncated program file");
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+void save_program(std::ostream& os, const Program& program) {
+  os.write(kMagic, sizeof(kMagic));
+  put_u32(os, program.entry);
+  put_u32(os, static_cast<std::uint32_t>(program.text.size()));
+  put_u32(os, static_cast<std::uint32_t>(program.data.size()));
+  put_u32(os, static_cast<std::uint32_t>(program.symbols.size()));
+  for (const auto w : program.text) put_u32(os, w);
+  for (const auto w : program.data) put_u32(os, w);
+  for (const auto& [name, value] : program.symbols) {
+    put_u32(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    put_i64(os, value);
+  }
+}
+
+void save_program_file(const std::string& path, const Program& program) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw AssemblyError("cannot open output file: " + path);
+  save_program(os, program);
+}
+
+Program load_program(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || !std::equal(magic, magic + 8, kMagic))
+    throw AssemblyError("not a MASC program file (bad magic)");
+  Program prog;
+  prog.entry = get_u32(is);
+  const std::uint32_t text_words = get_u32(is);
+  const std::uint32_t data_words = get_u32(is);
+  const std::uint32_t num_symbols = get_u32(is);
+  // Sanity bounds to catch corrupt headers before allocating.
+  if (text_words > (1u << 24) || data_words > (1u << 24) ||
+      num_symbols > (1u << 20))
+    throw AssemblyError("implausible program file header");
+  prog.text.resize(text_words);
+  for (auto& w : prog.text) w = get_u32(is);
+  prog.data.resize(data_words);
+  for (auto& w : prog.data) w = get_u32(is);
+  for (std::uint32_t i = 0; i < num_symbols; ++i) {
+    const std::uint32_t len = get_u32(is);
+    if (len > 4096) throw AssemblyError("implausible symbol length");
+    std::string name(len, '\0');
+    is.read(name.data(), len);
+    if (!is) throw AssemblyError("truncated program file");
+    prog.symbols[name] = get_i64(is);
+  }
+  return prog;
+}
+
+Program load_program_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw AssemblyError("cannot open program file: " + path);
+  return load_program(is);
+}
+
+std::string render_listing(const Program& program) {
+  // Labels by address (text symbols only — values inside the text range).
+  std::multimap<Addr, std::string> labels;
+  for (const auto& [name, value] : program.symbols)
+    if (value >= 0 && static_cast<std::size_t>(value) <= program.text.size())
+      labels.emplace(static_cast<Addr>(value), name);
+
+  std::ostringstream os;
+  os << "; entry: " << program.entry << "\n";
+  for (Addr a = 0; a < program.text.size(); ++a) {
+    for (auto [it, end] = labels.equal_range(a); it != end; ++it)
+      os << it->second << ":\n";
+    std::string dis;
+    try {
+      dis = disassemble(decode(program.text[a]));
+    } catch (const DecodeError&) {
+      dis = "<illegal>";
+    }
+    os << "  " << std::setw(5) << a << "  " << std::hex << std::setw(8)
+       << std::setfill('0') << program.text[a] << std::dec << std::setfill(' ')
+       << "  " << dis << '\n';
+  }
+  if (!program.data.empty()) {
+    os << "; data segment (" << program.data.size() << " words)\n";
+    for (Addr a = 0; a < program.data.size(); ++a)
+      os << "  [" << a << "] = " << program.data[a] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace masc

@@ -1,0 +1,28 @@
+// Binary program-image container (".mo" files) and human-readable
+// listings. The container lets the assembler driver (masc-as) and the
+// runner (masc-run) exchange programs without re-assembling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "assembler/program.hpp"
+
+namespace masc {
+
+/// Serialize a program image. Format: "MASCOBJ1" magic, then
+/// little-endian u32 entry / text words / data words / symbol count,
+/// the text and data word arrays, and (u32 length, bytes, i64 value)
+/// per symbol.
+void save_program(std::ostream& os, const Program& program);
+void save_program_file(const std::string& path, const Program& program);
+
+/// Deserialize; throws AssemblyError on malformed input.
+Program load_program(std::istream& is);
+Program load_program_file(const std::string& path);
+
+/// Human-readable listing: address, encoded word, disassembly, with
+/// label names interleaved at their definition addresses.
+std::string render_listing(const Program& program);
+
+}  // namespace masc

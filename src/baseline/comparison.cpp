@@ -1,0 +1,56 @@
+#include "baseline/comparison.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "arch/device.hpp"
+
+namespace masc::baseline {
+
+std::vector<ComparisonRow> compare(const std::vector<NamedConfig>& configs,
+                                   const Workload& workload) {
+  std::vector<ComparisonRow> rows;
+  const auto dev = arch::ep2c35();
+  for (const auto& nc : configs) {
+    ComparisonRow row;
+    row.name = nc.name;
+    row.config = nc.config;
+    const Stats st = workload(nc.config);
+    row.cycles = st.cycles;
+    row.instructions = st.instructions;
+    row.ipc = st.ipc();
+    row.idle_cycles = st.idle_cycles;
+    row.reduction_stall_cycles =
+        st.idle_by_cause[static_cast<std::size_t>(StallCause::kReductionHazard)] +
+        st.idle_by_cause[static_cast<std::size_t>(
+            StallCause::kBroadcastReductionHazard)];
+    row.fmax_mhz = arch::TimingModel::fmax_mhz(nc.config, dev);
+    row.time_us =
+        arch::TimingModel::seconds(nc.config, dev, static_cast<double>(st.cycles)) * 1e6;
+    rows.push_back(row);
+  }
+  if (!rows.empty() && rows.front().time_us > 0)
+    for (auto& row : rows)
+      row.speedup_vs_first = rows.front().time_us / row.time_us;
+  return rows;
+}
+
+std::string render_table(const std::vector<ComparisonRow>& rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(24) << "configuration" << std::right
+     << std::setw(12) << "cycles" << std::setw(10) << "instr" << std::setw(8)
+     << "IPC" << std::setw(10) << "Fmax" << std::setw(12) << "time(us)"
+     << std::setw(10) << "speedup" << std::setw(12) << "red.stall" << '\n';
+  for (const auto& r : rows) {
+    os << std::left << std::setw(24) << r.name << std::right << std::setw(12)
+       << r.cycles << std::setw(10) << r.instructions << std::setw(8)
+       << std::fixed << std::setprecision(3) << r.ipc << std::setw(9)
+       << std::setprecision(1) << r.fmax_mhz << "M" << std::setw(12)
+       << std::setprecision(2) << r.time_us << std::setw(9)
+       << std::setprecision(2) << r.speedup_vs_first << "x" << std::setw(12)
+       << r.reduction_stall_cycles << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace masc::baseline

@@ -1,0 +1,41 @@
+// Cross-configuration workload comparison: run identical programs on the
+// prototype and its baselines, reporting cycles, modeled wall-clock time
+// (cycles x Fmax from the timing model), and the stall breakdown.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/timing_model.hpp"
+#include "baseline/configs.hpp"
+#include "sim/stats.hpp"
+
+namespace masc::baseline {
+
+struct ComparisonRow {
+  std::string name;
+  MachineConfig config;
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  double ipc = 0;
+  double fmax_mhz = 0;
+  double time_us = 0;         ///< modeled wall-clock on the EP2C35
+  double speedup_vs_first = 1.0;
+  std::uint64_t idle_cycles = 0;
+  std::uint64_t reduction_stall_cycles = 0;  ///< idle blamed on reduction
+};
+
+/// A workload: given a config, run it and return final stats. The
+/// callback owns machine construction so workloads can bind data.
+using Workload = std::function<Stats(const MachineConfig&)>;
+
+/// Run the workload across configurations; speedups are relative to the
+/// first row (time-based, using the timing model's Fmax for each config).
+std::vector<ComparisonRow> compare(const std::vector<NamedConfig>& configs,
+                                   const Workload& workload);
+
+/// Fixed-width table rendering for benches.
+std::string render_table(const std::vector<ComparisonRow>& rows);
+
+}  // namespace masc::baseline

@@ -1,0 +1,62 @@
+#include "baseline/configs.hpp"
+
+namespace masc::baseline {
+
+namespace {
+
+MachineConfig base(std::uint32_t num_pes, unsigned word_width) {
+  MachineConfig cfg;
+  cfg.num_pes = num_pes;
+  cfg.word_width = word_width;
+  cfg.local_mem_bytes = 1024;
+  return cfg;
+}
+
+}  // namespace
+
+MachineConfig prototype(std::uint32_t num_pes, std::uint32_t threads,
+                        unsigned word_width) {
+  MachineConfig cfg = base(num_pes, word_width);
+  cfg.num_threads = threads;
+  cfg.multithreading = true;
+  cfg.pipelined_network = true;
+  cfg.pipelined_execution = true;
+  return cfg;
+}
+
+MachineConfig pipelined_st(std::uint32_t num_pes, unsigned word_width) {
+  MachineConfig cfg = base(num_pes, word_width);
+  cfg.multithreading = false;
+  cfg.pipelined_network = false;
+  cfg.pipelined_execution = true;
+  return cfg;
+}
+
+MachineConfig nonpipelined(std::uint32_t num_pes, unsigned word_width) {
+  MachineConfig cfg = base(num_pes, word_width);
+  cfg.multithreading = false;
+  cfg.pipelined_network = false;
+  cfg.pipelined_execution = false;
+  return cfg;
+}
+
+MachineConfig pipelined_net_st(std::uint32_t num_pes, unsigned word_width) {
+  MachineConfig cfg = base(num_pes, word_width);
+  cfg.multithreading = false;
+  cfg.pipelined_network = true;
+  cfg.pipelined_execution = true;
+  return cfg;
+}
+
+std::vector<NamedConfig> comparison_set(std::uint32_t num_pes,
+                                        std::uint32_t threads,
+                                        unsigned word_width) {
+  return {
+      {"nonpipelined [6]", nonpipelined(num_pes, word_width)},
+      {"pipelined-ST [7]", pipelined_st(num_pes, word_width)},
+      {"pipelined-net ST", pipelined_net_st(num_pes, word_width)},
+      {"multithreaded (this)", prototype(num_pes, threads, word_width)},
+  };
+}
+
+}  // namespace masc::baseline

@@ -1,0 +1,47 @@
+// Named machine configurations: the paper's prototype and its
+// prior-generation baselines (§3), expressed as parameterizations of the
+// same simulator so every comparison is apples-to-apples in ISA and
+// workload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace masc::baseline {
+
+/// The Multithreaded ASC Processor prototype (§6-§7): pipelined
+/// execution, fully pipelined broadcast/reduction networks, 16 hardware
+/// threads. `word_width` defaults to 16 so workloads have useful range;
+/// pass 8 for the exact FPGA prototype datapath.
+MachineConfig prototype(std::uint32_t num_pes = 16, std::uint32_t threads = 16,
+                        unsigned word_width = 16);
+
+/// The pipelined (single-threaded) ASC Processor of Wang & Walker [7]:
+/// classic five-stage pipeline, but broadcast and reduction are
+/// combinational — zero network latency in cycles, paid for in clock
+/// rate (the broadcast/reduction bottleneck).
+MachineConfig pipelined_st(std::uint32_t num_pes = 16, unsigned word_width = 16);
+
+/// The original scalable ASC Processor [6]: neither execution nor
+/// networks pipelined; one instruction completes every 5 cycles.
+MachineConfig nonpipelined(std::uint32_t num_pes = 16, unsigned word_width = 16);
+
+/// A hypothetical pipelined-networks machine *without* multithreading:
+/// isolates the contribution of fine-grain MT (it eats the full b+r
+/// stall on every reduction dependence).
+MachineConfig pipelined_net_st(std::uint32_t num_pes = 16,
+                               unsigned word_width = 16);
+
+struct NamedConfig {
+  std::string name;
+  MachineConfig config;
+};
+
+/// The standard comparison set used by benches E1-E3.
+std::vector<NamedConfig> comparison_set(std::uint32_t num_pes,
+                                        std::uint32_t threads = 16,
+                                        unsigned word_width = 16);
+
+}  // namespace masc::baseline

@@ -1,0 +1,43 @@
+// Saturating arithmetic for the sum-reduction unit.
+//
+// Paper §6.4: "If overflow occurs while computing the sum, the result is
+// saturated to the largest or smallest representable value." The sum unit
+// operates on signed machine words of the configured width.
+#pragma once
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace masc {
+
+/// Largest representable signed value at `width` bits, as a raw word.
+constexpr Word signed_max_word(unsigned width) {
+  return low_mask(width) >> 1;
+}
+
+/// Smallest representable signed value at `width` bits, as a raw word.
+constexpr Word signed_min_word(unsigned width) {
+  return Word{1} << (width - 1);
+}
+
+/// Signed saturating addition on `width`-bit words (raw two's-complement
+/// container in, raw container out).
+constexpr Word sat_add_signed(Word a, Word b, unsigned width) {
+  const SDWord sum = static_cast<SDWord>(sign_extend(a, width)) +
+                     static_cast<SDWord>(sign_extend(b, width));
+  const SDWord hi = static_cast<SDWord>(sign_extend(signed_max_word(width), width));
+  const SDWord lo = static_cast<SDWord>(sign_extend(signed_min_word(width), width));
+  if (sum > hi) return signed_max_word(width);
+  if (sum < lo) return signed_min_word(width);
+  return truncate(static_cast<Word>(static_cast<SDWord>(sum)), width);
+}
+
+/// Unsigned saturating addition on `width`-bit words.
+constexpr Word sat_add_unsigned(Word a, Word b, unsigned width) {
+  const DWord sum = static_cast<DWord>(truncate(a, width)) +
+                    static_cast<DWord>(truncate(b, width));
+  const DWord hi = low_mask(width);
+  return sum > hi ? static_cast<Word>(hi) : static_cast<Word>(sum);
+}
+
+}  // namespace masc

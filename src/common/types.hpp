@@ -1,0 +1,40 @@
+// Fundamental value and index types shared by every MASC module.
+//
+// The simulated machine is width-configurable (the 2007 prototype used
+// 8-bit PEs); architectural words are carried in a 32-bit container and
+// truncated to the configured width at commit points (see bits.hpp).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace masc {
+
+/// Architectural data word container. Holds 8/16/32-bit machine words.
+using Word = std::uint32_t;
+/// Signed view of a data word (for signed compare / max / min / shift).
+using SWord = std::int32_t;
+/// Double-width container for multiply results and saturation checks.
+using DWord = std::uint64_t;
+using SDWord = std::int64_t;
+
+/// Instruction word: the ISA uses fixed 32-bit encodings.
+using InstrWord = std::uint32_t;
+
+/// Byte address into scalar or PE-local memory.
+using Addr = std::uint32_t;
+
+/// Index of a processing element within the PE array.
+using PEIndex = std::uint32_t;
+/// Hardware thread context id.
+using ThreadId = std::uint32_t;
+/// Architectural register number (scalar GPR, parallel GPR, or flag).
+using RegNum = std::uint32_t;
+
+/// Simulation time in clock cycles.
+using Cycle = std::uint64_t;
+
+/// Value returned by simulation steps that may not produce a result yet.
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+}  // namespace masc

@@ -1,0 +1,351 @@
+#include "isa/encoding.hpp"
+
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace masc {
+
+namespace {
+
+constexpr unsigned kOpShift = 26;
+constexpr unsigned kRdShift = 21;
+constexpr unsigned kRsShift = 16;
+constexpr unsigned kRtShift = 11;
+constexpr unsigned kRMaskShift = 8;
+constexpr unsigned kPiMaskShift = 13;
+constexpr unsigned kPiSubShift = 9;
+
+[[noreturn]] void bad(const std::string& msg) { throw DecodeError(msg); }
+
+void check_field(std::uint32_t v, std::uint32_t max, const char* what) {
+  if (v > max) bad(std::string("field out of range: ") + what);
+}
+
+void check_simm(std::int32_t v, unsigned width, const char* what) {
+  const std::int32_t lo = -(1 << (width - 1));
+  const std::int32_t hi = (1 << (width - 1)) - 1;
+  if (v < lo || v > hi)
+    bad(std::string("immediate out of range: ") + what + " = " + std::to_string(v));
+}
+
+std::uint8_t max_funct(Opcode op) {
+  switch (op) {
+    case Opcode::kSys: return static_cast<std::uint8_t>(SysFunct::kCount) - 1;
+    case Opcode::kSAlu:
+    case Opcode::kPAlu:
+    case Opcode::kPAluS: return static_cast<std::uint8_t>(AluFunct::kCount) - 1;
+    case Opcode::kSCmp:
+    case Opcode::kPCmp:
+    case Opcode::kPCmpS: return static_cast<std::uint8_t>(CmpFunct::kCount) - 1;
+    case Opcode::kSFlag:
+    case Opcode::kPFlag: return static_cast<std::uint8_t>(FlagFunct::kCount) - 1;
+    case Opcode::kRed: return static_cast<std::uint8_t>(RedFunct::kCount) - 1;
+    case Opcode::kRSel: return static_cast<std::uint8_t>(RSelFunct::kCount) - 1;
+    case Opcode::kTCtl: return static_cast<std::uint8_t>(TCtlFunct::kCount) - 1;
+    case Opcode::kTMov: return static_cast<std::uint8_t>(TMovFunct::kCount) - 1;
+    case Opcode::kPMov: return static_cast<std::uint8_t>(PMovFunct::kCount) - 1;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+InstrFormat format_of(Opcode op) {
+  switch (op) {
+    case Opcode::kSys:
+    case Opcode::kSAlu:
+    case Opcode::kSCmp:
+    case Opcode::kSFlag:
+    case Opcode::kJr:
+    case Opcode::kPAlu:
+    case Opcode::kPAluS:
+    case Opcode::kPCmp:
+    case Opcode::kPCmpS:
+    case Opcode::kPFlag:
+    case Opcode::kPMov:
+    case Opcode::kRed:
+    case Opcode::kRSel:
+    case Opcode::kTCtl:
+    case Opcode::kTMov:
+      return InstrFormat::kR;
+    case Opcode::kPImm:
+    case Opcode::kPLw:
+    case Opcode::kPSw:
+      return InstrFormat::kPI;
+    case Opcode::kJ:
+      return InstrFormat::kJ;
+    case Opcode::kJal:
+      // I format: rd = link register (register counts are configurable,
+      // so the link register is named explicitly), imm16 = absolute target.
+      return InstrFormat::kI;
+    default:
+      return InstrFormat::kI;
+  }
+}
+
+InstrWord encode(const Instruction& in) {
+  const auto opn = static_cast<std::uint32_t>(in.op);
+  if (opn >= static_cast<std::uint32_t>(Opcode::kOpcodeCount)) bad("bad opcode");
+  InstrWord w = opn << kOpShift;
+  switch (format_of(in.op)) {
+    case InstrFormat::kR:
+      check_field(in.rd, 31, "rd");
+      check_field(in.rs, 31, "rs");
+      check_field(in.rt, 31, "rt");
+      check_field(in.mask, 7, "mask");
+      check_field(in.funct, max_funct(in.op), "funct");
+      w |= in.rd << kRdShift | in.rs << kRsShift | in.rt << kRtShift |
+           in.mask << kRMaskShift | in.funct;
+      break;
+    case InstrFormat::kI:
+      check_field(in.rd, 31, "rd");
+      check_field(in.rs, 31, "rs");
+      check_simm(in.imm, 16, "imm16");
+      w |= in.rd << kRdShift | in.rs << kRsShift |
+           (static_cast<std::uint32_t>(in.imm) & 0xFFFFu);
+      break;
+    case InstrFormat::kPI:
+      check_field(in.rd, 31, "rd");
+      check_field(in.rs, 31, "rs");
+      check_field(in.mask, 7, "mask");
+      if (in.op == Opcode::kPImm)
+        check_field(in.funct, static_cast<std::uint8_t>(PImmOp::kCount) - 1, "subop");
+      check_simm(in.imm, 9, "imm9");
+      w |= in.rd << kRdShift | in.rs << kRsShift | in.mask << kPiMaskShift |
+           static_cast<std::uint32_t>(in.funct) << kPiSubShift |
+           (static_cast<std::uint32_t>(in.imm) & 0x1FFu);
+      break;
+    case InstrFormat::kJ:
+      if (in.imm < 0 || in.imm >= (1 << 26)) bad("jump target out of range");
+      w |= static_cast<std::uint32_t>(in.imm) & 0x03FFFFFFu;
+      break;
+  }
+  return w;
+}
+
+Instruction decode(InstrWord w) {
+  Instruction in;
+  const std::uint32_t opn = bits(w, 31, 26);
+  if (opn >= static_cast<std::uint32_t>(Opcode::kOpcodeCount))
+    bad("illegal opcode " + std::to_string(opn));
+  in.op = static_cast<Opcode>(opn);
+  switch (format_of(in.op)) {
+    case InstrFormat::kR:
+      in.rd = bits(w, 25, 21);
+      in.rs = bits(w, 20, 16);
+      in.rt = bits(w, 15, 11);
+      in.mask = bits(w, 10, 8);
+      in.funct = static_cast<std::uint8_t>(bits(w, 7, 0));
+      if (in.funct > max_funct(in.op))
+        bad(std::string("illegal funct for ") + to_string(in.op));
+      break;
+    case InstrFormat::kI:
+      in.rd = bits(w, 25, 21);
+      in.rs = bits(w, 20, 16);
+      in.imm = sign_extend(bits(w, 15, 0), 16);
+      break;
+    case InstrFormat::kPI:
+      in.rd = bits(w, 25, 21);
+      in.rs = bits(w, 20, 16);
+      in.mask = bits(w, 15, 13);
+      in.funct = static_cast<std::uint8_t>(bits(w, 12, 9));
+      if (in.op == Opcode::kPImm &&
+          in.funct > static_cast<std::uint8_t>(PImmOp::kCount) - 1)
+        bad("illegal pimm subop");
+      if (in.op != Opcode::kPImm) in.funct = 0;
+      in.imm = sign_extend(bits(w, 8, 0), 9);
+      break;
+    case InstrFormat::kJ:
+      in.imm = static_cast<std::int32_t>(bits(w, 25, 0));
+      break;
+  }
+  return in;
+}
+
+namespace {
+
+std::string sreg(RegNum r) { return "r" + std::to_string(r); }
+std::string preg(RegNum r) { return "p" + std::to_string(r); }
+std::string sflg(RegNum r) { return "sf" + std::to_string(r); }
+std::string pflg(RegNum r) { return "pf" + std::to_string(r); }
+
+/// Mask suffix printed only when a non-default mask flag is in use.
+std::string msk(RegNum m) { return m == 0 ? "" : " ?" + pflg(m); }
+
+}  // namespace
+
+std::string disassemble(const Instruction& in) {
+  std::ostringstream os;
+  switch (in.op) {
+    case Opcode::kSys:
+      os << to_string(static_cast<SysFunct>(in.funct));
+      break;
+    case Opcode::kSAlu: {
+      const auto f = static_cast<AluFunct>(in.funct);
+      if (f == AluFunct::kMov)
+        os << "mov " << sreg(in.rd) << ", " << sreg(in.rs);
+      else
+        os << to_string(f) << ' ' << sreg(in.rd) << ", " << sreg(in.rs) << ", "
+           << sreg(in.rt);
+      break;
+    }
+    case Opcode::kSCmp:
+      os << 'c' << to_string(static_cast<CmpFunct>(in.funct)) << ' '
+         << sflg(in.rd) << ", " << sreg(in.rs) << ", " << sreg(in.rt);
+      break;
+    case Opcode::kSFlag: {
+      const auto f = static_cast<FlagFunct>(in.funct);
+      os << 's' << to_string(f) << ' ' << sflg(in.rd);
+      if (f == FlagFunct::kNot || f == FlagFunct::kMov)
+        os << ", " << sflg(in.rs);
+      else if (f != FlagFunct::kSet && f != FlagFunct::kClr)
+        os << ", " << sflg(in.rs) << ", " << sflg(in.rt);
+      break;
+    }
+    case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri:
+    case Opcode::kXori: case Opcode::kSlti: case Opcode::kSltiu:
+    case Opcode::kSlli: case Opcode::kSrli: case Opcode::kSrai:
+      os << to_string(in.op) << ' ' << sreg(in.rd) << ", " << sreg(in.rs)
+         << ", " << in.imm;
+      break;
+    case Opcode::kLui:
+      os << "lui " << sreg(in.rd) << ", " << in.imm;
+      break;
+    case Opcode::kLw:
+      os << "lw " << sreg(in.rd) << ", " << in.imm << '(' << sreg(in.rs) << ')';
+      break;
+    case Opcode::kSw:
+      os << "sw " << sreg(in.rd) << ", " << in.imm << '(' << sreg(in.rs) << ')';
+      break;
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+      os << to_string(in.op) << ' ' << sreg(in.rd) << ", " << sreg(in.rs)
+         << ", " << in.imm;
+      break;
+    case Opcode::kBfset: case Opcode::kBfclr:
+      os << to_string(in.op) << ' ' << sflg(in.rd) << ", " << in.imm;
+      break;
+    case Opcode::kJ:
+      os << "j " << in.imm;
+      break;
+    case Opcode::kJal:
+      os << "jal " << sreg(in.rd) << ", " << in.imm;
+      break;
+    case Opcode::kJr:
+      os << "jr " << sreg(in.rs);
+      break;
+    case Opcode::kPAlu: {
+      const auto f = static_cast<AluFunct>(in.funct);
+      os << 'p' << to_string(f) << ' ' << preg(in.rd) << ", " << preg(in.rs);
+      if (f != AluFunct::kMov) os << ", " << preg(in.rt);
+      os << msk(in.mask);
+      break;
+    }
+    case Opcode::kPAluS:
+      os << 'p' << to_string(static_cast<AluFunct>(in.funct)) << "s "
+         << preg(in.rd) << ", " << sreg(in.rs) << ", " << preg(in.rt)
+         << msk(in.mask);
+      break;
+    case Opcode::kPImm: {
+      const auto sub = static_cast<PImmOp>(in.funct);
+      switch (sub) {
+        case PImmOp::kAddi: os << "paddi"; break;
+        case PImmOp::kAndi: os << "pandi"; break;
+        case PImmOp::kOri: os << "pori"; break;
+        case PImmOp::kXori: os << "pxori"; break;
+        case PImmOp::kSlli: os << "pslli"; break;
+        case PImmOp::kSrli: os << "psrli"; break;
+        case PImmOp::kSrai: os << "psrai"; break;
+        case PImmOp::kMovi: os << "pmovi"; break;
+        case PImmOp::kCount: os << "?pimm"; break;
+      }
+      os << ' ' << preg(in.rd);
+      if (sub != PImmOp::kMovi) os << ", " << preg(in.rs);
+      os << ", " << in.imm << msk(in.mask);
+      break;
+    }
+    case Opcode::kPCmp:
+      os << "pc" << to_string(static_cast<CmpFunct>(in.funct)) << ' '
+         << pflg(in.rd) << ", " << preg(in.rs) << ", " << preg(in.rt)
+         << msk(in.mask);
+      break;
+    case Opcode::kPCmpS:
+      os << "pc" << to_string(static_cast<CmpFunct>(in.funct)) << "s "
+         << pflg(in.rd) << ", " << sreg(in.rs) << ", " << preg(in.rt)
+         << msk(in.mask);
+      break;
+    case Opcode::kPFlag: {
+      const auto f = static_cast<FlagFunct>(in.funct);
+      os << 'p' << to_string(f) << ' ' << pflg(in.rd);
+      if (f == FlagFunct::kNot || f == FlagFunct::kMov)
+        os << ", " << pflg(in.rs);
+      else if (f != FlagFunct::kSet && f != FlagFunct::kClr)
+        os << ", " << pflg(in.rs) << ", " << pflg(in.rt);
+      os << msk(in.mask);
+      break;
+    }
+    case Opcode::kPLw:
+      os << "plw " << preg(in.rd) << ", " << in.imm << '(' << preg(in.rs)
+         << ')' << msk(in.mask);
+      break;
+    case Opcode::kPSw:
+      os << "psw " << preg(in.rd) << ", " << in.imm << '(' << preg(in.rs)
+         << ')' << msk(in.mask);
+      break;
+    case Opcode::kPMov:
+      if (static_cast<PMovFunct>(in.funct) == PMovFunct::kBcast)
+        os << "pbcast " << preg(in.rd) << ", " << sreg(in.rs) << msk(in.mask);
+      else
+        os << "pindex " << preg(in.rd) << msk(in.mask);
+      break;
+    case Opcode::kRed: {
+      const auto f = static_cast<RedFunct>(in.funct);
+      os << to_string(f) << ' ';
+      switch (f) {
+        case RedFunct::kFAnd:
+        case RedFunct::kFOr:
+          os << sflg(in.rd) << ", " << pflg(in.rs);
+          break;
+        case RedFunct::kCount_:
+        case RedFunct::kAny:
+          os << sreg(in.rd) << ", " << pflg(in.rs);
+          break;
+        case RedFunct::kGetPe:
+          os << sreg(in.rd) << ", " << preg(in.rs) << ", " << sreg(in.rt);
+          break;
+        default:
+          os << sreg(in.rd) << ", " << preg(in.rs);
+          break;
+      }
+      os << msk(in.mask);
+      break;
+    }
+    case Opcode::kRSel:
+      os << to_string(static_cast<RSelFunct>(in.funct)) << ' ' << pflg(in.rd)
+         << ", " << pflg(in.rs) << msk(in.mask);
+      break;
+    case Opcode::kTCtl: {
+      const auto f = static_cast<TCtlFunct>(in.funct);
+      os << to_string(f);
+      switch (f) {
+        case TCtlFunct::kSpawn: os << ' ' << sreg(in.rd) << ", " << sreg(in.rs); break;
+        case TCtlFunct::kJoin: os << ' ' << sreg(in.rs); break;
+        case TCtlFunct::kExit: break;
+        default: os << ' ' << sreg(in.rd); break;
+      }
+      break;
+    }
+    case Opcode::kTMov:
+      os << to_string(static_cast<TMovFunct>(in.funct)) << ' ' << sreg(in.rd)
+         << ", " << sreg(in.rs) << ", " << sreg(in.rt);
+      break;
+    case Opcode::kOpcodeCount:
+      os << "?";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace masc

@@ -1,0 +1,31 @@
+// Binary instruction formats.
+//
+//   R  format: [31:26] op  [25:21] rd  [20:16] rs  [15:11] rt
+//              [10:8]  mask  [7:0] funct
+//   I  format: [31:26] op  [25:21] rd  [20:16] rs  [15:0] imm16 (signed)
+//   PI format: [31:26] op  [25:21] rd  [20:16] rs  [15:13] mask
+//              [12:9] subop  [8:0] imm9 (signed)
+//   J  format: [31:26] op  [25:0] target26
+#pragma once
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace masc {
+
+/// Which binary format an opcode uses.
+enum class InstrFormat : std::uint8_t { kR, kI, kPI, kJ };
+
+InstrFormat format_of(Opcode op);
+
+/// Encode a decoded instruction into its 32-bit word.
+/// Throws DecodeError if a field is out of range for the format.
+InstrWord encode(const Instruction& instr);
+
+/// Decode a 32-bit word. Throws DecodeError on illegal opcode/funct.
+Instruction decode(InstrWord word);
+
+/// Textual disassembly (assembler syntax) of a decoded instruction.
+std::string disassemble(const Instruction& instr);
+
+}  // namespace masc

@@ -1,0 +1,144 @@
+#include "isa/instruction.hpp"
+
+namespace masc {
+
+InstrClass Instruction::instr_class() const {
+  switch (op) {
+    case Opcode::kPAlu:
+    case Opcode::kPAluS:
+    case Opcode::kPImm:
+    case Opcode::kPCmp:
+    case Opcode::kPCmpS:
+    case Opcode::kPFlag:
+    case Opcode::kPLw:
+    case Opcode::kPSw:
+    case Opcode::kPMov:
+      return InstrClass::kParallel;
+    case Opcode::kRed:
+    case Opcode::kRSel:
+      return InstrClass::kReduction;
+    default:
+      return InstrClass::kScalar;
+  }
+}
+
+bool Instruction::is_branch() const {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+    case Opcode::kBfset:
+    case Opcode::kBfclr:
+    case Opcode::kJ:
+    case Opcode::kJal:
+    case Opcode::kJr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Instruction::has_parallel_dest() const { return op == Opcode::kRSel; }
+
+namespace ir {
+
+namespace {
+Instruction make(Opcode op, std::uint8_t funct, RegNum rd, RegNum rs, RegNum rt,
+                 RegNum mask, std::int32_t imm) {
+  Instruction i;
+  i.op = op;
+  i.funct = funct;
+  i.rd = rd;
+  i.rs = rs;
+  i.rt = rt;
+  i.mask = mask;
+  i.imm = imm;
+  return i;
+}
+}  // namespace
+
+Instruction nop() {
+  return make(Opcode::kSys, static_cast<std::uint8_t>(SysFunct::kNop), 0, 0, 0, 0, 0);
+}
+Instruction halt() {
+  return make(Opcode::kSys, static_cast<std::uint8_t>(SysFunct::kHalt), 0, 0, 0, 0, 0);
+}
+Instruction salu(AluFunct f, RegNum rd, RegNum rs, RegNum rt) {
+  return make(Opcode::kSAlu, static_cast<std::uint8_t>(f), rd, rs, rt, 0, 0);
+}
+Instruction scmp(CmpFunct f, RegNum fd, RegNum rs, RegNum rt) {
+  return make(Opcode::kSCmp, static_cast<std::uint8_t>(f), fd, rs, rt, 0, 0);
+}
+Instruction sflag(FlagFunct f, RegNum fd, RegNum fs, RegNum ft) {
+  return make(Opcode::kSFlag, static_cast<std::uint8_t>(f), fd, fs, ft, 0, 0);
+}
+Instruction imm_op(Opcode op, RegNum rd, RegNum rs, std::int32_t imm) {
+  return make(op, 0, rd, rs, 0, 0, imm);
+}
+Instruction lw(RegNum rd, RegNum base, std::int32_t offset) {
+  return make(Opcode::kLw, 0, rd, base, 0, 0, offset);
+}
+Instruction sw(RegNum rsrc, RegNum base, std::int32_t offset) {
+  return make(Opcode::kSw, 0, rsrc, base, 0, 0, offset);
+}
+Instruction branch(Opcode op, RegNum a, RegNum b, std::int32_t offset) {
+  return make(op, 0, a, b, 0, 0, offset);
+}
+Instruction branch_flag(Opcode op, RegNum flag, std::int32_t offset) {
+  return make(op, 0, flag, 0, 0, 0, offset);
+}
+Instruction jump(Opcode op, std::int32_t target) {
+  return make(op, 0, 0, 0, 0, 0, target);
+}
+Instruction jal(RegNum link, std::int32_t target) {
+  return make(Opcode::kJal, 0, link, 0, 0, 0, target);
+}
+Instruction jr(RegNum rs) { return make(Opcode::kJr, 0, 0, rs, 0, 0, 0); }
+Instruction palu(AluFunct f, RegNum rd, RegNum rs, RegNum rt, RegNum mask) {
+  return make(Opcode::kPAlu, static_cast<std::uint8_t>(f), rd, rs, rt, mask, 0);
+}
+Instruction palus(AluFunct f, RegNum rd, RegNum scalar_rs, RegNum rt, RegNum mask) {
+  return make(Opcode::kPAluS, static_cast<std::uint8_t>(f), rd, scalar_rs, rt, mask, 0);
+}
+Instruction pimm(PImmOp sub, RegNum rd, RegNum rs, std::int32_t imm9, RegNum mask) {
+  return make(Opcode::kPImm, static_cast<std::uint8_t>(sub), rd, rs, 0, mask, imm9);
+}
+Instruction pcmp(CmpFunct f, RegNum fd, RegNum rs, RegNum rt, RegNum mask) {
+  return make(Opcode::kPCmp, static_cast<std::uint8_t>(f), fd, rs, rt, mask, 0);
+}
+Instruction pcmps(CmpFunct f, RegNum fd, RegNum scalar_rs, RegNum rt, RegNum mask) {
+  return make(Opcode::kPCmpS, static_cast<std::uint8_t>(f), fd, scalar_rs, rt, mask, 0);
+}
+Instruction pflag(FlagFunct f, RegNum fd, RegNum fs, RegNum ft, RegNum mask) {
+  return make(Opcode::kPFlag, static_cast<std::uint8_t>(f), fd, fs, ft, mask, 0);
+}
+Instruction plw(RegNum rd, RegNum base, std::int32_t offset, RegNum mask) {
+  return make(Opcode::kPLw, 0, rd, base, 0, mask, offset);
+}
+Instruction psw(RegNum rsrc, RegNum base, std::int32_t offset, RegNum mask) {
+  return make(Opcode::kPSw, 0, rsrc, base, 0, mask, offset);
+}
+Instruction pbcast(RegNum prd, RegNum srs, RegNum mask) {
+  return make(Opcode::kPMov, static_cast<std::uint8_t>(PMovFunct::kBcast), prd, srs, 0, mask, 0);
+}
+Instruction pindex(RegNum prd, RegNum mask) {
+  return make(Opcode::kPMov, static_cast<std::uint8_t>(PMovFunct::kIndex), prd, 0, 0, mask, 0);
+}
+Instruction red(RedFunct f, RegNum rd, RegNum rs, RegNum rt, RegNum mask) {
+  return make(Opcode::kRed, static_cast<std::uint8_t>(f), rd, rs, rt, mask, 0);
+}
+Instruction rsel(RSelFunct f, RegNum fd, RegNum fs, RegNum mask) {
+  return make(Opcode::kRSel, static_cast<std::uint8_t>(f), fd, fs, 0, mask, 0);
+}
+Instruction tctl(TCtlFunct f, RegNum rd, RegNum rs) {
+  return make(Opcode::kTCtl, static_cast<std::uint8_t>(f), rd, rs, 0, 0, 0);
+}
+Instruction tmov(TMovFunct f, RegNum rd, RegNum rs, RegNum rt) {
+  return make(Opcode::kTMov, static_cast<std::uint8_t>(f), rd, rs, rt, 0, 0);
+}
+
+}  // namespace ir
+}  // namespace masc

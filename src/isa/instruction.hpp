@@ -1,0 +1,77 @@
+// Decoded-instruction value type and the three-way classification from
+// paper §4.1: scalar / parallel / reduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/opcodes.hpp"
+
+namespace masc {
+
+/// Paper §4.1: "Instructions in a SIMD processor can be classified into
+/// three types: scalar instructions execute within the control unit;
+/// parallel instructions execute on the PE array and require the use of
+/// the broadcast network; and reduction instructions ... require the use
+/// of both the broadcast and reduction networks."
+enum class InstrClass : std::uint8_t { kScalar, kParallel, kReduction };
+
+/// A fully decoded instruction. Fields not used by a given opcode are 0.
+struct Instruction {
+  Opcode op = Opcode::kSys;
+  std::uint8_t funct = 0;   ///< interpretation depends on op
+  RegNum rd = 0;
+  RegNum rs = 0;
+  RegNum rt = 0;
+  RegNum mask = 0;          ///< parallel flag register used as activity mask
+  std::int32_t imm = 0;     ///< sign-extended imm16 / imm9, or target26
+
+  InstrClass instr_class() const;
+
+  bool is_branch() const;   ///< any control transfer (branches and jumps)
+  bool is_halt() const { return op == Opcode::kSys && funct == static_cast<std::uint8_t>(SysFunct::kHalt); }
+  bool is_nop() const { return op == Opcode::kSys && funct == static_cast<std::uint8_t>(SysFunct::kNop); }
+
+  /// The resolver (RSEL) is a reduction-class instruction whose result is a
+  /// *parallel* flag value (paper §6.4: "Unlike the other reduction units,
+  /// the output of the multiple response resolver is a parallel value").
+  bool has_parallel_dest() const;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Convenience constructors used by tests, kernels, and the assembler.
+namespace ir {
+
+Instruction nop();
+Instruction halt();
+Instruction salu(AluFunct f, RegNum rd, RegNum rs, RegNum rt);
+Instruction scmp(CmpFunct f, RegNum fd, RegNum rs, RegNum rt);
+Instruction sflag(FlagFunct f, RegNum fd, RegNum fs, RegNum ft);
+Instruction imm_op(Opcode op, RegNum rd, RegNum rs, std::int32_t imm);
+Instruction lw(RegNum rd, RegNum base, std::int32_t offset);
+Instruction sw(RegNum rsrc, RegNum base, std::int32_t offset);
+Instruction branch(Opcode op, RegNum a, RegNum b, std::int32_t offset);
+Instruction branch_flag(Opcode op, RegNum flag, std::int32_t offset);
+Instruction jump(Opcode op, std::int32_t target);
+Instruction jal(RegNum link, std::int32_t target);
+Instruction jr(RegNum rs);
+Instruction palu(AluFunct f, RegNum rd, RegNum rs, RegNum rt, RegNum mask = 0);
+Instruction palus(AluFunct f, RegNum rd, RegNum scalar_rs, RegNum rt, RegNum mask = 0);
+Instruction pimm(PImmOp sub, RegNum rd, RegNum rs, std::int32_t imm9, RegNum mask = 0);
+Instruction pcmp(CmpFunct f, RegNum fd, RegNum rs, RegNum rt, RegNum mask = 0);
+Instruction pcmps(CmpFunct f, RegNum fd, RegNum scalar_rs, RegNum rt, RegNum mask = 0);
+Instruction pflag(FlagFunct f, RegNum fd, RegNum fs, RegNum ft, RegNum mask = 0);
+Instruction plw(RegNum rd, RegNum base, std::int32_t offset, RegNum mask = 0);
+Instruction psw(RegNum rsrc, RegNum base, std::int32_t offset, RegNum mask = 0);
+Instruction pbcast(RegNum prd, RegNum srs, RegNum mask = 0);
+Instruction pindex(RegNum prd, RegNum mask = 0);
+Instruction red(RedFunct f, RegNum rd, RegNum rs, RegNum rt = 0, RegNum mask = 0);
+Instruction rsel(RSelFunct f, RegNum fd, RegNum fs, RegNum mask = 0);
+Instruction tctl(TCtlFunct f, RegNum rd = 0, RegNum rs = 0);
+Instruction tmov(TMovFunct f, RegNum rd, RegNum rs, RegNum rt);
+
+}  // namespace ir
+
+}  // namespace masc

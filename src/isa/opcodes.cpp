@@ -1,0 +1,177 @@
+#include "isa/opcodes.hpp"
+
+namespace masc {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kSys: return "sys";
+    case Opcode::kSAlu: return "salu";
+    case Opcode::kSCmp: return "scmp";
+    case Opcode::kSFlag: return "sflag";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kAndi: return "andi";
+    case Opcode::kOri: return "ori";
+    case Opcode::kXori: return "xori";
+    case Opcode::kSlti: return "slti";
+    case Opcode::kSltiu: return "sltiu";
+    case Opcode::kSlli: return "slli";
+    case Opcode::kSrli: return "srli";
+    case Opcode::kSrai: return "srai";
+    case Opcode::kLui: return "lui";
+    case Opcode::kLw: return "lw";
+    case Opcode::kSw: return "sw";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kBltu: return "bltu";
+    case Opcode::kBgeu: return "bgeu";
+    case Opcode::kBfset: return "bfset";
+    case Opcode::kBfclr: return "bfclr";
+    case Opcode::kJ: return "j";
+    case Opcode::kJal: return "jal";
+    case Opcode::kJr: return "jr";
+    case Opcode::kPAlu: return "palu";
+    case Opcode::kPAluS: return "palus";
+    case Opcode::kPImm: return "pimm";
+    case Opcode::kPCmp: return "pcmp";
+    case Opcode::kPCmpS: return "pcmps";
+    case Opcode::kPFlag: return "pflag";
+    case Opcode::kPLw: return "plw";
+    case Opcode::kPSw: return "psw";
+    case Opcode::kPMov: return "pmov";
+    case Opcode::kRed: return "red";
+    case Opcode::kRSel: return "rsel";
+    case Opcode::kTCtl: return "tctl";
+    case Opcode::kTMov: return "tmov";
+    case Opcode::kOpcodeCount: break;
+  }
+  return "?op";
+}
+
+const char* to_string(SysFunct f) {
+  switch (f) {
+    case SysFunct::kNop: return "nop";
+    case SysFunct::kHalt: return "halt";
+    case SysFunct::kCount: break;
+  }
+  return "?sys";
+}
+
+const char* to_string(AluFunct f) {
+  switch (f) {
+    case AluFunct::kAdd: return "add";
+    case AluFunct::kSub: return "sub";
+    case AluFunct::kAnd: return "and";
+    case AluFunct::kOr: return "or";
+    case AluFunct::kXor: return "xor";
+    case AluFunct::kNor: return "nor";
+    case AluFunct::kSll: return "sll";
+    case AluFunct::kSrl: return "srl";
+    case AluFunct::kSra: return "sra";
+    case AluFunct::kSlt: return "slt";
+    case AluFunct::kSltu: return "sltu";
+    case AluFunct::kMul: return "mul";
+    case AluFunct::kDiv: return "div";
+    case AluFunct::kRem: return "rem";
+    case AluFunct::kDivU: return "divu";
+    case AluFunct::kRemU: return "remu";
+    case AluFunct::kMov: return "mov";
+    case AluFunct::kCount: break;
+  }
+  return "?alu";
+}
+
+const char* to_string(CmpFunct f) {
+  switch (f) {
+    case CmpFunct::kEq: return "eq";
+    case CmpFunct::kNe: return "ne";
+    case CmpFunct::kLt: return "lt";
+    case CmpFunct::kLe: return "le";
+    case CmpFunct::kLtu: return "ltu";
+    case CmpFunct::kLeu: return "leu";
+    case CmpFunct::kGt: return "gt";
+    case CmpFunct::kGe: return "ge";
+    case CmpFunct::kGtu: return "gtu";
+    case CmpFunct::kGeu: return "geu";
+    case CmpFunct::kCount: break;
+  }
+  return "?cmp";
+}
+
+const char* to_string(FlagFunct f) {
+  switch (f) {
+    case FlagFunct::kAnd: return "fand";
+    case FlagFunct::kOr: return "for";
+    case FlagFunct::kXor: return "fxor";
+    case FlagFunct::kAndNot: return "fandn";
+    case FlagFunct::kNot: return "fnot";
+    case FlagFunct::kMov: return "fmov";
+    case FlagFunct::kSet: return "fset";
+    case FlagFunct::kClr: return "fclr";
+    case FlagFunct::kCount: break;
+  }
+  return "?flag";
+}
+
+const char* to_string(RedFunct f) {
+  switch (f) {
+    case RedFunct::kAnd: return "rand";
+    case RedFunct::kOr: return "ror";
+    case RedFunct::kMax: return "rmax";
+    case RedFunct::kMin: return "rmin";
+    case RedFunct::kMaxU: return "rmaxu";
+    case RedFunct::kMinU: return "rminu";
+    case RedFunct::kSum: return "rsum";
+    case RedFunct::kSumU: return "rsumu";
+    case RedFunct::kCount_: return "rcount";
+    case RedFunct::kAny: return "rany";
+    case RedFunct::kFAnd: return "rfand";
+    case RedFunct::kFOr: return "rfor";
+    case RedFunct::kGetPe: return "getpe";
+    case RedFunct::kCount: break;
+  }
+  return "?red";
+}
+
+const char* to_string(RSelFunct f) {
+  switch (f) {
+    case RSelFunct::kFirst: return "rsel";
+    case RSelFunct::kClearFirst: return "rstep";
+    case RSelFunct::kCount: break;
+  }
+  return "?rsel";
+}
+
+const char* to_string(TCtlFunct f) {
+  switch (f) {
+    case TCtlFunct::kSpawn: return "tspawn";
+    case TCtlFunct::kJoin: return "tjoin";
+    case TCtlFunct::kExit: return "texit";
+    case TCtlFunct::kTid: return "tid";
+    case TCtlFunct::kNPes: return "npes";
+    case TCtlFunct::kNThreads: return "nthreads";
+    case TCtlFunct::kCount: break;
+  }
+  return "?tctl";
+}
+
+const char* to_string(TMovFunct f) {
+  switch (f) {
+    case TMovFunct::kPut: return "tput";
+    case TMovFunct::kGet: return "tget";
+    case TMovFunct::kCount: break;
+  }
+  return "?tmov";
+}
+
+const char* to_string(PMovFunct f) {
+  switch (f) {
+    case PMovFunct::kBcast: return "pbcast";
+    case PMovFunct::kIndex: return "pindex";
+    case PMovFunct::kCount: break;
+  }
+  return "?pmov";
+}
+
+}  // namespace masc

@@ -1,0 +1,169 @@
+// Opcode and function-code enumerations for the MASC ISA.
+//
+// The paper (§6.1) specifies the ISA at the level of instruction classes:
+// a MIPS-like RISC load-store architecture with
+//   - scalar and parallel forms of arithmetic/logic/comparison,
+//   - a broadcast-scalar operand form for most parallel instructions,
+//   - reductions (AND/OR, MAX/MIN, saturating SUM, responder COUNT) and a
+//     multiple-response resolver,
+//   - 1-bit flags as a first-class data type with their own registers and
+//     instructions,
+//   - thread allocate/release and inter-thread data transfer.
+// This header concretizes those classes into a 32-bit fixed encoding
+// (see docs/ISA.md for the programmer-level description).
+#pragma once
+
+#include <cstdint>
+
+namespace masc {
+
+/// Primary opcode, bits [31:26] of every instruction word.
+enum class Opcode : std::uint8_t {
+  // System / scalar register-register (R format)
+  kSys = 0,    ///< funct = SysFunct (NOP, HALT)
+  kSAlu,       ///< scalar ALU reg-reg; funct = AluFunct
+  kSCmp,       ///< scalar compare -> scalar flag rd; funct = CmpFunct
+  kSFlag,      ///< scalar flag logic; rd/rs/rt are flag regs; funct = FlagFunct
+
+  // Scalar immediate (I format)
+  kAddi, kAndi, kOri, kXori, kSlti, kSltiu, kSlli, kSrli, kSrai, kLui,
+
+  // Scalar memory (I format)
+  kLw, kSw,
+
+  // Control flow (I format except kJ/kJal = J format, kJr = R format)
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kBfset,  ///< branch if scalar flag rd is set
+  kBfclr,  ///< branch if scalar flag rd is clear
+  kJ, kJal, kJr,
+
+  // Parallel (R format with mask field, or PI format)
+  kPAlu,   ///< parallel reg-reg; funct = AluFunct
+  kPAluS,  ///< parallel with broadcast scalar: rs is a *scalar* register
+  kPImm,   ///< PI format; subop = PImmOp
+  kPCmp,   ///< parallel compare -> parallel flag rd; funct = CmpFunct
+  kPCmpS,  ///< parallel compare vs broadcast scalar rs; funct = CmpFunct
+  kPFlag,  ///< parallel flag logic; funct = FlagFunct
+  kPLw,    ///< parallel load:  prd <- localmem[prs + imm9]   (PI format)
+  kPSw,    ///< parallel store: localmem[prs + imm9] <- prd   (PI format)
+  kPMov,   ///< funct = PMovFunct (BCAST, INDEX)
+
+  // Reduction (R format with mask field)
+  kRed,    ///< funct = RedFunct; rd scalar dest (GPR or flag), rs parallel src
+  kRSel,   ///< multiple-response resolver; funct = RSelFunct;
+           ///< rd/rs parallel flag regs, *parallel* destination
+
+  // Multithreading (R format)
+  kTCtl,   ///< funct = TCtlFunct (SPAWN, JOIN, EXIT, TID, NPES, NTHREADS)
+  kTMov,   ///< funct = TMovFunct (PUT, GET): inter-thread register transfer
+
+  kOpcodeCount
+};
+
+/// funct codes for Opcode::kSys.
+enum class SysFunct : std::uint8_t { kNop = 0, kHalt, kCount };
+
+/// funct codes for scalar and parallel ALU operations.
+enum class AluFunct : std::uint8_t {
+  kAdd = 0, kSub, kAnd, kOr, kXor, kNor,
+  kSll, kSrl, kSra,
+  kSlt, kSltu,
+  kMul, kDiv, kRem,
+  kDivU, kRemU,
+  kMov,  ///< rd <- rs (rt ignored)
+  kCount
+};
+
+/// Does this ALU operation occupy the multiply / divide unit?
+constexpr bool alu_uses_mul(AluFunct f) { return f == AluFunct::kMul; }
+constexpr bool alu_uses_div(AluFunct f) {
+  return f == AluFunct::kDiv || f == AluFunct::kRem || f == AluFunct::kDivU ||
+         f == AluFunct::kRemU;
+}
+
+/// funct codes for comparisons producing flags.
+enum class CmpFunct : std::uint8_t {
+  kEq = 0, kNe, kLt, kLe, kLtu, kLeu, kGt, kGe, kGtu, kGeu, kCount
+};
+
+/// funct codes for flag-register logic (scalar and parallel).
+enum class FlagFunct : std::uint8_t {
+  kAnd = 0, kOr, kXor,
+  kAndNot,  ///< rd <- rs & ~rt (responder elimination)
+  kNot,     ///< rd <- ~rs
+  kMov,     ///< rd <- rs
+  kSet,     ///< rd <- 1
+  kClr,     ///< rd <- 0
+  kCount
+};
+
+/// funct codes for reduction instructions (Opcode::kRed).
+enum class RedFunct : std::uint8_t {
+  kAnd = 0,  ///< bitwise AND over active PEs' rs words
+  kOr,       ///< bitwise OR
+  kMax,      ///< signed maximum
+  kMin,      ///< signed minimum
+  kMaxU,     ///< unsigned maximum
+  kMinU,     ///< unsigned minimum
+  kSum,      ///< signed saturating sum
+  kSumU,     ///< unsigned saturating sum
+  kCount_,   ///< responder count: rd(GPR) <- #{active PEs with pflag[rs]=1}
+  kAny,      ///< some/none: rd(GPR) <- 1 if any active PE has pflag[rs]=1
+  kFAnd,     ///< flag AND-reduce: sflag[rd] <- AND of pflag[rs] (active PEs)
+  kFOr,      ///< flag OR-reduce:  sflag[rd] <- OR of pflag[rs]
+  kGetPe,    ///< rd(GPR) <- preg[rs] of PE number sreg[rt] (via OR tree)
+  kCount
+};
+
+/// funct codes for the multiple-response resolver (Opcode::kRSel).
+enum class RSelFunct : std::uint8_t {
+  kFirst = 0,  ///< pflag[rd] <- one-hot first responder of pflag[rs]
+  kClearFirst, ///< pflag[rd] <- pflag[rs] with the first responder cleared
+  kCount
+};
+
+/// funct codes for thread control (Opcode::kTCtl).
+enum class TCtlFunct : std::uint8_t {
+  kSpawn = 0, ///< rd <- id of newly allocated thread starting at PC sreg[rs];
+              ///< all-ones word if no context is free
+  kJoin,      ///< block until thread sreg[rs] has exited
+  kExit,      ///< release this thread's context
+  kTid,       ///< rd <- current thread id
+  kNPes,      ///< rd <- number of PEs (saturated to word width)
+  kNThreads,  ///< rd <- number of hardware thread contexts
+  kCount
+};
+
+/// funct codes for inter-thread register transfer (Opcode::kTMov).
+enum class TMovFunct : std::uint8_t {
+  kPut = 0,  ///< thread[sreg[rt]].sreg[rd] <- sreg[rs]
+  kGet,      ///< sreg[rd] <- thread[sreg[rt]].sreg[rs]
+  kCount
+};
+
+/// funct codes for Opcode::kPMov.
+enum class PMovFunct : std::uint8_t {
+  kBcast = 0, ///< prd <- sreg[rs] (pure broadcast move)
+  kIndex,     ///< prd <- PE index (truncated to word width)
+  kCount
+};
+
+/// subop codes for Opcode::kPImm (PI format, 4-bit field).
+enum class PImmOp : std::uint8_t {
+  kAddi = 0, kAndi, kOri, kXori, kSlli, kSrli, kSrai,
+  kMovi,  ///< prd <- imm9 (sign-extended; rs ignored)
+  kCount
+};
+
+const char* to_string(Opcode op);
+const char* to_string(SysFunct f);
+const char* to_string(AluFunct f);
+const char* to_string(CmpFunct f);
+const char* to_string(FlagFunct f);
+const char* to_string(RedFunct f);
+const char* to_string(RSelFunct f);
+const char* to_string(TCtlFunct f);
+const char* to_string(TMovFunct f);
+const char* to_string(PMovFunct f);
+
+}  // namespace masc

@@ -1,0 +1,254 @@
+#include "isa/operands.hpp"
+
+namespace masc {
+
+const char* to_string(RegSpace s) {
+  switch (s) {
+    case RegSpace::kScalarGpr: return "sgpr";
+    case RegSpace::kScalarFlag: return "sflag";
+    case RegSpace::kParallelGpr: return "pgpr";
+    case RegSpace::kParallelFlag: return "pflag";
+  }
+  return "?space";
+}
+
+namespace {
+
+/// Shift-family PImm subops read only rs; kMovi reads nothing.
+bool pimm_reads_rs(PImmOp sub) { return sub != PImmOp::kMovi; }
+
+void add_mask_read(OperandInfo& info, const Instruction& in) {
+  // The activity mask is read in the PEs at the PR stage. Mask flag 0 is
+  // hardwired to 1 and carries no dependency, but we record it uniformly;
+  // the scoreboard skips hardwired refs.
+  info.add_read(RegSpace::kParallelFlag, in.mask, ReadPoint::kParallelRead);
+}
+
+}  // namespace
+
+OperandInfo operands_of(const Instruction& in) {
+  OperandInfo info;
+  const auto funct = in.funct;
+  switch (in.op) {
+    case Opcode::kSys:
+      break;
+
+    case Opcode::kSAlu: {
+      const auto f = static_cast<AluFunct>(funct);
+      info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kScalarEx);
+      if (f != AluFunct::kMov)
+        info.add_read(RegSpace::kScalarGpr, in.rt, ReadPoint::kScalarEx);
+      info.write = RegRef{RegSpace::kScalarGpr, in.rd};
+      info.uses_scalar_mul = (f == AluFunct::kMul);
+      info.uses_scalar_div = alu_uses_div(f);
+      break;
+    }
+
+    case Opcode::kSCmp:
+      info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kScalarEx);
+      info.add_read(RegSpace::kScalarGpr, in.rt, ReadPoint::kScalarEx);
+      info.write = RegRef{RegSpace::kScalarFlag, in.rd};
+      break;
+
+    case Opcode::kSFlag: {
+      const auto f = static_cast<FlagFunct>(funct);
+      if (f != FlagFunct::kSet && f != FlagFunct::kClr) {
+        info.add_read(RegSpace::kScalarFlag, in.rs, ReadPoint::kScalarEx);
+        if (f == FlagFunct::kAnd || f == FlagFunct::kOr ||
+            f == FlagFunct::kXor || f == FlagFunct::kAndNot)
+          info.add_read(RegSpace::kScalarFlag, in.rt, ReadPoint::kScalarEx);
+      }
+      info.write = RegRef{RegSpace::kScalarFlag, in.rd};
+      break;
+    }
+
+    case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri:
+    case Opcode::kXori: case Opcode::kSlti: case Opcode::kSltiu:
+    case Opcode::kSlli: case Opcode::kSrli: case Opcode::kSrai:
+      info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kScalarEx);
+      info.write = RegRef{RegSpace::kScalarGpr, in.rd};
+      break;
+
+    case Opcode::kLui:
+      info.write = RegRef{RegSpace::kScalarGpr, in.rd};
+      break;
+
+    case Opcode::kLw:
+      info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kScalarEx);
+      info.write = RegRef{RegSpace::kScalarGpr, in.rd};
+      break;
+
+    case Opcode::kSw:
+      info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kScalarEx);
+      info.add_read(RegSpace::kScalarGpr, in.rd, ReadPoint::kScalarEx);
+      break;
+
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+      info.add_read(RegSpace::kScalarGpr, in.rd, ReadPoint::kScalarEx);
+      info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kScalarEx);
+      break;
+
+    case Opcode::kBfset: case Opcode::kBfclr:
+      info.add_read(RegSpace::kScalarFlag, in.rd, ReadPoint::kScalarEx);
+      break;
+
+    case Opcode::kJ:
+      break;
+    case Opcode::kJal:
+      info.write = RegRef{RegSpace::kScalarGpr, in.rd};
+      break;
+    case Opcode::kJr:
+      info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kScalarEx);
+      break;
+
+    case Opcode::kPAlu: {
+      const auto f = static_cast<AluFunct>(funct);
+      info.add_read(RegSpace::kParallelGpr, in.rs, ReadPoint::kParallelRead);
+      if (f != AluFunct::kMov)
+        info.add_read(RegSpace::kParallelGpr, in.rt, ReadPoint::kParallelRead);
+      add_mask_read(info, in);
+      info.write = RegRef{RegSpace::kParallelGpr, in.rd};
+      info.uses_pe_mul = (f == AluFunct::kMul);
+      info.uses_pe_div = alu_uses_div(f);
+      break;
+    }
+
+    case Opcode::kPAluS: {
+      const auto f = static_cast<AluFunct>(funct);
+      // The scalar operand is consumed at B1 (it rides the broadcast
+      // network); this is the operand the EX->B1 forwarding path feeds.
+      info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kBroadcast);
+      if (f != AluFunct::kMov)
+        info.add_read(RegSpace::kParallelGpr, in.rt, ReadPoint::kParallelRead);
+      add_mask_read(info, in);
+      info.write = RegRef{RegSpace::kParallelGpr, in.rd};
+      info.uses_pe_mul = (f == AluFunct::kMul);
+      info.uses_pe_div = alu_uses_div(f);
+      break;
+    }
+
+    case Opcode::kPImm:
+      if (pimm_reads_rs(static_cast<PImmOp>(funct)))
+        info.add_read(RegSpace::kParallelGpr, in.rs, ReadPoint::kParallelRead);
+      add_mask_read(info, in);
+      info.write = RegRef{RegSpace::kParallelGpr, in.rd};
+      break;
+
+    case Opcode::kPCmp:
+      info.add_read(RegSpace::kParallelGpr, in.rs, ReadPoint::kParallelRead);
+      info.add_read(RegSpace::kParallelGpr, in.rt, ReadPoint::kParallelRead);
+      add_mask_read(info, in);
+      info.write = RegRef{RegSpace::kParallelFlag, in.rd};
+      break;
+
+    case Opcode::kPCmpS:
+      info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kBroadcast);
+      info.add_read(RegSpace::kParallelGpr, in.rt, ReadPoint::kParallelRead);
+      add_mask_read(info, in);
+      info.write = RegRef{RegSpace::kParallelFlag, in.rd};
+      break;
+
+    case Opcode::kPFlag: {
+      const auto f = static_cast<FlagFunct>(funct);
+      if (f != FlagFunct::kSet && f != FlagFunct::kClr) {
+        info.add_read(RegSpace::kParallelFlag, in.rs, ReadPoint::kParallelRead);
+        if (f == FlagFunct::kAnd || f == FlagFunct::kOr ||
+            f == FlagFunct::kXor || f == FlagFunct::kAndNot)
+          info.add_read(RegSpace::kParallelFlag, in.rt, ReadPoint::kParallelRead);
+      }
+      add_mask_read(info, in);
+      info.write = RegRef{RegSpace::kParallelFlag, in.rd};
+      break;
+    }
+
+    case Opcode::kPLw:
+      info.add_read(RegSpace::kParallelGpr, in.rs, ReadPoint::kParallelRead);
+      add_mask_read(info, in);
+      info.write = RegRef{RegSpace::kParallelGpr, in.rd};
+      break;
+
+    case Opcode::kPSw:
+      info.add_read(RegSpace::kParallelGpr, in.rs, ReadPoint::kParallelRead);
+      info.add_read(RegSpace::kParallelGpr, in.rd, ReadPoint::kParallelRead);
+      add_mask_read(info, in);
+      break;
+
+    case Opcode::kPMov:
+      if (static_cast<PMovFunct>(funct) == PMovFunct::kBcast)
+        info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kBroadcast);
+      add_mask_read(info, in);
+      info.write = RegRef{RegSpace::kParallelGpr, in.rd};
+      break;
+
+    case Opcode::kRed: {
+      const auto f = static_cast<RedFunct>(funct);
+      switch (f) {
+        case RedFunct::kCount_:
+        case RedFunct::kAny:
+          info.add_read(RegSpace::kParallelFlag, in.rs, ReadPoint::kParallelRead);
+          info.write = RegRef{RegSpace::kScalarGpr, in.rd};
+          break;
+        case RedFunct::kFAnd:
+        case RedFunct::kFOr:
+          info.add_read(RegSpace::kParallelFlag, in.rs, ReadPoint::kParallelRead);
+          info.write = RegRef{RegSpace::kScalarFlag, in.rd};
+          break;
+        case RedFunct::kGetPe:
+          info.add_read(RegSpace::kParallelGpr, in.rs, ReadPoint::kParallelRead);
+          info.add_read(RegSpace::kScalarGpr, in.rt, ReadPoint::kBroadcast);
+          info.write = RegRef{RegSpace::kScalarGpr, in.rd};
+          break;
+        default:
+          info.add_read(RegSpace::kParallelGpr, in.rs, ReadPoint::kParallelRead);
+          info.write = RegRef{RegSpace::kScalarGpr, in.rd};
+          break;
+      }
+      add_mask_read(info, in);
+      break;
+    }
+
+    case Opcode::kRSel:
+      info.add_read(RegSpace::kParallelFlag, in.rs, ReadPoint::kParallelRead);
+      add_mask_read(info, in);
+      info.write = RegRef{RegSpace::kParallelFlag, in.rd};
+      break;
+
+    case Opcode::kTCtl: {
+      const auto f = static_cast<TCtlFunct>(funct);
+      switch (f) {
+        case TCtlFunct::kSpawn:
+          info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kScalarEx);
+          info.write = RegRef{RegSpace::kScalarGpr, in.rd};
+          break;
+        case TCtlFunct::kJoin:
+          info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kScalarEx);
+          break;
+        case TCtlFunct::kExit:
+          break;
+        default:  // kTid, kNPes, kNThreads
+          info.write = RegRef{RegSpace::kScalarGpr, in.rd};
+          break;
+      }
+      break;
+    }
+
+    case Opcode::kTMov:
+      // Both forms read the target-thread selector rt. TPUT additionally
+      // reads the local source rs; TGET's read of the *remote* rs and
+      // TPUT's write of the *remote* rd are registered dynamically by the
+      // scoreboard once the target thread id is known at issue.
+      info.add_read(RegSpace::kScalarGpr, in.rt, ReadPoint::kScalarEx);
+      if (static_cast<TMovFunct>(funct) == TMovFunct::kPut)
+        info.add_read(RegSpace::kScalarGpr, in.rs, ReadPoint::kScalarEx);
+      else
+        info.write = RegRef{RegSpace::kScalarGpr, in.rd};
+      break;
+
+    case Opcode::kOpcodeCount:
+      break;
+  }
+  return info;
+}
+
+}  // namespace masc

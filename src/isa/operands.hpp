@@ -1,0 +1,52 @@
+// Static use/def analysis of decoded instructions.
+//
+// The decode unit's hazard check (paper Fig. 3, "instruction status
+// table") needs to know, for each candidate instruction, which registers
+// it reads, which it writes, and which shared functional units it
+// occupies. This module centralizes that knowledge so the scoreboard,
+// the functional simulator, and the assembler's diagnostics all agree.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "isa/instruction.hpp"
+#include "isa/registers.hpp"
+
+namespace masc {
+
+/// Where in the pipeline a scalar-space operand is consumed; determines
+/// which forwarding path can satisfy it (paper §4.2).
+enum class ReadPoint : std::uint8_t {
+  kScalarEx,   ///< scalar execute stage (EX)
+  kBroadcast,  ///< first broadcast stage (B1) — scalar operand of a
+               ///< parallel/reduction instruction
+  kParallelRead, ///< parallel register read stage (PR) — parallel operands
+};
+
+/// One register read with its consumption point.
+struct RegRead {
+  RegRef ref;
+  ReadPoint at = ReadPoint::kScalarEx;
+};
+
+/// Complete use/def summary of an instruction.
+struct OperandInfo {
+  std::array<RegRead, 4> reads{};  ///< up to 4 valid entries
+  std::uint32_t num_reads = 0;
+  std::optional<RegRef> write;     ///< at most one register result
+  bool uses_scalar_mul = false;    ///< occupies the CU multiply unit
+  bool uses_scalar_div = false;
+  bool uses_pe_mul = false;        ///< occupies the PE multiply units
+  bool uses_pe_div = false;
+
+  void add_read(RegSpace space, RegNum num, ReadPoint at) {
+    reads[num_reads++] = RegRead{RegRef{space, num}, at};
+  }
+};
+
+/// Compute the use/def summary for a decoded instruction.
+OperandInfo operands_of(const Instruction& instr);
+
+}  // namespace masc

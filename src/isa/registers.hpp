@@ -1,0 +1,42 @@
+// Architectural register spaces.
+//
+// Paper §6.1/§6.2: per-thread scalar GPRs in the control unit; per-thread
+// parallel GPRs and 1-bit flag registers in each PE; scalar flags in the
+// control unit. Registers are *split* between threads at the hardware
+// level (a thread can only touch its own, except via TPUT/TGET).
+//
+// Hardwired conventions (documented in docs/ISA.md):
+//   - scalar GPR r0 and parallel GPR p0 read as 0; writes are discarded.
+//   - scalar flag sf0 and parallel flag pf0 read as 1; writes are
+//     discarded. A parallel instruction with mask = pf0 is unconditional
+//     ("all PEs active"), which is why 0 is the default mask field.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace masc {
+
+/// The four architectural register spaces.
+enum class RegSpace : std::uint8_t {
+  kScalarGpr,
+  kScalarFlag,
+  kParallelGpr,
+  kParallelFlag,
+};
+
+/// A register reference within one thread's context.
+struct RegRef {
+  RegSpace space = RegSpace::kScalarGpr;
+  RegNum num = 0;
+
+  /// True for the hardwired registers that can never carry a dependency.
+  bool hardwired() const { return num == 0; }
+
+  bool operator==(const RegRef&) const = default;
+};
+
+const char* to_string(RegSpace s);
+
+}  // namespace masc

@@ -1,0 +1,99 @@
+// Architectural state of the Multithreaded ASC Processor: memories,
+// per-thread register contexts, and the hardware thread table.
+//
+// This state is shared between the cycle-accurate simulator and the fast
+// functional simulator, which is what makes differential testing of the
+// two meaningful: same state type, same execution semantics, different
+// timing models.
+#pragma once
+
+#include <vector>
+
+#include "assembler/program.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace masc {
+
+/// Lifecycle of a hardware thread context (paper Fig. 3, thread status
+/// table).
+enum class ThreadState : std::uint8_t {
+  kFree,     ///< context unallocated
+  kActive,   ///< fetching/issuing
+  kWaiting,  ///< blocked in TJOIN on another thread
+};
+
+struct ThreadContext {
+  ThreadState state = ThreadState::kFree;
+  Addr pc = 0;
+  ThreadId join_target = 0;  ///< valid when state == kWaiting
+};
+
+class ArchState {
+ public:
+  explicit ArchState(const MachineConfig& cfg);
+
+  /// Load a program image: text into instruction memory, data into scalar
+  /// memory, entry PC into thread 0 (which becomes the only active thread).
+  void load(const Program& program);
+
+  const MachineConfig& config() const { return cfg_; }
+
+  // --- Scalar side ----------------------------------------------------------
+  Word sreg(ThreadId t, RegNum r) const;
+  void set_sreg(ThreadId t, RegNum r, Word v);
+  bool sflag(ThreadId t, RegNum f) const;
+  void set_sflag(ThreadId t, RegNum f, bool v);
+  Word scalar_mem(Addr a) const;
+  void set_scalar_mem(Addr a, Word v);
+
+  // --- Parallel side --------------------------------------------------------
+  Word preg(ThreadId t, RegNum r, PEIndex pe) const;
+  void set_preg(ThreadId t, RegNum r, PEIndex pe, Word v);
+  bool pflag(ThreadId t, RegNum f, PEIndex pe) const;
+  void set_pflag(ThreadId t, RegNum f, PEIndex pe, bool v);
+  Word local_mem(PEIndex pe, Addr a) const;
+  void set_local_mem(PEIndex pe, Addr a, Word v);
+
+  /// Bulk accessors used by the asclib data-binding API and by tests.
+  std::vector<Word> read_preg_vector(ThreadId t, RegNum r) const;
+  void write_preg_vector(ThreadId t, RegNum r, const std::vector<Word>& v);
+  std::vector<Word> read_local_column(Addr a) const;   ///< one address across PEs
+  void write_local_column(Addr a, const std::vector<Word>& v);
+
+  // --- Instruction memory ---------------------------------------------------
+  InstrWord fetch(Addr pc) const;
+  std::size_t text_size() const { return instr_mem_.size(); }
+
+  // --- Thread table -----------------------------------------------------------
+  ThreadContext& thread(ThreadId t) { return threads_.at(t); }
+  const ThreadContext& thread(ThreadId t) const { return threads_.at(t); }
+  std::uint32_t num_threads() const { return static_cast<std::uint32_t>(threads_.size()); }
+  /// Allocate a free context; returns the thread id or nullopt-like
+  /// all-ones when none is free.
+  ThreadId allocate_thread(Addr entry_pc);
+  std::uint32_t active_thread_count() const;
+
+  static constexpr ThreadId kNoThread = ~ThreadId{0};
+
+ private:
+  std::size_t preg_index(ThreadId t, RegNum r, PEIndex pe) const {
+    return (static_cast<std::size_t>(t) * cfg_.num_parallel_regs + r) * cfg_.num_pes + pe;
+  }
+  std::size_t pflag_index(ThreadId t, RegNum f, PEIndex pe) const {
+    return (static_cast<std::size_t>(t) * cfg_.num_flag_regs + f) * cfg_.num_pes + pe;
+  }
+
+  MachineConfig cfg_;
+  std::vector<InstrWord> instr_mem_;
+  std::vector<Word> scalar_mem_;
+  std::vector<Word> local_mem_;   ///< [pe][addr] flattened
+  std::vector<Word> sregs_;       ///< [thread][reg]
+  std::vector<std::uint8_t> sflags_;
+  std::vector<Word> pregs_;       ///< [thread][reg][pe]
+  std::vector<std::uint8_t> pflags_;
+  std::vector<ThreadContext> threads_;
+};
+
+}  // namespace masc

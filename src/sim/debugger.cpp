@@ -1,0 +1,202 @@
+#include "sim/debugger.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "isa/encoding.hpp"
+
+namespace masc {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Parse a non-negative integer argument; returns fallback on absence.
+std::uint64_t arg_u64(const std::vector<std::string>& args, std::size_t idx,
+                      std::uint64_t fallback) {
+  if (idx >= args.size()) return fallback;
+  return std::strtoull(args[idx].c_str(), nullptr, 0);
+}
+
+}  // namespace
+
+Debugger::Debugger(Machine& machine) : machine_(machine) {
+  machine_.enable_trace(1 << 16);
+}
+
+bool Debugger::at_breakpoint() const {
+  if (breakpoints_.empty()) return false;
+  const auto& st = machine_.state();
+  for (ThreadId t = 0; t < st.num_threads(); ++t) {
+    const auto& ctx = st.thread(t);
+    if (ctx.state == ThreadState::kActive && breakpoints_.count(ctx.pc))
+      return true;
+  }
+  return false;
+}
+
+std::string Debugger::step(Cycle n) {
+  std::ostringstream os;
+  for (Cycle i = 0; i < n && !machine_.finished(); ++i) machine_.step();
+  os << "cycle " << machine_.now()
+     << (machine_.finished() ? " (finished)" : "") << '\n';
+  return os.str();
+}
+
+std::string Debugger::cont() {
+  std::ostringstream os;
+  // Always make progress past a breakpoint we are already sitting on.
+  if (!machine_.finished()) machine_.step();
+  Cycle steps = 1;
+  while (!machine_.finished() && !at_breakpoint() && steps < continue_limit_) {
+    machine_.step();
+    ++steps;
+  }
+  if (machine_.finished())
+    os << "finished at cycle " << machine_.now() << '\n';
+  else if (at_breakpoint())
+    os << "breakpoint at cycle " << machine_.now() << '\n';
+  else
+    os << "cycle limit reached\n";
+  return os.str();
+}
+
+Debugger::Reply Debugger::execute(const std::string& line) {
+  const auto args = split(line);
+  std::ostringstream os;
+  if (args.empty()) return {"", false};
+  const std::string& cmd = args[0];
+  const auto& st = machine_.state();
+  const auto& cfg = machine_.config();
+
+  if (cmd == "q" || cmd == "quit") return {"", true};
+
+  if (cmd == "s") return {step(arg_u64(args, 1, 1)), false};
+  if (cmd == "c") return {cont(), false};
+
+  if (cmd == "b" || cmd == "d") {
+    if (args.size() < 2) return {"usage: b|d <addr>\n", false};
+    const auto a = static_cast<Addr>(arg_u64(args, 1, 0));
+    if (cmd == "b") {
+      breakpoints_.insert(a);
+      os << "breakpoint at " << a << '\n';
+    } else {
+      breakpoints_.erase(a);
+      os << "deleted\n";
+    }
+    return {os.str(), false};
+  }
+
+  if (cmd == "regs") {
+    const auto t = static_cast<ThreadId>(arg_u64(args, 1, 0));
+    if (t >= st.num_threads()) return {"no such thread\n", false};
+    for (RegNum r = 0; r < cfg.num_scalar_regs; ++r) {
+      os << "r" << r << "=" << st.sreg(t, r)
+         << ((r + 1) % 8 == 0 ? '\n' : '\t');
+    }
+    if (cfg.num_scalar_regs % 8 != 0) os << '\n';
+    return {os.str(), false};
+  }
+
+  if (cmd == "flags") {
+    const auto t = static_cast<ThreadId>(arg_u64(args, 1, 0));
+    if (t >= st.num_threads()) return {"no such thread\n", false};
+    for (RegNum f = 0; f < cfg.num_flag_regs; ++f)
+      os << "sf" << f << "=" << (st.sflag(t, f) ? 1 : 0) << ' ';
+    os << '\n';
+    return {os.str(), false};
+  }
+
+  if (cmd == "preg" || cmd == "pflag") {
+    if (args.size() < 2) return {"usage: preg|pflag <num> [thread]\n", false};
+    const auto r = static_cast<RegNum>(arg_u64(args, 1, 0));
+    const auto t = static_cast<ThreadId>(arg_u64(args, 2, 0));
+    if (t >= st.num_threads()) return {"no such thread\n", false};
+    const auto limit =
+        cmd == "preg" ? cfg.num_parallel_regs : cfg.num_flag_regs;
+    if (r >= limit) return {"no such register\n", false};
+    os << (cmd == "preg" ? "p" : "pf") << r << " =";
+    for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
+      os << ' '
+         << (cmd == "preg" ? st.preg(t, r, pe)
+                           : Word{st.pflag(t, r, pe) ? 1u : 0u});
+    os << '\n';
+    return {os.str(), false};
+  }
+
+  if (cmd == "mem") {
+    if (args.size() < 2) return {"usage: mem <addr> [count]\n", false};
+    const auto a = static_cast<Addr>(arg_u64(args, 1, 0));
+    const auto n = static_cast<Addr>(arg_u64(args, 2, 8));
+    for (Addr i = 0; i < n; ++i)
+      os << '[' << (a + i) << "] = " << st.scalar_mem(a + i) << '\n';
+    return {os.str(), false};
+  }
+
+  if (cmd == "lmem") {
+    if (args.size() < 3) return {"usage: lmem <pe> <addr> [count]\n", false};
+    const auto pe = static_cast<PEIndex>(arg_u64(args, 1, 0));
+    const auto a = static_cast<Addr>(arg_u64(args, 2, 0));
+    const auto n = static_cast<Addr>(arg_u64(args, 3, 8));
+    if (pe >= cfg.num_pes) return {"no such PE\n", false};
+    for (Addr i = 0; i < n; ++i)
+      os << "pe" << pe << '[' << (a + i) << "] = " << st.local_mem(pe, a + i)
+         << '\n';
+    return {os.str(), false};
+  }
+
+  if (cmd == "threads") {
+    for (ThreadId t = 0; t < st.num_threads(); ++t) {
+      const auto& ctx = st.thread(t);
+      const char* state = ctx.state == ThreadState::kFree      ? "free"
+                          : ctx.state == ThreadState::kActive  ? "active"
+                                                               : "waiting";
+      os << 't' << t << ": " << state;
+      if (ctx.state == ThreadState::kActive) os << " pc=" << ctx.pc;
+      if (ctx.state == ThreadState::kWaiting) os << " joining t" << ctx.join_target;
+      os << '\n';
+    }
+    return {os.str(), false};
+  }
+
+  if (cmd == "list") {
+    const auto a = static_cast<Addr>(arg_u64(args, 1, st.thread(0).pc));
+    const auto n = static_cast<Addr>(arg_u64(args, 2, 8));
+    for (Addr i = 0; i < n && a + i < st.text_size(); ++i) {
+      os << (a + i) << ": ";
+      try {
+        os << disassemble(decode(st.fetch(a + i)));
+      } catch (const DecodeError&) {
+        os << "<illegal>";
+      }
+      os << '\n';
+    }
+    return {os.str(), false};
+  }
+
+  if (cmd == "trace") {
+    const auto n = arg_u64(args, 1, 16);
+    const auto& tr = machine_.trace();
+    const std::size_t start = tr.size() > n ? tr.size() - n : 0;
+    const std::vector<TraceEntry> tail(tr.begin() + static_cast<std::ptrdiff_t>(start),
+                                       tr.end());
+    return {render_pipeline_diagram(tail, cfg, true), false};
+  }
+
+  if (cmd == "stats") {
+    const auto& s = machine_.stats();
+    os << "cycles=" << s.cycles << " instructions=" << s.instructions
+       << " ipc=" << s.ipc() << " idle=" << s.idle_cycles << '\n';
+    return {os.str(), false};
+  }
+
+  return {"unknown command: " + cmd + "\n", false};
+}
+
+}  // namespace masc

@@ -1,0 +1,58 @@
+// Scriptable debugger engine over the cycle-accurate machine.
+//
+// Drives a Machine with text commands and returns text responses; the
+// masc-dbg tool wraps it in a stdin REPL, and tests drive it directly.
+//
+// Commands:
+//   s [n]            step n cycles (default 1)
+//   c                continue until halt, breakpoint, or cycle limit
+//   b <addr>         set a breakpoint (stops when any thread is about to
+//                    issue the instruction at <addr>)
+//   d <addr>         delete a breakpoint
+//   regs [t]         scalar registers of thread t (default 0)
+//   flags [t]        scalar flags of thread t
+//   preg <r> [t]     parallel register r across all PEs
+//   pflag <f> [t]    parallel flag f across all PEs
+//   mem <a> [n]      scalar memory words
+//   lmem <pe> <a> [n]  local memory words of one PE
+//   threads          thread status table
+//   list [a [n]]     disassemble n instructions from address a
+//   trace [n]        pipeline diagram of the last n issued instructions
+//   stats            statistics summary
+//   q                quit
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "sim/machine.hpp"
+
+namespace masc {
+
+class Debugger {
+ public:
+  /// Takes ownership of a configured machine; call after load().
+  explicit Debugger(Machine& machine);
+
+  struct Reply {
+    std::string text;
+    bool quit = false;
+  };
+
+  /// Execute one command line.
+  Reply execute(const std::string& line);
+
+  Machine& machine() { return machine_; }
+
+ private:
+  std::string step(Cycle n);
+  std::string cont();
+  /// True if any active, ready thread's next PC is a breakpoint.
+  bool at_breakpoint() const;
+
+  Machine& machine_;
+  std::set<Addr> breakpoints_;
+  Cycle continue_limit_ = 10'000'000;
+};
+
+}  // namespace masc

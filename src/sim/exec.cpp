@@ -1,0 +1,465 @@
+#include "sim/exec.hpp"
+
+#include <vector>
+
+#include "common/bits.hpp"
+#include "sim/network/trees.hpp"
+
+namespace masc {
+
+namespace detail {
+
+Word alu_op(AluFunct f, Word a, Word b, unsigned width) {
+  const Word mask = low_mask(width);
+  a &= mask;
+  b &= mask;
+  // Shift amounts use the low bits of b, modulo the word width.
+  const unsigned sh = static_cast<unsigned>(b) % width;
+  switch (f) {
+    case AluFunct::kAdd: return (a + b) & mask;
+    case AluFunct::kSub: return (a - b) & mask;
+    case AluFunct::kAnd: return a & b;
+    case AluFunct::kOr: return a | b;
+    case AluFunct::kXor: return a ^ b;
+    case AluFunct::kNor: return ~(a | b) & mask;
+    case AluFunct::kSll: return (a << sh) & mask;
+    case AluFunct::kSrl: return a >> sh;
+    case AluFunct::kSra:
+      return static_cast<Word>(sign_extend(a, width) >> sh) & mask;
+    case AluFunct::kSlt:
+      return sign_extend(a, width) < sign_extend(b, width) ? 1 : 0;
+    case AluFunct::kSltu: return a < b ? 1 : 0;
+    case AluFunct::kMul:
+      return static_cast<Word>(static_cast<DWord>(a) * b) & mask;
+    case AluFunct::kDiv:
+      // Division by zero yields all-ones (no traps in this machine).
+      if (b == 0) return mask;
+      return static_cast<Word>(
+                 sign_extend(a, width) / sign_extend(b, width)) & mask;
+    case AluFunct::kRem:
+      if (b == 0) return a;
+      return static_cast<Word>(
+                 sign_extend(a, width) % sign_extend(b, width)) & mask;
+    case AluFunct::kDivU:
+      if (b == 0) return mask;
+      return a / b;
+    case AluFunct::kRemU:
+      if (b == 0) return a;
+      return a % b;
+    case AluFunct::kMov: return a;
+    case AluFunct::kCount: break;
+  }
+  return 0;
+}
+
+bool cmp_op(CmpFunct f, Word a, Word b, unsigned width) {
+  const SWord sa = sign_extend(a, width), sb = sign_extend(b, width);
+  const Word ua = truncate(a, width), ub = truncate(b, width);
+  switch (f) {
+    case CmpFunct::kEq: return ua == ub;
+    case CmpFunct::kNe: return ua != ub;
+    case CmpFunct::kLt: return sa < sb;
+    case CmpFunct::kLe: return sa <= sb;
+    case CmpFunct::kLtu: return ua < ub;
+    case CmpFunct::kLeu: return ua <= ub;
+    case CmpFunct::kGt: return sa > sb;
+    case CmpFunct::kGe: return sa >= sb;
+    case CmpFunct::kGtu: return ua > ub;
+    case CmpFunct::kGeu: return ua >= ub;
+    case CmpFunct::kCount: break;
+  }
+  return false;
+}
+
+bool flag_op(FlagFunct f, bool a, bool b) {
+  switch (f) {
+    case FlagFunct::kAnd: return a && b;
+    case FlagFunct::kOr: return a || b;
+    case FlagFunct::kXor: return a != b;
+    case FlagFunct::kAndNot: return a && !b;
+    case FlagFunct::kNot: return !a;
+    case FlagFunct::kMov: return a;
+    case FlagFunct::kSet: return true;
+    case FlagFunct::kClr: return false;
+    case FlagFunct::kCount: break;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::alu_op;
+using detail::cmp_op;
+using detail::flag_op;
+
+/// The activity vector of a masked parallel/reduction instruction.
+std::vector<std::uint8_t> active_pes(const ArchState& st, ThreadId t, RegNum mask) {
+  const auto p = st.config().num_pes;
+  std::vector<std::uint8_t> act(p);
+  for (PEIndex pe = 0; pe < p; ++pe) act[pe] = st.pflag(t, mask, pe) ? 1 : 0;
+  return act;
+}
+
+net::ReduceOp reduce_op_of(RedFunct f) {
+  switch (f) {
+    case RedFunct::kAnd: return net::ReduceOp::kAnd;
+    case RedFunct::kOr: return net::ReduceOp::kOr;
+    case RedFunct::kMax: return net::ReduceOp::kMax;
+    case RedFunct::kMin: return net::ReduceOp::kMin;
+    case RedFunct::kMaxU: return net::ReduceOp::kMaxU;
+    case RedFunct::kMinU: return net::ReduceOp::kMinU;
+    case RedFunct::kSum: return net::ReduceOp::kSum;
+    case RedFunct::kSumU: return net::ReduceOp::kSumU;
+    default: return net::ReduceOp::kCountFlags;
+  }
+}
+
+/// Execute a parallel-class instruction across the PE array.
+void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
+  const auto& cfg = st.config();
+  const unsigned w = cfg.word_width;
+  const auto act = active_pes(st, t, in.mask);
+
+  for (PEIndex pe = 0; pe < cfg.num_pes; ++pe) {
+    if (!act[pe]) continue;
+    switch (in.op) {
+      case Opcode::kPAlu:
+        st.set_preg(t, in.rd, pe,
+                    alu_op(static_cast<AluFunct>(in.funct),
+                           st.preg(t, in.rs, pe), st.preg(t, in.rt, pe), w));
+        break;
+      case Opcode::kPAluS:
+        // Broadcast-scalar form: the scalar value is the LEFT operand.
+        st.set_preg(t, in.rd, pe,
+                    alu_op(static_cast<AluFunct>(in.funct),
+                           st.sreg(t, in.rs), st.preg(t, in.rt, pe), w));
+        break;
+      case Opcode::kPImm: {
+        const Word imm = truncate(static_cast<Word>(in.imm), w);
+        switch (static_cast<PImmOp>(in.funct)) {
+          case PImmOp::kAddi:
+            st.set_preg(t, in.rd, pe, alu_op(AluFunct::kAdd, st.preg(t, in.rs, pe), imm, w));
+            break;
+          case PImmOp::kAndi:
+            st.set_preg(t, in.rd, pe, st.preg(t, in.rs, pe) & imm);
+            break;
+          case PImmOp::kOri:
+            st.set_preg(t, in.rd, pe, st.preg(t, in.rs, pe) | imm);
+            break;
+          case PImmOp::kXori:
+            st.set_preg(t, in.rd, pe, st.preg(t, in.rs, pe) ^ imm);
+            break;
+          case PImmOp::kSlli:
+            st.set_preg(t, in.rd, pe, alu_op(AluFunct::kSll, st.preg(t, in.rs, pe), imm, w));
+            break;
+          case PImmOp::kSrli:
+            st.set_preg(t, in.rd, pe, alu_op(AluFunct::kSrl, st.preg(t, in.rs, pe), imm, w));
+            break;
+          case PImmOp::kSrai:
+            st.set_preg(t, in.rd, pe, alu_op(AluFunct::kSra, st.preg(t, in.rs, pe), imm, w));
+            break;
+          case PImmOp::kMovi:
+            st.set_preg(t, in.rd, pe, imm);
+            break;
+          case PImmOp::kCount:
+            break;
+        }
+        break;
+      }
+      case Opcode::kPCmp:
+        st.set_pflag(t, in.rd, pe,
+                     cmp_op(static_cast<CmpFunct>(in.funct),
+                            st.preg(t, in.rs, pe), st.preg(t, in.rt, pe), w));
+        break;
+      case Opcode::kPCmpS:
+        st.set_pflag(t, in.rd, pe,
+                     cmp_op(static_cast<CmpFunct>(in.funct),
+                            st.sreg(t, in.rs), st.preg(t, in.rt, pe), w));
+        break;
+      case Opcode::kPFlag:
+        st.set_pflag(t, in.rd, pe,
+                     flag_op(static_cast<FlagFunct>(in.funct),
+                             st.pflag(t, in.rs, pe), st.pflag(t, in.rt, pe)));
+        break;
+      case Opcode::kPLw: {
+        const Addr a = truncate(st.preg(t, in.rs, pe) +
+                                    static_cast<Word>(in.imm), 32);
+        st.set_preg(t, in.rd, pe, st.local_mem(pe, a));
+        break;
+      }
+      case Opcode::kPSw: {
+        const Addr a = truncate(st.preg(t, in.rs, pe) +
+                                    static_cast<Word>(in.imm), 32);
+        st.set_local_mem(pe, a, st.preg(t, in.rd, pe));
+        break;
+      }
+      case Opcode::kPMov:
+        if (static_cast<PMovFunct>(in.funct) == PMovFunct::kBcast)
+          st.set_preg(t, in.rd, pe, st.sreg(t, in.rs));
+        else
+          st.set_preg(t, in.rd, pe, truncate(pe, st.config().word_width));
+        break;
+      default:
+        throw SimulationError("exec_parallel: not a parallel opcode");
+    }
+  }
+}
+
+/// Execute a reduction-class instruction (uses the reduction network).
+void exec_reduction(ArchState& st, ThreadId t, const Instruction& in) {
+  const auto& cfg = st.config();
+  const unsigned w = cfg.word_width;
+  const auto act = active_pes(st, t, in.mask);
+
+  if (in.op == Opcode::kRSel) {
+    // Multiple-response resolver: parallel-prefix over the flag vector.
+    std::vector<std::uint8_t> flags(cfg.num_pes);
+    for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
+      flags[pe] = st.pflag(t, in.rs, pe) ? 1 : 0;
+    const auto first = net::resolve_first(flags, act);
+    const auto f = static_cast<RSelFunct>(in.funct);
+    for (PEIndex pe = 0; pe < cfg.num_pes; ++pe) {
+      if (!act[pe]) continue;
+      if (f == RSelFunct::kFirst)
+        st.set_pflag(t, in.rd, pe, first[pe] != 0);
+      else  // kClearFirst: source flags minus the first responder
+        st.set_pflag(t, in.rd, pe, flags[pe] && !first[pe]);
+    }
+    return;
+  }
+
+  const auto f = static_cast<RedFunct>(in.funct);
+  switch (f) {
+    case RedFunct::kCount_:
+    case RedFunct::kAny: {
+      std::vector<Word> flags(cfg.num_pes);
+      for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
+        flags[pe] = st.pflag(t, in.rs, pe) ? 1 : 0;
+      // The response counter's adder tree is wide enough for an exact
+      // count (paper §6.4); the architectural result is then truncated to
+      // the word width when written to the destination register.
+      const Word count = net::tree_reduce(net::ReduceOp::kCountFlags, flags, act, 32);
+      st.set_sreg(t, in.rd, f == RedFunct::kAny ? (count != 0 ? 1 : 0) : count);
+      break;
+    }
+    case RedFunct::kFAnd:
+    case RedFunct::kFOr: {
+      std::vector<Word> flags(cfg.num_pes);
+      for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
+        flags[pe] = st.pflag(t, in.rs, pe) ? 1 : 0;
+      const auto op = f == RedFunct::kFAnd ? net::ReduceOp::kAnd : net::ReduceOp::kOr;
+      const Word r = net::tree_reduce(op, flags, act, 1);
+      st.set_sflag(t, in.rd, r != 0);
+      break;
+    }
+    case RedFunct::kGetPe: {
+      const Word idx = st.sreg(t, in.rt);
+      if (idx >= cfg.num_pes)
+        throw SimulationError("getpe: PE index out of range");
+      // Routed through the OR tree with a single enabled leaf; the
+      // activity mask does not gate it (the CU selects the leaf directly).
+      st.set_sreg(t, in.rd, st.preg(t, in.rs, idx));
+      break;
+    }
+    default: {
+      std::vector<Word> vals(cfg.num_pes);
+      for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
+        vals[pe] = st.preg(t, in.rs, pe);
+      st.set_sreg(t, in.rd, net::tree_reduce(reduce_op_of(f), vals, act, w));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+ExecResult execute(ArchState& st, ThreadId t, Addr pc, const Instruction& in) {
+  ExecResult res;
+  res.next_pc = pc + 1;
+  const auto& cfg = st.config();
+  const unsigned w = cfg.word_width;
+
+  switch (in.instr_class()) {
+    case InstrClass::kParallel:
+      exec_parallel(st, t, in);
+      return res;
+    case InstrClass::kReduction:
+      exec_reduction(st, t, in);
+      return res;
+    case InstrClass::kScalar:
+      break;
+  }
+
+  switch (in.op) {
+    case Opcode::kSys:
+      if (in.is_halt()) res.halt = true;
+      break;
+
+    case Opcode::kSAlu:
+      st.set_sreg(t, in.rd,
+                  alu_op(static_cast<AluFunct>(in.funct), st.sreg(t, in.rs),
+                         st.sreg(t, in.rt), w));
+      break;
+
+    case Opcode::kSCmp:
+      st.set_sflag(t, in.rd,
+                   cmp_op(static_cast<CmpFunct>(in.funct), st.sreg(t, in.rs),
+                          st.sreg(t, in.rt), w));
+      break;
+
+    case Opcode::kSFlag:
+      st.set_sflag(t, in.rd,
+                   flag_op(static_cast<FlagFunct>(in.funct),
+                           st.sflag(t, in.rs), st.sflag(t, in.rt)));
+      break;
+
+    case Opcode::kAddi:
+      st.set_sreg(t, in.rd, st.sreg(t, in.rs) + static_cast<Word>(in.imm));
+      break;
+    case Opcode::kAndi:
+      // Logical immediates zero-extend their 16-bit field (MIPS-style),
+      // so lui+ori can synthesize any 32-bit constant.
+      st.set_sreg(t, in.rd, st.sreg(t, in.rs) & (static_cast<Word>(in.imm) & 0xFFFFu));
+      break;
+    case Opcode::kOri:
+      st.set_sreg(t, in.rd, st.sreg(t, in.rs) | (static_cast<Word>(in.imm) & 0xFFFFu));
+      break;
+    case Opcode::kXori:
+      st.set_sreg(t, in.rd, st.sreg(t, in.rs) ^ (static_cast<Word>(in.imm) & 0xFFFFu));
+      break;
+    case Opcode::kSlti:
+      st.set_sreg(t, in.rd,
+                  sign_extend(st.sreg(t, in.rs), w) < in.imm ? 1 : 0);
+      break;
+    case Opcode::kSltiu:
+      st.set_sreg(t, in.rd,
+                  truncate(st.sreg(t, in.rs), w) <
+                          truncate(static_cast<Word>(in.imm), w)
+                      ? 1 : 0);
+      break;
+    case Opcode::kSlli:
+      st.set_sreg(t, in.rd, alu_op(AluFunct::kSll, st.sreg(t, in.rs),
+                                   static_cast<Word>(in.imm), w));
+      break;
+    case Opcode::kSrli:
+      st.set_sreg(t, in.rd, alu_op(AluFunct::kSrl, st.sreg(t, in.rs),
+                                   static_cast<Word>(in.imm), w));
+      break;
+    case Opcode::kSrai:
+      st.set_sreg(t, in.rd, alu_op(AluFunct::kSra, st.sreg(t, in.rs),
+                                   static_cast<Word>(in.imm), w));
+      break;
+    case Opcode::kLui:
+      st.set_sreg(t, in.rd, static_cast<Word>(in.imm) << 16);
+      break;
+
+    case Opcode::kLw:
+      st.set_sreg(t, in.rd,
+                  st.scalar_mem(st.sreg(t, in.rs) + static_cast<Word>(in.imm)));
+      break;
+    case Opcode::kSw:
+      st.set_scalar_mem(st.sreg(t, in.rs) + static_cast<Word>(in.imm),
+                        st.sreg(t, in.rd));
+      break;
+
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu: {
+      const Word a = st.sreg(t, in.rd), b = st.sreg(t, in.rs);
+      bool taken = false;
+      switch (in.op) {
+        case Opcode::kBeq: taken = cmp_op(CmpFunct::kEq, a, b, w); break;
+        case Opcode::kBne: taken = cmp_op(CmpFunct::kNe, a, b, w); break;
+        case Opcode::kBlt: taken = cmp_op(CmpFunct::kLt, a, b, w); break;
+        case Opcode::kBge: taken = cmp_op(CmpFunct::kGe, a, b, w); break;
+        case Opcode::kBltu: taken = cmp_op(CmpFunct::kLtu, a, b, w); break;
+        case Opcode::kBgeu: taken = cmp_op(CmpFunct::kGeu, a, b, w); break;
+        default: break;
+      }
+      if (taken) {
+        res.next_pc = static_cast<Addr>(
+            static_cast<std::int64_t>(pc) + 1 + in.imm);
+        res.taken_branch = true;
+      }
+      break;
+    }
+    case Opcode::kBfset:
+    case Opcode::kBfclr: {
+      const bool set = st.sflag(t, in.rd);
+      if (set == (in.op == Opcode::kBfset)) {
+        res.next_pc = static_cast<Addr>(
+            static_cast<std::int64_t>(pc) + 1 + in.imm);
+        res.taken_branch = true;
+      }
+      break;
+    }
+    case Opcode::kJ:
+      res.next_pc = static_cast<Addr>(in.imm);
+      res.taken_branch = true;
+      break;
+    case Opcode::kJal:
+      st.set_sreg(t, in.rd, pc + 1);
+      res.next_pc = static_cast<Addr>(in.imm);
+      res.taken_branch = true;
+      break;
+    case Opcode::kJr:
+      res.next_pc = st.sreg(t, in.rs);
+      res.taken_branch = true;
+      break;
+
+    case Opcode::kTCtl:
+      switch (static_cast<TCtlFunct>(in.funct)) {
+        case TCtlFunct::kSpawn: {
+          const ThreadId child = st.allocate_thread(st.sreg(t, in.rs));
+          res.spawned = child;
+          st.set_sreg(t, in.rd,
+                      child == ArchState::kNoThread ? low_mask(w)
+                                                    : truncate(child, w));
+          break;
+        }
+        case TCtlFunct::kJoin: {
+          const Word target = st.sreg(t, in.rs);
+          if (target >= st.num_threads())
+            throw SimulationError("tjoin: thread id out of range");
+          if (st.thread(target).state != ThreadState::kFree) {
+            res.blocked_join = true;
+            res.join_target = target;
+          }
+          break;
+        }
+        case TCtlFunct::kExit:
+          res.exited = true;
+          break;
+        case TCtlFunct::kTid:
+          st.set_sreg(t, in.rd, truncate(t, w));
+          break;
+        case TCtlFunct::kNPes:
+          st.set_sreg(t, in.rd, truncate(cfg.num_pes, w));
+          break;
+        case TCtlFunct::kNThreads:
+          st.set_sreg(t, in.rd, truncate(st.num_threads(), w));
+          break;
+        case TCtlFunct::kCount:
+          break;
+      }
+      break;
+
+    case Opcode::kTMov: {
+      const Word target = st.sreg(t, in.rt);
+      if (target >= st.num_threads())
+        throw SimulationError("tput/tget: thread id out of range");
+      if (static_cast<TMovFunct>(in.funct) == TMovFunct::kPut)
+        st.set_sreg(target, in.rd, st.sreg(t, in.rs));
+      else
+        st.set_sreg(t, in.rd, st.sreg(target, in.rs));
+      break;
+    }
+
+    default:
+      throw SimulationError("execute: unhandled opcode");
+  }
+  return res;
+}
+
+}  // namespace masc

@@ -1,0 +1,61 @@
+#include "sim/funcsim.hpp"
+
+#include "isa/encoding.hpp"
+
+namespace masc {
+
+FuncSim::FuncSim(const MachineConfig& cfg) : state_(cfg) {}
+
+void FuncSim::load(const Program& program) { state_.load(program); }
+
+bool FuncSim::finished() const {
+  return halted_ || state_.active_thread_count() == 0;
+}
+
+bool FuncSim::step() {
+  if (finished()) return false;
+  const std::uint32_t T = state_.num_threads();
+
+  // Find the next runnable thread in round-robin order. A thread blocked
+  // in TJOIN stays at its TJOIN PC and is re-executed when its turn comes
+  // (equivalent semantics: TJOIN spins until the target context frees).
+  for (std::uint32_t k = 0; k < T; ++k) {
+    const ThreadId t = (rr_ + k) % T;
+    auto& ctx = state_.thread(t);
+    if (ctx.state == ThreadState::kFree) continue;
+    if (ctx.state == ThreadState::kWaiting) {
+      if (state_.thread(ctx.join_target).state == ThreadState::kFree)
+        ctx.state = ThreadState::kActive;
+      else
+        continue;
+    }
+    const Instruction in = decode(state_.fetch(ctx.pc));
+    const ExecResult res = execute(state_, t, ctx.pc, in);
+    ++instructions_;
+    ctx.pc = res.next_pc;
+    if (res.blocked_join) {
+      ctx.state = ThreadState::kWaiting;
+      ctx.join_target = res.join_target;
+      // Retry semantics: stay on the TJOIN until the target exits, but
+      // do not recount it — back the PC up.
+      ctx.pc = res.next_pc - 1;
+      --instructions_;
+    }
+    if (res.exited) ctx.state = ThreadState::kFree;
+    if (res.halt) halted_ = true;
+    rr_ = (t + 1) % T;
+    return !finished();
+  }
+  // Only waiting threads remain: deadlock.
+  throw SimulationError("funcsim: deadlock — all live threads blocked in tjoin");
+}
+
+bool FuncSim::run(std::uint64_t max_instructions) {
+  while (!finished()) {
+    if (instructions_ >= max_instructions) return false;
+    step();
+  }
+  return true;
+}
+
+}  // namespace masc

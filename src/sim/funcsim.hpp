@@ -1,0 +1,45 @@
+// Fast functional (non-cycle-accurate) simulator of the same ISA.
+//
+// Executes one instruction per active thread per "round" in round-robin
+// order, with the same execution semantics as the cycle-accurate Machine
+// (shared exec.cpp). Used as the reference in differential tests: for any
+// data-race-free program the final architectural state must match the
+// cycle-accurate simulator's, while instruction counts agree exactly.
+#pragma once
+
+#include <vector>
+
+#include "sim/arch_state.hpp"
+#include "sim/exec.hpp"
+
+namespace masc {
+
+class FuncSim {
+ public:
+  explicit FuncSim(const MachineConfig& cfg);
+
+  void load(const Program& program);
+
+  ArchState& state() { return state_; }
+  const ArchState& state() const { return state_; }
+
+  std::uint64_t instructions() const { return instructions_; }
+  bool halted() const { return halted_; }
+  bool finished() const;
+
+  /// Execute one instruction (the next active thread in round-robin
+  /// order). Returns false when the machine is finished.
+  bool step();
+
+  /// Run to completion. Returns true on normal termination, false if the
+  /// instruction limit was reached first.
+  bool run(std::uint64_t max_instructions = 1'000'000'000);
+
+ private:
+  ArchState state_;
+  std::uint64_t instructions_ = 0;
+  ThreadId rr_ = 0;
+  bool halted_ = false;
+};
+
+}  // namespace masc

@@ -1,0 +1,88 @@
+#include "sim/network/falkoff.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/saturate.hpp"
+
+namespace masc::net {
+
+namespace {
+
+/// Core elimination scan. `keep_ones[b]` tells whether, at bit position
+/// b, candidates with a 1 survive (true for maximum) or candidates with
+/// a 0 survive. The sign bit of signed extrema flips the rule.
+FalkoffResult scan(std::span<const Word> values,
+                   std::span<const std::uint8_t> active, unsigned width,
+                   bool want_max, bool signed_mode, Word empty_identity) {
+  expect(values.size() == active.size(), "falkoff: size mismatch");
+  FalkoffResult res;
+  res.survivors.assign(values.size(), 0);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    res.survivors[i] = active[i] ? 1 : 0;
+
+  bool any_candidate = false;
+  for (const auto s : res.survivors) any_candidate |= (s != 0);
+  if (!any_candidate) {
+    res.value = empty_identity;
+    res.steps = width;
+    return res;
+  }
+
+  Word value = 0;
+  for (unsigned step = 0; step < width; ++step) {
+    const unsigned bit = width - 1 - step;
+    // For the sign bit of a signed extremum the preference inverts:
+    // a signed maximum prefers sign = 0, a signed minimum sign = 1.
+    const bool prefer_one =
+        (signed_mode && bit == width - 1) ? !want_max : want_max;
+    // Global some/none over candidates holding the preferred bit value
+    // — one trip through the responder-detection network per step.
+    bool some = false;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (!res.survivors[i]) continue;
+      const bool b = ((values[i] >> bit) & 1) != 0;
+      if (b == prefer_one) some = true;
+    }
+    const bool winning_bit = some ? prefer_one : !prefer_one;
+    value |= (winning_bit ? Word{1} : Word{0}) << bit;
+    if (some) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (!res.survivors[i]) continue;
+        const bool b = ((values[i] >> bit) & 1) != 0;
+        if (b != prefer_one) res.survivors[i] = 0;
+      }
+    }
+    ++res.steps;
+  }
+  res.value = truncate(value, width);
+  return res;
+}
+
+}  // namespace
+
+FalkoffResult falkoff_max(std::span<const Word> values,
+                          std::span<const std::uint8_t> active, unsigned width) {
+  return scan(values, active, width, /*want_max=*/true, /*signed=*/false, 0);
+}
+
+FalkoffResult falkoff_min(std::span<const Word> values,
+                          std::span<const std::uint8_t> active, unsigned width) {
+  return scan(values, active, width, /*want_max=*/false, /*signed=*/false,
+              low_mask(width));
+}
+
+FalkoffResult falkoff_max_signed(std::span<const Word> values,
+                                 std::span<const std::uint8_t> active,
+                                 unsigned width) {
+  return scan(values, active, width, /*want_max=*/true, /*signed=*/true,
+              signed_min_word(width));
+}
+
+FalkoffResult falkoff_min_signed(std::span<const Word> values,
+                                 std::span<const std::uint8_t> active,
+                                 unsigned width) {
+  return scan(values, active, width, /*want_max=*/false, /*signed=*/true,
+              signed_max_word(width));
+}
+
+}  // namespace masc::net

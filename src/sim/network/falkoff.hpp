@@ -1,0 +1,48 @@
+// The Falkoff bit-serial maximum/minimum algorithm.
+//
+// The pre-2007 ASC Processors found extrema with Falkoff's associative
+// algorithm (paper §6.4): scan the word from the most significant bit
+// down; at each bit, if any surviving candidate has a 1 there (for
+// maximum), eliminate every candidate with a 0. After w steps the
+// survivors all hold the extremum. Each step needs one global
+// some/none (OR) over the candidate flags, so the unit processes one
+// bit of the data word per cycle and cannot be shared by concurrent
+// operations — the structural hazard the multithreaded prototype's
+// pipelined comparator tree removes.
+//
+// This model exists (a) to document and test the predecessor design the
+// paper argues against, and (b) to back the MaxMinUnitKind::kFalkoff
+// timing option with bit-exact semantics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace masc::net {
+
+struct FalkoffResult {
+  Word value = 0;                       ///< the extremum (identity if empty)
+  std::vector<std::uint8_t> survivors;  ///< candidates holding the extremum
+  unsigned steps = 0;                   ///< bit-steps performed (= width)
+};
+
+/// Bit-serial unsigned maximum over the active PEs.
+FalkoffResult falkoff_max(std::span<const Word> values,
+                          std::span<const std::uint8_t> active, unsigned width);
+
+/// Bit-serial unsigned minimum over the active PEs.
+FalkoffResult falkoff_min(std::span<const Word> values,
+                          std::span<const std::uint8_t> active, unsigned width);
+
+/// Signed variants: the sign bit inverts its elimination rule.
+FalkoffResult falkoff_max_signed(std::span<const Word> values,
+                                 std::span<const std::uint8_t> active,
+                                 unsigned width);
+FalkoffResult falkoff_min_signed(std::span<const Word> values,
+                                 std::span<const std::uint8_t> active,
+                                 unsigned width);
+
+}  // namespace masc::net

@@ -1,0 +1,150 @@
+#include "sim/network/trees.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace masc::net {
+
+Word identity_of(ReduceOp op, unsigned width) {
+  switch (op) {
+    case ReduceOp::kAnd: return low_mask(width);
+    case ReduceOp::kOr: return 0;
+    case ReduceOp::kMax: return signed_min_word(width);
+    case ReduceOp::kMin: return signed_max_word(width);
+    case ReduceOp::kMaxU: return 0;
+    case ReduceOp::kMinU: return low_mask(width);
+    case ReduceOp::kSum: return 0;
+    case ReduceOp::kSumU: return 0;
+    case ReduceOp::kCountFlags: return 0;
+  }
+  return 0;
+}
+
+Word combine(ReduceOp op, Word a, Word b, unsigned width) {
+  switch (op) {
+    case ReduceOp::kAnd: return a & b;
+    case ReduceOp::kOr: return a | b;
+    case ReduceOp::kMax:
+      return sign_extend(a, width) >= sign_extend(b, width) ? a : b;
+    case ReduceOp::kMin:
+      return sign_extend(a, width) <= sign_extend(b, width) ? a : b;
+    case ReduceOp::kMaxU: return std::max(a, b);
+    case ReduceOp::kMinU: return std::min(a, b);
+    case ReduceOp::kSum: return sat_add_signed(a, b, width);
+    case ReduceOp::kSumU: return sat_add_unsigned(a, b, width);
+    case ReduceOp::kCountFlags:
+      // The adder tree of the response counter is sized to hold an exact
+      // count of up to p responders; it cannot overflow.
+      return a + b;
+  }
+  return 0;
+}
+
+Word tree_reduce(ReduceOp op, std::span<const Word> values,
+                 std::span<const std::uint8_t> active, unsigned width) {
+  expect(values.size() == active.size(), "tree_reduce: size mismatch");
+  const Word id = identity_of(op, width);
+  const std::size_t padded = std::size_t{1} << ceil_log2(std::max<std::size_t>(values.size(), 1));
+  std::vector<Word> row(padded, id);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    row[i] = active[i] ? (op == ReduceOp::kCountFlags ? (values[i] ? 1 : 0)
+                                                      : truncate(values[i], width))
+                       : id;
+  // Combine pairwise, level by level — exactly the hardware tree order.
+  for (std::size_t n = padded; n > 1; n /= 2)
+    for (std::size_t i = 0; i < n / 2; ++i)
+      row[i] = combine(op, row[2 * i], row[2 * i + 1], width);
+  return row[0];
+}
+
+Word tree_reduce(ReduceOp op, std::span<const Word> values, unsigned width) {
+  const std::vector<std::uint8_t> all(values.size(), 1);
+  return tree_reduce(op, values, all, width);
+}
+
+std::vector<std::uint8_t> exclusive_prefix_or(std::span<const std::uint8_t> flags) {
+  std::vector<std::uint8_t> out(flags.size(), 0);
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    out[i] = acc;
+    acc = acc || flags[i] ? 1 : 0;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> resolve_first(std::span<const std::uint8_t> flags,
+                                        std::span<const std::uint8_t> active) {
+  expect(flags.size() == active.size(), "resolve_first: size mismatch");
+  std::vector<std::uint8_t> masked(flags.size());
+  for (std::size_t i = 0; i < flags.size(); ++i)
+    masked[i] = (flags[i] && active[i]) ? 1 : 0;
+  const auto before = exclusive_prefix_or(masked);
+  std::vector<std::uint8_t> out(flags.size());
+  for (std::size_t i = 0; i < flags.size(); ++i)
+    out[i] = (masked[i] && !before[i]) ? 1 : 0;
+  return out;
+}
+
+PipelinedBroadcastTree::PipelinedBroadcastTree(std::uint32_t num_pes,
+                                               std::uint32_t arity)
+    : latency_(ceil_log_k(num_pes, arity)) {
+  stages_.assign(latency_, std::nullopt);
+}
+
+std::optional<Word> PipelinedBroadcastTree::cycle(std::optional<Word> input) {
+  if (latency_ == 0) return input;  // single PE: wire, no registers
+  stages_.push_front(input);
+  std::optional<Word> out = stages_.back();
+  stages_.pop_back();
+  return out;
+}
+
+PipelinedReductionTree::PipelinedReductionTree(std::uint32_t num_pes,
+                                               ReduceOp op, unsigned width)
+    : op_(op),
+      width_(width),
+      latency_(ceil_log2(num_pes)),
+      leaves_(std::uint32_t{1} << ceil_log2(num_pes)) {
+  level_.resize(latency_ + 1);
+  for (unsigned l = 0; l <= latency_; ++l)
+    level_[l].assign(leaves_ >> l, identity_of(op, width));
+  level_valid_.assign(latency_ + 1, 0);
+}
+
+std::optional<Word> PipelinedReductionTree::cycle(
+    std::optional<std::span<const Word>> input) {
+  // Shift from the root backwards so each level consumes its predecessor's
+  // *previous* contents — register semantics.
+  std::optional<Word> out;
+  if (latency_ == 0) {
+    // Single PE: the "tree" is a wire.
+    if (input) out = truncate((*input)[0], width_);
+    return out;
+  }
+  for (unsigned l = latency_; l >= 1; --l) {
+    if (level_valid_[l - 1]) {
+      auto& dst = level_[l];
+      const auto& src = level_[l - 1];
+      for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] = combine(op_, src[2 * i], src[2 * i + 1], width_);
+      level_valid_[l] = 1;
+    } else {
+      level_valid_[l] = 0;
+    }
+  }
+  if (level_valid_[latency_]) out = level_[latency_][0];
+  if (input) {
+    expect(input->size() <= leaves_, "reduction input wider than tree");
+    auto& in_row = level_[0];
+    std::fill(in_row.begin(), in_row.end(), identity_of(op_, width_));
+    for (std::size_t i = 0; i < input->size(); ++i)
+      in_row[i] = truncate((*input)[i], width_);
+    level_valid_[0] = 1;
+  } else {
+    level_valid_[0] = 0;
+  }
+  return out;
+}
+
+}  // namespace masc::net

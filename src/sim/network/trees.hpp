@@ -1,0 +1,118 @@
+// Broadcast/reduction network models (paper §6.4).
+//
+// Two levels of modeling live here:
+//
+// 1. *Value semantics*: tree_reduce() combines PE values in the exact
+//    binary-tree node order of the hardware. For associative idempotent
+//    operators this equals a fold, but the saturating sum unit is NOT
+//    associative (saturation at an internal node is sticky), so emulating
+//    the tree shape — leaves padded with the operator identity up to the
+//    next power of two — is required for bit-exact fidelity.
+//
+// 2. *Pipeline structure*: PipelinedBroadcastTree / PipelinedReductionTree
+//    model the stage registers of the k-ary broadcast tree and the binary
+//    reduction trees: initiation rate of one operation per cycle and
+//    latency ceil(log_k p) / ceil(log2 p). The cycle-accurate simulator
+//    uses the equivalent analytic latencies; these classes exist so tests
+//    can verify that the analytic formulas match an actual register-level
+//    pipeline, and so the network can be studied in isolation (bench E6).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/config.hpp"
+#include "common/saturate.hpp"
+#include "common/types.hpp"
+
+namespace masc::net {
+
+/// Reduction operators supported by the hardware units.
+enum class ReduceOp : std::uint8_t {
+  kAnd, kOr,            // logic unit
+  kMax, kMin,           // maximum/minimum unit, signed
+  kMaxU, kMinU,         //   "      "       "  unsigned
+  kSum, kSumU,          // sum unit (saturating)
+  kCountFlags,          // response counter (input: 0/1 flags)
+};
+
+/// The operator identity: contributed by inactive PEs and by the padding
+/// leaves that round the array up to a full binary tree.
+Word identity_of(ReduceOp op, unsigned width);
+
+/// Combine two values at one tree node.
+Word combine(ReduceOp op, Word a, Word b, unsigned width);
+
+/// Reduce a vector of per-PE values in hardware tree order. `active[i]`
+/// false replaces values[i] with the identity. `width` is the machine
+/// word width except for kCountFlags/kSum whose adder tree is wide enough
+/// to never overflow on counts (the response counter produces an exact
+/// count, paper §6.4) — pass the result width accordingly.
+Word tree_reduce(ReduceOp op, std::span<const Word> values,
+                 std::span<const std::uint8_t> active, unsigned width);
+
+/// Convenience overload: all PEs active.
+Word tree_reduce(ReduceOp op, std::span<const Word> values, unsigned width);
+
+/// Multiple-response resolver (parallel-prefix network): one-hot vector
+/// selecting the first set flag among active PEs.
+std::vector<std::uint8_t> resolve_first(std::span<const std::uint8_t> flags,
+                                        std::span<const std::uint8_t> active);
+
+/// Exclusive prefix-OR across the flag vector — the internal value the
+/// parallel-prefix network computes; exposed for property tests.
+std::vector<std::uint8_t> exclusive_prefix_or(std::span<const std::uint8_t> flags);
+
+// ---------------------------------------------------------------------------
+// Register-level pipeline models
+// ---------------------------------------------------------------------------
+
+/// A pipelined k-ary broadcast tree: accepts one token per cycle, delivers
+/// it to all leaves ceil(log_k p) cycles later.
+class PipelinedBroadcastTree {
+ public:
+  PipelinedBroadcastTree(std::uint32_t num_pes, std::uint32_t arity);
+
+  unsigned latency() const { return latency_; }
+
+  /// Clock edge: shift the pipeline; returns the token that reached the
+  /// leaves this cycle, if any.
+  std::optional<Word> cycle(std::optional<Word> input);
+
+ private:
+  unsigned latency_;
+  std::deque<std::optional<Word>> stages_;
+};
+
+/// A pipelined binary reduction tree over p leaves: one new operand vector
+/// may enter per cycle; its scalar result emerges ceil(log2 p) cycles
+/// later. Internally keeps real per-level node registers so that the
+/// stage-by-stage dataflow (and the non-associativity of saturating sum)
+/// is faithfully represented.
+class PipelinedReductionTree {
+ public:
+  PipelinedReductionTree(std::uint32_t num_pes, ReduceOp op, unsigned width);
+
+  unsigned latency() const { return latency_; }
+
+  /// Clock edge: shift all levels; optionally inject a new operand vector
+  /// (values already masked: inactive PEs hold the identity). Returns the
+  /// result leaving the root this cycle, if any.
+  std::optional<Word> cycle(std::optional<std::span<const Word>> input);
+
+ private:
+  ReduceOp op_;
+  unsigned width_;
+  unsigned latency_;
+  std::uint32_t leaves_;  ///< padded to a power of two
+  /// level_[l] holds the register contents after l combining stages;
+  /// level_[0] is the (padded) input register row.
+  std::vector<std::vector<Word>> level_;
+  std::vector<std::uint8_t> level_valid_;
+};
+
+}  // namespace masc::net

@@ -1,0 +1,56 @@
+#include "sim/scoreboard.hpp"
+
+#include "common/error.hpp"
+
+namespace masc {
+
+const char* to_string(StallCause c) {
+  switch (c) {
+    case StallCause::kNone: return "none";
+    case StallCause::kReductionHazard: return "reduction";
+    case StallCause::kBroadcastReductionHazard: return "broadcast-reduction";
+    case StallCause::kDataHazard: return "data";
+    case StallCause::kWawHazard: return "waw";
+    case StallCause::kStructuralHazard: return "structural";
+    case StallCause::kControlPenalty: return "control";
+    case StallCause::kJoinWait: return "join";
+    case StallCause::kThreadSwitch: return "thread-switch";
+    case StallCause::kCauseCount: break;
+  }
+  return "?cause";
+}
+
+Scoreboard::Scoreboard(const MachineConfig& cfg, std::uint32_t threads)
+    : sgpr_(cfg.num_scalar_regs),
+      sflag_(cfg.num_flag_regs),
+      pgpr_(cfg.num_parallel_regs),
+      pflag_(cfg.num_flag_regs) {
+  per_thread_ = static_cast<std::size_t>(sgpr_) + sflag_ + pgpr_ + pflag_;
+  entries_.assign(per_thread_ * threads, Entry{});
+}
+
+std::size_t Scoreboard::index(ThreadId t, RegRef ref) const {
+  std::size_t base = per_thread_ * t;
+  switch (ref.space) {
+    case RegSpace::kScalarGpr: break;
+    case RegSpace::kScalarFlag: base += sgpr_; break;
+    case RegSpace::kParallelGpr: base += sgpr_ + sflag_; break;
+    case RegSpace::kParallelFlag: base += static_cast<std::size_t>(sgpr_) + sflag_ + pgpr_; break;
+  }
+  return base + ref.num;
+}
+
+const Scoreboard::Entry& Scoreboard::lookup(ThreadId t, RegRef ref) const {
+  if (ref.hardwired()) return zero_;
+  return entries_.at(index(t, ref));
+}
+
+void Scoreboard::record_write(ThreadId t, RegRef ref, Cycle avail,
+                              InstrClass producer) {
+  if (ref.hardwired()) return;
+  auto& e = entries_.at(index(t, ref));
+  e.avail = avail;
+  e.producer = producer;
+}
+
+}  // namespace masc

@@ -1,0 +1,39 @@
+// Instruction status table (paper Fig. 3): tracks, for every
+// architectural register of every thread, when the most recent in-flight
+// writer's value becomes forwardable, and which instruction class
+// produced it. The decode-stage hazard check consults this to compute the
+// earliest legal issue cycle of a candidate instruction.
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "isa/instruction.hpp"
+#include "isa/registers.hpp"
+#include "sim/stats.hpp"
+
+namespace masc {
+
+class Scoreboard {
+ public:
+  Scoreboard(const MachineConfig& cfg, std::uint32_t threads);
+
+  struct Entry {
+    Cycle avail = 0;             ///< end of cycle at which the value is
+                                 ///< forwardable (0 = long since ready)
+    InstrClass producer = InstrClass::kScalar;
+  };
+
+  const Entry& lookup(ThreadId t, RegRef ref) const;
+  void record_write(ThreadId t, RegRef ref, Cycle avail, InstrClass producer);
+
+ private:
+  std::size_t index(ThreadId t, RegRef ref) const;
+
+  std::uint32_t sgpr_, sflag_, pgpr_, pflag_;
+  std::size_t per_thread_;
+  std::vector<Entry> entries_;
+  Entry zero_{};  ///< hardwired registers always resolve here
+};
+
+}  // namespace masc

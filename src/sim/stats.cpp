@@ -1,0 +1,39 @@
+#include "sim/stats.hpp"
+
+#include <sstream>
+
+namespace masc {
+
+std::string to_json(const Stats& s) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"cycles\":" << s.cycles;
+  os << ",\"instructions\":" << s.instructions;
+  os << ",\"ipc\":" << s.ipc();
+  os << ",\"issued\":{\"scalar\":" << s.issued(InstrClass::kScalar)
+     << ",\"parallel\":" << s.issued(InstrClass::kParallel)
+     << ",\"reduction\":" << s.issued(InstrClass::kReduction) << "}";
+  os << ",\"idle_cycles\":" << s.idle_cycles;
+  os << ",\"idle_by_cause\":{";
+  bool first = true;
+  for (std::size_t c = 1; c < static_cast<std::size_t>(StallCause::kCauseCount);
+       ++c) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << to_string(static_cast<StallCause>(c))
+       << "\":" << s.idle_by_cause[c];
+  }
+  os << "}";
+  os << ",\"broadcast_ops\":" << s.broadcast_ops;
+  os << ",\"reduction_ops\":" << s.reduction_ops;
+  os << ",\"thread_switches\":" << s.thread_switches;
+  os << ",\"issued_by_thread\":[";
+  for (std::size_t t = 0; t < s.issued_by_thread.size(); ++t) {
+    if (t) os << ",";
+    os << s.issued_by_thread[t];
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace masc

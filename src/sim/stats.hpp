@@ -1,0 +1,72 @@
+// Execution statistics collected by the cycle-accurate simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace masc {
+
+/// Why a thread could not issue its oldest instruction this cycle, in
+/// priority order of classification (paper §4.2's hazard taxonomy).
+enum class StallCause : std::uint8_t {
+  kNone = 0,
+  kReductionHazard,          ///< scalar consumer of a reduction result
+  kBroadcastReductionHazard, ///< parallel consumer of a reduction result
+  kDataHazard,               ///< other RAW (load-use, mul/div latency, ...)
+  kWawHazard,                ///< write ordering interlock
+  kStructuralHazard,         ///< sequential multiplier/divider busy
+  kControlPenalty,           ///< refetch after taken branch / spawn startup
+  kJoinWait,                 ///< blocked in TJOIN
+  kThreadSwitch,             ///< coarse-grain MT: pipeline flush/refill
+  kCauseCount
+};
+
+const char* to_string(StallCause c);
+
+struct Stats {
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  std::array<std::uint64_t, 3> issued_by_class{};  ///< [scalar, parallel, reduction]
+
+  /// Cycles in which no thread could issue, broken down by the stall
+  /// cause of the highest-priority blocked thread.
+  std::uint64_t idle_cycles = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(StallCause::kCauseCount)>
+      idle_by_cause{};
+
+  /// Per-thread issue counts (fairness measurements).
+  std::vector<std::uint64_t> issued_by_thread;
+
+  /// Per-thread cycles blocked, by cause (thread-level stall accounting;
+  /// a blocked thread may be hidden by another thread issuing).
+  std::vector<std::array<std::uint64_t,
+      static_cast<std::size_t>(StallCause::kCauseCount)>> thread_stalls;
+
+  /// Network utilization: operations entering each unit.
+  std::uint64_t broadcast_ops = 0;
+  std::uint64_t reduction_ops = 0;
+
+  /// Coarse-grain multithreading: context switches performed.
+  std::uint64_t thread_switches = 0;
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+
+  std::uint64_t issued(InstrClass c) const {
+    return issued_by_class[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Machine-readable statistics export (one JSON object) for scripting
+/// around masc-run and the bench harnesses.
+std::string to_json(const Stats& stats);
+
+}  // namespace masc

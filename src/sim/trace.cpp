@@ -1,0 +1,118 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "isa/encoding.hpp"
+
+namespace masc {
+
+namespace {
+
+/// Stage cells of one instruction, keyed by absolute cycle. Rendered
+/// exactly in the paper's Fig. 2 style: a stalled instruction repeats ID.
+std::map<std::int64_t, std::string> stage_cells(const TraceEntry& e,
+                                                const MachineConfig& cfg) {
+  std::map<std::int64_t, std::string> cells;
+  const auto ps = static_cast<std::int64_t>(e.pending_since);
+  const auto is = static_cast<std::int64_t>(e.issue);
+  const auto av = static_cast<std::int64_t>(e.avail);
+  const unsigned b = cfg.broadcast_latency();
+  const unsigned r = cfg.reduction_latency();
+
+  cells[ps - 2] = "IF";
+  for (std::int64_t c = ps - 1; c <= is - 1; ++c) cells[c] = "ID";
+  cells[is] = "SR";
+
+  switch (e.cls) {
+    case InstrClass::kScalar:
+      if (e.instr.op == Opcode::kLw || e.instr.op == Opcode::kSw) {
+        cells[is + 1] = "EX";
+        cells[is + 2] = "MA";
+        cells[is + 3] = "WB";
+      } else {
+        for (std::int64_t c = is + 1; c <= av; ++c) cells[c] = "EX";
+        cells[av + 1] = "MA";
+        cells[av + 2] = "WB";
+      }
+      break;
+    case InstrClass::kParallel: {
+      for (unsigned k = 1; k <= b; ++k) cells[is + k] = "B" + std::to_string(k);
+      cells[is + b + 1] = "PR";
+      if (e.instr.op == Opcode::kPLw || e.instr.op == Opcode::kPSw) {
+        cells[is + b + 2] = "EX";
+        cells[is + b + 3] = "MA";
+        cells[is + b + 4] = "WB";
+      } else {
+        for (std::int64_t c = is + b + 2; c <= av; ++c) cells[c] = "EX";
+        cells[av + 1] = "MA";
+        cells[av + 2] = "WB";
+      }
+      break;
+    }
+    case InstrClass::kReduction: {
+      for (unsigned k = 1; k <= b; ++k) cells[is + k] = "B" + std::to_string(k);
+      cells[is + b + 1] = "PR";
+      for (unsigned k = 1; k <= r; ++k)
+        cells[is + b + 1 + k] = "R" + std::to_string(k);
+      cells[av + 1] = "WB";
+      break;
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::string render_pipeline_diagram(const std::vector<TraceEntry>& entries,
+                                    const MachineConfig& cfg,
+                                    bool show_thread_column) {
+  if (entries.empty()) return "(empty trace)\n";
+
+  std::vector<std::map<std::int64_t, std::string>> rows;
+  std::int64_t lo = 0, hi = 0;
+  bool first = true;
+  for (const auto& e : entries) {
+    rows.push_back(stage_cells(e, cfg));
+    const auto& m = rows.back();
+    if (first) {
+      lo = m.begin()->first;
+      hi = m.rbegin()->first;
+      first = false;
+    } else {
+      lo = std::min(lo, m.begin()->first);
+      hi = std::max(hi, m.rbegin()->first);
+    }
+  }
+
+  constexpr std::size_t kLabelWidth = 26;
+  constexpr std::size_t kCellWidth = 4;
+  std::ostringstream os;
+
+  // Header: cycle numbers starting at 1.
+  os << std::string(kLabelWidth, ' ');
+  for (std::int64_t c = lo; c <= hi; ++c) {
+    const std::string n = std::to_string(c - lo + 1);
+    os << std::string(kCellWidth - n.size(), ' ') << n;
+  }
+  os << '\n';
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    std::string label;
+    if (show_thread_column) label += "t" + std::to_string(e.thread) + " ";
+    label += disassemble(e.instr);
+    if (label.size() > kLabelWidth - 1) label.resize(kLabelWidth - 1);
+    os << label << std::string(kLabelWidth - label.size(), ' ');
+    for (std::int64_t c = lo; c <= hi; ++c) {
+      const auto it = rows[i].find(c);
+      const std::string cell = it == rows[i].end() ? "" : it->second;
+      os << std::string(kCellWidth - cell.size(), ' ') << cell;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace masc

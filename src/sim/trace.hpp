@@ -1,0 +1,35 @@
+// Pipeline tracing: records the stage schedule of every issued
+// instruction and renders Fig.-2-style cycle diagrams.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "sim/stats.hpp"
+
+namespace masc {
+
+/// One issued instruction's timing record.
+struct TraceEntry {
+  ThreadId thread = 0;
+  Addr pc = 0;
+  Instruction instr;
+  InstrClass cls = InstrClass::kScalar;
+  Cycle pending_since = 0;  ///< first cycle the instruction sat in ID
+  Cycle issue = 0;          ///< cycle of the SR stage
+  Cycle avail = 0;          ///< end of cycle its result is forwardable
+  StallCause stalled_on = StallCause::kNone;  ///< dominant cause of any ID stall
+  bool taken_branch = false;
+};
+
+/// Render a Fig.-2-style pipeline diagram: one row per instruction,
+/// stages labeled IF ID SR B1..Bb PR R1..Rr EX MA WB, with repeated ID
+/// entries marking stall cycles exactly as the paper draws them.
+std::string render_pipeline_diagram(const std::vector<TraceEntry>& entries,
+                                    const MachineConfig& cfg,
+                                    bool show_thread_column = false);
+
+}  // namespace masc

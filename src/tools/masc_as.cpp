@@ -1,0 +1,75 @@
+// masc-as: assembler driver.
+//
+//   masc-as input.s [-o out.mo] [--listing] [--print]
+//
+// Assembles MASC assembly into a binary program image (.mo). --listing
+// prints an address/encoding/disassembly listing; --print dumps the
+// text words as hex.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "assembler/assembler.hpp"
+#include "assembler/program_io.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: masc-as input.s [-o out.mo] [--listing] [--print]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, output;
+  bool listing = false, print = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (++i >= argc) return usage();
+      output = argv[i];
+    } else if (arg == "--listing") {
+      listing = true;
+    } else if (arg == "--print") {
+      print = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) return usage();
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "masc-as: cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    const masc::Program prog = masc::assemble(buf.str());
+    if (listing) std::fputs(masc::render_listing(prog).c_str(), stdout);
+    if (print) {
+      for (std::size_t i = 0; i < prog.text.size(); ++i)
+        std::printf("%05zx: %08x\n", i, prog.text[i]);
+    }
+    if (!output.empty()) masc::save_program_file(output, prog);
+    if (output.empty() && !listing && !print)
+      std::printf("masc-as: %zu text words, %zu data words, entry %u "
+                  "(no output requested; use -o/--listing/--print)\n",
+                  prog.text.size(), prog.data.size(), prog.entry);
+    return 0;
+  } catch (const masc::AssemblyError& e) {
+    std::fprintf(stderr, "masc-as: %s: %s\n", input.c_str(), e.what());
+    return 1;
+  }
+}

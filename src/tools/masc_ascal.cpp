@@ -1,0 +1,98 @@
+// masc-ascal: compile ASCAL source to MASC assembly or a program image,
+// optionally running it immediately.
+//
+//   masc-ascal prog.ascal [-o out.s|out.mo] [--run] [--pes N]
+//              [--threads N] [--width N] [--stats]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ascal/ascal.hpp"
+#include "assembler/assembler.hpp"
+#include "assembler/program_io.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: masc-ascal prog.ascal [-o out.s|out.mo] "
+                       "[--run] [--pes N] [--threads N] [--width N] [--stats]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace masc;
+  std::string input, output;
+  bool run = false, stats = false;
+  MachineConfig cfg;
+  cfg.word_width = 16;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_u32 = [&](std::uint32_t& out) {
+      if (++i >= argc) std::exit(usage());
+      out = static_cast<std::uint32_t>(std::strtoul(argv[i], nullptr, 0));
+    };
+    if (arg == "-o") {
+      if (++i >= argc) return usage();
+      output = argv[i];
+    } else if (arg == "--run") run = true;
+    else if (arg == "--stats") stats = true;
+    else if (arg == "--pes") next_u32(cfg.num_pes);
+    else if (arg == "--threads") next_u32(cfg.num_threads);
+    else if (arg == "--width") { std::uint32_t w; next_u32(w); cfg.word_width = w; }
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else if (input.empty()) input = arg;
+    else return usage();
+  }
+  if (input.empty()) return usage();
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "masc-ascal: cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    if (run) {
+      cfg.validate();
+      ascal::AscalProgram prog(cfg, buf.str());
+      const auto outcome = prog.run();
+      std::printf("%s after %llu cycles\n",
+                  outcome.finished ? "finished" : "CYCLE LIMIT",
+                  static_cast<unsigned long long>(outcome.cycles));
+      if (stats)
+        std::printf("instructions=%llu ipc=%.3f idle=%llu\n",
+                    static_cast<unsigned long long>(outcome.stats.instructions),
+                    outcome.stats.ipc(),
+                    static_cast<unsigned long long>(outcome.stats.idle_cycles));
+      return outcome.finished ? 0 : 3;
+    }
+
+    const auto compiled = ascal::compile(buf.str());
+    if (output.empty()) {
+      std::fputs(compiled.assembly.c_str(), stdout);
+    } else if (output.size() > 3 &&
+               output.compare(output.size() - 3, 3, ".mo") == 0) {
+      save_program_file(output, assemble(compiled.assembly));
+    } else {
+      std::ofstream os(output);
+      if (!os) {
+        std::fprintf(stderr, "masc-ascal: cannot write %s\n", output.c_str());
+        return 1;
+      }
+      os << compiled.assembly;
+    }
+    return 0;
+  } catch (const ascal::CompileError& e) {
+    std::fprintf(stderr, "masc-ascal: %s: %s\n", input.c_str(), e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "masc-ascal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,93 @@
+// masc-dbg: interactive debugger for MASC programs.
+//
+//   masc-dbg prog.s|prog.mo [--pes N] [--threads N] [--width N]
+//
+// Commands: see src/sim/debugger.hpp (type 'h' at the prompt).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "assembler/assembler.hpp"
+#include "assembler/program_io.hpp"
+#include "sim/debugger.hpp"
+
+namespace {
+
+using namespace masc;
+
+const char* kHelp =
+    "  s [n]             step n cycles\n"
+    "  c                 continue to halt/breakpoint\n"
+    "  b <addr>          set breakpoint      d <addr>  delete\n"
+    "  regs|flags [t]    scalar state of thread t\n"
+    "  preg|pflag <r> [t] parallel state across PEs\n"
+    "  mem <a> [n]       scalar memory       lmem <pe> <a> [n]  local memory\n"
+    "  threads           thread table        list [a [n]]  disassemble\n"
+    "  trace [n]         pipeline diagram    stats\n"
+    "  q                 quit\n";
+
+Program load_input(const std::string& path) {
+  if (path.size() > 3 && path.compare(path.size() - 3, 3, ".mo") == 0)
+    return load_program_file(path);
+  std::ifstream in(path);
+  if (!in) throw AssemblyError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return assemble(buf.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  MachineConfig cfg;
+  cfg.word_width = 16;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_u32 = [&](std::uint32_t& out) {
+      if (++i >= argc) std::exit(2);
+      out = static_cast<std::uint32_t>(std::strtoul(argv[i], nullptr, 0));
+    };
+    if (arg == "--pes") next_u32(cfg.num_pes);
+    else if (arg == "--threads") next_u32(cfg.num_threads);
+    else if (arg == "--width") { std::uint32_t w; next_u32(w); cfg.word_width = w; }
+    else if (input.empty() && !arg.empty() && arg[0] != '-') input = arg;
+    else {
+      std::fprintf(stderr, "usage: masc-dbg prog.s|prog.mo [--pes N] "
+                           "[--threads N] [--width N]\n");
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr, "usage: masc-dbg prog.s|prog.mo [options]\n");
+    return 2;
+  }
+
+  try {
+    cfg.validate();
+    Machine m(cfg);
+    m.load(load_input(input));
+    Debugger dbg(m);
+    std::printf("masc-dbg: %s on %s — 'h' for help\n", input.c_str(),
+                cfg.name().c_str());
+    std::string line;
+    while (true) {
+      std::printf("(masc) ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      if (line == "h" || line == "help") {
+        std::fputs(kHelp, stdout);
+        continue;
+      }
+      const auto reply = dbg.execute(line);
+      std::fputs(reply.text.c_str(), stdout);
+      if (reply.quit) break;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "masc-dbg: %s\n", e.what());
+    return 1;
+  }
+}

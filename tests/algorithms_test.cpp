@@ -1,0 +1,505 @@
+// End-to-end algorithm tests: asclib workloads validated against host
+// reference implementations across machine shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "asclib/algorithms/image.hpp"
+#include "asclib/algorithms/query.hpp"
+#include "asclib/algorithms/mst.hpp"
+#include "asclib/algorithms/search.hpp"
+#include "asclib/algorithms/sort.hpp"
+#include "asclib/algorithms/string_match.hpp"
+#include "common/random.hpp"
+
+namespace masc::asc {
+namespace {
+
+MachineConfig cfg(std::uint32_t pes = 16, std::uint32_t threads = 4) {
+  MachineConfig c;
+  c.num_pes = pes;
+  c.num_threads = threads;
+  c.word_width = 16;
+  c.local_mem_bytes = 512;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Associative search
+// ---------------------------------------------------------------------------
+
+TEST(Search, ExactMatchSmall) {
+  AssociativeSearch s(cfg(), {5, 3, 7, 3, 9, 3, 1});
+  const auto r = s.exact_match(3);
+  EXPECT_EQ(r.count, 3u);
+  EXPECT_TRUE(r.any);
+  EXPECT_EQ(r.positions, (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(Search, ExactMatchNoResponders) {
+  AssociativeSearch s(cfg(), {5, 3, 7});
+  const auto r = s.exact_match(42);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_FALSE(r.any);
+  EXPECT_TRUE(r.positions.empty());
+}
+
+TEST(Search, ExactMatchWrapsIntoSlots) {
+  // 40 records on 16 PEs: 3 slots, partial tail.
+  std::vector<Word> field(40);
+  for (std::size_t i = 0; i < field.size(); ++i) field[i] = i % 5;
+  AssociativeSearch s(cfg(), field);
+  const auto r = s.exact_match(2);
+  EXPECT_EQ(r.count, 8u);
+  for (const auto pos : r.positions) EXPECT_EQ(field[pos], 2u);
+}
+
+TEST(Search, TailPaddingNeverMatches) {
+  // Key 0 equals the default local-memory fill; the validity column must
+  // exclude the padding PEs in the last slot.
+  std::vector<Word> field(17, 1);
+  field[3] = 0;
+  AssociativeSearch s(cfg(), field);
+  const auto r = s.exact_match(0);
+  EXPECT_EQ(r.count, 1u);
+  EXPECT_EQ(r.positions, (std::vector<std::size_t>{3}));
+}
+
+TEST(Search, RangeQuery) {
+  AssociativeSearch s(cfg(), {10, 25, 3, 17, 99, 20, 18});
+  const auto r = s.range_query(15, 25);
+  EXPECT_EQ(r.positions, (std::vector<std::size_t>{1, 3, 5, 6}));
+}
+
+TEST(Search, RangeQueryRandomizedAgainstReference) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 5; ++iter) {
+    std::vector<Word> field(60);
+    for (auto& f : field) f = rng.next_word(10);
+    AssociativeSearch s(cfg(), field);
+    const Word lo = rng.next_word(9);
+    const Word hi = lo + rng.next_word(8);
+    const auto r = s.range_query(lo, hi);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < field.size(); ++i)
+      if (field[i] >= lo && field[i] <= hi) expected.push_back(i);
+    EXPECT_EQ(r.positions, expected) << "iter " << iter;
+    EXPECT_EQ(r.count, expected.size());
+  }
+}
+
+TEST(Search, MaxFieldValueAndPosition) {
+  AssociativeSearch s(cfg(), {10, 25, 3, 99, 17, 99, 20});
+  const auto r = s.max_field();
+  EXPECT_EQ(r.value, 99u);
+  EXPECT_EQ(r.position, 3u);  // first attaining record
+}
+
+TEST(Search, MinFieldValueAndPosition) {
+  AssociativeSearch s(cfg(), {10, 25, 3, 99, 3, 17});
+  const auto r = s.min_field();
+  EXPECT_EQ(r.value, 3u);
+  EXPECT_EQ(r.position, 2u);
+}
+
+TEST(Search, ExtremaAcrossSlots) {
+  std::vector<Word> field(50, 500);
+  field[33] = 1000;
+  field[47] = 2;
+  AssociativeSearch s(cfg(), field);
+  EXPECT_EQ(s.max_field().value, 1000u);
+  EXPECT_EQ(s.max_field().position, 33u);
+  EXPECT_EQ(s.min_field().value, 2u);
+  EXPECT_EQ(s.min_field().position, 47u);
+}
+
+TEST(Search, SingleRecord) {
+  AssociativeSearch s(cfg(), {77});
+  EXPECT_EQ(s.exact_match(77).count, 1u);
+  EXPECT_EQ(s.max_field().value, 77u);
+  EXPECT_EQ(s.min_field().position, 0u);
+}
+
+TEST(Search, TableTooLargeThrows) {
+  const std::vector<Word> field(16 * 200, 1);
+  EXPECT_THROW(AssociativeSearch(cfg(), field), SimulationError);
+}
+
+// ---------------------------------------------------------------------------
+// MST
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<Word>> random_connected_graph(Rng& rng, std::size_t n) {
+  std::vector<std::vector<Word>> w(n, std::vector<Word>(n, AscMst::kNoEdge));
+  for (std::size_t i = 0; i < n; ++i) w[i][i] = 0;
+  // Random spanning chain guarantees connectivity, then extra edges.
+  for (std::size_t i = 1; i < n; ++i) {
+    const Word weight = 1 + rng.next_word(8);
+    w[i][i - 1] = w[i - 1][i] = weight;
+  }
+  for (std::size_t e = 0; e < n * 2; ++e) {
+    const auto a = rng.next_below(n), b = rng.next_below(n);
+    if (a == b) continue;
+    const Word weight = 1 + rng.next_word(9);
+    w[a][b] = w[b][a] = std::min(w[a][b], weight);
+  }
+  return w;
+}
+
+TEST(Mst, TriangleGraph) {
+  // Weights: 0-1: 1, 1-2: 2, 0-2: 10 -> MST = {0-1, 1-2}, weight 3.
+  std::vector<std::vector<Word>> w = {
+      {0, 1, 10}, {1, 0, 2}, {10, 2, 0}};
+  AscMst mst(cfg(4), w);
+  const auto r = mst.run();
+  EXPECT_EQ(r.total_weight, 3u);
+  EXPECT_EQ(r.order.front(), 0u);
+  const std::set<PEIndex> vertices(r.order.begin(), r.order.end());
+  EXPECT_EQ(vertices.size(), 3u);
+}
+
+TEST(Mst, MatchesReferenceOnRandomGraphs) {
+  Rng rng(31337);
+  for (const std::size_t n : {4u, 8u, 13u, 16u}) {
+    for (int iter = 0; iter < 3; ++iter) {
+      const auto w = random_connected_graph(rng, n);
+      AscMst mst(cfg(16), w);
+      const auto r = mst.run();
+      EXPECT_EQ(r.total_weight, AscMst::reference_weight(w))
+          << "n=" << n << " iter=" << iter;
+      const std::set<PEIndex> vertices(r.order.begin(), r.order.end());
+      EXPECT_EQ(vertices.size(), n);
+    }
+  }
+}
+
+TEST(Mst, LineGraphInsertionOrderFollowsChain) {
+  // 0-1-2-3 chain: Prim from 0 must add 1, 2, 3 in order.
+  const Word X = AscMst::kNoEdge;
+  std::vector<std::vector<Word>> w = {
+      {0, 5, X, X}, {5, 0, 6, X}, {X, 6, 0, 7}, {X, X, 7, 0}};
+  AscMst mst(cfg(8), w);
+  const auto r = mst.run();
+  EXPECT_EQ(r.total_weight, 18u);
+  EXPECT_EQ(r.order, (std::vector<PEIndex>{0, 1, 2, 3}));
+}
+
+TEST(Mst, RejectsMoreVerticesThanPes) {
+  const auto w = std::vector<std::vector<Word>>(5, std::vector<Word>(5, 1));
+  EXPECT_THROW(AscMst(cfg(4), w), SimulationError);
+}
+
+// ---------------------------------------------------------------------------
+// Associative sort / top-k
+// ---------------------------------------------------------------------------
+
+TEST(Sort, FullAscendingSort) {
+  AscSorter s(cfg(), {42, 7, 99, 7, 0, 150, 23});
+  const auto r = s.sort_ascending();
+  EXPECT_EQ(r.sorted, (std::vector<Word>{0, 7, 7, 23, 42, 99, 150}));
+}
+
+TEST(Sort, PermutationRecoversInput) {
+  const std::vector<Word> input = {42, 7, 99, 7, 0, 150, 23};
+  AscSorter s(cfg(), input);
+  const auto r = s.sort_ascending();
+  for (std::size_t i = 0; i < input.size(); ++i)
+    EXPECT_EQ(input[r.permutation[i]], r.sorted[i]);
+  // Duplicates resolve in index order (the resolver picks the first).
+  EXPECT_LT(r.permutation[1], r.permutation[2]);
+}
+
+TEST(Sort, SmallestK) {
+  AscSorter s(cfg(), {9, 2, 8, 1, 7, 3});
+  const auto r = s.smallest_k(3);
+  EXPECT_EQ(r.sorted, (std::vector<Word>{1, 2, 3}));
+  EXPECT_EQ(r.permutation, (std::vector<std::size_t>{3, 1, 5}));
+}
+
+TEST(Sort, LargestK) {
+  AscSorter s(cfg(), {9, 2, 8, 1, 7, 3});
+  const auto r = s.largest_k(2);
+  EXPECT_EQ(r.sorted, (std::vector<Word>{9, 8}));
+}
+
+TEST(Sort, MatchesStdSortRandomized) {
+  Rng rng(0x5027);
+  for (int iter = 0; iter < 5; ++iter) {
+    std::vector<Word> v(16);
+    for (auto& x : v) x = rng.next_word(12);
+    AscSorter s(cfg(16), v);
+    const auto r = s.sort_ascending();
+    std::vector<Word> ref = v;
+    std::sort(ref.begin(), ref.end());
+    EXPECT_EQ(r.sorted, ref) << "iter " << iter;
+  }
+}
+
+TEST(Sort, SingleElement) {
+  AscSorter s(cfg(), {5});
+  const auto r = s.sort_ascending();
+  EXPECT_EQ(r.sorted, (std::vector<Word>{5}));
+  EXPECT_EQ(r.permutation, (std::vector<std::size_t>{0}));
+}
+
+TEST(Sort, WrapsIntoSlots) {
+  // 40 elements on 16 PEs: 3 slots.
+  Rng rng(0x40);
+  std::vector<Word> v(40);
+  for (auto& x : v) x = rng.next_word(12);
+  AscSorter s(cfg(16), v);
+  const auto r = s.sort_ascending();
+  std::vector<Word> ref = v;
+  std::sort(ref.begin(), ref.end());
+  EXPECT_EQ(r.sorted, ref);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ(v[r.permutation[i]], r.sorted[i]);
+}
+
+TEST(Sort, TopKAcrossSlots) {
+  std::vector<Word> v(30, 50);
+  v[7] = 3;
+  v[22] = 1;
+  v[29] = 2;
+  AscSorter s(cfg(8), v);  // 4 slots
+  const auto r = s.smallest_k(3);
+  EXPECT_EQ(r.sorted, (std::vector<Word>{1, 2, 3}));
+  EXPECT_EQ(r.permutation, (std::vector<std::size_t>{22, 29, 7}));
+}
+
+TEST(Sort, DuplicatesResolveInElementOrderAcrossSlots) {
+  std::vector<Word> v(20, 9);
+  AscSorter s(cfg(8), v);
+  const auto r = s.smallest_k(4);
+  EXPECT_EQ(r.permutation, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Sort, RejectsOversizedLayout) {
+  EXPECT_THROW(AscSorter(cfg(4), std::vector<Word>(400, 1)), SimulationError);
+}
+
+TEST(Sort, KOutOfRangeThrows) {
+  AscSorter s(cfg(), {1, 2, 3});
+  EXPECT_THROW(s.smallest_k(0), SimulationError);
+  EXPECT_THROW(s.smallest_k(4), SimulationError);
+}
+
+// ---------------------------------------------------------------------------
+// Image kernels
+// ---------------------------------------------------------------------------
+
+TEST(Image, GlobalStatsSmall) {
+  ImageKernels img(cfg());
+  const std::vector<Word> pixels = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto r = img.global_stats(pixels);
+  EXPECT_EQ(r.sum, 31u);
+  EXPECT_EQ(r.min, 1u);
+  EXPECT_EQ(r.max, 9u);
+  EXPECT_EQ(r.mean, 3u);
+}
+
+TEST(Image, GlobalStatsMatchesReference) {
+  Rng rng(555);
+  std::vector<Word> pixels(300);
+  for (auto& px : pixels) px = rng.next_word(8);
+  ImageKernels img(cfg(32));
+  const auto r = img.global_stats(pixels);
+  const auto ref = ImageKernels::reference_stats(pixels, 16);
+  EXPECT_EQ(r.sum, ref.sum);
+  EXPECT_EQ(r.min, ref.min);
+  EXPECT_EQ(r.max, ref.max);
+  EXPECT_EQ(r.mean, ref.mean);
+}
+
+TEST(Image, HistogramSmall) {
+  ImageKernels img(cfg());
+  const std::vector<Word> pixels = {0, 1, 1, 2, 2, 2, 3, 0};
+  const auto h = img.histogram(pixels, 4);
+  EXPECT_EQ(h.bins, (std::vector<Word>{2, 2, 3, 1}));
+}
+
+TEST(Image, HistogramMatchesReference) {
+  Rng rng(321);
+  std::vector<Word> pixels(200);
+  for (auto& px : pixels) px = rng.next_word(4);  // values 0..15
+  ImageKernels img(cfg(32));
+  const auto h = img.histogram(pixels, 16);
+  std::vector<Word> ref(16, 0);
+  for (const auto px : pixels) ++ref[px];
+  EXPECT_EQ(h.bins, ref);
+  Word total = 0;
+  for (const auto b : h.bins) total += b;
+  EXPECT_EQ(total, pixels.size());
+}
+
+TEST(Image, HistogramValuesOutsideBinsIgnored) {
+  ImageKernels img(cfg());
+  const std::vector<Word> pixels = {0, 1, 99, 1};
+  const auto h = img.histogram(pixels, 2);
+  EXPECT_EQ(h.bins, (std::vector<Word>{1, 2}));
+}
+
+TEST(Image, SadFindsExactCopy) {
+  Rng rng(99);
+  const std::vector<Word> tmpl = {10, 50, 90, 40};
+  std::vector<std::vector<Word>> windows(12);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    windows[w].resize(tmpl.size());
+    for (auto& px : windows[w]) px = rng.next_word(8);
+  }
+  windows[7] = tmpl;  // exact copy
+  ImageKernels img(cfg());
+  const auto r = img.sad_search(windows, tmpl);
+  EXPECT_EQ(r.best_window, 7u);
+  EXPECT_EQ(r.best_sad, 0u);
+}
+
+TEST(Image, SadMatchesReference) {
+  Rng rng(123);
+  for (int iter = 0; iter < 3; ++iter) {
+    const std::size_t m = 8;
+    std::vector<Word> tmpl(m);
+    for (auto& px : tmpl) px = rng.next_word(8);
+    std::vector<std::vector<Word>> windows(16, std::vector<Word>(m));
+    for (auto& w : windows)
+      for (auto& px : w) px = rng.next_word(8);
+    ImageKernels img(cfg());
+    const auto r = img.sad_search(windows, tmpl);
+    const auto ref = ImageKernels::reference_sad(windows, tmpl, 16);
+    EXPECT_EQ(r.best_sad, ref.best_sad) << "iter " << iter;
+    EXPECT_EQ(r.best_window, ref.best_window) << "iter " << iter;
+  }
+}
+
+TEST(Image, SadSingleWindow) {
+  ImageKernels img(cfg());
+  const auto r = img.sad_search({{1, 2, 3}}, {4, 4, 4});
+  EXPECT_EQ(r.best_window, 0u);
+  EXPECT_EQ(r.best_sad, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent query batches
+// ---------------------------------------------------------------------------
+
+TEST(Queries, ExactMatchBatch) {
+  std::vector<Word> table(50);
+  for (std::size_t i = 0; i < table.size(); ++i) table[i] = i % 7;
+  ConcurrentQueries q(cfg(16, 8), table);
+  const auto r = q.count_equal({0, 3, 6, 42});
+  std::vector<Word> expected;
+  for (const Word key : {0u, 3u, 6u, 42u}) {
+    Word n = 0;
+    for (const auto v : table) n += (v == key);
+    expected.push_back(n);
+  }
+  EXPECT_EQ(r.counts, expected);
+}
+
+TEST(Queries, RangeBatch) {
+  Rng rng(606);
+  std::vector<Word> table(80);
+  for (auto& v : table) v = rng.next_word(8);
+  ConcurrentQueries q(cfg(16, 8), table);
+  const std::vector<std::pair<Word, Word>> ranges = {
+      {0, 63}, {64, 255}, {100, 100}, {10, 20}};
+  const auto r = q.count_in_range(ranges);
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    Word n = 0;
+    for (const auto v : table)
+      n += (v >= ranges[i].first && v <= ranges[i].second);
+    EXPECT_EQ(r.counts[i], n) << "range " << i;
+  }
+}
+
+TEST(Queries, SameAnswersAnyThreadCount) {
+  std::vector<Word> table(60);
+  for (std::size_t i = 0; i < table.size(); ++i) table[i] = (i * 5) % 16;
+  const std::vector<Word> keys = {1, 5, 10, 15, 2, 0, 9, 3};
+  std::vector<Word> reference;
+  for (const std::uint32_t threads : {1u, 2u, 8u, 16u}) {
+    ConcurrentQueries q(cfg(16, threads), table);
+    const auto r = q.count_equal(keys);
+    if (reference.empty()) reference = r.counts;
+    else EXPECT_EQ(r.counts, reference) << threads << " threads";
+  }
+}
+
+TEST(Queries, MultithreadingCutsCycles) {
+  std::vector<Word> table(128);
+  for (std::size_t i = 0; i < table.size(); ++i) table[i] = i & 0xF;
+  std::vector<Word> keys(16);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<Word>(i);
+
+  auto cycles_with = [&](std::uint32_t threads) {
+    ConcurrentQueries q(cfg(64, threads), table);
+    return q.count_equal(keys).outcome.cycles;
+  };
+  const auto t1 = cycles_with(1);
+  const auto t16 = cycles_with(16);
+  // The kernel issues ~8 instructions per reduction, so single-thread
+  // IPC is ~8/(8 + b + r) = 0.4 at 64 PEs and the MT ceiling is ~2.5x;
+  // spawn/drain overhead on a 16-query batch leaves ~1.5-1.7x. Demand a
+  // conservative 1.4x.
+  EXPECT_LT(7 * t16, 5 * t1);
+}
+
+TEST(Queries, BatchSizeLimits) {
+  ConcurrentQueries q(cfg(), {1, 2, 3});
+  EXPECT_THROW(q.count_equal({}), SimulationError);
+  EXPECT_THROW(q.count_equal(std::vector<Word>(65, 0)), SimulationError);
+}
+
+// ---------------------------------------------------------------------------
+// String matching
+// ---------------------------------------------------------------------------
+
+TEST(StringMatch, FindsAllOccurrences) {
+  StringMatcher sm(cfg(), "abracadabra");
+  const auto r = sm.find_all("abra");
+  EXPECT_EQ(r.positions, (std::vector<std::size_t>{0, 7}));
+  EXPECT_EQ(r.count, 2u);
+}
+
+TEST(StringMatch, OverlappingMatches) {
+  StringMatcher sm(cfg(), "aaaa");
+  const auto r = sm.find_all("aa");
+  EXPECT_EQ(r.positions, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(StringMatch, NoMatch) {
+  StringMatcher sm(cfg(), "hello world");
+  EXPECT_TRUE(sm.find_all("xyz").positions.empty());
+}
+
+TEST(StringMatch, PatternLongerThanText) {
+  StringMatcher sm(cfg(), "hi");
+  EXPECT_TRUE(sm.find_all("hello").positions.empty());
+}
+
+TEST(StringMatch, SingleCharPattern) {
+  StringMatcher sm(cfg(), "mississippi");
+  const auto r = sm.find_all("s");
+  EXPECT_EQ(r.positions, (std::vector<std::size_t>{2, 3, 5, 6}));
+}
+
+TEST(StringMatch, WholeTextMatch) {
+  StringMatcher sm(cfg(), "exact");
+  const auto r = sm.find_all("exact");
+  EXPECT_EQ(r.positions, (std::vector<std::size_t>{0}));
+}
+
+TEST(StringMatch, MatchesReferenceOnRandomText) {
+  Rng rng(808);
+  std::string text;
+  for (int i = 0; i < 120; ++i) text += static_cast<char>('a' + rng.next_below(3));
+  StringMatcher matcher(cfg(32), text);
+  for (const char* pat : {"ab", "abc", "aaa", "cb"}) {
+    const auto r = matcher.find_all(pat);
+    EXPECT_EQ(r.positions, StringMatcher::reference_find(text, pat)) << pat;
+  }
+}
+
+}  // namespace
+}  // namespace masc::asc

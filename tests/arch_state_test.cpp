@@ -1,0 +1,113 @@
+// Architectural state container: hardwired registers, truncation,
+// bounds checking, bulk accessors, thread allocation.
+#include "sim/arch_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hpp"
+#include "test_util.hpp"
+
+namespace masc {
+namespace {
+
+using test::small_config;
+
+TEST(ArchState, HardwiredRegistersReadConstant) {
+  ArchState st(small_config());
+  st.set_sreg(0, 0, 99);
+  st.set_preg(0, 0, 3, 99);
+  st.set_sflag(0, 0, false);
+  st.set_pflag(0, 0, 2, false);
+  EXPECT_EQ(st.sreg(0, 0), 0u);
+  EXPECT_EQ(st.preg(0, 0, 3), 0u);
+  EXPECT_TRUE(st.sflag(0, 0));
+  EXPECT_TRUE(st.pflag(0, 0, 2));
+}
+
+TEST(ArchState, WritesTruncateToWordWidth) {
+  auto cfg = small_config();
+  cfg.word_width = 8;
+  ArchState st(cfg);
+  st.set_sreg(0, 1, 0x1FF);
+  EXPECT_EQ(st.sreg(0, 1), 0xFFu);
+  st.set_preg(0, 1, 0, 0x123);
+  EXPECT_EQ(st.preg(0, 1, 0), 0x23u);
+  st.set_scalar_mem(0, 0x300);
+  EXPECT_EQ(st.scalar_mem(0), 0u);
+}
+
+TEST(ArchState, ThreadsHaveIsolatedRegisters) {
+  ArchState st(small_config());
+  st.set_sreg(0, 3, 10);
+  st.set_sreg(1, 3, 20);
+  EXPECT_EQ(st.sreg(0, 3), 10u);
+  EXPECT_EQ(st.sreg(1, 3), 20u);
+  st.set_pflag(0, 2, 5, true);
+  EXPECT_FALSE(st.pflag(1, 2, 5));
+}
+
+TEST(ArchState, OutOfRangeAccessesThrow) {
+  ArchState st(small_config());
+  EXPECT_THROW(st.set_sreg(0, 16, 1), SimulationError);     // 16 regs
+  EXPECT_THROW(st.set_pflag(0, 8, 0, true), SimulationError);
+  EXPECT_THROW(st.local_mem(0, 256), SimulationError);       // 256 words
+  EXPECT_THROW(st.scalar_mem(1 << 20), SimulationError);
+  EXPECT_THROW(st.fetch(1 << 20), SimulationError);
+}
+
+TEST(ArchState, BulkVectorAccessors) {
+  ArchState st(small_config());
+  const std::vector<Word> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  st.write_preg_vector(0, 2, v);
+  EXPECT_EQ(st.read_preg_vector(0, 2), v);
+  st.write_local_column(7, v);
+  EXPECT_EQ(st.read_local_column(7), v);
+  EXPECT_EQ(st.local_mem(4, 7), 5u);
+}
+
+TEST(ArchState, BulkAccessorSizeChecked) {
+  ArchState st(small_config());
+  EXPECT_THROW(st.write_preg_vector(0, 1, std::vector<Word>(3, 0)),
+               SimulationError);
+}
+
+TEST(ArchState, LoadSetsThreadZeroActive) {
+  ArchState st(small_config());
+  Program p;
+  p.text = {encode(ir::halt())};
+  p.entry = 0;
+  st.load(p);
+  EXPECT_EQ(st.thread(0).state, ThreadState::kActive);
+  EXPECT_EQ(st.active_thread_count(), 1u);
+}
+
+TEST(ArchState, LoadRejectsOversizedProgram) {
+  auto cfg = small_config();
+  cfg.instr_mem_words = 4;
+  ArchState st(cfg);
+  Program p;
+  p.text.assign(5, 0);
+  EXPECT_THROW(st.load(p), SimulationError);
+}
+
+TEST(ArchState, AllocateThreadsInOrderAndExhaust) {
+  ArchState st(small_config());  // 4 threads
+  EXPECT_EQ(st.allocate_thread(10), 0u);
+  EXPECT_EQ(st.allocate_thread(20), 1u);
+  EXPECT_EQ(st.allocate_thread(30), 2u);
+  EXPECT_EQ(st.allocate_thread(40), 3u);
+  EXPECT_EQ(st.allocate_thread(50), ArchState::kNoThread);
+  st.thread(2).state = ThreadState::kFree;
+  EXPECT_EQ(st.allocate_thread(60), 2u);
+  EXPECT_EQ(st.thread(2).pc, 60u);
+}
+
+TEST(ArchState, SingleThreadConfigHasOneContext) {
+  auto cfg = small_config();
+  cfg.multithreading = false;
+  ArchState st(cfg);
+  EXPECT_EQ(st.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace masc

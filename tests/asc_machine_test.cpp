@@ -1,0 +1,146 @@
+#include "asclib/asc_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asclib/kernels.hpp"
+#include "test_util.hpp"
+
+namespace masc::asc {
+namespace {
+
+MachineConfig cfg8() {
+  MachineConfig cfg;
+  cfg.num_pes = 8;
+  cfg.word_width = 16;
+  cfg.local_mem_bytes = 256;
+  return cfg;
+}
+
+TEST(AscMachine, BindColumnAndRunKernel) {
+  AscMachine m(cfg8());
+  m.load_source(R"(
+    plw p1, 3(p0)
+    rsum r13, p1
+    halt
+)");
+  const std::vector<Word> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  m.bind_local_column(3, data);
+  const auto out = m.run();
+  EXPECT_TRUE(out.finished);
+  EXPECT_EQ(m.result(13), 36u);
+}
+
+TEST(AscMachine, StridedBindRoundTrip) {
+  AscMachine m(cfg8());
+  m.load_source("halt");
+  const std::vector<Word> data = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  const auto slots = m.bind_strided(0, data);
+  EXPECT_EQ(slots, 2u);  // 10 elements over 8 PEs
+  EXPECT_EQ(m.read_strided(0, data.size()), data);
+  // Element 9 lives in PE 1, slot 1.
+  EXPECT_EQ(m.machine().state().local_mem(1, 1), 100u);
+}
+
+TEST(AscMachine, ValidityColumnMarksTail) {
+  AscMachine m(cfg8());
+  m.load_source("halt");
+  m.bind_strided_validity(4, 10);
+  const auto col0 = m.read_local_column(4);
+  const auto col1 = m.read_local_column(5);
+  for (PEIndex pe = 0; pe < 8; ++pe) EXPECT_EQ(col0[pe], 1u);
+  for (PEIndex pe = 0; pe < 8; ++pe) EXPECT_EQ(col1[pe], pe < 2 ? 1u : 0u);
+}
+
+TEST(AscMachine, ArgsAndResults) {
+  AscMachine m(cfg8());
+  m.load_source(R"(
+    add r13, r8, r9
+    halt
+)");
+  m.set_arg(kArg0, 30);
+  m.set_arg(kArg1, 12);
+  m.run();
+  EXPECT_EQ(m.result(kRes0), 42u);
+}
+
+TEST(AscMachine, ScalarMemBind) {
+  AscMachine m(cfg8());
+  m.load_source(R"(
+    lw r13, 100(r0)
+    halt
+)");
+  const std::vector<Word> vals = {7777};
+  m.bind_scalar_mem(100, vals);
+  m.run();
+  EXPECT_EQ(m.result(kRes0), 7777u);
+}
+
+TEST(AscMachine, SlotsForHelper) {
+  EXPECT_EQ(slots_for(1, 8), 1u);
+  EXPECT_EQ(slots_for(8, 8), 1u);
+  EXPECT_EQ(slots_for(9, 8), 2u);
+  EXPECT_EQ(slots_for(64, 8), 8u);
+}
+
+TEST(AscMachine, BindTooManyColumnsThrows) {
+  AscMachine m(cfg8());
+  m.load_source("halt");
+  const std::vector<Word> data(9, 1);
+  EXPECT_THROW(m.bind_local_column(0, data), SimulationError);
+}
+
+TEST(KernelBuilder, SlotLoopStructure) {
+  KernelBuilder k;
+  k.standard_prologue();
+  const auto loop = k.begin_slot_loop(3, "r1", "r2", "p1");
+  k.line("plw p2, 0(p1)");
+  k.line("rsumu r3, p2");
+  k.line("add r13, r13, r3");
+  k.end_slot_loop(loop, "r1", "r2");
+  k.line("halt");
+
+  AscMachine m(cfg8());
+  m.load_source(k.str());
+  std::vector<Word> data(24);
+  for (std::size_t i = 0; i < 24; ++i) data[i] = static_cast<Word>(i);
+  m.bind_strided(0, data);
+  m.run();
+  EXPECT_EQ(m.result(13), 276u);  // 0+..+23
+}
+
+TEST(KernelBuilder, FirstResponderIndex) {
+  KernelBuilder k;
+  k.standard_prologue();
+  k.line("pcles pf1, r8, p6");  // responders: pe >= arg
+  k.first_responder_index("r13", "pf1", "pf2");
+  k.line("halt");
+
+  AscMachine m(cfg8());
+  m.load_source(k.str());
+  m.set_arg(kArg0, 5);
+  m.run();
+  EXPECT_EQ(m.result(kRes0), 5u);
+}
+
+TEST(KernelBuilder, FlagToWord) {
+  KernelBuilder k;
+  k.standard_prologue();
+  k.line("pcles pf1, r8, p6");
+  k.flag_to_word("p2", "pf1");
+  k.line("rsumu r13, p2");
+  k.line("halt");
+
+  AscMachine m(cfg8());
+  m.load_source(k.str());
+  m.set_arg(kArg0, 6);
+  m.run();
+  EXPECT_EQ(m.result(kRes0), 2u);  // PEs 6 and 7
+}
+
+TEST(KernelBuilder, FreshLabelsAreUnique) {
+  KernelBuilder k;
+  EXPECT_NE(k.fresh("x"), k.fresh("x"));
+}
+
+}  // namespace
+}  // namespace masc::asc

@@ -1,0 +1,113 @@
+// ASCAL front end: lexer and parser.
+#include <gtest/gtest.h>
+
+#include "ascal/lexer.hpp"
+#include "ascal/parser.hpp"
+
+namespace masc::ascal {
+namespace {
+
+TEST(AscalLexer, TokensAndLines) {
+  const auto toks = lex("int a;\na = 1 + 0x10;");
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_EQ(toks[0].kind, Tok::kIdent);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[3].kind, Tok::kIdent);  // a
+  EXPECT_EQ(toks[3].line, 2u);
+  EXPECT_EQ(toks[5].kind, Tok::kInt);
+  EXPECT_EQ(toks[5].value, 1);
+  // hex literal
+  bool saw16 = false;
+  for (const auto& t : toks)
+    if (t.kind == Tok::kInt && t.value == 16) saw16 = true;
+  EXPECT_TRUE(saw16);
+}
+
+TEST(AscalLexer, TwoCharOperators) {
+  const auto toks = lex("== != <= >= << >> && ||");
+  const Tok expected[] = {Tok::kEq, Tok::kNe, Tok::kLe, Tok::kGe,
+                          Tok::kShl, Tok::kShr, Tok::kAmp, Tok::kPipe};
+  for (std::size_t i = 0; i < std::size(expected); ++i)
+    EXPECT_EQ(toks[i].kind, expected[i]) << i;
+}
+
+TEST(AscalLexer, Comments) {
+  const auto toks = lex("a // comment\n# another\nb");
+  ASSERT_EQ(toks.size(), 3u);  // a, b, end
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(AscalLexer, RejectsStray) {
+  EXPECT_THROW(lex("a @ b"), CompileError);
+}
+
+TEST(AscalParser, DeclarationsAndAssign) {
+  const auto ast = parse("int a, b;\npint v;\npflag f;\na = b + 1;");
+  ASSERT_EQ(ast.decls.size(), 4u);
+  EXPECT_EQ(ast.decls[0].var_class, VarClass::kScalar);
+  EXPECT_EQ(ast.decls[2].var_class, VarClass::kParallel);
+  EXPECT_EQ(ast.decls[3].var_class, VarClass::kFlag);
+  ASSERT_EQ(ast.stmts.size(), 1u);
+  EXPECT_EQ(ast.stmts[0].kind, Stmt::Kind::kAssign);
+  EXPECT_EQ(ast.stmts[0].target, "a");
+}
+
+TEST(AscalParser, Precedence) {
+  // a = 1 + 2 * 3 parses as 1 + (2 * 3).
+  const auto ast = parse("int a; a = 1 + 2 * 3;");
+  const Expr& e = *ast.stmts[0].expr;
+  ASSERT_EQ(e.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e.op, "+");
+  EXPECT_EQ(e.args[1].op, "*");
+}
+
+TEST(AscalParser, ComparisonBindsLooserThanShift) {
+  const auto ast = parse("int a; a = 1 << 2 < 3;");
+  EXPECT_EQ(ast.stmts[0].expr->op, "<");
+}
+
+TEST(AscalParser, ControlFlowShapes) {
+  const auto ast = parse(R"(
+int a;
+if (a < 3) { a = 1; } else { a = 2; }
+while (a > 0) { a = a - 1; }
+)");
+  ASSERT_EQ(ast.stmts.size(), 2u);
+  EXPECT_EQ(ast.stmts[0].kind, Stmt::Kind::kIf);
+  EXPECT_EQ(ast.stmts[0].body.size(), 1u);
+  EXPECT_EQ(ast.stmts[0].else_body.size(), 1u);
+  EXPECT_EQ(ast.stmts[1].kind, Stmt::Kind::kWhile);
+}
+
+TEST(AscalParser, AssociativeConstructs) {
+  const auto ast = parse(R"(
+pint v; pflag f;
+any (f) { v = 1; } else { v = 2; }
+where (v == 3) { v = 4; }
+foreach (f) { v = 5; }
+)");
+  EXPECT_EQ(ast.stmts[0].kind, Stmt::Kind::kAny);
+  EXPECT_EQ(ast.stmts[1].kind, Stmt::Kind::kWhere);
+  EXPECT_EQ(ast.stmts[2].kind, Stmt::Kind::kForeach);
+}
+
+TEST(AscalParser, Calls) {
+  const auto ast = parse("int a; pint v; a = maxval(v, v > 3) + count(v == 1);");
+  const Expr& e = *ast.stmts[0].expr;
+  EXPECT_EQ(e.args[0].kind, Expr::Kind::kCall);
+  EXPECT_EQ(e.args[0].name, "maxval");
+  EXPECT_EQ(e.args[0].args.size(), 2u);
+}
+
+TEST(AscalParser, Errors) {
+  EXPECT_THROW(parse("int if;"), CompileError);           // reserved word
+  EXPECT_THROW(parse("a = ;"), CompileError);             // missing expr
+  EXPECT_THROW(parse("if (1) { a = 1;"), CompileError);   // unterminated
+  EXPECT_THROW(parse("int a\na = 1;"), CompileError);     // missing semicolon
+  EXPECT_THROW(parse("1 = a;"), CompileError);            // bad lvalue
+}
+
+}  // namespace
+}  // namespace masc::ascal

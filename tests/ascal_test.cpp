@@ -1,0 +1,480 @@
+// ASCAL end-to-end: compile, run on the simulator, check results.
+#include "ascal/ascal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "assembler/assembler.hpp"
+#include "common/random.hpp"
+#include "sim/funcsim.hpp"
+
+namespace masc::ascal {
+namespace {
+
+MachineConfig cfg(std::uint32_t pes = 16) {
+  MachineConfig c;
+  c.num_pes = pes;
+  c.word_width = 16;
+  c.local_mem_bytes = 64;
+  return c;
+}
+
+Word run_scalar(const std::string& src, const std::string& var,
+                std::uint32_t pes = 16) {
+  AscalProgram prog(cfg(pes), src);
+  const auto outcome = prog.run(5'000'000);
+  EXPECT_TRUE(outcome.finished);
+  return prog.value_of(var);
+}
+
+// --- scalar language core ----------------------------------------------------
+
+TEST(Ascal, ScalarArithmetic) {
+  EXPECT_EQ(run_scalar("int a; a = 2 + 3 * 4 - 1;", "a"), 13u);
+  EXPECT_EQ(run_scalar("int a; a = (2 + 3) * 4;", "a"), 20u);
+  EXPECT_EQ(run_scalar("int a; a = 17 / 5;", "a"), 3u);
+  EXPECT_EQ(run_scalar("int a; a = 17 % 5;", "a"), 2u);
+  EXPECT_EQ(run_scalar("int a; a = 1 << 4;", "a"), 16u);
+  EXPECT_EQ(run_scalar("int a; a = 0xF0 >> 4;", "a"), 15u);
+  EXPECT_EQ(run_scalar("int a; a = 0xF0F & 0xFF;", "a"), 0xFu);
+  EXPECT_EQ(run_scalar("int a; a = 0xF0 | 0x0F;", "a"), 0xFFu);
+  EXPECT_EQ(run_scalar("int a; a = 0xFF ^ 0x0F;", "a"), 0xF0u);
+  EXPECT_EQ(run_scalar("int a; a = -1;", "a"), 0xFFFFu);  // unsigned wrap
+}
+
+TEST(Ascal, ScalarComparisons) {
+  EXPECT_EQ(run_scalar("int a; a = 3 < 5;", "a"), 1u);
+  EXPECT_EQ(run_scalar("int a; a = 5 <= 5;", "a"), 1u);
+  EXPECT_EQ(run_scalar("int a; a = 5 > 5;", "a"), 0u);
+  EXPECT_EQ(run_scalar("int a; a = 5 >= 6;", "a"), 0u);
+  EXPECT_EQ(run_scalar("int a; a = 4 == 4;", "a"), 1u);
+  EXPECT_EQ(run_scalar("int a; a = 4 != 4;", "a"), 0u);
+  EXPECT_EQ(run_scalar("int a; a = !(4 == 4);", "a"), 0u);
+  EXPECT_EQ(run_scalar("int a; a = (1 < 2) & (3 < 4);", "a"), 1u);
+  EXPECT_EQ(run_scalar("int a; a = (1 > 2) | (3 < 4);", "a"), 1u);
+}
+
+TEST(Ascal, IfElseWhile) {
+  EXPECT_EQ(run_scalar(R"(
+int a, b;
+a = 7;
+if (a > 5) { b = 1; } else { b = 2; }
+)", "b"), 1u);
+  EXPECT_EQ(run_scalar(R"(
+int i, sum;
+i = 1;
+while (i <= 10) { sum = sum + i; i = i + 1; }
+)", "sum"), 55u);
+}
+
+TEST(Ascal, ConfigBuiltins) {
+  EXPECT_EQ(run_scalar("int a; a = npes();", "a", 8), 8u);
+  EXPECT_EQ(run_scalar("int a; a = nthreads();", "a"), 16u);
+}
+
+// --- parallel core --------------------------------------------------------------
+
+TEST(Ascal, ParallelExpressionsAndBroadcast) {
+  AscalProgram prog(cfg(8), R"(
+pint v, w;
+int k;
+k = 10;
+v = index() * 2;      // 0 2 4 ...
+w = v + k;            // scalar broadcast
+v = 100 - v;          // scalar on the left of a non-commutative op
+)");
+  ASSERT_TRUE(prog.run().finished);
+  const auto w = prog.parallel_of("w");
+  const auto v = prog.parallel_of("v");
+  for (PEIndex pe = 0; pe < 8; ++pe) {
+    EXPECT_EQ(w[pe], 2u * pe + 10u);
+    EXPECT_EQ(v[pe], 100u - 2u * pe);
+  }
+}
+
+TEST(Ascal, ParallelRightScalarNonCommutative) {
+  AscalProgram prog(cfg(8), R"(
+pint v;
+int k;
+k = 3;
+v = index() - k;       // parallel left, scalar right
+)");
+  ASSERT_TRUE(prog.run().finished);
+  EXPECT_EQ(prog.parallel_of("v")[5], 2u);
+  EXPECT_EQ(prog.parallel_of("v")[0], 0xFFFDu);  // wraps
+}
+
+TEST(Ascal, FlagsAndSearch) {
+  AscalProgram prog(cfg(8), R"(
+pint v; pflag f;
+int c, a;
+v = index();
+f = v >= 2 & v < 6;
+c = count(f);
+a = any(v == 99);
+)");
+  ASSERT_TRUE(prog.run().finished);
+  EXPECT_EQ(prog.value_of("c"), 4u);
+  EXPECT_EQ(prog.value_of("a"), 0u);
+  const auto f = prog.flag_of("f");
+  for (PEIndex pe = 0; pe < 8; ++pe)
+    EXPECT_EQ(f[pe], pe >= 2 && pe < 6 ? 1 : 0);
+}
+
+TEST(Ascal, Reductions) {
+  AscalProgram prog(cfg(8), R"(
+pint v;
+int mx, mn, sm, ba, bo;
+v = index() + 3;
+mx = maxval(v);
+mn = minval(v);
+sm = sumval(v);
+ba = reduce_and(v);
+bo = reduce_or(v);
+)");
+  ASSERT_TRUE(prog.run().finished);
+  EXPECT_EQ(prog.value_of("mx"), 10u);
+  EXPECT_EQ(prog.value_of("mn"), 3u);
+  EXPECT_EQ(prog.value_of("sm"), 52u);  // 3+4+..+10
+  Word band = 0xFFFF, bor = 0;
+  for (Word pe = 0; pe < 8; ++pe) { band &= pe + 3; bor |= pe + 3; }
+  EXPECT_EQ(prog.value_of("ba"), band);
+  EXPECT_EQ(prog.value_of("bo"), bor);
+}
+
+TEST(Ascal, MaskedReductions) {
+  AscalProgram prog(cfg(8), R"(
+pint v;
+int sm, mx;
+v = index();
+sm = sumval(v, v > 4);        // 5+6+7
+mx = maxval(v, v < 3);        // 2
+)");
+  ASSERT_TRUE(prog.run().finished);
+  EXPECT_EQ(prog.value_of("sm"), 18u);
+  EXPECT_EQ(prog.value_of("mx"), 2u);
+}
+
+TEST(Ascal, MaxdexMindex) {
+  AscalProgram prog(cfg(8), R"(
+pint v;
+int xd, nd;
+v = (index() ^ 3) * 7;   // distinct values, extremes not at the ends
+xd = maxdex(v);
+nd = mindex(v);
+)");
+  ASSERT_TRUE(prog.run().finished);
+  // v[pe] = (pe^3)*7: max at pe=4 (7*7=49), min at pe=3 (0).
+  EXPECT_EQ(prog.value_of("xd"), 4u);
+  EXPECT_EQ(prog.value_of("nd"), 3u);
+}
+
+TEST(Ascal, AnyBlock) {
+  EXPECT_EQ(run_scalar(R"(
+pint v; int r;
+v = index();
+any (v == 5) { r = 1; } else { r = 2; }
+)", "r", 8), 1u);
+  EXPECT_EQ(run_scalar(R"(
+pint v; int r;
+v = index();
+any (v == 50) { r = 1; } else { r = 2; }
+)", "r", 8), 2u);
+}
+
+TEST(Ascal, WhereMasksParallelWrites) {
+  AscalProgram prog(cfg(8), R"(
+pint v;
+v = index();
+where (v >= 4) { v = v + 100; }
+)");
+  ASSERT_TRUE(prog.run().finished);
+  const auto v = prog.parallel_of("v");
+  for (PEIndex pe = 0; pe < 8; ++pe)
+    EXPECT_EQ(v[pe], pe >= 4 ? pe + 100u : pe);
+}
+
+TEST(Ascal, NestedWhereIntersects) {
+  AscalProgram prog(cfg(8), R"(
+pint v, tag;
+v = index();
+where (v >= 2) {
+  where (v <= 5) {
+    tag = 1;          // only PEs 2..5
+  }
+  tag = tag + 10;     // PEs 2..7
+}
+)");
+  ASSERT_TRUE(prog.run().finished);
+  const auto tag = prog.parallel_of("tag");
+  for (PEIndex pe = 0; pe < 8; ++pe) {
+    const Word expected = (pe >= 2 && pe <= 5 ? 1u : 0u) + (pe >= 2 ? 10u : 0u);
+    EXPECT_EQ(tag[pe], expected) << "pe=" << pe;
+  }
+}
+
+TEST(Ascal, WhereMasksReductions) {
+  EXPECT_EQ(run_scalar(R"(
+pint v; int s;
+v = index();
+where (v < 4) { s = sumval(v); }
+)", "s", 8), 6u);  // 0+1+2+3
+}
+
+TEST(Ascal, ForeachIteratesRespondersInOrder) {
+  AscalProgram prog(cfg(8), R"(
+pint v; int acc, n;
+v = index() * index();
+foreach (v > 10 & v < 40) {    // PEs 4, 5, 6 -> 16, 25, 36
+  acc = acc * 100 + get(v);
+  n = n + 1;
+}
+)");
+  ASSERT_TRUE(prog.run().finished);
+  EXPECT_EQ(prog.value_of("n"), 3u);
+  // In-order selection: ((16*100)+25)*100+36 -> too big for 16 bits;
+  // check modulo the word instead.
+  const Word expected = static_cast<Word>(((16 * 100 + 25) * 100 + 36) & 0xFFFF);
+  EXPECT_EQ(prog.value_of("acc"), expected);
+}
+
+TEST(Ascal, ForeachGetindexAndMaskedWrite) {
+  AscalProgram prog(cfg(8), R"(
+pint v, order; int k;
+v = 7 - index();       // decreasing values
+k = 0;
+foreach (v >= 0) {     // all PEs, selected in PE order
+  order = k;           // masked: writes only the selected PE
+  k = k + getindex() * 0 + 1;
+}
+)");
+  ASSERT_TRUE(prog.run().finished);
+  const auto order = prog.parallel_of("order");
+  for (PEIndex pe = 0; pe < 8; ++pe) EXPECT_EQ(order[pe], pe);
+}
+
+TEST(Ascal, RankSortComplete) {
+  Rng rng(7);
+  std::vector<Word> data(16);
+  for (auto& d : data) d = rng.next_word(10);
+  AscalProgram prog(cfg(16), R"(
+pint v, rank; pflag left;
+int r, m;
+left = v >= 0;           // all true
+r = 0;
+while (any(left)) {
+  m = minval(v, left);
+  foreach (left & v == m) {
+    rank = r;
+    r = r + 1;
+  }
+  where (v == m) { left = v != v; }   // clear processed responders
+}
+)");
+  prog.bind_parallel("v", data);
+  ASSERT_TRUE(prog.run(5'000'000).finished);
+  const auto rank = prog.parallel_of("rank");
+  // rank must be a permutation consistent with a stable sort by (value, pe).
+  std::vector<std::size_t> idx(16);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return data[a] < data[b];
+  });
+  for (std::size_t pos = 0; pos < idx.size(); ++pos)
+    EXPECT_EQ(rank[idx[pos]], pos) << "element " << idx[pos];
+}
+
+TEST(Ascal, HostBindingAndArguments) {
+  AscalProgram prog(cfg(8), R"(
+pint v; int k, c;
+c = count(v == k);
+)");
+  const std::vector<Word> data = {5, 3, 5, 7, 5, 1, 0, 5};
+  prog.bind_parallel("v", data);
+  prog.set_value("k", 5);
+  ASSERT_TRUE(prog.run().finished);
+  EXPECT_EQ(prog.value_of("c"), 4u);
+}
+
+TEST(Ascal, AssemblyIsExposed) {
+  AscalProgram prog(cfg(8), "pint v; v = index();");
+  EXPECT_NE(prog.assembly().find("pindex p15"), std::string::npos);
+  EXPECT_NE(prog.assembly().find("halt"), std::string::npos);
+}
+
+// --- memory access -----------------------------------------------------------------
+
+TEST(AscalMemory, ScalarMemoryRoundTrip) {
+  AscalProgram prog(cfg(8), R"(
+int i, x;
+i = 0;
+while (i < 5) { mem[i + 100] = i * i; i = i + 1; }
+x = mem[103];
+)");
+  ASSERT_TRUE(prog.run().finished);
+  EXPECT_EQ(prog.value_of("x"), 9u);
+  EXPECT_EQ(prog.machine().mem(104), 16u);
+}
+
+TEST(AscalMemory, LocalMemoryPerPE) {
+  AscalProgram prog(cfg(8), R"(
+pint v, w;
+local[3] = index() * 2;     // scalar address, per-PE values
+v = local[3];
+local[index()] = 9;         // per-PE addresses
+w = local[index()];
+)");
+  ASSERT_TRUE(prog.run().finished);
+  const auto v = prog.parallel_of("v");
+  const auto w = prog.parallel_of("w");
+  for (PEIndex pe = 0; pe < 8; ++pe) {
+    EXPECT_EQ(v[pe], 2u * pe);
+    EXPECT_EQ(w[pe], 9u);
+  }
+}
+
+TEST(AscalMemory, LocalAccessRespectsMask) {
+  AscalProgram prog(cfg(8), R"(
+pint v;
+local[0] = 5;
+where (index() >= 4) { local[0] = 77; }
+v = local[0];
+)");
+  ASSERT_TRUE(prog.run().finished);
+  const auto v = prog.parallel_of("v");
+  for (PEIndex pe = 0; pe < 8; ++pe)
+    EXPECT_EQ(v[pe], pe >= 4 ? 77u : 5u);
+}
+
+TEST(AscalMemory, MaskedLocalReadAvoidsBadAddresses) {
+  // Inactive PEs hold out-of-range addresses; the masked read must not
+  // dereference them.
+  AscalProgram prog(cfg(8), R"(
+pint a, v;
+a = index() * 1000;        // only PE 0 has a valid address
+where (a < 64) { v = local[a] + 1; }
+)");
+  EXPECT_TRUE(prog.run().finished);
+}
+
+TEST(AscalMemory, HostBindsTableViaScalarMemory) {
+  AscalProgram prog(cfg(8), R"(
+int i, n, best;
+best = 0;
+i = 0;
+while (i < n) {
+  if (mem[i] > best) { best = mem[i]; }
+  i = i + 1;
+}
+)");
+  const std::vector<Word> table = {4, 17, 3, 99, 12};
+  prog.machine().bind_scalar_mem(0, table);
+  prog.set_value("n", static_cast<Word>(table.size()));
+  ASSERT_TRUE(prog.run().finished);
+  EXPECT_EQ(prog.value_of("best"), 99u);
+}
+
+TEST(AscalMemory, Errors) {
+  EXPECT_THROW(AscalProgram(cfg(), "pint v; mem[v] = 1;"), CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "pint v; int a; a = mem[v];"), CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "pflag f; local[f] = 1;"), CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "pflag f; mem[0] = f;"), CompileError);
+}
+
+// --- differential: compiled code agrees across simulators -------------------------
+
+TEST(AscalDifferential, CycleSimMatchesFuncSimOnCompiledPrograms) {
+  const char* sources[] = {
+      "int a, i; i = 0; while (i < 20) { a = a + i * i; i = i + 1; }",
+      R"(
+pint v; pflag f; int c, s;
+v = index() * 3 % 11;
+f = v > 4;
+c = count(f);
+where (f) { v = v - 4; }
+s = sumval(v);
+)",
+      R"(
+pint v; int acc;
+v = index();
+foreach (v % 3 == 1) { acc = acc * 10 + get(v); }
+)",
+  };
+  for (const char* src : sources) {
+    const auto compiled = compile(src);
+    const Program prog = assemble(compiled.assembly);
+    Machine m(cfg(8));
+    m.load(prog);
+    ASSERT_TRUE(m.run(1'000'000)) << src;
+    FuncSim f(cfg(8));
+    f.load(prog);
+    ASSERT_TRUE(f.run()) << src;
+    EXPECT_EQ(m.stats().instructions, f.instructions()) << src;
+    for (RegNum r = 0; r < 16; ++r)
+      EXPECT_EQ(m.state().sreg(0, r), f.state().sreg(0, r)) << src << " r" << r;
+    for (RegNum r = 0; r < 16; ++r)
+      for (PEIndex pe = 0; pe < 8; ++pe)
+        EXPECT_EQ(m.state().preg(0, r, pe), f.state().preg(0, r, pe)) << src;
+  }
+}
+
+TEST(AscalDifferential, SameResultsOnBaselineMachines) {
+  const char* src = R"(
+pint v; int s, c;
+v = (index() * 13 + 5) % 32;
+c = count(v > 10);
+s = sumval(v, v > 10);
+where (v <= 10) { v = v + c; }
+s = s + maxval(v);
+)";
+  const auto compiled = compile(src);
+  const Program prog = assemble(compiled.assembly);
+
+  std::vector<Word> reference;
+  for (int variant = 0; variant < 3; ++variant) {
+    auto c = cfg(16);
+    if (variant == 1) { c.multithreading = false; c.pipelined_network = false; }
+    if (variant == 2) { c.pipelined_execution = false; c.multithreading = false; }
+    Machine m(c);
+    m.load(prog);
+    ASSERT_TRUE(m.run(2'000'000));
+    std::vector<Word> out;
+    for (RegNum r = 0; r < 16; ++r) out.push_back(m.state().sreg(0, r));
+    if (variant == 0) reference = out;
+    else EXPECT_EQ(out, reference) << "variant " << variant;
+  }
+}
+
+// --- compile errors ---------------------------------------------------------------
+
+TEST(AscalErrors, TypeMismatches) {
+  EXPECT_THROW(AscalProgram(cfg(), "int a; pint v; a = v;"), CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "pflag f; f = 1;"), CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "int a; pflag f; a = f;"), CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "pint v; pflag f; v = f + 1;"), CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "pflag f; pint v; if (v == 1) { }"),
+               CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "int a; any (a) { }"), CompileError);
+}
+
+TEST(AscalErrors, UndeclaredAndLimits) {
+  EXPECT_THROW(AscalProgram(cfg(), "a = 1;"), CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "int a; a = b;"), CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "pflag f1, f2, f3, f4;"), CompileError);
+}
+
+TEST(AscalErrors, GetOutsideForeach) {
+  EXPECT_THROW(AscalProgram(cfg(), "pint v; int a; a = get(v);"), CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "int a; a = getindex();"), CompileError);
+}
+
+TEST(AscalErrors, BadBuiltins) {
+  EXPECT_THROW(AscalProgram(cfg(), "int a; a = frob();"), CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "int a; pint v; a = maxval(v, v);"),
+               CompileError);
+  EXPECT_THROW(AscalProgram(cfg(), "int a; a = maxval(a);"), CompileError);
+}
+
+}  // namespace
+}  // namespace masc::ascal

@@ -1,0 +1,258 @@
+#include "assembler/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "isa/encoding.hpp"
+
+namespace masc {
+namespace {
+
+Instruction first(const std::string& src) {
+  const Program p = assemble(src);
+  EXPECT_FALSE(p.text.empty());
+  return decode(p.text.at(0));
+}
+
+TEST(Assembler, ScalarAlu) {
+  EXPECT_EQ(first("add r1, r2, r3"), ir::salu(AluFunct::kAdd, 1, 2, 3));
+  EXPECT_EQ(first("sltu r4, r5, r6"), ir::salu(AluFunct::kSltu, 4, 5, 6));
+  EXPECT_EQ(first("mov r1, r2"), ir::salu(AluFunct::kMov, 1, 2, 0));
+}
+
+TEST(Assembler, Pseudos) {
+  EXPECT_EQ(first("neg r1, r2"), ir::salu(AluFunct::kSub, 1, 0, 2));
+  EXPECT_EQ(first("not r1, r2"), ir::salu(AluFunct::kNor, 1, 2, 0));
+  EXPECT_EQ(first("li r3, 42"), ir::imm_op(Opcode::kAddi, 3, 0, 42));
+  EXPECT_EQ(first("b done\ndone: halt"), ir::branch(Opcode::kBeq, 0, 0, 0));
+}
+
+TEST(Assembler, LargeLiExpandsToLuiOri) {
+  const Program p = assemble("li r3, 0x12345");
+  ASSERT_EQ(p.text.size(), 2u);
+  EXPECT_EQ(decode(p.text[0]), ir::imm_op(Opcode::kLui, 3, 0, 1));
+  EXPECT_EQ(decode(p.text[1]), ir::imm_op(Opcode::kOri, 3, 3, 0x2345));
+}
+
+TEST(Assembler, Immediates) {
+  EXPECT_EQ(first("addi r1, r2, -5"), ir::imm_op(Opcode::kAddi, 1, 2, -5));
+  EXPECT_EQ(first("andi r1, r2, 0xFF"), ir::imm_op(Opcode::kAndi, 1, 2, 255));
+  EXPECT_EQ(first("slli r1, r2, 3"), ir::imm_op(Opcode::kSlli, 1, 2, 3));
+}
+
+TEST(Assembler, MemoryOperands) {
+  EXPECT_EQ(first("lw r2, 8(r1)"), ir::lw(2, 1, 8));
+  EXPECT_EQ(first("sw r2, -4(r3)"), ir::sw(2, 3, -4));
+  EXPECT_EQ(first("plw p1, 3(p2)"), ir::plw(1, 2, 3));
+  EXPECT_EQ(first("psw p1, 0(p2) ?pf3"), ir::psw(1, 2, 0, 3));
+}
+
+TEST(Assembler, BranchTargetsAreRelative) {
+  // beq at address 0, target at address 2 -> offset 1.
+  const Program p = assemble(R"(
+    beq r1, r2, skip
+    nop
+skip:
+    halt
+)");
+  EXPECT_EQ(decode(p.text[0]), ir::branch(Opcode::kBeq, 1, 2, 1));
+}
+
+TEST(Assembler, BackwardBranch) {
+  const Program p = assemble(R"(
+loop:
+    nop
+    bne r1, r0, loop
+)");
+  EXPECT_EQ(decode(p.text[1]), ir::branch(Opcode::kBne, 1, 0, -2));
+}
+
+TEST(Assembler, SwappedBranchPseudos) {
+  EXPECT_EQ(first("bgt r1, r2, 0"), ir::branch(Opcode::kBlt, 2, 1, 0));
+  EXPECT_EQ(first("bleu r1, r2, 0"), ir::branch(Opcode::kBgeu, 2, 1, 0));
+}
+
+TEST(Assembler, JumpsAreAbsolute) {
+  const Program p = assemble(R"(
+    j main
+    nop
+main:
+    jal r7, main
+    halt
+)");
+  EXPECT_EQ(decode(p.text[0]), ir::jump(Opcode::kJ, 2));
+  EXPECT_EQ(decode(p.text[2]), ir::jal(7, 2));
+}
+
+TEST(Assembler, ParallelForms) {
+  EXPECT_EQ(first("padd p1, p2, p3"), ir::palu(AluFunct::kAdd, 1, 2, 3));
+  EXPECT_EQ(first("psub p1, p2, p3 ?pf2"), ir::palu(AluFunct::kSub, 1, 2, 3, 2));
+  EXPECT_EQ(first("padds p1, r2, p3"), ir::palus(AluFunct::kAdd, 1, 2, 3));
+  EXPECT_EQ(first("pmovi p1, -7 ?pf1"), ir::pimm(PImmOp::kMovi, 1, 0, -7, 1));
+  EXPECT_EQ(first("paddi p1, p2, 3"), ir::pimm(PImmOp::kAddi, 1, 2, 3));
+  EXPECT_EQ(first("pbcast p2, r5"), ir::pbcast(2, 5));
+  EXPECT_EQ(first("pindex p3"), ir::pindex(3));
+}
+
+TEST(Assembler, Comparisons) {
+  EXPECT_EQ(first("ceq sf1, r2, r3"), ir::scmp(CmpFunct::kEq, 1, 2, 3));
+  EXPECT_EQ(first("pclt pf1, p2, p3"), ir::pcmp(CmpFunct::kLt, 1, 2, 3));
+  EXPECT_EQ(first("pceqs pf1, r2, p3"), ir::pcmps(CmpFunct::kEq, 1, 2, 3));
+  EXPECT_EQ(first("pcges pf1, r2, p3 ?pf2"), ir::pcmps(CmpFunct::kGe, 1, 2, 3, 2));
+}
+
+TEST(Assembler, FlagLogic) {
+  EXPECT_EQ(first("sfand sf1, sf2, sf3"), ir::sflag(FlagFunct::kAnd, 1, 2, 3));
+  EXPECT_EQ(first("sfset sf2"), ir::sflag(FlagFunct::kSet, 2, 0, 0));
+  EXPECT_EQ(first("pfandn pf1, pf2, pf3"), ir::pflag(FlagFunct::kAndNot, 1, 2, 3));
+  EXPECT_EQ(first("pfnot pf1, pf2"), ir::pflag(FlagFunct::kNot, 1, 2, 0));
+}
+
+TEST(Assembler, Reductions) {
+  EXPECT_EQ(first("rmax r5, p1"), ir::red(RedFunct::kMax, 5, 1));
+  EXPECT_EQ(first("rsum r5, p1 ?pf2"), ir::red(RedFunct::kSum, 5, 1, 0, 2));
+  EXPECT_EQ(first("rcount r3, pf1"), ir::red(RedFunct::kCount_, 3, 1));
+  EXPECT_EQ(first("rany r3, pf1"), ir::red(RedFunct::kAny, 3, 1));
+  EXPECT_EQ(first("rfor sf1, pf2"), ir::red(RedFunct::kFOr, 1, 2));
+  EXPECT_EQ(first("getpe r1, p2, r3"), ir::red(RedFunct::kGetPe, 1, 2, 3));
+  EXPECT_EQ(first("rsel pf1, pf2"), ir::rsel(RSelFunct::kFirst, 1, 2));
+  EXPECT_EQ(first("rstep pf1, pf1"), ir::rsel(RSelFunct::kClearFirst, 1, 1));
+}
+
+TEST(Assembler, ThreadOps) {
+  EXPECT_EQ(first("tspawn r1, r2"), ir::tctl(TCtlFunct::kSpawn, 1, 2));
+  EXPECT_EQ(first("tjoin r2"), ir::tctl(TCtlFunct::kJoin, 0, 2));
+  EXPECT_EQ(first("texit"), ir::tctl(TCtlFunct::kExit));
+  EXPECT_EQ(first("tid r1"), ir::tctl(TCtlFunct::kTid, 1));
+  EXPECT_EQ(first("tput r1, r2, r3"), ir::tmov(TMovFunct::kPut, 1, 2, 3));
+}
+
+TEST(Assembler, DataSegment) {
+  const Program p = assemble(R"(
+    halt
+    .data
+table: .word 1, 2, 3
+       .space 2
+after: .word 9
+)");
+  ASSERT_EQ(p.data.size(), 6u);
+  EXPECT_EQ(p.data[0], 1u);
+  EXPECT_EQ(p.data[2], 3u);
+  EXPECT_EQ(p.data[5], 9u);
+  EXPECT_EQ(p.symbol("table"), 0);
+  EXPECT_EQ(p.symbol("after"), 5);
+}
+
+TEST(Assembler, LaLoadsDataAddress) {
+  const Program p = assemble(R"(
+    la r1, table
+    halt
+    .data
+    .space 7
+table: .word 42
+)");
+  // la always expands to lui+ori for symbols.
+  EXPECT_EQ(decode(p.text[0]), ir::imm_op(Opcode::kLui, 1, 0, 0));
+  EXPECT_EQ(decode(p.text[1]), ir::imm_op(Opcode::kOri, 1, 1, 7));
+}
+
+TEST(Assembler, EquConstants) {
+  const Program p = assemble(R"(
+    .equ N, 64
+    li r1, N
+    halt
+)");
+  EXPECT_EQ(decode(p.text[0]), ir::imm_op(Opcode::kAddi, 1, 0, 64));
+}
+
+TEST(Assembler, EntryDefaultsToMain) {
+  const Program p = assemble(R"(
+    nop
+main:
+    halt
+)");
+  EXPECT_EQ(p.entry, 1u);
+}
+
+TEST(Assembler, ExplicitEntry) {
+  const Program p = assemble(R"(
+    .entry start
+    nop
+start:
+    halt
+)");
+  EXPECT_EQ(p.entry, 1u);
+}
+
+TEST(Assembler, OrgPadsWithNops) {
+  const Program p = assemble(R"(
+    nop
+    .org 4
+    halt
+)");
+  ASSERT_EQ(p.text.size(), 5u);
+  EXPECT_TRUE(decode(p.text[2]).is_nop());
+  EXPECT_TRUE(decode(p.text[4]).is_halt());
+}
+
+TEST(Assembler, Comments) {
+  const Program p = assemble(R"(
+    # full line comment
+    nop       ; trailing semicolon comment
+    halt      // C++-style
+)");
+  EXPECT_EQ(p.text.size(), 2u);
+}
+
+TEST(Assembler, ErrorUnknownMnemonic) {
+  EXPECT_THROW(assemble("frobnicate r1"), AssemblyError);
+}
+
+TEST(Assembler, ErrorUndefinedSymbol) {
+  EXPECT_THROW(assemble("beq r1, r2, nowhere"), AssemblyError);
+}
+
+TEST(Assembler, ErrorDuplicateLabel) {
+  EXPECT_THROW(assemble("a: nop\na: nop"), AssemblyError);
+}
+
+TEST(Assembler, ErrorRegisterOutOfRange) {
+  EXPECT_THROW(assemble("add r1, r2, r40"), AssemblyError);
+  EXPECT_THROW(assemble("pfand pf1, pf2, pf9"), AssemblyError);
+}
+
+TEST(Assembler, ErrorWrongRegisterClass) {
+  EXPECT_THROW(assemble("add r1, p2, r3"), AssemblyError);
+  EXPECT_THROW(assemble("padd p1, r2, p3"), AssemblyError);
+  EXPECT_THROW(assemble("rmax r1, r2"), AssemblyError);
+}
+
+TEST(Assembler, ErrorImmediateOutOfRange) {
+  EXPECT_THROW(assemble("addi r1, r0, 100000"), AssemblyError);
+  EXPECT_THROW(assemble("paddi p1, p0, 300"), AssemblyError);
+}
+
+TEST(Assembler, ErrorWordInTextSegment) {
+  EXPECT_THROW(assemble(".word 1"), AssemblyError);
+}
+
+TEST(Assembler, ErrorBackwardOrg) {
+  EXPECT_THROW(assemble("nop\nnop\n.org 1\nnop"), AssemblyError);
+}
+
+TEST(Assembler, CharLiterals) {
+  EXPECT_EQ(first("li r1, 'A'"), ir::imm_op(Opcode::kAddi, 1, 0, 65));
+  EXPECT_EQ(first("li r1, '\\n'"), ir::imm_op(Opcode::kAddi, 1, 0, 10));
+}
+
+TEST(Assembler, MultipleLabelsOneLine) {
+  const Program p = assemble(R"(
+a: b: nop
+   halt
+)");
+  EXPECT_EQ(p.symbol("a"), 0);
+  EXPECT_EQ(p.symbol("b"), 0);
+}
+
+}  // namespace
+}  // namespace masc

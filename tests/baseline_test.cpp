@@ -1,0 +1,130 @@
+// Baseline configurations and the cross-machine comparison harness.
+#include "baseline/comparison.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "sim/machine.hpp"
+
+namespace masc::baseline {
+namespace {
+
+/// A reduction-dependent microkernel: every rsum result is consumed
+/// immediately, so a single-threaded pipelined-network machine eats the
+/// full b+r stall per iteration.
+Stats reduction_chain_workload(const MachineConfig& cfg) {
+  Machine m(cfg);
+  std::string src = R"(
+    pindex p1
+    li r2, 50
+    li r1, 0
+loop:
+    rsum r3, p1
+    add r4, r4, r3
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+)";
+  m.load(assemble(src));
+  if (!m.run(10'000'000)) throw std::runtime_error("workload timeout");
+  return m.stats();
+}
+
+TEST(BaselineConfigs, ShapesMatchSection3) {
+  const auto proto = prototype(16, 16);
+  EXPECT_TRUE(proto.multithreading);
+  EXPECT_TRUE(proto.pipelined_network);
+  EXPECT_TRUE(proto.pipelined_execution);
+
+  const auto p7 = pipelined_st(16);
+  EXPECT_FALSE(p7.multithreading);
+  EXPECT_FALSE(p7.pipelined_network);
+  EXPECT_TRUE(p7.pipelined_execution);
+
+  const auto p6 = nonpipelined(16);
+  EXPECT_FALSE(p6.pipelined_execution);
+  EXPECT_EQ(p6.effective_threads(), 1u);
+}
+
+TEST(BaselineConfigs, ComparisonSetHasFourMachines) {
+  const auto set = comparison_set(16);
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_EQ(set.back().name, "multithreaded (this)");
+}
+
+TEST(Comparison, CyclesOrderingMatchesArchitecture) {
+  const auto rows = compare(comparison_set(16, 16), reduction_chain_workload);
+  ASSERT_EQ(rows.size(), 4u);
+  const auto& nonpipe = rows[0];
+  const auto& pipe_st = rows[1];
+  const auto& pipe_net_st = rows[2];
+  const auto& mt = rows[3];
+
+  // Cycle counts: non-pipelined execution is by far the slowest;
+  // combinational networks cost no cycles, so pipelined-ST [7] has the
+  // fewest cycles; pipelined networks without MT pay b+r stalls.
+  EXPECT_GT(nonpipe.cycles, pipe_st.cycles);
+  EXPECT_GT(pipe_net_st.cycles, pipe_st.cycles);
+  // A single thread cannot hide reduction hazards...
+  EXPECT_GT(pipe_net_st.reduction_stall_cycles, 0u);
+  // ...and this workload gives one thread nothing else to issue, so the
+  // multithreaded machine matches the single-threaded cycle count.
+  EXPECT_EQ(mt.cycles, pipe_net_st.cycles);
+}
+
+TEST(Comparison, ModeledTimeFavorsThePrototypeAtScale) {
+  // At 256 PEs the combinational network's clock penalty dominates: the
+  // multithreaded machine wins on wall-clock even though the
+  // combinational-network baseline wins on raw cycles.
+  auto configs = comparison_set(256, 16);
+  // Multi-thread workload: 16 independent threads of reduction chains.
+  const auto rows = compare(configs, [](const MachineConfig& cfg) {
+    Machine m(cfg);
+    m.load(assemble(R"(
+main:
+    nthreads r1
+    li r2, 1
+    la r3, worker
+spawn:
+    bgeu r2, r1, work
+    tspawn r4, r3
+    addi r2, r2, 1
+    j spawn
+work:
+    j body
+worker:
+body:
+    # equal total work on every machine: 640 reductions split over the
+    # available threads
+    nthreads r5
+    li r6, 640
+    divu r2, r6, r5
+    pindex p1
+    li r1, 0
+loop:
+    rsum r3, p1
+    add r4, r4, r3
+    addi r1, r1, 1
+    bne r1, r2, loop
+    texit
+)"));
+    if (!m.run(10'000'000)) throw std::runtime_error("timeout");
+    return m.stats();
+  });
+  const auto& pipe_st = rows[1];
+  const auto& mt = rows[3];
+  EXPECT_GT(mt.fmax_mhz, pipe_st.fmax_mhz);
+  EXPECT_LT(mt.time_us, pipe_st.time_us);
+  EXPECT_GT(mt.speedup_vs_first, 1.0);
+}
+
+TEST(Comparison, RenderTableContainsAllRows) {
+  const auto rows = compare(comparison_set(16), reduction_chain_workload);
+  const auto table = render_table(rows);
+  EXPECT_NE(table.find("nonpipelined [6]"), std::string::npos);
+  EXPECT_NE(table.find("multithreaded (this)"), std::string::npos);
+  EXPECT_NE(table.find("IPC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace masc::baseline

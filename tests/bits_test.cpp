@@ -1,0 +1,100 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/saturate.hpp"
+
+namespace masc {
+namespace {
+
+TEST(CeilLog2, ExactPowers) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+}
+
+TEST(CeilLog2, RoundsUp) {
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(17), 5u);
+  EXPECT_EQ(ceil_log2(1000), 10u);
+}
+
+TEST(CeilLogK, BinaryMatchesCeilLog2) {
+  for (std::uint64_t n = 1; n <= 300; ++n)
+    EXPECT_EQ(ceil_log_k(n, 2), ceil_log2(n)) << "n=" << n;
+}
+
+TEST(CeilLogK, HigherArity) {
+  EXPECT_EQ(ceil_log_k(16, 4), 2u);
+  EXPECT_EQ(ceil_log_k(17, 4), 3u);
+  EXPECT_EQ(ceil_log_k(64, 8), 2u);
+  EXPECT_EQ(ceil_log_k(1, 8), 0u);
+  EXPECT_EQ(ceil_log_k(1000, 10), 3u);
+}
+
+TEST(LowMask, Widths) {
+  EXPECT_EQ(low_mask(1), 0x1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(16), 0xFFFFu);
+  EXPECT_EQ(low_mask(32), 0xFFFFFFFFu);
+}
+
+TEST(SignExtend, Width8) {
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x100, 8), 0);  // out-of-width bits ignored
+}
+
+TEST(SignExtend, Width16And32) {
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 32767);
+  EXPECT_EQ(sign_extend(0xFFFFFFFFu, 32), -1);
+}
+
+TEST(Bits, FieldExtraction) {
+  EXPECT_EQ(bits(0xDEADBEEF, 31, 26), 0x37u);
+  EXPECT_EQ(bits(0xDEADBEEF, 15, 0), 0xBEEFu);
+  EXPECT_EQ(bits(0xFFFFFFFF, 0, 0), 1u);
+}
+
+TEST(IsPow2, Values) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(SaturateSigned, NoOverflowPassesThrough) {
+  EXPECT_EQ(sat_add_signed(10, 20, 8), 30u);
+  EXPECT_EQ(sat_add_signed(0xFF, 1, 8), 0u);  // -1 + 1 = 0
+}
+
+TEST(SaturateSigned, PositiveClamp) {
+  EXPECT_EQ(sat_add_signed(0x7F, 1, 8), 0x7Fu);
+  EXPECT_EQ(sat_add_signed(0x7F, 0x7F, 8), 0x7Fu);
+  EXPECT_EQ(sat_add_signed(0x7FFF, 0x7FFF, 16), 0x7FFFu);
+}
+
+TEST(SaturateSigned, NegativeClamp) {
+  EXPECT_EQ(sat_add_signed(0x80, 0xFF, 8), 0x80u);  // -128 + -1
+  EXPECT_EQ(sat_add_signed(0x80, 0x80, 8), 0x80u);
+}
+
+TEST(SaturateUnsigned, Clamp) {
+  EXPECT_EQ(sat_add_unsigned(200, 100, 8), 255u);
+  EXPECT_EQ(sat_add_unsigned(200, 55, 8), 255u);
+  EXPECT_EQ(sat_add_unsigned(200, 54, 8), 254u);
+}
+
+TEST(SignedBounds, Width8) {
+  EXPECT_EQ(signed_max_word(8), 0x7Fu);
+  EXPECT_EQ(signed_min_word(8), 0x80u);
+}
+
+}  // namespace
+}  // namespace masc

@@ -1,0 +1,209 @@
+// Differential testing: the cycle-accurate Machine and the functional
+// FuncSim share execution semantics but have completely different
+// sequencing engines. For single-threaded programs (no cross-thread
+// races) both must produce identical final architectural state; the
+// cycle count is the only thing allowed to differ.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/random.hpp"
+#include "test_util.hpp"
+
+namespace masc {
+namespace {
+
+using test::small_config;
+
+/// Generate a random straight-line program exercising scalar, parallel,
+/// reduction, flag, and memory instructions with safe operands.
+std::string random_program(Rng& rng, int length) {
+  std::ostringstream os;
+  os << "pindex p1\n";  // seed some per-PE data
+  os << "li r1, 13\n";
+  os << "pbcast p2, r1\n";
+  auto sreg = [&] { return "r" + std::to_string(1 + rng.next_below(7)); };
+  auto preg = [&] { return "p" + std::to_string(1 + rng.next_below(7)); };
+  auto sflg = [&] { return "sf" + std::to_string(1 + rng.next_below(3)); };
+  auto pflg = [&] { return "pf" + std::to_string(1 + rng.next_below(3)); };
+  auto mask = [&] {
+    return rng.next_below(3) == 0 ? " ?pf" + std::to_string(1 + rng.next_below(3))
+                                  : std::string{};
+  };
+  for (int i = 0; i < length; ++i) {
+    switch (rng.next_below(20)) {
+      case 0: os << "add " << sreg() << ", " << sreg() << ", " << sreg(); break;
+      case 1: os << "sub " << sreg() << ", " << sreg() << ", " << sreg(); break;
+      case 2: os << "xor " << sreg() << ", " << sreg() << ", " << sreg(); break;
+      case 3: os << "addi " << sreg() << ", " << sreg() << ", "
+                 << rng.next_in(-100, 100); break;
+      case 4: os << "mul " << sreg() << ", " << sreg() << ", " << sreg(); break;
+      case 5: os << "sw " << sreg() << ", " << rng.next_below(64) << "(r0)"; break;
+      case 6: os << "lw " << sreg() << ", " << rng.next_below(64) << "(r0)"; break;
+      case 7: os << "ceq " << sflg() << ", " << sreg() << ", " << sreg(); break;
+      case 8: os << "sfxor " << sflg() << ", " << sflg() << ", " << sflg(); break;
+      case 9: os << "padd " << preg() << ", " << preg() << ", " << preg() << mask(); break;
+      case 10: os << "psub " << preg() << ", " << preg() << ", " << preg() << mask(); break;
+      case 11: os << "padds " << preg() << ", " << sreg() << ", " << preg() << mask(); break;
+      case 12: os << "paddi " << preg() << ", " << preg() << ", "
+                  << rng.next_in(-50, 50) << mask(); break;
+      case 13: os << "pclt " << pflg() << ", " << preg() << ", " << preg() << mask(); break;
+      case 14: os << "pcles " << pflg() << ", " << sreg() << ", " << preg() << mask(); break;
+      case 15: os << "pfxor " << pflg() << ", " << pflg() << ", " << pflg() << mask(); break;
+      case 16: os << "psw " << preg() << ", " << rng.next_below(32) << "(p0)" << mask(); break;
+      case 17: os << "plw " << preg() << ", " << rng.next_below(32) << "(p0)" << mask(); break;
+      case 18: {
+        const char* reds[] = {"rand", "ror", "rmax", "rmin", "rmaxu",
+                              "rminu", "rsum", "rsumu"};
+        os << reds[rng.next_below(8)] << " " << sreg() << ", " << preg() << mask();
+        break;
+      }
+      default:
+        switch (rng.next_below(4)) {
+          case 0: os << "rcount " << sreg() << ", " << pflg() << mask(); break;
+          case 1: os << "rsel " << pflg() << ", " << pflg() << mask(); break;
+          case 2: os << "rstep " << pflg() << ", " << pflg() << mask(); break;
+          default: os << "rfor " << sflg() << ", " << pflg() << mask(); break;
+        }
+        break;
+    }
+    os << '\n';
+  }
+  os << "halt\n";
+  return os.str();
+}
+
+void expect_same_state(const ArchState& a, const ArchState& b,
+                       const std::string& context) {
+  const auto& cfg = a.config();
+  for (RegNum r = 0; r < cfg.num_scalar_regs; ++r)
+    ASSERT_EQ(a.sreg(0, r), b.sreg(0, r)) << context << " sreg r" << r;
+  for (RegNum f = 0; f < cfg.num_flag_regs; ++f)
+    ASSERT_EQ(a.sflag(0, f), b.sflag(0, f)) << context << " sflag " << f;
+  for (RegNum r = 0; r < cfg.num_parallel_regs; ++r)
+    for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
+      ASSERT_EQ(a.preg(0, r, pe), b.preg(0, r, pe))
+          << context << " preg p" << r << " pe" << pe;
+  for (RegNum f = 0; f < cfg.num_flag_regs; ++f)
+    for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
+      ASSERT_EQ(a.pflag(0, f, pe), b.pflag(0, f, pe))
+          << context << " pflag " << f << " pe" << pe;
+  for (Addr addr = 0; addr < 64; ++addr)
+    ASSERT_EQ(a.scalar_mem(addr), b.scalar_mem(addr)) << context << " mem " << addr;
+  for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
+    for (Addr addr = 0; addr < 32; ++addr)
+      ASSERT_EQ(a.local_mem(pe, addr), b.local_mem(pe, addr))
+          << context << " lmem pe" << pe << " @" << addr;
+}
+
+class DifferentialRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialRandom, CycleSimMatchesFuncSim) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const std::string src = random_program(rng, 60);
+    const Program prog = assemble(src);
+
+    auto cfg = small_config();
+    Machine m(cfg);
+    m.load(prog);
+    ASSERT_TRUE(m.run(1'000'000)) << src;
+
+    FuncSim f(cfg);
+    f.load(prog);
+    ASSERT_TRUE(f.run());
+
+    ASSERT_EQ(m.stats().instructions, f.instructions());
+    expect_same_state(m.state(), f.state(), "seed=" + std::to_string(GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 17u, 99u, 12345u));
+
+TEST(DifferentialConfigs, AcrossWidthsAndShapes) {
+  Rng rng(777);
+  const std::string src = random_program(rng, 80);
+  const Program prog = assemble(src);
+  for (unsigned width : {8u, 16u, 32u}) {
+    for (std::uint32_t p : {1u, 3u, 8u, 32u}) {
+      MachineConfig cfg;
+      cfg.num_pes = p;
+      cfg.word_width = width;
+      cfg.num_threads = 4;
+      cfg.local_mem_bytes = 64;
+      Machine m(cfg);
+      m.load(prog);
+      ASSERT_TRUE(m.run(1'000'000));
+      FuncSim f(cfg);
+      f.load(prog);
+      ASSERT_TRUE(f.run());
+      expect_same_state(m.state(), f.state(),
+                        "w=" + std::to_string(width) + " p=" + std::to_string(p));
+    }
+  }
+}
+
+TEST(DifferentialConfigs, BaselineMachinesSameResults) {
+  // Timing baselines (single-thread, non-pipelined network or execution)
+  // must not change architectural results.
+  Rng rng(4242);
+  const std::string src = random_program(rng, 80);
+  const Program prog = assemble(src);
+
+  auto reference = [&] {
+    FuncSim f(small_config());
+    f.load(prog);
+    f.run();
+    return f;
+  }();
+
+  for (int variant = 0; variant < 3; ++variant) {
+    auto cfg = small_config();
+    if (variant == 0) cfg.multithreading = false;
+    if (variant == 1) cfg.pipelined_network = false;
+    if (variant == 2) {
+      cfg.pipelined_execution = false;
+      cfg.multithreading = false;
+    }
+    Machine m(cfg);
+    m.load(prog);
+    ASSERT_TRUE(m.run(2'000'000));
+    expect_same_state(m.state(), reference.state(),
+                      "variant=" + std::to_string(variant));
+  }
+}
+
+TEST(DifferentialLoops, ControlFlowProgramAgrees) {
+  // Branches and loops (not covered by the straight-line generator).
+  const char* src = R"(
+    li r1, 0
+    li r2, 20
+    pindex p1
+loop:
+    padds p2, r1, p1
+    rsum r3, p2
+    add r4, r4, r3
+    addi r1, r1, 1
+    bne r1, r2, loop
+    sw r4, 0(r0)
+    halt
+)";
+  const Program prog = assemble(src);
+  Machine m(small_config());
+  m.load(prog);
+  ASSERT_TRUE(m.run(1'000'000));
+  FuncSim f(small_config());
+  f.load(prog);
+  ASSERT_TRUE(f.run());
+  EXPECT_EQ(m.state().scalar_mem(0), f.state().scalar_mem(0));
+  EXPECT_EQ(m.stats().instructions, f.instructions());
+  // Reference value: sum over i of (8i + 28).
+  Word expected = 0;
+  for (Word i = 0; i < 20; ++i) expected = truncate(expected + 8 * i + 28, 16);
+  EXPECT_EQ(f.state().scalar_mem(0), expected);
+}
+
+}  // namespace
+}  // namespace masc

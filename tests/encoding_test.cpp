@@ -1,0 +1,183 @@
+#include "isa/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace masc {
+namespace {
+
+TEST(Encoding, NopIsAllZeros) {
+  EXPECT_EQ(encode(ir::nop()), 0u);
+  EXPECT_TRUE(decode(0).is_nop());
+}
+
+TEST(Encoding, RoundTripScalarAlu) {
+  const auto in = ir::salu(AluFunct::kSub, 3, 5, 7);
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(Encoding, RoundTripImmediates) {
+  for (std::int32_t imm : {-32768, -1, 0, 1, 42, 32767}) {
+    const auto in = ir::imm_op(Opcode::kAddi, 1, 2, imm);
+    EXPECT_EQ(decode(encode(in)), in) << "imm=" << imm;
+  }
+}
+
+TEST(Encoding, RoundTripParallelMasked) {
+  const auto in = ir::palu(AluFunct::kAdd, 1, 2, 3, /*mask=*/5);
+  const auto out = decode(encode(in));
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(out.mask, 5u);
+}
+
+TEST(Encoding, RoundTripParallelImmediate) {
+  for (std::int32_t imm : {-256, -1, 0, 255}) {
+    const auto in = ir::pimm(PImmOp::kAddi, 4, 2, imm, 3);
+    EXPECT_EQ(decode(encode(in)), in) << "imm=" << imm;
+  }
+}
+
+TEST(Encoding, RoundTripReduction) {
+  const auto in = ir::red(RedFunct::kMax, 5, 3, 0, 2);
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(Encoding, RoundTripResolver) {
+  const auto in = ir::rsel(RSelFunct::kClearFirst, 2, 3, 1);
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(Encoding, RoundTripThreadOps) {
+  EXPECT_EQ(decode(encode(ir::tctl(TCtlFunct::kSpawn, 1, 2))),
+            ir::tctl(TCtlFunct::kSpawn, 1, 2));
+  EXPECT_EQ(decode(encode(ir::tmov(TMovFunct::kPut, 1, 2, 3))),
+            ir::tmov(TMovFunct::kPut, 1, 2, 3));
+}
+
+TEST(Encoding, RoundTripJumpFamily) {
+  EXPECT_EQ(decode(encode(ir::jump(Opcode::kJ, 12345))), ir::jump(Opcode::kJ, 12345));
+  EXPECT_EQ(decode(encode(ir::jal(15, 77))), ir::jal(15, 77));
+  EXPECT_EQ(decode(encode(ir::jr(9))), ir::jr(9));
+}
+
+TEST(Encoding, ImmediateRangeChecked) {
+  EXPECT_THROW(encode(ir::imm_op(Opcode::kAddi, 1, 2, 40000)), DecodeError);
+  EXPECT_THROW(encode(ir::imm_op(Opcode::kAddi, 1, 2, -40000)), DecodeError);
+  EXPECT_THROW(encode(ir::pimm(PImmOp::kAddi, 1, 2, 256)), DecodeError);
+  EXPECT_THROW(encode(ir::pimm(PImmOp::kAddi, 1, 2, -257)), DecodeError);
+}
+
+TEST(Encoding, FieldRangeChecked) {
+  auto in = ir::salu(AluFunct::kAdd, 1, 2, 3);
+  in.rd = 32;
+  EXPECT_THROW(encode(in), DecodeError);
+  in = ir::palu(AluFunct::kAdd, 1, 2, 3);
+  in.mask = 8;
+  EXPECT_THROW(encode(in), DecodeError);
+}
+
+TEST(Encoding, IllegalOpcodeRejected) {
+  // Opcode field value beyond kOpcodeCount.
+  const InstrWord w = 63u << 26;
+  EXPECT_THROW(decode(w), DecodeError);
+}
+
+TEST(Encoding, IllegalFunctRejected) {
+  auto in = ir::salu(AluFunct::kAdd, 1, 2, 3);
+  in.funct = 200;
+  EXPECT_THROW(encode(in), DecodeError);
+  // Hand-craft a word with an out-of-range funct for kRed.
+  const InstrWord w = (static_cast<InstrWord>(Opcode::kRed) << 26) | 0xFF;
+  EXPECT_THROW(decode(w), DecodeError);
+}
+
+TEST(Encoding, ClassificationMatchesPaperTaxonomy) {
+  EXPECT_EQ(ir::salu(AluFunct::kAdd, 1, 2, 3).instr_class(), InstrClass::kScalar);
+  EXPECT_EQ(ir::lw(1, 2, 0).instr_class(), InstrClass::kScalar);
+  EXPECT_EQ(ir::palu(AluFunct::kAdd, 1, 2, 3).instr_class(), InstrClass::kParallel);
+  EXPECT_EQ(ir::pbcast(1, 2).instr_class(), InstrClass::kParallel);
+  EXPECT_EQ(ir::red(RedFunct::kMax, 1, 2).instr_class(), InstrClass::kReduction);
+  EXPECT_EQ(ir::rsel(RSelFunct::kFirst, 1, 2).instr_class(), InstrClass::kReduction);
+}
+
+TEST(Encoding, ResolverHasParallelDest) {
+  EXPECT_TRUE(ir::rsel(RSelFunct::kFirst, 1, 2).has_parallel_dest());
+  EXPECT_FALSE(ir::red(RedFunct::kMax, 1, 2).has_parallel_dest());
+}
+
+TEST(Encoding, BranchPredicate) {
+  EXPECT_TRUE(ir::branch(Opcode::kBeq, 1, 2, -4).is_branch());
+  EXPECT_TRUE(ir::jump(Opcode::kJ, 0).is_branch());
+  EXPECT_TRUE(ir::jr(1).is_branch());
+  EXPECT_FALSE(ir::salu(AluFunct::kAdd, 1, 2, 3).is_branch());
+}
+
+// Property: decode(encode(x)) == x for randomized legal instructions.
+TEST(Encoding, FuzzRoundTrip) {
+  Rng rng(0xC0FFEE);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Instruction in;
+    // Pick a random R-format opcode with a legal funct.
+    switch (rng.next_below(6)) {
+      case 0:
+        in = ir::salu(static_cast<AluFunct>(rng.next_below(
+                          static_cast<unsigned>(AluFunct::kCount))),
+                      static_cast<RegNum>(rng.next_below(32)),
+                      static_cast<RegNum>(rng.next_below(32)),
+                      static_cast<RegNum>(rng.next_below(32)));
+        break;
+      case 1:
+        in = ir::palu(static_cast<AluFunct>(rng.next_below(
+                          static_cast<unsigned>(AluFunct::kCount))),
+                      static_cast<RegNum>(rng.next_below(32)),
+                      static_cast<RegNum>(rng.next_below(32)),
+                      static_cast<RegNum>(rng.next_below(32)),
+                      static_cast<RegNum>(rng.next_below(8)));
+        break;
+      case 2:
+        in = ir::red(static_cast<RedFunct>(rng.next_below(
+                         static_cast<unsigned>(RedFunct::kCount))),
+                     static_cast<RegNum>(rng.next_below(32)),
+                     static_cast<RegNum>(rng.next_below(32)),
+                     static_cast<RegNum>(rng.next_below(32)),
+                     static_cast<RegNum>(rng.next_below(8)));
+        break;
+      case 3:
+        in = ir::imm_op(Opcode::kAddi, static_cast<RegNum>(rng.next_below(32)),
+                        static_cast<RegNum>(rng.next_below(32)),
+                        static_cast<std::int32_t>(rng.next_in(-32768, 32767)));
+        break;
+      case 4:
+        in = ir::pimm(static_cast<PImmOp>(rng.next_below(
+                          static_cast<unsigned>(PImmOp::kCount))),
+                      static_cast<RegNum>(rng.next_below(32)),
+                      static_cast<RegNum>(rng.next_below(32)),
+                      static_cast<std::int32_t>(rng.next_in(-256, 255)),
+                      static_cast<RegNum>(rng.next_below(8)));
+        break;
+      default:
+        in = ir::branch(Opcode::kBne, static_cast<RegNum>(rng.next_below(32)),
+                        static_cast<RegNum>(rng.next_below(32)),
+                        static_cast<std::int32_t>(rng.next_in(-32768, 32767)));
+        break;
+    }
+    EXPECT_EQ(decode(encode(in)), in);
+  }
+}
+
+TEST(Disassemble, SpotChecks) {
+  EXPECT_EQ(disassemble(ir::salu(AluFunct::kAdd, 1, 2, 3)), "add r1, r2, r3");
+  EXPECT_EQ(disassemble(ir::palu(AluFunct::kSub, 1, 2, 3, 4)),
+            "psub p1, p2, p3 ?pf4");
+  EXPECT_EQ(disassemble(ir::palus(AluFunct::kAdd, 1, 2, 3)), "padds p1, r2, p3");
+  EXPECT_EQ(disassemble(ir::red(RedFunct::kMax, 5, 1)), "rmax r5, p1");
+  EXPECT_EQ(disassemble(ir::lw(2, 1, 3)), "lw r2, 3(r1)");
+  EXPECT_EQ(disassemble(ir::halt()), "halt");
+  EXPECT_EQ(disassemble(ir::pindex(2)), "pindex p2");
+  EXPECT_EQ(disassemble(ir::rsel(RSelFunct::kFirst, 1, 2)), "rsel pf1, pf2");
+}
+
+}  // namespace
+}  // namespace masc

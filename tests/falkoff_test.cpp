@@ -1,0 +1,177 @@
+// The Falkoff bit-serial max/min algorithm (predecessor design, §6.4):
+// semantic equivalence with the comparator tree, and the structural
+// hazard its one-at-a-time operation imposes on a multithreaded machine.
+#include "sim/network/falkoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "sim/network/trees.hpp"
+#include "test_util.hpp"
+
+namespace masc::net {
+namespace {
+
+TEST(Falkoff, UnsignedMaxBasics) {
+  const std::vector<Word> v = {12, 45, 7, 45, 3};
+  const std::vector<std::uint8_t> all(5, 1);
+  const auto r = falkoff_max(v, all, 8);
+  EXPECT_EQ(r.value, 45u);
+  EXPECT_EQ(r.survivors, (std::vector<std::uint8_t>{0, 1, 0, 1, 0}));
+  EXPECT_EQ(r.steps, 8u);  // one bit per cycle
+}
+
+TEST(Falkoff, UnsignedMinBasics) {
+  const std::vector<Word> v = {12, 45, 7, 45, 7};
+  const std::vector<std::uint8_t> all(5, 1);
+  const auto r = falkoff_min(v, all, 8);
+  EXPECT_EQ(r.value, 7u);
+  EXPECT_EQ(r.survivors, (std::vector<std::uint8_t>{0, 0, 1, 0, 1}));
+}
+
+TEST(Falkoff, RespectsActivityMask) {
+  const std::vector<Word> v = {100, 45, 7};
+  const std::vector<std::uint8_t> act = {0, 1, 1};
+  EXPECT_EQ(falkoff_max(v, act, 8).value, 45u);
+}
+
+TEST(Falkoff, EmptyCandidateSetYieldsIdentity) {
+  const std::vector<Word> v = {1, 2};
+  const std::vector<std::uint8_t> none(2, 0);
+  EXPECT_EQ(falkoff_max(v, none, 8).value, 0u);
+  EXPECT_EQ(falkoff_min(v, none, 8).value, 0xFFu);
+  EXPECT_EQ(falkoff_max_signed(v, none, 8).value, signed_min_word(8));
+  EXPECT_EQ(falkoff_min_signed(v, none, 8).value, signed_max_word(8));
+}
+
+TEST(Falkoff, SignedHandlesNegatives) {
+  // 0xFE = -2, 0x05 = 5, 0x80 = -128 at width 8.
+  const std::vector<Word> v = {0xFE, 0x05, 0x80};
+  const std::vector<std::uint8_t> all(3, 1);
+  EXPECT_EQ(falkoff_max_signed(v, all, 8).value, 0x05u);
+  EXPECT_EQ(falkoff_min_signed(v, all, 8).value, 0x80u);
+}
+
+TEST(Falkoff, SignedAllNegative) {
+  const std::vector<Word> v = {0xFE, 0x80, 0xC0};
+  const std::vector<std::uint8_t> all(3, 1);
+  EXPECT_EQ(falkoff_max_signed(v, all, 8).value, 0xFEu);  // -2
+}
+
+class FalkoffSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FalkoffSweep, AgreesWithComparatorTree) {
+  // The two max/min implementations (bit-serial Falkoff vs pipelined
+  // tree) must be bit-identical — the paper swapped implementations
+  // without changing semantics.
+  const std::uint32_t p = GetParam();
+  Rng rng(0xFA1C0FF + p);
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto v = rng.words(p, 16);
+    std::vector<std::uint8_t> act(p);
+    for (auto& a : act) a = rng.next_bool() ? 1 : 0;
+    EXPECT_EQ(falkoff_max(v, act, 16).value,
+              tree_reduce(ReduceOp::kMaxU, v, act, 16));
+    EXPECT_EQ(falkoff_min(v, act, 16).value,
+              tree_reduce(ReduceOp::kMinU, v, act, 16));
+    EXPECT_EQ(falkoff_max_signed(v, act, 16).value,
+              tree_reduce(ReduceOp::kMax, v, act, 16));
+    EXPECT_EQ(falkoff_min_signed(v, act, 16).value,
+              tree_reduce(ReduceOp::kMin, v, act, 16));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PeCounts, FalkoffSweep,
+                         ::testing::Values(1u, 2u, 7u, 16u, 64u, 255u));
+
+// ---------------------------------------------------------------------------
+// Machine-level timing of the MaxMinUnitKind option
+// ---------------------------------------------------------------------------
+
+TEST(FalkoffMachine, SameResultsEitherUnit) {
+  const char* src = R"(
+    pindex p1
+    paddi p2, p1, 100
+    rmax r13, p2
+    rmin r14, p2
+    rmaxu r15, p2
+    halt
+)";
+  auto cfg = test::small_config();
+  auto tree = test::run_program(cfg, src);
+  cfg.maxmin_unit = MaxMinUnitKind::kFalkoff;
+  auto falkoff = test::run_program(cfg, src);
+  for (const RegNum r : {13u, 14u, 15u})
+    EXPECT_EQ(tree.state().sreg(0, r), falkoff.state().sreg(0, r));
+}
+
+TEST(FalkoffMachine, DependentConsumerWaitsWordWidthCycles) {
+  auto cfg = test::small_config();  // w = 16, p = 8 (b = 3, r = 3)
+  cfg.maxmin_unit = MaxMinUnitKind::kFalkoff;
+  Machine m(cfg);
+  m.enable_trace();
+  m.load(assemble(R"(
+    pindex p1
+    rmax r1, p1
+    addi r2, r1, 0
+    halt
+)"));
+  ASSERT_TRUE(m.run(10000));
+  const auto& tr = m.trace();
+  // rmax avail = issue + b + 1 + w; consumer issues then.
+  const auto stall = tr[2].issue - tr[1].issue - 1;
+  EXPECT_EQ(stall, cfg.broadcast_latency() + cfg.word_width);
+}
+
+TEST(FalkoffMachine, ConcurrentThreadsCollideOnTheUnit) {
+  // Two threads issuing max reductions: with the pipelined tree they
+  // overlap freely; with the Falkoff unit the second waits — the exact
+  // §6.4 motivation for the tree.
+  const char* src = R"(
+main:
+    la r1, worker
+    tspawn r2, r1
+    pindex p1
+    rmax r3, p1
+    rmax r4, p1
+    rmax r5, p1
+    tjoin r2
+    halt
+worker:
+    pindex p1
+    rmin r3, p1
+    rmin r4, p1
+    rmin r5, p1
+    texit
+)";
+  auto cfg = test::small_config();
+  auto tree = test::run_program(cfg, src);
+  cfg.maxmin_unit = MaxMinUnitKind::kFalkoff;
+  auto falkoff = test::run_program(cfg, src);
+
+  EXPECT_EQ(tree.stats().idle_by_cause[static_cast<std::size_t>(
+                StallCause::kStructuralHazard)], 0u);
+  EXPECT_GT(falkoff.stats().idle_by_cause[static_cast<std::size_t>(
+                StallCause::kStructuralHazard)], 0u);
+  EXPECT_GT(falkoff.stats().cycles, tree.stats().cycles);
+}
+
+TEST(FalkoffMachine, OtherReductionsUnaffected) {
+  auto cfg = test::small_config();
+  cfg.maxmin_unit = MaxMinUnitKind::kFalkoff;
+  Machine m(cfg);
+  m.enable_trace();
+  m.load(assemble(R"(
+    pindex p1
+    rsum r1, p1
+    addi r2, r1, 0
+    halt
+)"));
+  ASSERT_TRUE(m.run(10000));
+  const auto& tr = m.trace();
+  const auto stall = tr[2].issue - tr[1].issue - 1;
+  EXPECT_EQ(stall, cfg.broadcast_latency() + cfg.reduction_latency());
+}
+
+}  // namespace
+}  // namespace masc::net

@@ -1,0 +1,283 @@
+// Pipeline hazard timing: the paper's Fig. 2 scenarios, cycle-exact.
+//
+// Fig. 2 assumes two broadcast stages (B1-B2) and four reduction stages
+// (R1-R4). We reproduce that with p = 16 PEs, broadcast arity k = 4
+// (b = ceil(log4 16) = 2) and r = ceil(log2 16) = 4.
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hpp"
+#include "test_util.hpp"
+
+namespace masc {
+namespace {
+
+MachineConfig fig2_config() {
+  MachineConfig cfg;
+  cfg.num_pes = 16;
+  cfg.broadcast_arity = 4;
+  cfg.num_threads = 16;
+  cfg.word_width = 16;
+  cfg.local_mem_bytes = 256;
+  return cfg;
+}
+
+/// Run with tracing; returns the machine.
+Machine traced(const MachineConfig& cfg, const std::string& src) {
+  Machine m(cfg);
+  m.enable_trace();
+  m.load(assemble(src));
+  EXPECT_TRUE(m.run(100000));
+  return m;
+}
+
+const TraceEntry& entry_for(const Machine& m, const char* mnemonic_prefix) {
+  for (const auto& e : m.trace()) {
+    const std::string d = disassemble(e.instr);
+    if (d.rfind(mnemonic_prefix, 0) == 0) return e;
+  }
+  throw std::runtime_error(std::string("no trace entry for ") + mnemonic_prefix);
+}
+
+TEST(Fig2Config, LatenciesMatchThePaperFigure) {
+  const auto cfg = fig2_config();
+  EXPECT_EQ(cfg.broadcast_latency(), 2u);
+  EXPECT_EQ(cfg.reduction_latency(), 4u);
+}
+
+// --- Fig. 2 top: broadcast hazard, eliminated by EX->B1 forwarding --------
+TEST(Fig2, BroadcastHazardForwardingAvoidsStall) {
+  auto m = traced(fig2_config(), R"(
+    li r2, 30
+    li r3, 10
+    sub r1, r2, r3
+    padds p1, r1, p2    # consumes r1 at B1; forwarded from SUB's EX
+    halt
+)");
+  const auto& sub = entry_for(m, "sub");
+  const auto& padd = entry_for(m, "padds");
+  // Back-to-back issue: no stall at all.
+  EXPECT_EQ(padd.issue, sub.issue + 1);
+  EXPECT_EQ(m.stats().idle_cycles, 0u);
+}
+
+// --- Fig. 2 middle: reduction hazard, stalls b + r cycles ------------------
+TEST(Fig2, ReductionHazardStallsBPlusR) {
+  const auto cfg = fig2_config();
+  auto m = traced(cfg, R"(
+    pindex p2
+    li r2, 1
+    rmax r1, p2
+    sub r3, r1, r2      # scalar consumer of the reduction result
+    halt
+)");
+  const auto& rmax = entry_for(m, "rmax");
+  const auto& sub = entry_for(m, "sub");
+  const unsigned b = cfg.broadcast_latency(), r = cfg.reduction_latency();
+  // Without the hazard SUB would issue at rmax.issue + 1; it stalls b + r.
+  EXPECT_EQ(sub.issue, rmax.issue + 1 + b + r);
+  EXPECT_EQ(sub.stalled_on, StallCause::kReductionHazard);
+  EXPECT_EQ(m.state().sreg(0, 3), 14u);  // max(index)=15, minus 1
+  EXPECT_EQ(m.stats().idle_by_cause[static_cast<std::size_t>(
+                StallCause::kReductionHazard)], static_cast<std::uint64_t>(b + r));
+}
+
+// --- Fig. 2 bottom: broadcast-reduction hazard ------------------------------
+TEST(Fig2, BroadcastReductionHazardStallsBPlusR) {
+  const auto cfg = fig2_config();
+  auto m = traced(cfg, R"(
+    pindex p2
+    rmax r1, p2
+    padds p3, r1, p2    # parallel consumer: needs r1 at B1
+    halt
+)");
+  const auto& rmax = entry_for(m, "rmax");
+  const auto& padd = entry_for(m, "padds");
+  const unsigned b = cfg.broadcast_latency(), r = cfg.reduction_latency();
+  EXPECT_EQ(padd.issue, rmax.issue + 1 + b + r);
+  EXPECT_EQ(padd.stalled_on, StallCause::kBroadcastReductionHazard);
+  const auto v = m.state().read_preg_vector(0, 3);
+  for (PEIndex pe = 0; pe < 16; ++pe) EXPECT_EQ(v[pe], 15u + pe);
+}
+
+// --- The headline claim: multithreading hides the reduction stalls ---------
+TEST(Fig2, MultithreadingHidesReductionHazard) {
+  // Two threads run the same reduction-dependent sequence; the second
+  // thread's instructions fill the first thread's stall cycles.
+  const auto cfg = fig2_config();
+  auto m = traced(cfg, R"(
+main:
+    la r1, worker
+    tspawn r2, r1
+    pindex p2
+    rmax r1, p2
+    sub r3, r1, r0
+    tjoin r2
+    halt
+worker:
+    pindex p2
+    rmin r1, p2
+    sub r3, r1, r0
+    texit
+)");
+  // Thread 0 still waits b+r for its own SUB, but the worker issues in
+  // between, so fewer cycles are idle than in the single-thread runs.
+  const auto& st = m.stats();
+  EXPECT_GT(st.issued_by_thread[1], 0u);
+  const auto idle_reduction =
+      st.idle_by_cause[static_cast<std::size_t>(StallCause::kReductionHazard)];
+  EXPECT_LT(idle_reduction, 2u * (cfg.broadcast_latency() + cfg.reduction_latency()));
+}
+
+// --- Hazard latency scales with machine size -------------------------------
+class ReductionLatencyScaling : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ReductionLatencyScaling, StallEqualsBPlusRForAllSizes) {
+  const std::uint32_t p = GetParam();
+  MachineConfig cfg;
+  cfg.num_pes = p;
+  cfg.word_width = 16;
+  cfg.num_threads = 4;
+  cfg.local_mem_bytes = 64;
+  Machine m(cfg);
+  m.enable_trace();
+  m.load(assemble(R"(
+    pindex p2
+    rsum r1, p2
+    addi r3, r1, 0
+    halt
+)"));
+  ASSERT_TRUE(m.run(100000));
+  const auto& red = entry_for(m, "rsum");
+  const auto& cons = entry_for(m, "addi");
+  EXPECT_EQ(cons.issue - red.issue - 1,
+            cfg.broadcast_latency() + cfg.reduction_latency())
+      << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(PeCounts, ReductionLatencyScaling,
+                         ::testing::Values(1u, 2u, 4u, 16u, 64u, 256u, 1024u));
+
+// --- Closed-form cycle count of the reduction-chain loop -------------------
+// One iteration of {rsum; add; addi; bne-taken} on a single thread costs
+// exactly (b + r) + 7 cycles: the add waits b+r+1 after the rsum's issue,
+// addi and bne follow back-to-back, and the taken branch costs 3 bubbles.
+class ReductionChainClosedForm
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(ReductionChainClosedForm, CyclesMatchFormula) {
+  const auto [p, k] = GetParam();
+  MachineConfig cfg;
+  cfg.num_pes = p;
+  cfg.broadcast_arity = k;
+  cfg.word_width = 16;
+  cfg.num_threads = 1;
+  cfg.local_mem_bytes = 64;
+  constexpr unsigned kIters = 32;
+  Machine m(cfg);
+  m.load(assemble(R"(
+    pindex p1
+    li r2, 32
+    li r1, 0
+loop:
+    rsum r3, p1
+    add r4, r4, r3
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+)"));
+  ASSERT_TRUE(m.run(10'000'000));
+  const unsigned br = cfg.broadcast_latency() + cfg.reduction_latency();
+  // Prologue: pindex at 0, li at 1, li at 2; first rsum at 3. Each
+  // iteration advances the thread by br + 7 cycles except the last
+  // (untaken branch: 1 bubble, then halt issues, +4 drain).
+  const Cycle expected = 3 + (kIters - 1) * (br + 7) + (br + 5) + 4;
+  EXPECT_EQ(m.stats().cycles, expected) << "p=" << p << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReductionChainClosedForm,
+    ::testing::Values(std::pair{4u, 2u}, std::pair{16u, 2u}, std::pair{16u, 4u},
+                      std::pair{64u, 2u}, std::pair{64u, 8u},
+                      std::pair{256u, 4u}, std::pair{1024u, 2u}));
+
+// --- Resolver output feeds parallel consumers without CU round-trip --------
+TEST(Hazards, ResolverToParallelConsumerLatency) {
+  const auto cfg = fig2_config();
+  auto m = traced(cfg, R"(
+    pindex p1
+    li r1, 8
+    pcles pf1, r1, p1
+    rsel pf2, pf1
+    pmovi p3, 1 ?pf2     # masked by the resolver output
+    halt
+)");
+  const auto& rsel = entry_for(m, "rsel");
+  const auto& pmov = entry_for(m, "pmovi");
+  // rsel's parallel flag is ready at issue + b + r + 1; the consumer
+  // needs it at its PE-read point (issue + b + 1), so the gap is r.
+  EXPECT_EQ(pmov.issue, rsel.issue + cfg.reduction_latency());
+  // Functional check: only PE 8 (the first responder of pe >= 8) is set.
+  const auto v = m.state().read_preg_vector(0, 3);
+  for (PEIndex pe = 0; pe < 16; ++pe) EXPECT_EQ(v[pe], pe == 8 ? 1u : 0u);
+}
+
+// --- Dependent parallel chain keeps full rate (PE-internal forwarding) -----
+TEST(Hazards, DependentParallelChainBackToBack) {
+  auto m = traced(fig2_config(), R"(
+    pindex p1
+    paddi p1, p1, 1
+    paddi p1, p1, 1
+    paddi p1, p1, 1
+    halt
+)");
+  const auto& tr = m.trace();
+  ASSERT_GE(tr.size(), 4u);
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_EQ(tr[i].issue, tr[i - 1].issue + 1) << "i=" << i;
+}
+
+// --- Parallel load-use stalls one cycle in the PEs -------------------------
+TEST(Hazards, ParallelLoadUseOneBubble) {
+  auto m = traced(fig2_config(), R"(
+    pindex p1
+    psw p1, 0(p0)
+    plw p2, 0(p0)
+    paddi p3, p2, 1
+    halt
+)");
+  const auto& load = entry_for(m, "plw");
+  const auto& use = entry_for(m, "paddi");
+  EXPECT_EQ(use.issue, load.issue + 2);
+}
+
+// --- Scalar-to-parallel data also forwards (broadcast hazard, PMOV form) ---
+TEST(Hazards, BroadcastMoveForwardsFromScalarEx) {
+  auto m = traced(fig2_config(), R"(
+    li r1, 42
+    pbcast p1, r1
+    halt
+)");
+  const auto& li = entry_for(m, "addi");  // li assembles to addi
+  const auto& bc = entry_for(m, "pbcast");
+  EXPECT_EQ(bc.issue, li.issue + 1);
+}
+
+// --- GETPE behaves as a reduction for hazard purposes ----------------------
+TEST(Hazards, GetPeStallsLikeReduction) {
+  const auto cfg = fig2_config();
+  auto m = traced(cfg, R"(
+    pindex p1
+    li r1, 3
+    getpe r2, p1, r1
+    addi r3, r2, 0
+    halt
+)");
+  const auto& get = entry_for(m, "getpe");
+  const auto& use = entry_for(m, "addi r3");
+  EXPECT_EQ(use.issue - get.issue - 1,
+            cfg.broadcast_latency() + cfg.reduction_latency());
+  EXPECT_EQ(m.state().sreg(0, 3), 3u);
+}
+
+}  // namespace
+}  // namespace masc

@@ -1,0 +1,97 @@
+// Associative Quickhull: correctness against Andrew's monotone chain.
+#include "asclib/algorithms/hull.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hpp"
+
+namespace masc::asc {
+namespace {
+
+MachineConfig cfg(std::uint32_t pes = 32) {
+  MachineConfig c;
+  c.num_pes = pes;
+  c.word_width = 32;  // roomy cross products
+  c.local_mem_bytes = 512;
+  return c;
+}
+
+using PointSet = std::set<AscHull::Point>;
+
+PointSet as_set(const std::vector<AscHull::Point>& v) {
+  return PointSet(v.begin(), v.end());
+}
+
+TEST(Hull, Square) {
+  const std::vector<AscHull::Point> pts = {
+      {0, 0}, {10, 0}, {10, 10}, {0, 10}, {5, 5}, {3, 7}};
+  AscHull hull(cfg(), pts);
+  const auto r = hull.run();
+  EXPECT_EQ(as_set(r.hull),
+            (PointSet{{0, 0}, {10, 0}, {10, 10}, {0, 10}}));
+}
+
+TEST(Hull, Triangle) {
+  const std::vector<AscHull::Point> pts = {{0, 0}, {20, 5}, {8, 30}, {9, 10}, {10, 12}};
+  AscHull hull(cfg(), pts);
+  const auto r = hull.run();
+  EXPECT_EQ(as_set(r.hull), (PointSet{{0, 0}, {20, 5}, {8, 30}}));
+}
+
+TEST(Hull, CollinearPointsExcluded) {
+  // All interior collinear points are not hull vertices.
+  const std::vector<AscHull::Point> pts = {
+      {0, 0}, {10, 10}, {2, 2}, {5, 5}, {0, 10}};
+  AscHull hull(cfg(), pts);
+  const auto r = hull.run();
+  EXPECT_EQ(as_set(r.hull), (PointSet{{0, 0}, {10, 10}, {0, 10}}));
+}
+
+TEST(Hull, MatchesReferenceOnRandomSets) {
+  Rng rng(0x4011);
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::size_t n = 8 + rng.next_below(24);
+    std::vector<AscHull::Point> pts;
+    std::set<AscHull::Point> seen;
+    while (pts.size() < n) {
+      AscHull::Point p{rng.next_word(7), rng.next_word(7)};
+      if (seen.insert(p).second) pts.push_back(p);
+    }
+    AscHull hull(cfg(), pts);
+    const auto r = hull.run();
+    const auto ref = AscHull::reference_hull(pts);
+    EXPECT_EQ(as_set(r.hull), as_set(ref)) << "iter " << iter << " n=" << n;
+  }
+}
+
+TEST(Hull, WorksOn16BitWordsWithSmallCoords) {
+  auto c = cfg();
+  c.word_width = 16;  // 2*100^2 = 20000 < 32767: still safe
+  const std::vector<AscHull::Point> pts = {
+      {0, 0}, {100, 0}, {50, 100}, {50, 40}, {20, 10}};
+  AscHull hull(c, pts);
+  const auto r = hull.run();
+  EXPECT_EQ(as_set(r.hull), (PointSet{{0, 0}, {100, 0}, {50, 100}}));
+}
+
+TEST(Hull, RejectsOverflowingCoordinates) {
+  auto c = cfg();
+  c.word_width = 16;
+  const std::vector<AscHull::Point> pts = {{0, 0}, {200, 0}, {50, 200}};
+  EXPECT_THROW(AscHull(c, pts), SimulationError);
+}
+
+TEST(Hull, RejectsTooFewPoints) {
+  EXPECT_THROW(AscHull(cfg(), {{0, 0}, {1, 1}}), SimulationError);
+}
+
+TEST(Hull, ReferenceHullSanity) {
+  const auto ref = AscHull::reference_hull(
+      {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}});
+  EXPECT_EQ(as_set(ref), (PointSet{{0, 0}, {4, 0}, {4, 4}, {0, 4}}));
+}
+
+}  // namespace
+}  // namespace masc::asc

@@ -1,0 +1,168 @@
+// Cross-configuration machine invariants: accounting identities and
+// monotonicity properties that must hold for any program on any shape.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace masc {
+namespace {
+
+/// The multithreaded query-mix workload from the bench harness, inlined
+/// so the tests stay self-contained: every thread runs fixed work.
+std::string workload(unsigned iters) {
+  return R"(
+main:
+    nthreads r1
+    li r2, 1
+    la r3, worker
+spawn:
+    bgeu r2, r1, body
+    tspawn r4, r3
+    addi r2, r2, 1
+    j spawn
+worker:
+body:
+    pindex p1
+    li r2, )" + std::to_string(iters) + R"(
+    li r1, 0
+loop:
+    pcgts pf1, r1, p1
+    rcount r3, pf1
+    add r4, r4, r3
+    paddi p2, p2, 1 ?pf1
+    addi r1, r1, 1
+    bne r1, r2, loop
+    texit
+)";
+}
+
+struct Shape {
+  std::uint32_t pes;
+  std::uint32_t threads;
+  std::uint32_t arity;
+};
+
+class MachineInvariants : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(MachineInvariants, AccountingIdentities) {
+  const auto [pes, threads, arity] = GetParam();
+  MachineConfig cfg;
+  cfg.num_pes = pes;
+  cfg.num_threads = threads;
+  cfg.broadcast_arity = arity;
+  cfg.word_width = 16;
+  cfg.local_mem_bytes = 64;
+  Machine m(cfg);
+  m.load(assemble(workload(24)));
+  ASSERT_TRUE(m.run(10'000'000));
+  const auto& st = m.stats();
+
+  // Single-issue: every cycle either issues one instruction or idles
+  // (no drain cycles here — the machine ends by thread exit).
+  EXPECT_EQ(st.cycles, st.instructions + st.idle_cycles);
+
+  // Idle attribution sums to the idle total.
+  std::uint64_t idle_sum = 0;
+  for (const auto n : st.idle_by_cause) idle_sum += n;
+  EXPECT_EQ(idle_sum, st.idle_cycles);
+
+  // Per-thread issues sum to the instruction count.
+  std::uint64_t by_thread = 0;
+  for (const auto n : st.issued_by_thread) by_thread += n;
+  EXPECT_EQ(by_thread, st.instructions);
+
+  // Class counts sum to the instruction count; network utilization
+  // counters follow the classes.
+  EXPECT_EQ(st.issued(InstrClass::kScalar) + st.issued(InstrClass::kParallel) +
+                st.issued(InstrClass::kReduction),
+            st.instructions);
+  EXPECT_EQ(st.broadcast_ops,
+            st.issued(InstrClass::kParallel) + st.issued(InstrClass::kReduction));
+  EXPECT_EQ(st.reduction_ops, st.issued(InstrClass::kReduction));
+
+  EXPECT_LE(st.ipc(), 1.0);  // single issue port
+}
+
+TEST_P(MachineInvariants, MoreThreadsNeverMoreCycles) {
+  const auto [pes, threads, arity] = GetParam();
+  auto run_with = [&](std::uint32_t t) {
+    MachineConfig cfg;
+    cfg.num_pes = pes;
+    cfg.num_threads = t;
+    cfg.broadcast_arity = arity;
+    cfg.word_width = 16;
+    cfg.local_mem_bytes = 64;
+    Machine m(cfg);
+    // Same total work regardless of thread count.
+    m.load(assemble(R"(
+main:
+    nthreads r5
+    li r6, 96
+    divu r7, r6, r5
+    nthreads r1
+    li r2, 1
+    la r3, worker
+spawn:
+    bgeu r2, r1, body
+    tspawn r4, r3
+    addi r2, r2, 1
+    j spawn
+worker:
+body:
+    nthreads r5
+    li r6, 96
+    divu r2, r6, r5
+    pindex p1
+    li r1, 0
+loop:
+    rsum r3, p1
+    add r4, r4, r3
+    addi r1, r1, 1
+    bne r1, r2, loop
+    texit
+)"));
+    EXPECT_TRUE(m.run(10'000'000));
+    return m.stats().cycles;
+  };
+  // Doubling thread contexts (same reduction work) must not slow the
+  // machine beyond the extra per-thread spawn/prologue instructions
+  // (~12 issues per additional context on this kernel).
+  if (threads >= 2)
+    EXPECT_LE(run_with(threads), run_with(threads / 2) + 12ull * threads);
+}
+
+TEST_P(MachineInvariants, SingleThreadProgramUnaffectedByContextCount) {
+  const auto [pes, threads, arity] = GetParam();
+  auto cycles_with = [&](std::uint32_t t) {
+    MachineConfig cfg;
+    cfg.num_pes = pes;
+    cfg.num_threads = t;
+    cfg.broadcast_arity = arity;
+    cfg.word_width = 16;
+    cfg.local_mem_bytes = 64;
+    Machine m(cfg);
+    m.load(assemble(R"(
+    pindex p1
+    li r2, 16
+    li r1, 0
+loop:
+    rsum r3, p1
+    add r4, r4, r3
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+)"));
+    EXPECT_TRUE(m.run(1'000'000));
+    return m.stats().cycles;
+  };
+  // Idle hardware contexts cost nothing.
+  EXPECT_EQ(cycles_with(1), cycles_with(threads));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MachineInvariants,
+    ::testing::Values(Shape{4, 2, 2}, Shape{16, 4, 2}, Shape{16, 16, 4},
+                      Shape{64, 8, 2}, Shape{256, 16, 8}, Shape{1024, 16, 2}));
+
+}  // namespace
+}  // namespace masc

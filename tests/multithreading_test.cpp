@@ -1,0 +1,263 @@
+// Fine-grain multithreading: scheduling, fairness, thread lifecycle,
+// inter-thread communication (paper §5, §6.3).
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace masc {
+namespace {
+
+using test::run_program;
+using test::small_config;
+
+// A worker that runs an independent reduction chain `r7` times, indexed
+// by a per-thread output slot in r6.
+const char* kReductionFarm = R"(
+main:
+    nthreads r1
+    li r2, 1            # next thread id to spawn (ids are allocated in order)
+    la r3, worker
+spawn_loop:
+    bgeu r2, r1, spawned
+    tspawn r4, r3
+    addi r2, r2, 1
+    j spawn_loop
+spawned:
+    li r2, 1
+join_loop:
+    bgeu r2, r1, joined
+    tjoin r2
+    addi r2, r2, 1
+    j join_loop
+joined:
+    halt
+
+worker:
+    tid r6
+    li r7, 8            # iterations
+    pindex p1
+    li r5, 0
+wloop:
+    rsum r4, p1         # reduction...
+    add r5, r5, r4      # ...immediately consumed: b+r stall if alone
+    addi r7, r7, -1
+    bne r7, r0, wloop
+    sw r5, 0(r6)        # result at address = thread id
+    texit
+)";
+
+TEST(Multithreading, ReductionFarmCorrectAcrossThreads) {
+  auto cfg = small_config();
+  cfg.num_threads = 4;
+  auto m = run_program(cfg, kReductionFarm);
+  // Each worker accumulates 8 * sum(0..7) = 224.
+  for (ThreadId t = 1; t < 4; ++t)
+    EXPECT_EQ(m.state().scalar_mem(t), 224u) << "thread " << t;
+}
+
+TEST(Multithreading, MoreThreadsFewerIdleCycles) {
+  // The paper's core claim (§5): TLP hides reduction-hazard stalls.
+  // Identical per-thread work; more threads => better issue utilization.
+  std::vector<double> idle_fraction;
+  for (std::uint32_t threads : {2u, 4u}) {
+    MachineConfig cfg;
+    cfg.num_pes = 64;  // b+r = 6+6 = 12 at k=2
+    cfg.word_width = 16;
+    cfg.num_threads = threads;
+    cfg.local_mem_bytes = 64;
+    auto m = run_program(cfg, kReductionFarm);
+    idle_fraction.push_back(
+        static_cast<double>(m.stats().idle_cycles) /
+        static_cast<double>(m.stats().cycles));
+  }
+  EXPECT_GT(idle_fraction[0], idle_fraction[1]);
+}
+
+TEST(Multithreading, RotatingPriorityIsFair) {
+  // All threads run the same infinite independent loop for a fixed
+  // horizon; issue counts must be near-equal (rotating priority, §6.3).
+  auto cfg = small_config();
+  cfg.num_threads = 4;
+  Machine m(cfg);
+  m.load(assemble(R"(
+main:
+    la r1, worker
+    tspawn r2, r1
+    tspawn r2, r1
+    tspawn r2, r1
+worker:                  # main falls through and loops too
+loop:
+    addi r3, r3, 1
+    addi r4, r4, 1
+    addi r5, r5, 1
+    j loop
+)"));
+  m.run(4000);
+  const auto& by_thread = m.stats().issued_by_thread;
+  const auto mx = *std::max_element(by_thread.begin(), by_thread.end());
+  const auto mn = *std::min_element(by_thread.begin(), by_thread.end());
+  // Spawn staggering costs a few issues; beyond that, equal shares.
+  EXPECT_LT(mx - mn, 40u);
+  EXPECT_GT(mn, 800u);
+}
+
+TEST(Multithreading, SingleThreadStillSaturatesWithIndependentWork) {
+  // Control: a single thread with no hazards issues every cycle.
+  auto cfg = small_config();
+  Machine m(cfg);
+  m.load(assemble(R"(
+loop:
+    addi r3, r3, 1
+    addi r4, r4, 1
+    addi r5, r5, 1
+    addi r6, r6, 1
+    addi r7, r7, 1
+    addi r3, r3, 1
+    addi r4, r4, 1
+    addi r5, r5, 1
+    j loop
+)"));
+  m.run(2000);
+  // 9 issues (8 addi + j) per 12-cycle loop period (3-cycle jump penalty).
+  EXPECT_NEAR(m.stats().ipc(), 9.0 / 12.0, 0.02);
+}
+
+TEST(Multithreading, TputOrderedBeforeChildReads) {
+  // Parent transfers an argument into the child's register file before
+  // the child can consume it: the scoreboard's cross-thread write entry
+  // must delay the child's read.
+  auto cfg = small_config();
+  auto m = run_program(cfg, R"(
+main:
+    la r1, child
+    tspawn r2, r1
+    li r3, 123
+    tput r5, r3, r2      # child.r5 <- 123
+    tjoin r2
+    halt
+child:
+    sw r5, 4(r0)
+    texit
+)");
+  EXPECT_EQ(m.state().scalar_mem(4), 123u);
+}
+
+TEST(Multithreading, TgetReadsChildRegister) {
+  auto m = run_program(small_config(), R"(
+main:
+    la r1, child
+    tspawn r2, r1
+    tjoin r2
+    li r4, 7             # r4 = register *number* selector comes from rs field
+    tget r6, r7, r2      # r6 <- child.r7
+    sw r6, 9(r0)
+    halt
+child:
+    li r7, 31
+    texit
+)");
+  EXPECT_EQ(m.state().scalar_mem(9), 31u);
+}
+
+TEST(Multithreading, JoinOnExitedThreadDoesNotBlock) {
+  auto m = run_program(small_config(), R"(
+main:
+    la r1, child
+    tspawn r2, r1
+    tjoin r2
+    tjoin r2             # second join: context already free, no block
+    li r3, 5
+    halt
+child:
+    texit
+)");
+  EXPECT_EQ(m.state().sreg(0, 3), 5u);
+}
+
+TEST(Multithreading, ThreadIdsReusedAfterExit) {
+  auto cfg = small_config();
+  cfg.num_threads = 2;
+  auto m = run_program(cfg, R"(
+main:
+    la r1, child
+    tspawn r2, r1        # thread 1
+    tjoin r2
+    tspawn r3, r1        # context 1 free again -> thread 1 again
+    tjoin r3
+    halt
+child:
+    texit
+)");
+  EXPECT_EQ(m.state().sreg(0, 2), 1u);
+  EXPECT_EQ(m.state().sreg(0, 3), 1u);
+}
+
+TEST(Multithreading, JoinWaitCyclesAttributed) {
+  auto m = run_program(small_config(), R"(
+main:
+    la r1, child
+    tspawn r2, r1
+    tjoin r2
+    halt
+child:
+    li r3, 1
+    li r3, 2
+    li r3, 3
+    texit
+)");
+  const auto& stalls = m.stats().thread_stalls[0];
+  EXPECT_GT(stalls[static_cast<std::size_t>(StallCause::kJoinWait)], 0u);
+}
+
+TEST(Multithreading, PerThreadParallelRegistersAreIsolated) {
+  // Each thread owns a split of the PE register file (paper §6.2).
+  auto m = run_program(small_config(), R"(
+main:
+    la r1, child
+    tspawn r2, r1
+    pmovi p1, 11
+    tjoin r2
+    rmax r3, p1          # must still see 11, not the child's 22
+    halt
+child:
+    pmovi p1, 22
+    texit
+)");
+  EXPECT_EQ(m.state().sreg(0, 3), 11u);
+}
+
+TEST(Multithreading, LocalMemorySharedBetweenThreads) {
+  // Local memory is shared at the hardware level (paper §6.2).
+  auto m = run_program(small_config(), R"(
+main:
+    la r1, child
+    tspawn r2, r1
+    tjoin r2
+    plw p2, 7(p0)
+    rmax r3, p2
+    halt
+child:
+    pindex p1
+    psw p1, 7(p0)
+    texit
+)");
+  EXPECT_EQ(m.state().sreg(0, 3), 7u);
+}
+
+TEST(Multithreading, DisabledMultithreadingHasOneContext) {
+  auto cfg = small_config();
+  cfg.multithreading = false;
+  Machine m(cfg);
+  m.load(assemble(R"(
+    la r1, child
+    tspawn r2, r1        # must fail: only context 0 exists
+    halt
+child:
+    texit
+)"));
+  ASSERT_TRUE(m.run());
+  EXPECT_EQ(m.state().sreg(0, 2), 0xFFFFu);
+}
+
+}  // namespace
+}  // namespace masc

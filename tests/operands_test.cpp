@@ -1,0 +1,116 @@
+#include "isa/operands.hpp"
+
+#include <gtest/gtest.h>
+
+namespace masc {
+namespace {
+
+bool reads_contains(const OperandInfo& info, RegSpace space, RegNum num) {
+  for (std::uint32_t i = 0; i < info.num_reads; ++i)
+    if (info.reads[i].ref == RegRef{space, num}) return true;
+  return false;
+}
+
+ReadPoint read_point_of(const OperandInfo& info, RegSpace space, RegNum num) {
+  for (std::uint32_t i = 0; i < info.num_reads; ++i)
+    if (info.reads[i].ref == RegRef{space, num}) return info.reads[i].at;
+  ADD_FAILURE() << "operand not found";
+  return ReadPoint::kScalarEx;
+}
+
+TEST(Operands, ScalarAluReadsAtEx) {
+  const auto info = operands_of(ir::salu(AluFunct::kAdd, 1, 2, 3));
+  EXPECT_EQ(info.num_reads, 2u);
+  EXPECT_TRUE(reads_contains(info, RegSpace::kScalarGpr, 2));
+  EXPECT_TRUE(reads_contains(info, RegSpace::kScalarGpr, 3));
+  EXPECT_EQ(read_point_of(info, RegSpace::kScalarGpr, 2), ReadPoint::kScalarEx);
+  ASSERT_TRUE(info.write.has_value());
+  EXPECT_EQ(*info.write, (RegRef{RegSpace::kScalarGpr, 1}));
+}
+
+TEST(Operands, BroadcastScalarOperandConsumedAtB1) {
+  // The defining property of the broadcast hazard (paper §4.2): the
+  // scalar operand of a parallel instruction is needed at the first
+  // broadcast stage.
+  const auto info = operands_of(ir::palus(AluFunct::kAdd, 1, 4, 2));
+  EXPECT_EQ(read_point_of(info, RegSpace::kScalarGpr, 4), ReadPoint::kBroadcast);
+  EXPECT_EQ(read_point_of(info, RegSpace::kParallelGpr, 2),
+            ReadPoint::kParallelRead);
+}
+
+TEST(Operands, MaskIsAParallelFlagRead) {
+  const auto info = operands_of(ir::palu(AluFunct::kAdd, 1, 2, 3, 5));
+  EXPECT_TRUE(reads_contains(info, RegSpace::kParallelFlag, 5));
+}
+
+TEST(Operands, DefaultMaskIsHardwired) {
+  const auto info = operands_of(ir::palu(AluFunct::kAdd, 1, 2, 3, 0));
+  // pf0 appears as a read but is hardwired — never a dependency.
+  EXPECT_TRUE(reads_contains(info, RegSpace::kParallelFlag, 0));
+  for (std::uint32_t i = 0; i < info.num_reads; ++i)
+    if (info.reads[i].ref.space == RegSpace::kParallelFlag)
+      EXPECT_TRUE(info.reads[i].ref.hardwired());
+}
+
+TEST(Operands, ReductionWritesScalarReadsParallel) {
+  const auto info = operands_of(ir::red(RedFunct::kMax, 5, 3));
+  EXPECT_TRUE(reads_contains(info, RegSpace::kParallelGpr, 3));
+  ASSERT_TRUE(info.write.has_value());
+  EXPECT_EQ(info.write->space, RegSpace::kScalarGpr);
+}
+
+TEST(Operands, FlagReductionWritesScalarFlag) {
+  const auto info = operands_of(ir::red(RedFunct::kFOr, 2, 3));
+  ASSERT_TRUE(info.write.has_value());
+  EXPECT_EQ(info.write->space, RegSpace::kScalarFlag);
+  EXPECT_TRUE(reads_contains(info, RegSpace::kParallelFlag, 3));
+}
+
+TEST(Operands, ResolverWritesParallelFlag) {
+  const auto info = operands_of(ir::rsel(RSelFunct::kFirst, 2, 3));
+  ASSERT_TRUE(info.write.has_value());
+  EXPECT_EQ(info.write->space, RegSpace::kParallelFlag);
+  EXPECT_EQ(info.write->num, 2u);
+}
+
+TEST(Operands, GetPeIndexConsumedAtB1) {
+  const auto info = operands_of(ir::red(RedFunct::kGetPe, 1, 2, 3));
+  EXPECT_EQ(read_point_of(info, RegSpace::kScalarGpr, 3), ReadPoint::kBroadcast);
+}
+
+TEST(Operands, StoreReadsBothRegisters) {
+  const auto info = operands_of(ir::sw(4, 2, 0));
+  EXPECT_TRUE(reads_contains(info, RegSpace::kScalarGpr, 4));
+  EXPECT_TRUE(reads_contains(info, RegSpace::kScalarGpr, 2));
+  EXPECT_FALSE(info.write.has_value());
+}
+
+TEST(Operands, MulDivFlagsSet) {
+  EXPECT_TRUE(operands_of(ir::salu(AluFunct::kMul, 1, 2, 3)).uses_scalar_mul);
+  EXPECT_TRUE(operands_of(ir::salu(AluFunct::kRem, 1, 2, 3)).uses_scalar_div);
+  EXPECT_TRUE(operands_of(ir::palu(AluFunct::kMul, 1, 2, 3)).uses_pe_mul);
+  EXPECT_TRUE(operands_of(ir::palus(AluFunct::kDiv, 1, 2, 3)).uses_pe_div);
+  EXPECT_FALSE(operands_of(ir::salu(AluFunct::kAdd, 1, 2, 3)).uses_scalar_mul);
+}
+
+TEST(Operands, FlagSetHasNoReads) {
+  const auto info = operands_of(ir::sflag(FlagFunct::kSet, 3, 0, 0));
+  EXPECT_EQ(info.num_reads, 0u);
+  ASSERT_TRUE(info.write.has_value());
+  EXPECT_EQ(info.write->space, RegSpace::kScalarFlag);
+}
+
+TEST(Operands, BranchesReadButDontWrite) {
+  const auto info = operands_of(ir::branch(Opcode::kBlt, 1, 2, -3));
+  EXPECT_EQ(info.num_reads, 2u);
+  EXPECT_FALSE(info.write.has_value());
+}
+
+TEST(Operands, PMoviReadsOnlyMask) {
+  const auto info = operands_of(ir::pimm(PImmOp::kMovi, 1, 0, 7, 2));
+  EXPECT_EQ(info.num_reads, 1u);  // just the mask flag
+  EXPECT_TRUE(reads_contains(info, RegSpace::kParallelFlag, 2));
+}
+
+}  // namespace
+}  // namespace masc

@@ -1,0 +1,93 @@
+#include "assembler/program_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "assembler/assembler.hpp"
+#include "common/error.hpp"
+
+namespace masc {
+namespace {
+
+Program sample() {
+  return assemble(R"(
+    .entry main
+    nop
+main:
+    li r1, 7
+    la r2, tbl
+    lw r3, 0(r2)
+    rsum r13, p1
+    halt
+    .data
+tbl: .word 5, 6, 7
+)");
+}
+
+TEST(ProgramIo, SaveLoadRoundTrip) {
+  const Program p = sample();
+  std::stringstream ss;
+  save_program(ss, p);
+  const Program q = load_program(ss);
+  EXPECT_EQ(q.text, p.text);
+  EXPECT_EQ(q.data, p.data);
+  EXPECT_EQ(q.entry, p.entry);
+  EXPECT_EQ(q.symbols, p.symbols);
+}
+
+TEST(ProgramIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOTMASC!0000000000000000";
+  EXPECT_THROW(load_program(ss), AssemblyError);
+}
+
+TEST(ProgramIo, RejectsTruncated) {
+  const Program p = sample();
+  std::stringstream ss;
+  save_program(ss, p);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_program(cut), AssemblyError);
+}
+
+TEST(ProgramIo, RejectsImplausibleHeader) {
+  std::stringstream ss;
+  ss.write("MASCOBJ1", 8);
+  // entry = 0, text = 0xFFFFFFFF (implausible)
+  const char zeros[4] = {0, 0, 0, 0};
+  const char big[4] = {'\xFF', '\xFF', '\xFF', '\xFF'};
+  ss.write(zeros, 4);
+  ss.write(big, 4);
+  ss.write(zeros, 4);
+  ss.write(zeros, 4);
+  EXPECT_THROW(load_program(ss), AssemblyError);
+}
+
+TEST(ProgramIo, EmptyProgram) {
+  Program p;
+  std::stringstream ss;
+  save_program(ss, p);
+  const Program q = load_program(ss);
+  EXPECT_TRUE(q.text.empty());
+  EXPECT_TRUE(q.data.empty());
+}
+
+TEST(Listing, ContainsLabelsAndDisassembly) {
+  const auto text = render_listing(sample());
+  EXPECT_NE(text.find("main:"), std::string::npos);
+  EXPECT_NE(text.find("nop"), std::string::npos);
+  EXPECT_NE(text.find("rsum r13, p1"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+  EXPECT_NE(text.find("; entry: 1"), std::string::npos);
+  EXPECT_NE(text.find("data segment (3 words)"), std::string::npos);
+}
+
+TEST(Listing, MarksIllegalWords) {
+  Program p;
+  p.text = {0xFFFFFFFFu};
+  EXPECT_NE(render_listing(p).find("<illegal>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace masc

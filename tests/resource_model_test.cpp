@@ -1,0 +1,182 @@
+// FPGA resource model: exact reproduction of Table 1 and scaling
+// behaviour (paper §7, §9).
+#include "arch/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/fit.hpp"
+#include "test_util.hpp"
+
+namespace masc::arch {
+namespace {
+
+using masc::test::prototype_config;
+
+TEST(ResourceModel, Table1ControlUnit) {
+  const auto rep = ResourceModel::estimate(prototype_config());
+  EXPECT_EQ(rep.control_unit.logic_elements, 1897u);
+  EXPECT_EQ(rep.control_unit.ram_blocks, 8u);
+}
+
+TEST(ResourceModel, Table1PeArray) {
+  const auto rep = ResourceModel::estimate(prototype_config());
+  EXPECT_EQ(rep.pe_array.logic_elements, 5984u);
+  EXPECT_EQ(rep.pe_array.ram_blocks, 96u);
+}
+
+TEST(ResourceModel, Table1Network) {
+  const auto rep = ResourceModel::estimate(prototype_config());
+  EXPECT_EQ(rep.network.logic_elements, 1791u);
+  EXPECT_EQ(rep.network.ram_blocks, 0u);
+}
+
+TEST(ResourceModel, Table1Totals) {
+  const auto rep = ResourceModel::estimate(prototype_config());
+  EXPECT_EQ(rep.total().logic_elements, 9672u);
+  EXPECT_EQ(rep.total().ram_blocks, 104u);
+}
+
+TEST(ResourceModel, PrototypeFitsEp2c35) {
+  EXPECT_TRUE(ResourceModel::fits(prototype_config(), ep2c35()));
+}
+
+TEST(ResourceModel, RamBlocksLimitPeCount) {
+  // Paper §7: "The main factor that limits the number of PEs is the
+  // availability of RAM blocks."
+  auto cfg = prototype_config();
+  cfg.num_pes = 17;
+  EXPECT_EQ(ResourceModel::limiting_resource(cfg, ep2c35()),
+            LimitingResource::kRam);
+}
+
+TEST(ResourceModel, MaxPesOnPrototypeDeviceIsExactlySixteen) {
+  const auto fit = max_pes_on_device(prototype_config(), ep2c35());
+  EXPECT_EQ(fit.max_pes, 16u);
+  EXPECT_EQ(fit.limited_by, LimitingResource::kRam);
+  EXPECT_EQ(fit.usage_at_max.total().ram_blocks, 104u);
+}
+
+TEST(ResourceModel, LogicElementsScaleLinearlyInPes) {
+  auto cfg = prototype_config();
+  const auto at16 = ResourceModel::estimate(cfg).pe_array.logic_elements;
+  cfg.num_pes = 32;
+  const auto at32 = ResourceModel::estimate(cfg).pe_array.logic_elements;
+  EXPECT_EQ(at32, 2 * at16);
+}
+
+TEST(ResourceModel, RamScalesWithLocalMemory) {
+  auto cfg = prototype_config();
+  cfg.local_mem_bytes = 2048;  // 2 KB/PE: +2 blocks per PE
+  const auto rep = ResourceModel::estimate(cfg);
+  EXPECT_EQ(rep.pe_array.ram_blocks, 96u + 2u * 16u);
+}
+
+TEST(ResourceModel, RamScalesWithThreads) {
+  // 4x the thread contexts pushes the per-PE parallel register file
+  // (16 regs x 64 threads x 8 bits = 8192 bits) past one M4K per replica.
+  auto cfg = prototype_config();
+  cfg.num_threads = 64;
+  const auto rep = ResourceModel::estimate(cfg);
+  EXPECT_GT(rep.pe_array.ram_blocks, 96u);
+  EXPECT_GT(rep.control_unit.logic_elements, 1897u);
+}
+
+TEST(ResourceModel, WiderWordsCostLogicAndRam) {
+  auto cfg = prototype_config();
+  cfg.word_width = 32;
+  const auto rep = ResourceModel::estimate(cfg);
+  const auto base = ResourceModel::estimate(prototype_config());
+  EXPECT_GT(rep.pe_array.logic_elements, base.pe_array.logic_elements);
+  EXPECT_GT(rep.network.logic_elements, base.network.logic_elements);
+  EXPECT_GT(rep.pe_array.ram_blocks, base.pe_array.ram_blocks);
+}
+
+TEST(ResourceModel, BroadcastArityReducesTreeNodes) {
+  auto cfg = prototype_config();
+  cfg.broadcast_arity = 4;
+  const auto k4 = ResourceModel::estimate(cfg).network.logic_elements;
+  EXPECT_LT(k4, ResourceModel::estimate(prototype_config())
+                    .network.logic_elements);
+}
+
+TEST(ResourceModel, LargerDeviceHoldsMorePes) {
+  const auto fit35 = max_pes_on_device(prototype_config(), ep2c35());
+  const auto fit70 = max_pes_on_device(prototype_config(), ep2c70());
+  EXPECT_GT(fit70.max_pes, fit35.max_pes);
+}
+
+TEST(ResourceModel, FitAcrossDevicesCoversKnownList) {
+  const auto fits = fit_across_devices(prototype_config());
+  EXPECT_EQ(fits.size(), known_devices().size());
+  for (const auto& [dev, fit] : fits)
+    EXPECT_GT(fit.max_pes, 0u) << dev.name;
+}
+
+TEST(ResourceModel, RenderContainsTableRows) {
+  const auto rep = ResourceModel::estimate(prototype_config());
+  const auto text = ResourceModel::render(rep, ep2c35());
+  EXPECT_NE(text.find("Control Unit"), std::string::npos);
+  EXPECT_NE(text.find("9672"), std::string::npos);
+  EXPECT_NE(text.find("104"), std::string::npos);
+  EXPECT_NE(text.find("33216"), std::string::npos);
+}
+
+// --- §9 alternative PE organizations ---------------------------------------
+
+TEST(ResourceModel, LutRamRegfileTradesBlocksForLogic) {
+  auto cfg = prototype_config();
+  cfg.regfile_impl = masc::RegFileImpl::kLutRam;
+  const auto alt = ResourceModel::estimate(cfg);
+  const auto base = ResourceModel::estimate(prototype_config());
+  EXPECT_EQ(alt.pe_array.ram_blocks, base.pe_array.ram_blocks - 3u * 16u);
+  EXPECT_GT(alt.pe_array.logic_elements, base.pe_array.logic_elements);
+}
+
+TEST(ResourceModel, LutRamCostGrowsWithThreads) {
+  // §6.2: distributed RAM "ruled out due to the need for large register
+  // files, in order to support a large number of hardware threads".
+  auto cfg = prototype_config();
+  cfg.regfile_impl = masc::RegFileImpl::kLutRam;
+  const auto at16 = ResourceModel::estimate(cfg).pe_array.logic_elements;
+  cfg.num_threads = 64;
+  const auto at64 = ResourceModel::estimate(cfg).pe_array.logic_elements;
+  EXPECT_GT(at64, at16 + 3u * 16u);
+}
+
+TEST(ResourceModel, FlipFlopFlagsFreeBlocks) {
+  auto cfg = prototype_config();
+  cfg.flagfile_impl = masc::FlagFileImpl::kFlipFlops;
+  const auto alt = ResourceModel::estimate(cfg);
+  const auto base = ResourceModel::estimate(prototype_config());
+  EXPECT_EQ(alt.pe_array.ram_blocks, base.pe_array.ram_blocks - 16u);
+  EXPECT_GT(alt.pe_array.logic_elements, base.pe_array.logic_elements);
+}
+
+TEST(ResourceModel, AlternativeOrganizationFitsMorePes) {
+  // The §9 hypothesis: spend idle logic to relieve the RAM wall.
+  auto cfg = prototype_config();
+  cfg.regfile_impl = masc::RegFileImpl::kLutRam;
+  cfg.flagfile_impl = masc::FlagFileImpl::kFlipFlops;
+  const auto alt = max_pes_on_device(cfg, ep2c35());
+  const auto base = max_pes_on_device(prototype_config(), ep2c35());
+  EXPECT_GT(alt.max_pes, base.max_pes);
+}
+
+TEST(ResourceModel, FalkoffUnitIsSmallerThanTree) {
+  auto cfg = prototype_config();
+  cfg.maxmin_unit = masc::MaxMinUnitKind::kFalkoff;
+  EXPECT_LT(ResourceModel::estimate(cfg).network.logic_elements,
+            ResourceModel::estimate(prototype_config()).network.logic_elements);
+}
+
+TEST(ResourceModel, SinglePeDegenerateCase) {
+  auto cfg = prototype_config();
+  cfg.num_pes = 1;
+  const auto rep = ResourceModel::estimate(cfg);
+  EXPECT_GT(rep.control_unit.logic_elements, 0u);
+  EXPECT_GT(rep.pe_array.ram_blocks, 0u);
+  EXPECT_GT(rep.network.logic_elements, 0u);  // residual interface logic
+}
+
+}  // namespace
+}  // namespace masc::arch

@@ -1,0 +1,189 @@
+// Disassembler / assembler round-trip: for every normalized instruction,
+// `assemble(disassemble(i))` must reproduce the identical encoding. This
+// pins the two ends of the toolchain against each other and effectively
+// fuzzes the whole mnemonic table.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "common/random.hpp"
+#include "isa/encoding.hpp"
+
+namespace masc {
+namespace {
+
+void check_roundtrip(const Instruction& in) {
+  const std::string text = disassemble(in);
+  Program prog;
+  ASSERT_NO_THROW(prog = assemble(text)) << "source: " << text;
+  ASSERT_EQ(prog.text.size(), 1u) << "source: " << text;
+  EXPECT_EQ(prog.text[0], encode(in)) << "source: " << text;
+}
+
+TEST(RoundTrip, System) {
+  check_roundtrip(ir::nop());
+  check_roundtrip(ir::halt());
+}
+
+TEST(RoundTrip, AllScalarAluFuncts) {
+  for (std::uint8_t f = 0; f < static_cast<std::uint8_t>(AluFunct::kCount); ++f) {
+    const auto fn = static_cast<AluFunct>(f);
+    check_roundtrip(ir::salu(fn, 1, 2, fn == AluFunct::kMov ? 0u : 3u));
+  }
+}
+
+TEST(RoundTrip, AllParallelAluFuncts) {
+  for (std::uint8_t f = 0; f < static_cast<std::uint8_t>(AluFunct::kCount); ++f) {
+    const auto fn = static_cast<AluFunct>(f);
+    const RegNum rt = fn == AluFunct::kMov ? 0u : 3u;
+    check_roundtrip(ir::palu(fn, 1, 2, rt));
+    check_roundtrip(ir::palu(fn, 1, 2, rt, /*mask=*/5));
+    if (fn != AluFunct::kMov) {
+      check_roundtrip(ir::palus(fn, 1, 2, 3));
+      check_roundtrip(ir::palus(fn, 1, 2, 3, /*mask=*/2));
+    }
+  }
+}
+
+TEST(RoundTrip, AllComparisons) {
+  for (std::uint8_t f = 0; f < static_cast<std::uint8_t>(CmpFunct::kCount); ++f) {
+    const auto fn = static_cast<CmpFunct>(f);
+    check_roundtrip(ir::scmp(fn, 1, 2, 3));
+    check_roundtrip(ir::pcmp(fn, 1, 2, 3, 4));
+    check_roundtrip(ir::pcmps(fn, 1, 2, 3));
+  }
+}
+
+TEST(RoundTrip, AllFlagOps) {
+  for (std::uint8_t f = 0; f < static_cast<std::uint8_t>(FlagFunct::kCount); ++f) {
+    const auto fn = static_cast<FlagFunct>(f);
+    RegNum fs = 2, ft = 3;
+    if (fn == FlagFunct::kNot || fn == FlagFunct::kMov) ft = 0;
+    if (fn == FlagFunct::kSet || fn == FlagFunct::kClr) fs = ft = 0;
+    check_roundtrip(ir::sflag(fn, 1, fs, ft));
+    check_roundtrip(ir::pflag(fn, 1, fs, ft, 2));
+  }
+}
+
+TEST(RoundTrip, AllImmediates) {
+  for (const Opcode op : {Opcode::kAddi, Opcode::kAndi, Opcode::kOri,
+                          Opcode::kXori, Opcode::kSlti, Opcode::kSltiu,
+                          Opcode::kSlli, Opcode::kSrli, Opcode::kSrai}) {
+    check_roundtrip(ir::imm_op(op, 1, 2, 5));
+    check_roundtrip(ir::imm_op(op, 1, 2, -5));
+  }
+}
+
+TEST(RoundTrip, AllParallelImmediates) {
+  for (std::uint8_t f = 0; f < static_cast<std::uint8_t>(PImmOp::kCount); ++f) {
+    const auto fn = static_cast<PImmOp>(f);
+    check_roundtrip(ir::pimm(fn, 1, fn == PImmOp::kMovi ? 0u : 2u, -9, 3));
+  }
+}
+
+TEST(RoundTrip, MemoryOps) {
+  check_roundtrip(ir::lw(2, 1, 10));
+  check_roundtrip(ir::sw(2, 1, -4));
+  check_roundtrip(ir::plw(2, 1, 7, 3));
+  check_roundtrip(ir::psw(2, 1, 0, 0));
+}
+
+TEST(RoundTrip, ControlFlowWithLiteralTargets) {
+  for (const Opcode op : {Opcode::kBeq, Opcode::kBne, Opcode::kBlt,
+                          Opcode::kBge, Opcode::kBltu, Opcode::kBgeu})
+    check_roundtrip(ir::branch(op, 1, 2, -3));
+  check_roundtrip(ir::branch_flag(Opcode::kBfset, 2, 4));
+  check_roundtrip(ir::branch_flag(Opcode::kBfclr, 1, -1));
+  check_roundtrip(ir::jump(Opcode::kJ, 12));
+  check_roundtrip(ir::jal(7, 3));
+  check_roundtrip(ir::jr(4));
+}
+
+TEST(RoundTrip, AllReductions) {
+  for (std::uint8_t f = 0; f < static_cast<std::uint8_t>(RedFunct::kCount); ++f) {
+    const auto fn = static_cast<RedFunct>(f);
+    const RegNum rt = fn == RedFunct::kGetPe ? 3u : 0u;
+    check_roundtrip(ir::red(fn, 1, 2, rt, 0));
+    check_roundtrip(ir::red(fn, 1, 2, rt, 4));
+  }
+  check_roundtrip(ir::rsel(RSelFunct::kFirst, 1, 2, 3));
+  check_roundtrip(ir::rsel(RSelFunct::kClearFirst, 1, 2));
+}
+
+TEST(RoundTrip, ThreadOps) {
+  check_roundtrip(ir::tctl(TCtlFunct::kSpawn, 1, 2));
+  check_roundtrip(ir::tctl(TCtlFunct::kJoin, 0, 2));
+  check_roundtrip(ir::tctl(TCtlFunct::kExit));
+  check_roundtrip(ir::tctl(TCtlFunct::kTid, 3));
+  check_roundtrip(ir::tctl(TCtlFunct::kNPes, 3));
+  check_roundtrip(ir::tctl(TCtlFunct::kNThreads, 3));
+  check_roundtrip(ir::tmov(TMovFunct::kPut, 1, 2, 3));
+  check_roundtrip(ir::tmov(TMovFunct::kGet, 1, 2, 3));
+}
+
+TEST(RoundTrip, Moves) {
+  check_roundtrip(ir::pbcast(1, 2, 3));
+  check_roundtrip(ir::pindex(4));
+  check_roundtrip(ir::salu(AluFunct::kMov, 1, 2, 0));
+  check_roundtrip(ir::palu(AluFunct::kMov, 1, 2, 0, 5));
+}
+
+// Randomized sweep over normalized instructions.
+TEST(RoundTrip, Fuzz) {
+  Rng rng(0x0DDBA11);
+  for (int iter = 0; iter < 3000; ++iter) {
+    const auto rd = static_cast<RegNum>(rng.next_below(16));
+    const auto rs = static_cast<RegNum>(rng.next_below(16));
+    const auto rt = static_cast<RegNum>(rng.next_below(16));
+    const auto mask = static_cast<RegNum>(rng.next_below(8));
+    const auto flag = static_cast<RegNum>(rng.next_below(8));
+    switch (rng.next_below(8)) {
+      case 0:
+        check_roundtrip(ir::salu(static_cast<AluFunct>(rng.next_below(
+                                     static_cast<unsigned>(AluFunct::kMov))),
+                                 rd, rs, rt));
+        break;
+      case 1:
+        check_roundtrip(ir::palu(static_cast<AluFunct>(rng.next_below(
+                                     static_cast<unsigned>(AluFunct::kMov))),
+                                 rd, rs, rt, mask));
+        break;
+      case 2:
+        check_roundtrip(ir::pcmps(static_cast<CmpFunct>(rng.next_below(
+                                      static_cast<unsigned>(CmpFunct::kCount))),
+                                  flag, rs, rt, mask));
+        break;
+      case 3:
+        check_roundtrip(ir::imm_op(Opcode::kAddi, rd, rs,
+                                   static_cast<std::int32_t>(rng.next_in(-32768, 32767))));
+        break;
+      case 4:
+        check_roundtrip(ir::pimm(PImmOp::kAddi, rd, rs,
+                                 static_cast<std::int32_t>(rng.next_in(-256, 255)),
+                                 mask));
+        break;
+      case 5: {
+        const auto fn = static_cast<RedFunct>(
+            rng.next_below(static_cast<unsigned>(RedFunct::kGetPe)));
+        // Flag-sourced reductions address the (smaller) flag space.
+        const bool flag_src = fn == RedFunct::kCount_ || fn == RedFunct::kAny ||
+                              fn == RedFunct::kFAnd || fn == RedFunct::kFOr;
+        const bool flag_dst = fn == RedFunct::kFAnd || fn == RedFunct::kFOr;
+        check_roundtrip(ir::red(fn, flag_dst ? flag : rd,
+                                flag_src ? flag : rs, 0, mask));
+        break;
+      }
+      case 6:
+        check_roundtrip(ir::plw(rd, rs,
+                                static_cast<std::int32_t>(rng.next_in(-256, 255)),
+                                mask));
+        break;
+      default:
+        check_roundtrip(ir::branch(Opcode::kBne, rd, rs,
+                                   static_cast<std::int32_t>(rng.next_in(-100, 100))));
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace masc

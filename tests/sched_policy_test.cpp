@@ -1,0 +1,152 @@
+// §5 multithreading taxonomy: coarse-grain vs fine-grain vs SMT,
+// modeled as scheduler policies over the same pipeline.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace masc {
+namespace {
+
+using test::small_config;
+
+/// Four threads each run an independent reduction-dependent chain.
+const char* kFarm = R"(
+main:
+    la r1, worker
+    tspawn r2, r1
+    tspawn r2, r1
+    tspawn r2, r1
+worker:
+    pindex p1
+    li r2, 16
+    li r1, 0
+loop:
+    rsum r3, p1
+    add r4, r4, r3
+    addi r1, r1, 1
+    bne r1, r2, loop
+    texit
+)";
+
+Stats run_policy(ThreadSchedPolicy policy, std::uint32_t issue_width = 1,
+                 std::uint32_t switch_penalty = 8) {
+  auto cfg = small_config();
+  cfg.num_pes = 64;  // b + r = 12: long reduction stalls
+  cfg.sched_policy = policy;
+  cfg.issue_width = issue_width;
+  cfg.switch_penalty = switch_penalty;
+  Machine m(cfg);
+  m.load(assemble(kFarm));
+  EXPECT_TRUE(m.run(1'000'000));
+  return m.stats();
+}
+
+TEST(SchedPolicy, AllPoliciesComputeTheSameResults) {
+  auto results = [](ThreadSchedPolicy p, std::uint32_t w) {
+    auto cfg = small_config();
+    cfg.sched_policy = p;
+    cfg.issue_width = w;
+    Machine m(cfg);
+    m.load(assemble(kFarm));
+    EXPECT_TRUE(m.run(1'000'000));
+    std::vector<Word> out;
+    for (ThreadId t = 0; t < 4; ++t) out.push_back(m.state().sreg(t, 4));
+    return out;
+  };
+  const auto fine = results(ThreadSchedPolicy::kFineGrain, 1);
+  EXPECT_EQ(results(ThreadSchedPolicy::kCoarseGrain, 1), fine);
+  EXPECT_EQ(results(ThreadSchedPolicy::kSmt, 2), fine);
+}
+
+TEST(SchedPolicy, FineGrainBeatsCoarseGrainOnShortFrequentStalls) {
+  // The paper's §5 argument verbatim: reduction stalls are frequent and
+  // of moderate length, so paying a many-cycle switch per stall (or
+  // waiting them out in place) loses to per-cycle interleaving.
+  const auto fine = run_policy(ThreadSchedPolicy::kFineGrain);
+  const auto coarse = run_policy(ThreadSchedPolicy::kCoarseGrain);
+  EXPECT_LT(fine.cycles, coarse.cycles);
+  EXPECT_GT(fine.ipc(), 1.5 * coarse.ipc());
+}
+
+TEST(SchedPolicy, CoarseGrainSwitchesOnLongStallsOnly) {
+  const auto coarse = run_policy(ThreadSchedPolicy::kCoarseGrain,
+                                 /*issue_width=*/1, /*switch_penalty=*/4);
+  // b + r = 12 > penalty 4, so reduction stalls trigger switches.
+  EXPECT_GT(coarse.thread_switches, 0u);
+  EXPECT_GT(coarse.idle_by_cause[static_cast<std::size_t>(
+                StallCause::kThreadSwitch)], 0u);
+}
+
+TEST(SchedPolicy, CoarseGrainWaitsOutShortStalls) {
+  // With a switch penalty far above b + r, hazard stalls never justify a
+  // switch; the only switches left are the unavoidable ones when a
+  // resident thread exits (4 threads -> at most 3 terminal switches).
+  const auto coarse = run_policy(ThreadSchedPolicy::kCoarseGrain,
+                                 /*issue_width=*/1, /*switch_penalty=*/50);
+  EXPECT_LE(coarse.thread_switches, 3u);
+  // Contrast: a cheap switch thrashes on every reduction stall.
+  const auto thrash = run_policy(ThreadSchedPolicy::kCoarseGrain,
+                                 /*issue_width=*/1, /*switch_penalty=*/2);
+  EXPECT_GT(thrash.thread_switches, 20u);
+}
+
+TEST(SchedPolicy, SmtNeverSlowerThanFineGrain) {
+  const auto fine = run_policy(ThreadSchedPolicy::kFineGrain);
+  const auto smt2 = run_policy(ThreadSchedPolicy::kSmt, 2);
+  EXPECT_LE(smt2.cycles, fine.cycles);
+}
+
+TEST(SchedPolicy, SmtCanExceedIpcOfOne) {
+  // Independent scalar work on four threads: dual issue doubles it.
+  auto cfg = small_config();
+  cfg.sched_policy = ThreadSchedPolicy::kSmt;
+  cfg.issue_width = 4;
+  Machine m(cfg);
+  m.load(assemble(R"(
+main:
+    la r1, worker
+    tspawn r2, r1
+    tspawn r2, r1
+    tspawn r2, r1
+worker:
+    li r2, 200
+    li r1, 0
+loop:
+    addi r3, r3, 1
+    addi r4, r4, 1
+    addi r5, r5, 1
+    addi r1, r1, 1
+    bne r1, r2, loop
+    texit
+)"));
+  ASSERT_TRUE(m.run(1'000'000));
+  EXPECT_GT(m.stats().ipc(), 1.8);
+}
+
+TEST(SchedPolicy, SmtCoIssuesDistinctThreadsOnly) {
+  // A single thread on an SMT machine cannot dual-issue (in-order per
+  // thread): IPC stays <= 1.
+  auto cfg = small_config();
+  cfg.sched_policy = ThreadSchedPolicy::kSmt;
+  cfg.issue_width = 4;
+  Machine m(cfg);
+  m.load(assemble(R"(
+    li r1, 1
+    li r2, 2
+    li r3, 3
+    li r4, 4
+    halt
+)"));
+  ASSERT_TRUE(m.run(1000));
+  EXPECT_LE(m.stats().ipc(), 1.0);
+  EXPECT_EQ(m.stats().cycles, 4u + 4u);  // same as fine-grain single thread
+}
+
+TEST(SchedPolicy, ConfigRejectsWideIssueWithoutSmt) {
+  auto cfg = small_config();
+  cfg.issue_width = 2;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace masc

@@ -1,0 +1,66 @@
+// Instruction status table (scoreboard) unit tests.
+#include "sim/scoreboard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace masc {
+namespace {
+
+Scoreboard make() {
+  return Scoreboard(test::small_config(), 4);
+}
+
+TEST(Scoreboard, FreshEntriesAreReady) {
+  auto sb = make();
+  const auto& e = sb.lookup(0, RegRef{RegSpace::kScalarGpr, 5});
+  EXPECT_EQ(e.avail, 0u);
+}
+
+TEST(Scoreboard, RecordAndLookup) {
+  auto sb = make();
+  sb.record_write(1, RegRef{RegSpace::kParallelGpr, 3}, 42,
+                  InstrClass::kParallel);
+  const auto& e = sb.lookup(1, RegRef{RegSpace::kParallelGpr, 3});
+  EXPECT_EQ(e.avail, 42u);
+  EXPECT_EQ(e.producer, InstrClass::kParallel);
+}
+
+TEST(Scoreboard, HardwiredRegistersNeverTracked) {
+  auto sb = make();
+  sb.record_write(0, RegRef{RegSpace::kScalarGpr, 0}, 99, InstrClass::kScalar);
+  sb.record_write(0, RegRef{RegSpace::kParallelFlag, 0}, 99,
+                  InstrClass::kReduction);
+  EXPECT_EQ(sb.lookup(0, RegRef{RegSpace::kScalarGpr, 0}).avail, 0u);
+  EXPECT_EQ(sb.lookup(0, RegRef{RegSpace::kParallelFlag, 0}).avail, 0u);
+}
+
+TEST(Scoreboard, SpacesAreIndependent) {
+  auto sb = make();
+  sb.record_write(0, RegRef{RegSpace::kScalarGpr, 2}, 10, InstrClass::kScalar);
+  EXPECT_EQ(sb.lookup(0, RegRef{RegSpace::kScalarFlag, 2}).avail, 0u);
+  EXPECT_EQ(sb.lookup(0, RegRef{RegSpace::kParallelGpr, 2}).avail, 0u);
+  EXPECT_EQ(sb.lookup(0, RegRef{RegSpace::kParallelFlag, 2}).avail, 0u);
+}
+
+TEST(Scoreboard, ThreadsAreIndependent) {
+  auto sb = make();
+  sb.record_write(2, RegRef{RegSpace::kScalarGpr, 7}, 33,
+                  InstrClass::kReduction);
+  EXPECT_EQ(sb.lookup(0, RegRef{RegSpace::kScalarGpr, 7}).avail, 0u);
+  EXPECT_EQ(sb.lookup(3, RegRef{RegSpace::kScalarGpr, 7}).avail, 0u);
+  EXPECT_EQ(sb.lookup(2, RegRef{RegSpace::kScalarGpr, 7}).avail, 33u);
+}
+
+TEST(Scoreboard, LaterWritesOverride) {
+  auto sb = make();
+  const RegRef r{RegSpace::kScalarGpr, 4};
+  sb.record_write(0, r, 10, InstrClass::kReduction);
+  sb.record_write(0, r, 12, InstrClass::kScalar);
+  EXPECT_EQ(sb.lookup(0, r).avail, 12u);
+  EXPECT_EQ(sb.lookup(0, r).producer, InstrClass::kScalar);
+}
+
+}  // namespace
+}  // namespace masc

@@ -1,0 +1,59 @@
+// Shared helpers for the MASC test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "common/config.hpp"
+#include "sim/funcsim.hpp"
+#include "sim/machine.hpp"
+
+namespace masc::test {
+
+/// A small default machine: 8 PEs, 4 threads, 16-bit words — wide enough
+/// for addressable data tables, small enough to inspect by hand.
+inline MachineConfig small_config() {
+  MachineConfig cfg;
+  cfg.num_pes = 8;
+  cfg.num_threads = 4;
+  cfg.word_width = 16;
+  cfg.local_mem_bytes = 256;
+  return cfg;
+}
+
+/// The paper's prototype configuration (§7). The first prototype omitted
+/// the multiplier and divider ("a few features ... are still missing"),
+/// which is also what Table 1's numbers reflect.
+inline MachineConfig prototype_config() {
+  MachineConfig cfg;
+  cfg.num_pes = 16;
+  cfg.num_threads = 16;
+  cfg.word_width = 8;
+  cfg.local_mem_bytes = 1024;
+  cfg.broadcast_arity = 2;
+  cfg.multiplier = MultiplierKind::kNone;
+  cfg.divider = DividerKind::kNone;
+  return cfg;
+}
+
+/// Assemble + run on the cycle-accurate machine; returns the machine for
+/// state inspection. Fails the test (via exception) on timeout.
+inline Machine run_program(const MachineConfig& cfg, const std::string& src,
+                           Cycle max_cycles = 1'000'000) {
+  Machine m(cfg);
+  m.load(assemble(src));
+  if (!m.run(max_cycles)) throw std::runtime_error("machine timed out");
+  return m;
+}
+
+/// Assemble + run on the functional reference simulator.
+inline FuncSim run_func(const MachineConfig& cfg, const std::string& src,
+                        std::uint64_t max_instr = 10'000'000) {
+  FuncSim f(cfg);
+  f.load(assemble(src));
+  if (!f.run(max_instr)) throw std::runtime_error("funcsim timed out");
+  return f;
+}
+
+}  // namespace masc::test

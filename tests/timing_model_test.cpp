@@ -1,0 +1,98 @@
+// Clock-rate model: §7's 75 MHz prototype anchor and the §8 qualitative
+// comparison (pipelined networks keep Fmax flat; combinational networks
+// decay with p).
+#include "arch/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace masc::arch {
+namespace {
+
+using masc::test::prototype_config;
+
+TEST(TimingModel, PrototypeClockIs75MHz) {
+  const double f = TimingModel::fmax_mhz(prototype_config(), ep2c35());
+  EXPECT_NEAR(f, 75.0, 0.5);
+}
+
+TEST(TimingModel, CriticalPathIsForwardingWhenPipelined) {
+  const auto tb = TimingModel::estimate(prototype_config(), ep2c35());
+  EXPECT_GT(tb.forwarding_ns, 0.0);
+  EXPECT_EQ(tb.broadcast_wire_ns, 0.0);
+  EXPECT_EQ(tb.reduction_tree_ns, 0.0);
+}
+
+TEST(TimingModel, PipelinedFmaxIndependentOfPeCount) {
+  auto cfg = prototype_config();
+  const double f16 = TimingModel::fmax_mhz(cfg, ep2c35());
+  cfg.num_pes = 1024;
+  const double f1024 = TimingModel::fmax_mhz(cfg, ep2c35());
+  EXPECT_DOUBLE_EQ(f16, f1024);
+}
+
+TEST(TimingModel, NonPipelinedFmaxDecaysWithPeCount) {
+  auto cfg = prototype_config();
+  cfg.pipelined_network = false;
+  cfg.num_pes = 16;
+  const double f16 = TimingModel::fmax_mhz(cfg, ep2c35());
+  cfg.num_pes = 64;
+  const double f64 = TimingModel::fmax_mhz(cfg, ep2c35());
+  cfg.num_pes = 256;
+  const double f256 = TimingModel::fmax_mhz(cfg, ep2c35());
+  EXPECT_GT(f16, f64);
+  EXPECT_GT(f64, f256);
+  // And always below the pipelined clock.
+  EXPECT_LT(f16, TimingModel::fmax_mhz(prototype_config(), ep2c35()));
+}
+
+TEST(TimingModel, WiderWordsSlowTheClock) {
+  auto cfg = prototype_config();
+  cfg.word_width = 32;
+  EXPECT_LT(TimingModel::fmax_mhz(cfg, ep2c35()),
+            TimingModel::fmax_mhz(prototype_config(), ep2c35()));
+}
+
+TEST(TimingModel, MoreThreadsSlowTheForwardingMux) {
+  auto cfg = prototype_config();
+  cfg.num_threads = 64;
+  EXPECT_LT(TimingModel::fmax_mhz(cfg, ep2c35()),
+            TimingModel::fmax_mhz(prototype_config(), ep2c35()));
+}
+
+TEST(TimingModel, FasterDeviceRaisesFmax) {
+  EXPECT_GT(TimingModel::fmax_mhz(prototype_config(), ep1s80()),
+            TimingModel::fmax_mhz(prototype_config(), ep2c35()));
+  EXPECT_LT(TimingModel::fmax_mhz(prototype_config(), xcv1000e()),
+            TimingModel::fmax_mhz(prototype_config(), ep2c35()));
+}
+
+TEST(TimingModel, SecondsConvertsCycles) {
+  const auto cfg = prototype_config();
+  const double s = TimingModel::seconds(cfg, ep2c35(), 75'000'000.0);
+  EXPECT_NEAR(s, 1.0, 0.01);  // 75M cycles at ~75 MHz = ~1 second
+}
+
+TEST(TimingModel, RelatedWorkOrdering) {
+  // §8: [11]'s pipelined-broadcast design (88 PEs) clocked ~1.8x faster
+  // than [10]'s non-pipelined design (95 PEs). Our model must reproduce
+  // the ordering and a substantial gap on their respective devices.
+  masc::MachineConfig li;  // [10]: non-pipelined broadcast, 95 PEs, 8-bit
+  li.num_pes = 95;
+  li.word_width = 8;
+  li.multithreading = false;
+  li.pipelined_network = false;
+  li.local_mem_bytes = 512;
+
+  masc::MachineConfig hoare = li;  // [11]: pipelined broadcast, 88 PEs
+  hoare.num_pes = 88;
+  hoare.pipelined_network = true;
+
+  const double f_li = TimingModel::fmax_mhz(li, xcv1000e());
+  const double f_hoare = TimingModel::fmax_mhz(hoare, ep1s80());
+  EXPECT_GT(f_hoare, 1.5 * f_li);
+}
+
+}  // namespace
+}  // namespace masc::arch

@@ -1,0 +1,159 @@
+// Pipeline diagram rendering: stage placement, stall display, and
+// multi-thread labeling.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace masc {
+namespace {
+
+using test::small_config;
+
+/// Split a diagram into lines.
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+/// Count occurrences of a stage token in one row.
+int count_token(const std::string& row, const std::string& token) {
+  int n = 0;
+  for (std::size_t pos = 0; (pos = row.find(token, pos)) != std::string::npos;
+       pos += token.size())
+    ++n;
+  return n;
+}
+
+Machine traced(const MachineConfig& cfg, const char* src) {
+  Machine m(cfg);
+  m.enable_trace();
+  m.load(assemble(src));
+  EXPECT_TRUE(m.run(100000));
+  return m;
+}
+
+TEST(Trace, EmptyTrace) {
+  EXPECT_EQ(render_pipeline_diagram({}, small_config()), "(empty trace)\n");
+}
+
+TEST(Trace, ScalarRowHasCanonicalStages) {
+  auto m = traced(small_config(), "add r1, r2, r3\nhalt");
+  const auto rows = lines_of(render_pipeline_diagram(m.trace(), m.config()));
+  ASSERT_GE(rows.size(), 2u);  // header + >= 1 row
+  const auto& add_row = rows[1];
+  for (const char* stage : {"IF", "ID", "SR", "EX", "MA", "WB"})
+    EXPECT_EQ(count_token(add_row, stage), 1) << stage;
+  EXPECT_EQ(count_token(add_row, "B1"), 0);
+}
+
+TEST(Trace, ParallelRowHasBroadcastStages) {
+  auto cfg = small_config();  // p=8, k=2 -> b=3
+  auto m = traced(cfg, "padd p1, p2, p3\nhalt");
+  const auto rows = lines_of(render_pipeline_diagram(m.trace(), cfg));
+  const auto& row = rows[1];
+  for (const char* stage : {"B1", "B2", "B3", "PR", "EX", "MA", "WB"})
+    EXPECT_EQ(count_token(row, stage), 1) << stage;
+}
+
+TEST(Trace, ReductionRowHasReductionStages) {
+  auto cfg = small_config();  // r = 3
+  auto m = traced(cfg, "rsum r1, p2\nhalt");
+  const auto& row = lines_of(render_pipeline_diagram(m.trace(), cfg))[1];
+  for (const char* stage : {"R1", "R2", "R3", "WB"})
+    EXPECT_EQ(count_token(row, stage), 1) << stage;
+  EXPECT_EQ(count_token(row, "MA"), 0);  // reductions skip MA
+}
+
+TEST(Trace, StallRendersAsRepeatedId) {
+  auto cfg = small_config();  // b=3, r=3 -> stall 6
+  auto m = traced(cfg, R"(
+    pindex p2
+    rsum r1, p2
+    addi r3, r1, 0
+    halt
+)");
+  const auto rows = lines_of(render_pipeline_diagram(m.trace(), cfg));
+  // Row 3 is the dependent addi: 1 (normal) + 6 (stall) ID entries.
+  const auto& addi_row = rows[3];
+  EXPECT_EQ(count_token(addi_row, "ID"), 7);
+}
+
+TEST(Trace, SequentialUnitRendersLongEx) {
+  auto cfg = small_config();
+  cfg.multiplier = MultiplierKind::kSequential;  // w = 16 cycles
+  auto m = traced(cfg, "mul r1, r2, r3\nhalt");
+  const auto& row = lines_of(render_pipeline_diagram(m.trace(), cfg))[1];
+  EXPECT_EQ(count_token(row, "EX"), 16);
+}
+
+TEST(Trace, ThreadColumnShown) {
+  auto m = traced(small_config(), "li r1, 1\nhalt");
+  const auto text = render_pipeline_diagram(m.trace(), m.config(), true);
+  EXPECT_NE(text.find("t0 "), std::string::npos);
+}
+
+TEST(Trace, HeaderNumbersColumnsFromOne) {
+  auto m = traced(small_config(), "nop\nhalt");
+  const auto rows = lines_of(render_pipeline_diagram(m.trace(), m.config()));
+  EXPECT_NE(rows[0].find(" 1"), std::string::npos);
+  EXPECT_NE(rows[0].find(" 2"), std::string::npos);
+}
+
+TEST(Trace, GoldenDiagram) {
+  // Pins the exact rendering (column layout, stage names, spacing) of a
+  // deterministic 4-PE program; any rendering change must be deliberate.
+  MachineConfig cfg;
+  cfg.num_pes = 4;
+  cfg.word_width = 16;
+  Machine m(cfg);
+  m.enable_trace();
+  m.load(assemble(R"(
+    li r1, 3
+    pbcast p1, r1
+    rsum r2, p1
+    halt
+)"));
+  ASSERT_TRUE(m.run(1000));
+  const char* golden =
+      "                             1   2   3   4   5   6   7   8   9  10  11\n"
+      "addi r1, r0, 3              IF  ID  SR  EX  MA  WB                    \n"
+      "pbcast p1, r1                   IF  ID  SR  B1  B2  PR  EX  MA  WB    \n"
+      "rsum r2, p1                         IF  ID  SR  B1  B2  PR  R1  R2  WB\n"
+      "halt                                    IF  ID  SR  EX  MA  WB        \n";
+  EXPECT_EQ(render_pipeline_diagram(m.trace(), cfg), golden);
+}
+
+TEST(Stats, JsonExport) {
+  MachineConfig cfg;
+  cfg.num_pes = 4;
+  cfg.word_width = 16;
+  Machine m(cfg);
+  m.load(assemble("pindex p1\nrsum r1, p1\naddi r2, r1, 0\nhalt"));
+  ASSERT_TRUE(m.run(1000));
+  const auto json = to_json(m.stats());
+  EXPECT_NE(json.find("\"cycles\":"), std::string::npos);
+  EXPECT_NE(json.find("\"instructions\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"reduction\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"idle_by_cause\""), std::string::npos);
+  EXPECT_NE(json.find("\"issued_by_thread\":["), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Trace, CapacityLimitRespected) {
+  Machine m(small_config());
+  m.enable_trace(2);
+  m.load(assemble("li r1, 1\nli r2, 2\nli r3, 3\nhalt"));
+  ASSERT_TRUE(m.run(1000));
+  EXPECT_EQ(m.trace().size(), 2u);
+}
+
+}  // namespace
+}  // namespace masc

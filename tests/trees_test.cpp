@@ -1,0 +1,323 @@
+#include "sim/network/trees.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.hpp"
+
+namespace masc::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value semantics
+// ---------------------------------------------------------------------------
+
+TEST(TreeReduce, OrAndBasics) {
+  const std::vector<Word> v = {0x01, 0x02, 0x04, 0x88};
+  EXPECT_EQ(tree_reduce(ReduceOp::kOr, v, 8), 0x8Fu);
+  const std::vector<Word> w = {0xFF, 0xF0, 0xFF};
+  EXPECT_EQ(tree_reduce(ReduceOp::kAnd, w, 8), 0xF0u);
+}
+
+TEST(TreeReduce, SignedMaxMin) {
+  // 0x80 = -128, 0xFF = -1 at width 8.
+  const std::vector<Word> v = {0x80, 0x05, 0xFF, 0x7F};
+  EXPECT_EQ(tree_reduce(ReduceOp::kMax, v, 8), 0x7Fu);
+  EXPECT_EQ(tree_reduce(ReduceOp::kMin, v, 8), 0x80u);
+  EXPECT_EQ(tree_reduce(ReduceOp::kMaxU, v, 8), 0xFFu);
+  EXPECT_EQ(tree_reduce(ReduceOp::kMinU, v, 8), 0x05u);
+}
+
+TEST(TreeReduce, InactivePEsContributeIdentity) {
+  const std::vector<Word> v = {100, 7, 100, 100};
+  const std::vector<std::uint8_t> act = {0, 1, 0, 0};
+  EXPECT_EQ(tree_reduce(ReduceOp::kMaxU, v, act, 8), 7u);
+  EXPECT_EQ(tree_reduce(ReduceOp::kSum, v, act, 8), 7u);
+}
+
+TEST(TreeReduce, EmptyActiveSetYieldsIdentity) {
+  const std::vector<Word> v = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> none(4, 0);
+  EXPECT_EQ(tree_reduce(ReduceOp::kMax, v, none, 8), signed_min_word(8));
+  EXPECT_EQ(tree_reduce(ReduceOp::kMin, v, none, 8), signed_max_word(8));
+  EXPECT_EQ(tree_reduce(ReduceOp::kAnd, v, none, 8), 0xFFu);
+  EXPECT_EQ(tree_reduce(ReduceOp::kOr, v, none, 8), 0u);
+  EXPECT_EQ(tree_reduce(ReduceOp::kSum, v, none, 8), 0u);
+}
+
+TEST(TreeReduce, SingleElement) {
+  const std::vector<Word> v = {42};
+  EXPECT_EQ(tree_reduce(ReduceOp::kSum, v, 8), 42u);
+  EXPECT_EQ(tree_reduce(ReduceOp::kMax, v, 8), 42u);
+}
+
+TEST(TreeReduce, NonPowerOfTwoPaddedWithIdentity) {
+  const std::vector<Word> v = {3, 1, 4, 1, 5};  // 5 leaves -> padded to 8
+  EXPECT_EQ(tree_reduce(ReduceOp::kSum, v, 16), 14u);
+  EXPECT_EQ(tree_reduce(ReduceOp::kMaxU, v, 16), 5u);
+  EXPECT_EQ(tree_reduce(ReduceOp::kMinU, v, 16), 1u);
+}
+
+TEST(TreeReduce, CountFlags) {
+  const std::vector<Word> flags = {1, 0, 1, 1, 0, 1, 0, 0};
+  EXPECT_EQ(tree_reduce(ReduceOp::kCountFlags, flags, 32), 4u);
+}
+
+TEST(TreeReduce, SumSaturatesPositive) {
+  // Width 8 signed: sum of four 100s overflows +127.
+  const std::vector<Word> v = {100, 100, 100, 100};
+  EXPECT_EQ(tree_reduce(ReduceOp::kSum, v, 8), 0x7Fu);
+}
+
+TEST(TreeReduce, SumSaturatesNegative) {
+  const std::vector<Word> v = {0x9C, 0x9C, 0x9C, 0x9C};  // four times -100
+  EXPECT_EQ(tree_reduce(ReduceOp::kSum, v, 8), 0x80u);
+}
+
+TEST(TreeReduce, SaturationIsStickyInTreeOrder) {
+  // The hardware saturates per *node*: (127 (+) 1) (+) (-1 (+) 0) = 126,
+  // whereas an infinitely wide sum would give 127. This is the documented
+  // non-associativity of the sum unit; the model must match the tree.
+  const std::vector<Word> v = {0x7F, 0x01, 0xFF, 0x00};
+  EXPECT_EQ(tree_reduce(ReduceOp::kSum, v, 8), 0x7Eu);
+}
+
+TEST(TreeReduce, UnsignedSumSaturates) {
+  const std::vector<Word> v = {200, 200, 1, 0};
+  EXPECT_EQ(tree_reduce(ReduceOp::kSumU, v, 8), 0xFFu);
+}
+
+// Property sweep: tree results equal reference folds for associative ops.
+class TreeReduceSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TreeReduceSweep, MatchesReferenceFoldForAssociativeOps) {
+  const std::uint32_t p = GetParam();
+  Rng rng(0xABCD + p);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto v = rng.words(p, 16);
+    std::vector<std::uint8_t> act(p);
+    for (auto& a : act) a = rng.next_bool() ? 1 : 0;
+
+    Word ref_or = 0, ref_and = 0xFFFF;
+    Word ref_maxu = 0, ref_minu = 0xFFFF;
+    SWord ref_max = -32768, ref_min = 32767;
+    Word count = 0;
+    for (std::uint32_t i = 0; i < p; ++i) {
+      if (!act[i]) continue;
+      ref_or |= v[i];
+      ref_and &= v[i];
+      ref_maxu = std::max(ref_maxu, v[i]);
+      ref_minu = std::min(ref_minu, v[i]);
+      ref_max = std::max(ref_max, sign_extend(v[i], 16));
+      ref_min = std::min(ref_min, sign_extend(v[i], 16));
+      ++count;
+    }
+    EXPECT_EQ(tree_reduce(ReduceOp::kOr, v, act, 16), ref_or);
+    EXPECT_EQ(tree_reduce(ReduceOp::kAnd, v, act, 16), ref_and);
+    EXPECT_EQ(tree_reduce(ReduceOp::kMaxU, v, act, 16), ref_maxu);
+    EXPECT_EQ(tree_reduce(ReduceOp::kMinU, v, act, 16), ref_minu);
+    if (count > 0) {
+      EXPECT_EQ(sign_extend(tree_reduce(ReduceOp::kMax, v, act, 16), 16), ref_max);
+      EXPECT_EQ(sign_extend(tree_reduce(ReduceOp::kMin, v, act, 16), 16), ref_min);
+    }
+    std::vector<Word> flagwords(p);
+    for (std::uint32_t i = 0; i < p; ++i) flagwords[i] = act[i];
+    const std::vector<std::uint8_t> all(p, 1);
+    EXPECT_EQ(tree_reduce(ReduceOp::kCountFlags, flagwords, all, 32), count);
+  }
+}
+
+TEST_P(TreeReduceSweep, SumNeverExceedsSaturationBounds) {
+  const std::uint32_t p = GetParam();
+  Rng rng(0x5EED + p);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto v = rng.words(p, 8);
+    const Word s = tree_reduce(ReduceOp::kSum, v, 8);
+    const SWord sv = sign_extend(s, 8);
+    EXPECT_GE(sv, -128);
+    EXPECT_LE(sv, 127);
+    // With same-sign inputs no internal cancellation can occur, so the
+    // tree result equals the clamped plain sum. (Mixed signs may differ:
+    // per-node saturation is sticky — see SaturationIsStickyInTreeOrder.)
+    std::vector<Word> pos(v);
+    for (auto& x : pos) x &= 0x7F;
+    SDWord plain = 0;
+    for (const Word x : pos) plain += sign_extend(x, 8);
+    const SWord clamped = static_cast<SWord>(std::min<SDWord>(plain, 127));
+    EXPECT_EQ(sign_extend(tree_reduce(ReduceOp::kSum, pos, 8), 8), clamped);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PeCounts, TreeReduceSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u, 16u, 33u,
+                                           64u, 255u, 256u, 1024u));
+
+// ---------------------------------------------------------------------------
+// Resolver
+// ---------------------------------------------------------------------------
+
+TEST(Resolver, FirstResponderOneHot) {
+  const std::vector<std::uint8_t> flags = {0, 1, 0, 1, 1};
+  const std::vector<std::uint8_t> all(5, 1);
+  EXPECT_EQ(resolve_first(flags, all),
+            (std::vector<std::uint8_t>{0, 1, 0, 0, 0}));
+}
+
+TEST(Resolver, RespectsActivityMask) {
+  const std::vector<std::uint8_t> flags = {0, 1, 0, 1, 1};
+  const std::vector<std::uint8_t> act = {1, 0, 1, 1, 1};
+  EXPECT_EQ(resolve_first(flags, act),
+            (std::vector<std::uint8_t>{0, 0, 0, 1, 0}));
+}
+
+TEST(Resolver, NoResponders) {
+  const std::vector<std::uint8_t> flags = {0, 0, 0};
+  const std::vector<std::uint8_t> all(3, 1);
+  EXPECT_EQ(resolve_first(flags, all), (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+TEST(Resolver, ExclusivePrefixOr) {
+  const std::vector<std::uint8_t> flags = {0, 0, 1, 0, 1};
+  EXPECT_EQ(exclusive_prefix_or(flags),
+            (std::vector<std::uint8_t>{0, 0, 0, 1, 1}));
+}
+
+class ResolverSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ResolverSweep, PropertyOneHotAndFirst) {
+  const std::uint32_t p = GetParam();
+  Rng rng(0xF00D + p);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<std::uint8_t> flags(p), act(p);
+    for (std::uint32_t i = 0; i < p; ++i) {
+      flags[i] = rng.next_bool();
+      act[i] = rng.next_bool();
+    }
+    const auto out = resolve_first(flags, act);
+    // At most one bit set.
+    const int set = static_cast<int>(
+        std::count(out.begin(), out.end(), std::uint8_t{1}));
+    EXPECT_LE(set, 1);
+    // It is the first masked responder.
+    std::int64_t expected = -1;
+    for (std::uint32_t i = 0; i < p; ++i)
+      if (flags[i] && act[i]) { expected = i; break; }
+    if (expected < 0) {
+      EXPECT_EQ(set, 0);
+    } else {
+      ASSERT_EQ(set, 1);
+      EXPECT_EQ(out[static_cast<std::size_t>(expected)], 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PeCounts, ResolverSweep,
+                         ::testing::Values(1u, 2u, 5u, 16u, 64u, 257u));
+
+// ---------------------------------------------------------------------------
+// Pipelined structures: latency and initiation-rate invariants
+// ---------------------------------------------------------------------------
+
+class BroadcastLatency
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(BroadcastLatency, TokenArrivesAfterCeilLogKCycles) {
+  const auto [p, k] = GetParam();
+  PipelinedBroadcastTree tree(p, k);
+  EXPECT_EQ(tree.latency(), ceil_log_k(p, k));
+  // Inject token 99 at cycle 0, then idle.
+  std::optional<Word> out = tree.cycle(Word{99});
+  unsigned arrived_at = 0;
+  for (unsigned c = 1; c <= tree.latency() + 2 && !out; ++c) {
+    out = tree.cycle(std::nullopt);
+    arrived_at = c;
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 99u);
+  EXPECT_EQ(arrived_at, tree.latency());
+}
+
+TEST_P(BroadcastLatency, FullRateBackToBack) {
+  const auto [p, k] = GetParam();
+  PipelinedBroadcastTree tree(p, k);
+  // One token per cycle for 20 cycles: all arrive, in order, each after
+  // exactly `latency` cycles.
+  std::vector<Word> received;
+  for (Word i = 0; i < 20 + tree.latency(); ++i) {
+    const auto out = tree.cycle(i < 20 ? std::optional<Word>(i) : std::nullopt);
+    if (out) received.push_back(*out);
+  }
+  ASSERT_EQ(received.size(), 20u);
+  for (Word i = 0; i < 20; ++i) EXPECT_EQ(received[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastLatency,
+    ::testing::Values(std::pair{1u, 2u}, std::pair{2u, 2u}, std::pair{16u, 2u},
+                      std::pair{16u, 4u}, std::pair{17u, 4u},
+                      std::pair{256u, 2u}, std::pair{256u, 16u}));
+
+class ReductionLatency : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ReductionLatency, ResultAfterCeilLog2Cycles) {
+  const std::uint32_t p = GetParam();
+  PipelinedReductionTree tree(p, ReduceOp::kMaxU, 16);
+  EXPECT_EQ(tree.latency(), ceil_log2(p));
+  std::vector<Word> input(p);
+  for (std::uint32_t i = 0; i < p; ++i) input[i] = i * 3 + 1;
+  std::optional<Word> out = tree.cycle(std::span<const Word>(input));
+  unsigned arrived_at = 0;
+  for (unsigned c = 1; c <= tree.latency() + 2 && !out; ++c) {
+    out = tree.cycle(std::nullopt);
+    arrived_at = c;
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, (p - 1) * 3 + 1);
+  EXPECT_EQ(arrived_at, tree.latency());
+}
+
+TEST_P(ReductionLatency, OneOperationPerCycleThroughput) {
+  const std::uint32_t p = GetParam();
+  // Initiation rate of one op/cycle (paper §6.4): inject a new vector
+  // every cycle; results emerge every cycle, in order, pipelined.
+  PipelinedReductionTree tree(p, ReduceOp::kSumU, 32);
+  constexpr unsigned kOps = 12;
+  std::vector<Word> results;
+  for (unsigned c = 0; c < kOps + tree.latency(); ++c) {
+    std::optional<Word> out;
+    if (c < kOps) {
+      std::vector<Word> input(p, c + 1);  // each PE holds c+1
+      out = tree.cycle(std::span<const Word>(input));
+    } else {
+      out = tree.cycle(std::nullopt);
+    }
+    if (out) results.push_back(*out);
+  }
+  ASSERT_EQ(results.size(), kOps);
+  for (unsigned c = 0; c < kOps; ++c) EXPECT_EQ(results[c], (c + 1) * p);
+}
+
+TEST_P(ReductionLatency, PipelinedMatchesCombinationalTreeReduce) {
+  const std::uint32_t p = GetParam();
+  Rng rng(0xBEEF + p);
+  for (const ReduceOp op : {ReduceOp::kAnd, ReduceOp::kOr, ReduceOp::kMax,
+                            ReduceOp::kMin, ReduceOp::kSum}) {
+    PipelinedReductionTree tree(p, op, 8);
+    const auto v = rng.words(p, 8);
+    // Pre-mask identity semantics: all PEs active here.
+    std::optional<Word> out = tree.cycle(std::span<const Word>(v));
+    for (unsigned c = 0; c < tree.latency() + 1 && !out; ++c)
+      out = tree.cycle(std::nullopt);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, tree_reduce(op, v, 8))
+        << "op=" << static_cast<int>(op) << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PeCounts, ReductionLatency,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 64u, 128u));
+
+}  // namespace
+}  // namespace masc::net
