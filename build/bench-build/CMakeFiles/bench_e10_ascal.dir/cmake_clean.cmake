@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_ascal"
+  "../bench/bench_e10_ascal.pdb"
+  "CMakeFiles/bench_e10_ascal.dir/bench_e10_ascal.cpp.o"
+  "CMakeFiles/bench_e10_ascal.dir/bench_e10_ascal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_ascal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

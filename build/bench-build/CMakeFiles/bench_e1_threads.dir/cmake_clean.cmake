@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_threads"
+  "../bench/bench_e1_threads.pdb"
+  "CMakeFiles/bench_e1_threads.dir/bench_e1_threads.cpp.o"
+  "CMakeFiles/bench_e1_threads.dir/bench_e1_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

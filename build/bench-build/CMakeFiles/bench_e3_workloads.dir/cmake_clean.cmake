@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_workloads"
+  "../bench/bench_e3_workloads.pdb"
+  "CMakeFiles/bench_e3_workloads.dir/bench_e3_workloads.cpp.o"
+  "CMakeFiles/bench_e3_workloads.dir/bench_e3_workloads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_muldiv"
+  "../bench/bench_e4_muldiv.pdb"
+  "CMakeFiles/bench_e4_muldiv.dir/bench_e4_muldiv.cpp.o"
+  "CMakeFiles/bench_e4_muldiv.dir/bench_e4_muldiv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_muldiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_fit"
+  "../bench/bench_e5_fit.pdb"
+  "CMakeFiles/bench_e5_fit.dir/bench_e5_fit.cpp.o"
+  "CMakeFiles/bench_e5_fit.dir/bench_e5_fit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_arity"
+  "../bench/bench_e6_arity.pdb"
+  "CMakeFiles/bench_e6_arity.dir/bench_e6_arity.cpp.o"
+  "CMakeFiles/bench_e6_arity.dir/bench_e6_arity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_falkoff"
+  "../bench/bench_e7_falkoff.pdb"
+  "CMakeFiles/bench_e7_falkoff.dir/bench_e7_falkoff.cpp.o"
+  "CMakeFiles/bench_e7_falkoff.dir/bench_e7_falkoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_falkoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

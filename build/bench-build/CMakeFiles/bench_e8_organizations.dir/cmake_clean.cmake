@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_organizations"
+  "../bench/bench_e8_organizations.pdb"
+  "CMakeFiles/bench_e8_organizations.dir/bench_e8_organizations.cpp.o"
+  "CMakeFiles/bench_e8_organizations.dir/bench_e8_organizations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_organizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

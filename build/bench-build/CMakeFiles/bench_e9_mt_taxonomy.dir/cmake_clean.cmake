@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_mt_taxonomy"
+  "../bench/bench_e9_mt_taxonomy.pdb"
+  "CMakeFiles/bench_e9_mt_taxonomy.dir/bench_e9_mt_taxonomy.cpp.o"
+  "CMakeFiles/bench_e9_mt_taxonomy.dir/bench_e9_mt_taxonomy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_mt_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

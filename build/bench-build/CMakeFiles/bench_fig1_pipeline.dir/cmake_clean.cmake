@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_pipeline"
+  "../bench/bench_fig1_pipeline.pdb"
+  "CMakeFiles/bench_fig1_pipeline.dir/bench_fig1_pipeline.cpp.o"
+  "CMakeFiles/bench_fig1_pipeline.dir/bench_fig1_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_hazards"
+  "../bench/bench_fig2_hazards.pdb"
+  "CMakeFiles/bench_fig2_hazards.dir/bench_fig2_hazards.cpp.o"
+  "CMakeFiles/bench_fig2_hazards.dir/bench_fig2_hazards.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hazards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_control_unit"
+  "../bench/bench_fig3_control_unit.pdb"
+  "CMakeFiles/bench_fig3_control_unit.dir/bench_fig3_control_unit.cpp.o"
+  "CMakeFiles/bench_fig3_control_unit.dir/bench_fig3_control_unit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_control_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

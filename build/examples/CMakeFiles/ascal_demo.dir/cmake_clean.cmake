@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascal_demo.dir/ascal_demo.cpp.o"
+  "CMakeFiles/ascal_demo.dir/ascal_demo.cpp.o.d"
+  "ascal_demo"
+  "ascal_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascal_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convex_hull.dir/convex_hull.cpp.o"
+  "CMakeFiles/convex_hull.dir/convex_hull.cpp.o.d"
+  "convex_hull"
+  "convex_hull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convex_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

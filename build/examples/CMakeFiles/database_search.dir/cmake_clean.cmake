@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_search.dir/database_search.cpp.o"
+  "CMakeFiles/database_search.dir/database_search.cpp.o.d"
+  "database_search"
+  "database_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

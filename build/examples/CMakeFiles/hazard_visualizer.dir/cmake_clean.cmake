@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazard_visualizer.dir/hazard_visualizer.cpp.o"
+  "CMakeFiles/hazard_visualizer.dir/hazard_visualizer.cpp.o.d"
+  "hazard_visualizer"
+  "hazard_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazard_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

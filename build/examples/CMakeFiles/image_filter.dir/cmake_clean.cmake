@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_filter.dir/image_filter.cpp.o"
+  "CMakeFiles/image_filter.dir/image_filter.cpp.o.d"
+  "image_filter"
+  "image_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

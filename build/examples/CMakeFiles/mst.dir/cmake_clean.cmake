@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst.dir/mst.cpp.o"
+  "CMakeFiles/mst.dir/mst.cpp.o.d"
+  "mst"
+  "mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/device.cpp" "src/arch/CMakeFiles/masc_arch.dir/device.cpp.o" "gcc" "src/arch/CMakeFiles/masc_arch.dir/device.cpp.o.d"
+  "/root/repo/src/arch/fit.cpp" "src/arch/CMakeFiles/masc_arch.dir/fit.cpp.o" "gcc" "src/arch/CMakeFiles/masc_arch.dir/fit.cpp.o.d"
+  "/root/repo/src/arch/resource_model.cpp" "src/arch/CMakeFiles/masc_arch.dir/resource_model.cpp.o" "gcc" "src/arch/CMakeFiles/masc_arch.dir/resource_model.cpp.o.d"
+  "/root/repo/src/arch/timing_model.cpp" "src/arch/CMakeFiles/masc_arch.dir/timing_model.cpp.o" "gcc" "src/arch/CMakeFiles/masc_arch.dir/timing_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/masc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc_arch.dir/device.cpp.o"
+  "CMakeFiles/masc_arch.dir/device.cpp.o.d"
+  "CMakeFiles/masc_arch.dir/fit.cpp.o"
+  "CMakeFiles/masc_arch.dir/fit.cpp.o.d"
+  "CMakeFiles/masc_arch.dir/resource_model.cpp.o"
+  "CMakeFiles/masc_arch.dir/resource_model.cpp.o.d"
+  "CMakeFiles/masc_arch.dir/timing_model.cpp.o"
+  "CMakeFiles/masc_arch.dir/timing_model.cpp.o.d"
+  "libmasc_arch.a"
+  "libmasc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ascal/ascal.cpp" "src/ascal/CMakeFiles/masc_ascal.dir/ascal.cpp.o" "gcc" "src/ascal/CMakeFiles/masc_ascal.dir/ascal.cpp.o.d"
+  "/root/repo/src/ascal/codegen.cpp" "src/ascal/CMakeFiles/masc_ascal.dir/codegen.cpp.o" "gcc" "src/ascal/CMakeFiles/masc_ascal.dir/codegen.cpp.o.d"
+  "/root/repo/src/ascal/lexer.cpp" "src/ascal/CMakeFiles/masc_ascal.dir/lexer.cpp.o" "gcc" "src/ascal/CMakeFiles/masc_ascal.dir/lexer.cpp.o.d"
+  "/root/repo/src/ascal/parser.cpp" "src/ascal/CMakeFiles/masc_ascal.dir/parser.cpp.o" "gcc" "src/ascal/CMakeFiles/masc_ascal.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asclib/CMakeFiles/masc_asclib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/masc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/masc_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/masc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/masc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

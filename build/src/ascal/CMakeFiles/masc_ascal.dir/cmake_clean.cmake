@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc_ascal.dir/ascal.cpp.o"
+  "CMakeFiles/masc_ascal.dir/ascal.cpp.o.d"
+  "CMakeFiles/masc_ascal.dir/codegen.cpp.o"
+  "CMakeFiles/masc_ascal.dir/codegen.cpp.o.d"
+  "CMakeFiles/masc_ascal.dir/lexer.cpp.o"
+  "CMakeFiles/masc_ascal.dir/lexer.cpp.o.d"
+  "CMakeFiles/masc_ascal.dir/parser.cpp.o"
+  "CMakeFiles/masc_ascal.dir/parser.cpp.o.d"
+  "libmasc_ascal.a"
+  "libmasc_ascal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc_ascal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asclib/algorithms/hull.cpp" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/hull.cpp.o" "gcc" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/hull.cpp.o.d"
+  "/root/repo/src/asclib/algorithms/image.cpp" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/image.cpp.o" "gcc" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/image.cpp.o.d"
+  "/root/repo/src/asclib/algorithms/mst.cpp" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/mst.cpp.o" "gcc" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/mst.cpp.o.d"
+  "/root/repo/src/asclib/algorithms/query.cpp" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/query.cpp.o" "gcc" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/query.cpp.o.d"
+  "/root/repo/src/asclib/algorithms/search.cpp" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/search.cpp.o" "gcc" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/search.cpp.o.d"
+  "/root/repo/src/asclib/algorithms/sort.cpp" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/sort.cpp.o" "gcc" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/sort.cpp.o.d"
+  "/root/repo/src/asclib/algorithms/string_match.cpp" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/string_match.cpp.o" "gcc" "src/asclib/CMakeFiles/masc_asclib.dir/algorithms/string_match.cpp.o.d"
+  "/root/repo/src/asclib/asc_machine.cpp" "src/asclib/CMakeFiles/masc_asclib.dir/asc_machine.cpp.o" "gcc" "src/asclib/CMakeFiles/masc_asclib.dir/asc_machine.cpp.o.d"
+  "/root/repo/src/asclib/kernels.cpp" "src/asclib/CMakeFiles/masc_asclib.dir/kernels.cpp.o" "gcc" "src/asclib/CMakeFiles/masc_asclib.dir/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/masc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/masc_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/masc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/masc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc_asclib.dir/algorithms/hull.cpp.o"
+  "CMakeFiles/masc_asclib.dir/algorithms/hull.cpp.o.d"
+  "CMakeFiles/masc_asclib.dir/algorithms/image.cpp.o"
+  "CMakeFiles/masc_asclib.dir/algorithms/image.cpp.o.d"
+  "CMakeFiles/masc_asclib.dir/algorithms/mst.cpp.o"
+  "CMakeFiles/masc_asclib.dir/algorithms/mst.cpp.o.d"
+  "CMakeFiles/masc_asclib.dir/algorithms/query.cpp.o"
+  "CMakeFiles/masc_asclib.dir/algorithms/query.cpp.o.d"
+  "CMakeFiles/masc_asclib.dir/algorithms/search.cpp.o"
+  "CMakeFiles/masc_asclib.dir/algorithms/search.cpp.o.d"
+  "CMakeFiles/masc_asclib.dir/algorithms/sort.cpp.o"
+  "CMakeFiles/masc_asclib.dir/algorithms/sort.cpp.o.d"
+  "CMakeFiles/masc_asclib.dir/algorithms/string_match.cpp.o"
+  "CMakeFiles/masc_asclib.dir/algorithms/string_match.cpp.o.d"
+  "CMakeFiles/masc_asclib.dir/asc_machine.cpp.o"
+  "CMakeFiles/masc_asclib.dir/asc_machine.cpp.o.d"
+  "CMakeFiles/masc_asclib.dir/kernels.cpp.o"
+  "CMakeFiles/masc_asclib.dir/kernels.cpp.o.d"
+  "libmasc_asclib.a"
+  "libmasc_asclib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc_asclib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for masc_asclib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/assembler.cpp" "src/assembler/CMakeFiles/masc_assembler.dir/assembler.cpp.o" "gcc" "src/assembler/CMakeFiles/masc_assembler.dir/assembler.cpp.o.d"
+  "/root/repo/src/assembler/lexer.cpp" "src/assembler/CMakeFiles/masc_assembler.dir/lexer.cpp.o" "gcc" "src/assembler/CMakeFiles/masc_assembler.dir/lexer.cpp.o.d"
+  "/root/repo/src/assembler/program_io.cpp" "src/assembler/CMakeFiles/masc_assembler.dir/program_io.cpp.o" "gcc" "src/assembler/CMakeFiles/masc_assembler.dir/program_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/masc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/masc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

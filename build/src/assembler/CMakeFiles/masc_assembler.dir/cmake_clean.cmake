@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc_assembler.dir/assembler.cpp.o"
+  "CMakeFiles/masc_assembler.dir/assembler.cpp.o.d"
+  "CMakeFiles/masc_assembler.dir/lexer.cpp.o"
+  "CMakeFiles/masc_assembler.dir/lexer.cpp.o.d"
+  "CMakeFiles/masc_assembler.dir/program_io.cpp.o"
+  "CMakeFiles/masc_assembler.dir/program_io.cpp.o.d"
+  "libmasc_assembler.a"
+  "libmasc_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

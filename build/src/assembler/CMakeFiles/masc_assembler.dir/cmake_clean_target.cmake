@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmasc_assembler.a"
+)

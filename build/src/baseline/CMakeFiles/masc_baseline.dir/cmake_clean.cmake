@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc_baseline.dir/comparison.cpp.o"
+  "CMakeFiles/masc_baseline.dir/comparison.cpp.o.d"
+  "CMakeFiles/masc_baseline.dir/configs.cpp.o"
+  "CMakeFiles/masc_baseline.dir/configs.cpp.o.d"
+  "libmasc_baseline.a"
+  "libmasc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

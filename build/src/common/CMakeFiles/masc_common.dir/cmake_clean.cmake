@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc_common.dir/config.cpp.o"
+  "CMakeFiles/masc_common.dir/config.cpp.o.d"
+  "libmasc_common.a"
+  "libmasc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/encoding.cpp" "src/isa/CMakeFiles/masc_isa.dir/encoding.cpp.o" "gcc" "src/isa/CMakeFiles/masc_isa.dir/encoding.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/isa/CMakeFiles/masc_isa.dir/instruction.cpp.o" "gcc" "src/isa/CMakeFiles/masc_isa.dir/instruction.cpp.o.d"
+  "/root/repo/src/isa/opcodes.cpp" "src/isa/CMakeFiles/masc_isa.dir/opcodes.cpp.o" "gcc" "src/isa/CMakeFiles/masc_isa.dir/opcodes.cpp.o.d"
+  "/root/repo/src/isa/operands.cpp" "src/isa/CMakeFiles/masc_isa.dir/operands.cpp.o" "gcc" "src/isa/CMakeFiles/masc_isa.dir/operands.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/masc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

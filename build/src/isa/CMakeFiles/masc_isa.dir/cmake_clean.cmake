@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc_isa.dir/encoding.cpp.o"
+  "CMakeFiles/masc_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/masc_isa.dir/instruction.cpp.o"
+  "CMakeFiles/masc_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/masc_isa.dir/opcodes.cpp.o"
+  "CMakeFiles/masc_isa.dir/opcodes.cpp.o.d"
+  "CMakeFiles/masc_isa.dir/operands.cpp.o"
+  "CMakeFiles/masc_isa.dir/operands.cpp.o.d"
+  "libmasc_isa.a"
+  "libmasc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arch_state.cpp" "src/sim/CMakeFiles/masc_sim.dir/arch_state.cpp.o" "gcc" "src/sim/CMakeFiles/masc_sim.dir/arch_state.cpp.o.d"
+  "/root/repo/src/sim/debugger.cpp" "src/sim/CMakeFiles/masc_sim.dir/debugger.cpp.o" "gcc" "src/sim/CMakeFiles/masc_sim.dir/debugger.cpp.o.d"
+  "/root/repo/src/sim/exec.cpp" "src/sim/CMakeFiles/masc_sim.dir/exec.cpp.o" "gcc" "src/sim/CMakeFiles/masc_sim.dir/exec.cpp.o.d"
+  "/root/repo/src/sim/funcsim.cpp" "src/sim/CMakeFiles/masc_sim.dir/funcsim.cpp.o" "gcc" "src/sim/CMakeFiles/masc_sim.dir/funcsim.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/masc_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/masc_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/network/falkoff.cpp" "src/sim/CMakeFiles/masc_sim.dir/network/falkoff.cpp.o" "gcc" "src/sim/CMakeFiles/masc_sim.dir/network/falkoff.cpp.o.d"
+  "/root/repo/src/sim/network/trees.cpp" "src/sim/CMakeFiles/masc_sim.dir/network/trees.cpp.o" "gcc" "src/sim/CMakeFiles/masc_sim.dir/network/trees.cpp.o.d"
+  "/root/repo/src/sim/scoreboard.cpp" "src/sim/CMakeFiles/masc_sim.dir/scoreboard.cpp.o" "gcc" "src/sim/CMakeFiles/masc_sim.dir/scoreboard.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/masc_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/masc_sim.dir/stats.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/masc_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/masc_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/masc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/masc_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/masc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc_sim.dir/arch_state.cpp.o"
+  "CMakeFiles/masc_sim.dir/arch_state.cpp.o.d"
+  "CMakeFiles/masc_sim.dir/debugger.cpp.o"
+  "CMakeFiles/masc_sim.dir/debugger.cpp.o.d"
+  "CMakeFiles/masc_sim.dir/exec.cpp.o"
+  "CMakeFiles/masc_sim.dir/exec.cpp.o.d"
+  "CMakeFiles/masc_sim.dir/funcsim.cpp.o"
+  "CMakeFiles/masc_sim.dir/funcsim.cpp.o.d"
+  "CMakeFiles/masc_sim.dir/machine.cpp.o"
+  "CMakeFiles/masc_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/masc_sim.dir/network/falkoff.cpp.o"
+  "CMakeFiles/masc_sim.dir/network/falkoff.cpp.o.d"
+  "CMakeFiles/masc_sim.dir/network/trees.cpp.o"
+  "CMakeFiles/masc_sim.dir/network/trees.cpp.o.d"
+  "CMakeFiles/masc_sim.dir/scoreboard.cpp.o"
+  "CMakeFiles/masc_sim.dir/scoreboard.cpp.o.d"
+  "CMakeFiles/masc_sim.dir/stats.cpp.o"
+  "CMakeFiles/masc_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/masc_sim.dir/trace.cpp.o"
+  "CMakeFiles/masc_sim.dir/trace.cpp.o.d"
+  "libmasc_sim.a"
+  "libmasc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc-as.dir/masc_as.cpp.o"
+  "CMakeFiles/masc-as.dir/masc_as.cpp.o.d"
+  "masc-as"
+  "masc-as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc-as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

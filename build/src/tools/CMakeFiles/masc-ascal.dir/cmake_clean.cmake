@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc-ascal.dir/masc_ascal.cpp.o"
+  "CMakeFiles/masc-ascal.dir/masc_ascal.cpp.o.d"
+  "masc-ascal"
+  "masc-ascal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc-ascal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

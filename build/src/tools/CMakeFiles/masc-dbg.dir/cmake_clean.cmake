@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc-dbg.dir/masc_dbg.cpp.o"
+  "CMakeFiles/masc-dbg.dir/masc_dbg.cpp.o.d"
+  "masc-dbg"
+  "masc-dbg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc-dbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

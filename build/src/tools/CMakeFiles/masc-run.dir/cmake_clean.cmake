@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masc-run.dir/masc_run.cpp.o"
+  "CMakeFiles/masc-run.dir/masc_run.cpp.o.d"
+  "masc-run"
+  "masc-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masc-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algorithms_test.cpp" "tests/CMakeFiles/test_algorithms.dir/algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/test_algorithms.dir/algorithms_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/masc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/masc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/asclib/CMakeFiles/masc_asclib.dir/DependInfo.cmake"
+  "/root/repo/build/src/ascal/CMakeFiles/masc_ascal.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/masc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/masc_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/masc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/masc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_state.dir/arch_state_test.cpp.o"
+  "CMakeFiles/test_arch_state.dir/arch_state_test.cpp.o.d"
+  "test_arch_state"
+  "test_arch_state.pdb"
+  "test_arch_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asc_machine.dir/asc_machine_test.cpp.o"
+  "CMakeFiles/test_asc_machine.dir/asc_machine_test.cpp.o.d"
+  "test_asc_machine"
+  "test_asc_machine.pdb"
+  "test_asc_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascal.dir/ascal_test.cpp.o"
+  "CMakeFiles/test_ascal.dir/ascal_test.cpp.o.d"
+  "test_ascal"
+  "test_ascal.pdb"
+  "test_ascal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

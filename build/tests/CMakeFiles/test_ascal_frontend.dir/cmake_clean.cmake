@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascal_frontend.dir/ascal_frontend_test.cpp.o"
+  "CMakeFiles/test_ascal_frontend.dir/ascal_frontend_test.cpp.o.d"
+  "test_ascal_frontend"
+  "test_ascal_frontend.pdb"
+  "test_ascal_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascal_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascal_fuzz.dir/ascal_fuzz_test.cpp.o"
+  "CMakeFiles/test_ascal_fuzz.dir/ascal_fuzz_test.cpp.o.d"
+  "test_ascal_fuzz"
+  "test_ascal_fuzz.pdb"
+  "test_ascal_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascal_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

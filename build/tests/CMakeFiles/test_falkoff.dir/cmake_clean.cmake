@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_falkoff.dir/falkoff_test.cpp.o"
+  "CMakeFiles/test_falkoff.dir/falkoff_test.cpp.o.d"
+  "test_falkoff"
+  "test_falkoff.pdb"
+  "test_falkoff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_falkoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_funcsim.dir/funcsim_test.cpp.o"
+  "CMakeFiles/test_funcsim.dir/funcsim_test.cpp.o.d"
+  "test_funcsim"
+  "test_funcsim.pdb"
+  "test_funcsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_funcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hazards.dir/hazards_test.cpp.o"
+  "CMakeFiles/test_hazards.dir/hazards_test.cpp.o.d"
+  "test_hazards"
+  "test_hazards.pdb"
+  "test_hazards[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hazards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hull.dir/hull_test.cpp.o"
+  "CMakeFiles/test_hull.dir/hull_test.cpp.o.d"
+  "test_hull"
+  "test_hull.pdb"
+  "test_hull[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_invariants.dir/machine_invariants_test.cpp.o"
+  "CMakeFiles/test_machine_invariants.dir/machine_invariants_test.cpp.o.d"
+  "test_machine_invariants"
+  "test_machine_invariants.pdb"
+  "test_machine_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multithreading.dir/multithreading_test.cpp.o"
+  "CMakeFiles/test_multithreading.dir/multithreading_test.cpp.o.d"
+  "test_multithreading"
+  "test_multithreading.pdb"
+  "test_multithreading[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multithreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_policy.dir/sched_policy_test.cpp.o"
+  "CMakeFiles/test_sched_policy.dir/sched_policy_test.cpp.o.d"
+  "test_sched_policy"
+  "test_sched_policy.pdb"
+  "test_sched_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
