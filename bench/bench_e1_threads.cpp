@@ -17,24 +17,34 @@ int main() {
   const std::uint32_t pe_counts[] = {16, 64, 256, 1024};
   const std::uint32_t thread_counts[] = {1, 2, 4, 8, 16, 32};
 
+  // The whole p × t grid is independent simulations — run it through the
+  // sweep pool; results come back in grid order.
+  std::vector<SweepJob> jobs;
+  for (const auto p : pe_counts)
+    for (const auto t : thread_counts) {
+      MachineConfig cfg;
+      cfg.num_pes = p;
+      cfg.word_width = 16;
+      cfg.num_threads = t;
+      jobs.push_back(bench::make_job(cfg, bench::reduction_chain_program(kTotalWork)));
+    }
+  const auto stats = bench::run_sweep(jobs);
+
   std::printf("\n%8s |", "PEs(b+r)");
   for (const auto t : thread_counts) std::printf("  t=%-5u", t);
   std::printf("\n---------+");
   for (std::size_t i = 0; i < std::size(thread_counts); ++i) std::printf("--------");
   std::printf("\n");
 
+  std::size_t next = 0;
   for (const auto p : pe_counts) {
     MachineConfig probe;
     probe.num_pes = p;
     probe.word_width = 16;
     const unsigned br = probe.broadcast_latency() + probe.reduction_latency();
     std::printf("%4u(%2u) |", p, br);
-    for (const auto t : thread_counts) {
-      MachineConfig cfg = probe;
-      cfg.num_threads = t;
-      const auto st = bench::run_stats(cfg, bench::reduction_chain_program(kTotalWork));
-      std::printf("  %6.3f", st.ipc());
-    }
+    for (std::size_t i = 0; i < std::size(thread_counts); ++i)
+      std::printf("  %6.3f", stats[next++].ipc());
     std::printf("\n");
   }
 

@@ -13,15 +13,25 @@ int main() {
 
   constexpr unsigned kTotalWork = 2048;
 
-  std::printf("\n%6s %8s | %10s %10s %12s %12s %10s | %8s\n", "PEs", "threads",
-              "cycles", "idle", "reduction", "bcast-red", "control", "IPC");
-  for (const std::uint32_t p : {4u, 16u, 64u, 256u, 1024u}) {
-    for (const std::uint32_t t : {1u, 16u}) {
+  const std::uint32_t pe_counts[] = {4, 16, 64, 256, 1024};
+  const std::uint32_t thread_counts[] = {1, 16};
+  std::vector<SweepJob> jobs;
+  for (const std::uint32_t p : pe_counts)
+    for (const std::uint32_t t : thread_counts) {
       MachineConfig cfg;
       cfg.num_pes = p;
       cfg.word_width = 16;
       cfg.num_threads = t;
-      const auto st = bench::run_stats(cfg, bench::mixed_asc_program(kTotalWork));
+      jobs.push_back(bench::make_job(cfg, bench::mixed_asc_program(kTotalWork)));
+    }
+  const auto stats = bench::run_sweep(jobs);
+
+  std::printf("\n%6s %8s | %10s %10s %12s %12s %10s | %8s\n", "PEs", "threads",
+              "cycles", "idle", "reduction", "bcast-red", "control", "IPC");
+  std::size_t next = 0;
+  for (const std::uint32_t p : pe_counts) {
+    for (const std::uint32_t t : thread_counts) {
+      const auto& st = stats[next++];
       std::printf("%6u %8u | %10llu %10llu %12llu %12llu %10llu | %8.3f\n", p, t,
                   static_cast<unsigned long long>(st.cycles),
                   static_cast<unsigned long long>(st.idle_cycles),

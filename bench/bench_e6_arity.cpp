@@ -17,19 +17,36 @@ int main() {
                 "§6.4 design statement (arity chosen to maximize performance)");
 
   constexpr unsigned kWork = 1024;
-  for (const std::uint32_t p : {64u, 256u, 1024u}) {
-    std::printf("\n%u PEs, single thread (stall-bound worst case):\n", p);
-    std::printf("  %4s %4s %6s %12s %10s %12s\n", "k", "b", "b+r", "cycles",
-                "Fmax", "time(us)");
-    double best_time = 1e30;
-    std::uint32_t best_k = 2;
-    for (const std::uint32_t k : {2u, 4u, 8u, 16u, 32u}) {
+  const std::uint32_t st_pes[] = {64, 256, 1024};
+  const std::uint32_t st_arities[] = {2, 4, 8, 16, 32};
+
+  // Both arity grids are independent simulations — run them as one sweep.
+  std::vector<SweepJob> jobs;
+  for (const std::uint32_t p : st_pes)
+    for (const std::uint32_t k : st_arities) {
       MachineConfig cfg;
       cfg.num_pes = p;
       cfg.word_width = 16;
       cfg.num_threads = 1;
       cfg.broadcast_arity = k;
-      const auto st = bench::run_stats(cfg, bench::reduction_chain_program(kWork));
+      jobs.push_back(bench::make_job(cfg, bench::reduction_chain_program(kWork)));
+    }
+  const auto stats = bench::run_sweep(jobs);
+
+  std::size_t next = 0;
+  for (const std::uint32_t p : st_pes) {
+    std::printf("\n%u PEs, single thread (stall-bound worst case):\n", p);
+    std::printf("  %4s %4s %6s %12s %10s %12s\n", "k", "b", "b+r", "cycles",
+                "Fmax", "time(us)");
+    double best_time = 1e30;
+    std::uint32_t best_k = 2;
+    for (const std::uint32_t k : st_arities) {
+      MachineConfig cfg;
+      cfg.num_pes = p;
+      cfg.word_width = 16;
+      cfg.num_threads = 1;
+      cfg.broadcast_arity = k;
+      const auto& st = stats[next++];
       const double fmax = arch::TimingModel::fmax_mhz(cfg, arch::ep2c35());
       const double us = arch::TimingModel::seconds(cfg, arch::ep2c35(),
                                                    static_cast<double>(st.cycles)) * 1e6;
@@ -48,14 +65,28 @@ int main() {
   std::printf("\nwith 16 threads the stall term nearly vanishes, so the arity\n"
               "choice shifts toward whatever keeps the clock highest:\n");
   std::printf("  %6s %4s %12s %10s %12s\n", "PEs", "k", "cycles", "Fmax", "time(us)");
-  for (const std::uint32_t p : {256u, 1024u}) {
-    for (const std::uint32_t k : {2u, 8u, 32u}) {
+  const std::uint32_t mt_pes[] = {256, 1024};
+  const std::uint32_t mt_arities[] = {2, 8, 32};
+  std::vector<SweepJob> mt_jobs;
+  for (const std::uint32_t p : mt_pes)
+    for (const std::uint32_t k : mt_arities) {
       MachineConfig cfg;
       cfg.num_pes = p;
       cfg.word_width = 16;
       cfg.num_threads = 16;
       cfg.broadcast_arity = k;
-      const auto st = bench::run_stats(cfg, bench::reduction_chain_program(kWork));
+      mt_jobs.push_back(bench::make_job(cfg, bench::reduction_chain_program(kWork)));
+    }
+  const auto mt_stats = bench::run_sweep(mt_jobs);
+  next = 0;
+  for (const std::uint32_t p : mt_pes) {
+    for (const std::uint32_t k : mt_arities) {
+      MachineConfig cfg;
+      cfg.num_pes = p;
+      cfg.word_width = 16;
+      cfg.num_threads = 16;
+      cfg.broadcast_arity = k;
+      const auto& st = mt_stats[next++];
       const double fmax = arch::TimingModel::fmax_mhz(cfg, arch::ep2c35());
       const double us = arch::TimingModel::seconds(cfg, arch::ep2c35(),
                                                    static_cast<double>(st.cycles)) * 1e6;

@@ -59,6 +59,35 @@ void BM_FuncSim(benchmark::State& state) {
 }
 BENCHMARK(BM_FuncSim)->Arg(16)->Arg(256)->Unit(benchmark::kMillisecond);
 
+// Sweep throughput: a Fig. 4-style thread-count grid (4 machine sizes ×
+// 6 thread counts) dispatched across a worker pool. jobs/s at rising
+// worker counts measures the sweep runner's scaling on this host; on a
+// single-core container all worker counts collapse to the same rate.
+void BM_Sweep(benchmark::State& state) {
+  const auto workers = static_cast<unsigned>(state.range(0));
+  const std::string src = bench::reduction_chain_program(512);
+  std::vector<SweepJob> jobs;
+  for (const std::uint32_t p : {16u, 64u, 256u, 1024u})
+    for (const std::uint32_t t : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      MachineConfig cfg;
+      cfg.num_pes = p;
+      cfg.word_width = 16;
+      cfg.num_threads = t;
+      jobs.push_back(bench::make_job(cfg, src));
+    }
+
+  std::uint64_t total_jobs = 0;
+  for (auto _ : state) {
+    const auto results = SweepRunner(workers).run(jobs);
+    benchmark::DoNotOptimize(results.data());
+    total_jobs += results.size();
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(total_jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_Assembler(benchmark::State& state) {
   const std::string src = bench::mixed_asc_program(512);
   for (auto _ : state) {

@@ -4,9 +4,11 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "assembler/assembler.hpp"
 #include "sim/machine.hpp"
+#include "sim/sweep.hpp"
 
 namespace masc::bench {
 
@@ -83,6 +85,36 @@ inline Stats run_stats(const MachineConfig& cfg, const std::string& src,
   m.load(assemble(src));
   if (!m.run(max_cycles)) throw SimulationError("benchmark workload timed out");
   return m.stats();
+}
+
+/// Build one sweep job for a (config, source) pair.
+inline SweepJob make_job(const MachineConfig& cfg, const std::string& src,
+                         Cycle max_cycles = 100'000'000) {
+  SweepJob job;
+  job.cfg = cfg;
+  job.program = assemble(src);
+  job.label = cfg.name();
+  job.max_cycles = max_cycles;
+  return job;
+}
+
+/// Run a grid of independent jobs across all host cores. Results come
+/// back in submission order (the SweepRunner's determinism guarantee),
+/// so callers index them by the same loop structure that built the grid.
+/// Throws on the first job that timed out or errored, like run_stats.
+inline std::vector<Stats> run_sweep(const std::vector<SweepJob>& jobs,
+                                    unsigned workers = 0) {
+  const auto results = SweepRunner(workers).run(jobs);
+  std::vector<Stats> stats;
+  stats.reserve(results.size());
+  for (const auto& r : results) {
+    if (!r.error.empty())
+      throw SimulationError("sweep job " + r.label + " failed: " + r.error);
+    if (!r.finished)
+      throw SimulationError("sweep job " + r.label + " timed out");
+    stats.push_back(r.stats);
+  }
+  return stats;
 }
 
 inline void header(const std::string& title, const std::string& paper_ref) {

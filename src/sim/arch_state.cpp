@@ -15,6 +15,8 @@ ArchState::ArchState(const MachineConfig& cfg) : cfg_(cfg) {
   pregs_.assign(threads * cfg_.num_parallel_regs * cfg_.num_pes, 0);
   pflags_.assign(threads * cfg_.num_flag_regs * cfg_.num_pes, 0);
   threads_.assign(threads, ThreadContext{});
+  zero_row_.assign(cfg_.num_pes, 0);
+  ones_row_.assign(cfg_.num_pes, 1);
 }
 
 void ArchState::load(const Program& program) {

@@ -56,6 +56,34 @@ class ArchState {
   Word local_mem(PEIndex pe, Addr a) const;
   void set_local_mem(PEIndex pe, Addr a, Word v);
 
+  // --- Hot-path row accessors -----------------------------------------------
+  // The backing stores are laid out structure-of-arrays for the PE loops:
+  // pregs_[thread][reg][pe] and pflags_[thread][flag][pe], so one
+  // (thread, reg) pair is a contiguous num_pes-element row. The execute
+  // stage iterates these rows directly (vectorizable), instead of one
+  // bounds-checked accessor call per PE. Register/flag 0 is hardwired:
+  // callers must route reads of row 0 through zero_row()/ones_row() and
+  // skip writes entirely.
+  Word* preg_row(ThreadId t, RegNum r) {
+    return pregs_.data() + preg_index(t, r, 0);
+  }
+  const Word* preg_row(ThreadId t, RegNum r) const {
+    return pregs_.data() + preg_index(t, r, 0);
+  }
+  std::uint8_t* pflag_row(ThreadId t, RegNum f) {
+    return pflags_.data() + pflag_index(t, f, 0);
+  }
+  const std::uint8_t* pflag_row(ThreadId t, RegNum f) const {
+    return pflags_.data() + pflag_index(t, f, 0);
+  }
+  Word* local_mem_row(PEIndex pe) {
+    return local_mem_.data() + static_cast<std::size_t>(pe) * cfg_.local_mem_bytes;
+  }
+  /// num_pes zeros — the value row of hardwired register 0.
+  const Word* zero_row() const { return zero_row_.data(); }
+  /// num_pes ones — the value row of hardwired flag 0 (always active).
+  const std::uint8_t* ones_row() const { return ones_row_.data(); }
+
   /// Bulk accessors used by the asclib data-binding API and by tests.
   std::vector<Word> read_preg_vector(ThreadId t, RegNum r) const;
   void write_preg_vector(ThreadId t, RegNum r, const std::vector<Word>& v);
@@ -94,6 +122,8 @@ class ArchState {
   std::vector<Word> pregs_;       ///< [thread][reg][pe]
   std::vector<std::uint8_t> pflags_;
   std::vector<ThreadContext> threads_;
+  std::vector<Word> zero_row_;            ///< num_pes zeros (register 0)
+  std::vector<std::uint8_t> ones_row_;    ///< num_pes ones (flag 0)
 };
 
 }  // namespace masc

@@ -1,5 +1,6 @@
 #include "sim/exec.hpp"
 
+#include <span>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -94,12 +95,15 @@ using detail::alu_op;
 using detail::cmp_op;
 using detail::flag_op;
 
-/// The activity vector of a masked parallel/reduction instruction.
-std::vector<std::uint8_t> active_pes(const ArchState& st, ThreadId t, RegNum mask) {
-  const auto p = st.config().num_pes;
-  std::vector<std::uint8_t> act(p);
-  for (PEIndex pe = 0; pe < p; ++pe) act[pe] = st.pflag(t, mask, pe) ? 1 : 0;
-  return act;
+/// The activity row of a masked parallel/reduction instruction: flag 0 is
+/// hardwired to 1, so an unmasked instruction reads the all-ones row.
+const std::uint8_t* activity_row(const ArchState& st, ThreadId t, RegNum mask) {
+  return mask == 0 ? st.ones_row() : st.pflag_row(t, mask);
+}
+
+/// Parallel-register source row: register 0 is hardwired to 0.
+const Word* value_row(const ArchState& st, ThreadId t, RegNum r) {
+  return r == 0 ? st.zero_row() : st.preg_row(t, r);
 }
 
 net::ReduceOp reduce_op_of(RedFunct f) {
@@ -117,115 +121,193 @@ net::ReduceOp reduce_op_of(RedFunct f) {
 }
 
 /// Execute a parallel-class instruction across the PE array.
+///
+/// The per-PE state is stored structure-of-arrays (one contiguous row per
+/// (thread, register)), so each opcode runs as a tight row loop the
+/// compiler can vectorize, rather than a per-PE dispatch through the
+/// bounds-checked scalar accessors. Writes to hardwired register/flag 0
+/// have no architectural effect, so those loops are skipped outright —
+/// except PLW, whose address bounds checks must still fire.
 void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
   const auto& cfg = st.config();
   const unsigned w = cfg.word_width;
-  const auto act = active_pes(st, t, in.mask);
+  const std::uint32_t p = cfg.num_pes;
+  const std::uint8_t* const act = activity_row(st, t, in.mask);
 
-  for (PEIndex pe = 0; pe < cfg.num_pes; ++pe) {
-    if (!act[pe]) continue;
-    switch (in.op) {
-      case Opcode::kPAlu:
-        st.set_preg(t, in.rd, pe,
-                    alu_op(static_cast<AluFunct>(in.funct),
-                           st.preg(t, in.rs, pe), st.preg(t, in.rt, pe), w));
-        break;
-      case Opcode::kPAluS:
-        // Broadcast-scalar form: the scalar value is the LEFT operand.
-        st.set_preg(t, in.rd, pe,
-                    alu_op(static_cast<AluFunct>(in.funct),
-                           st.sreg(t, in.rs), st.preg(t, in.rt, pe), w));
-        break;
-      case Opcode::kPImm: {
-        const Word imm = truncate(static_cast<Word>(in.imm), w);
-        switch (static_cast<PImmOp>(in.funct)) {
-          case PImmOp::kAddi:
-            st.set_preg(t, in.rd, pe, alu_op(AluFunct::kAdd, st.preg(t, in.rs, pe), imm, w));
-            break;
-          case PImmOp::kAndi:
-            st.set_preg(t, in.rd, pe, st.preg(t, in.rs, pe) & imm);
-            break;
-          case PImmOp::kOri:
-            st.set_preg(t, in.rd, pe, st.preg(t, in.rs, pe) | imm);
-            break;
-          case PImmOp::kXori:
-            st.set_preg(t, in.rd, pe, st.preg(t, in.rs, pe) ^ imm);
-            break;
-          case PImmOp::kSlli:
-            st.set_preg(t, in.rd, pe, alu_op(AluFunct::kSll, st.preg(t, in.rs, pe), imm, w));
-            break;
-          case PImmOp::kSrli:
-            st.set_preg(t, in.rd, pe, alu_op(AluFunct::kSrl, st.preg(t, in.rs, pe), imm, w));
-            break;
-          case PImmOp::kSrai:
-            st.set_preg(t, in.rd, pe, alu_op(AluFunct::kSra, st.preg(t, in.rs, pe), imm, w));
-            break;
-          case PImmOp::kMovi:
-            st.set_preg(t, in.rd, pe, imm);
-            break;
-          case PImmOp::kCount:
-            break;
-        }
-        break;
-      }
-      case Opcode::kPCmp:
-        st.set_pflag(t, in.rd, pe,
-                     cmp_op(static_cast<CmpFunct>(in.funct),
-                            st.preg(t, in.rs, pe), st.preg(t, in.rt, pe), w));
-        break;
-      case Opcode::kPCmpS:
-        st.set_pflag(t, in.rd, pe,
-                     cmp_op(static_cast<CmpFunct>(in.funct),
-                            st.sreg(t, in.rs), st.preg(t, in.rt, pe), w));
-        break;
-      case Opcode::kPFlag:
-        st.set_pflag(t, in.rd, pe,
-                     flag_op(static_cast<FlagFunct>(in.funct),
-                             st.pflag(t, in.rs, pe), st.pflag(t, in.rt, pe)));
-        break;
-      case Opcode::kPLw: {
-        const Addr a = truncate(st.preg(t, in.rs, pe) +
-                                    static_cast<Word>(in.imm), 32);
-        st.set_preg(t, in.rd, pe, st.local_mem(pe, a));
-        break;
-      }
-      case Opcode::kPSw: {
-        const Addr a = truncate(st.preg(t, in.rs, pe) +
-                                    static_cast<Word>(in.imm), 32);
-        st.set_local_mem(pe, a, st.preg(t, in.rd, pe));
-        break;
-      }
-      case Opcode::kPMov:
-        if (static_cast<PMovFunct>(in.funct) == PMovFunct::kBcast)
-          st.set_preg(t, in.rd, pe, st.sreg(t, in.rs));
-        else
-          st.set_preg(t, in.rd, pe, truncate(pe, st.config().word_width));
-        break;
-      default:
-        throw SimulationError("exec_parallel: not a parallel opcode");
+  // Mirror the range checks the scalar write accessors performed.
+  auto check_preg = [&](RegNum r) {
+    expect(r < cfg.num_parallel_regs, "parallel register out of range");
+  };
+  auto check_pflag = [&](RegNum f) {
+    expect(f < cfg.num_flag_regs, "parallel flag out of range");
+  };
+
+  switch (in.op) {
+    case Opcode::kPAlu: {
+      if (in.rd == 0) return;
+      check_preg(in.rd);
+      const auto f = static_cast<AluFunct>(in.funct);
+      const Word* const a = value_row(st, t, in.rs);
+      const Word* const b = value_row(st, t, in.rt);
+      Word* const d = st.preg_row(t, in.rd);
+      for (PEIndex pe = 0; pe < p; ++pe)
+        if (act[pe]) d[pe] = alu_op(f, a[pe], b[pe], w);
+      return;
     }
+    case Opcode::kPAluS: {
+      // Broadcast-scalar form: the scalar value is the LEFT operand.
+      if (in.rd == 0) return;
+      check_preg(in.rd);
+      const auto f = static_cast<AluFunct>(in.funct);
+      const Word s = st.sreg(t, in.rs);
+      const Word* const b = value_row(st, t, in.rt);
+      Word* const d = st.preg_row(t, in.rd);
+      for (PEIndex pe = 0; pe < p; ++pe)
+        if (act[pe]) d[pe] = alu_op(f, s, b[pe], w);
+      return;
+    }
+    case Opcode::kPImm: {
+      if (in.rd == 0) return;
+      check_preg(in.rd);
+      const Word imm = truncate(static_cast<Word>(in.imm), w);
+      const Word* const a = value_row(st, t, in.rs);
+      Word* const d = st.preg_row(t, in.rd);
+      switch (static_cast<PImmOp>(in.funct)) {
+        case PImmOp::kAddi:
+          for (PEIndex pe = 0; pe < p; ++pe)
+            if (act[pe]) d[pe] = alu_op(AluFunct::kAdd, a[pe], imm, w);
+          break;
+        case PImmOp::kAndi:
+          for (PEIndex pe = 0; pe < p; ++pe)
+            if (act[pe]) d[pe] = a[pe] & imm;
+          break;
+        case PImmOp::kOri:
+          for (PEIndex pe = 0; pe < p; ++pe)
+            if (act[pe]) d[pe] = a[pe] | imm;
+          break;
+        case PImmOp::kXori:
+          for (PEIndex pe = 0; pe < p; ++pe)
+            if (act[pe]) d[pe] = a[pe] ^ imm;
+          break;
+        case PImmOp::kSlli:
+          for (PEIndex pe = 0; pe < p; ++pe)
+            if (act[pe]) d[pe] = alu_op(AluFunct::kSll, a[pe], imm, w);
+          break;
+        case PImmOp::kSrli:
+          for (PEIndex pe = 0; pe < p; ++pe)
+            if (act[pe]) d[pe] = alu_op(AluFunct::kSrl, a[pe], imm, w);
+          break;
+        case PImmOp::kSrai:
+          for (PEIndex pe = 0; pe < p; ++pe)
+            if (act[pe]) d[pe] = alu_op(AluFunct::kSra, a[pe], imm, w);
+          break;
+        case PImmOp::kMovi:
+          for (PEIndex pe = 0; pe < p; ++pe)
+            if (act[pe]) d[pe] = imm;
+          break;
+        case PImmOp::kCount:
+          break;
+      }
+      return;
+    }
+    case Opcode::kPCmp: {
+      if (in.rd == 0) return;
+      check_pflag(in.rd);
+      const auto f = static_cast<CmpFunct>(in.funct);
+      const Word* const a = value_row(st, t, in.rs);
+      const Word* const b = value_row(st, t, in.rt);
+      std::uint8_t* const d = st.pflag_row(t, in.rd);
+      for (PEIndex pe = 0; pe < p; ++pe)
+        if (act[pe]) d[pe] = cmp_op(f, a[pe], b[pe], w) ? 1 : 0;
+      return;
+    }
+    case Opcode::kPCmpS: {
+      if (in.rd == 0) return;
+      check_pflag(in.rd);
+      const auto f = static_cast<CmpFunct>(in.funct);
+      const Word s = st.sreg(t, in.rs);
+      const Word* const b = value_row(st, t, in.rt);
+      std::uint8_t* const d = st.pflag_row(t, in.rd);
+      for (PEIndex pe = 0; pe < p; ++pe)
+        if (act[pe]) d[pe] = cmp_op(f, s, b[pe], w) ? 1 : 0;
+      return;
+    }
+    case Opcode::kPFlag: {
+      if (in.rd == 0) return;
+      check_pflag(in.rd);
+      const auto f = static_cast<FlagFunct>(in.funct);
+      const std::uint8_t* const a = activity_row(st, t, in.rs);
+      const std::uint8_t* const b = activity_row(st, t, in.rt);
+      std::uint8_t* const d = st.pflag_row(t, in.rd);
+      for (PEIndex pe = 0; pe < p; ++pe)
+        if (act[pe]) d[pe] = flag_op(f, a[pe] != 0, b[pe] != 0) ? 1 : 0;
+      return;
+    }
+    case Opcode::kPLw: {
+      if (in.rd != 0) check_preg(in.rd);
+      const Word* const base = value_row(st, t, in.rs);
+      Word* const d = in.rd != 0 ? st.preg_row(t, in.rd) : nullptr;
+      for (PEIndex pe = 0; pe < p; ++pe) {
+        if (!act[pe]) continue;
+        const Addr a = truncate(base[pe] + static_cast<Word>(in.imm), 32);
+        expect(a < cfg.local_mem_bytes, "local memory read out of range");
+        if (d) d[pe] = st.local_mem_row(pe)[a];
+      }
+      return;
+    }
+    case Opcode::kPSw: {
+      const Word* const base = value_row(st, t, in.rs);
+      const Word* const src = value_row(st, t, in.rd);
+      for (PEIndex pe = 0; pe < p; ++pe) {
+        if (!act[pe]) continue;
+        const Addr a = truncate(base[pe] + static_cast<Word>(in.imm), 32);
+        expect(a < cfg.local_mem_bytes, "local memory write out of range");
+        st.local_mem_row(pe)[a] = src[pe];
+      }
+      return;
+    }
+    case Opcode::kPMov: {
+      if (in.rd == 0) return;
+      check_preg(in.rd);
+      Word* const d = st.preg_row(t, in.rd);
+      if (static_cast<PMovFunct>(in.funct) == PMovFunct::kBcast) {
+        const Word s = st.sreg(t, in.rs);
+        for (PEIndex pe = 0; pe < p; ++pe)
+          if (act[pe]) d[pe] = s;
+      } else {
+        for (PEIndex pe = 0; pe < p; ++pe)
+          if (act[pe]) d[pe] = truncate(pe, w);
+      }
+      return;
+    }
+    default:
+      throw SimulationError("exec_parallel: not a parallel opcode");
   }
 }
 
 /// Execute a reduction-class instruction (uses the reduction network).
+/// Operand vectors are passed to the network as spans over the SoA
+/// register rows — no per-instruction gather copies.
 void exec_reduction(ArchState& st, ThreadId t, const Instruction& in) {
   const auto& cfg = st.config();
   const unsigned w = cfg.word_width;
-  const auto act = active_pes(st, t, in.mask);
+  const std::uint32_t p = cfg.num_pes;
+  const std::span<const std::uint8_t> act{activity_row(st, t, in.mask), p};
 
   if (in.op == Opcode::kRSel) {
     // Multiple-response resolver: parallel-prefix over the flag vector.
-    std::vector<std::uint8_t> flags(cfg.num_pes);
-    for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
-      flags[pe] = st.pflag(t, in.rs, pe) ? 1 : 0;
+    const std::span<const std::uint8_t> flags{activity_row(st, t, in.rs), p};
     const auto first = net::resolve_first(flags, act);
     const auto f = static_cast<RSelFunct>(in.funct);
-    for (PEIndex pe = 0; pe < cfg.num_pes; ++pe) {
+    if (in.rd == 0) return;  // flag 0 is hardwired; writes are dropped
+    expect(in.rd < cfg.num_flag_regs, "parallel flag out of range");
+    std::uint8_t* const d = st.pflag_row(t, in.rd);
+    for (PEIndex pe = 0; pe < p; ++pe) {
       if (!act[pe]) continue;
       if (f == RSelFunct::kFirst)
-        st.set_pflag(t, in.rd, pe, first[pe] != 0);
+        d[pe] = first[pe];
       else  // kClearFirst: source flags minus the first responder
-        st.set_pflag(t, in.rd, pe, flags[pe] && !first[pe]);
+        d[pe] = (flags[pe] && !first[pe]) ? 1 : 0;
     }
     return;
   }
@@ -234,24 +316,19 @@ void exec_reduction(ArchState& st, ThreadId t, const Instruction& in) {
   switch (f) {
     case RedFunct::kCount_:
     case RedFunct::kAny: {
-      std::vector<Word> flags(cfg.num_pes);
-      for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
-        flags[pe] = st.pflag(t, in.rs, pe) ? 1 : 0;
+      const std::span<const std::uint8_t> flags{activity_row(st, t, in.rs), p};
       // The response counter's adder tree is wide enough for an exact
       // count (paper §6.4); the architectural result is then truncated to
       // the word width when written to the destination register.
-      const Word count = net::tree_reduce(net::ReduceOp::kCountFlags, flags, act, 32);
+      const Word count = net::flag_reduce(net::ReduceOp::kCountFlags, flags, act);
       st.set_sreg(t, in.rd, f == RedFunct::kAny ? (count != 0 ? 1 : 0) : count);
       break;
     }
     case RedFunct::kFAnd:
     case RedFunct::kFOr: {
-      std::vector<Word> flags(cfg.num_pes);
-      for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
-        flags[pe] = st.pflag(t, in.rs, pe) ? 1 : 0;
+      const std::span<const std::uint8_t> flags{activity_row(st, t, in.rs), p};
       const auto op = f == RedFunct::kFAnd ? net::ReduceOp::kAnd : net::ReduceOp::kOr;
-      const Word r = net::tree_reduce(op, flags, act, 1);
-      st.set_sflag(t, in.rd, r != 0);
+      st.set_sflag(t, in.rd, net::flag_reduce(op, flags, act) != 0);
       break;
     }
     case RedFunct::kGetPe: {
@@ -264,9 +341,7 @@ void exec_reduction(ArchState& st, ThreadId t, const Instruction& in) {
       break;
     }
     default: {
-      std::vector<Word> vals(cfg.num_pes);
-      for (PEIndex pe = 0; pe < cfg.num_pes; ++pe)
-        vals[pe] = st.preg(t, in.rs, pe);
+      const std::span<const Word> vals{value_row(st, t, in.rs), p};
       st.set_sreg(t, in.rd, net::tree_reduce(reduce_op_of(f), vals, act, w));
       break;
     }

@@ -45,6 +45,33 @@ void Machine::load(const Program& program) {
   state_.load(program);
   tstate_[0].ready_at = 0;
   tstate_[0].pending_since = 0;
+  // Predecode the whole text once: decode + operand analysis + the
+  // config-resolved latency offsets. The issue stage then never touches
+  // the decoder again (hardware re-decodes every cycle; the host result
+  // is identical because instruction memory is immutable).
+  predecoded_.clear();
+  predecoded_.reserve(program.text.size());
+  for (const InstrWord w : program.text) predecoded_.push_back(make_entry(w));
+  fallback_pc_ = ~Addr{0};
+}
+
+Machine::DecodedEntry Machine::make_entry(InstrWord word) const {
+  DecodedEntry de;
+  try {
+    de.instr = decode(word);
+  } catch (const DecodeError&) {
+    // Defer the error to the cycle that actually reaches this PC (seed
+    // semantics: decode errors surface at execution, not at load).
+    de.valid = false;
+    return de;
+  }
+  de.valid = true;
+  de.info = operands_of(de.instr);
+  de.avail_off = avail_offset(de.instr);
+  de.ex_off = ex_offset(de.instr);
+  de.uses_falkoff_maxmin =
+      uses_maxmin_unit(de.instr) && config().maxmin_unit == MaxMinUnitKind::kFalkoff;
+  return de;
 }
 
 bool Machine::finished() const {
@@ -57,13 +84,22 @@ void Machine::enable_trace(std::size_t max_entries) {
   trace_.reserve(max_entries);
 }
 
-const Instruction& Machine::decoded(ThreadId t, Addr pc) {
-  auto& ts = tstate_[t];
-  if (ts.cached_pc != pc) {
-    ts.cached_instr = decode(state_.fetch(pc));
-    ts.cached_pc = pc;
+const Machine::DecodedEntry& Machine::decoded(ThreadId /*t*/, Addr pc) {
+  if (pc < predecoded_.size()) {
+    const DecodedEntry& de = predecoded_[pc];
+    // Re-run the decoder so the original DecodeError surfaces exactly
+    // where the seed simulator would have thrown it.
+    if (!de.valid) decode(state_.fetch(pc));
+    return de;
   }
-  return ts.cached_instr;
+  // Wild jump past the text: zeroed instruction memory, not worth a
+  // table — decode through the single-slot fallback cache.
+  if (fallback_pc_ != pc) {
+    fallback_entry_ = make_entry(state_.fetch(pc));
+    if (!fallback_entry_.valid) decode(state_.fetch(pc));
+    fallback_pc_ = pc;
+  }
+  return fallback_entry_;
 }
 
 unsigned Machine::avail_offset(const Instruction& in) const {
@@ -111,13 +147,14 @@ unsigned Machine::ex_offset(const Instruction& in) const {
              : config().broadcast_latency() + 2;
 }
 
-Machine::HazardCheck Machine::earliest_issue(ThreadId t, const Instruction& in) {
+Machine::HazardCheck Machine::earliest_issue(ThreadId t, const DecodedEntry& de) {
   const auto& cfg = config();
   const unsigned b = cfg.broadcast_latency();
   HazardCheck hc;
   hc.earliest = tstate_[t].ready_at;
 
-  const OperandInfo info = operands_of(in);
+  const Instruction& in = de.instr;
+  const OperandInfo& info = de.info;
 
   auto raise = [&](Cycle e, StallCause c) {
     if (e > hc.earliest) {
@@ -172,7 +209,7 @@ Machine::HazardCheck Machine::earliest_issue(ThreadId t, const Instruction& in) 
   if (info.write && !info.write->hardwired()) {
     const auto& pending = scoreboard_.lookup(t, *info.write);
     if (pending.avail != 0) {
-      const unsigned off = avail_offset(in);
+      const unsigned off = de.avail_off;
       const Cycle need = pending.avail + 1 > off ? pending.avail + 1 - off : 0;
       raise(need, StallCause::kWawHazard);
     }
@@ -182,20 +219,20 @@ Machine::HazardCheck Machine::earliest_issue(ThreadId t, const Instruction& in) 
   const bool seq_mul = cfg.multiplier == MultiplierKind::kSequential;
   const bool seq_div = cfg.divider == DividerKind::kSequential;
   if ((info.uses_scalar_mul && seq_mul) || (info.uses_scalar_div && seq_div)) {
-    const unsigned off = ex_offset(in);
+    const unsigned off = de.ex_off;
     const Cycle need = scalar_muldiv_free_ > off ? scalar_muldiv_free_ - off : 0;
     raise(need, StallCause::kStructuralHazard);
   }
   if ((info.uses_pe_mul && seq_mul) || (info.uses_pe_div && seq_div)) {
-    const unsigned off = ex_offset(in);
+    const unsigned off = de.ex_off;
     const Cycle need = pe_muldiv_free_ > off ? pe_muldiv_free_ - off : 0;
     raise(need, StallCause::kStructuralHazard);
   }
-  if (uses_maxmin_unit(in) && cfg.maxmin_unit == MaxMinUnitKind::kFalkoff) {
+  if (de.uses_falkoff_maxmin) {
     // The bit-serial unit serves one operation at a time, so concurrent
     // max/min requests from different threads collide — the §6.4 stall
     // the pipelined tree was introduced to remove.
-    const unsigned off = ex_offset(in);
+    const unsigned off = de.ex_off;
     const Cycle need = falkoff_free_ > off ? falkoff_free_ - off : 0;
     raise(need, StallCause::kStructuralHazard);
   }
@@ -206,14 +243,15 @@ Machine::HazardCheck Machine::earliest_issue(ThreadId t, const Instruction& in) 
   return hc;
 }
 
-void Machine::issue(ThreadId t, const Instruction& in) {
+void Machine::issue(ThreadId t, const DecodedEntry& de) {
   const auto& cfg = config();
   auto& ts = tstate_[t];
   auto& ctx = state_.thread(t);
   const Addr pc = ctx.pc;
+  const Instruction& in = de.instr;
+  const OperandInfo& info = de.info;
 
   // Illegal-unit checks (configuration-dependent instruction validity).
-  const OperandInfo info = operands_of(in);
   if ((info.uses_scalar_mul || info.uses_pe_mul) &&
       cfg.multiplier == MultiplierKind::kNone)
     throw SimulationError("MUL executed but no multiplier configured");
@@ -222,8 +260,7 @@ void Machine::issue(ThreadId t, const Instruction& in) {
     throw SimulationError("DIV/REM executed but no divider configured");
 
   const ExecResult res = execute(state_, t, pc, in);
-  const unsigned off = avail_offset(in);
-  const Cycle avail = now_ + off;
+  const Cycle avail = now_ + de.avail_off;
 
   // Record the destination in the instruction status table.
   const InstrClass cls = in.instr_class();
@@ -245,8 +282,7 @@ void Machine::issue(ThreadId t, const Instruction& in) {
     scalar_muldiv_free_ = avail + 1;
   if ((info.uses_pe_mul && seq_mul) || (info.uses_pe_div && seq_div))
     pe_muldiv_free_ = avail + 1;
-  if (uses_maxmin_unit(in) && cfg.maxmin_unit == MaxMinUnitKind::kFalkoff)
-    falkoff_free_ = avail + 1;
+  if (de.uses_falkoff_maxmin) falkoff_free_ = avail + 1;
 
   // Thread continuation.
   ctx.pc = res.next_pc;
@@ -276,7 +312,6 @@ void Machine::issue(ThreadId t, const Instruction& in) {
   if (res.spawned != ArchState::kNoThread) {
     tstate_[res.spawned].ready_at = now_ + kStartupPenalty;
     tstate_[res.spawned].pending_since = tstate_[res.spawned].ready_at;
-    tstate_[res.spawned].cached_pc = ~Addr{0};
   }
   if (res.halt) {
     halted_ = true;
@@ -335,10 +370,10 @@ void Machine::issue_stage_finegrain(std::uint32_t max_issues) {
       if (first_block == StallCause::kNone) first_block = StallCause::kControlPenalty;
       continue;
     }
-    const Instruction& in = decoded(t, ctx.pc);
-    const HazardCheck hc = earliest_issue(t, in);
+    const DecodedEntry& de = decoded(t, ctx.pc);
+    const HazardCheck hc = earliest_issue(t, de);
     if (hc.earliest <= now_) {
-      issue(t, in);
+      issue(t, de);
       ++issued;
     } else {
       ++stats_.thread_stalls[t][static_cast<std::size_t>(hc.cause)];
@@ -385,10 +420,10 @@ void Machine::issue_stage_coarse() {
       resident_cause = StallCause::kControlPenalty;
       resident_wait = tstate_[coarse_thread_].ready_at - now_;
     } else {
-      const Instruction& in = decoded(coarse_thread_, ctx.pc);
-      const HazardCheck hc = earliest_issue(coarse_thread_, in);
+      const DecodedEntry& de = decoded(coarse_thread_, ctx.pc);
+      const HazardCheck hc = earliest_issue(coarse_thread_, de);
       if (hc.earliest <= now_) {
-        issue(coarse_thread_, in);
+        issue(coarse_thread_, de);
         resident_runnable = true;
       } else {
         resident_cause = hc.cause;

@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "isa/operands.hpp"
 #include "sim/arch_state.hpp"
 #include "sim/exec.hpp"
 #include "sim/scoreboard.hpp"
@@ -63,10 +64,20 @@ class Machine {
     Cycle ready_at = 0;       ///< earliest cycle the next instruction may issue
     Cycle pending_since = 0;  ///< when the current oldest instruction entered ID
     StallCause blocked_on = StallCause::kNone;
-    // Decoded-instruction cache (decode runs every cycle in hardware;
-    // caching just avoids redundant host work).
-    Addr cached_pc = ~Addr{0};
-    Instruction cached_instr;
+  };
+
+  /// One slot of the predecode table: everything about an instruction
+  /// that does not depend on runtime state. In hardware decode and
+  /// operand analysis run every cycle; on the host the program text is
+  /// immutable, so load() computes each of these exactly once and the
+  /// per-cycle issue logic reduces to table lookups.
+  struct DecodedEntry {
+    Instruction instr;
+    OperandInfo info;
+    unsigned avail_off = 1;  ///< avail_offset(instr), config-resolved
+    unsigned ex_off = 1;     ///< ex_offset(instr), config-resolved
+    bool uses_falkoff_maxmin = false;
+    bool valid = false;      ///< decode succeeded at load time
   };
 
   struct HazardCheck {
@@ -74,9 +85,10 @@ class Machine {
     StallCause cause = StallCause::kNone;
   };
 
-  const Instruction& decoded(ThreadId t, Addr pc);
-  HazardCheck earliest_issue(ThreadId t, const Instruction& in);
-  void issue(ThreadId t, const Instruction& in);
+  const DecodedEntry& decoded(ThreadId t, Addr pc);
+  DecodedEntry make_entry(InstrWord word) const;
+  HazardCheck earliest_issue(ThreadId t, const DecodedEntry& de);
+  void issue(ThreadId t, const DecodedEntry& de);
   /// Per-cycle issue stage for fine-grain MT and SMT (`max_issues` = 1
   /// for fine-grain, issue_width for SMT).
   void issue_stage_finegrain(std::uint32_t max_issues);
@@ -93,6 +105,12 @@ class Machine {
   Scoreboard scoreboard_;
   Stats stats_;
   std::vector<ThreadIssueState> tstate_;
+  /// Predecode table covering the loaded program text; PCs past the text
+  /// (a wild jump into zeroed instruction memory) fall back to the
+  /// shared single-slot cache below, preserving seed decode semantics.
+  std::vector<DecodedEntry> predecoded_;
+  Addr fallback_pc_ = ~Addr{0};
+  DecodedEntry fallback_entry_;
   Cycle now_ = 0;
   ThreadId last_issued_ = 0;
   // Coarse-grain policy state: the resident thread and the cycle until

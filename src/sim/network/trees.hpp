@@ -58,6 +58,13 @@ Word tree_reduce(ReduceOp op, std::span<const Word> values,
 /// Convenience overload: all PEs active.
 Word tree_reduce(ReduceOp op, std::span<const Word> values, unsigned width);
 
+/// Reduce a 0/1 flag vector (response counter / flag AND / flag OR
+/// trees) without materializing a Word vector. Only the associative flag
+/// operators are legal here (kAnd, kOr, kCountFlags), for which a linear
+/// fold is bit-identical to the hardware tree order.
+Word flag_reduce(ReduceOp op, std::span<const std::uint8_t> flags,
+                 std::span<const std::uint8_t> active);
+
 /// Multiple-response resolver (parallel-prefix network): one-hot vector
 /// selecting the first set flag among active PEs.
 std::vector<std::uint8_t> resolve_first(std::span<const std::uint8_t> flags,
@@ -85,6 +92,7 @@ class PipelinedBroadcastTree {
 
  private:
   unsigned latency_;
+  unsigned in_flight_ = 0;  ///< tokens in the pipe; 0 → cycle() is a no-op
   std::deque<std::optional<Word>> stages_;
 };
 
@@ -108,6 +116,7 @@ class PipelinedReductionTree {
   ReduceOp op_;
   unsigned width_;
   unsigned latency_;
+  unsigned in_flight_ = 0;  ///< vectors in the pipe; 0 → cycle() skips the sweep
   std::uint32_t leaves_;  ///< padded to a power of two
   /// level_[l] holds the register contents after l combining stages;
   /// level_[0] is the (padded) input register row.

@@ -1,0 +1,106 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "sim/machine.hpp"
+
+namespace masc {
+
+namespace {
+
+SweepResult run_one(const SweepJob& job, std::size_t index) {
+  SweepResult r;
+  r.index = index;
+  r.label = job.label;
+  r.seed = job.seed;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    Machine m(job.cfg);
+    m.load(job.program);
+    r.finished = m.run(job.max_cycles);
+    r.stats = m.stats();
+  } catch (const std::exception& e) {
+    r.error = e.what();
+    r.finished = false;
+  }
+  r.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return r;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(unsigned workers) : workers_(workers) {
+  if (workers_ == 0) {
+    workers_ = std::thread::hardware_concurrency();
+    if (workers_ == 0) workers_ = 1;
+  }
+}
+
+std::vector<SweepResult> SweepRunner::run(const std::vector<SweepJob>& jobs) const {
+  return run(jobs, nullptr);
+}
+
+std::vector<SweepResult> SweepRunner::run(
+    const std::vector<SweepJob>& jobs,
+    const std::function<void(const SweepResult&)>& on_done) const {
+  std::vector<SweepResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  // Work-stealing-free shared counter: each worker claims the next
+  // unclaimed job. Results land in their job's slot, so output order is
+  // submission order no matter which worker finishes when.
+  std::atomic<std::size_t> next{0};
+  std::mutex done_mutex;
+
+  auto worker_loop = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      results[i] = run_one(jobs[i], i);
+      if (on_done) {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        on_done(results[i]);
+      }
+    }
+  };
+
+  const unsigned n =
+      static_cast<unsigned>(std::min<std::size_t>(workers_, jobs.size()));
+  if (n <= 1) {
+    worker_loop();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (unsigned w = 0; w < n; ++w) pool.emplace_back(worker_loop);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+std::string to_json(const SweepResult& r, const MachineConfig& cfg) {
+  std::ostringstream os;
+  os << "{\"index\":" << r.index;
+  os << ",\"config\":\"" << cfg.name() << "\"";
+  os << ",\"label\":\"" << r.label << "\"";
+  os << ",\"seed\":" << r.seed;
+  os << ",\"finished\":" << (r.finished ? "true" : "false");
+  if (!r.error.empty()) {
+    std::string escaped;
+    for (const char c : r.error)
+      if (c == '"' || c == '\\') { escaped += '\\'; escaped += c; }
+      else escaped += c;
+    os << ",\"error\":\"" << escaped << "\"";
+  }
+  os << ",\"host_seconds\":" << r.host_seconds;
+  os << ",\"stats\":" << to_json(r.stats);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace masc

@@ -1,0 +1,75 @@
+// Multithreaded sweep runner: distributes independent (config × program
+// × seed) cycle-accurate simulations across a std::thread worker pool.
+//
+// Regenerating the paper's artifacts (Figs. 4–6, Table 1) means running
+// grids of thousands of independent simulations; each one is
+// single-threaded and deterministic, so the whole grid is embarrassingly
+// parallel. The runner guarantees *deterministic output*: results[i]
+// always corresponds to jobs[i], and because every simulation is a pure
+// function of (config, program, seed), the bit pattern of every
+// SweepResult::stats is independent of the worker count and of job
+// scheduling order. Tests pin that property down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "assembler/program.hpp"
+#include "common/config.hpp"
+#include "sim/stats.hpp"
+
+namespace masc {
+
+/// One independent simulation job. `seed` is carried through to the
+/// result (and available to workload generators that want to key
+/// randomized inputs off it); the simulator itself is deterministic.
+struct SweepJob {
+  MachineConfig cfg;
+  Program program;
+  std::string label;                 ///< free-form tag echoed in the result
+  std::uint64_t seed = 0;
+  Cycle max_cycles = 100'000'000;
+};
+
+struct SweepResult {
+  std::size_t index = 0;             ///< position of the job in the input
+  std::string label;
+  std::uint64_t seed = 0;
+  bool finished = false;             ///< false: cycle limit hit or error
+  std::string error;                 ///< non-empty if the simulation threw
+  Stats stats;
+  double host_seconds = 0.0;         ///< wall time of this job on its worker
+};
+
+class SweepRunner {
+ public:
+  /// `workers` = 0 selects std::thread::hardware_concurrency().
+  explicit SweepRunner(unsigned workers = 0);
+
+  unsigned workers() const { return workers_; }
+
+  /// Run every job to completion and return results ordered by job
+  /// index. Blocking; jobs are pulled by workers from a shared queue, so
+  /// wall time is roughly sum(job times) / min(workers, |jobs|) on an
+  /// unloaded machine. A job that throws is reported via
+  /// SweepResult::error rather than aborting the sweep.
+  std::vector<SweepResult> run(const std::vector<SweepJob>& jobs) const;
+
+  /// As above, with a progress callback invoked once per finished job
+  /// (from worker threads, serialized by an internal mutex; completion
+  /// order, not index order).
+  std::vector<SweepResult> run(
+      const std::vector<SweepJob>& jobs,
+      const std::function<void(const SweepResult&)>& on_done) const;
+
+ private:
+  unsigned workers_;
+};
+
+/// JSON object for one sweep result (config name + label + stats), used
+/// by masc-sweep and scriptable benchmarking.
+std::string to_json(const SweepResult& r, const MachineConfig& cfg);
+
+}  // namespace masc

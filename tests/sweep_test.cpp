@@ -1,0 +1,233 @@
+// SweepRunner contract tests: results are ordered by job index and the
+// stats bit pattern is a pure function of (config, program, seed) —
+// independent of worker count and of job submission order. Also pins the
+// host-side optimizations the runner leans on: the predecode table must
+// not change when decode errors surface, and the SoA hot paths must keep
+// hardwired register/flag 0 semantics intact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "isa/encoding.hpp"
+#include "sim/sweep.hpp"
+#include "test_util.hpp"
+
+namespace masc {
+namespace {
+
+using test::small_config;
+
+/// Reduction-dense kernel: every rsum result is consumed immediately, so
+/// cycle counts are sensitive to hazard timing — a good determinism probe.
+std::string reduction_kernel(int rounds) {
+  std::string src = "pindex p1\n";
+  for (int i = 0; i < rounds; ++i) {
+    src += "rsum r1, p1\n";
+    src += "padds p2, r1, p1\n";
+  }
+  src += "halt\n";
+  return src;
+}
+
+/// Mixed scalar/parallel/flag kernel with masked operations.
+std::string mixed_kernel(int rounds) {
+  std::string src = "pindex p1\nli r2, 3\npbcast p3, r2\n";
+  for (int i = 0; i < rounds; ++i) {
+    src += "pclt pf1, p3, p1\n";
+    src += "padd p4, p1, p3 ?pf1\n";
+    src += "rcount r3, pf1\n";
+    src += "add r4, r4, r3\n";
+  }
+  src += "halt\n";
+  return src;
+}
+
+/// Full-depth Stats comparison — every counter, not just cycles/IPC.
+void expect_stats_identical(const Stats& a, const Stats& b,
+                            const std::string& context) {
+  ASSERT_EQ(a.cycles, b.cycles) << context;
+  ASSERT_EQ(a.instructions, b.instructions) << context;
+  ASSERT_EQ(a.issued_by_class, b.issued_by_class) << context;
+  ASSERT_EQ(a.idle_cycles, b.idle_cycles) << context;
+  ASSERT_EQ(a.idle_by_cause, b.idle_by_cause) << context;
+  ASSERT_EQ(a.issued_by_thread, b.issued_by_thread) << context;
+  ASSERT_EQ(a.thread_stalls, b.thread_stalls) << context;
+  ASSERT_EQ(a.broadcast_ops, b.broadcast_ops) << context;
+  ASSERT_EQ(a.reduction_ops, b.reduction_ops) << context;
+  ASSERT_EQ(a.thread_switches, b.thread_switches) << context;
+}
+
+/// A small but non-trivial grid: 2 machine shapes × 2 thread counts ×
+/// 2 programs × 2 seeds = 16 jobs with distinct labels.
+std::vector<SweepJob> make_grid() {
+  std::vector<SweepJob> jobs;
+  const Program progs[] = {assemble(reduction_kernel(24)),
+                           assemble(mixed_kernel(16))};
+  for (const std::uint32_t p : {4u, 16u})
+    for (const std::uint32_t t : {1u, 4u})
+      for (int prog = 0; prog < 2; ++prog)
+        for (std::uint64_t seed = 0; seed < 2; ++seed) {
+          SweepJob job;
+          job.cfg.num_pes = p;
+          job.cfg.num_threads = t;
+          job.cfg.word_width = 16;
+          job.program = progs[prog];
+          job.label = "p" + std::to_string(p) + ".t" + std::to_string(t) +
+                      ".prog" + std::to_string(prog);
+          job.seed = seed;
+          jobs.push_back(std::move(job));
+        }
+  return jobs;
+}
+
+TEST(SweepRunner, ResultsOrderedByJobIndexWithLabelEcho) {
+  const auto jobs = make_grid();
+  const auto results = SweepRunner(4).run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].label, jobs[i].label);
+    EXPECT_EQ(results[i].seed, jobs[i].seed);
+    EXPECT_TRUE(results[i].finished) << results[i].label;
+    EXPECT_TRUE(results[i].error.empty()) << results[i].error;
+    EXPECT_GT(results[i].stats.instructions, 0u);
+  }
+}
+
+TEST(SweepRunner, StatsBitIdenticalAcrossWorkerCounts) {
+  const auto jobs = make_grid();
+  const auto baseline = SweepRunner(1).run(jobs);
+  for (const unsigned workers : {2u, 4u, 8u}) {
+    const auto results = SweepRunner(workers).run(jobs);
+    ASSERT_EQ(results.size(), baseline.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+      expect_stats_identical(results[i].stats, baseline[i].stats,
+                             jobs[i].label + " workers=" +
+                                 std::to_string(workers));
+  }
+}
+
+TEST(SweepRunner, StatsIndependentOfSubmissionOrder) {
+  const auto jobs = make_grid();
+  const auto baseline = SweepRunner(4).run(jobs);
+
+  std::vector<SweepJob> reversed(jobs.rbegin(), jobs.rend());
+  const auto rev_results = SweepRunner(4).run(reversed);
+  ASSERT_EQ(rev_results.size(), baseline.size());
+  const std::size_t n = jobs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& fwd = baseline[i];
+    const auto& rev = rev_results[n - 1 - i];
+    ASSERT_EQ(fwd.label, rev.label);
+    ASSERT_EQ(fwd.seed, rev.seed);
+    expect_stats_identical(fwd.stats, rev.stats, fwd.label + " reordered");
+  }
+}
+
+TEST(SweepRunner, MatchesDirectMachineRun) {
+  // Jobs executed on pool workers (thread_local scratch in the network
+  // model) must produce the same stats as a plain single-threaded run.
+  const auto jobs = make_grid();
+  const auto results = SweepRunner(4).run(jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Machine m(jobs[i].cfg);
+    m.load(jobs[i].program);
+    ASSERT_TRUE(m.run(jobs[i].max_cycles));
+    expect_stats_identical(results[i].stats, m.stats(), jobs[i].label);
+  }
+}
+
+TEST(SweepRunner, PerJobErrorsDoNotAbortTheSweep) {
+  std::vector<SweepJob> jobs = make_grid();
+  SweepJob bad;
+  bad.cfg = small_config();  // 256-word local memory
+  bad.program = assemble(
+      "li r1, 300\npbcast p3, r1\nplw p2, 0(p3)\nhalt\n");  // 300 >= 256
+  bad.label = "bad";
+  jobs.insert(jobs.begin() + 3, bad);
+
+  const auto results = SweepRunner(4).run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  EXPECT_FALSE(results[3].error.empty());
+  EXPECT_FALSE(results[3].finished);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == 3) continue;
+    EXPECT_TRUE(results[i].error.empty()) << results[i].error;
+    EXPECT_TRUE(results[i].finished);
+  }
+}
+
+TEST(SweepRunner, CycleLimitReportedAsUnfinished) {
+  SweepJob job;
+  job.cfg = small_config();
+  job.program = assemble("loop: j loop\n");
+  job.max_cycles = 1000;
+  const auto results = SweepRunner(2).run({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].finished);
+  EXPECT_TRUE(results[0].error.empty()) << results[0].error;
+  EXPECT_GE(results[0].stats.cycles, 1000u);
+}
+
+TEST(SweepRunner, ProgressCallbackSeesEveryJobOnce) {
+  const auto jobs = make_grid();
+  std::vector<int> seen(jobs.size(), 0);
+  const auto results = SweepRunner(4).run(jobs, [&](const SweepResult& r) {
+    seen[r.index]++;  // serialized by the runner's internal mutex
+  });
+  ASSERT_EQ(results.size(), jobs.size());
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }));
+}
+
+// --- Regression pins for the host-side hot-path optimizations ---------
+
+TEST(PredecodeRegression, DecodeErrorsSurfaceAtExecutionNotLoad) {
+  // The predecode table is built at load() time, but an undecodable text
+  // word must behave exactly as before: silent if never reached, an
+  // error only when the PC actually gets there.
+  const InstrWord illegal = 63u << 26;  // opcode field out of range
+
+  Program never_reached = assemble("li r1, 7\nhalt\n");
+  never_reached.text.push_back(illegal);
+  Machine m(small_config());
+  EXPECT_NO_THROW(m.load(never_reached));
+  EXPECT_TRUE(m.run(1000));
+  EXPECT_EQ(m.state().sreg(0, 1), 7u);
+
+  Program reached = assemble("li r1, 7\nhalt\n");
+  reached.text[0] = illegal;
+  Machine m2(small_config());
+  EXPECT_NO_THROW(m2.load(reached));
+  EXPECT_THROW(m2.run(1000), DecodeError);
+}
+
+TEST(SoARegression, HardwiredRegisterAndFlagZeroSemantics) {
+  // The row-pointer fast paths special-case register 0 (reads as zero,
+  // writes dropped) and flag 0 (reads as one, writes dropped). Exercise
+  // all four on both simulators and check against hand-computed values.
+  const std::string src =
+      "pindex p1\n"
+      "padd p0, p1, p1\n"      // write to p0: dropped
+      "pfxor pf0, pf0, pf0\n"  // write to pf0: dropped (stays all-ones)
+      "padd p2, p0, p1 ?pf0\n" // p2 = 0 + index under an all-active mask
+      "rcount r1, pf0\n"       // = num_pes
+      "rsum r2, p0\n"          // = 0
+      "halt\n";
+  auto cfg = small_config();
+  const Machine m = test::run_program(cfg, src);
+  const FuncSim f = test::run_func(cfg, src);
+  for (const ArchState* st : {&m.state(), &f.state()}) {
+    EXPECT_EQ(st->sreg(0, 1), cfg.num_pes);
+    EXPECT_EQ(st->sreg(0, 2), 0u);
+    for (PEIndex pe = 0; pe < cfg.num_pes; ++pe) {
+      EXPECT_EQ(st->preg(0, 0, pe), 0u) << "pe" << pe;
+      EXPECT_EQ(st->preg(0, 2, pe), pe) << "pe" << pe;
+      EXPECT_EQ(st->pflag(0, 0, pe), 1) << "pe" << pe;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace masc
