@@ -97,13 +97,20 @@ using detail::flag_op;
 
 /// The activity row of a masked parallel/reduction instruction: flag 0 is
 /// hardwired to 1, so an unmasked instruction reads the all-ones row.
+/// Bounds-checked once per operand (not per PE): decode() yields 5-bit
+/// register and 3-bit mask fields, which can exceed the configured file
+/// sizes, and the raw row pointers would otherwise read out of bounds.
 const std::uint8_t* activity_row(const ArchState& st, ThreadId t, RegNum mask) {
-  return mask == 0 ? st.ones_row() : st.pflag_row(t, mask);
+  if (mask == 0) return st.ones_row();
+  expect(mask < st.config().num_flag_regs, "parallel flag out of range");
+  return st.pflag_row(t, mask);
 }
 
 /// Parallel-register source row: register 0 is hardwired to 0.
 const Word* value_row(const ArchState& st, ThreadId t, RegNum r) {
-  return r == 0 ? st.zero_row() : st.preg_row(t, r);
+  if (r == 0) return st.zero_row();
+  expect(r < st.config().num_parallel_regs, "parallel register out of range");
+  return st.preg_row(t, r);
 }
 
 net::ReduceOp reduce_op_of(RedFunct f) {
@@ -134,7 +141,13 @@ void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
   const std::uint32_t p = cfg.num_pes;
   const std::uint8_t* const act = activity_row(st, t, in.mask);
 
-  // Mirror the range checks the scalar write accessors performed.
+  // Mirror the range checks the scalar write accessors performed. These
+  // fire unconditionally — even when the activity vector is all zeros, in
+  // which case the seed's per-PE accessors never ran their check. That is
+  // deliberately stricter: an encodable but out-of-range field in a
+  // program word faults deterministically instead of depending on mask
+  // contents. (Source operands are checked the same way, in value_row()
+  // and activity_row().)
   auto check_preg = [&](RegNum r) {
     expect(r < cfg.num_parallel_regs, "parallel register out of range");
   };

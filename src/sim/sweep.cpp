@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -31,6 +32,35 @@ SweepResult run_one(const SweepJob& job, std::size_t index) {
   r.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return r;
+}
+
+/// JSON string escaping for the free-form fields (config name, job label,
+/// exception text): quote, backslash, and all control characters, so a
+/// newline in an error message cannot break the JSONL output.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -86,17 +116,12 @@ std::vector<SweepResult> SweepRunner::run(
 std::string to_json(const SweepResult& r, const MachineConfig& cfg) {
   std::ostringstream os;
   os << "{\"index\":" << r.index;
-  os << ",\"config\":\"" << cfg.name() << "\"";
-  os << ",\"label\":\"" << r.label << "\"";
+  os << ",\"config\":\"" << json_escape(cfg.name()) << "\"";
+  os << ",\"label\":\"" << json_escape(r.label) << "\"";
   os << ",\"seed\":" << r.seed;
   os << ",\"finished\":" << (r.finished ? "true" : "false");
-  if (!r.error.empty()) {
-    std::string escaped;
-    for (const char c : r.error)
-      if (c == '"' || c == '\\') { escaped += '\\'; escaped += c; }
-      else escaped += c;
-    os << ",\"error\":\"" << escaped << "\"";
-  }
+  if (!r.error.empty())
+    os << ",\"error\":\"" << json_escape(r.error) << "\"";
   os << ",\"host_seconds\":" << r.host_seconds;
   os << ",\"stats\":" << to_json(r.stats);
   os << "}";

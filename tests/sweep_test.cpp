@@ -203,6 +203,52 @@ TEST(PredecodeRegression, DecodeErrorsSurfaceAtExecutionNotLoad) {
   EXPECT_THROW(m2.run(1000), DecodeError);
 }
 
+TEST(SoARegression, OutOfRangeOperandFieldsFaultInsteadOfReadingWild) {
+  // decode() yields 5-bit register and 3-bit mask fields, but the
+  // configured register files can be smaller. The SoA row-pointer fast
+  // paths must reject such fields up front — source operands included —
+  // the way the seed's per-PE bounds-checked accessors did, rather than
+  // read past the register file.
+  auto cfg = small_config();   // 16 parallel regs by default
+  cfg.num_flag_regs = 4;       // 3-bit mask field can encode up to 7
+
+  const auto run_both = [&](const Program& prog) {
+    Machine m(cfg);
+    m.load(prog);
+    EXPECT_THROW(m.run(1000), SimulationError);
+    FuncSim f(cfg);
+    f.load(prog);
+    EXPECT_THROW(f.run(1000), SimulationError);
+  };
+
+  Program bad_src = assemble("nop\nhalt\n");
+  bad_src.text[0] =
+      encode(ir::palu(AluFunct::kAdd, 1, /*rs=*/20, 1));  // 20 >= 16 pregs
+  run_both(bad_src);
+
+  Program bad_mask = assemble("nop\nhalt\n");
+  bad_mask.text[0] =
+      encode(ir::palu(AluFunct::kAdd, 1, 1, 1, /*mask=*/5));  // 5 >= 4 flags
+  run_both(bad_mask);
+
+  Program bad_flag_src = assemble("nop\nhalt\n");
+  bad_flag_src.text[0] =
+      encode(ir::red(RedFunct::kCount_, 1, /*rs=*/6));  // flag 6 >= 4
+  run_both(bad_flag_src);
+}
+
+TEST(SweepJson, EscapesQuotesBackslashesAndControlCharacters) {
+  SweepResult r;
+  r.label = "a\"b\\c\nd\te";
+  r.error = std::string("boom\x01") + "\r";
+  const std::string js = to_json(r, MachineConfig{});
+  EXPECT_NE(js.find("\"label\":\"a\\\"b\\\\c\\nd\\te\""), std::string::npos)
+      << js;
+  EXPECT_NE(js.find("\"error\":\"boom\\u0001\\r\""), std::string::npos) << js;
+  // Still a single JSONL line with no raw control characters.
+  for (const char c : js) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+}
+
 TEST(SoARegression, HardwiredRegisterAndFlagZeroSemantics) {
   // The row-pointer fast paths special-case register 0 (reads as zero,
   // writes dropped) and flag 0 (reads as one, writes dropped). Exercise
