@@ -1,0 +1,76 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace masc::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a dotted quad: resolve (permits "localhost").
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 || !res)
+      throw ServeError("cannot resolve host \"" + host + "\"");
+    addr.sin_addr =
+        reinterpret_cast<const sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw ServeError(std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string what = std::strerror(errno);
+    close();
+    throw ServeError("connect " + host + ":" + std::to_string(port) + ": " +
+                     what);
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Client::request_raw(const std::string& payload) {
+  if (fd_ < 0) throw ServeError("client not connected");
+  write_frame(fd_, payload);
+  std::string response;
+  if (!read_frame(fd_, response))
+    throw ServeError("server closed the connection");
+  return response;
+}
+
+json::Value Client::request(const std::string& payload) {
+  return parse_json(request_raw(payload));
+}
+
+}  // namespace masc::serve

@@ -1,0 +1,43 @@
+// Blocking client for the masc-served wire protocol: one TCP
+// connection, synchronous request/response frames. Used by masc-client
+// and by the in-process service tests; a Client is NOT thread-safe —
+// concurrent submitters each open their own (the server is happy to
+// hold many sessions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace masc::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to a masc-served instance. Throws ServeError.
+  void connect(const std::string& host, std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request payload, return the raw response payload.
+  /// Throws ServeError on transport failure (including server close).
+  std::string request_raw(const std::string& payload);
+
+  /// As request_raw, with the response parsed. Throws JsonError if the
+  /// server returns non-JSON (it never should).
+  json::Value request(const std::string& payload);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace masc::serve

@@ -1,0 +1,114 @@
+#include "serve/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace masc::serve {
+
+namespace {
+
+/// Bucket index for a job that took `seconds` of host time: bucket k
+/// holds jobs with ms in (2^(k-1), 2^k], bucket 0 holds <= 1 ms, the
+/// last bucket collects everything above 2^(kHistBuckets-2) ms.
+std::size_t hist_bucket(double seconds) {
+  const double ms = seconds * 1e3;
+  std::size_t b = 0;
+  double bound = 1.0;
+  while (b + 1 < ServeMetrics::kHistBuckets && ms > bound) {
+    bound *= 2.0;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void ServeMetrics::on_accepted(std::uint64_t n) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  submitted_ += n;
+}
+
+void ServeMetrics::on_rejected(std::uint64_t n) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  rejected_ += n;
+}
+
+void ServeMetrics::on_batch(std::uint64_t /*jobs_in_batch*/) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+}
+
+void ServeMetrics::on_done(const SweepResult& r) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  switch (r.status) {
+    case SweepStatus::kFinished: ++completed_; break;
+    case SweepStatus::kCycleLimit: ++cycle_limited_; break;
+    case SweepStatus::kError: ++failed_; break;
+    case SweepStatus::kCancelled: ++cancelled_; break;
+    case SweepStatus::kDeadlineExceeded: ++deadline_exceeded_; break;
+  }
+  ++host_ms_hist_[hist_bucket(r.host_seconds)];
+  host_seconds_total_ += r.host_seconds;
+  cycles_total_ += r.stats.cycles;
+  instructions_total_ += r.stats.instructions;
+  idle_cycles_total_ += r.stats.idle_cycles;
+  for (std::size_t c = 0; c < idle_by_cause_total_.size(); ++c)
+    idle_by_cause_total_[c] += r.stats.idle_by_cause[c];
+}
+
+double ServeMetrics::mean_job_seconds(double dflt) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t done = completed_ + cycle_limited_ + failed_ +
+                             cancelled_ + deadline_exceeded_;
+  if (done == 0) return dflt;
+  return host_seconds_total_ / static_cast<double>(done);
+}
+
+std::string ServeMetrics::to_json(std::size_t queue_depth,
+                                  std::size_t in_flight,
+                                  std::size_t queue_capacity) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"queue_depth\":" << queue_depth;
+  os << ",\"queue_capacity\":" << queue_capacity;
+  os << ",\"in_flight\":" << in_flight;
+  os << ",\"counters\":{";
+  os << "\"submitted\":" << submitted_;
+  os << ",\"rejected\":" << rejected_;
+  os << ",\"batches\":" << batches_;
+  os << ",\"completed\":" << completed_;
+  os << ",\"cycle_limited\":" << cycle_limited_;
+  os << ",\"failed\":" << failed_;
+  os << ",\"cancelled\":" << cancelled_;
+  os << ",\"deadline_exceeded\":" << deadline_exceeded_;
+  os << "}";
+  os << ",\"host_ms_hist\":[";
+  for (std::size_t b = 0; b < kHistBuckets; ++b) {
+    if (b) os << ",";
+    os << host_ms_hist_[b];
+  }
+  os << "]";
+  os << ",\"host_seconds\":" << host_seconds_total_;
+  os << ",\"aggregate\":{";
+  os << "\"cycles\":" << cycles_total_;
+  os << ",\"instructions\":" << instructions_total_;
+  const double ipc = cycles_total_ == 0
+                         ? 0.0
+                         : static_cast<double>(instructions_total_) /
+                               static_cast<double>(cycles_total_);
+  os << ",\"ipc\":" << ipc;
+  os << ",\"idle_cycles\":" << idle_cycles_total_;
+  os << ",\"idle_by_cause\":{";
+  bool first = true;
+  for (std::size_t c = 1;
+       c < static_cast<std::size_t>(StallCause::kCauseCount); ++c) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << to_string(static_cast<StallCause>(c))
+       << "\":" << idle_by_cause_total_[c];
+  }
+  os << "}}}";
+  return os.str();
+}
+
+}  // namespace masc::serve

@@ -1,0 +1,143 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ascal/codegen.hpp"
+#include "assembler/assembler.hpp"
+#include "common/error.hpp"
+
+namespace masc::serve {
+
+namespace {
+
+/// recv() exactly `len` bytes. Returns the byte count actually read
+/// (short only at EOF); throws on I/O errors.
+std::size_t recv_all(int fd, char* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ServeError(std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+void send_all(int fd, const char* buf, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface
+    // as an error on this session, not SIGPIPE for the whole server.
+    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ServeError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload) {
+  unsigned char hdr[4];
+  const std::size_t got = recv_all(fd, reinterpret_cast<char*>(hdr), 4);
+  if (got == 0) return false;  // clean close between frames
+  if (got < 4) throw ServeError("truncated frame header");
+  const std::size_t len = (static_cast<std::size_t>(hdr[0]) << 24) |
+                          (static_cast<std::size_t>(hdr[1]) << 16) |
+                          (static_cast<std::size_t>(hdr[2]) << 8) |
+                          static_cast<std::size_t>(hdr[3]);
+  if (len > kMaxFrameBytes)
+    throw ServeError("frame exceeds " + std::to_string(kMaxFrameBytes) +
+                     " bytes");
+  payload.resize(len);
+  if (recv_all(fd, payload.data(), len) < len)
+    throw ServeError("truncated frame payload");
+  return true;
+}
+
+void write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw ServeError("frame exceeds " + std::to_string(kMaxFrameBytes) +
+                     " bytes");
+  const std::size_t len = payload.size();
+  const unsigned char hdr[4] = {static_cast<unsigned char>(len >> 24),
+                                static_cast<unsigned char>(len >> 16),
+                                static_cast<unsigned char>(len >> 8),
+                                static_cast<unsigned char>(len)};
+  send_all(fd, reinterpret_cast<const char*>(hdr), 4);
+  send_all(fd, payload.data(), len);
+}
+
+MachineConfig config_from_json(const json::Value& v) {
+  if (!v.is_object()) throw JsonError("\"config\" must be an object");
+  MachineConfig cfg;
+  cfg.num_pes = static_cast<std::uint32_t>(v.get_uint("pes", cfg.num_pes));
+  cfg.num_threads =
+      static_cast<std::uint32_t>(v.get_uint("threads", cfg.num_threads));
+  cfg.word_width = static_cast<unsigned>(v.get_uint("width", cfg.word_width));
+  cfg.broadcast_arity =
+      static_cast<std::uint32_t>(v.get_uint("arity", cfg.broadcast_arity));
+  cfg.issue_width =
+      static_cast<std::uint32_t>(v.get_uint("issue_width", cfg.issue_width));
+  cfg.switch_penalty = static_cast<std::uint32_t>(
+      v.get_uint("switch_penalty", cfg.switch_penalty));
+  cfg.multithreading = v.get_bool("multithreading", cfg.multithreading);
+  cfg.pipelined_network =
+      v.get_bool("pipelined_network", cfg.pipelined_network);
+  cfg.pipelined_execution =
+      v.get_bool("pipelined_execution", cfg.pipelined_execution);
+  const std::string sched = v.get_string("sched", "fine");
+  if (sched == "fine") cfg.sched_policy = ThreadSchedPolicy::kFineGrain;
+  else if (sched == "coarse") cfg.sched_policy = ThreadSchedPolicy::kCoarseGrain;
+  else if (sched == "smt") cfg.sched_policy = ThreadSchedPolicy::kSmt;
+  else throw JsonError("unknown sched policy \"" + sched + "\"");
+  cfg.validate();
+  return cfg;
+}
+
+Program program_from_json(const json::Value& v) {
+  if (!v.is_object()) throw JsonError("\"program\" must be an object");
+  if (const json::Value* src = v.find("source")) return assemble(src->as_string());
+  if (const json::Value* src = v.find("ascal"))
+    return assemble(ascal::compile(src->as_string()).assembly);
+  const json::Value* text = v.find("text");
+  if (!text)
+    throw JsonError("program needs \"source\", \"ascal\", or \"text\"");
+  Program prog;
+  prog.text.reserve(text->as_array().size());
+  for (const auto& w : text->as_array())
+    prog.text.push_back(static_cast<InstrWord>(w.as_uint()));
+  if (const json::Value* data = v.find("data")) {
+    prog.data.reserve(data->as_array().size());
+    for (const auto& w : data->as_array())
+      prog.data.push_back(static_cast<Word>(w.as_uint()));
+  }
+  prog.entry = static_cast<Addr>(v.get_uint("entry", 0));
+  return prog;
+}
+
+SweepJob job_from_json(const json::Value& v) {
+  if (!v.is_object()) throw JsonError("job must be an object");
+  SweepJob job;
+  if (const json::Value* cfg = v.find("config"))
+    job.cfg = config_from_json(*cfg);
+  else
+    job.cfg.validate();
+  const json::Value* prog = v.find("program");
+  if (!prog) throw JsonError("job needs a \"program\"");
+  job.program = program_from_json(*prog);
+  job.label = v.get_string("label", job.cfg.name());
+  job.seed = v.get_uint("seed", 0);
+  job.max_cycles = v.get_uint("max_cycles", job.max_cycles);
+  return job;
+}
+
+}  // namespace masc::serve

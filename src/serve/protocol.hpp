@@ -1,0 +1,62 @@
+// Wire protocol of the MASC simulation service.
+//
+// Transport: TCP on localhost. Every message — request or response — is
+// one *frame*: a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON. Requests are objects with an "op" member;
+// responses are objects with an "ok" member (and "error" when !ok).
+// The full request/response schema is documented in docs/SERVER.md.
+//
+// This header carries the pieces shared by server, client, and tests:
+// frame I/O over a socket fd, the frame size cap, and the JSON →
+// simulator-object decoders (MachineConfig, Program, SweepJob).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/json.hpp"
+#include "sim/sweep.hpp"
+
+namespace masc::serve {
+
+/// Raised for socket-level failures (bind, connect, framing).
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Hard cap on one frame's payload. Large enough for a program image of
+/// several hundred thousand words plus data; small enough that a bad
+/// client cannot make the server allocate gigabytes.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
+/// Read one length-prefixed frame into `payload`. Returns false on a
+/// clean peer close before any length byte; throws ServeError on a
+/// truncated frame, an I/O error, or a length above kMaxFrameBytes.
+bool read_frame(int fd, std::string& payload);
+
+/// Write one length-prefixed frame. Throws ServeError on I/O failure
+/// (including peer reset) or payloads above kMaxFrameBytes.
+void write_frame(int fd, const std::string& payload);
+
+/// Decode a machine configuration object. Recognized members (all
+/// optional, defaults = MachineConfig defaults): "pes", "threads",
+/// "width", "arity", "issue_width", "switch_penalty", "multithreading",
+/// "pipelined_network", "pipelined_execution", "sched" =
+/// "fine"|"coarse"|"smt". The result is validate()d; throws ConfigError
+/// or JsonError.
+MachineConfig config_from_json(const json::Value& v);
+
+/// Decode a program: {"source": "<asm>"} assembles MASC assembly,
+/// {"ascal": "<src>"} compiles ASCAL, {"text": [u32...], "data":
+/// [u32...], "entry": n} loads a pre-assembled image. Throws
+/// AssemblyError / ascal::CompileError / JsonError.
+Program program_from_json(const json::Value& v);
+
+/// Decode one job object: "config" (object), "program" (object),
+/// "label", "seed", "max_cycles". Deadline and cancellation are
+/// attached by the server (they need the submission timestamp).
+SweepJob job_from_json(const json::Value& v);
+
+}  // namespace masc::serve

@@ -1,0 +1,85 @@
+// Bounded MPMC job queue with explicit backpressure.
+//
+// Admission is all-or-nothing per push: a submit request carrying K
+// jobs either gets K slots or is rejected outright, so a client never
+// ends up with half a request queued. Rejection is immediate (no
+// blocking producers) — the server turns it into a queue_full error
+// with a retry-after hint, which is the service-level analog of the
+// paper's thesis: don't stall the submitter, tell it when the pipeline
+// will have room.
+//
+// Consumers pop in FIFO order, up to a whole batch at a time, so the
+// dispatcher can coalesce everything currently waiting into one sweep
+// dispatch.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace masc::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  /// Admit all of `items` or none. False when closed or when fewer than
+  /// items.size() slots are free.
+  bool try_push(const std::vector<T>& items) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || q_.size() + items.size() > capacity_) return false;
+      q_.insert(q_.end(), items.begin(), items.end());
+    }
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Block until at least one item is queued (or the queue is closed),
+  /// then pop up to `max_items` in FIFO order. An empty result means
+  /// the queue was closed and fully drained.
+  std::vector<T> pop_batch(std::size_t max_items) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    std::vector<T> out;
+    while (!q_.empty() && out.size() < max_items) {
+      out.push_back(q_.front());
+      q_.pop_front();
+    }
+    return out;
+  }
+
+  /// Wake all poppers and refuse further pushes. Items already queued
+  /// remain poppable (drain-then-empty).
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace masc::serve

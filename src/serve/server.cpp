@@ -1,0 +1,376 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace masc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string error_json(const std::string& code, const std::string& detail,
+                       const std::string& extra = "") {
+  std::ostringstream os;
+  os << "{\"ok\":false,\"error\":\"" << json_escape(code) << "\"";
+  if (!detail.empty()) os << ",\"detail\":\"" << json_escape(detail) << "\"";
+  if (!extra.empty()) os << "," << extra;
+  os << "}";
+  return os.str();
+}
+
+std::uint64_t require_id(const json::Value& req) {
+  const json::Value* id = req.find("id");
+  if (!id) throw JsonError("missing \"id\"");
+  return id->as_uint();
+}
+
+const char* to_string(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(opts),
+      runner_(opts.workers),
+      queue_(opts.queue_capacity) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_.exchange(true)) throw ServeError("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw ServeError(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ServeError("bind/listen 127.0.0.1:" + std::to_string(opts_.port) +
+                     ": " + what);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  // Serialize the flag flip with result-waiters' predicate checks: a
+  // waiter that saw stopping_ == false is now inside wait_for and will
+  // receive this notify; one that hasn't locked yet will see true.
+  { const std::lock_guard<std::mutex> lock(jobs_mu_); }
+  jobs_cv_.notify_all();
+
+  // 1. No new connections: unblock accept() and join the acceptor, so
+  //    the session list is frozen from here on.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Drain the pipeline: cancel everything not yet done, close the
+  //    queue (pop_batch returns the remnants, whose cancel tokens are
+  //    already set, so the dispatcher discharges them as cancelled
+  //    within one sweep chunk each) and join the dispatcher.
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (auto& [id, rec] : jobs_)
+      if (rec.state != JobState::kDone && rec.job.cancel)
+        rec.job.cancel->store(true, std::memory_order_relaxed);
+  }
+  queue_.close();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+
+  // 3. Hang up on every session and join the session threads.
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& s : sessions_)
+      if (s->fd >= 0) ::shutdown(s->fd, SHUT_RDWR);
+  }
+  for (auto& s : sessions_)
+    if (s->thread.joinable()) s->thread.join();
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  jobs_cv_.notify_all();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or fatal) — stop accepting
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    auto session = std::make_unique<Session>();
+    session->fd = fd;
+    Session* raw = session.get();
+    {
+      const std::lock_guard<std::mutex> lock(sessions_mu_);
+      sessions_.push_back(std::move(session));
+    }
+    raw->thread = std::thread([this, raw] { session_loop(raw); });
+  }
+}
+
+void Server::session_loop(Session* s) {
+  std::string payload;
+  try {
+    while (read_frame(s->fd, payload))
+      write_frame(s->fd, handle_request(payload));
+  } catch (const std::exception&) {
+    // Framing or socket failure: this session is beyond repair; the
+    // job store is untouched, so the client can reconnect and resume.
+  }
+  const std::lock_guard<std::mutex> lock(sessions_mu_);
+  ::close(s->fd);
+  s->fd = -1;
+}
+
+std::string Server::handle_request(const std::string& payload) {
+  try {
+    const json::Value req = parse_json(payload);
+    const std::string op = req.get_string("op", "");
+    if (op == "ping") return "{\"ok\":true,\"type\":\"pong\"}";
+    if (op == "submit") return handle_submit(req);
+    if (op == "status") return handle_status(req);
+    if (op == "result") return handle_result(req);
+    if (op == "cancel") return handle_cancel(req);
+    if (op == "stats")
+      return "{\"ok\":true,\"type\":\"stats\",\"stats\":" + stats_json() + "}";
+    if (op == "shutdown") {
+      shutdown_requested_.store(true, std::memory_order_release);
+      return "{\"ok\":true,\"type\":\"shutdown\"}";
+    }
+    return error_json("unknown_op", "unrecognized \"op\" \"" + op + "\"");
+  } catch (const std::exception& e) {
+    // JsonError, ConfigError, AssemblyError, CompileError, ...: the
+    // request was understood to be ill-formed, the connection is fine.
+    return error_json("bad_request", e.what());
+  }
+}
+
+std::string Server::handle_submit(const json::Value& req) {
+  const json::Value* jobs_v = req.find("jobs");
+  if (!jobs_v || !jobs_v->is_array() || jobs_v->as_array().empty())
+    throw JsonError("submit needs a non-empty \"jobs\" array");
+  const std::uint64_t request_deadline_ms =
+      req.get_uint("deadline_ms", opts_.default_deadline_ms);
+
+  // Compile/validate every job before admitting any: a submit either
+  // enters the queue whole or not at all.
+  const auto now = Clock::now();
+  std::vector<SweepJob> parsed;
+  parsed.reserve(jobs_v->as_array().size());
+  for (const auto& elem : jobs_v->as_array()) {
+    SweepJob job = job_from_json(elem);
+    job.max_cycles = std::min(job.max_cycles, opts_.max_cycles_cap);
+    job.cancel = make_cancel_token();
+    const std::uint64_t deadline_ms =
+        elem.is_object() ? elem.get_uint("deadline_ms", request_deadline_ms)
+                         : request_deadline_ms;
+    if (deadline_ms > 0)
+      job.deadline = now + std::chrono::milliseconds(deadline_ms);
+    parsed.push_back(std::move(job));
+  }
+
+  if (stopping_.load()) return error_json("shutting_down", "server stopping");
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(parsed.size());
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (auto& job : parsed) {
+      const std::uint64_t id = next_id_.fetch_add(1);
+      JobRecord rec;
+      rec.id = id;
+      rec.job = std::move(job);
+      jobs_.emplace(id, std::move(rec));
+      ids.push_back(id);
+    }
+  }
+  if (!queue_.try_push(ids)) {
+    {
+      const std::lock_guard<std::mutex> lock(jobs_mu_);
+      for (const std::uint64_t id : ids) jobs_.erase(id);
+    }
+    metrics_.on_rejected(ids.size());
+    // Retry-after hint: how long until this many slots should free up,
+    // from the measured mean job time and the current backlog.
+    std::size_t backlog = queue_.size();
+    {
+      const std::lock_guard<std::mutex> lock(jobs_mu_);
+      backlog += running_;
+    }
+    const double mean_s = metrics_.mean_job_seconds(0.05);
+    double ms = mean_s * static_cast<double>(backlog) /
+                static_cast<double>(runner_.workers()) * 1e3;
+    ms = std::clamp(ms, 10.0, 30'000.0);
+    return error_json("queue_full",
+                      "queue has no room for " + std::to_string(ids.size()) +
+                          " job(s)",
+                      "\"retry_after_ms\":" +
+                          std::to_string(static_cast<std::uint64_t>(ms)));
+  }
+  metrics_.on_accepted(ids.size());
+
+  std::ostringstream os;
+  os << "{\"ok\":true,\"type\":\"submitted\",\"ids\":[";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i) os << ",";
+    os << ids[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Server::handle_status(const json::Value& req) {
+  const std::uint64_t id = require_id(req);
+  const std::lock_guard<std::mutex> lock(jobs_mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    return error_json("not_found", "no job " + std::to_string(id));
+  const JobRecord& rec = it->second;
+  std::ostringstream os;
+  os << "{\"ok\":true,\"type\":\"status\",\"id\":" << id << ",\"state\":\"";
+  switch (rec.state) {
+    case JobState::kQueued: os << "queued"; break;
+    case JobState::kRunning: os << "running"; break;
+    case JobState::kDone: os << "done"; break;
+  }
+  os << "\"";
+  if (rec.state == JobState::kDone) {
+    os << ",\"status\":\"" << masc::to_string(rec.result.status) << "\"";
+    if (!rec.result.error.empty())
+      os << ",\"error\":\"" << json_escape(rec.result.error) << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string Server::handle_result(const json::Value& req) {
+  const std::uint64_t id = require_id(req);
+  const bool wait = req.get_bool("wait", false);
+  const bool release = req.get_bool("release", false);
+  const auto timeout =
+      std::chrono::milliseconds(req.get_uint("timeout_ms", 60'000));
+
+  std::unique_lock<std::mutex> lock(jobs_mu_);
+  auto done_or_gone = [&] {
+    const auto it = jobs_.find(id);
+    return stopping_.load() || it == jobs_.end() ||
+           it->second.state == JobState::kDone;
+  };
+  if (wait && !done_or_gone()) jobs_cv_.wait_for(lock, timeout, done_or_gone);
+
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    return error_json("not_found", "no job " + std::to_string(id));
+  JobRecord& rec = it->second;
+  if (rec.state != JobState::kDone) {
+    if (stopping_.load())
+      return error_json("shutting_down", "server stopping");
+    const char* state = rec.state == JobState::kQueued ? "queued" : "running";
+    return error_json("not_ready",
+                      "job " + std::to_string(id) + " is " + state,
+                      "\"id\":" + std::to_string(id) + ",\"state\":\"" +
+                          state + "\"");
+  }
+  std::string response = "{\"ok\":true,\"type\":\"result\",\"id\":" +
+                         std::to_string(id) +
+                         ",\"result\":" + to_json(rec.result, rec.job.cfg) +
+                         "}";
+  if (release) jobs_.erase(it);
+  return response;
+}
+
+std::string Server::handle_cancel(const json::Value& req) {
+  const std::uint64_t id = require_id(req);
+  const std::lock_guard<std::mutex> lock(jobs_mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    return error_json("not_found", "no job " + std::to_string(id));
+  JobRecord& rec = it->second;
+  const bool effective = rec.state != JobState::kDone;
+  if (effective) rec.job.cancel->store(true, std::memory_order_relaxed);
+  std::ostringstream os;
+  os << "{\"ok\":true,\"type\":\"cancel\",\"id\":" << id
+     << ",\"effective\":" << to_string(effective) << "}";
+  return os.str();
+}
+
+void Server::dispatch_loop() {
+  for (;;) {
+    // Coalesce everything currently queued (up to batch_max) into one
+    // sweep dispatch: one thread-pool spin-up amortized over the batch.
+    const std::vector<std::uint64_t> ids = queue_.pop_batch(opts_.batch_max);
+    if (ids.empty()) return;  // queue closed and drained
+
+    std::vector<SweepJob> batch;
+    batch.reserve(ids.size());
+    {
+      const std::lock_guard<std::mutex> lock(jobs_mu_);
+      for (const std::uint64_t id : ids) {
+        JobRecord& rec = jobs_.at(id);
+        rec.state = JobState::kRunning;
+        ++running_;
+        batch.push_back(rec.job);
+        // The program image is the bulk of a record's footprint and the
+        // worker's copy is the one that runs; keep cfg for the result.
+        rec.job.program = Program{};
+      }
+    }
+    metrics_.on_batch(ids.size());
+
+    runner_.run(batch, [&](const SweepResult& r) {
+      const std::uint64_t id = ids[r.index];
+      {
+        const std::lock_guard<std::mutex> lock(jobs_mu_);
+        JobRecord& rec = jobs_.at(id);
+        rec.result = r;
+        rec.result.index = static_cast<std::size_t>(id);  // batch-local → id
+        rec.state = JobState::kDone;
+        --running_;
+      }
+      metrics_.on_done(r);
+      jobs_cv_.notify_all();
+    });
+  }
+}
+
+std::string Server::stats_json() const {
+  const std::size_t depth = queue_.size();
+  std::size_t running;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    running = running_;
+  }
+  return metrics_.to_json(depth, running, opts_.queue_capacity);
+}
+
+}  // namespace masc::serve

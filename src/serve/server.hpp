@@ -1,0 +1,134 @@
+// masc-served core: a long-running simulation service on localhost TCP.
+//
+// Architecture (one paragraph): an accept thread hands each connection
+// to its own session thread, which speaks the length-prefixed JSON
+// protocol (serve/protocol.hpp). Submitted jobs are compiled in the
+// session thread, admitted all-or-nothing into a bounded queue
+// (backpressure: a full queue rejects with a retry-after hint instead
+// of blocking), and drained by a dispatcher thread that coalesces
+// everything currently waiting — up to `batch_max` — into ONE
+// SweepRunner dispatch across the worker pool. This is the paper's
+// latency-hiding argument applied to the host: bursty heterogeneous
+// arrivals keep the workers full because the dispatcher always has a
+// batch ready, while each simulation stays a pure function of
+// (config, program, seed), so results are bit-identical to a serial
+// run no matter how requests interleave.
+//
+// Cancellation is cooperative (per-job token, observed at sweep chunk
+// boundaries) and deadlines are wall-clock, measured from submission.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+
+namespace masc::serve {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see Server::port).
+  std::uint16_t port = 0;
+  /// SweepRunner worker threads; 0 = hardware concurrency.
+  unsigned workers = 0;
+  /// Queue slots. Submits that do not fit entirely are rejected.
+  std::size_t queue_capacity = 256;
+  /// Max jobs coalesced into one sweep dispatch.
+  std::size_t batch_max = 64;
+  /// Server-side clamp on any job's cycle limit.
+  Cycle max_cycles_cap = 1'000'000'000;
+  /// Deadline applied to jobs that do not carry their own, in ms from
+  /// submission; 0 = none.
+  std::uint64_t default_deadline_ms = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  ~Server();  ///< calls stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the accept + dispatcher threads. Throws
+  /// ServeError if the port cannot be bound.
+  void start();
+
+  /// Drain: refuse new connections and submissions, cancel queued and
+  /// running jobs, join every thread. Idempotent.
+  void stop();
+
+  /// The bound port (after start()); useful with ServerOptions::port = 0.
+  std::uint16_t port() const { return port_; }
+
+  /// True once a client has sent {"op":"shutdown"}; the embedding
+  /// program is expected to notice and call stop().
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  /// The same JSON served to {"op":"stats"} (for embedding/tests).
+  std::string stats_json() const;
+
+ private:
+  enum class JobState : std::uint8_t { kQueued, kRunning, kDone };
+
+  struct JobRecord {
+    std::uint64_t id = 0;
+    JobState state = JobState::kQueued;
+    SweepJob job;          ///< carries the cancel token and deadline
+    SweepResult result;    ///< valid once state == kDone
+  };
+
+  struct Session {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void session_loop(Session* s);
+  void dispatch_loop();
+
+  /// Parse + dispatch one request payload; always returns a response
+  /// payload (protocol-level errors become {"ok":false,...} responses).
+  std::string handle_request(const std::string& payload);
+
+  std::string handle_submit(const json::Value& req);
+  std::string handle_status(const json::Value& req);
+  std::string handle_result(const json::Value& req);
+  std::string handle_cancel(const json::Value& req);
+
+  ServerOptions opts_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  SweepRunner runner_;
+  BoundedQueue<std::uint64_t> queue_;
+  ServeMetrics metrics_;
+
+  mutable std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;          ///< signalled per job completion
+  std::map<std::uint64_t, JobRecord> jobs_;  ///< id → record
+  std::atomic<std::uint64_t> next_id_{1};
+  std::size_t running_ = 0;                  ///< jobs in the current batch
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace masc::serve

@@ -32,6 +32,25 @@ std::string to_json(const Stats& s) {
     if (t) os << ",";
     os << s.issued_by_thread[t];
   }
+  os << "]";
+  // Per-thread blocked-cycle accounting, keyed by cause name. Zero
+  // entries are elided (most threads stall on only a few causes), so a
+  // thread that never stalled emits {}.
+  os << ",\"thread_stalls\":[";
+  for (std::size_t t = 0; t < s.thread_stalls.size(); ++t) {
+    if (t) os << ",";
+    os << "{";
+    bool first_cause = true;
+    for (std::size_t c = 1;
+         c < static_cast<std::size_t>(StallCause::kCauseCount); ++c) {
+      if (s.thread_stalls[t][c] == 0) continue;
+      if (!first_cause) os << ",";
+      first_cause = false;
+      os << "\"" << to_string(static_cast<StallCause>(c))
+         << "\":" << s.thread_stalls[t][c];
+    }
+    os << "}";
+  }
   os << "]}";
   return os.str();
 }

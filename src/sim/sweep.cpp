@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstdio>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "common/json.hpp"
 #include "sim/machine.hpp"
 
 namespace masc {
@@ -23,47 +23,57 @@ SweepResult run_one(const SweepJob& job, std::size_t index) {
   try {
     Machine m(job.cfg);
     m.load(job.program);
-    r.finished = m.run(job.max_cycles);
+    if (!job.cancel && !job.deadline) {
+      // Fast path: no cooperative checks requested, run straight through.
+      r.status = m.run(job.max_cycles) ? SweepStatus::kFinished
+                                       : SweepStatus::kCycleLimit;
+    } else {
+      // Chunked run: Machine::run treats its limit as an absolute cycle
+      // count, so run(min(now+chunk, max)) repeated to completion is
+      // cycle-for-cycle identical to run(max) — the checks between
+      // chunks are invisible to the simulated machine.
+      r.status = SweepStatus::kCycleLimit;
+      for (;;) {
+        if (job.cancel && job.cancel->load(std::memory_order_relaxed)) {
+          r.status = SweepStatus::kCancelled;
+          break;
+        }
+        if (job.deadline && std::chrono::steady_clock::now() >= *job.deadline) {
+          r.status = SweepStatus::kDeadlineExceeded;
+          break;
+        }
+        const Cycle limit =
+            std::min<Cycle>(job.max_cycles, m.now() + kSweepChunkCycles);
+        if (m.run(limit)) {
+          r.status = SweepStatus::kFinished;
+          break;
+        }
+        if (m.now() >= job.max_cycles) break;  // true cycle-limit stop
+      }
+    }
     r.stats = m.stats();
   } catch (const std::exception& e) {
     r.error = e.what();
-    r.finished = false;
+    r.status = SweepStatus::kError;
   }
+  r.finished = r.status == SweepStatus::kFinished;
   r.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return r;
 }
 
-/// JSON string escaping for the free-form fields (config name, job label,
-/// exception text): quote, backslash, and all control characters, so a
-/// newline in an error message cannot break the JSONL output.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char ch : s) {
-    const auto c = static_cast<unsigned char>(ch);
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
-
 }  // namespace
+
+const char* to_string(SweepStatus s) {
+  switch (s) {
+    case SweepStatus::kFinished: return "finished";
+    case SweepStatus::kCycleLimit: return "cycle-limit";
+    case SweepStatus::kError: return "error";
+    case SweepStatus::kCancelled: return "cancelled";
+    case SweepStatus::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?status";
+}
 
 SweepRunner::SweepRunner(unsigned workers) : workers_(workers) {
   if (workers_ == 0) {
@@ -119,6 +129,7 @@ std::string to_json(const SweepResult& r, const MachineConfig& cfg) {
   os << ",\"config\":\"" << json_escape(cfg.name()) << "\"";
   os << ",\"label\":\"" << json_escape(r.label) << "\"";
   os << ",\"seed\":" << r.seed;
+  os << ",\"status\":\"" << to_string(r.status) << "\"";
   os << ",\"finished\":" << (r.finished ? "true" : "false");
   if (!r.error.empty())
     os << ",\"error\":\"" << json_escape(r.error) << "\"";

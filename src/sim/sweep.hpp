@@ -9,10 +9,21 @@
 // function of (config, program, seed), the bit pattern of every
 // SweepResult::stats is independent of the worker count and of job
 // scheduling order. Tests pin that property down.
+//
+// Jobs can additionally carry a cooperative cancellation token and a
+// wall-clock deadline (used by masc-served to bound hostile or runaway
+// requests). Both are checked between fixed-size simulation chunks;
+// because Machine::run(limit) treats the limit as an absolute cycle
+// count, a chunked run is cycle-for-cycle identical to a straight run,
+// so determinism is unaffected for jobs that complete.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +32,26 @@
 #include "sim/stats.hpp"
 
 namespace masc {
+
+/// Shared flag used to request cooperative cancellation of one or more
+/// in-flight jobs. Setting it is sticky; workers observe it at the next
+/// chunk boundary (≤ kSweepChunkCycles simulated cycles later).
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+inline CancelToken make_cancel_token() {
+  return std::make_shared<std::atomic<bool>>(false);
+}
+
+/// How a sweep job ended.
+enum class SweepStatus : std::uint8_t {
+  kFinished,          ///< program ran to completion
+  kCycleLimit,        ///< max_cycles reached before completion
+  kError,             ///< the simulation threw (see SweepResult::error)
+  kCancelled,         ///< cancel token fired mid-run
+  kDeadlineExceeded,  ///< wall-clock deadline passed mid-run
+};
+
+const char* to_string(SweepStatus s);
 
 /// One independent simulation job. `seed` is carried through to the
 /// result (and available to workload generators that want to key
@@ -31,17 +62,31 @@ struct SweepJob {
   std::string label;                 ///< free-form tag echoed in the result
   std::uint64_t seed = 0;
   Cycle max_cycles = 100'000'000;
+  /// Optional cooperative cancellation token (may be shared by many jobs).
+  CancelToken cancel;
+  /// Optional absolute wall-clock deadline. Callers define the epoch:
+  /// masc-sweep sets `start + --deadline-ms` for the whole grid,
+  /// masc-served sets `submit_time + deadline_ms` per job.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 struct SweepResult {
   std::size_t index = 0;             ///< position of the job in the input
   std::string label;
   std::uint64_t seed = 0;
-  bool finished = false;             ///< false: cycle limit hit or error
+  SweepStatus status = SweepStatus::kCycleLimit;
+  bool finished = false;             ///< status == kFinished (legacy mirror)
   std::string error;                 ///< non-empty if the simulation threw
-  Stats stats;
+  Stats stats;                       ///< partial up to the stop point unless
+                                     ///< status == kFinished
   double host_seconds = 0.0;         ///< wall time of this job on its worker
 };
+
+/// Simulated cycles run between cancellation/deadline checks. Small
+/// enough that cancellation latency is sub-millisecond-ish on the host,
+/// large enough that the check (one atomic load, one clock read) is
+/// invisible in throughput.
+inline constexpr Cycle kSweepChunkCycles = 65'536;
 
 class SweepRunner {
  public:
@@ -69,7 +114,7 @@ class SweepRunner {
 };
 
 /// JSON object for one sweep result (config name + label + stats), used
-/// by masc-sweep and scriptable benchmarking.
+/// by masc-sweep, masc-served, and scriptable benchmarking.
 std::string to_json(const SweepResult& r, const MachineConfig& cfg);
 
 }  // namespace masc

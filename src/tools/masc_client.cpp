@@ -1,0 +1,207 @@
+// masc-client: command-line front end for a running masc-served.
+//
+//   masc-client [--host H] [--port N] <command> [args]
+//     ping                         round-trip check
+//     stats                        print the server's /stats JSON
+//     submit FILE [opts]           submit .s/.ascal source or a .mo image
+//       --pes N --threads N --width N --arity N   machine geometry
+//       --seeds N                  one job per seed 0..N-1   (default 1)
+//       --label S                  result label              (default cfg name)
+//       --max-cycles N             per-job cycle limit
+//       --deadline-ms N            per-job wall-clock deadline
+//       --wait                     block and print each result JSON line
+//     status ID                    job state
+//     result ID [--wait] [--timeout-ms N] [--release]
+//     cancel ID
+//     shutdown                     ask the daemon to exit
+//
+// Exit codes: 0 ok, 1 transport/file error, 2 usage, 3 server said no
+// (queue_full, not_found, ...).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "assembler/program_io.hpp"
+#include "common/error.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+using namespace masc;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: masc-client [--host H] [--port N] <command> [args]\n"
+      "  ping | stats | shutdown\n"
+      "  submit FILE [--pes N] [--threads N] [--width N] [--arity N]\n"
+      "         [--seeds N] [--label S] [--max-cycles N] [--deadline-ms N] "
+      "[--wait]\n"
+      "  status ID\n"
+      "  result ID [--wait] [--timeout-ms N] [--release]\n"
+      "  cancel ID\n");
+  return 2;
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw AssemblyError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Build the "program" object for FILE: source text travels as-is (the
+/// server compiles it), .mo images travel as word arrays.
+std::string program_json(const std::string& path) {
+  std::ostringstream os;
+  if (has_suffix(path, ".mo")) {
+    const Program prog = load_program_file(path);
+    os << "{\"text\":[";
+    for (std::size_t i = 0; i < prog.text.size(); ++i) {
+      if (i) os << ",";
+      os << prog.text[i];
+    }
+    os << "],\"data\":[";
+    for (std::size_t i = 0; i < prog.data.size(); ++i) {
+      if (i) os << ",";
+      os << prog.data[i];
+    }
+    os << "],\"entry\":" << prog.entry << "}";
+  } else if (has_suffix(path, ".ascal")) {
+    os << "{\"ascal\":\"" << json_escape(read_file(path)) << "\"}";
+  } else {
+    os << "{\"source\":\"" << json_escape(read_file(path)) << "\"}";
+  }
+  return os.str();
+}
+
+/// True when the response says ok; prints it either way.
+bool print_response(const json::Value& resp, const std::string& raw) {
+  std::printf("%s\n", raw.c_str());
+  return resp.get_bool("ok", false);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7733;
+  std::vector<std::string> args;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (++i >= argc) std::exit(usage());
+      return argv[i];
+    };
+    if (arg == "--host") host = next();
+    else if (arg == "--port")
+      port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 0));
+    else args.push_back(arg);
+  }
+  if (args.empty()) return usage();
+  const std::string cmd = args[0];
+
+  try {
+    serve::Client client;
+    client.connect(host, port);
+
+    if (cmd == "ping" || cmd == "stats" || cmd == "shutdown") {
+      if (args.size() != 1) return usage();
+      const std::string raw =
+          client.request_raw("{\"op\":\"" + cmd + "\"}");
+      return print_response(parse_json(raw), raw) ? 0 : 3;
+    }
+
+    if (cmd == "status" || cmd == "result" || cmd == "cancel") {
+      if (args.size() < 2) return usage();
+      std::ostringstream os;
+      os << "{\"op\":\"" << cmd << "\",\"id\":" << args[1];
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--wait") os << ",\"wait\":true";
+        else if (args[i] == "--release") os << ",\"release\":true";
+        else if (args[i] == "--timeout-ms" && i + 1 < args.size())
+          os << ",\"timeout_ms\":" << args[++i];
+        else return usage();
+      }
+      os << "}";
+      const std::string raw = client.request_raw(os.str());
+      return print_response(parse_json(raw), raw) ? 0 : 3;
+    }
+
+    if (cmd == "submit") {
+      if (args.size() < 2) return usage();
+      const std::string file = args[1];
+      std::uint32_t pes = 16, threads = 16, width = 16, arity = 2, seeds = 1;
+      std::uint64_t max_cycles = 0, deadline_ms = 0;
+      std::string label;
+      bool wait = false;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        auto val = [&]() -> const char* {
+          if (++i >= args.size()) std::exit(usage());
+          return args[i].c_str();
+        };
+        if (args[i] == "--pes") pes = static_cast<std::uint32_t>(std::strtoul(val(), nullptr, 0));
+        else if (args[i] == "--threads") threads = static_cast<std::uint32_t>(std::strtoul(val(), nullptr, 0));
+        else if (args[i] == "--width") width = static_cast<std::uint32_t>(std::strtoul(val(), nullptr, 0));
+        else if (args[i] == "--arity") arity = static_cast<std::uint32_t>(std::strtoul(val(), nullptr, 0));
+        else if (args[i] == "--seeds") seeds = static_cast<std::uint32_t>(std::strtoul(val(), nullptr, 0));
+        else if (args[i] == "--label") label = val();
+        else if (args[i] == "--max-cycles") max_cycles = std::strtoull(val(), nullptr, 0);
+        else if (args[i] == "--deadline-ms") deadline_ms = std::strtoull(val(), nullptr, 0);
+        else if (args[i] == "--wait") wait = true;
+        else return usage();
+      }
+      if (seeds == 0) return usage();
+
+      const std::string prog = program_json(file);
+      std::ostringstream os;
+      os << "{\"op\":\"submit\"";
+      if (deadline_ms > 0) os << ",\"deadline_ms\":" << deadline_ms;
+      os << ",\"jobs\":[";
+      for (std::uint32_t s = 0; s < seeds; ++s) {
+        if (s) os << ",";
+        os << "{\"config\":{\"pes\":" << pes << ",\"threads\":" << threads
+           << ",\"width\":" << width << ",\"arity\":" << arity << "}"
+           << ",\"program\":" << prog << ",\"seed\":" << s;
+        if (!label.empty())
+          os << ",\"label\":\"" << json_escape(label) << "\"";
+        if (max_cycles > 0) os << ",\"max_cycles\":" << max_cycles;
+        os << "}";
+      }
+      os << "]}";
+
+      const std::string raw = client.request_raw(os.str());
+      const json::Value resp = parse_json(raw);
+      if (!print_response(resp, raw)) return 3;
+      if (!wait) return 0;
+
+      bool all_ok = true;
+      for (const auto& id : resp.find("ids")->as_array()) {
+        const std::string rraw = client.request_raw(
+            "{\"op\":\"result\",\"id\":" + std::to_string(id.as_uint()) +
+            ",\"wait\":true,\"timeout_ms\":600000}");
+        const json::Value rresp = parse_json(rraw);
+        std::printf("%s\n", rraw.c_str());
+        if (!rresp.get_bool("ok", false)) all_ok = false;
+      }
+      return all_ok ? 0 : 3;
+    }
+
+    std::fprintf(stderr, "masc-client: unknown command \"%s\"\n", cmd.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "masc-client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+// masc-served: the MASC simulation service daemon.
+//
+//   masc-served [options]
+//     --port N          TCP port on 127.0.0.1; 0 = ephemeral (default 7733)
+//     --workers N       simulation worker threads; 0 = hardware (default 0)
+//     --queue N         job queue capacity                     (default 256)
+//     --batch N         max jobs coalesced per dispatch        (default 64)
+//     --max-cycles N    server-side cap on any job's cycle limit
+//     --deadline-ms N   default wall-clock deadline per job; 0 = none
+//
+// Prints "masc-served listening on 127.0.0.1:PORT" once ready (scripts
+// scrape the port when started with --port 0). Runs until a client
+// sends {"op":"shutdown"} or the process receives SIGINT/SIGTERM.
+// Protocol reference: docs/SERVER.md.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: masc-served [--port N] [--workers N] [--queue N] "
+               "[--batch N]\n  [--max-cycles N] [--deadline-ms N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  masc::serve::ServerOptions opts;
+  opts.port = 7733;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (++i >= argc) std::exit(usage());
+      return argv[i];
+    };
+    if (arg == "--port")
+      opts.port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--workers")
+      opts.workers = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--queue")
+      opts.queue_capacity = std::strtoul(next(), nullptr, 0);
+    else if (arg == "--batch")
+      opts.batch_max = std::strtoul(next(), nullptr, 0);
+    else if (arg == "--max-cycles")
+      opts.max_cycles_cap = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--deadline-ms")
+      opts.default_deadline_ms = std::strtoull(next(), nullptr, 0);
+    else
+      return usage();
+  }
+  if (opts.queue_capacity == 0 || opts.batch_max == 0) return usage();
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    masc::serve::Server server(opts);
+    server.start();
+    std::printf("masc-served listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    while (!server.shutdown_requested() && !g_signalled)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server.stop();
+    std::printf("masc-served: stopped\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "masc-served: %s\n", e.what());
+    return 1;
+  }
+}

@@ -12,11 +12,14 @@
 //     --seeds N        run each config with seeds 0..N-1 (default 1)
 //     --workers N      worker threads; 0 = hardware     (default 0)
 //     --max-cycles N   per-job cycle limit              (default 100M)
+//     --deadline-ms N  wall-clock deadline for every job, measured from
+//                      sweep start; late jobs report deadline-exceeded
 //     --table          print an IPC summary table instead of JSON lines
 //
 // The grid is the cross product pes × threads × width × seeds, ordered
 // row-major in that nesting; output order equals grid order regardless
 // of --workers (deterministic result ordering).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -38,7 +41,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: masc-sweep prog.s|prog.mo|prog.ascal [--pes LIST] "
                "[--threads LIST]\n  [--width LIST] [--arity K] [--seeds N] "
-               "[--workers N] [--max-cycles N] [--table]\n");
+               "[--workers N] [--max-cycles N]\n  [--deadline-ms N] [--table]\n");
   return 2;
 }
 
@@ -75,6 +78,7 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> pes{16}, threads{16}, widths{16};
   std::uint32_t arity = 2, seeds = 1, workers = 0;
   Cycle max_cycles = 100'000'000;
+  std::uint64_t deadline_ms = 0;
   bool table = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -90,6 +94,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seeds") seeds = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--workers") workers = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--max-cycles") max_cycles = std::strtoul(next(), nullptr, 0);
+    else if (arg == "--deadline-ms") deadline_ms = std::strtoull(next(), nullptr, 0);
     else if (arg == "--table") table = true;
     else if (!arg.empty() && arg[0] == '-') return usage();
     else if (input.empty()) input = arg;
@@ -122,13 +127,19 @@ int main(int argc, char** argv) {
             jobs.push_back(std::move(job));
           }
 
+    if (deadline_ms > 0) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(deadline_ms);
+      for (auto& job : jobs) job.deadline = deadline;
+    }
+
     const SweepRunner runner(workers);
     const auto results = runner.run(jobs);
 
     bool all_ok = true;
     if (table) {
-      std::printf("%-24s %6s %12s %12s %8s %10s\n", "config", "seed", "cycles",
-                  "instrs", "IPC", "host_sec");
+      std::printf("%-24s %6s %12s %12s %8s %10s %s\n", "config", "seed",
+                  "cycles", "instrs", "IPC", "host_sec", "status");
       for (const auto& r : results) {
         if (!r.error.empty()) {
           std::printf("%-24s %6llu ERROR: %s\n", r.label.c_str(),
@@ -137,11 +148,12 @@ int main(int argc, char** argv) {
           continue;
         }
         if (!r.finished) all_ok = false;
-        std::printf("%-24s %6llu %12llu %12llu %8.4f %10.4f\n", r.label.c_str(),
+        std::printf("%-24s %6llu %12llu %12llu %8.4f %10.4f %s\n",
+                    r.label.c_str(),
                     static_cast<unsigned long long>(r.seed),
                     static_cast<unsigned long long>(r.stats.cycles),
                     static_cast<unsigned long long>(r.stats.instructions),
-                    r.stats.ipc(), r.host_seconds);
+                    r.stats.ipc(), r.host_seconds, to_string(r.status));
       }
     } else {
       for (std::size_t i = 0; i < results.size(); ++i) {

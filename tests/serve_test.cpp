@@ -1,0 +1,588 @@
+// Simulation-service tests: the wire protocol, the bounded queue's
+// all-or-nothing backpressure, deadline/cancellation paths, batching,
+// live metrics — and the headline contract: results served to N
+// concurrent clients are bit-identical to serial runs of the same
+// (config, program, seed), because the service only ever batches pure
+// simulations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "serve/client.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "sim/machine.hpp"
+
+namespace masc {
+namespace {
+
+using serve::BoundedQueue;
+using serve::Client;
+using serve::Server;
+using serve::ServerOptions;
+using namespace std::chrono_literals;
+
+// --- helpers ----------------------------------------------------------
+
+/// Reduction-dense kernel (every rsum result consumed immediately):
+/// cycle counts are hazard-sensitive, a good determinism probe.
+std::string reduction_kernel(int rounds) {
+  std::string src = "pindex p1\n";
+  for (int i = 0; i < rounds; ++i) {
+    src += "rsum r1, p1\n";
+    src += "padds p2, r1, p1\n";
+  }
+  src += "halt\n";
+  return src;
+}
+
+std::string mixed_kernel(int rounds) {
+  std::string src = "pindex p1\nli r2, 3\npbcast p3, r2\n";
+  for (int i = 0; i < rounds; ++i) {
+    src += "pclt pf1, p3, p1\n";
+    src += "padd p4, p1, p3 ?pf1\n";
+    src += "rcount r3, pf1\n";
+    src += "add r4, r4, r3\n";
+  }
+  src += "halt\n";
+  return src;
+}
+
+const char* kSpinForever = "loop: j loop\n";
+
+struct JobSpec {
+  std::string source;
+  std::uint32_t pes = 8;
+  std::uint32_t threads = 4;
+  std::uint64_t seed = 0;
+  std::string label;
+};
+
+std::string job_json(const JobSpec& spec, const std::string& extra = "") {
+  std::string out = "{\"config\":{\"pes\":" + std::to_string(spec.pes) +
+                    ",\"threads\":" + std::to_string(spec.threads) +
+                    ",\"width\":16},\"program\":{\"source\":\"" +
+                    json_escape(spec.source) + "\"},\"seed\":" +
+                    std::to_string(spec.seed) + ",\"label\":\"" +
+                    json_escape(spec.label) + "\"";
+  if (!extra.empty()) out += "," + extra;
+  out += "}";
+  return out;
+}
+
+std::string submit_request(const std::vector<std::string>& jobs,
+                           const std::string& extra = "") {
+  std::string out = "{\"op\":\"submit\"";
+  if (!extra.empty()) out += "," + extra;
+  out += ",\"jobs\":[";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i) out += ",";
+    out += jobs[i];
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<std::uint64_t> submit_ok(Client& c,
+                                     const std::vector<std::string>& jobs,
+                                     const std::string& extra = "") {
+  const json::Value resp = c.request(submit_request(jobs, extra));
+  EXPECT_TRUE(resp.get_bool("ok", false)) << "submit failed";
+  std::vector<std::uint64_t> ids;
+  const json::Value* arr = resp.find("ids");
+  if (arr)
+    for (const auto& id : arr->as_array()) ids.push_back(id.as_uint());
+  EXPECT_EQ(ids.size(), jobs.size());
+  return ids;
+}
+
+std::string result_request(std::uint64_t id, bool wait,
+                           std::uint64_t timeout_ms = 30'000) {
+  return "{\"op\":\"result\",\"id\":" + std::to_string(id) +
+         ",\"wait\":" + (wait ? "true" : "false") +
+         ",\"timeout_ms\":" + std::to_string(timeout_ms) + "}";
+}
+
+/// Poll job status until it reaches `state` (serialized via the wire).
+void await_state(Client& c, std::uint64_t id, const std::string& state) {
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  for (;;) {
+    const json::Value resp =
+        c.request("{\"op\":\"status\",\"id\":" + std::to_string(id) + "}");
+    ASSERT_TRUE(resp.get_bool("ok", false));
+    if (resp.get_string("state", "") == state) return;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "job " << id << " never reached state " << state;
+    std::this_thread::sleep_for(2ms);
+  }
+}
+
+/// The exact serial-run stats JSON the server must have embedded for
+/// this job, computed on this thread with a plain Machine.
+std::string serial_stats_json(const JobSpec& spec) {
+  MachineConfig cfg;
+  cfg.num_pes = spec.pes;
+  cfg.num_threads = spec.threads;
+  cfg.word_width = 16;
+  cfg.validate();
+  Machine m(cfg);
+  m.load(assemble(spec.source));
+  EXPECT_TRUE(m.run(100'000'000));
+  return to_json(m.stats());
+}
+
+// --- bounded queue ----------------------------------------------------
+
+TEST(ServeQueue, AdmissionIsAllOrNothing) {
+  BoundedQueue<int> q(3);
+  EXPECT_TRUE(q.try_push({1, 2}));
+  EXPECT_FALSE(q.try_push({3, 4}));  // only one slot free: reject both
+  EXPECT_TRUE(q.try_push({3}));
+  EXPECT_EQ(q.size(), 3u);
+  const auto batch = q.pop_batch(8);
+  EXPECT_EQ(batch, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ServeQueue, CloseDrainsThenReturnsEmpty) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push({7, 8}));
+  q.close();
+  EXPECT_FALSE(q.try_push({9}));
+  EXPECT_EQ(q.pop_batch(1), std::vector<int>{7});
+  EXPECT_EQ(q.pop_batch(8), std::vector<int>{8});
+  EXPECT_TRUE(q.pop_batch(8).empty());  // closed + drained, no block
+}
+
+// --- protocol / JSON --------------------------------------------------
+
+TEST(ServeProtocol, JsonParserHandlesTheWireDialect) {
+  const json::Value v = parse_json(
+      "{\"a\":1,\"b\":-2.5,\"s\":\"x\\n\\u0041\",\"arr\":[true,false,null],"
+      "\"nested\":{\"k\":18446744073709551615}}");
+  EXPECT_EQ(v.get_int("a", 0), 1);
+  EXPECT_DOUBLE_EQ(v.get_number("b", 0), -2.5);
+  EXPECT_EQ(v.get_string("s", ""), "x\nA");
+  EXPECT_EQ(v.find("arr")->as_array().size(), 3u);
+  EXPECT_TRUE(v.find("arr")->as_array()[2].is_null());
+  // 2^64-1 does not fit int64: parsed as a (lossy) double, not integer.
+  EXPECT_FALSE(v.find("nested")->find("k")->is_integer);
+
+  EXPECT_THROW(parse_json("{\"a\":}"), JsonError);
+  EXPECT_THROW(parse_json("[1,2"), JsonError);
+  EXPECT_THROW(parse_json("{} trailing"), JsonError);
+  EXPECT_THROW(parse_json("\"\x01\""), JsonError);
+  EXPECT_THROW(parse_json(""), JsonError);
+}
+
+TEST(ServeProtocol, ConfigDecodingAppliesDefaultsAndValidates) {
+  const json::Value v =
+      parse_json("{\"pes\":32,\"threads\":8,\"width\":16,\"sched\":\"smt\","
+                 "\"issue_width\":2}");
+  const MachineConfig cfg = serve::config_from_json(v);
+  EXPECT_EQ(cfg.num_pes, 32u);
+  EXPECT_EQ(cfg.num_threads, 8u);
+  EXPECT_EQ(cfg.word_width, 16u);
+  EXPECT_EQ(cfg.sched_policy, ThreadSchedPolicy::kSmt);
+  EXPECT_EQ(cfg.issue_width, 2u);
+  EXPECT_EQ(serve::config_from_json(parse_json("{}")).num_pes,
+            MachineConfig{}.num_pes);
+  EXPECT_THROW(serve::config_from_json(parse_json("{\"width\":7}")),
+               ConfigError);  // validate() rejects the geometry
+  EXPECT_THROW(serve::config_from_json(parse_json("{\"sched\":\"wat\"}")),
+               JsonError);
+}
+
+TEST(ServeProtocol, ProgramDecodingAcceptsAllThreeForms) {
+  const Program from_source = serve::program_from_json(
+      parse_json("{\"source\":\"li r1, 7\\nhalt\\n\"}"));
+  EXPECT_FALSE(from_source.text.empty());
+
+  const Program from_ascal = serve::program_from_json(
+      parse_json("{\"ascal\":\"pint v; v = index() + 1;\"}"));
+  EXPECT_FALSE(from_ascal.text.empty());
+
+  std::string text_json = "{\"text\":[";
+  for (std::size_t i = 0; i < from_source.text.size(); ++i) {
+    if (i) text_json += ",";
+    text_json += std::to_string(from_source.text[i]);
+  }
+  text_json += "],\"entry\":0}";
+  const Program from_image = serve::program_from_json(parse_json(text_json));
+  EXPECT_EQ(from_image.text, from_source.text);
+
+  EXPECT_THROW(serve::program_from_json(parse_json("{}")), JsonError);
+  EXPECT_THROW(serve::program_from_json(
+                   parse_json("{\"source\":\"not an opcode\"}")),
+               AssemblyError);
+}
+
+// --- the service ------------------------------------------------------
+
+ServerOptions test_options() {
+  ServerOptions opts;
+  opts.port = 0;        // ephemeral
+  opts.workers = 2;
+  opts.queue_capacity = 64;
+  opts.batch_max = 16;
+  return opts;
+}
+
+/// Acceptance demo: ≥32 jobs from ≥4 concurrent clients, every result
+/// bit-identical to a serial run, stats counters consistent after.
+TEST(ServeServer, MultiClientStressBitIdenticalToSerial) {
+  Server server(test_options());
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 8;
+  const std::string programs[2] = {reduction_kernel(12), mixed_kernel(8)};
+
+  // Job grid, distinct per (client, j): mixed programs, shapes, seeds.
+  std::vector<std::vector<JobSpec>> specs(kClients);
+  for (int c = 0; c < kClients; ++c)
+    for (int j = 0; j < kJobsPerClient; ++j) {
+      JobSpec s;
+      s.source = programs[(c + j) % 2];
+      s.pes = (j % 2) ? 4u : 8u;
+      s.threads = (j % 4 < 2) ? 1u : 4u;
+      s.seed = static_cast<std::uint64_t>(c * 100 + j);
+      s.label = "c" + std::to_string(c) + ".j" + std::to_string(j);
+      specs[c].push_back(s);
+    }
+
+  std::vector<std::vector<std::string>> raw_results(
+      kClients, std::vector<std::string>(kJobsPerClient));
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        Client cl;
+        cl.connect("127.0.0.1", server.port());
+        // Two submit requests of 4 jobs each: exercises multi-job
+        // admission and interleaves with the other clients.
+        std::vector<std::uint64_t> ids;
+        for (int half = 0; half < 2; ++half) {
+          std::vector<std::string> batch;
+          for (int j = half * 4; j < half * 4 + 4; ++j)
+            batch.push_back(job_json(specs[c][j]));
+          const json::Value resp = cl.request(submit_request(batch));
+          if (!resp.get_bool("ok", false))
+            throw std::runtime_error("submit rejected");
+          for (const auto& id : resp.find("ids")->as_array())
+            ids.push_back(id.as_uint());
+        }
+        for (int j = 0; j < kJobsPerClient; ++j)
+          raw_results[c][j] = cl.request_raw(result_request(ids[j], true));
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(failures[c], "") << "client " << c;
+
+  for (int c = 0; c < kClients; ++c)
+    for (int j = 0; j < kJobsPerClient; ++j) {
+      const std::string& raw = raw_results[c][j];
+      const json::Value resp = parse_json(raw);
+      ASSERT_TRUE(resp.get_bool("ok", false)) << raw;
+      // Bit-identical stats: the serial stats JSON must appear verbatim.
+      EXPECT_NE(raw.find("\"stats\":" + serial_stats_json(specs[c][j])),
+                std::string::npos)
+          << "client " << c << " job " << j << ": " << raw;
+      EXPECT_NE(raw.find("\"status\":\"finished\""), std::string::npos);
+      EXPECT_NE(raw.find("\"label\":\"" + specs[c][j].label + "\""),
+                std::string::npos);
+    }
+
+  // Counters must balance: everything submitted was completed.
+  const json::Value stats = parse_json(server.stats_json());
+  EXPECT_EQ(stats.get_uint("queue_depth", 99), 0u);
+  EXPECT_EQ(stats.get_uint("in_flight", 99), 0u);
+  const json::Value* counters = stats.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->get_uint("submitted", 0), 32u);
+  EXPECT_EQ(counters->get_uint("completed", 0), 32u);
+  EXPECT_EQ(counters->get_uint("failed", 1), 0u);
+  EXPECT_EQ(counters->get_uint("rejected", 1), 0u);
+  EXPECT_GE(counters->get_uint("batches", 0), 1u);
+  std::uint64_t hist_total = 0;
+  for (const auto& b : stats.find("host_ms_hist")->as_array())
+    hist_total += b.as_uint();
+  EXPECT_EQ(hist_total, 32u);
+
+  server.stop();
+}
+
+TEST(ServeServer, BackpressureRejectsWholeSubmitWithRetryAfter) {
+  ServerOptions opts = test_options();
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  opts.batch_max = 1;  // the blocker occupies the only dispatch slot
+  Server server(opts);
+  server.start();
+
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  JobSpec blocker;
+  blocker.source = kSpinForever;
+  blocker.label = "blocker";
+  const auto blocker_id = submit_ok(c, {job_json(blocker)})[0];
+  await_state(c, blocker_id, "running");  // queue is now empty again
+
+  JobSpec filler = blocker;
+  filler.label = "filler";
+  const auto fillers = submit_ok(c, {job_json(filler), job_json(filler)});
+
+  // Queue full: a two-job submit must be rejected whole, with a hint.
+  const json::Value rejected =
+      c.request(submit_request({job_json(filler), job_json(filler)}));
+  EXPECT_FALSE(rejected.get_bool("ok", true));
+  EXPECT_EQ(rejected.get_string("error", ""), "queue_full");
+  EXPECT_GE(rejected.get_uint("retry_after_ms", 0), 10u);
+
+  // ... and a single job does not fit either (0 slots free).
+  const json::Value rejected1 = c.request(submit_request({job_json(filler)}));
+  EXPECT_FALSE(rejected1.get_bool("ok", true));
+
+  // Unblock everything; rejected jobs must not have left any trace.
+  for (const auto id : {blocker_id, fillers[0], fillers[1]})
+    EXPECT_TRUE(c.request("{\"op\":\"cancel\",\"id\":" + std::to_string(id) +
+                          "}").get_bool("ok", false));
+  for (const auto id : {blocker_id, fillers[0], fillers[1]}) {
+    const json::Value resp = c.request(result_request(id, true));
+    ASSERT_TRUE(resp.get_bool("ok", false));
+  }
+  const json::Value stats = parse_json(server.stats_json());
+  EXPECT_EQ(stats.find("counters")->get_uint("submitted", 0), 3u);
+  EXPECT_EQ(stats.find("counters")->get_uint("rejected", 0), 3u);
+  EXPECT_EQ(stats.find("counters")->get_uint("cancelled", 0), 3u);
+  EXPECT_EQ(stats.get_uint("queue_depth", 99), 0u);
+
+  server.stop();
+}
+
+TEST(ServeServer, DeadlineExceededIsReportedAsSuch) {
+  Server server(test_options());
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  JobSpec spin;
+  spin.source = kSpinForever;
+  spin.label = "deadline-victim";
+  const auto id =
+      submit_ok(c, {job_json(spin, "\"deadline_ms\":100")})[0];
+  const std::string raw = c.request_raw(result_request(id, true));
+  const json::Value resp = parse_json(raw);
+  ASSERT_TRUE(resp.get_bool("ok", false)) << raw;
+  EXPECT_NE(raw.find("\"status\":\"deadline-exceeded\""), std::string::npos)
+      << raw;
+  EXPECT_NE(raw.find("\"finished\":false"), std::string::npos);
+
+  const json::Value stats = parse_json(server.stats_json());
+  EXPECT_EQ(stats.find("counters")->get_uint("deadline_exceeded", 0), 1u);
+  server.stop();
+}
+
+TEST(ServeServer, CancellationOfQueuedAndRunningJobs) {
+  ServerOptions opts = test_options();
+  opts.workers = 1;
+  opts.batch_max = 1;
+  Server server(opts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  JobSpec spin;
+  spin.source = kSpinForever;
+  spin.label = "running-victim";
+  const auto running_id = submit_ok(c, {job_json(spin)})[0];
+  await_state(c, running_id, "running");
+
+  spin.label = "queued-victim";
+  const auto queued_id = submit_ok(c, {job_json(spin)})[0];
+
+  for (const auto id : {queued_id, running_id}) {
+    const json::Value resp =
+        c.request("{\"op\":\"cancel\",\"id\":" + std::to_string(id) + "}");
+    ASSERT_TRUE(resp.get_bool("ok", false));
+    EXPECT_TRUE(resp.get_bool("effective", false)) << "id " << id;
+  }
+  for (const auto id : {running_id, queued_id}) {
+    const std::string raw = c.request_raw(result_request(id, true));
+    EXPECT_NE(raw.find("\"status\":\"cancelled\""), std::string::npos) << raw;
+  }
+
+  // Cancelling a done job is a no-op; unknown ids are not_found.
+  const json::Value again = c.request(
+      "{\"op\":\"cancel\",\"id\":" + std::to_string(running_id) + "}");
+  EXPECT_TRUE(again.get_bool("ok", false));
+  EXPECT_FALSE(again.get_bool("effective", true));
+  EXPECT_EQ(c.request("{\"op\":\"cancel\",\"id\":424242}")
+                .get_string("error", ""),
+            "not_found");
+  server.stop();
+}
+
+TEST(ServeServer, ResultWaitNotReadyAndRelease) {
+  ServerOptions opts = test_options();
+  opts.workers = 1;
+  opts.batch_max = 1;
+  Server server(opts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  JobSpec quick;
+  quick.source = reduction_kernel(4);
+  quick.label = "quick";
+  JobSpec spin;
+  spin.source = kSpinForever;
+  spin.label = "spin";
+
+  const auto spin_id = submit_ok(c, {job_json(spin)})[0];
+  await_state(c, spin_id, "running");
+  const auto quick_id = submit_ok(c, {job_json(quick)})[0];
+
+  // Non-blocking fetch of a queued job: not_ready, with its state.
+  const json::Value not_ready = c.request(result_request(quick_id, false));
+  EXPECT_FALSE(not_ready.get_bool("ok", true));
+  EXPECT_EQ(not_ready.get_string("error", ""), "not_ready");
+  EXPECT_EQ(not_ready.get_string("state", ""), "queued");
+
+  // Blocking fetch with a tiny timeout: still not_ready (spin blocks it).
+  const json::Value timed_out =
+      c.request(result_request(quick_id, true, 50));
+  EXPECT_FALSE(timed_out.get_bool("ok", true));
+  EXPECT_EQ(timed_out.get_string("error", ""), "not_ready");
+
+  c.request("{\"op\":\"cancel\",\"id\":" + std::to_string(spin_id) + "}");
+  const json::Value done = c.request(
+      "{\"op\":\"result\",\"id\":" + std::to_string(quick_id) +
+      ",\"wait\":true,\"timeout_ms\":30000,\"release\":true}");
+  ASSERT_TRUE(done.get_bool("ok", false));
+
+  // Released: the record is gone.
+  EXPECT_EQ(c.request(result_request(quick_id, false)).get_string("error", ""),
+            "not_found");
+  EXPECT_EQ(c.request("{\"op\":\"status\",\"id\":" + std::to_string(quick_id) +
+                      "}").get_string("error", ""),
+            "not_found");
+  server.stop();
+}
+
+TEST(ServeServer, BatchingCoalescesQueuedJobsIntoOneDispatch) {
+  ServerOptions opts = test_options();
+  opts.workers = 2;
+  opts.batch_max = 16;
+  Server server(opts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  JobSpec spin;
+  spin.source = kSpinForever;
+  spin.label = "gate";
+  const auto gate_id = submit_ok(c, {job_json(spin)})[0];
+  await_state(c, gate_id, "running");
+
+  // Six quick jobs pile up behind the gate...
+  std::vector<std::string> quick;
+  for (int j = 0; j < 6; ++j) {
+    JobSpec s;
+    s.source = reduction_kernel(4);
+    s.label = "q" + std::to_string(j);
+    s.seed = static_cast<std::uint64_t>(j);
+    quick.push_back(job_json(s));
+  }
+  const auto ids = submit_ok(c, quick);
+  c.request("{\"op\":\"cancel\",\"id\":" + std::to_string(gate_id) + "}");
+  for (const auto id : ids) {
+    const std::string raw = c.request_raw(result_request(id, true));
+    EXPECT_NE(raw.find("\"status\":\"finished\""), std::string::npos) << raw;
+  }
+  c.request_raw(result_request(gate_id, true));
+
+  // ...and are drained in ONE dispatch: gate batch + coalesced batch.
+  const json::Value stats = parse_json(server.stats_json());
+  EXPECT_EQ(stats.find("counters")->get_uint("batches", 0), 2u);
+  server.stop();
+}
+
+TEST(ServeServer, MalformedRequestsGetErrorsNotDisconnects) {
+  Server server(test_options());
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  EXPECT_EQ(c.request("this is not json").get_string("error", ""),
+            "bad_request");
+  EXPECT_EQ(c.request("{\"op\":\"frobnicate\"}").get_string("error", ""),
+            "unknown_op");
+  EXPECT_EQ(c.request("{\"op\":\"submit\",\"jobs\":[]}")
+                .get_string("error", ""),
+            "bad_request");
+  EXPECT_EQ(c.request("{\"op\":\"status\"}").get_string("error", ""),
+            "bad_request");
+  // A job whose program does not assemble rejects the submit...
+  JobSpec bad;
+  bad.source = "definitely not assembly\n";
+  bad.label = "bad";
+  EXPECT_EQ(c.request(submit_request({job_json(bad)})).get_string("error", ""),
+            "bad_request");
+  // ...and the session is still perfectly usable.
+  EXPECT_TRUE(c.request("{\"op\":\"ping\"}").get_bool("ok", false));
+
+  const json::Value stats = parse_json(server.stats_json());
+  EXPECT_EQ(stats.find("counters")->get_uint("submitted", 99), 0u);
+  server.stop();
+}
+
+TEST(ServeServer, ShutdownOpRaisesTheFlag) {
+  Server server(test_options());
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+  EXPECT_FALSE(server.shutdown_requested());
+  EXPECT_TRUE(c.request("{\"op\":\"shutdown\"}").get_bool("ok", false));
+  EXPECT_TRUE(server.shutdown_requested());
+  server.stop();
+}
+
+TEST(ServeServer, StopWhileJobsInFlightDischargesEverything) {
+  ServerOptions opts = test_options();
+  opts.workers = 1;
+  opts.batch_max = 1;
+  Server server(opts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  JobSpec spin;
+  spin.source = kSpinForever;
+  spin.label = "orphan";
+  const auto running = submit_ok(c, {job_json(spin)})[0];
+  await_state(c, running, "running");
+  submit_ok(c, {job_json(spin)});  // queued behind it
+
+  // stop() must cancel the running job, discharge the queued one, and
+  // return promptly (cooperative cancellation, not a join-forever).
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 10s);
+}
+
+}  // namespace
+}  // namespace masc

@@ -7,8 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "isa/encoding.hpp"
 #include "sim/sweep.hpp"
 #include "test_util.hpp"
@@ -273,6 +277,147 @@ TEST(SoARegression, HardwiredRegisterAndFlagZeroSemantics) {
       EXPECT_EQ(st->pflag(0, 0, pe), 1) << "pe" << pe;
     }
   }
+}
+
+// --- Cooperative cancellation and wall-clock deadlines ----------------
+
+TEST(SweepCancellation, PreCancelledJobsDischargeWithoutRunning) {
+  std::vector<SweepJob> jobs = make_grid();
+  const CancelToken token = make_cancel_token();
+  token->store(true);
+  for (auto& job : jobs) job.cancel = token;
+
+  const auto results = SweepRunner(4).run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (const auto& r : results) {
+    EXPECT_EQ(r.status, SweepStatus::kCancelled) << r.label;
+    EXPECT_FALSE(r.finished);
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    EXPECT_EQ(r.stats.cycles, 0u) << r.label;  // observed before chunk one
+  }
+}
+
+TEST(SweepCancellation, AsyncCancelStopsASpinningJob) {
+  SweepJob job;
+  job.cfg = small_config();
+  job.program = assemble("loop: j loop\n");
+  job.max_cycles = std::numeric_limits<Cycle>::max() / 2;
+  job.cancel = make_cancel_token();
+
+  std::vector<SweepResult> results;
+  std::thread sweep([&] { results = SweepRunner(1).run({job}); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  job.cancel->store(true);
+  sweep.join();
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, SweepStatus::kCancelled);
+  EXPECT_FALSE(results[0].finished);
+  // It genuinely ran before the token landed (chunks of kSweepChunkCycles).
+  EXPECT_GT(results[0].stats.cycles, 0u);
+}
+
+TEST(SweepDeadline, ExpiredDeadlineStopsASpinningJob) {
+  SweepJob job;
+  job.cfg = small_config();
+  job.program = assemble("loop: j loop\n");
+  job.max_cycles = std::numeric_limits<Cycle>::max() / 2;
+  job.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(50);
+  const auto results = SweepRunner(1).run({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, SweepStatus::kDeadlineExceeded);
+  EXPECT_FALSE(results[0].finished);
+  EXPECT_TRUE(results[0].error.empty()) << results[0].error;
+}
+
+TEST(SweepDeadline, GenerousDeadlineIsInvisibleToTheSimulation) {
+  // The chunked run (taken whenever a deadline or token is attached)
+  // must be cycle-for-cycle identical to the straight run: Machine::run
+  // treats its limit as an absolute cycle count, so chunk boundaries
+  // are not observable. Pin that for finishing jobs...
+  std::vector<SweepJob> jobs = make_grid();
+  const auto baseline = SweepRunner(2).run(jobs);
+  for (auto& job : jobs)
+    job.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::hours(1);
+  const auto chunked = SweepRunner(2).run(jobs);
+  ASSERT_EQ(chunked.size(), baseline.size());
+  for (std::size_t i = 0; i < chunked.size(); ++i) {
+    EXPECT_EQ(chunked[i].status, SweepStatus::kFinished);
+    expect_stats_identical(chunked[i].stats, baseline[i].stats,
+                           jobs[i].label + " chunked");
+  }
+
+  // ...and for a cycle-limited job that crosses several chunk
+  // boundaries before hitting its limit mid-chunk.
+  SweepJob spin;
+  spin.cfg = small_config();
+  spin.program = assemble("loop: j loop\n");
+  spin.max_cycles = 3 * kSweepChunkCycles + 1234;
+  const auto straight = SweepRunner(1).run({spin});
+  spin.deadline = std::chrono::steady_clock::now() +
+                  std::chrono::hours(1);
+  const auto limited = SweepRunner(1).run({spin});
+  ASSERT_EQ(straight.size(), 1u);
+  ASSERT_EQ(limited.size(), 1u);
+  EXPECT_EQ(straight[0].status, SweepStatus::kCycleLimit);
+  EXPECT_EQ(limited[0].status, SweepStatus::kCycleLimit);
+  expect_stats_identical(limited[0].stats, straight[0].stats,
+                         "cycle-limited chunked");
+}
+
+TEST(SweepStatus, NamesAndJsonStatusField) {
+  EXPECT_STREQ(to_string(SweepStatus::kFinished), "finished");
+  EXPECT_STREQ(to_string(SweepStatus::kCycleLimit), "cycle-limit");
+  EXPECT_STREQ(to_string(SweepStatus::kError), "error");
+  EXPECT_STREQ(to_string(SweepStatus::kCancelled), "cancelled");
+  EXPECT_STREQ(to_string(SweepStatus::kDeadlineExceeded), "deadline-exceeded");
+
+  SweepResult r;
+  r.status = SweepStatus::kCancelled;
+  const std::string js = to_json(r, MachineConfig{});
+  EXPECT_NE(js.find("\"status\":\"cancelled\""), std::string::npos) << js;
+  EXPECT_NE(js.find("\"finished\":false"), std::string::npos) << js;
+}
+
+// --- Stats JSON: per-thread stall breakdown ---------------------------
+
+TEST(StatsJson, ThreadStallsBreakdownMatchesTheCounters) {
+  auto cfg = small_config();  // 4 threads
+  const Machine m = test::run_program(cfg, reduction_kernel(12));
+  const Stats& s = m.stats();
+  const std::string js = to_json(s);
+
+  // Dogfood the wire parser on our own emission.
+  const json::Value v = parse_json(js);
+  const json::Value* stalls = v.find("thread_stalls");
+  ASSERT_NE(stalls, nullptr) << js;
+  ASSERT_EQ(stalls->as_array().size(), s.thread_stalls.size());
+  ASSERT_EQ(stalls->as_array().size(), cfg.num_threads);
+
+  for (std::size_t t = 0; t < s.thread_stalls.size(); ++t) {
+    const json::Value& per_thread = stalls->as_array()[t];
+    ASSERT_TRUE(per_thread.is_object());
+    std::uint64_t emitted_total = 0;
+    for (const auto& [cause, count] : per_thread.object) {
+      EXPECT_GT(count.as_uint(), 0u) << "zero entries must be elided";
+      emitted_total += count.as_uint();
+      // Every key must be a real cause name that round-trips.
+      bool known = false;
+      for (std::size_t c = 1;
+           c < static_cast<std::size_t>(StallCause::kCauseCount); ++c)
+        known |= cause == to_string(static_cast<StallCause>(c));
+      EXPECT_TRUE(known) << "unknown cause \"" << cause << "\"";
+    }
+    std::uint64_t counter_total = 0;
+    for (std::size_t c = 1;
+         c < static_cast<std::size_t>(StallCause::kCauseCount); ++c)
+      counter_total += s.thread_stalls[t][c];
+    EXPECT_EQ(emitted_total, counter_total) << "thread " << t;
+  }
+  // A reduction-dense kernel must actually stall on reductions somewhere.
+  EXPECT_NE(js.find("\"reduction\""), std::string::npos) << js;
 }
 
 }  // namespace
