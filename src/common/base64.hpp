@@ -1,0 +1,85 @@
+// Standard base64 (RFC 4648, with padding), used to embed binary
+// checkpoint blobs inside the JSON job journal.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace masc {
+
+inline std::string base64_encode(const std::string& bytes) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const std::uint32_t v =
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i])) << 16) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i + 1])) << 8) |
+        static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i + 2]));
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+  }
+  const std::size_t rem = bytes.size() - i;
+  if (rem == 1) {
+    const auto v = static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]));
+    out.push_back(kAlphabet[(v >> 2) & 63]);
+    out.push_back(kAlphabet[(v << 4) & 63]);
+    out += "==";
+  } else if (rem == 2) {
+    const std::uint32_t v =
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i])) << 8) |
+        static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i + 1]));
+    out.push_back(kAlphabet[(v >> 10) & 63]);
+    out.push_back(kAlphabet[(v >> 4) & 63]);
+    out.push_back(kAlphabet[(v << 2) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+/// Decode; throws std::invalid_argument on characters outside the
+/// alphabet or a length that is not a padded multiple of four.
+inline std::string base64_decode(const std::string& text) {
+  auto value_of = [](char c) -> int {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '+') return 62;
+    if (c == '/') return 63;
+    return -1;
+  };
+  if (text.size() % 4 != 0)
+    throw std::invalid_argument("base64 length not a multiple of 4");
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int vals[4];
+    int pads = 0;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const char c = text[i + k];
+      if (c == '=' && i + 4 == text.size() && k >= 2) {
+        vals[k] = 0;
+        ++pads;
+      } else {
+        vals[k] = value_of(c);
+        if (vals[k] < 0 || pads > 0)
+          throw std::invalid_argument("invalid base64 input");
+      }
+    }
+    const std::uint32_t v = (static_cast<std::uint32_t>(vals[0]) << 18) |
+                            (static_cast<std::uint32_t>(vals[1]) << 12) |
+                            (static_cast<std::uint32_t>(vals[2]) << 6) |
+                            static_cast<std::uint32_t>(vals[3]);
+    out.push_back(static_cast<char>((v >> 16) & 0xFF));
+    if (pads < 2) out.push_back(static_cast<char>((v >> 8) & 0xFF));
+    if (pads < 1) out.push_back(static_cast<char>(v & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace masc

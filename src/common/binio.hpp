@@ -1,0 +1,126 @@
+// Length-checked binary record I/O for machine checkpoints.
+//
+// Checkpoints are an internal, same-host format: fixed-width
+// little-endian scalars, length-prefixed strings, and raw vectors of
+// trivially copyable elements. The reader bounds-checks every access so
+// a truncated or corrupted blob surfaces as BinError, never as a wild
+// read.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace masc {
+
+/// Raised on a malformed or truncated binary record.
+class BinError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BinWriter {
+ public:
+  explicit BinWriter(std::string& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.append(s);
+  }
+
+  /// Vector of trivially copyable elements, written as raw host-order
+  /// bytes with a length prefix (checkpoints never cross hosts).
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64(v.size());
+    const std::size_t bytes = v.size() * sizeof(T);
+    const std::size_t at = out_.size();
+    out_.resize(at + bytes);
+    if (bytes) std::memcpy(out_.data() + at, v.data(), bytes);
+  }
+
+ private:
+  std::string& out_;
+};
+
+class BinReader {
+ public:
+  BinReader(const char* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+  explicit BinReader(const std::string& blob)
+      : BinReader(blob.data(), blob.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(*p_++);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p_[i]))
+           << (8 * i);
+    p_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p_[i]))
+           << (8 * i);
+    p_ += 8;
+    return v;
+  }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(p_, p_ + n);
+    p_ += n;
+    return s;
+  }
+
+  /// Read a length-prefixed raw vector into `out` (resized to fit).
+  template <typename T>
+  void vec(std::vector<T>& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = u64();
+    if (n > static_cast<std::uint64_t>(end_ - p_) / sizeof(T))
+      throw BinError("binary record truncated");
+    out.resize(static_cast<std::size_t>(n));
+    const std::size_t bytes = out.size() * sizeof(T);
+    if (bytes) std::memcpy(out.data(), p_, bytes);
+    p_ += bytes;
+  }
+
+  bool done() const { return p_ == end_; }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > static_cast<std::uint64_t>(end_ - p_))
+      throw BinError("binary record truncated");
+  }
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace masc

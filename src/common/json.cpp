@@ -103,6 +103,72 @@ std::string Value::get_string(const std::string& key,
   return v ? v->as_string() : dflt;
 }
 
+namespace {
+
+void serialize_into(const Value& v, std::string& out) {
+  switch (v.kind) {
+    case Value::Kind::kNull:
+      out += "null";
+      return;
+    case Value::Kind::kBool:
+      out += v.boolean ? "true" : "false";
+      return;
+    case Value::Kind::kNumber: {
+      char buf[40];
+      if (v.is_integer) {
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v.integer));
+      } else if (std::isfinite(v.number)) {
+        std::snprintf(buf, sizeof buf, "%.17g", v.number);
+      } else {
+        // JSON has no Inf/NaN; parse_number never produces them, but be
+        // safe for hand-built values.
+        std::snprintf(buf, sizeof buf, "null");
+      }
+      out += buf;
+      return;
+    }
+    case Value::Kind::kString:
+      out += '"';
+      out += json_escape(v.string);
+      out += '"';
+      return;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& e : v.array) {
+        if (!first) out += ',';
+        first = false;
+        serialize_into(e, out);
+      }
+      out += ']';
+      return;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, val] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(key);
+        out += "\":";
+        serialize_into(val, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string serialize(const Value& v) {
+  std::string out;
+  serialize_into(v, out);
+  return out;
+}
+
 }  // namespace json
 
 namespace {

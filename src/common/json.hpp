@@ -74,6 +74,12 @@ struct Value {
                          const std::string& dflt) const;
 };
 
+/// Serialize a Value back to compact JSON text. Round-trips through
+/// parse_json() structurally: integers print exactly, other numbers via
+/// shortest-round-trip %.17g, strings fully escaped. Used by the job
+/// journal to re-record request payloads it replays on recovery.
+std::string serialize(const Value& v);
+
 }  // namespace json
 
 /// Parse one JSON document (throws JsonError on malformed input or

@@ -1,31 +1,90 @@
 #include "serve/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace masc::serve {
 
+namespace {
+
+/// Closes the owned fd on every exit path unless release()d — keeps
+/// connect() leak-free no matter which step throws.
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  int get() const { return fd_; }
+  int release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::uint64_t backoff_delay_ms(const RetryPolicy& policy, unsigned attempt,
+                               std::uint64_t hint_ms, Rng& rng) {
+  // base·2^attempt, saturating at max_ms (and guarding the shift).
+  std::uint64_t cap = policy.max_ms;
+  if (attempt < 63) {
+    const std::uint64_t growth = policy.base_ms << attempt;
+    const bool overflow = policy.base_ms != 0 && (growth >> attempt) != policy.base_ms;
+    if (!overflow && growth < cap) cap = growth;
+  }
+  // Jitter into [cap/2, cap]: enough spread to decorrelate a thundering
+  // herd, while keeping the exponential envelope testable.
+  std::uint64_t delay = cap;
+  if (cap > 1) delay = cap / 2 + rng.next_below(cap - cap / 2 + 1);
+  // Never retry before the server said there would be room.
+  return std::max(delay, hint_ms);
+}
+
 Client::~Client() { close(); }
 
-Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      connect_timeout_ms_(other.connect_timeout_ms_),
+      io_timeout_ms_(other.io_timeout_ms_),
+      retry_rng_(other.retry_rng_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    connect_timeout_ms_ = other.connect_timeout_ms_;
+    io_timeout_ms_ = other.io_timeout_ms_;
+    retry_rng_ = other.retry_rng_;
   }
   return *this;
 }
 
-void Client::connect(const std::string& host, std::uint16_t port) {
+void Client::connect(const std::string& host, std::uint16_t port,
+                     std::uint64_t timeout_ms) {
   close();
+  host_ = host;
+  port_ = port;
+  connect_timeout_ms_ = timeout_ms;
+
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -41,16 +100,52 @@ void Client::connect(const std::string& host, std::uint16_t port) {
         reinterpret_cast<const sockaddr_in*>(res->ai_addr)->sin_addr;
     ::freeaddrinfo(res);
   }
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0)
+
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (fd.get() < 0)
     throw ServeError(std::string("socket: ") + std::strerror(errno));
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
-      0) {
-    const std::string what = std::strerror(errno);
-    close();
-    throw ServeError("connect " + host + ":" + std::to_string(port) + ": " +
-                     what);
+
+  if (timeout_ms == 0) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) < 0)
+      throw ServeError("connect " + host + ":" + std::to_string(port) + ": " +
+                       std::strerror(errno));
+    fd_ = fd.release();
+    return;
   }
+
+  // Timed connect: non-blocking connect, poll for writability, read the
+  // deferred status via SO_ERROR, then restore blocking mode.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) < 0)
+    throw ServeError(std::string("fcntl: ") + std::strerror(errno));
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    if (errno != EINPROGRESS)
+      throw ServeError("connect " + host + ":" + std::to_string(port) + ": " +
+                       std::strerror(errno));
+    pollfd p{};
+    p.fd = fd.get();
+    p.events = POLLOUT;
+    int rc;
+    do {
+      rc = ::poll(&p, 1, static_cast<int>(timeout_ms));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0)
+      throw ServeTimeout("connect " + host + ":" + std::to_string(port) +
+                         ": timed out after " + std::to_string(timeout_ms) +
+                         " ms");
+    if (rc < 0) throw ServeError(std::string("poll: ") + std::strerror(errno));
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+        err != 0)
+      throw ServeError("connect " + host + ":" + std::to_string(port) + ": " +
+                       std::strerror(err ? err : errno));
+  }
+  if (::fcntl(fd.get(), F_SETFL, flags) < 0)
+    throw ServeError(std::string("fcntl: ") + std::strerror(errno));
+  fd_ = fd.release();
 }
 
 void Client::close() {
@@ -62,15 +157,46 @@ void Client::close() {
 
 std::string Client::request_raw(const std::string& payload) {
   if (fd_ < 0) throw ServeError("client not connected");
-  write_frame(fd_, payload);
+  write_frame(fd_, payload, io_timeout_ms_);
   std::string response;
-  if (!read_frame(fd_, response))
+  if (!read_frame(fd_, response, io_timeout_ms_, io_timeout_ms_))
     throw ServeError("server closed the connection");
   return response;
 }
 
 json::Value Client::request(const std::string& payload) {
   return parse_json(request_raw(payload));
+}
+
+json::Value Client::request_with_retry(const std::string& payload,
+                                       const RetryPolicy& policy) {
+  // A non-zero policy seed pins the jitter stream (reproducible tests);
+  // seed 0 draws from the client's ongoing stream.
+  Rng seeded(policy.seed);
+  Rng& rng = policy.seed != 0 ? seeded : retry_rng_;
+  const unsigned attempts = std::max(policy.max_attempts, 1u);
+  for (unsigned attempt = 0;; ++attempt) {
+    std::uint64_t hint_ms = 0;
+    try {
+      if (!connected()) {
+        if (host_.empty()) throw ServeError("client was never connected");
+        connect(host_, port_, connect_timeout_ms_);
+      }
+      json::Value resp = request(payload);
+      const bool retryable_reject =
+          !resp.get_bool("ok", true) &&
+          resp.get_string("error", "") == "queue_full";
+      if (!retryable_reject) return resp;
+      if (attempt + 1 >= attempts) return resp;  // hand the caller the error
+      hint_ms = resp.get_uint("retry_after_ms", 0);
+    } catch (const ServeError&) {
+      // Transport failure: the connection is suspect either way.
+      close();
+      if (attempt + 1 >= attempts) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        backoff_delay_ms(policy, attempt, hint_ms, rng)));
+  }
 }
 
 }  // namespace masc::serve

@@ -3,15 +3,38 @@
 // and by the in-process service tests; a Client is NOT thread-safe —
 // concurrent submitters each open their own (the server is happy to
 // hold many sessions).
+//
+// Resilience: connects honor a timeout, every request can be bounded by
+// an I/O timeout, and request_with_retry() layers reconnect-and-retry
+// with jittered exponential backoff on top — honoring the server's
+// retry_after_ms hint when a submit bounces off a full queue.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "common/json.hpp"
+#include "common/random.hpp"
 #include "serve/protocol.hpp"
 
 namespace masc::serve {
+
+/// Retry schedule for request_with_retry(). Delays are computed by
+/// backoff_delay_ms(); `max_attempts` counts the first try.
+struct RetryPolicy {
+  unsigned max_attempts = 1;       ///< 1 = no retries
+  std::uint64_t base_ms = 100;     ///< first retry delay scale
+  std::uint64_t max_ms = 5'000;    ///< exponential growth cap
+  std::uint64_t seed = 0;          ///< jitter stream seed
+};
+
+/// Delay before retry number `attempt` (0-based): exponential growth
+/// base_ms·2^attempt capped at max_ms, jittered uniformly into
+/// [cap/2, cap] to decorrelate clients, then floored by the server's
+/// retry_after_ms hint (0 = no hint). Pure given the Rng state, so the
+/// backoff-timing test can check spacing without sleeping.
+std::uint64_t backoff_delay_ms(const RetryPolicy& policy, unsigned attempt,
+                               std::uint64_t hint_ms, Rng& rng);
 
 class Client {
  public:
@@ -23,21 +46,43 @@ class Client {
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
 
-  /// Connect to a masc-served instance. Throws ServeError.
-  void connect(const std::string& host, std::uint16_t port);
+  /// Connect to a masc-served instance, waiting at most `timeout_ms`
+  /// (0 = OS default) for the TCP handshake. Throws ServeError (or
+  /// ServeTimeout when the deadline expires). The target is remembered
+  /// for request_with_retry() reconnects.
+  void connect(const std::string& host, std::uint16_t port,
+               std::uint64_t timeout_ms = 0);
   bool connected() const { return fd_ >= 0; }
   void close();
 
+  /// Bound each subsequent request's socket reads/writes (0 = none).
+  void set_io_timeout_ms(std::uint64_t ms) { io_timeout_ms_ = ms; }
+
   /// Send one request payload, return the raw response payload.
-  /// Throws ServeError on transport failure (including server close).
+  /// Throws ServeError on transport failure (including server close)
+  /// and ServeTimeout when the I/O timeout expires.
   std::string request_raw(const std::string& payload);
 
   /// As request_raw, with the response parsed. Throws JsonError if the
   /// server returns non-JSON (it never should).
   json::Value request(const std::string& payload);
 
+  /// request() with recovery: on transport failure the connection is
+  /// reopened and the request resent; a {"error":"queue_full"} response
+  /// is retried after its retry_after_ms hint. Sleeps backoff_delay_ms()
+  /// between attempts. Throws the last transport error once the policy
+  /// is exhausted. NOTE: resending is safe for idempotent requests
+  /// (everything but an un-keyed "submit"); give submits a "key".
+  json::Value request_with_retry(const std::string& payload,
+                                 const RetryPolicy& policy);
+
  private:
   int fd_ = -1;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  std::uint64_t connect_timeout_ms_ = 0;
+  std::uint64_t io_timeout_ms_ = 0;
+  Rng retry_rng_{0x6d617363'72747279ULL};  // jitter stream; see RetryPolicy
 };
 
 }  // namespace masc::serve

@@ -1,0 +1,105 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/protocol.hpp"
+
+namespace masc::serve {
+
+Journal::~Journal() { close(); }
+
+void Journal::open(const std::string& path) {
+  close();
+  const std::lock_guard<std::mutex> lock(mu_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0)
+    throw ServeError("journal open " + path + ": " + std::strerror(errno));
+  path_ = path;
+}
+
+void Journal::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::append(const std::string& payload, bool sync) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return;
+  // One buffer, one write loop: fewer partial-record shapes a crash can
+  // leave behind (replay handles them all regardless).
+  std::string rec;
+  rec.reserve(payload.size() + 4);
+  const std::size_t len = payload.size();
+  rec += static_cast<char>((len >> 24) & 0xFF);
+  rec += static_cast<char>((len >> 16) & 0xFF);
+  rec += static_cast<char>((len >> 8) & 0xFF);
+  rec += static_cast<char>(len & 0xFF);
+  rec += payload;
+  std::size_t written = 0;
+  while (written < rec.size()) {
+    const ssize_t n = ::write(fd_, rec.data() + written, rec.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ServeError("journal write: " + std::string(std::strerror(errno)));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (sync && ::fsync(fd_) < 0)
+    throw ServeError("journal fsync: " + std::string(std::strerror(errno)));
+}
+
+std::vector<std::string> Journal::replay(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    if (errno == ENOENT) return {};
+    throw ServeError("journal open " + path + ": " + std::strerror(errno));
+  }
+
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string what = std::strerror(errno);
+      ::close(fd);
+      throw ServeError("journal read " + path + ": " + what);
+    }
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+
+  std::vector<std::string> records;
+  std::size_t pos = 0;
+  while (data.size() - pos >= 4) {
+    const auto b = [&](std::size_t i) {
+      return static_cast<std::size_t>(static_cast<unsigned char>(data[pos + i]));
+    };
+    const std::size_t len = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+    if (data.size() - pos - 4 < len) break;  // torn tail: partial payload
+    records.emplace_back(data, pos + 4, len);
+    pos += 4 + len;
+  }
+  if (pos < data.size()) {
+    // Torn tail from a crash mid-append: cut it so the reopened journal
+    // resumes at a record boundary.
+    if (::ftruncate(fd, static_cast<off_t>(pos)) < 0) {
+      const std::string what = std::strerror(errno);
+      ::close(fd);
+      throw ServeError("journal truncate " + path + ": " + what);
+    }
+  }
+  ::close(fd);
+  return records;
+}
+
+}  // namespace masc::serve

@@ -26,6 +26,15 @@ class ServeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Raised by the timed frame I/O below when the peer stays silent past
+/// the deadline. A subclass so callers can treat "slow" differently
+/// from "broken" (the server reaps idle sessions on it; the client
+/// retries on it).
+class ServeTimeout : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
 /// Hard cap on one frame's payload. Large enough for a program image of
 /// several hundred thousand words plus data; small enough that a bad
 /// client cannot make the server allocate gigabytes.
@@ -39,6 +48,22 @@ bool read_frame(int fd, std::string& payload);
 /// Write one length-prefixed frame. Throws ServeError on I/O failure
 /// (including peer reset) or payloads above kMaxFrameBytes.
 void write_frame(int fd, const std::string& payload);
+
+/// Timed variant of read_frame: wait up to `first_ms` for the frame to
+/// begin (the idle budget between requests) and up to `io_ms` for each
+/// subsequent chunk once it has (a stalled mid-frame peer). Either 0
+/// waits forever. Throws ServeTimeout when a budget expires.
+bool read_frame(int fd, std::string& payload, std::uint64_t first_ms,
+                std::uint64_t io_ms);
+
+/// Timed variant of write_frame: wait up to `io_ms` (0 = forever) for
+/// the socket to accept each chunk. Throws ServeTimeout on expiry.
+///
+/// Both write_frame overloads are the injection point for frame faults
+/// (fault/fault.hpp): an installed FaultInjector can silently drop the
+/// frame, delay it, or truncate it mid-payload (the truncation throws
+/// ServeError, modelling a sender that died mid-send).
+void write_frame(int fd, const std::string& payload, std::uint64_t io_ms);
 
 /// Decode a machine configuration object. Recognized members (all
 /// optional, defaults = MachineConfig defaults): "pes", "threads",

@@ -45,6 +45,20 @@ class BoundedQueue {
     return true;
   }
 
+  /// Recovery path: enqueue unconditionally, even past capacity. Journal
+  /// replay must not drop jobs the server already acknowledged, and a
+  /// restart may come up with a smaller queue than the backlog it
+  /// inherited. Refused only after close().
+  void push_recovered(const std::vector<T>& items) {
+    if (items.empty()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return;
+      q_.insert(q_.end(), items.begin(), items.end());
+    }
+    cv_.notify_all();
+  }
+
   /// Block until at least one item is queued (or the queue is closed),
   /// then pop up to `max_items` in FIFO order. An empty result means
   /// the queue was closed and fully drained.

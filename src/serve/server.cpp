@@ -10,6 +10,9 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/base64.hpp"
+#include "fault/fault.hpp"
+
 namespace masc::serve {
 
 namespace {
@@ -34,6 +37,32 @@ std::uint64_t require_id(const json::Value& req) {
 
 const char* to_string(bool b) { return b ? "true" : "false"; }
 
+std::string submitted_json(const std::vector<std::uint64_t>& ids,
+                           bool duplicate) {
+  std::ostringstream os;
+  os << "{\"ok\":true,\"type\":\"submitted\",\"ids\":[";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i) os << ",";
+    os << ids[i];
+  }
+  os << "],\"duplicate\":" << to_string(duplicate) << "}";
+  return os.str();
+}
+
+/// Inverse of masc::to_string(SweepStatus), for journal replay.
+SweepStatus status_from_string(const std::string& s) {
+  if (s == "finished") return SweepStatus::kFinished;
+  if (s == "cycle-limit") return SweepStatus::kCycleLimit;
+  if (s == "cancelled") return SweepStatus::kCancelled;
+  if (s == "deadline-exceeded") return SweepStatus::kDeadlineExceeded;
+  return SweepStatus::kError;
+}
+
+std::string ckpt_record(std::uint64_t id, const std::string& blob) {
+  return "{\"rec\":\"ckpt\",\"id\":" + std::to_string(id) + ",\"state\":\"" +
+         base64_encode(blob) + "\"}";
+}
+
 }  // namespace
 
 Server::Server(ServerOptions opts)
@@ -45,6 +74,19 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   if (started_.exchange(true)) throw ServeError("server already started");
+
+  // Recovery: replay the journal before anything can connect. Completed
+  // jobs come back servable, unfinished ones come back queued (with
+  // their last checkpoint attached when one was recorded) and are
+  // re-enqueued below, past capacity if need be.
+  std::vector<std::uint64_t> recovered;
+  if (!opts_.journal_path.empty()) {
+    for (const std::string& rec : Journal::replay(opts_.journal_path))
+      apply_journal_record(rec);
+    journal_.open(opts_.journal_path);
+    for (const auto& [id, rec] : jobs_)
+      if (rec.state == JobState::kQueued) recovered.push_back(id);
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0)
@@ -72,10 +114,23 @@ void Server::start() {
 
   dispatch_thread_ = std::thread([this] { dispatch_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
+
+  if (!recovered.empty()) {
+    metrics_.on_accepted(recovered.size());
+    queue_.push_recovered(recovered);
+  }
 }
 
-void Server::stop() {
-  if (!started_.load() || stopping_.exchange(true)) return;
+void Server::stop() { shutdown_impl(/*park_interrupted=*/false); }
+
+void Server::drain() { shutdown_impl(/*park_interrupted=*/true); }
+
+void Server::shutdown_impl(bool park_interrupted) {
+  if (!started_.load()) return;
+  // Set *before* claiming stopping_, so the dispatcher's completion
+  // callback can never see stopping_ without the drain flag.
+  if (park_interrupted && journal_.is_open()) draining_.store(true);
+  if (stopping_.exchange(true)) return;
   // Serialize the flag flip with result-waiters' predicate checks: a
   // waiter that saw stopping_ == false is now inside wait_for and will
   // receive this notify; one that hasn't locked yet will see true.
@@ -113,7 +168,88 @@ void Server::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  journal_.close();
   jobs_cv_.notify_all();
+}
+
+void Server::apply_journal_record(const std::string& payload) {
+  try {
+    const json::Value rec = parse_json(payload);
+    const std::string kind = rec.get_string("rec", "");
+    if (kind == "submit") {
+      const json::Value* ids_v = rec.find("ids");
+      const json::Value* jobs_v = rec.find("jobs");
+      if (!ids_v || !jobs_v) return;
+      const json::Value* deadlines = rec.find("deadlines");
+      const std::string key = rec.get_string("key", "");
+      const auto now = Clock::now();
+      std::vector<std::uint64_t> ids;
+      const std::size_t n =
+          std::min(ids_v->as_array().size(), jobs_v->as_array().size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t id = ids_v->as_array()[i].as_uint();
+        SweepJob job = job_from_json(jobs_v->as_array()[i]);
+        job.max_cycles = std::min(job.max_cycles, opts_.max_cycles_cap);
+        job.cancel = make_cancel_token();
+        job.checkpoint_on_stop = true;
+        // The deadline *budget* restarts on recovery: wall time spent
+        // before the crash is not charged to the job.
+        const std::uint64_t deadline_ms =
+            deadlines && i < deadlines->as_array().size()
+                ? deadlines->as_array()[i].as_uint()
+                : 0;
+        if (deadline_ms > 0)
+          job.deadline = now + std::chrono::milliseconds(deadline_ms);
+        JobRecord r;
+        r.id = id;
+        r.job = std::move(job);
+        jobs_.insert_or_assign(id, std::move(r));
+        ids.push_back(id);
+        std::uint64_t next = next_id_.load();
+        if (id >= next) next_id_.store(id + 1);
+      }
+      if (!key.empty() && !ids.empty()) jobs_by_key_[key] = std::move(ids);
+    } else if (kind == "done") {
+      const auto it = jobs_.find(rec.get_uint("id", 0));
+      const json::Value* result = rec.find("result");
+      if (it == jobs_.end() || !result) return;
+      JobRecord& r = it->second;
+      r.state = JobState::kDone;
+      r.result_json = json::serialize(*result);
+      r.result.index = static_cast<std::size_t>(r.id);
+      r.result.status = status_from_string(result->get_string("status", ""));
+      r.result.finished = r.result.status == SweepStatus::kFinished;
+      r.result.error = result->get_string("error", "");
+    } else if (kind == "ckpt") {
+      const auto it = jobs_.find(rec.get_uint("id", 0));
+      const json::Value* state = rec.find("state");
+      if (it == jobs_.end() || !state) return;
+      it->second.job.initial_state =
+          std::make_shared<const std::string>(base64_decode(state->as_string()));
+    } else if (kind == "extend") {
+      const auto it = jobs_.find(rec.get_uint("id", 0));
+      if (it == jobs_.end()) return;
+      JobRecord& r = it->second;
+      r.state = JobState::kQueued;
+      r.user_cancelled = false;
+      r.result_json.clear();
+      r.job.cancel = make_cancel_token();
+      const std::uint64_t deadline_ms = rec.get_uint("deadline_ms", 0);
+      r.job.deadline =
+          deadline_ms > 0
+              ? std::optional<Clock::time_point>(
+                    Clock::now() + std::chrono::milliseconds(deadline_ms))
+              : std::nullopt;
+      if (const json::Value* state = rec.find("state"))
+        r.job.initial_state = std::make_shared<const std::string>(
+            base64_decode(state->as_string()));
+    } else if (kind == "release") {
+      jobs_.erase(rec.get_uint("id", 0));
+    }
+  } catch (const std::exception&) {
+    // A record the crash corrupted (or a schema from a future version):
+    // skipping it is always safe — at worst a job reruns from scratch.
+  }
 }
 
 void Server::accept_loop() {
@@ -141,8 +277,13 @@ void Server::accept_loop() {
 void Server::session_loop(Session* s) {
   std::string payload;
   try {
-    while (read_frame(s->fd, payload))
-      write_frame(s->fd, handle_request(payload));
+    while (read_frame(s->fd, payload, opts_.idle_timeout_ms,
+                      opts_.io_timeout_ms))
+      write_frame(s->fd, handle_request(payload), opts_.io_timeout_ms);
+  } catch (const ServeTimeout&) {
+    // Idle session (no request inside idle_timeout_ms) or a peer
+    // stalled mid-frame: reap it. The job store is untouched, so the
+    // client can reconnect and resume by job id.
   } catch (const std::exception&) {
     // Framing or socket failure: this session is beyond repair; the
     // job store is untouched, so the client can reconnect and resume.
@@ -161,6 +302,7 @@ std::string Server::handle_request(const std::string& payload) {
     if (op == "status") return handle_status(req);
     if (op == "result") return handle_result(req);
     if (op == "cancel") return handle_cancel(req);
+    if (op == "extend") return handle_extend(req);
     if (op == "stats")
       return "{\"ok\":true,\"type\":\"stats\",\"stats\":" + stats_json() + "}";
     if (op == "shutdown") {
@@ -168,9 +310,15 @@ std::string Server::handle_request(const std::string& payload) {
       return "{\"ok\":true,\"type\":\"shutdown\"}";
     }
     return error_json("unknown_op", "unrecognized \"op\" \"" + op + "\"");
+  } catch (const ServeError&) {
+    // Transport failure (or an injected frame fault) mid-handling: the
+    // stream may be desynced, so the session must drop the connection
+    // rather than write a "response" the client can't attribute.
+    throw;
   } catch (const std::exception& e) {
     // JsonError, ConfigError, AssemblyError, CompileError, ...: the
-    // request was understood to be ill-formed, the connection is fine.
+    // request was understood to be ill-formed, the connection is fine —
+    // answer with an error frame and keep serving it.
     return error_json("bad_request", e.what());
   }
 }
@@ -181,21 +329,28 @@ std::string Server::handle_submit(const json::Value& req) {
     throw JsonError("submit needs a non-empty \"jobs\" array");
   const std::uint64_t request_deadline_ms =
       req.get_uint("deadline_ms", opts_.default_deadline_ms);
+  const std::string key = req.get_string("key", "");
+  const bool journaling = journal_.is_open();
 
   // Compile/validate every job before admitting any: a submit either
   // enters the queue whole or not at all.
   const auto now = Clock::now();
   std::vector<SweepJob> parsed;
+  std::vector<std::uint64_t> deadlines;  // per job, ms; journaled
   parsed.reserve(jobs_v->as_array().size());
   for (const auto& elem : jobs_v->as_array()) {
     SweepJob job = job_from_json(elem);
     job.max_cycles = std::min(job.max_cycles, opts_.max_cycles_cap);
     job.cancel = make_cancel_token();
+    // With a journal, an interrupted run is worth saving: ask the sweep
+    // to capture a resume point whenever the job is stopped early.
+    job.checkpoint_on_stop = journaling;
     const std::uint64_t deadline_ms =
         elem.is_object() ? elem.get_uint("deadline_ms", request_deadline_ms)
                          : request_deadline_ms;
     if (deadline_ms > 0)
       job.deadline = now + std::chrono::milliseconds(deadline_ms);
+    deadlines.push_back(deadline_ms);
     parsed.push_back(std::move(job));
   }
 
@@ -205,6 +360,15 @@ std::string Server::handle_submit(const json::Value& req) {
   ids.reserve(parsed.size());
   {
     const std::lock_guard<std::mutex> lock(jobs_mu_);
+    // Idempotent resubmission: a client that crashed (or lost our
+    // response) retries the same keyed submit and gets the original
+    // ids back instead of duplicate jobs. Checked and reserved under
+    // the same lock as id allocation, so two concurrent same-key
+    // submits cannot both create jobs.
+    if (!key.empty()) {
+      const auto it = jobs_by_key_.find(key);
+      if (it != jobs_by_key_.end()) return submitted_json(it->second, true);
+    }
     for (auto& job : parsed) {
       const std::uint64_t id = next_id_.fetch_add(1);
       JobRecord rec;
@@ -213,11 +377,13 @@ std::string Server::handle_submit(const json::Value& req) {
       jobs_.emplace(id, std::move(rec));
       ids.push_back(id);
     }
+    if (!key.empty()) jobs_by_key_[key] = ids;
   }
   if (!queue_.try_push(ids)) {
     {
       const std::lock_guard<std::mutex> lock(jobs_mu_);
       for (const std::uint64_t id : ids) jobs_.erase(id);
+      if (!key.empty()) jobs_by_key_.erase(key);
     }
     metrics_.on_rejected(ids.size());
     // Retry-after hint: how long until this many slots should free up,
@@ -239,14 +405,34 @@ std::string Server::handle_submit(const json::Value& req) {
   }
   metrics_.on_accepted(ids.size());
 
-  std::ostringstream os;
-  os << "{\"ok\":true,\"type\":\"submitted\",\"ids\":[";
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    if (i) os << ",";
-    os << ids[i];
+  if (journaling) {
+    // fsync'd before the response: once the client hears "submitted",
+    // no crash can lose the work. The raw job objects are re-serialized
+    // so replay can recompile them without the original connection.
+    std::ostringstream js;
+    js << "{\"rec\":\"submit\",\"ids\":[";
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i) js << ",";
+      js << ids[i];
+    }
+    js << "]";
+    if (!key.empty()) js << ",\"key\":\"" << json_escape(key) << "\"";
+    js << ",\"deadlines\":[";
+    for (std::size_t i = 0; i < deadlines.size(); ++i) {
+      if (i) js << ",";
+      js << deadlines[i];
+    }
+    js << "],\"jobs\":[";
+    const auto& elems = jobs_v->as_array();
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      if (i) js << ",";
+      js << json::serialize(elems[i]);
+    }
+    js << "]}";
+    journal_.append(js.str(), /*sync=*/true);
   }
-  os << "]}";
-  return os.str();
+
+  return submitted_json(ids, false);
 }
 
 std::string Server::handle_status(const json::Value& req) {
@@ -301,11 +487,19 @@ std::string Server::handle_result(const json::Value& req) {
                       "\"id\":" + std::to_string(id) + ",\"state\":\"" +
                           state + "\"");
   }
+  const std::string body = !rec.result_json.empty()
+                               ? rec.result_json
+                               : to_json(rec.result, rec.job.cfg);
   std::string response = "{\"ok\":true,\"type\":\"result\",\"id\":" +
-                         std::to_string(id) +
-                         ",\"result\":" + to_json(rec.result, rec.job.cfg) +
-                         "}";
-  if (release) jobs_.erase(it);
+                         std::to_string(id) + ",\"result\":" + body + "}";
+  if (release) {
+    jobs_.erase(it);
+    lock.unlock();
+    // Journaled so replay does not resurrect a record the client
+    // already consumed. Unsynced: redelivering a result is harmless.
+    journal_.append("{\"rec\":\"release\",\"id\":" + std::to_string(id) + "}",
+                    /*sync=*/false);
+  }
   return response;
 }
 
@@ -317,19 +511,96 @@ std::string Server::handle_cancel(const json::Value& req) {
     return error_json("not_found", "no job " + std::to_string(id));
   JobRecord& rec = it->second;
   const bool effective = rec.state != JobState::kDone;
-  if (effective) rec.job.cancel->store(true, std::memory_order_relaxed);
+  if (effective) {
+    rec.user_cancelled = true;  // a real cancellation, not a drain stop
+    rec.job.cancel->store(true, std::memory_order_relaxed);
+  }
   std::ostringstream os;
   os << "{\"ok\":true,\"type\":\"cancel\",\"id\":" << id
      << ",\"effective\":" << to_string(effective) << "}";
   return os.str();
 }
 
+std::string Server::handle_extend(const json::Value& req) {
+  const std::uint64_t id = require_id(req);
+  const std::uint64_t deadline_ms =
+      req.get_uint("deadline_ms", opts_.default_deadline_ms);
+  if (stopping_.load()) return error_json("shutting_down", "server stopping");
+
+  bool resumed = false;
+  std::string ckpt_b64;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+      return error_json("not_found", "no job " + std::to_string(id));
+    JobRecord& rec = it->second;
+    if (rec.state != JobState::kDone)
+      return error_json("not_ready",
+                        "job " + std::to_string(id) + " is still pending");
+    if (rec.result.status == SweepStatus::kFinished)
+      return error_json("already_finished",
+                        "job " + std::to_string(id) + " ran to completion");
+    if (rec.job.program.text.empty())
+      return error_json("not_resumable",
+                        "program image for job " + std::to_string(id) +
+                            " was not retained (journaling disabled)");
+    // Prefer the checkpoint from the interrupted run: the job resumes
+    // at the cycle it was stopped instead of starting over. Without
+    // one (it stopped before its first chunk boundary) it reruns from
+    // whatever resume point it started this run with.
+    if (!rec.result.checkpoint.empty()) {
+      rec.job.initial_state =
+          std::make_shared<const std::string>(rec.result.checkpoint);
+    }
+    resumed = rec.job.initial_state != nullptr;
+    if (rec.job.initial_state) ckpt_b64 = base64_encode(*rec.job.initial_state);
+    rec.job.cancel = make_cancel_token();
+    rec.job.deadline =
+        deadline_ms > 0
+            ? std::optional<Clock::time_point>(
+                  Clock::now() + std::chrono::milliseconds(deadline_ms))
+            : std::nullopt;
+    rec.state = JobState::kQueued;
+    rec.user_cancelled = false;
+    rec.result_json.clear();
+  }
+  if (!queue_.try_push({id})) {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) it->second.state = JobState::kDone;
+    return error_json("queue_full", "no room to requeue job " +
+                                        std::to_string(id));
+  }
+  if (journal_.is_open()) {
+    std::string rec = "{\"rec\":\"extend\",\"id\":" + std::to_string(id) +
+                      ",\"deadline_ms\":" + std::to_string(deadline_ms);
+    if (!ckpt_b64.empty()) rec += ",\"state\":\"" + ckpt_b64 + "\"";
+    rec += "}";
+    journal_.append(rec, /*sync=*/true);
+  }
+  std::ostringstream os;
+  os << "{\"ok\":true,\"type\":\"extend\",\"id\":" << id
+     << ",\"resumed\":" << to_string(resumed) << "}";
+  return os.str();
+}
+
 void Server::dispatch_loop() {
+  const bool journaling = journal_.is_open();
   for (;;) {
     // Coalesce everything currently queued (up to batch_max) into one
     // sweep dispatch: one thread-pool spin-up amortized over the batch.
     const std::vector<std::uint64_t> ids = queue_.pop_batch(opts_.batch_max);
     if (ids.empty()) return;  // queue closed and drained
+
+    // Fault-injection hook: a "failed dispatch" bounces the whole batch
+    // back to the queue untouched (no record was mutated yet), exactly
+    // like a dispatcher that died between pop and run. The injector's
+    // fault budget guarantees this cannot livelock.
+    if (auto* inj = fault::active(); inj && inj->on_dispatch()) {
+      queue_.push_recovered(ids);
+      continue;
+    }
 
     std::vector<SweepJob> batch;
     batch.reserve(ids.size());
@@ -342,21 +613,58 @@ void Server::dispatch_loop() {
         batch.push_back(rec.job);
         // The program image is the bulk of a record's footprint and the
         // worker's copy is the one that runs; keep cfg for the result.
-        rec.job.program = Program{};
+        // With a journal the image is retained so {"op":"extend"} can
+        // re-dispatch the job without re-parsing the journal.
+        if (!journaling) rec.job.program = Program{};
+      }
+    }
+    if (journaling && opts_.checkpoint_every_chunks > 0) {
+      // Periodic resume points: bound how much simulation a SIGKILL can
+      // cost. Unsynced appends — a torn checkpoint is truncated away on
+      // replay and the job simply resumes from the previous one.
+      auto batch_ids = std::make_shared<std::vector<std::uint64_t>>(ids);
+      auto sink = std::make_shared<
+          const std::function<void(std::size_t, const std::string&)>>(
+          [this, batch_ids](std::size_t index, const std::string& blob) {
+            journal_.append(ckpt_record((*batch_ids)[index], blob),
+                            /*sync=*/false);
+          });
+      for (SweepJob& job : batch) {
+        job.checkpoint_every_chunks = opts_.checkpoint_every_chunks;
+        job.checkpoint_sink = sink;
       }
     }
     metrics_.on_batch(ids.size());
 
     runner_.run(batch, [&](const SweepResult& r) {
       const std::uint64_t id = ids[r.index];
+      std::string done_rec, ckpt_rec;
       {
         const std::lock_guard<std::mutex> lock(jobs_mu_);
         JobRecord& rec = jobs_.at(id);
         rec.result = r;
         rec.result.index = static_cast<std::size_t>(id);  // batch-local → id
-        rec.state = JobState::kDone;
+        // A job cancelled by drain() (not by the user) is *parked*, not
+        // completed: its submit record stays outstanding in the journal
+        // — with a fresh checkpoint when it got far enough to have one —
+        // and the restarted server resumes it.
+        const bool parked = draining_.load() && !rec.user_cancelled &&
+                            r.status == SweepStatus::kCancelled;
+        if (parked) {
+          if (journaling && !r.checkpoint.empty())
+            ckpt_rec = ckpt_record(id, r.checkpoint);
+          rec.state = JobState::kQueued;
+        } else {
+          rec.state = JobState::kDone;
+          rec.result_json = to_json(rec.result, rec.job.cfg);
+          if (journaling)
+            done_rec = "{\"rec\":\"done\",\"id\":" + std::to_string(id) +
+                       ",\"result\":" + rec.result_json + "}";
+        }
         --running_;
       }
+      if (!ckpt_rec.empty()) journal_.append(ckpt_rec, /*sync=*/false);
+      if (!done_rec.empty()) journal_.append(done_rec, /*sync=*/true);
       metrics_.on_done(r);
       jobs_cv_.notify_all();
     });

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/journal.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
@@ -49,6 +50,21 @@ struct ServerOptions {
   /// Deadline applied to jobs that do not carry their own, in ms from
   /// submission; 0 = none.
   std::uint64_t default_deadline_ms = 0;
+
+  // --- Resilience (docs/RELIABILITY.md) ---------------------------------------
+  /// Append-only job journal path; empty disables journaling. With a
+  /// journal, start() replays it: completed jobs serve their recorded
+  /// results, unfinished jobs are re-enqueued (resuming from their last
+  /// checkpoint when one was recorded), and duplicate submits carrying
+  /// the same "key" return the original ids.
+  std::string journal_path;
+  /// Journal a running job's checkpoint every N sweep chunks (N ×
+  /// 65536 cycles); 0 = only at drain. Requires a journal.
+  std::uint32_t checkpoint_every_chunks = 0;
+  /// Per-chunk socket read/write budget per session, ms; 0 = unbounded.
+  std::uint64_t io_timeout_ms = 0;
+  /// Reap sessions idle (no request frame) this long, ms; 0 = never.
+  std::uint64_t idle_timeout_ms = 0;
 };
 
 class Server {
@@ -66,6 +82,14 @@ class Server {
   /// Drain: refuse new connections and submissions, cancel queued and
   /// running jobs, join every thread. Idempotent.
   void stop();
+
+  /// Graceful drain for SIGTERM: like stop(), but jobs interrupted
+  /// mid-run are checkpointed to the journal instead of being reported
+  /// as cancelled, and queued jobs are left journaled-but-unfinished —
+  /// a restart on the same journal resumes all of them bit-identically.
+  /// Without a journal this degrades to stop(). Idempotent (and
+  /// exclusive with stop(): whichever runs first wins).
+  void drain();
 
   /// The bound port (after start()); useful with ServerOptions::port = 0.
   std::uint16_t port() const { return port_; }
@@ -87,6 +111,14 @@ class Server {
     JobState state = JobState::kQueued;
     SweepJob job;          ///< carries the cancel token and deadline
     SweepResult result;    ///< valid once state == kDone
+    /// Serialized result object, as served to {"op":"result"}. Filled on
+    /// completion and by journal replay of "done" records (for which
+    /// `result` holds only the status/error fields).
+    std::string result_json;
+    /// True when {"op":"cancel"} fired this job's token, distinguishing
+    /// a user cancellation (a final result) from a drain interruption
+    /// (checkpointed, resumed on restart).
+    bool user_cancelled = false;
   };
 
   struct Session {
@@ -106,6 +138,14 @@ class Server {
   std::string handle_status(const json::Value& req);
   std::string handle_result(const json::Value& req);
   std::string handle_cancel(const json::Value& req);
+  std::string handle_extend(const json::Value& req);
+
+  /// Replay one journal record into jobs_ / jobs_by_key_ / next_id_.
+  /// Unparseable or stale records are skipped (crash-written garbage
+  /// must not keep the server from starting).
+  void apply_journal_record(const std::string& payload);
+  /// Shared shutdown path: `park_interrupted` selects drain() semantics.
+  void shutdown_impl(bool park_interrupted);
 
   ServerOptions opts_;
   std::uint16_t port_ = 0;
@@ -115,9 +155,15 @@ class Server {
   BoundedQueue<std::uint64_t> queue_;
   ServeMetrics metrics_;
 
+  Journal journal_;                          ///< no-op unless journal_path set
+
   mutable std::mutex jobs_mu_;
   std::condition_variable jobs_cv_;          ///< signalled per job completion
   std::map<std::uint64_t, JobRecord> jobs_;  ///< id → record
+  /// Idempotency: submit "key" → the ids of the submit that created it.
+  /// Rebuilt from the journal on restart, so a client that resends a
+  /// keyed submit after a crash gets its original ids, not fresh jobs.
+  std::map<std::string, std::vector<std::uint64_t>> jobs_by_key_;
   std::atomic<std::uint64_t> next_id_{1};
   std::size_t running_ = 0;                  ///< jobs in the current batch
 
@@ -128,6 +174,7 @@ class Server {
   std::thread dispatch_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};        ///< drain() (vs stop()) shutdown
   std::atomic<bool> shutdown_requested_{false};
 };
 

@@ -1,5 +1,6 @@
 #include "sim/arch_state.hpp"
 
+#include "common/binio.hpp"
 #include "common/bits.hpp"
 
 namespace masc {
@@ -131,6 +132,48 @@ ThreadId ArchState::allocate_thread(Addr entry_pc) {
     }
   }
   return kNoThread;
+}
+
+void ArchState::save(BinWriter& w) const {
+  w.vec(scalar_mem_);
+  w.vec(local_mem_);
+  w.vec(sregs_);
+  w.vec(sflags_);
+  w.vec(pregs_);
+  w.vec(pflags_);
+  // Thread contexts field-by-field: struct padding must not leak into
+  // the blob (checkpoint bytes are compared across runs in tests).
+  w.u64(threads_.size());
+  for (const ThreadContext& tc : threads_) {
+    w.u8(static_cast<std::uint8_t>(tc.state));
+    w.u32(tc.pc);
+    w.u32(tc.join_target);
+  }
+}
+
+void ArchState::restore(BinReader& r) {
+  const std::size_t sizes[6] = {scalar_mem_.size(), local_mem_.size(),
+                                sregs_.size(),      sflags_.size(),
+                                pregs_.size(),      pflags_.size()};
+  r.vec(scalar_mem_);
+  r.vec(local_mem_);
+  r.vec(sregs_);
+  r.vec(sflags_);
+  r.vec(pregs_);
+  r.vec(pflags_);
+  const std::size_t now[6] = {scalar_mem_.size(), local_mem_.size(),
+                              sregs_.size(),      sflags_.size(),
+                              pregs_.size(),      pflags_.size()};
+  for (int i = 0; i < 6; ++i)
+    if (sizes[i] != now[i])
+      throw BinError("checkpoint does not match this machine configuration");
+  if (r.u64() != threads_.size())
+    throw BinError("checkpoint does not match this machine configuration");
+  for (ThreadContext& tc : threads_) {
+    tc.state = static_cast<ThreadState>(r.u8());
+    tc.pc = r.u32();
+    tc.join_target = r.u32();
+  }
 }
 
 std::uint32_t ArchState::active_thread_count() const {

@@ -16,6 +16,9 @@
 
 namespace masc {
 
+class BinReader;
+class BinWriter;
+
 /// Lifecycle of a hardware thread context (paper Fig. 3, thread status
 /// table).
 enum class ThreadState : std::uint8_t {
@@ -104,6 +107,15 @@ class ArchState {
   std::uint32_t active_thread_count() const;
 
   static constexpr ThreadId kNoThread = ~ThreadId{0};
+
+  // --- Checkpointing ----------------------------------------------------------
+  /// Serialize all mutable state (memories, registers, thread table).
+  /// Instruction memory is excluded: it is immutable after load(), so a
+  /// restore target reloads the same Program first.
+  void save(BinWriter& w) const;
+  /// Inverse of save(). The ArchState must have been constructed with
+  /// the same MachineConfig; throws BinError on a size mismatch.
+  void restore(BinReader& r);
 
  private:
   std::size_t preg_index(ThreadId t, RegNum r, PEIndex pe) const {

@@ -59,6 +59,20 @@ class Machine {
   void enable_trace(std::size_t max_entries = 4096);
   const std::vector<TraceEntry>& trace() const { return trace_; }
 
+  /// Serialize the complete dynamic machine state — architectural state,
+  /// instruction status table, cumulative statistics, and every internal
+  /// timing register — into one binary blob (sim/checkpoint.cpp). A
+  /// Machine constructed with the same config, loaded with the same
+  /// program, and restore_state()d from the blob continues cycle-for-cycle
+  /// and bit-for-bit identically to the original. The trace buffer is
+  /// not part of the snapshot.
+  std::string save_state() const;
+
+  /// Inverse of save_state(). Call after load()ing the same program;
+  /// throws BinError when the blob is malformed or was taken on a
+  /// different (config, program) pair.
+  void restore_state(const std::string& blob);
+
  private:
   struct ThreadIssueState {
     Cycle ready_at = 0;       ///< earliest cycle the next instruction may issue

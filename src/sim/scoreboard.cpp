@@ -1,5 +1,6 @@
 #include "sim/scoreboard.hpp"
 
+#include "common/binio.hpp"
 #include "common/error.hpp"
 
 namespace masc {
@@ -51,6 +52,24 @@ void Scoreboard::record_write(ThreadId t, RegRef ref, Cycle avail,
   auto& e = entries_.at(index(t, ref));
   e.avail = avail;
   e.producer = producer;
+}
+
+void Scoreboard::save(BinWriter& w) const {
+  // Field-by-field: Entry has padding that must not enter the blob.
+  w.u64(entries_.size());
+  for (const Entry& e : entries_) {
+    w.u64(e.avail);
+    w.u8(static_cast<std::uint8_t>(e.producer));
+  }
+}
+
+void Scoreboard::restore(BinReader& r) {
+  if (r.u64() != entries_.size())
+    throw BinError("checkpoint does not match this machine configuration");
+  for (Entry& e : entries_) {
+    e.avail = r.u64();
+    e.producer = static_cast<InstrClass>(r.u8());
+  }
 }
 
 }  // namespace masc

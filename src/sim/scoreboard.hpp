@@ -14,6 +14,9 @@
 
 namespace masc {
 
+class BinReader;
+class BinWriter;
+
 class Scoreboard {
  public:
   Scoreboard(const MachineConfig& cfg, std::uint32_t threads);
@@ -26,6 +29,10 @@ class Scoreboard {
 
   const Entry& lookup(ThreadId t, RegRef ref) const;
   void record_write(ThreadId t, RegRef ref, Cycle avail, InstrClass producer);
+
+  /// Checkpoint the full table (see Machine::save_state).
+  void save(BinWriter& w) const;
+  void restore(BinReader& r);  ///< throws BinError on a shape mismatch
 
  private:
   std::size_t index(ThreadId t, RegRef ref) const;

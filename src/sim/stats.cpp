@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/binio.hpp"
+
 namespace masc {
 
 std::string to_json(const Stats& s) {
@@ -53,6 +55,37 @@ std::string to_json(const Stats& s) {
   }
   os << "]}";
   return os.str();
+}
+
+void save(const Stats& s, BinWriter& w) {
+  w.u64(s.cycles);
+  w.u64(s.instructions);
+  for (const std::uint64_t v : s.issued_by_class) w.u64(v);
+  w.u64(s.idle_cycles);
+  for (const std::uint64_t v : s.idle_by_cause) w.u64(v);
+  w.vec(s.issued_by_thread);
+  w.u64(s.thread_stalls.size());
+  for (const auto& row : s.thread_stalls)
+    for (const std::uint64_t v : row) w.u64(v);
+  w.u64(s.broadcast_ops);
+  w.u64(s.reduction_ops);
+  w.u64(s.thread_switches);
+}
+
+void restore(Stats& s, BinReader& r) {
+  s.cycles = r.u64();
+  s.instructions = r.u64();
+  for (std::uint64_t& v : s.issued_by_class) v = r.u64();
+  s.idle_cycles = r.u64();
+  for (std::uint64_t& v : s.idle_by_cause) v = r.u64();
+  r.vec(s.issued_by_thread);
+  if (r.u64() != s.thread_stalls.size())
+    throw BinError("checkpoint does not match this machine configuration");
+  for (auto& row : s.thread_stalls)
+    for (std::uint64_t& v : row) v = r.u64();
+  s.broadcast_ops = r.u64();
+  s.reduction_ops = r.u64();
+  s.thread_switches = r.u64();
 }
 
 }  // namespace masc

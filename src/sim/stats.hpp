@@ -69,4 +69,12 @@ struct Stats {
 /// around masc-run and the bench harnesses.
 std::string to_json(const Stats& stats);
 
+class BinReader;
+class BinWriter;
+
+/// Checkpoint the cumulative counters (see Machine::save_state): a
+/// resumed run's statistics must equal an uninterrupted run's.
+void save(const Stats& stats, BinWriter& w);
+void restore(Stats& stats, BinReader& r);
+
 }  // namespace masc

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/json.hpp"
+#include "fault/fault.hpp"
 #include "sim/machine.hpp"
 
 namespace masc {
@@ -20,10 +21,15 @@ SweepResult run_one(const SweepJob& job, std::size_t index) {
   r.label = job.label;
   r.seed = job.seed;
   const auto t0 = std::chrono::steady_clock::now();
+  const bool chunked = job.cancel || job.deadline || job.initial_state ||
+                       job.checkpoint_on_stop ||
+                       job.checkpoint_every_chunks > 0 ||
+                       fault::active() != nullptr;
   try {
     Machine m(job.cfg);
     m.load(job.program);
-    if (!job.cancel && !job.deadline) {
+    if (job.initial_state) m.restore_state(*job.initial_state);
+    if (!chunked) {
       // Fast path: no cooperative checks requested, run straight through.
       r.status = m.run(job.max_cycles) ? SweepStatus::kFinished
                                        : SweepStatus::kCycleLimit;
@@ -31,17 +37,27 @@ SweepResult run_one(const SweepJob& job, std::size_t index) {
       // Chunked run: Machine::run treats its limit as an absolute cycle
       // count, so run(min(now+chunk, max)) repeated to completion is
       // cycle-for-cycle identical to run(max) — the checks between
-      // chunks are invisible to the simulated machine.
+      // chunks are invisible to the simulated machine. That also makes
+      // chunk boundaries safe checkpoint points: save_state() between
+      // chunks captures a state any resumed run continues from
+      // bit-identically.
       r.status = SweepStatus::kCycleLimit;
+      std::uint64_t chunks_done = 0;
       for (;;) {
         if (job.cancel && job.cancel->load(std::memory_order_relaxed)) {
           r.status = SweepStatus::kCancelled;
+          if (job.checkpoint_on_stop && m.now() > 0)
+            r.checkpoint = m.save_state();
           break;
         }
         if (job.deadline && std::chrono::steady_clock::now() >= *job.deadline) {
           r.status = SweepStatus::kDeadlineExceeded;
+          if (job.checkpoint_on_stop && m.now() > 0)
+            r.checkpoint = m.save_state();
           break;
         }
+        if (auto* inj = fault::active(); inj && inj->on_chunk())
+          throw fault::FaultInjected("injected fault: worker chunk killed");
         const Cycle limit =
             std::min<Cycle>(job.max_cycles, m.now() + kSweepChunkCycles);
         if (m.run(limit)) {
@@ -49,6 +65,10 @@ SweepResult run_one(const SweepJob& job, std::size_t index) {
           break;
         }
         if (m.now() >= job.max_cycles) break;  // true cycle-limit stop
+        ++chunks_done;
+        if (job.checkpoint_every_chunks > 0 && job.checkpoint_sink &&
+            chunks_done % job.checkpoint_every_chunks == 0)
+          (*job.checkpoint_sink)(index, m.save_state());
       }
     }
     r.stats = m.stats();

@@ -68,6 +68,23 @@ struct SweepJob {
   /// masc-sweep sets `start + --deadline-ms` for the whole grid,
   /// masc-served sets `submit_time + deadline_ms` per job.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  // --- Checkpoint/restore (docs/RELIABILITY.md) -------------------------------
+  /// Resume point: a Machine::save_state() blob taken on the same
+  /// (config, program). The worker restores it after load(), so the run
+  /// continues exactly where the checkpoint was taken. Shared_ptr keeps
+  /// SweepJob copies cheap (the blob can be hundreds of KiB).
+  std::shared_ptr<const std::string> initial_state;
+  /// Capture SweepResult::checkpoint when the job is stopped early by
+  /// cancellation or deadline (and has simulated at least one cycle).
+  bool checkpoint_on_stop = false;
+  /// Emit a checkpoint to `checkpoint_sink` every N completed chunks
+  /// (0 = never). Requires a sink.
+  std::uint32_t checkpoint_every_chunks = 0;
+  /// Receives (job index, state blob); called from worker threads, so
+  /// the callee synchronizes. Shared so job copies stay cheap.
+  std::shared_ptr<const std::function<void(std::size_t, const std::string&)>>
+      checkpoint_sink;
 };
 
 struct SweepResult {
@@ -80,6 +97,9 @@ struct SweepResult {
   Stats stats;                       ///< partial up to the stop point unless
                                      ///< status == kFinished
   double host_seconds = 0.0;         ///< wall time of this job on its worker
+  /// Machine state at the stop point, when the job asked for
+  /// checkpoint_on_stop and was cancelled / deadline-stopped mid-run.
+  std::string checkpoint;
 };
 
 /// Simulated cycles run between cancellation/deadline checks. Small

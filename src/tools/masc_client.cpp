@@ -1,6 +1,14 @@
 // masc-client: command-line front end for a running masc-served.
 //
-//   masc-client [--host H] [--port N] <command> [args]
+//   masc-client [--host H] [--port N] [retry opts] <command> [args]
+//     --retries N                  retry transport failures and queue_full
+//                                  rejections up to N times    (default 0)
+//     --backoff-ms N               base retry delay; doubles per attempt,
+//                                  jittered, honors the server's
+//                                  retry_after_ms hint         (default 100)
+//     --connect-timeout-ms N       TCP connect budget; 0 = OS  (default 0)
+//     --io-timeout-ms N            per-frame I/O budget; 0 = none
+//
 //     ping                         round-trip check
 //     stats                        print the server's /stats JSON
 //     submit FILE [opts]           submit .s/.ascal source or a .mo image
@@ -9,10 +17,14 @@
 //       --label S                  result label              (default cfg name)
 //       --max-cycles N             per-job cycle limit
 //       --deadline-ms N            per-job wall-clock deadline
+//       --key S                    idempotency key: resubmitting the same
+//                                  key returns the original job ids
 //       --wait                     block and print each result JSON line
 //     status ID                    job state
 //     result ID [--wait] [--timeout-ms N] [--release]
 //     cancel ID
+//     extend ID [--deadline-ms N]  requeue a cancelled/deadline-stopped job
+//                                  from its checkpoint with a fresh deadline
 //     shutdown                     ask the daemon to exit
 //
 // Exit codes: 0 ok, 1 transport/file error, 2 usage, 3 server said no
@@ -36,14 +48,17 @@ using namespace masc;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: masc-client [--host H] [--port N] <command> [args]\n"
+      "usage: masc-client [--host H] [--port N] [--retries N] "
+      "[--backoff-ms N]\n"
+      "    [--connect-timeout-ms N] [--io-timeout-ms N] <command> [args]\n"
       "  ping | stats | shutdown\n"
       "  submit FILE [--pes N] [--threads N] [--width N] [--arity N]\n"
-      "         [--seeds N] [--label S] [--max-cycles N] [--deadline-ms N] "
-      "[--wait]\n"
+      "         [--seeds N] [--label S] [--max-cycles N] [--deadline-ms N]\n"
+      "         [--key S] [--wait]\n"
       "  status ID\n"
       "  result ID [--wait] [--timeout-ms N] [--release]\n"
-      "  cancel ID\n");
+      "  cancel ID\n"
+      "  extend ID [--deadline-ms N]\n");
   return 2;
 }
 
@@ -96,6 +111,8 @@ bool print_response(const json::Value& resp, const std::string& raw) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::uint16_t port = 7733;
+  serve::RetryPolicy policy;
+  std::uint64_t connect_timeout_ms = 0, io_timeout_ms = 0;
   std::vector<std::string> args;
 
   for (int i = 1; i < argc; ++i) {
@@ -107,6 +124,15 @@ int main(int argc, char** argv) {
     if (arg == "--host") host = next();
     else if (arg == "--port")
       port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--retries")
+      policy.max_attempts =
+          1 + static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--backoff-ms")
+      policy.base_ms = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--connect-timeout-ms")
+      connect_timeout_ms = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--io-timeout-ms")
+      io_timeout_ms = std::strtoull(next(), nullptr, 0);
     else args.push_back(arg);
   }
   if (args.empty()) return usage();
@@ -114,16 +140,26 @@ int main(int argc, char** argv) {
 
   try {
     serve::Client client;
-    client.connect(host, port);
+    client.set_io_timeout_ms(io_timeout_ms);
+    try {
+      client.connect(host, port, connect_timeout_ms);
+    } catch (const serve::ServeError&) {
+      // connect() remembered the target; with retries, the first
+      // request_with_retry reconnects with backoff. Without, fail now.
+      if (policy.max_attempts <= 1) throw;
+    }
+    auto do_request = [&](const std::string& payload) {
+      return client.request_with_retry(payload, policy);
+    };
 
     if (cmd == "ping" || cmd == "stats" || cmd == "shutdown") {
       if (args.size() != 1) return usage();
-      const std::string raw =
-          client.request_raw("{\"op\":\"" + cmd + "\"}");
-      return print_response(parse_json(raw), raw) ? 0 : 3;
+      const json::Value resp = do_request("{\"op\":\"" + cmd + "\"}");
+      return print_response(resp, json::serialize(resp)) ? 0 : 3;
     }
 
-    if (cmd == "status" || cmd == "result" || cmd == "cancel") {
+    if (cmd == "status" || cmd == "result" || cmd == "cancel" ||
+        cmd == "extend") {
       if (args.size() < 2) return usage();
       std::ostringstream os;
       os << "{\"op\":\"" << cmd << "\",\"id\":" << args[1];
@@ -132,11 +168,13 @@ int main(int argc, char** argv) {
         else if (args[i] == "--release") os << ",\"release\":true";
         else if (args[i] == "--timeout-ms" && i + 1 < args.size())
           os << ",\"timeout_ms\":" << args[++i];
+        else if (args[i] == "--deadline-ms" && i + 1 < args.size())
+          os << ",\"deadline_ms\":" << args[++i];
         else return usage();
       }
       os << "}";
-      const std::string raw = client.request_raw(os.str());
-      return print_response(parse_json(raw), raw) ? 0 : 3;
+      const json::Value resp = do_request(os.str());
+      return print_response(resp, json::serialize(resp)) ? 0 : 3;
     }
 
     if (cmd == "submit") {
@@ -144,7 +182,7 @@ int main(int argc, char** argv) {
       const std::string file = args[1];
       std::uint32_t pes = 16, threads = 16, width = 16, arity = 2, seeds = 1;
       std::uint64_t max_cycles = 0, deadline_ms = 0;
-      std::string label;
+      std::string label, key;
       bool wait = false;
       for (std::size_t i = 2; i < args.size(); ++i) {
         auto val = [&]() -> const char* {
@@ -157,6 +195,7 @@ int main(int argc, char** argv) {
         else if (args[i] == "--arity") arity = static_cast<std::uint32_t>(std::strtoul(val(), nullptr, 0));
         else if (args[i] == "--seeds") seeds = static_cast<std::uint32_t>(std::strtoul(val(), nullptr, 0));
         else if (args[i] == "--label") label = val();
+        else if (args[i] == "--key") key = val();
         else if (args[i] == "--max-cycles") max_cycles = std::strtoull(val(), nullptr, 0);
         else if (args[i] == "--deadline-ms") deadline_ms = std::strtoull(val(), nullptr, 0);
         else if (args[i] == "--wait") wait = true;
@@ -168,6 +207,7 @@ int main(int argc, char** argv) {
       std::ostringstream os;
       os << "{\"op\":\"submit\"";
       if (deadline_ms > 0) os << ",\"deadline_ms\":" << deadline_ms;
+      if (!key.empty()) os << ",\"key\":\"" << json_escape(key) << "\"";
       os << ",\"jobs\":[";
       for (std::uint32_t s = 0; s < seeds; ++s) {
         if (s) os << ",";
@@ -181,18 +221,18 @@ int main(int argc, char** argv) {
       }
       os << "]}";
 
-      const std::string raw = client.request_raw(os.str());
-      const json::Value resp = parse_json(raw);
-      if (!print_response(resp, raw)) return 3;
+      // NOTE: an un-keyed submit resent after a transport failure can
+      // duplicate jobs; pass --key to make retries idempotent.
+      const json::Value resp = do_request(os.str());
+      if (!print_response(resp, json::serialize(resp))) return 3;
       if (!wait) return 0;
 
       bool all_ok = true;
       for (const auto& id : resp.find("ids")->as_array()) {
-        const std::string rraw = client.request_raw(
+        const json::Value rresp = do_request(
             "{\"op\":\"result\",\"id\":" + std::to_string(id.as_uint()) +
             ",\"wait\":true,\"timeout_ms\":600000}");
-        const json::Value rresp = parse_json(rraw);
-        std::printf("%s\n", rraw.c_str());
+        std::printf("%s\n", json::serialize(rresp).c_str());
         if (!rresp.get_bool("ok", false)) all_ok = false;
       }
       return all_ok ? 0 : 3;

@@ -1,35 +1,49 @@
 // masc-served: the MASC simulation service daemon.
 //
 //   masc-served [options]
-//     --port N          TCP port on 127.0.0.1; 0 = ephemeral (default 7733)
-//     --workers N       simulation worker threads; 0 = hardware (default 0)
-//     --queue N         job queue capacity                     (default 256)
-//     --batch N         max jobs coalesced per dispatch        (default 64)
-//     --max-cycles N    server-side cap on any job's cycle limit
-//     --deadline-ms N   default wall-clock deadline per job; 0 = none
+//     --port N            TCP port on 127.0.0.1; 0 = ephemeral (default 7733)
+//     --workers N         simulation worker threads; 0 = hardware (default 0)
+//     --queue N           job queue capacity                     (default 256)
+//     --batch N           max jobs coalesced per dispatch        (default 64)
+//     --max-cycles N      server-side cap on any job's cycle limit
+//     --deadline-ms N     default wall-clock deadline per job; 0 = none
+//     --journal PATH      crash-safe job journal; replayed on start
+//     --ckpt-chunks N     journal running-job checkpoints every N sweep
+//                         chunks (N x 65536 cycles); 0 = only on drain
+//     --io-timeout-ms N   per-frame socket read/write budget; 0 = none
+//     --idle-timeout-ms N reap sessions idle this long; 0 = never
+//     --fault SPEC        install a deterministic fault injector, e.g.
+//                         "seed=7,frame_drop=0.1,max_faults=5" (testing)
 //
 // Prints "masc-served listening on 127.0.0.1:PORT" once ready (scripts
 // scrape the port when started with --port 0). Runs until a client
 // sends {"op":"shutdown"} or the process receives SIGINT/SIGTERM.
+// SIGTERM drains gracefully: in-flight jobs finish or checkpoint to the
+// journal, queued jobs stay journaled, and the exit status is 0 — a
+// restart on the same --journal resumes everything (docs/RELIABILITY.md).
 // Protocol reference: docs/SERVER.md.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <thread>
 
+#include "fault/fault.hpp"
 #include "serve/server.hpp"
 
 namespace {
 
-volatile std::sig_atomic_t g_signalled = 0;
+volatile std::sig_atomic_t g_signal = 0;
 
-void on_signal(int) { g_signalled = 1; }
+void on_signal(int sig) { g_signal = sig; }
 
 int usage() {
   std::fprintf(stderr,
                "usage: masc-served [--port N] [--workers N] [--queue N] "
-               "[--batch N]\n  [--max-cycles N] [--deadline-ms N]\n");
+               "[--batch N]\n  [--max-cycles N] [--deadline-ms N] "
+               "[--journal PATH] [--ckpt-chunks N]\n  [--io-timeout-ms N] "
+               "[--idle-timeout-ms N] [--fault SPEC]\n");
   return 2;
 }
 
@@ -38,6 +52,7 @@ int usage() {
 int main(int argc, char** argv) {
   masc::serve::ServerOptions opts;
   opts.port = 7733;
+  std::string fault_spec;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -57,6 +72,17 @@ int main(int argc, char** argv) {
       opts.max_cycles_cap = std::strtoull(next(), nullptr, 0);
     else if (arg == "--deadline-ms")
       opts.default_deadline_ms = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--journal")
+      opts.journal_path = next();
+    else if (arg == "--ckpt-chunks")
+      opts.checkpoint_every_chunks =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--io-timeout-ms")
+      opts.io_timeout_ms = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--idle-timeout-ms")
+      opts.idle_timeout_ms = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--fault")
+      fault_spec = next();
     else
       return usage();
   }
@@ -66,13 +92,26 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
 
   try {
+    std::unique_ptr<masc::fault::ScopedInjector> injector;
+    if (!fault_spec.empty())
+      injector = std::make_unique<masc::fault::ScopedInjector>(
+          masc::fault::FaultPlan::parse(fault_spec));
+
     masc::serve::Server server(opts);
     server.start();
     std::printf("masc-served listening on 127.0.0.1:%u\n",
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
-    while (!server.shutdown_requested() && !g_signalled)
+    while (!server.shutdown_requested() && g_signal == 0)
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (g_signal == SIGTERM) {
+      // Graceful drain: finish or checkpoint what's running, leave the
+      // rest journaled for the next start, and report a clean exit so
+      // supervisors don't count the drain as a failure.
+      server.drain();
+      std::printf("masc-served: drained\n");
+      return 0;
+    }
     server.stop();
     std::printf("masc-served: stopped\n");
     return 0;

@@ -1,0 +1,184 @@
+// Fault injector: plan parsing, seeded determinism, the max_faults
+// budget, and end-to-end chunk kills through the sweep runner.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "fault/fault.hpp"
+#include "sim/sweep.hpp"
+
+namespace masc {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::FrameFault;
+using fault::ScopedInjector;
+
+TEST(FaultPlan, ParsesFullSpec) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=7,frame_drop=0.25,frame_truncate=0.5,frame_delay=1,"
+      "frame_delay_ms=12,dispatch_fail=0.75,chunk_kill=0.125,"
+      "chunk_kill_at=3,max_faults=10");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.frame_drop, 0.25);
+  EXPECT_DOUBLE_EQ(plan.frame_truncate, 0.5);
+  EXPECT_DOUBLE_EQ(plan.frame_delay, 1.0);
+  EXPECT_EQ(plan.frame_delay_ms, 12u);
+  EXPECT_DOUBLE_EQ(plan.dispatch_fail, 0.75);
+  EXPECT_DOUBLE_EQ(plan.chunk_kill, 0.125);
+  EXPECT_EQ(plan.chunk_kill_at, 3u);
+  EXPECT_EQ(plan.max_faults, 10u);
+}
+
+TEST(FaultPlan, EmptySpecIsAllDefaults) {
+  const FaultPlan plan = FaultPlan::parse("");
+  EXPECT_EQ(plan.seed, 0u);
+  EXPECT_DOUBLE_EQ(plan.frame_drop, 0.0);
+  EXPECT_DOUBLE_EQ(plan.dispatch_fail, 0.0);
+  EXPECT_EQ(plan.chunk_kill_at, 0u);
+  EXPECT_EQ(plan.max_faults, ~std::uint64_t{0});
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("nonsense"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("bogus_key=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("frame_drop=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("frame_drop=-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("frame_drop=often"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed=xyz"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed="), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisionSequence) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.frame_drop = 0.3;
+  plan.frame_truncate = 0.2;
+  plan.frame_delay = 0.1;
+  plan.dispatch_fail = 0.4;
+  plan.chunk_kill = 0.25;
+
+  FaultInjector a(plan), b(plan);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.on_frame_send(), b.on_frame_send()) << "frame decision " << i;
+    EXPECT_EQ(a.on_dispatch(), b.on_dispatch()) << "dispatch decision " << i;
+    EXPECT_EQ(a.on_chunk(), b.on_chunk()) << "chunk decision " << i;
+  }
+  const auto ca = a.counts(), cb = b.counts();
+  EXPECT_EQ(ca.total(), cb.total());
+  EXPECT_GT(ca.total(), 0u) << "rates this high must fire within 500 draws";
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultPlan plan;
+  plan.frame_drop = 0.5;
+  plan.seed = 1;
+  FaultInjector a(plan);
+  plan.seed = 2;
+  FaultInjector b(plan);
+  int diffs = 0;
+  for (int i = 0; i < 200; ++i)
+    diffs += a.on_frame_send() != b.on_frame_send();
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(FaultInjectorTest, SitesDrawFromIndependentStreams) {
+  // Exercising one hook site must not shift another site's decisions —
+  // otherwise fault runs wouldn't reproduce across timing variations.
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.frame_drop = 0.5;
+  plan.dispatch_fail = 0.5;
+
+  FaultInjector quiet(plan), noisy(plan);
+  for (int i = 0; i < 100; ++i) (void)noisy.on_frame_send();
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(quiet.on_dispatch(), noisy.on_dispatch()) << "decision " << i;
+}
+
+TEST(FaultInjectorTest, MaxFaultsBudgetStopsInjection) {
+  FaultPlan plan;
+  plan.frame_drop = 1.0;
+  plan.dispatch_fail = 1.0;
+  plan.max_faults = 3;
+  FaultInjector inj(plan);
+  // Rate 1.0 fires on every call until the budget is spent.
+  EXPECT_EQ(inj.on_frame_send(), FrameFault::kDrop);
+  EXPECT_TRUE(inj.on_dispatch());
+  EXPECT_EQ(inj.on_frame_send(), FrameFault::kDrop);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(inj.on_frame_send(), FrameFault::kNone) << "past budget";
+    EXPECT_FALSE(inj.on_dispatch()) << "past budget";
+  }
+  EXPECT_EQ(inj.counts().total(), 3u);
+}
+
+TEST(FaultInjectorTest, InstallAndActive) {
+  EXPECT_EQ(fault::active(), nullptr);
+  {
+    ScopedInjector scoped(FaultPlan{});
+    EXPECT_EQ(fault::active(), &*scoped);
+  }
+  EXPECT_EQ(fault::active(), nullptr);
+}
+
+TEST(FaultSweep, ChunkKillAtSurfacesAsSweepError) {
+  // A job spanning several 65536-cycle chunks; the injector kills the
+  // second chunk, which the runner reports as kError with the injected
+  // message rather than crashing the worker pool.
+  MachineConfig cfg;
+  cfg.num_pes = 8;
+  cfg.num_threads = 4;
+  cfg.word_width = 16;  // the loop bound below needs 16-bit immediates
+  cfg.validate();
+  const Program prog = assemble(
+      "li r2, 40\nouter: li r1, 9000\ninner: addi r1, r1, -1\n"
+      "bne r1, r0, inner\naddi r2, r2, -1\nbne r2, r0, outer\nhalt\n");
+
+  FaultPlan plan;
+  plan.chunk_kill_at = 2;
+  ScopedInjector scoped(plan);
+
+  SweepJob job;
+  job.cfg = cfg;
+  job.program = prog;
+  SweepRunner runner(1);
+  const auto results = runner.run({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, SweepStatus::kError);
+  EXPECT_NE(results[0].error.find("injected fault"), std::string::npos)
+      << results[0].error;
+  EXPECT_EQ(scoped->counts().chunks_killed, 1u);
+
+  // chunk_kill_at names one absolute chunk index, so it fires exactly
+  // once; the same job reruns to completion under the still-installed
+  // injector — the recovery story tests lean on this convergence.
+  const auto retry = runner.run({job});
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_EQ(retry[0].status, SweepStatus::kFinished);
+}
+
+TEST(FaultSweep, NoInjectorNoInterference) {
+  // Belt and braces: with nothing installed the same multi-chunk job
+  // finishes normally (the hook is a null check).
+  ASSERT_EQ(fault::active(), nullptr);
+  MachineConfig cfg;
+  cfg.num_pes = 8;
+  cfg.num_threads = 4;
+  cfg.word_width = 16;
+  cfg.validate();
+  SweepJob job;
+  job.cfg = cfg;
+  job.program = assemble("li r1, 100\nloop: addi r1, r1, -1\n"
+                         "bne r1, r0, loop\nhalt\n");
+  SweepRunner runner(1);
+  const auto results = runner.run({job});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, SweepStatus::kFinished);
+}
+
+}  // namespace
+}  // namespace masc

@@ -1,0 +1,452 @@
+// Crash-recovery acceptance tests: run the real masc-served binary as a
+// child process, kill it (SIGKILL) or drain it (SIGTERM) mid-job, and
+// prove a restart on the same journal serves the same results —
+// completed jobs idempotently, interrupted jobs bit-identically to an
+// uninterrupted serial run. Also pins the client's retry backoff
+// envelope (exponential, jittered, hint-respecting) both as a pure
+// function and against the wall clock.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "common/json.hpp"
+#include "common/random.hpp"
+#include "serve/client.hpp"
+#include "sim/machine.hpp"
+
+#ifndef MASC_SERVED_BIN
+#error "MASC_SERVED_BIN must point at the masc-served executable"
+#endif
+
+namespace masc {
+namespace {
+
+using serve::Client;
+using serve::RetryPolicy;
+using namespace std::chrono_literals;
+
+/// ~90M cycles ≈ seconds of wall time: long enough that a kill lands
+/// mid-run, short enough for CI. Loop bounds stay under the 16-bit
+/// immediate width.
+const char* kLongKernel =
+    "li r2, 300\n"
+    "outer: li r1, 60000\n"
+    "inner: addi r1, r1, -1\n"
+    "bne r1, r0, inner\n"
+    "addi r2, r2, -1\n"
+    "bne r2, r0, outer\n"
+    "halt\n";
+
+const char* kQuickKernel =
+    "li r1, 100\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n";
+
+std::string job_json(const std::string& source, const std::string& label) {
+  return "{\"config\":{\"pes\":8,\"threads\":4,\"width\":16},"
+         "\"program\":{\"source\":\"" +
+         json_escape(source) + "\"},\"label\":\"" + label + "\"}";
+}
+
+/// Serial ground truth for a kernel on the test geometry.
+std::string serial_stats_json(const std::string& source) {
+  MachineConfig cfg;
+  cfg.num_pes = 8;
+  cfg.num_threads = 4;
+  cfg.word_width = 16;
+  cfg.validate();
+  Machine m(cfg);
+  m.load(assemble(source));
+  EXPECT_TRUE(m.run(100'000'000));
+  return to_json(m.stats());
+}
+
+class TempJournal {
+ public:
+  explicit TempJournal(const std::string& tag) {
+    path_ = testing::TempDir() + "masc_recovery_" + tag + "_" +
+            std::to_string(::getpid()) + ".journal";
+    std::remove(path_.c_str());
+  }
+  ~TempJournal() { std::remove(path_.c_str()); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// One masc-served child process. Spawns with --port 0, scrapes the
+/// announced ephemeral port from the child's stdout pipe.
+class ServedProcess {
+ public:
+  explicit ServedProcess(std::vector<std::string> extra_args) {
+    spawn(std::move(extra_args));
+  }
+
+ private:
+  void spawn(std::vector<std::string> extra_args) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0) << std::strerror(errno);
+    pid_ = ::fork();
+    ASSERT_GE(pid_, 0) << std::strerror(errno);
+    if (pid_ == 0) {
+      ::close(fds[0]);
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[1]);
+      std::vector<std::string> args = {MASC_SERVED_BIN, "--port", "0"};
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      std::fprintf(stderr, "execv %s: %s\n", MASC_SERVED_BIN,
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    out_fd_ = fds[0];
+    scrape_port();
+  }
+
+ public:
+  ~ServedProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      (void)reap();
+    }
+    if (out_fd_ >= 0) ::close(out_fd_);
+  }
+
+  std::uint16_t port() const { return port_; }
+  pid_t pid() const { return pid_; }
+
+  void kill_hard() {
+    ASSERT_EQ(::kill(pid_, SIGKILL), 0) << std::strerror(errno);
+    const int status = reap();
+    EXPECT_TRUE(WIFSIGNALED(status));
+  }
+
+  /// SIGTERM, then wait; returns the exit code (-1 if killed instead).
+  int terminate_and_wait() {
+    EXPECT_EQ(::kill(pid_, SIGTERM), 0) << std::strerror(errno);
+    const int status = reap();
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  /// Everything the child printed after the port line (read to EOF, so
+  /// call only once the child has exited).
+  std::string drain_output() {
+    std::string out;
+    char buf[512];
+    ssize_t n;
+    while ((n = ::read(out_fd_, buf, sizeof buf)) > 0)
+      out.append(buf, static_cast<std::size_t>(n));
+    return out;
+  }
+
+ private:
+  int reap() {
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid_ = -1;
+    return status;
+  }
+
+  void scrape_port() {
+    static const std::string kTag = "listening on 127.0.0.1:";
+    std::string line;
+    char ch;
+    while (line.find('\n') == std::string::npos) {
+      const ssize_t n = ::read(out_fd_, &ch, 1);
+      ASSERT_GT(n, 0) << "masc-served exited before announcing its port";
+      line.push_back(ch);
+    }
+    const std::size_t at = line.find(kTag);
+    ASSERT_NE(at, std::string::npos) << "unexpected banner: " << line;
+    port_ = static_cast<std::uint16_t>(
+        std::strtoul(line.c_str() + at + kTag.size(), nullptr, 10));
+    ASSERT_NE(port_, 0);
+  }
+
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+Client connect_to(const ServedProcess& served) {
+  Client c;
+  c.connect("127.0.0.1", served.port(), /*timeout_ms=*/5000);
+  return c;
+}
+
+std::vector<std::uint64_t> ids_of(const json::Value& resp) {
+  std::vector<std::uint64_t> ids;
+  for (const auto& id : resp.find("ids")->as_array())
+    ids.push_back(id.as_uint());
+  return ids;
+}
+
+void await_running(Client& c, std::uint64_t id) {
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  for (;;) {
+    const json::Value resp =
+        c.request("{\"op\":\"status\",\"id\":" + std::to_string(id) + "}");
+    ASSERT_TRUE(resp.get_bool("ok", false));
+    if (resp.get_string("state", "") == "running") return;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "job " << id << " never started running";
+    std::this_thread::sleep_for(5ms);
+  }
+}
+
+std::string await_result_raw(Client& c, std::uint64_t id) {
+  return c.request_raw("{\"op\":\"result\",\"id\":" + std::to_string(id) +
+                       ",\"wait\":true,\"timeout_ms\":120000}");
+}
+
+// --- SIGKILL crash recovery -------------------------------------------
+
+TEST(Recovery, SigkillMidJobThenRestartServesBitIdenticalResults) {
+  TempJournal journal("sigkill");
+  const std::string want_long = serial_stats_json(kLongKernel);
+  const std::string want_quick = serial_stats_json(kQuickKernel);
+
+  std::uint64_t quick_id = 0, long_id = 0;
+  std::vector<std::uint64_t> keyed_ids;
+  {
+    ServedProcess served({"--journal", journal.str(), "--workers", "2",
+                          "--ckpt-chunks", "4"});
+    Client c = connect_to(served);
+
+    // A keyed submit: the key must survive the crash too.
+    const json::Value quick_resp = c.request(
+        "{\"op\":\"submit\",\"key\":\"quick-key\",\"jobs\":[" +
+        job_json(kQuickKernel, "quick") + "]}");
+    ASSERT_TRUE(quick_resp.get_bool("ok", false));
+    EXPECT_FALSE(quick_resp.get_bool("duplicate", true));
+    quick_id = ids_of(quick_resp)[0];
+    keyed_ids = ids_of(quick_resp);
+
+    const json::Value long_resp =
+        c.request("{\"op\":\"submit\",\"jobs\":[" +
+                  job_json(kLongKernel, "survivor") + "]}");
+    ASSERT_TRUE(long_resp.get_bool("ok", false));
+    long_id = ids_of(long_resp)[0];
+    ASSERT_NE(long_id, quick_id);
+
+    // Resubmitting the same key returns the original ids, no new job.
+    const json::Value dup = c.request(
+        "{\"op\":\"submit\",\"key\":\"quick-key\",\"jobs\":[" +
+        job_json(kQuickKernel, "quick") + "]}");
+    ASSERT_TRUE(dup.get_bool("ok", false));
+    EXPECT_TRUE(dup.get_bool("duplicate", false));
+    EXPECT_EQ(ids_of(dup), keyed_ids);
+
+    // Quick job done (its completion is journaled + fsync'd)...
+    const std::string quick_raw = await_result_raw(c, quick_id);
+    EXPECT_NE(quick_raw.find("\"status\":\"finished\""), std::string::npos)
+        << quick_raw;
+    // ...long job genuinely mid-simulation. Give it time to cross a few
+    // 65536-cycle chunks so a periodic checkpoint lands in the journal.
+    await_running(c, long_id);
+    std::this_thread::sleep_for(1500ms);
+
+    served.kill_hard();  // no goodbye: fsync'd bytes are all that's left
+  }
+
+  // Restart on the same journal.
+  ServedProcess revived({"--journal", journal.str(), "--workers", "2"});
+  Client c = connect_to(revived);
+
+  // The finished job's result is served idempotently from the journal.
+  const std::string quick_raw = await_result_raw(c, quick_id);
+  const json::Value quick = parse_json(quick_raw);
+  ASSERT_TRUE(quick.get_bool("ok", false)) << quick_raw;
+  const json::Value* qres = quick.find("result");
+  ASSERT_NE(qres, nullptr);
+  EXPECT_EQ(qres->get_string("status", ""), "finished");
+  // Replayed results round-trip through the JSON parser, so compare the
+  // (integer-exact) counters rather than raw text.
+  const json::Value want = parse_json(want_quick);
+  const json::Value* qstats = qres->find("stats");
+  ASSERT_NE(qstats, nullptr);
+  for (const char* fieldname : {"cycles", "instructions"})
+    EXPECT_EQ(qstats->get_uint(fieldname, 0), want.get_uint(fieldname, 1))
+        << fieldname;
+
+  // The interrupted job was re-enqueued and completes after restart —
+  // and its stats are byte-for-byte the serial run's.
+  const std::string long_raw = await_result_raw(c, long_id);
+  ASSERT_TRUE(parse_json(long_raw).get_bool("ok", false)) << long_raw;
+  EXPECT_NE(long_raw.find("\"status\":\"finished\""), std::string::npos)
+      << long_raw;
+  EXPECT_NE(long_raw.find("\"stats\":" + want_long), std::string::npos)
+      << "resumed result diverged from the serial run";
+  EXPECT_NE(long_raw.find("\"label\":\"survivor\""), std::string::npos);
+
+  // The idempotency key also survived the crash.
+  const json::Value dup = c.request(
+      "{\"op\":\"submit\",\"key\":\"quick-key\",\"jobs\":[" +
+      job_json(kQuickKernel, "quick") + "]}");
+  ASSERT_TRUE(dup.get_bool("ok", false));
+  EXPECT_TRUE(dup.get_bool("duplicate", false));
+  EXPECT_EQ(ids_of(dup), keyed_ids);
+}
+
+// --- SIGTERM graceful drain -------------------------------------------
+
+TEST(Recovery, SigtermDrainsCheckpointsAndResumesBitIdentically) {
+  TempJournal journal("sigterm");
+  const std::string want = serial_stats_json(kLongKernel);
+
+  std::uint64_t id = 0;
+  {
+    ServedProcess served({"--journal", journal.str(), "--workers", "1"});
+    Client c = connect_to(served);
+    const json::Value resp = c.request(
+        "{\"op\":\"submit\",\"jobs\":[" + job_json(kLongKernel, "drainee") +
+        "]}");
+    ASSERT_TRUE(resp.get_bool("ok", false));
+    id = ids_of(resp)[0];
+    await_running(c, id);
+    std::this_thread::sleep_for(700ms);  // simulate a few dozen chunks
+
+    // Graceful drain: checkpoint the in-flight job, exit 0.
+    EXPECT_EQ(served.terminate_and_wait(), 0);
+    EXPECT_NE(served.drain_output().find("drained"), std::string::npos);
+  }
+
+  ServedProcess revived({"--journal", journal.str(), "--workers", "1"});
+  Client c = connect_to(revived);
+  const std::string raw = await_result_raw(c, id);
+  ASSERT_TRUE(parse_json(raw).get_bool("ok", false)) << raw;
+  EXPECT_NE(raw.find("\"status\":\"finished\""), std::string::npos) << raw;
+  // The drain checkpointed mid-run; the resumed stats must still be
+  // byte-identical to one uninterrupted serial simulation.
+  EXPECT_NE(raw.find("\"stats\":" + want), std::string::npos)
+      << "drain + resume diverged from the serial run";
+}
+
+// --- client retry/backoff ---------------------------------------------
+
+TEST(Backoff, EnvelopeIsExponentialJitteredAndCapped) {
+  RetryPolicy policy;
+  policy.base_ms = 100;
+  policy.max_ms = 5000;
+  Rng rng(1234);
+
+  std::uint64_t prev_cap = 0;
+  for (unsigned attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t cap =
+        std::min<std::uint64_t>(policy.max_ms, policy.base_ms << attempt);
+    std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+    for (int draw = 0; draw < 200; ++draw) {
+      const std::uint64_t d = serve::backoff_delay_ms(policy, attempt, 0, rng);
+      ASSERT_GE(d, cap / 2) << "attempt " << attempt;
+      ASSERT_LE(d, cap) << "attempt " << attempt;
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    EXPECT_GT(hi, lo) << "no jitter at attempt " << attempt;
+    EXPECT_GE(cap, prev_cap) << "envelope must be monotone";
+    prev_cap = cap;
+  }
+  // Deep attempts saturate at max_ms instead of overflowing the shift.
+  Rng deep_rng(7);
+  const std::uint64_t deep =
+      serve::backoff_delay_ms(policy, 200, 0, deep_rng);
+  EXPECT_GE(deep, policy.max_ms / 2);
+  EXPECT_LE(deep, policy.max_ms);
+}
+
+TEST(Backoff, ServerHintFloorsTheDelay) {
+  RetryPolicy policy;
+  policy.base_ms = 10;
+  policy.max_ms = 1000;
+  Rng rng(5);
+  // Attempt 0 would sleep at most 10ms, but the server said 250ms.
+  EXPECT_GE(serve::backoff_delay_ms(policy, 0, 250, rng), 250u);
+  // A hint below the computed delay changes nothing.
+  const std::uint64_t d = serve::backoff_delay_ms(policy, 4, 1, rng);
+  EXPECT_GE(d, (policy.base_ms << 4) / 2);
+}
+
+TEST(Backoff, SeededPolicyIsDeterministic) {
+  RetryPolicy policy;
+  policy.base_ms = 100;
+  policy.max_ms = 5000;
+  for (unsigned attempt = 0; attempt < 8; ++attempt) {
+    Rng a(99), b(99);
+    EXPECT_EQ(serve::backoff_delay_ms(policy, attempt, 0, a),
+              serve::backoff_delay_ms(policy, attempt, 0, b));
+  }
+}
+
+TEST(Backoff, RetrySpacingAgainstDeadPortMatchesTheSeededSchedule) {
+  // End to end: connect to a port nobody listens on; with 2 retries the
+  // client must sleep its two scheduled backoff delays between the
+  // three attempts. The policy seed pins the jitter, so the expected
+  // total sleep is computable exactly.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_ms = 60;
+  policy.max_ms = 1000;
+  policy.seed = 4242;
+
+  Rng expect_rng(policy.seed);
+  const std::uint64_t d0 = serve::backoff_delay_ms(policy, 0, 0, expect_rng);
+  const std::uint64_t d1 = serve::backoff_delay_ms(policy, 1, 0, expect_rng);
+  ASSERT_GE(d0, 30u);
+  ASSERT_LE(d0, 60u);
+  ASSERT_GE(d1, 60u);
+  ASSERT_LE(d1, 120u);
+
+  // Hold an ephemeral port bound but never listen()ed on: the kernel
+  // refuses connects to it instantly, and nobody else can grab it for
+  // the duration of the test.
+  const int dead = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(dead, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(dead, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(dead, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+
+  Client c;
+  EXPECT_THROW(c.connect("127.0.0.1", dead_port, /*timeout_ms=*/2000),
+               serve::ServeError);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(c.request_with_retry("{\"op\":\"ping\"}", policy),
+               serve::ServeError);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  // All scheduled sleeps happened...
+  EXPECT_GE(elapsed, static_cast<long long>(d0 + d1));
+  // ...and no unscheduled ones (generous slack for slow CI).
+  EXPECT_LE(elapsed, static_cast<long long>(d0 + d1) + 1500);
+  ::close(dead);
+}
+
+}  // namespace
+}  // namespace masc

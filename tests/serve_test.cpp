@@ -6,8 +6,14 @@
 // simulations.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -16,7 +22,9 @@
 #include "assembler/assembler.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "fault/fault.hpp"
 #include "serve/client.hpp"
+#include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
 #include "sim/machine.hpp"
@@ -582,6 +590,303 @@ TEST(ServeServer, StopWhileJobsInFlightDischargesEverything) {
   const auto t0 = std::chrono::steady_clock::now();
   server.stop();
   EXPECT_LT(std::chrono::steady_clock::now() - t0, 10s);
+}
+
+// --- protocol fuzz corpus ---------------------------------------------
+//
+// Hostile bytes on the wire. The contract (docs/RELIABILITY.md): a
+// payload that *parses as a frame* but isn't a valid request earns an
+// error *response*; bytes that break the framing itself kill only that
+// connection. Neither may wedge or crash the server.
+
+/// Raw TCP connection, bypassing Client, for sending malformed bytes.
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+        0);
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  int fd() const { return fd_; }
+
+  void send_bytes(const std::string& bytes) {
+    EXPECT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  /// Header declaring `len` payload bytes (which need not follow).
+  static std::string header(std::uint32_t len) {
+    std::string h(4, '\0');
+    h[0] = static_cast<char>((len >> 24) & 0xFF);
+    h[1] = static_cast<char>((len >> 16) & 0xFF);
+    h[2] = static_cast<char>((len >> 8) & 0xFF);
+    h[3] = static_cast<char>(len & 0xFF);
+    return h;
+  }
+  /// True when the server closed its end within `timeout_ms`.
+  bool closed_by_peer(int timeout_ms) {
+    std::string ignored;
+    try {
+      return !serve::read_frame(fd_, ignored,
+                                static_cast<std::uint64_t>(timeout_ms),
+                                static_cast<std::uint64_t>(timeout_ms));
+    } catch (const serve::ServeTimeout&) {
+      return false;  // still open, just silent
+    } catch (const serve::ServeError&) {
+      return true;  // reset mid-read counts as closed
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ServeFuzz, TruncatedFramesKillOnlyTheirOwnConnection) {
+  Server server(test_options());
+  server.start();
+
+  {
+    RawConn half_header(server.port());
+    half_header.send_bytes(RawConn::header(20).substr(0, 2));
+  }  // close mid-header
+  {
+    RawConn half_payload(server.port());
+    half_payload.send_bytes(RawConn::header(100) + "only ten b");
+  }  // close mid-payload
+
+  // The server shrugged both off and serves the next client normally.
+  Client c;
+  c.connect("127.0.0.1", server.port());
+  EXPECT_TRUE(c.request("{\"op\":\"ping\"}").get_bool("ok", false));
+  server.stop();
+}
+
+TEST(ServeFuzz, OversizedLengthPrefixDropsTheConnection) {
+  Server server(test_options());
+  server.start();
+
+  RawConn evil(server.port());
+  // Declares a 4 GiB frame: the server must refuse to allocate it and
+  // drop the connection (a framing violation is unrecoverable)...
+  evil.send_bytes(RawConn::header(0xFFFFFFFFu) + "padding");
+  EXPECT_TRUE(evil.closed_by_peer(5000));
+
+  // ...without collateral damage to well-behaved sessions.
+  Client c;
+  c.connect("127.0.0.1", server.port());
+  EXPECT_TRUE(c.request("{\"op\":\"ping\"}").get_bool("ok", false));
+  server.stop();
+}
+
+TEST(ServeFuzz, GarbageFrameCorpusGetsErrorResponsesNotDisconnects) {
+  Server server(test_options());
+  server.start();
+  RawConn conn(server.port());
+
+  const std::string corpus[] = {
+      "",                                      // empty payload
+      "not json at all",                       //
+      std::string("\x00\x01\xfe\xff\x80", 5),  // binary junk, embedded NUL
+      "{\"op\":}",                             // syntax error
+      "[1,2,3]",                               // valid JSON, not an object
+      "{}",                                    // object without an op
+      "{\"op\":\"submit\",\"jobs\":[{\"program\":{}}]}",  // bad nested job
+      std::string(64, '{'),                    // unterminated nesting
+      "\"just a string\"",                     //
+  };
+  for (const std::string& payload : corpus) {
+    serve::write_frame(conn.fd(), payload);
+    std::string raw;
+    ASSERT_TRUE(serve::read_frame(conn.fd(), raw))
+        << "server dropped the session on: " << payload;
+    const json::Value resp = parse_json(raw);
+    EXPECT_FALSE(resp.get_bool("ok", true)) << raw;
+    EXPECT_FALSE(resp.get_string("error", "").empty()) << raw;
+  }
+  // After the whole corpus, the same session still answers pings.
+  serve::write_frame(conn.fd(), "{\"op\":\"ping\"}");
+  std::string raw;
+  ASSERT_TRUE(serve::read_frame(conn.fd(), raw));
+  EXPECT_TRUE(parse_json(raw).get_bool("ok", false)) << raw;
+  const json::Value stats = parse_json(server.stats_json());
+  EXPECT_EQ(stats.find("counters")->get_uint("submitted", 99), 0u);
+  server.stop();
+}
+
+// --- fault injection end to end ---------------------------------------
+
+TEST(ServeFault, DroppedFrameIsSurvivedByTimeoutAndRetry) {
+  ServerOptions opts = test_options();
+  opts.io_timeout_ms = 500;  // server reaps the half-dead session
+  Server server(opts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+  c.set_io_timeout_ms(300);
+
+  // Exactly one fault: the next frame sent (the client's request) is
+  // silently swallowed. The client times out waiting for a response,
+  // reconnects, and the retry goes through.
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.frame_drop = 1.0;
+  plan.max_faults = 1;
+  fault::ScopedInjector scoped(plan);
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_ms = 20;
+  const json::Value resp = c.request_with_retry("{\"op\":\"ping\"}", policy);
+  EXPECT_TRUE(resp.get_bool("ok", false));
+  EXPECT_EQ(scoped->counts().frames_dropped, 1u);
+  server.stop();
+}
+
+TEST(ServeFault, TruncatedFrameIsSurvivedByReconnectAndRetry) {
+  ServerOptions opts = test_options();
+  opts.io_timeout_ms = 300;  // the torn session stalls mid-frame: reap it
+  Server server(opts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+  c.set_io_timeout_ms(300);
+
+  fault::FaultPlan plan;
+  plan.seed = 12;
+  plan.frame_truncate = 1.0;
+  plan.max_faults = 1;
+  fault::ScopedInjector scoped(plan);
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_ms = 20;
+  const json::Value resp = c.request_with_retry("{\"op\":\"ping\"}", policy);
+  EXPECT_TRUE(resp.get_bool("ok", false));
+  EXPECT_EQ(scoped->counts().frames_truncated, 1u);
+  server.stop();
+}
+
+TEST(ServeFault, DispatchFailureIsRetriedUntilTheJobCompletes) {
+  // The dispatcher hook bounces a whole batch back to the queue; with a
+  // bounded fault budget the batch must eventually dispatch and every
+  // result must still be bit-identical to the serial run.
+  fault::FaultPlan plan;
+  plan.seed = 13;
+  plan.dispatch_fail = 1.0;
+  plan.max_faults = 3;
+  fault::ScopedInjector scoped(plan);
+
+  Server server(test_options());
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  JobSpec spec;
+  spec.source = reduction_kernel(6);
+  spec.label = "bounced";
+  const auto id = submit_ok(c, {job_json(spec)})[0];
+  const std::string raw = c.request_raw(result_request(id, true));
+  EXPECT_NE(raw.find("\"status\":\"finished\""), std::string::npos) << raw;
+  EXPECT_NE(raw.find("\"stats\":" + serial_stats_json(spec)),
+            std::string::npos)
+      << raw;
+  EXPECT_GE(scoped->counts().dispatches_failed, 1u);
+  server.stop();
+}
+
+// --- timeouts and idle reaping ----------------------------------------
+
+TEST(ServeServer, IdleSessionsAreReaped) {
+  ServerOptions opts = test_options();
+  opts.idle_timeout_ms = 150;
+  Server server(opts);
+  server.start();
+
+  // A session that never speaks is closed by the server...
+  RawConn mute(server.port());
+  EXPECT_TRUE(mute.closed_by_peer(5000));
+
+  // ...but one that keeps talking inside the idle window is not.
+  Client chatty;
+  chatty.connect("127.0.0.1", server.port());
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(50ms);
+    EXPECT_TRUE(chatty.request("{\"op\":\"ping\"}").get_bool("ok", false))
+        << "reaped while active, iteration " << i;
+  }
+  server.stop();
+}
+
+// --- extend over the wire ---------------------------------------------
+
+TEST(ServeServer, ExtendResumesAnInterruptedJobFromItsCheckpoint) {
+  const std::string journal_path = testing::TempDir() + "masc_extend_" +
+                                   std::to_string(::getpid()) + ".journal";
+  std::remove(journal_path.c_str());
+  ServerOptions opts = test_options();
+  opts.workers = 1;
+  opts.batch_max = 1;
+  opts.journal_path = journal_path;
+  Server server(opts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  auto cycles_of = [&](std::uint64_t id) -> std::uint64_t {
+    const json::Value resp = parse_json(c.request_raw(result_request(id, true)));
+    EXPECT_TRUE(resp.get_bool("ok", false));
+    const json::Value* result = resp.find("result");
+    if (!result) return 0;
+    const json::Value* stats = result->find("stats");
+    return stats ? stats->get_uint("cycles", 0) : 0;
+  };
+
+  JobSpec spin;
+  spin.source = kSpinForever;
+  spin.label = "extendee";
+  const auto id = submit_ok(c, {job_json(spin)})[0];
+  await_state(c, id, "running");
+  std::this_thread::sleep_for(100ms);  // accumulate a few chunks
+  ASSERT_TRUE(c.request("{\"op\":\"cancel\",\"id\":" + std::to_string(id) +
+                        "}").get_bool("ok", false));
+  const std::uint64_t first_cycles = cycles_of(id);
+  ASSERT_GT(first_cycles, 0u);
+
+  // Extend: the job requeues from its cancellation checkpoint.
+  const json::Value ext = c.request(
+      "{\"op\":\"extend\",\"id\":" + std::to_string(id) + "}");
+  ASSERT_TRUE(ext.get_bool("ok", false)) << json::serialize(ext);
+  EXPECT_TRUE(ext.get_bool("resumed", false));
+  await_state(c, id, "running");
+  std::this_thread::sleep_for(100ms);
+  ASSERT_TRUE(c.request("{\"op\":\"cancel\",\"id\":" + std::to_string(id) +
+                        "}").get_bool("ok", false));
+  // The second leg continued from the first: cycles strictly advanced.
+  EXPECT_GT(cycles_of(id), first_cycles);
+
+  // Extend contract errors: unknown id, and a job that truly finished.
+  EXPECT_EQ(c.request("{\"op\":\"extend\",\"id\":987654}")
+                .get_string("error", ""),
+            "not_found");
+  JobSpec quick;
+  quick.source = reduction_kernel(3);
+  quick.label = "done";
+  const auto done_id = submit_ok(c, {job_json(quick)})[0];
+  c.request_raw(result_request(done_id, true));
+  EXPECT_EQ(c.request("{\"op\":\"extend\",\"id\":" + std::to_string(done_id) +
+                      "}").get_string("error", ""),
+            "already_finished");
+
+  server.stop();
+  std::remove(journal_path.c_str());
 }
 
 }  // namespace
