@@ -88,6 +88,43 @@ void BM_Sweep(benchmark::State& state) {
 BENCHMARK(BM_Sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Result-cache repeat-job latency (docs/PERF.md "Result cache"): the
+// same single job dispatched through a SweepRunner over and over, with
+// the cache off (range(0)=0 — every iteration re-simulates) or on
+// (range(0)=1 — every iteration after the first is a lookup). The ratio
+// of the two times is the cache's headline speedup; the acceptance bar
+// is >= 20x.
+void BM_CacheHit(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  MachineConfig cfg;
+  cfg.num_pes = 256;
+  cfg.num_threads = 16;
+  cfg.word_width = 16;
+  const std::vector<SweepJob> jobs = {
+      bench::make_job(cfg, bench::mixed_asc_program(512))};
+
+  SweepRunner runner(1);
+  auto cache = std::make_shared<SweepResultCache>(64u << 20, 16);
+  if (cached) {
+    runner.set_cache(cache);
+    benchmark::DoNotOptimize(runner.run(jobs));  // warm: first run inserts
+  }
+  std::uint64_t total_jobs = 0;
+  for (auto _ : state) {
+    const auto results = runner.run(jobs);
+    benchmark::DoNotOptimize(results.data());
+    total_jobs += results.size();
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(total_jobs), benchmark::Counter::kIsRate);
+  if (cached) {
+    const auto cs = cache->stats();
+    state.counters["cache_hits"] = static_cast<double>(cs.hits);
+  }
+}
+BENCHMARK(BM_CacheHit)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
 void BM_Assembler(benchmark::State& state) {
   const std::string src = bench::mixed_asc_program(512);
   for (auto _ : state) {

@@ -1,0 +1,109 @@
+// Content hashing shared by checkpoints and the result cache.
+//
+// Two strengths of the same FNV-1a construction live here:
+//
+// - fnv1a64(): the 64-bit variant, used as the checkpoint program
+//   fingerprint (sim/checkpoint.cpp) where a collision merely rejects a
+//   restore with a clear error.
+// - Fnv128: the 128-bit variant (doubled state, the standard 128-bit
+//   FNV prime), used to key the deterministic result cache
+//   (common/result_cache.hpp) where a collision would silently serve a
+//   wrong result — 2^64 keys is not enough headroom for a cache fed by
+//   millions of submissions, 2^128 is.
+//
+// Both are incremental: feed bytes/ints in a fixed canonical order and
+// the digest is a pure function of that byte sequence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace masc {
+
+inline constexpr std::uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv64Prime = 0x100000001b3ULL;
+
+/// One step of 64-bit FNV-1a.
+constexpr std::uint64_t fnv1a64_byte(std::uint64_t h, std::uint8_t b) {
+  return (h ^ b) * kFnv64Prime;
+}
+
+/// 64-bit FNV-1a over a byte range, resumable via `h`.
+inline std::uint64_t fnv1a64(const void* data, std::size_t size,
+                             std::uint64_t h = kFnv64OffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) h = fnv1a64_byte(h, p[i]);
+  return h;
+}
+
+/// A 128-bit digest, usable as a hash-map key.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Hash128& a, const Hash128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Hash128& a, const Hash128& b) {
+    return !(a == b);
+  }
+};
+
+/// std::hash-style functor: the digest is already uniform, so folding
+/// the halves is as good as rehashing.
+struct Hash128Hasher {
+  std::size_t operator()(const Hash128& h) const {
+    return static_cast<std::size_t>(h.hi ^ (h.lo * kFnv64Prime));
+  }
+};
+
+/// Incremental 128-bit FNV-1a (offset basis and prime from the FNV
+/// reference parameters), implemented on unsigned __int128.
+class Fnv128 {
+ public:
+  Fnv128() {
+    state_ = (static_cast<u128>(0x6c62272e07bb0142ULL) << 64) |
+             0x62b821756295c58dULL;
+  }
+
+  Fnv128& bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    // prime = 2^88 + 2^8 + 0x3b
+    const u128 prime = (static_cast<u128>(1) << 88) | 0x13BU;
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= p[i];
+      state_ *= prime;
+    }
+    return *this;
+  }
+
+  Fnv128& u8(std::uint8_t v) { return bytes(&v, 1); }
+  Fnv128& u32(std::uint32_t v) {
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return bytes(b, sizeof b);
+  }
+  Fnv128& u64(std::uint64_t v) {
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return bytes(b, sizeof b);
+  }
+  /// Length-prefixed, so concatenated fields cannot alias each other.
+  Fnv128& str(std::string_view s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  Hash128 digest() const {
+    return {static_cast<std::uint64_t>(state_ >> 64),
+            static_cast<std::uint64_t>(state_)};
+  }
+
+ private:
+  using u128 = unsigned __int128;
+  u128 state_;
+};
+
+}  // namespace masc

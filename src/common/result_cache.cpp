@@ -1,0 +1,21 @@
+#include "common/result_cache.hpp"
+
+#include <sstream>
+
+namespace masc {
+
+std::string to_json(const CacheStats& s) {
+  std::ostringstream os;
+  os << "{\"hits\":" << s.hits;
+  os << ",\"misses\":" << s.misses;
+  os << ",\"insertions\":" << s.insertions;
+  os << ",\"evictions\":" << s.evictions;
+  os << ",\"entries\":" << s.entries;
+  os << ",\"bytes\":" << s.bytes;
+  os << ",\"capacity_bytes\":" << s.capacity_bytes;
+  os << ",\"shards\":" << s.shards;
+  os << "}";
+  return os.str();
+}
+
+}  // namespace masc

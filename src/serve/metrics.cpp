@@ -66,12 +66,18 @@ double ServeMetrics::mean_job_seconds(double dflt) const {
 
 std::string ServeMetrics::to_json(std::size_t queue_depth,
                                   std::size_t in_flight,
-                                  std::size_t queue_capacity) const {
+                                  std::size_t queue_capacity,
+                                  const CacheStats* cache) const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "{\"queue_depth\":" << queue_depth;
   os << ",\"queue_capacity\":" << queue_capacity;
   os << ",\"in_flight\":" << in_flight;
+  if (cache)
+    os << ",\"cache\":{\"enabled\":true,"
+       << masc::to_json(*cache).substr(1);  // splice the CacheStats fields in
+  else
+    os << ",\"cache\":{\"enabled\":false}";
   os << ",\"counters\":{";
   os << "\"submitted\":" << submitted_;
   os << ",\"rejected\":" << rejected_;

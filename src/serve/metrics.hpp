@@ -37,9 +37,12 @@ class ServeMetrics {
   double mean_job_seconds(double dflt) const;
 
   /// One JSON object. Queue depth and in-flight count are owned by the
-  /// server (they are live state, not counters) and passed in.
+  /// server (they are live state, not counters) and passed in, as is the
+  /// result-cache snapshot (null when the cache is disabled — the
+  /// "cache" field then reports {"enabled":false}).
   std::string to_json(std::size_t queue_depth, std::size_t in_flight,
-                      std::size_t queue_capacity) const;
+                      std::size_t queue_capacity,
+                      const CacheStats* cache = nullptr) const;
 
  private:
   mutable std::mutex mu_;

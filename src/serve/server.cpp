@@ -68,7 +68,15 @@ std::string ckpt_record(std::uint64_t id, const std::string& blob) {
 Server::Server(ServerOptions opts)
     : opts_(opts),
       runner_(opts.workers),
-      queue_(opts.queue_capacity) {}
+      queue_(opts.queue_capacity) {
+  if (opts_.cache_bytes > 0) {
+    cache_ = std::make_shared<SweepResultCache>(opts_.cache_bytes,
+                                                opts_.cache_shards);
+    // The runner consults the same cache on dispatch, so queued repeats
+    // and intra-batch duplicates are answered from memory too.
+    runner_.set_cache(cache_);
+  }
+}
 
 Server::~Server() { stop(); }
 
@@ -356,7 +364,25 @@ std::string Server::handle_submit(const json::Value& req) {
 
   if (stopping_.load()) return error_json("shutting_down", "server stopping");
 
-  std::vector<std::uint64_t> ids;
+  // Cache fast path: look every job up by content hash before
+  // admission. A hit is complete at submit time and never takes a queue
+  // slot, so repeat traffic is served even when the queue is saturated
+  // and the backlog never grows for work the server already did.
+  std::vector<std::shared_ptr<const CachedSweepRun>> hits(parsed.size());
+  std::vector<double> lookup_seconds(parsed.size(), 0.0);
+  if (cache_) {
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      const auto t0 = Clock::now();
+      hits[i] = cache_->lookup(sweep_cache_key(parsed[i]));
+      lookup_seconds[i] =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+  }
+
+  std::vector<std::uint64_t> ids;       // every job of this submit
+  std::vector<std::uint64_t> miss_ids;  // the subset that must queue
+  std::vector<SweepResult> hit_results;
+  std::vector<std::string> done_records;
   ids.reserve(parsed.size());
   {
     const std::lock_guard<std::mutex> lock(jobs_mu_);
@@ -369,17 +395,35 @@ std::string Server::handle_submit(const json::Value& req) {
       const auto it = jobs_by_key_.find(key);
       if (it != jobs_by_key_.end()) return submitted_json(it->second, true);
     }
-    for (auto& job : parsed) {
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
       const std::uint64_t id = next_id_.fetch_add(1);
       JobRecord rec;
       rec.id = id;
-      rec.job = std::move(job);
+      rec.job = std::move(parsed[i]);
+      if (hits[i]) {
+        // Completed on arrival. Journaled exactly like a dispatched
+        // completion, so replay serves it without re-running anything.
+        rec.state = JobState::kDone;
+        rec.result = materialize_cached(*hits[i], rec.job,
+                                        static_cast<std::size_t>(id),
+                                        lookup_seconds[i]);
+        rec.result_json = to_json(rec.result, rec.job.cfg);
+        hit_results.push_back(rec.result);
+        if (journaling)
+          done_records.push_back("{\"rec\":\"done\",\"id\":" +
+                                 std::to_string(id) +
+                                 ",\"result\":" + rec.result_json + "}");
+        else
+          rec.job.program = Program{};  // same footprint rule as dispatch
+      } else {
+        miss_ids.push_back(id);
+      }
       jobs_.emplace(id, std::move(rec));
       ids.push_back(id);
     }
     if (!key.empty()) jobs_by_key_[key] = ids;
   }
-  if (!queue_.try_push(ids)) {
+  if (!miss_ids.empty() && !queue_.try_push(miss_ids)) {
     {
       const std::lock_guard<std::mutex> lock(jobs_mu_);
       for (const std::uint64_t id : ids) jobs_.erase(id);
@@ -430,7 +474,14 @@ std::string Server::handle_submit(const json::Value& req) {
     }
     js << "]}";
     journal_.append(js.str(), /*sync=*/true);
+    // Cache hits completed at admission: journal their done records
+    // right behind the submit record, so replay serves them without
+    // re-running. No fsync — losing one merely re-runs a cached job.
+    for (const std::string& rec : done_records)
+      journal_.append(rec, /*sync=*/false);
   }
+  for (const SweepResult& r : hit_results) metrics_.on_done(r);
+  if (!hit_results.empty()) jobs_cv_.notify_all();
 
   return submitted_json(ids, false);
 }
@@ -678,7 +729,9 @@ std::string Server::stats_json() const {
     const std::lock_guard<std::mutex> lock(jobs_mu_);
     running = running_;
   }
-  return metrics_.to_json(depth, running, opts_.queue_capacity);
+  if (!cache_) return metrics_.to_json(depth, running, opts_.queue_capacity);
+  const CacheStats cs = cache_->stats();
+  return metrics_.to_json(depth, running, opts_.queue_capacity, &cs);
 }
 
 }  // namespace masc::serve

@@ -51,6 +51,16 @@ struct ServerOptions {
   /// submission; 0 = none.
   std::uint64_t default_deadline_ms = 0;
 
+  // --- Result cache (docs/PERF.md "Result cache") -----------------------------
+  /// Byte budget for the deterministic result cache; 0 disables it.
+  /// With a cache, a submit whose jobs were all seen before completes
+  /// at admission time — without taking queue slots, so repeat traffic
+  /// is served even when the queue is saturated — and the SweepRunner
+  /// answers queued repeats and dedups identical jobs within a batch.
+  std::size_t cache_bytes = 0;
+  /// Lock shards of the cache (contention vs. memory granularity).
+  unsigned cache_shards = 16;
+
   // --- Resilience (docs/RELIABILITY.md) ---------------------------------------
   /// Append-only job journal path; empty disables journaling. With a
   /// journal, start() replays it: completed jobs serve their recorded
@@ -154,6 +164,8 @@ class Server {
   SweepRunner runner_;
   BoundedQueue<std::uint64_t> queue_;
   ServeMetrics metrics_;
+  /// Shared with runner_; null when opts_.cache_bytes == 0.
+  std::shared_ptr<SweepResultCache> cache_;
 
   Journal journal_;                          ///< no-op unless journal_path set
 

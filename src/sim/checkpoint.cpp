@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/binio.hpp"
+#include "common/hash.hpp"
 #include "sim/machine.hpp"
 
 namespace masc {
@@ -23,16 +24,17 @@ namespace {
 constexpr const char kMagic[] = "MASC-CKPT";
 constexpr std::uint32_t kVersion = 1;
 
-/// FNV-1a over the loaded program text: cheap identity check so a blob
-/// cannot be restored into a machine running a different program.
+/// FNV-1a (common/hash.hpp) over the loaded program text: cheap identity
+/// check so a blob cannot be restored into a machine running a different
+/// program. 64 bits suffice here — a collision only mis-accepts a blob
+/// the caller explicitly paired with the wrong program; the result cache
+/// uses the 128-bit variant because its lookups are implicit.
 std::uint64_t text_fingerprint(const ArchState& state) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
+  std::uint64_t h = kFnv64OffsetBasis;
   for (std::size_t pc = 0; pc < state.text_size(); ++pc) {
-    std::uint32_t w = state.fetch(static_cast<Addr>(pc));
-    for (int i = 0; i < 4; ++i) {
-      h ^= (w >> (8 * i)) & 0xFF;
-      h *= 0x100000001b3ULL;
-    }
+    const std::uint32_t w = state.fetch(static_cast<Addr>(pc));
+    for (int i = 0; i < 4; ++i)
+      h = fnv1a64_byte(h, static_cast<std::uint8_t>((w >> (8 * i)) & 0xFF));
   }
   return h;
 }

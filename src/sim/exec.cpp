@@ -310,7 +310,9 @@ void exec_reduction(ArchState& st, ThreadId t, const Instruction& in) {
   if (in.op == Opcode::kRSel) {
     // Multiple-response resolver: parallel-prefix over the flag vector.
     const std::span<const std::uint8_t> flags{activity_row(st, t, in.rs), p};
-    const auto first = net::resolve_first(flags, act);
+    // Index form of the resolver: no one-hot scratch vector on this
+    // per-instruction path.
+    const std::size_t first = net::resolve_first_index(flags, act);
     const auto f = static_cast<RSelFunct>(in.funct);
     if (in.rd == 0) return;  // flag 0 is hardwired; writes are dropped
     expect(in.rd < cfg.num_flag_regs, "parallel flag out of range");
@@ -318,9 +320,9 @@ void exec_reduction(ArchState& st, ThreadId t, const Instruction& in) {
     for (PEIndex pe = 0; pe < p; ++pe) {
       if (!act[pe]) continue;
       if (f == RSelFunct::kFirst)
-        d[pe] = first[pe];
+        d[pe] = pe == first ? 1 : 0;
       else  // kClearFirst: source flags minus the first responder
-        d[pe] = (flags[pe] && !first[pe]) ? 1 : 0;
+        d[pe] = (flags[pe] && pe != first) ? 1 : 0;
     }
     return;
   }

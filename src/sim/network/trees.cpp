@@ -117,16 +117,25 @@ std::vector<std::uint8_t> exclusive_prefix_or(std::span<const std::uint8_t> flag
   return out;
 }
 
+std::size_t resolve_first_index(std::span<const std::uint8_t> flags,
+                                std::span<const std::uint8_t> active) {
+  expect(flags.size() == active.size(), "resolve_first: size mismatch");
+  // Equivalent to masking the flags, prefix-ORing, and picking the
+  // survivor — but the "first responder among active PEs" the prefix
+  // network computes is just the first set masked flag, so a single
+  // allocation-free scan suffices. The prefix-network formulation
+  // survives as exclusive_prefix_or() + the property test that pins the
+  // two against each other.
+  for (std::size_t i = 0; i < flags.size(); ++i)
+    if (flags[i] && active[i]) return i;
+  return flags.size();
+}
+
 std::vector<std::uint8_t> resolve_first(std::span<const std::uint8_t> flags,
                                         std::span<const std::uint8_t> active) {
-  expect(flags.size() == active.size(), "resolve_first: size mismatch");
-  std::vector<std::uint8_t> masked(flags.size());
-  for (std::size_t i = 0; i < flags.size(); ++i)
-    masked[i] = (flags[i] && active[i]) ? 1 : 0;
-  const auto before = exclusive_prefix_or(masked);
-  std::vector<std::uint8_t> out(flags.size());
-  for (std::size_t i = 0; i < flags.size(); ++i)
-    out[i] = (masked[i] && !before[i]) ? 1 : 0;
+  const std::size_t first = resolve_first_index(flags, active);
+  std::vector<std::uint8_t> out(flags.size(), 0);
+  if (first < out.size()) out[first] = 1;
   return out;
 }
 

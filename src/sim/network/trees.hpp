@@ -65,8 +65,15 @@ Word tree_reduce(ReduceOp op, std::span<const Word> values, unsigned width);
 Word flag_reduce(ReduceOp op, std::span<const std::uint8_t> flags,
                  std::span<const std::uint8_t> active);
 
-/// Multiple-response resolver (parallel-prefix network): one-hot vector
-/// selecting the first set flag among active PEs.
+/// Multiple-response resolver (parallel-prefix network): index of the
+/// first set flag among active PEs, or flags.size() when no PE responds.
+/// Allocation-free — this is the form the simulator's hot loop uses.
+std::size_t resolve_first_index(std::span<const std::uint8_t> flags,
+                                std::span<const std::uint8_t> active);
+
+/// One-hot vector form of the resolver (at most one element set, at
+/// resolve_first_index()). Allocates its result; kept for tests and
+/// callers that want the hardware's wire-level view.
 std::vector<std::uint8_t> resolve_first(std::span<const std::uint8_t> flags,
                                         std::span<const std::uint8_t> active);
 

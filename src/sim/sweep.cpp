@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 #include "common/json.hpp"
 #include "fault/fault.hpp"
@@ -82,7 +83,89 @@ SweepResult run_one(const SweepJob& job, std::size_t index) {
   return r;
 }
 
+/// True when a result is the complete, deterministic outcome of its
+/// cache key: the run went to its natural end (program completion or
+/// the cycle budget). Early stops (cancel/deadline) and errors depend
+/// on wall-clock timing or on injected faults, so they are neither
+/// cached nor fanned out to deduplicated twins.
+bool deterministic_outcome(const SweepResult& r) {
+  return (r.status == SweepStatus::kFinished ||
+          r.status == SweepStatus::kCycleLimit) &&
+         r.error.empty();
+}
+
 }  // namespace
+
+SweepResult materialize_cached(const CachedSweepRun& run, const SweepJob& job,
+                               std::size_t index, double host_seconds) {
+  SweepResult r;
+  r.index = index;
+  r.label = job.label;
+  r.seed = job.seed;
+  r.status = run.status;
+  r.finished = run.status == SweepStatus::kFinished;
+  r.stats = run.stats;
+  r.host_seconds = host_seconds;
+  return r;
+}
+
+Hash128 sweep_cache_key(const SweepJob& job) {
+  Fnv128 h;
+  const MachineConfig& c = job.cfg;
+  // Every MachineConfig field, fixed order. A config field added without
+  // extending this list would let two differing machines share a key —
+  // result_cache_test.cpp pins sizeof(MachineConfig) to catch that.
+  h.u32(c.num_pes);
+  h.u32(static_cast<std::uint32_t>(c.word_width));
+  h.u32(c.num_threads);
+  h.u8(c.multithreading ? 1 : 0);
+  h.u8(static_cast<std::uint8_t>(c.sched_policy));
+  h.u32(c.issue_width);
+  h.u32(c.switch_penalty);
+  h.u32(c.num_scalar_regs);
+  h.u32(c.num_parallel_regs);
+  h.u32(c.num_flag_regs);
+  h.u32(c.local_mem_bytes);
+  h.u32(c.scalar_mem_bytes);
+  h.u32(c.instr_mem_words);
+  h.u32(c.broadcast_arity);
+  h.u8(c.pipelined_network ? 1 : 0);
+  h.u8(c.pipelined_execution ? 1 : 0);
+  h.u8(static_cast<std::uint8_t>(c.multiplier));
+  h.u8(static_cast<std::uint8_t>(c.divider));
+  h.u8(static_cast<std::uint8_t>(c.maxmin_unit));
+  h.u8(static_cast<std::uint8_t>(c.regfile_impl));
+  h.u8(static_cast<std::uint8_t>(c.flagfile_impl));
+  // The program image as loaded: text, data, entry. Symbols are
+  // assembly-time bookkeeping the simulator never reads.
+  h.u64(job.program.text.size());
+  h.bytes(job.program.text.data(),
+          job.program.text.size() * sizeof(InstrWord));
+  h.u64(job.program.data.size());
+  h.bytes(job.program.data.data(), job.program.data.size() * sizeof(Word));
+  h.u64(job.program.entry);
+  h.u64(job.max_cycles);
+  // Resume blob: a job continued from a checkpoint is a different
+  // computation than the same job from cycle zero.
+  if (job.initial_state) {
+    h.u8(1);
+    h.str(*job.initial_state);
+  } else {
+    h.u8(0);
+  }
+  return h.digest();
+}
+
+std::size_t cached_run_bytes(const CachedSweepRun& run) {
+  // Struct + the Stats heap vectors + an allowance for the cache's own
+  // bookkeeping (LRU node, index node). Exactness doesn't matter; being
+  // proportional to the real footprint does.
+  constexpr std::size_t kNodeOverhead = 128;
+  return sizeof(CachedSweepRun) + kNodeOverhead +
+         run.stats.issued_by_thread.capacity() * sizeof(std::uint64_t) +
+         run.stats.thread_stalls.capacity() *
+             sizeof(decltype(run.stats.thread_stalls)::value_type);
+}
 
 const char* to_string(SweepStatus s) {
   switch (s) {
@@ -112,26 +195,105 @@ std::vector<SweepResult> SweepRunner::run(
   std::vector<SweepResult> results(jobs.size());
   if (jobs.empty()) return results;
 
-  // Work-stealing-free shared counter: each worker claims the next
-  // unclaimed job. Results land in their job's slot, so output order is
-  // submission order no matter which worker finishes when.
-  std::atomic<std::size_t> next{0};
   std::mutex done_mutex;
+  auto deliver = [&](const SweepResult& r) {
+    if (on_done) {
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      on_done(r);
+    }
+  };
+
+  // Cache pre-pass: answer repeat jobs from the cache and group
+  // identical grid points behind one leader. `leaders[k]` is the job
+  // index that will actually simulate, `dups[k]` the indices that adopt
+  // its result, `keys[k]` the content hash for the post-run insert.
+  // Without a cache every job is its own leader and this collapses to
+  // the original shared-counter loop.
+  SweepResultCache* const cache = cache_.get();
+  std::vector<std::size_t> leaders;
+  std::vector<Hash128> keys;
+  std::vector<std::vector<std::size_t>> dups;
+  if (cache) {
+    std::unordered_map<Hash128, std::size_t, Hash128Hasher> slot_of;
+    slot_of.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const Hash128 key = sweep_cache_key(jobs[i]);
+      if (const auto it = slot_of.find(key); it != slot_of.end()) {
+        // Intra-sweep duplicate: neither a hit nor a miss — it rides on
+        // the leader's run.
+        dups[it->second].push_back(i);
+        continue;
+      }
+      if (const auto hit = cache->lookup(key)) {
+        results[i] = materialize_cached(
+            *hit, jobs[i], i,
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count());
+        deliver(results[i]);
+        continue;
+      }
+      slot_of.emplace(key, leaders.size());
+      leaders.push_back(i);
+      keys.push_back(key);
+      dups.emplace_back();
+    }
+  } else {
+    leaders.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) leaders[i] = i;
+    dups.resize(jobs.size());
+  }
+  if (leaders.empty()) return results;
+
+  // Only a run that completed with no fault injector installed may be
+  // inserted: an injector can kill chunks mid-run, and a poisoned entry
+  // would replay the fault forever.
+  auto maybe_insert = [&](const Hash128& key, const SweepResult& r) {
+    if (!cache || !deterministic_outcome(r) || fault::active() != nullptr)
+      return;
+    auto entry = std::make_shared<CachedSweepRun>();
+    entry->status = r.status;
+    entry->stats = r.stats;
+    const std::size_t bytes = cached_run_bytes(*entry);
+    cache->insert(key, std::move(entry), bytes);
+  };
+
+  // Work-stealing-free shared counter: each worker claims the next
+  // unclaimed leader. Results land in their job's slot, so output order
+  // is submission order no matter which worker finishes when.
+  std::atomic<std::size_t> next{0};
 
   auto worker_loop = [&] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= leaders.size()) return;
+      const std::size_t i = leaders[k];
       results[i] = run_one(jobs[i], i);
-      if (on_done) {
-        const std::lock_guard<std::mutex> lock(done_mutex);
-        on_done(results[i]);
+      if (cache) maybe_insert(keys[k], results[i]);
+      deliver(results[i]);
+      const bool adoptable = deterministic_outcome(results[i]);
+      for (const std::size_t j : dups[k]) {
+        if (adoptable) {
+          // Fan the leader's (deterministic, complete) result out to its
+          // twin. The copy costs nothing on the host, hence 0.0.
+          results[j] = materialize_cached(
+              CachedSweepRun{results[i].status, results[i].stats}, jobs[j], j,
+              0.0);
+        } else {
+          // The leader was stopped by *its own* cancel token, deadline,
+          // or an injected fault — none of which this twin shares. Run
+          // it for real, under its own tokens.
+          results[j] = run_one(jobs[j], j);
+          if (cache) maybe_insert(keys[k], results[j]);
+        }
+        deliver(results[j]);
       }
     }
   };
 
   const unsigned n =
-      static_cast<unsigned>(std::min<std::size_t>(workers_, jobs.size()));
+      static_cast<unsigned>(std::min<std::size_t>(workers_, leaders.size()));
   if (n <= 1) {
     worker_loop();
     return results;

@@ -29,6 +29,7 @@
 
 #include "assembler/program.hpp"
 #include "common/config.hpp"
+#include "common/result_cache.hpp"
 #include "sim/stats.hpp"
 
 namespace masc {
@@ -108,6 +109,42 @@ struct SweepResult {
 /// invisible in throughput.
 inline constexpr Cycle kSweepChunkCycles = 65'536;
 
+// --- Result cache (docs/PERF.md "Result cache") ------------------------------
+
+/// The cached outcome of one completed simulation: everything about a
+/// SweepResult that is a pure function of the cache key. Per-job
+/// metadata (index, label, seed, host_seconds) is re-attached on a hit.
+/// Only deterministic, fully-completed outcomes are cached — kFinished
+/// and kCycleLimit; never cancelled/deadline/error stops, and never any
+/// run executed while a fault injector was installed.
+struct CachedSweepRun {
+  SweepStatus status = SweepStatus::kFinished;
+  Stats stats;
+};
+
+using SweepResultCache = ResultCache<CachedSweepRun>;
+
+/// Content hash over every input that determines a job's outcome:
+/// program text/data/entry, the full canonical MachineConfig, the cycle
+/// budget, and the resume-state blob (when present). Deliberately
+/// EXCLUDED: label and seed (metadata echoed into the result, invisible
+/// to the simulator), program symbols (assembly-time bookkeeping), and
+/// cancellation/deadline/checkpoint plumbing (they select *whether* a
+/// run stops early, and early stops are never cached).
+Hash128 sweep_cache_key(const SweepJob& job);
+
+/// Approximate heap + struct footprint of one cached run, used as its
+/// LRU byte charge.
+std::size_t cached_run_bytes(const CachedSweepRun& run);
+
+/// Rebuild a full SweepResult from a cached run plus the job's own
+/// metadata (index, label, seed). `host_seconds` is what the lookup
+/// cost, not what the original simulation cost — the point of the
+/// cache. Used by SweepRunner on hits and by masc-served's submit-time
+/// fast path.
+SweepResult materialize_cached(const CachedSweepRun& run, const SweepJob& job,
+                               std::size_t index, double host_seconds);
+
 class SweepRunner {
  public:
   /// `workers` = 0 selects std::thread::hardware_concurrency().
@@ -115,11 +152,30 @@ class SweepRunner {
 
   unsigned workers() const { return workers_; }
 
+  /// Attach (or, with nullptr, detach) a shared result cache. With a
+  /// cache attached, run() answers repeat jobs from memory and dedups
+  /// identical grid points within one sweep (see run() docs); without
+  /// one, behavior is exactly the uncached fast path.
+  void set_cache(std::shared_ptr<SweepResultCache> cache) {
+    cache_ = std::move(cache);
+  }
+  const std::shared_ptr<SweepResultCache>& cache() const { return cache_; }
+
   /// Run every job to completion and return results ordered by job
   /// index. Blocking; jobs are pulled by workers from a shared queue, so
   /// wall time is roughly sum(job times) / min(workers, |jobs|) on an
   /// unloaded machine. A job that throws is reported via
   /// SweepResult::error rather than aborting the sweep.
+  ///
+  /// With a cache attached (set_cache), each job is first looked up by
+  /// content hash — a hit returns the cached stats without simulating —
+  /// and identical grid points within one call are *deduplicated*: one
+  /// leader simulates, the others adopt its result. Both paths preserve
+  /// the ordering guarantee (results[i] is jobs[i]'s result, stats
+  /// bit-identical to an uncached run) because a cached or adopted
+  /// outcome is by construction the deterministic outcome. A leader
+  /// stopped early (cancel/deadline/error) is NOT fanned out — each
+  /// duplicate then runs individually under its own tokens.
   std::vector<SweepResult> run(const std::vector<SweepJob>& jobs) const;
 
   /// As above, with a progress callback invoked once per finished job
@@ -131,6 +187,7 @@ class SweepRunner {
 
  private:
   unsigned workers_;
+  std::shared_ptr<SweepResultCache> cache_;
 };
 
 /// JSON object for one sweep result (config name + label + stats), used

@@ -20,6 +20,11 @@
 //       --key S                    idempotency key: resubmitting the same
 //                                  key returns the original job ids
 //       --wait                     block and print each result JSON line
+//       --repeat N                 send the whole submit N times and print
+//                                  per-request latency min/median/max (pairs
+//                                  with the server's --cache-bytes: repeats
+//                                  after the first hit the result cache).
+//                                  Response JSON is printed only when N=1.
 //     status ID                    job state
 //     result ID [--wait] [--timeout-ms N] [--release]
 //     cancel ID
@@ -29,6 +34,8 @@
 //
 // Exit codes: 0 ok, 1 transport/file error, 2 usage, 3 server said no
 // (queue_full, not_found, ...).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,7 +61,7 @@ int usage() {
       "  ping | stats | shutdown\n"
       "  submit FILE [--pes N] [--threads N] [--width N] [--arity N]\n"
       "         [--seeds N] [--label S] [--max-cycles N] [--deadline-ms N]\n"
-      "         [--key S] [--wait]\n"
+      "         [--key S] [--wait] [--repeat N]\n"
       "  status ID\n"
       "  result ID [--wait] [--timeout-ms N] [--release]\n"
       "  cancel ID\n"
@@ -181,6 +188,7 @@ int main(int argc, char** argv) {
       if (args.size() < 2) return usage();
       const std::string file = args[1];
       std::uint32_t pes = 16, threads = 16, width = 16, arity = 2, seeds = 1;
+      std::uint32_t repeat = 1;
       std::uint64_t max_cycles = 0, deadline_ms = 0;
       std::string label, key;
       bool wait = false;
@@ -198,10 +206,17 @@ int main(int argc, char** argv) {
         else if (args[i] == "--key") key = val();
         else if (args[i] == "--max-cycles") max_cycles = std::strtoull(val(), nullptr, 0);
         else if (args[i] == "--deadline-ms") deadline_ms = std::strtoull(val(), nullptr, 0);
+        else if (args[i] == "--repeat") repeat = static_cast<std::uint32_t>(std::strtoul(val(), nullptr, 0));
         else if (args[i] == "--wait") wait = true;
         else return usage();
       }
-      if (seeds == 0) return usage();
+      if (seeds == 0 || repeat == 0) return usage();
+      // A keyed resubmit returns the ORIGINAL ids instead of running
+      // anything, which would make the latency numbers meaningless.
+      if (repeat > 1 && !key.empty()) {
+        std::fprintf(stderr, "masc-client: --repeat and --key conflict\n");
+        return 2;
+      }
 
       const std::string prog = program_json(file);
       std::ostringstream os;
@@ -223,17 +238,35 @@ int main(int argc, char** argv) {
 
       // NOTE: an un-keyed submit resent after a transport failure can
       // duplicate jobs; pass --key to make retries idempotent.
-      const json::Value resp = do_request(os.str());
-      if (!print_response(resp, json::serialize(resp))) return 3;
-      if (!wait) return 0;
-
+      const bool quiet = repeat > 1;
+      std::vector<double> latency_ms;
+      latency_ms.reserve(repeat);
       bool all_ok = true;
-      for (const auto& id : resp.find("ids")->as_array()) {
-        const json::Value rresp = do_request(
-            "{\"op\":\"result\",\"id\":" + std::to_string(id.as_uint()) +
-            ",\"wait\":true,\"timeout_ms\":600000}");
-        std::printf("%s\n", json::serialize(rresp).c_str());
-        if (!rresp.get_bool("ok", false)) all_ok = false;
+      for (std::uint32_t rep = 0; rep < repeat; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const json::Value resp = do_request(os.str());
+        bool ok = quiet ? resp.get_bool("ok", false)
+                        : print_response(resp, json::serialize(resp));
+        if (ok && wait) {
+          for (const auto& id : resp.find("ids")->as_array()) {
+            const json::Value rresp = do_request(
+                "{\"op\":\"result\",\"id\":" + std::to_string(id.as_uint()) +
+                ",\"wait\":true,\"timeout_ms\":600000}");
+            if (!quiet) std::printf("%s\n", json::serialize(rresp).c_str());
+            if (!rresp.get_bool("ok", false)) ok = false;
+          }
+        }
+        latency_ms.push_back(std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+        if (!ok) all_ok = false;
+      }
+      if (repeat > 1) {
+        std::sort(latency_ms.begin(), latency_ms.end());
+        std::printf(
+            "repeat: n=%u min=%.3fms median=%.3fms max=%.3fms\n", repeat,
+            latency_ms.front(), latency_ms[latency_ms.size() / 2],
+            latency_ms.back());
       }
       return all_ok ? 0 : 3;
     }

@@ -7,6 +7,10 @@
 //     --batch N           max jobs coalesced per dispatch        (default 64)
 //     --max-cycles N      server-side cap on any job's cycle limit
 //     --deadline-ms N     default wall-clock deadline per job; 0 = none
+//     --cache-bytes N     result-cache byte budget; 0 = disabled (default 0).
+//                         Repeat jobs are answered from memory at submit
+//                         time, without taking queue slots.
+//     --cache-shards N    result-cache lock shards            (default 16)
 //     --journal PATH      crash-safe job journal; replayed on start
 //     --ckpt-chunks N     journal running-job checkpoints every N sweep
 //                         chunks (N x 65536 cycles); 0 = only on drain
@@ -42,8 +46,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: masc-served [--port N] [--workers N] [--queue N] "
                "[--batch N]\n  [--max-cycles N] [--deadline-ms N] "
-               "[--journal PATH] [--ckpt-chunks N]\n  [--io-timeout-ms N] "
-               "[--idle-timeout-ms N] [--fault SPEC]\n");
+               "[--cache-bytes N] [--cache-shards N]\n  [--journal PATH] "
+               "[--ckpt-chunks N] [--io-timeout-ms N] [--idle-timeout-ms N]\n"
+               "  [--fault SPEC]\n");
   return 2;
 }
 
@@ -72,6 +77,10 @@ int main(int argc, char** argv) {
       opts.max_cycles_cap = std::strtoull(next(), nullptr, 0);
     else if (arg == "--deadline-ms")
       opts.default_deadline_ms = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--cache-bytes")
+      opts.cache_bytes = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--cache-shards")
+      opts.cache_shards = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--journal")
       opts.journal_path = next();
     else if (arg == "--ckpt-chunks")

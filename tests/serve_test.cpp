@@ -889,5 +889,133 @@ TEST(ServeServer, ExtendResumesAnInterruptedJobFromItsCheckpoint) {
   std::remove(journal_path.c_str());
 }
 
+// --- result cache over the wire ---------------------------------------
+
+/// The serialized "stats" object embedded in a result response — the
+/// bit-identity probe for cache hits.
+std::string result_stats_of(Client& c, std::uint64_t id) {
+  const json::Value resp = parse_json(c.request_raw(result_request(id, true)));
+  EXPECT_TRUE(resp.get_bool("ok", false));
+  const json::Value* result = resp.find("result");
+  if (!result) return "";
+  const json::Value* stats = result->find("stats");
+  return stats ? json::serialize(*stats) : "";
+}
+
+TEST(ServeCache, RepeatSubmitServedFromCacheEvenWhenQueueIsFull) {
+  ServerOptions opts = test_options();
+  opts.workers = 1;
+  opts.batch_max = 1;
+  opts.queue_capacity = 1;
+  opts.cache_bytes = 16u << 20;
+  Server server(opts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  // Cold run: simulated by the dispatcher, inserted on completion.
+  JobSpec quick;
+  quick.source = reduction_kernel(8);
+  quick.label = "cold";
+  const auto cold_id = submit_ok(c, {job_json(quick)})[0];
+  const std::string cold_stats = result_stats_of(c, cold_id);
+  ASSERT_FALSE(cold_stats.empty());
+
+  // Saturate: a spinner occupies the worker, another fills the 1-slot
+  // queue. (Spinners never finish, so they are never cached.)
+  JobSpec spin;
+  spin.source = kSpinForever;
+  spin.label = "blocker";
+  const auto blocker_id = submit_ok(c, {job_json(spin)})[0];
+  await_state(c, blocker_id, "running");
+  spin.label = "filler";
+  const auto filler_id = submit_ok(c, {job_json(spin)})[0];
+
+  // A fresh (uncached) job has nowhere to go...
+  JobSpec fresh;
+  fresh.source = mixed_kernel(4);
+  fresh.label = "fresh";
+  const json::Value rejected = c.request(submit_request({job_json(fresh)}));
+  EXPECT_EQ(rejected.get_string("error", ""), "queue_full");
+
+  // ...but the repeat of the cold job is served at admission, without a
+  // queue slot, done before we even ask — and bit-identical.
+  quick.label = "repeat";
+  quick.seed = 7;  // metadata must not split the key
+  const auto hit_id = submit_ok(c, {job_json(quick)})[0];
+  const json::Value status = c.request(
+      "{\"op\":\"status\",\"id\":" + std::to_string(hit_id) + "}");
+  EXPECT_EQ(status.get_string("state", ""), "done");
+  EXPECT_EQ(result_stats_of(c, hit_id), cold_stats);
+
+  const json::Value stats = parse_json(server.stats_json());
+  const json::Value* cache = stats.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_TRUE(cache->get_bool("enabled", false));
+  EXPECT_GE(cache->get_uint("hits", 0), 1u);
+  EXPECT_GE(cache->get_uint("insertions", 0), 1u);
+  EXPECT_EQ(stats.find("counters")->get_uint("submitted", 0), 4u);
+
+  for (const auto id : {blocker_id, filler_id})
+    c.request("{\"op\":\"cancel\",\"id\":" + std::to_string(id) + "}");
+  server.stop();
+}
+
+TEST(ServeCache, StatsReportCacheDisabledByDefault) {
+  Server server(test_options());  // cache_bytes = 0
+  server.start();
+  const json::Value stats = parse_json(server.stats_json());
+  const json::Value* cache = stats.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_FALSE(cache->get_bool("enabled", true));
+  EXPECT_EQ(cache->find("hits"), nullptr);
+  server.stop();
+}
+
+TEST(ServeCache, CacheHitIsJournaledAsCompletedJob) {
+  const std::string journal_path = testing::TempDir() + "masc_cachehit_" +
+                                   std::to_string(::getpid()) + ".journal";
+  std::remove(journal_path.c_str());
+  ServerOptions opts = test_options();
+  opts.cache_bytes = 16u << 20;
+  opts.journal_path = journal_path;
+
+  std::uint64_t hit_id = 0;
+  std::string hit_stats;
+  {
+    Server server(opts);
+    server.start();
+    Client c;
+    c.connect("127.0.0.1", server.port());
+    JobSpec quick;
+    quick.source = reduction_kernel(8);
+    quick.label = "original";
+    const auto cold_id = submit_ok(c, {job_json(quick)})[0];
+    const std::string cold_stats = result_stats_of(c, cold_id);
+    quick.label = "replayed-hit";
+    hit_id = submit_ok(c, {job_json(quick)})[0];
+    hit_stats = result_stats_of(c, hit_id);
+    EXPECT_EQ(hit_stats, cold_stats);
+    server.stop();
+  }
+
+  // Restart on the journal with a COLD cache: the hit job must replay as
+  // completed — served from its journaled done record, not re-run and
+  // not re-queued.
+  {
+    Server server(opts);
+    server.start();
+    Client c;
+    c.connect("127.0.0.1", server.port());
+    const json::Value status = c.request(
+        "{\"op\":\"status\",\"id\":" + std::to_string(hit_id) + "}");
+    ASSERT_TRUE(status.get_bool("ok", false)) << json::serialize(status);
+    EXPECT_EQ(status.get_string("state", ""), "done");
+    EXPECT_EQ(result_stats_of(c, hit_id), hit_stats);
+    server.stop();
+  }
+  std::remove(journal_path.c_str());
+}
+
 }  // namespace
 }  // namespace masc
