@@ -1,0 +1,73 @@
+#include "cluster/breaker.hpp"
+
+namespace masc::cluster {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::allow(TimePoint now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_ <
+          std::chrono::milliseconds(policy_.open_cooldown_ms))
+        return false;
+      state_ = BreakerState::kHalfOpen;
+      ++counts_.half_opened;
+      probe_in_flight_ = true;
+      return true;  // this caller is the probe
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::on_success() {
+  probe_in_flight_ = false;
+  consecutive_failures_ = 0;
+  if (state_ != BreakerState::kClosed) {
+    state_ = BreakerState::kClosed;
+    ++counts_.closed;
+  }
+}
+
+void CircuitBreaker::on_failure(TimePoint now) {
+  probe_in_flight_ = false;
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= policy_.failure_threshold) open(now);
+      break;
+    case BreakerState::kHalfOpen:
+      open(now);  // probe failed: full cooldown again
+      break;
+    case BreakerState::kOpen:
+      break;  // e.g. trip() raced a late failure report
+  }
+}
+
+void CircuitBreaker::trip(TimePoint now) {
+  if (state_ == BreakerState::kOpen) {
+    opened_at_ = now;  // restart the cooldown; the evidence is fresh
+    return;
+  }
+  open(now);
+}
+
+void CircuitBreaker::open(TimePoint now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  ++counts_.opened;
+}
+
+}  // namespace masc::cluster

@@ -1,0 +1,77 @@
+// Per-backend circuit breaker: closed → open → half-open → closed.
+//
+// The router must not spend a connect timeout per request on a backend
+// that is known dead. The breaker remembers: `failure_threshold`
+// consecutive failures open it (requests are refused locally); after
+// `open_cooldown_ms` it admits exactly ONE probe (half-open); that
+// probe's outcome either closes the breaker or re-opens it for another
+// cooldown. Time is passed in explicitly so unit tests drive the state
+// machine without sleeping; the router passes steady_clock::now().
+//
+// Not thread-safe by itself — cluster/health.hpp wraps a fleet of these
+// behind one mutex.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace masc::cluster {
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState s);
+
+struct BreakerPolicy {
+  /// Consecutive failures that flip closed → open.
+  unsigned failure_threshold = 3;
+  /// Open dwell time before one half-open probe is admitted.
+  std::uint64_t open_cooldown_ms = 500;
+};
+
+/// Lifetime transition tallies (for /stats and assertions). "opened"
+/// counts both closed→open and the half-open probe failing back open.
+struct BreakerCounts {
+  std::uint64_t opened = 0;
+  std::uint64_t half_opened = 0;
+  std::uint64_t closed = 0;  ///< recoveries (open/half-open → closed)
+};
+
+class CircuitBreaker {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit CircuitBreaker(BreakerPolicy policy = {}) : policy_(policy) {}
+
+  BreakerState state() const { return state_; }
+  const BreakerCounts& counts() const { return counts_; }
+  unsigned consecutive_failures() const { return consecutive_failures_; }
+
+  /// May this request proceed? Closed: always. Open: no, until the
+  /// cooldown elapses — then the breaker moves to half-open and admits
+  /// this caller as the single probe. Half-open: only when no probe is
+  /// already in flight. A caller granted permission MUST report back
+  /// via on_success()/on_failure().
+  bool allow(TimePoint now);
+
+  /// Report a permitted request's outcome. on_failure() in the closed
+  /// state counts toward the threshold; in half-open it re-opens
+  /// immediately (the backend is still sick, restart the cooldown).
+  void on_success();
+  void on_failure(TimePoint now);
+
+  /// Force-open (e.g. the health prober saw the process die); resets
+  /// the cooldown from `now`. No-op when already open.
+  void trip(TimePoint now);
+
+ private:
+  void open(TimePoint now);
+
+  BreakerPolicy policy_;
+  BreakerState state_ = BreakerState::kClosed;
+  unsigned consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  TimePoint opened_at_{};
+  BreakerCounts counts_;
+};
+
+}  // namespace masc::cluster

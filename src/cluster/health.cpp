@@ -1,0 +1,128 @@
+#include "cluster/health.hpp"
+
+namespace masc::cluster {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+HealthMonitor::HealthMonitor(std::size_t backends, BreakerPolicy policy)
+    : breakers_(backends, CircuitBreaker(policy)) {}
+
+HealthMonitor::~HealthMonitor() { stop(); }
+
+void HealthMonitor::start(std::uint64_t interval_ms) {
+  if (started_) return;
+  started_ = true;
+  probe_thread_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    while (!stopping_) {
+      // Wait first: the constructor-time state is fresh, and tests that
+      // never reach the first tick see a deterministic no-probe world.
+      if (stop_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                            [this] { return stopping_; }))
+        return;
+      lock.unlock();
+      probe_once();
+      lock.lock();
+    }
+  });
+}
+
+void HealthMonitor::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+}
+
+template <typename Fn>
+auto HealthMonitor::with_breaker(std::size_t i, Fn fn) {
+  BreakerState before, after;
+  std::unique_lock<std::mutex> lock(mu_);
+  before = breakers_[i].state();
+  auto result = fn(breakers_[i]);
+  after = breakers_[i].state();
+  lock.unlock();
+  if (after != before && on_transition_) on_transition_(i, before, after);
+  return result;
+}
+
+void HealthMonitor::probe_once() {
+  if (!probe_) return;
+  for (std::size_t i = 0; i < breakers_.size(); ++i) {
+    // The breaker decides whether this round may touch backend i (it
+    // also meters the half-open probe); the network round-trip happens
+    // with the lock released.
+    if (!allow(i)) continue;
+    const bool healthy = probe_(i);
+    if (healthy)
+      on_success(i);
+    else
+      on_failure(i);
+  }
+}
+
+bool HealthMonitor::allow(std::size_t i) {
+  return with_breaker(
+      i, [](CircuitBreaker& b) { return b.allow(Clock::now()); });
+}
+
+void HealthMonitor::on_success(std::size_t i) {
+  with_breaker(i, [](CircuitBreaker& b) {
+    b.on_success();
+    return 0;
+  });
+}
+
+void HealthMonitor::on_failure(std::size_t i) {
+  with_breaker(i, [](CircuitBreaker& b) {
+    b.on_failure(Clock::now());
+    return 0;
+  });
+}
+
+void HealthMonitor::trip(std::size_t i) {
+  with_breaker(i, [](CircuitBreaker& b) {
+    b.trip(Clock::now());
+    return 0;
+  });
+}
+
+BreakerState HealthMonitor::state(std::size_t i) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return breakers_[i].state();
+}
+
+bool HealthMonitor::alive(std::size_t i) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return breakers_[i].state() != BreakerState::kOpen;
+}
+
+std::size_t HealthMonitor::alive_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& b : breakers_)
+    if (b.state() != BreakerState::kOpen) ++n;
+  return n;
+}
+
+BreakerCounts HealthMonitor::counts(std::size_t i) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return breakers_[i].counts();
+}
+
+BreakerCounts HealthMonitor::totals() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  BreakerCounts out;
+  for (const auto& b : breakers_) {
+    out.opened += b.counts().opened;
+    out.half_opened += b.counts().half_opened;
+    out.closed += b.counts().closed;
+  }
+  return out;
+}
+
+}  // namespace masc::cluster

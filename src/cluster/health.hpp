@@ -1,0 +1,95 @@
+// Fleet health: one CircuitBreaker per backend behind a single lock,
+// plus an optional background probe loop.
+//
+// Two signal sources feed the breakers: the router's own request path
+// (a forward that fails is a failure observation — no extra traffic
+// needed) and the probe loop, which pings every backend each interval
+// so a dead backend is noticed even when no client traffic points at
+// it, and a recovered one is re-admitted without waiting for a request
+// to gamble on it. The probe function is injected, so unit tests drive
+// the whole state machine with a scripted prober and no sockets.
+//
+// State transitions are reported through an injected callback (invoked
+// OUTSIDE the monitor's lock); the router uses it to count transitions
+// and to trigger failover the moment a breaker opens.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/breaker.hpp"
+
+namespace masc::cluster {
+
+class HealthMonitor {
+ public:
+  /// Probe one backend (a ping round-trip); true = healthy. Called from
+  /// the probe thread without the monitor lock held.
+  using ProbeFn = std::function<bool(std::size_t)>;
+  /// Observes (backend, from, to) after any state change.
+  using TransitionFn =
+      std::function<void(std::size_t, BreakerState, BreakerState)>;
+
+  HealthMonitor(std::size_t backends, BreakerPolicy policy);
+  ~HealthMonitor();  ///< calls stop()
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  void set_probe(ProbeFn probe) { probe_ = std::move(probe); }
+  void set_on_transition(TransitionFn fn) { on_transition_ = std::move(fn); }
+
+  /// Spawn the probe thread (needs set_probe first). Idempotent stop().
+  void start(std::uint64_t interval_ms);
+  void stop();
+
+  /// One synchronous probe round over all backends: open breakers past
+  /// their cooldown get their half-open probe, closed ones a health
+  /// check. The probe thread calls this each interval; tests call it
+  /// directly for a deterministic schedule.
+  void probe_once();
+
+  // --- request-path gates (thread-safe) ---------------------------------------
+  /// Breaker gate for one live request to backend `i`. A true return
+  /// obligates the caller to report on_success()/on_failure().
+  bool allow(std::size_t i);
+  void on_success(std::size_t i);
+  void on_failure(std::size_t i);
+  /// Force-open (the caller observed the process die).
+  void trip(std::size_t i);
+
+  std::size_t size() const { return breakers_.size(); }
+  BreakerState state(std::size_t i) const;
+  /// Routable = not open. (Half-open backends stay in the ring so their
+  /// probe traffic can close them, but submit routing prefers closed
+  /// ones — the router handles that distinction.)
+  bool alive(std::size_t i) const;
+  std::size_t alive_count() const;
+  BreakerCounts counts(std::size_t i) const;
+  /// Sum of per-backend transition counts.
+  BreakerCounts totals() const;
+
+ private:
+  /// Run `fn(breaker)` under the lock, then report a state change (if
+  /// any) outside it.
+  template <typename Fn>
+  auto with_breaker(std::size_t i, Fn fn);
+
+  mutable std::mutex mu_;
+  std::vector<CircuitBreaker> breakers_;
+  ProbeFn probe_;
+  TransitionFn on_transition_;
+
+  std::thread probe_thread_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace masc::cluster

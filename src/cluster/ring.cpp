@@ -1,0 +1,37 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace masc::cluster {
+
+RendezvousRing::RendezvousRing(std::vector<std::string> nodes)
+    : nodes_(std::move(nodes)) {}
+
+std::uint64_t RendezvousRing::score(std::size_t i, const Hash128& key) const {
+  // Length-prefixed node name, then the key halves: the digest is a
+  // pure function of (node, key) with no aliasing between the fields.
+  const Hash128 h =
+      Fnv128().str(nodes_[i]).u64(key.hi).u64(key.lo).digest();
+  return h.hi ^ h.lo;
+}
+
+std::vector<std::size_t> RendezvousRing::ranked(const Hash128& key) const {
+  std::vector<std::pair<std::uint64_t, std::size_t>> scored;
+  scored.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    scored.emplace_back(score(i, key), i);
+  // Descending score; index breaks the (astronomically unlikely) tie
+  // deterministically.
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  std::vector<std::size_t> out;
+  out.reserve(scored.size());
+  for (const auto& [s, i] : scored) out.push_back(i);
+  return out;
+}
+
+}  // namespace masc::cluster

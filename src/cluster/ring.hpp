@@ -1,0 +1,62 @@
+// Rendezvous (highest-random-weight) hashing over a fixed backend set.
+//
+// The router's affinity goal: identical jobs must land on the backend
+// whose ResultCache already holds their result, and the mapping must
+// stay maximally stable when backends die — HRW guarantees that losing
+// one node only moves the keys that node owned, with no token/vnode
+// bookkeeping. Scores are Fnv128 digests (common/hash.hpp) over
+// (node name, key), so ownership is a pure function of the membership
+// list and the key — every router replica computes the same answer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace masc::cluster {
+
+class RendezvousRing {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Node names should be unique (the router uses "host:port"); a
+  /// duplicated name would score identically and shadow its twin.
+  explicit RendezvousRing(std::vector<std::string> nodes);
+
+  std::size_t size() const { return nodes_.size(); }
+  const std::string& node(std::size_t i) const { return nodes_[i]; }
+
+  /// The score of node `i` for `key` — deterministic, uniform per
+  /// (node, key) pair. Exposed for tests; callers want owner()/ranked().
+  std::uint64_t score(std::size_t i, const Hash128& key) const;
+
+  /// All node indices ranked by descending score for `key`. The first
+  /// element is the owner; the rest are the failover order, so a key's
+  /// placement degrades one rank per dead backend and nothing else
+  /// moves.
+  std::vector<std::size_t> ranked(const Hash128& key) const;
+
+  /// Highest-scoring node for which `alive(i)` is true, or npos when
+  /// every node is excluded.
+  template <typename AlivePred>
+  std::size_t owner(const Hash128& key, AlivePred alive) const {
+    std::size_t best = npos;
+    std::uint64_t best_score = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!alive(i)) continue;
+      const std::uint64_t s = score(i, key);
+      if (best == npos || s > best_score) {
+        best = i;
+        best_score = s;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::vector<std::string> nodes_;
+};
+
+}  // namespace masc::cluster

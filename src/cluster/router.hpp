@@ -1,0 +1,229 @@
+// masc-routerd core: a cluster router fronting N masc-served backends.
+//
+// The router speaks the masc-served wire protocol on both faces: to
+// clients it *is* a masc-served (same ops, same framing, so masc-client
+// points at it unchanged); to backends it is a pooled client. Three
+// responsibilities (docs/CLUSTER.md):
+//
+//  1. Cache-affinity routing. A submit's jobs are decoded and hashed
+//     with the same canonical content hash the result cache uses
+//     (sweep_cache_key), and the combined key picks the owning backend
+//     on a rendezvous ring — identical work always lands where its
+//     cached result already lives. Fleets without caches can route by
+//     least-outstanding instead.
+//  2. Health-checked failover. Per-backend circuit breakers (fed by
+//     both live traffic and a background ping prober) stop the router
+//     from burning timeouts on a dead backend; the moment a breaker
+//     opens, every unfinished job mapped to that backend is resubmitted
+//     to a survivor under the same idempotency key, so replays are
+//     exactly-once from the client's view and results stay bit-identical
+//     (every simulation is a pure function of its inputs).
+//  3. Fleet-wide observability. {"op":"stats"} aggregates every
+//     backend's stats plus router counters (routed, rerouted, breaker
+//     transitions, ring moves); {"op":"metrics_text"} is the Prometheus
+//     rendering. Backpressure is propagated honestly: a submit is
+//     diverted around a saturated owner, and only when the whole fleet
+//     is full does the client see queue_full with the earliest
+//     retry_after_ms hint any backend offered.
+//
+// The invariant the whole layer preserves: every result returned
+// through the router is bit-identical to a serial run of the same job,
+// no matter which backend ran it, how many died, or how often the job
+// was rerouted.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/health.hpp"
+#include "cluster/ring.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+
+namespace masc::cluster {
+
+struct BackendSpec {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string name() const { return host + ":" + std::to_string(port); }
+  /// Parse "host:port" (host defaults to 127.0.0.1 for a bare port).
+  static BackendSpec parse(const std::string& s);
+};
+
+struct RouterOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (Router::port()).
+  std::uint16_t port = 0;
+  std::vector<BackendSpec> backends;
+  /// true: rendezvous-hash submits by content (cache affinity);
+  /// false: send each submit to the alive backend with the fewest
+  /// router-tracked outstanding jobs (for cache-disabled fleets).
+  bool affinity = true;
+  BreakerPolicy breaker;
+  /// Background health-ping period; 0 disables the prober (breakers
+  /// then learn only from live traffic — unit-test mode).
+  std::uint64_t probe_interval_ms = 200;
+  /// TCP connect budget per backend connection.
+  std::uint64_t connect_timeout_ms = 2'000;
+  /// Per-frame I/O budget on backend connections; 0 = none.
+  std::uint64_t io_timeout_ms = 0;
+  /// Reap client sessions idle this long, ms; 0 = never.
+  std::uint64_t idle_timeout_ms = 0;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions opts);
+  ~Router();  ///< calls stop()
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Bind, listen, spawn the accept thread and the health prober.
+  /// Throws ServeError if the port cannot be bound.
+  void start();
+  /// Refuse new connections, hang up sessions, join all threads.
+  /// Backends are left running — the router owns no backend lifecycle.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  /// The same JSON served to {"op":"stats"} (for embedding/tests).
+  std::string stats_json();
+  /// Prometheus text exposition of the router counters.
+  std::string metrics_text();
+
+  /// Direct breaker views for tests/embedding.
+  BreakerState backend_state(std::size_t i) const {
+    return health_.state(i);
+  }
+  HealthMonitor& health() { return health_; }
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// One client submit, forwarded whole to one backend (admission is
+  /// all-or-nothing on the backend, so a group never splits).
+  struct SubmitGroup {
+    std::string jobs_json;        ///< serialized "jobs" array, for resubmits
+    std::uint64_t deadline_ms = 0;
+    std::string fleet_key;        ///< idempotency key used toward backends
+    Hash128 route_key;            ///< combined content hash of the jobs
+    std::vector<std::uint64_t> router_ids;
+    std::size_t backend = npos;   ///< current owner (index into backends)
+    std::vector<std::uint64_t> backend_ids;  ///< parallel to router_ids
+  };
+
+  struct JobEntry {
+    std::size_t group = 0;  ///< index into groups_
+    std::size_t pos = 0;    ///< position within the group
+    /// Serialized result object, cached on first successful fetch; a
+    /// job with a cached result is done and never resubmitted.
+    std::string result_json;
+  };
+
+  /// Client-key idempotency at the router: a resent keyed submit gets
+  /// the original ROUTER ids back, even while the first attempt is
+  /// still in flight (waiters block on jobs_cv_).
+  struct KeyedSubmit {
+    std::vector<std::uint64_t> ids;
+    bool ready = false;
+  };
+
+  struct Session {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void session_loop(Session* s);
+  std::string handle_request(const std::string& payload);
+
+  std::string handle_submit(const json::Value& req);
+  std::string handle_status(const json::Value& req);
+  std::string handle_result(const json::Value& req);
+  std::string handle_forwarded_by_id(const json::Value& req,
+                                     const std::string& op);
+
+  /// One request/response round-trip to backend `b` through the pool,
+  /// gated by its breaker and observed by it. Throws ServeError when
+  /// the breaker refuses or the transport fails (after reporting the
+  /// failure). This is the fault-injection hook site for
+  /// FaultPlan::backend_fail.
+  json::Value backend_request(std::size_t b, const std::string& payload);
+
+  /// Candidate backends for (re)placing `key`, best first: ring order
+  /// under affinity, ascending outstanding-jobs otherwise; only alive
+  /// (non-open) backends, optionally excluding one.
+  std::vector<std::size_t> placement(const Hash128& key,
+                                     std::size_t exclude = npos);
+
+  /// Resubmit every unfinished group mapped to `dead` onto survivors.
+  /// Serialized internally; safe to call from any thread.
+  void fail_over(std::size_t dead);
+  /// Resubmit one group (e.g. its backend forgot it after an
+  /// unjournaled restart). `allow_current` keeps the current backend as
+  /// a candidate. Returns true when the group is replaced somewhere.
+  bool reroute_group(std::size_t group_idx, bool allow_current);
+  /// Shared core of fail_over/reroute_group: push `group` at the first
+  /// candidate that accepts it. Caller must NOT hold state_mu_.
+  bool place_group(std::size_t group_idx, std::size_t exclude);
+
+  /// Router-tracked unfinished jobs per backend (for least-queued).
+  std::vector<std::size_t> outstanding_by_backend();
+
+  void on_breaker_transition(std::size_t i, BreakerState from,
+                             BreakerState to);
+
+  RouterOptions opts_;
+  RendezvousRing ring_;
+  HealthMonitor health_;
+  serve::ClientPool pool_;
+
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  mutable std::mutex state_mu_;
+  std::condition_variable jobs_cv_;  ///< keyed-submit waiters
+  std::vector<std::unique_ptr<SubmitGroup>> groups_;
+  std::unordered_map<std::uint64_t, JobEntry> jobs_;
+  std::map<std::string, KeyedSubmit> by_client_key_;
+  std::uint64_t next_router_id_ = 1;
+  std::uint64_t key_prefix_ = 0;  ///< randomizes generated fleet keys
+
+  /// Serializes fail_over/reroute storms. Recursive because placing a
+  /// group on a survivor can open THAT survivor's breaker, whose
+  /// transition callback re-enters fail_over on the same thread.
+  std::recursive_mutex failover_mu_;
+
+  // Router counters (state_mu_; transitions live in health_).
+  std::uint64_t submits_routed_ = 0;   ///< submits forwarded successfully
+  std::uint64_t jobs_routed_ = 0;      ///< jobs in those submits
+  std::uint64_t jobs_rerouted_ = 0;    ///< jobs re-landed by failover or
+                                       ///< diverted around saturation
+  std::uint64_t submits_rejected_ = 0; ///< fleet-wide queue_full replies
+  std::uint64_t results_served_ = 0;   ///< result responses to clients
+  std::uint64_t ring_moves_ = 0;       ///< full deaths + full recoveries
+                                       ///< (closed ↔ not-closed)
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace masc::cluster

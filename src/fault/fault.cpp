@@ -52,6 +52,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     else if (key == "dispatch_fail") plan.dispatch_fail = parse_rate(key, value);
     else if (key == "chunk_kill") plan.chunk_kill = parse_rate(key, value);
     else if (key == "chunk_kill_at") plan.chunk_kill_at = parse_u64(key, value);
+    else if (key == "backend_fail") plan.backend_fail = parse_rate(key, value);
+    else if (key == "backend_fail_at") plan.backend_fail_at = parse_u64(key, value);
     else if (key == "max_faults") plan.max_faults = parse_u64(key, value);
     else
       throw std::invalid_argument("fault plan: unknown key \"" + key + "\"");
@@ -65,7 +67,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan)
       // hook site is unaffected by how often the other sites fire.
       frame_rng_(plan.seed ^ 0x66726d65ULL),
       dispatch_rng_(plan.seed ^ 0x64737063ULL),
-      chunk_rng_(plan.seed ^ 0x63686e6bULL) {}
+      chunk_rng_(plan.seed ^ 0x63686e6bULL),
+      backend_rng_(plan.seed ^ 0x626b6e64ULL) {}
 
 bool FaultInjector::fire(double rate, Rng& rng) {
   if (rate <= 0.0) return false;
@@ -112,6 +115,24 @@ bool FaultInjector::on_chunk() {
   }
   if (fire(plan_.chunk_kill, chunk_rng_)) {
     ++counts_.chunks_killed;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::on_backend_request() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t index = ++backend_counter_;
+  // Unlike chunk_kill_at, *every* request from the trigger index on
+  // fails (budgeted by max_faults): a breaker only opens on
+  // consecutive failures, so a one-shot fault could never trip it.
+  if (plan_.backend_fail_at != 0 && index >= plan_.backend_fail_at &&
+      counts_.total() < plan_.max_faults) {
+    ++counts_.backend_requests_failed;
+    return true;
+  }
+  if (fire(plan_.backend_fail, backend_rng_)) {
+    ++counts_.backend_requests_failed;
     return true;
   }
   return false;

@@ -54,6 +54,14 @@ struct FaultPlan {
   double dispatch_fail = 0.0;
   double chunk_kill = 0.0;
   std::uint64_t chunk_kill_at = 0;
+  /// Router-side hook (cluster/router.cpp): probability that one
+  /// router→backend request is failed before touching the socket, as if
+  /// the backend were unreachable. `backend_fail_at` instead names one
+  /// absolute backend-request index (1-based) to start failing at, and
+  /// every subsequent request also fails until max_faults runs out —
+  /// the deterministic way to drive a breaker open in tests.
+  double backend_fail = 0.0;
+  std::uint64_t backend_fail_at = 0;
   std::uint64_t max_faults = ~std::uint64_t{0};
 
   /// Parse "key=value,key=value" specs, e.g.
@@ -69,9 +77,10 @@ struct FaultCounts {
   std::uint64_t frames_delayed = 0;
   std::uint64_t dispatches_failed = 0;
   std::uint64_t chunks_killed = 0;
+  std::uint64_t backend_requests_failed = 0;
   std::uint64_t total() const {
     return frames_dropped + frames_truncated + frames_delayed +
-           dispatches_failed + chunks_killed;
+           dispatches_failed + chunks_killed + backend_requests_failed;
   }
 };
 
@@ -87,6 +96,9 @@ class FaultInjector {
   bool on_dispatch();
   /// Advances the global chunk counter; true when this chunk must die.
   bool on_chunk();
+  /// Advances the backend-request counter; true when the router must
+  /// treat this backend request as failed (see FaultPlan::backend_fail).
+  bool on_backend_request();
 
   FaultCounts counts() const;
 
@@ -98,7 +110,9 @@ class FaultInjector {
   Rng frame_rng_;
   Rng dispatch_rng_;
   Rng chunk_rng_;
+  Rng backend_rng_;
   std::uint64_t chunk_counter_ = 0;
+  std::uint64_t backend_counter_ = 0;
   FaultCounts counts_;
 };
 

@@ -168,6 +168,50 @@ json::Value Client::request(const std::string& payload) {
   return parse_json(request_raw(payload));
 }
 
+namespace {
+
+std::string endpoint_key(const std::string& host, std::uint16_t port) {
+  return host + ":" + std::to_string(port);
+}
+
+}  // namespace
+
+Client ClientPool::acquire(const std::string& host, std::uint16_t port) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = idle_.find(endpoint_key(host, port));
+    if (it != idle_.end() && !it->second.empty()) {
+      Client c = std::move(it->second.back());
+      it->second.pop_back();
+      return c;
+    }
+  }
+  Client c;
+  c.set_io_timeout_ms(io_timeout_ms_);
+  c.connect(host, port, connect_timeout_ms_);
+  return c;
+}
+
+void ClientPool::release(const std::string& host, std::uint16_t port,
+                         Client client) {
+  if (!client.connected()) return;  // broken: let it close
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& parked = idle_[endpoint_key(host, port)];
+  if (parked.size() < kMaxIdlePerEndpoint) parked.push_back(std::move(client));
+}
+
+void ClientPool::clear(const std::string& host, std::uint16_t port) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  idle_.erase(endpoint_key(host, port));
+}
+
+std::size_t ClientPool::idle_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [ep, parked] : idle_) n += parked.size();
+  return n;
+}
+
 json::Value Client::request_with_retry(const std::string& payload,
                                        const RetryPolicy& policy) {
   // A non-zero policy seed pins the jitter stream (reproducible tests);

@@ -1,0 +1,63 @@
+// Length-prefixed frame transport shared by every speaker of the MASC
+// wire protocol: masc-served sessions, the blocking Client, and the
+// masc-routerd cluster router (which is both at once — a server to its
+// clients, a client to its backends).
+//
+// A frame is a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON. This header owns the frame I/O primitives, the
+// frame size cap, and the transport error types; the request/response
+// JSON schemas live one layer up in serve/protocol.hpp.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace masc::serve {
+
+/// Raised for socket-level failures (bind, connect, framing).
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised by the timed frame I/O below when the peer stays silent past
+/// the deadline. A subclass so callers can treat "slow" differently
+/// from "broken" (the server reaps idle sessions on it; the client
+/// retries on it).
+class ServeTimeout : public ServeError {
+ public:
+  using ServeError::ServeError;
+};
+
+/// Hard cap on one frame's payload. Large enough for a program image of
+/// several hundred thousand words plus data; small enough that a bad
+/// client cannot make the server allocate gigabytes.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
+/// Read one length-prefixed frame into `payload`. Returns false on a
+/// clean peer close before any length byte; throws ServeError on a
+/// truncated frame, an I/O error, or a length above kMaxFrameBytes.
+bool read_frame(int fd, std::string& payload);
+
+/// Write one length-prefixed frame. Throws ServeError on I/O failure
+/// (including peer reset) or payloads above kMaxFrameBytes.
+void write_frame(int fd, const std::string& payload);
+
+/// Timed variant of read_frame: wait up to `first_ms` for the frame to
+/// begin (the idle budget between requests) and up to `io_ms` for each
+/// subsequent chunk once it has (a stalled mid-frame peer). Either 0
+/// waits forever. Throws ServeTimeout when a budget expires.
+bool read_frame(int fd, std::string& payload, std::uint64_t first_ms,
+                std::uint64_t io_ms);
+
+/// Timed variant of write_frame: wait up to `io_ms` (0 = forever) for
+/// the socket to accept each chunk. Throws ServeTimeout on expiry.
+///
+/// Both write_frame overloads are the injection point for frame faults
+/// (fault/fault.hpp): an installed FaultInjector can silently drop the
+/// frame, delay it, or truncate it mid-payload (the truncation throws
+/// ServeError, modelling a sender that died mid-send).
+void write_frame(int fd, const std::string& payload, std::uint64_t io_ms);
+
+}  // namespace masc::serve

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 namespace masc::serve {
 
@@ -114,6 +115,88 @@ std::string ServeMetrics::to_json(std::size_t queue_depth,
        << "\":" << idle_by_cause_total_[c];
   }
   os << "}}}";
+  return os.str();
+}
+
+std::string ServeMetrics::to_prometheus(std::size_t queue_depth,
+                                        std::size_t in_flight,
+                                        std::size_t queue_capacity,
+                                        const CacheStats* cache) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  auto gauge = [&](const char* name, auto value, const char* help) {
+    os << "# HELP " << name << " " << help << "\n# TYPE " << name
+       << " gauge\n" << name << " " << value << "\n";
+  };
+  auto counter = [&](const char* name, auto value, const char* help) {
+    os << "# HELP " << name << " " << help << "\n# TYPE " << name
+       << " counter\n" << name << " " << value << "\n";
+  };
+  gauge("masc_served_queue_depth", queue_depth, "Jobs waiting in the queue");
+  gauge("masc_served_queue_capacity", queue_capacity, "Queue slots");
+  gauge("masc_served_jobs_in_flight", in_flight,
+        "Jobs in the currently dispatched batch");
+  counter("masc_served_jobs_submitted_total", submitted_,
+          "Jobs admitted to the queue");
+  counter("masc_served_jobs_rejected_total", rejected_,
+          "Jobs refused with queue_full");
+  counter("masc_served_batches_total", batches_, "Sweep dispatches issued");
+  os << "# HELP masc_served_jobs_done_total Completed jobs by final status\n"
+     << "# TYPE masc_served_jobs_done_total counter\n";
+  const std::pair<const char*, std::uint64_t> done[] = {
+      {"finished", completed_},
+      {"cycle_limit", cycle_limited_},
+      {"error", failed_},
+      {"cancelled", cancelled_},
+      {"deadline_exceeded", deadline_exceeded_}};
+  for (const auto& [status, count] : done)
+    os << "masc_served_jobs_done_total{status=\"" << status << "\"} " << count
+       << "\n";
+  // The log2 host-time histogram, as a cumulative Prometheus histogram
+  // in milliseconds (bucket k of the internal array is le 2^k ms).
+  os << "# HELP masc_served_job_host_ms Per-job host wall time\n"
+     << "# TYPE masc_served_job_host_ms histogram\n";
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b + 1 < kHistBuckets; ++b) {
+    cum += host_ms_hist_[b];
+    os << "masc_served_job_host_ms_bucket{le=\"" << (1ULL << b) << "\"} "
+       << cum << "\n";
+  }
+  cum += host_ms_hist_[kHistBuckets - 1];
+  os << "masc_served_job_host_ms_bucket{le=\"+Inf\"} " << cum << "\n"
+     << "masc_served_job_host_ms_count " << cum << "\n"
+     << "masc_served_job_host_ms_sum " << host_seconds_total_ * 1e3 << "\n";
+  counter("masc_served_sim_cycles_total", cycles_total_,
+          "Simulated cycles across all jobs");
+  counter("masc_served_sim_instructions_total", instructions_total_,
+          "Simulated instructions across all jobs");
+  counter("masc_served_sim_idle_cycles_total", idle_cycles_total_,
+          "Simulated idle PE-cycles across all jobs");
+  os << "# HELP masc_served_sim_idle_cycles_by_cause_total Idle cycles by "
+        "stall cause\n"
+     << "# TYPE masc_served_sim_idle_cycles_by_cause_total counter\n";
+  for (std::size_t c = 1;
+       c < static_cast<std::size_t>(StallCause::kCauseCount); ++c)
+    os << "masc_served_sim_idle_cycles_by_cause_total{cause=\""
+       << to_string(static_cast<StallCause>(c)) << "\"} "
+       << idle_by_cause_total_[c] << "\n";
+  gauge("masc_served_cache_enabled", cache ? 1 : 0,
+        "1 when the result cache is configured");
+  if (cache) {
+    counter("masc_served_cache_hits_total", cache->hits, "Result cache hits");
+    counter("masc_served_cache_misses_total", cache->misses,
+            "Result cache misses");
+    counter("masc_served_cache_insertions_total", cache->insertions,
+            "Result cache insertions");
+    counter("masc_served_cache_evictions_total", cache->evictions,
+            "Result cache LRU evictions");
+    gauge("masc_served_cache_entries", cache->entries,
+          "Live result cache entries");
+    gauge("masc_served_cache_bytes", cache->bytes,
+          "Live result cache charged bytes");
+    gauge("masc_served_cache_capacity_bytes", cache->capacity_bytes,
+          "Result cache byte budget");
+  }
   return os.str();
 }
 

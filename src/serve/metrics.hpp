@@ -44,6 +44,14 @@ class ServeMetrics {
                       std::size_t queue_capacity,
                       const CacheStats* cache = nullptr) const;
 
+  /// The same counters in Prometheus text exposition format (served by
+  /// {"op":"metrics_text"}; metric names documented in docs/SERVER.md).
+  /// Counter names end in _total; the host-time histogram is exposed as
+  /// a cumulative masc_served_job_host_ms histogram.
+  std::string to_prometheus(std::size_t queue_depth, std::size_t in_flight,
+                            std::size_t queue_capacity,
+                            const CacheStats* cache = nullptr) const;
+
  private:
   mutable std::mutex mu_;
 

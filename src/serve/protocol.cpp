@@ -1,152 +1,10 @@
 #include "serve/protocol.hpp"
 
-#include <poll.h>
-#include <sys/socket.h>
-
-#include <cerrno>
-#include <chrono>
-#include <cstring>
-#include <thread>
-
 #include "ascal/codegen.hpp"
 #include "assembler/assembler.hpp"
 #include "common/error.hpp"
-#include "fault/fault.hpp"
 
 namespace masc::serve {
-
-namespace {
-
-/// Wait for `events` on fd for up to `timeout_ms` (0 = forever).
-/// Returns false on timeout; throws on poll failure. Socket errors are
-/// reported as readiness and surface from the recv/send that follows.
-bool wait_for(int fd, short events, std::uint64_t timeout_ms) {
-  if (timeout_ms == 0) return true;  // let recv/send block
-  pollfd p{};
-  p.fd = fd;
-  p.events = events;
-  for (;;) {
-    const int rc = ::poll(&p, 1, static_cast<int>(timeout_ms));
-    if (rc > 0) return true;
-    if (rc == 0) return false;
-    if (errno == EINTR) continue;
-    throw ServeError(std::string("poll: ") + std::strerror(errno));
-  }
-}
-
-/// recv() exactly `len` bytes, waiting at most `timeout_ms` (0 = no
-/// limit) for each chunk. Returns the byte count actually read (short
-/// only at EOF); throws ServeTimeout / ServeError.
-std::size_t recv_all(int fd, char* buf, std::size_t len,
-                     std::uint64_t timeout_ms) {
-  std::size_t got = 0;
-  while (got < len) {
-    if (!wait_for(fd, POLLIN, timeout_ms))
-      throw ServeTimeout("recv: timed out after " +
-                         std::to_string(timeout_ms) + " ms");
-    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
-    if (n == 0) break;  // peer closed
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw ServeError(std::string("recv: ") + std::strerror(errno));
-    }
-    got += static_cast<std::size_t>(n);
-  }
-  return got;
-}
-
-void send_all(int fd, const char* buf, std::size_t len,
-              std::uint64_t timeout_ms) {
-  std::size_t sent = 0;
-  while (sent < len) {
-    if (!wait_for(fd, POLLOUT, timeout_ms))
-      throw ServeTimeout("send: timed out after " +
-                         std::to_string(timeout_ms) + " ms");
-    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface
-    // as an error on this session, not SIGPIPE for the whole server.
-    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw ServeError(std::string("send: ") + std::strerror(errno));
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-void frame_header(std::size_t len, unsigned char hdr[4]) {
-  hdr[0] = static_cast<unsigned char>(len >> 24);
-  hdr[1] = static_cast<unsigned char>(len >> 16);
-  hdr[2] = static_cast<unsigned char>(len >> 8);
-  hdr[3] = static_cast<unsigned char>(len);
-}
-
-}  // namespace
-
-bool read_frame(int fd, std::string& payload, std::uint64_t first_ms,
-                std::uint64_t io_ms) {
-  unsigned char hdr[4];
-  // The wait for the header is the *idle* budget (time between
-  // requests); once the frame has started, the per-chunk budget applies.
-  if (!wait_for(fd, POLLIN, first_ms))
-    throw ServeTimeout("idle: no frame within " + std::to_string(first_ms) +
-                       " ms");
-  const std::size_t got = recv_all(fd, reinterpret_cast<char*>(hdr), 4, io_ms);
-  if (got == 0) return false;  // clean close between frames
-  if (got < 4) throw ServeError("truncated frame header");
-  const std::size_t len = (static_cast<std::size_t>(hdr[0]) << 24) |
-                          (static_cast<std::size_t>(hdr[1]) << 16) |
-                          (static_cast<std::size_t>(hdr[2]) << 8) |
-                          static_cast<std::size_t>(hdr[3]);
-  if (len > kMaxFrameBytes)
-    throw ServeError("frame exceeds " + std::to_string(kMaxFrameBytes) +
-                     " bytes");
-  payload.resize(len);
-  if (recv_all(fd, payload.data(), len, io_ms) < len)
-    throw ServeError("truncated frame payload");
-  return true;
-}
-
-bool read_frame(int fd, std::string& payload) {
-  return read_frame(fd, payload, 0, 0);
-}
-
-void write_frame(int fd, const std::string& payload, std::uint64_t io_ms) {
-  if (payload.size() > kMaxFrameBytes)
-    throw ServeError("frame exceeds " + std::to_string(kMaxFrameBytes) +
-                     " bytes");
-  std::size_t len = payload.size();
-  // Fault-injection hook. fault::active() is one relaxed atomic load —
-  // free when no injector is installed (the production case).
-  if (auto* inj = fault::active()) {
-    switch (inj->on_frame_send()) {
-      case fault::FrameFault::kNone:
-        break;
-      case fault::FrameFault::kDrop:
-        return;  // frame silently lost; the stream stays in sync
-      case fault::FrameFault::kDelay:
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(inj->plan().frame_delay_ms));
-        break;
-      case fault::FrameFault::kTruncate: {
-        // Announce the full length, send half the bytes, die: exactly
-        // what a sender killed mid-send looks like to the peer.
-        unsigned char hdr[4];
-        frame_header(len, hdr);
-        send_all(fd, reinterpret_cast<const char*>(hdr), 4, io_ms);
-        send_all(fd, payload.data(), len / 2, io_ms);
-        throw ServeError("injected fault: frame truncated mid-send");
-      }
-    }
-  }
-  unsigned char hdr[4];
-  frame_header(len, hdr);
-  send_all(fd, reinterpret_cast<const char*>(hdr), 4, io_ms);
-  send_all(fd, payload.data(), len, io_ms);
-}
-
-void write_frame(int fd, const std::string& payload) {
-  write_frame(fd, payload, 0);
-}
 
 MachineConfig config_from_json(const json::Value& v) {
   if (!v.is_object()) throw JsonError("\"config\" must be an object");

@@ -2,68 +2,26 @@
 //
 // Transport: TCP on localhost. Every message — request or response — is
 // one *frame*: a 4-byte big-endian payload length followed by that many
-// bytes of UTF-8 JSON. Requests are objects with an "op" member;
-// responses are objects with an "ok" member (and "error" when !ok).
-// The full request/response schema is documented in docs/SERVER.md.
+// bytes of UTF-8 JSON (serve/framing.hpp owns the frame I/O). Requests
+// are objects with an "op" member; responses are objects with an "ok"
+// member (and "error" when !ok). The full request/response schema is
+// documented in docs/SERVER.md; the cluster router speaks the same
+// protocol on both faces (docs/CLUSTER.md).
 //
-// This header carries the pieces shared by server, client, and tests:
-// frame I/O over a socket fd, the frame size cap, and the JSON →
-// simulator-object decoders (MachineConfig, Program, SweepJob).
+// This header carries the pieces shared by server, client, router, and
+// tests: the transport layer (re-exported from framing.hpp so existing
+// includes keep working) and the JSON → simulator-object decoders
+// (MachineConfig, Program, SweepJob).
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 
 #include "common/json.hpp"
+#include "serve/framing.hpp"
 #include "sim/sweep.hpp"
 
 namespace masc::serve {
-
-/// Raised for socket-level failures (bind, connect, framing).
-class ServeError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// Raised by the timed frame I/O below when the peer stays silent past
-/// the deadline. A subclass so callers can treat "slow" differently
-/// from "broken" (the server reaps idle sessions on it; the client
-/// retries on it).
-class ServeTimeout : public ServeError {
- public:
-  using ServeError::ServeError;
-};
-
-/// Hard cap on one frame's payload. Large enough for a program image of
-/// several hundred thousand words plus data; small enough that a bad
-/// client cannot make the server allocate gigabytes.
-inline constexpr std::size_t kMaxFrameBytes = 16u << 20;  // 16 MiB
-
-/// Read one length-prefixed frame into `payload`. Returns false on a
-/// clean peer close before any length byte; throws ServeError on a
-/// truncated frame, an I/O error, or a length above kMaxFrameBytes.
-bool read_frame(int fd, std::string& payload);
-
-/// Write one length-prefixed frame. Throws ServeError on I/O failure
-/// (including peer reset) or payloads above kMaxFrameBytes.
-void write_frame(int fd, const std::string& payload);
-
-/// Timed variant of read_frame: wait up to `first_ms` for the frame to
-/// begin (the idle budget between requests) and up to `io_ms` for each
-/// subsequent chunk once it has (a stalled mid-frame peer). Either 0
-/// waits forever. Throws ServeTimeout when a budget expires.
-bool read_frame(int fd, std::string& payload, std::uint64_t first_ms,
-                std::uint64_t io_ms);
-
-/// Timed variant of write_frame: wait up to `io_ms` (0 = forever) for
-/// the socket to accept each chunk. Throws ServeTimeout on expiry.
-///
-/// Both write_frame overloads are the injection point for frame faults
-/// (fault/fault.hpp): an installed FaultInjector can silently drop the
-/// frame, delay it, or truncate it mid-payload (the truncation throws
-/// ServeError, modelling a sender that died mid-send).
-void write_frame(int fd, const std::string& payload, std::uint64_t io_ms);
 
 /// Decode a machine configuration object. Recognized members (all
 /// optional, defaults = MachineConfig defaults): "pes", "threads",

@@ -313,6 +313,9 @@ std::string Server::handle_request(const std::string& payload) {
     if (op == "extend") return handle_extend(req);
     if (op == "stats")
       return "{\"ok\":true,\"type\":\"stats\",\"stats\":" + stats_json() + "}";
+    if (op == "metrics_text")
+      return "{\"ok\":true,\"type\":\"metrics_text\",\"text\":\"" +
+             json_escape(metrics_text()) + "\"}";
     if (op == "shutdown") {
       shutdown_requested_.store(true, std::memory_order_release);
       return "{\"ok\":true,\"type\":\"shutdown\"}";
@@ -732,6 +735,19 @@ std::string Server::stats_json() const {
   if (!cache_) return metrics_.to_json(depth, running, opts_.queue_capacity);
   const CacheStats cs = cache_->stats();
   return metrics_.to_json(depth, running, opts_.queue_capacity, &cs);
+}
+
+std::string Server::metrics_text() const {
+  const std::size_t depth = queue_.size();
+  std::size_t running;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    running = running_;
+  }
+  if (!cache_)
+    return metrics_.to_prometheus(depth, running, opts_.queue_capacity);
+  const CacheStats cs = cache_->stats();
+  return metrics_.to_prometheus(depth, running, opts_.queue_capacity, &cs);
 }
 
 }  // namespace masc::serve

@@ -113,6 +113,10 @@ class Server {
   /// The same JSON served to {"op":"stats"} (for embedding/tests).
   std::string stats_json() const;
 
+  /// Prometheus text exposition of the same counters, as served to
+  /// {"op":"metrics_text"} (docs/SERVER.md "Prometheus metrics").
+  std::string metrics_text() const;
+
  private:
   enum class JobState : std::uint8_t { kQueued, kRunning, kDone };
 

@@ -10,7 +10,14 @@
 //     --io-timeout-ms N            per-frame I/O budget; 0 = none
 //
 //     ping                         round-trip check
-//     stats                        print the server's /stats JSON
+//     stats [--watch SECS] [--count N]
+//                                  print the server's /stats JSON; with
+//                                  --watch, repeat every SECS seconds (one
+//                                  JSON line per sample, forever unless
+//                                  --count N bounds the samples)
+//     metrics                      print the server's Prometheus text
+//                                  exposition (the metrics_text op; works
+//                                  against masc-served and masc-routerd)
 //     submit FILE [opts]           submit .s/.ascal source or a .mo image
 //       --pes N --threads N --width N --arity N   machine geometry
 //       --seeds N                  one job per seed 0..N-1   (default 1)
@@ -42,6 +49,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "assembler/program_io.hpp"
@@ -58,7 +66,8 @@ int usage() {
       "usage: masc-client [--host H] [--port N] [--retries N] "
       "[--backoff-ms N]\n"
       "    [--connect-timeout-ms N] [--io-timeout-ms N] <command> [args]\n"
-      "  ping | stats | shutdown\n"
+      "  ping | shutdown | metrics\n"
+      "  stats [--watch SECS] [--count N]\n"
       "  submit FILE [--pes N] [--threads N] [--width N] [--arity N]\n"
       "         [--seeds N] [--label S] [--max-cycles N] [--deadline-ms N]\n"
       "         [--key S] [--wait] [--repeat N]\n"
@@ -159,10 +168,48 @@ int main(int argc, char** argv) {
       return client.request_with_retry(payload, policy);
     };
 
-    if (cmd == "ping" || cmd == "stats" || cmd == "shutdown") {
+    if (cmd == "ping" || cmd == "shutdown") {
       if (args.size() != 1) return usage();
       const json::Value resp = do_request("{\"op\":\"" + cmd + "\"}");
       return print_response(resp, json::serialize(resp)) ? 0 : 3;
+    }
+
+    if (cmd == "metrics") {
+      if (args.size() != 1) return usage();
+      const json::Value resp = do_request("{\"op\":\"metrics_text\"}");
+      if (!resp.get_bool("ok", false))
+        return print_response(resp, json::serialize(resp)) ? 0 : 3;
+      std::fputs(resp.get_string("text", "").c_str(), stdout);
+      return 0;
+    }
+
+    if (cmd == "stats") {
+      double watch_secs = 0;
+      std::uint64_t count = 0;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--watch" && i + 1 < args.size())
+          watch_secs = std::strtod(args[++i].c_str(), nullptr);
+        else if (args[i] == "--count" && i + 1 < args.size())
+          count = std::strtoull(args[++i].c_str(), nullptr, 0);
+        else return usage();
+      }
+      if (watch_secs <= 0) {
+        if (count != 0) return usage();  // --count only makes sense watching
+        const json::Value resp = do_request("{\"op\":\"stats\"}");
+        return print_response(resp, json::serialize(resp)) ? 0 : 3;
+      }
+      // One JSON line per sample, flushed eagerly so `masc-client stats
+      // --watch 2 | jq .` streams; runs until --count samples (0 = until
+      // interrupted or the server goes away).
+      for (std::uint64_t sample = 0; count == 0 || sample < count; ++sample) {
+        if (sample > 0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(watch_secs));
+        const json::Value resp = do_request("{\"op\":\"stats\"}");
+        std::printf("%s\n", json::serialize(resp).c_str());
+        std::fflush(stdout);
+        if (!resp.get_bool("ok", false)) return 3;
+      }
+      return 0;
     }
 
     if (cmd == "status" || cmd == "result" || cmd == "cancel" ||

@@ -1,0 +1,370 @@
+// Cluster failover acceptance tests: a REAL masc-routerd fronting real
+// masc-served child processes. The headline test SIGKILLs the backend
+// that owns an in-flight batch and proves the router re-lands every job
+// on a survivor with results bit-identical to a serial run and no
+// duplicate execution from the client's view (the fleet idempotency key
+// still answers with the original ids), then restarts the dead backend
+// on its old port and watches the breaker close again. Multi-process
+// and wall-clock heavy, so the suite carries the `slow` ctest label.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "common/json.hpp"
+#include "serve/client.hpp"
+#include "sim/machine.hpp"
+
+#ifndef MASC_SERVED_BIN
+#error "MASC_SERVED_BIN must point at the masc-served executable"
+#endif
+#ifndef MASC_ROUTERD_BIN
+#error "MASC_ROUTERD_BIN must point at the masc-routerd executable"
+#endif
+
+namespace masc {
+namespace {
+
+using serve::Client;
+using namespace std::chrono_literals;
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// ~90M cycles ≈ seconds of wall time: long enough that the SIGKILL
+/// lands mid-run (bounds as in recovery_test.cpp).
+const char* kLongKernel =
+    "li r2, 300\n"
+    "outer: li r1, 60000\n"
+    "inner: addi r1, r1, -1\n"
+    "bne r1, r0, inner\n"
+    "addi r2, r2, -1\n"
+    "bne r2, r0, outer\n"
+    "halt\n";
+
+const char* kQuickKernel =
+    "li r1, 100\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n";
+
+std::string job_json(const std::string& source, const std::string& label) {
+  return "{\"config\":{\"pes\":8,\"threads\":4,\"width\":16},"
+         "\"program\":{\"source\":\"" +
+         json_escape(source) + "\"},\"label\":\"" + label + "\"}";
+}
+
+/// Serial ground truth for a kernel on the test geometry.
+std::string serial_stats_json(const std::string& source) {
+  MachineConfig cfg;
+  cfg.num_pes = 8;
+  cfg.num_threads = 4;
+  cfg.word_width = 16;
+  cfg.validate();
+  Machine m(cfg);
+  m.load(assemble(source));
+  EXPECT_TRUE(m.run(100'000'000));
+  return to_json(m.stats());
+}
+
+/// One canonicalization trip through the shared parser/serializer, so
+/// text from different writers compares byte-for-byte.
+std::string canonical(const std::string& json_text) {
+  return json::serialize(parse_json(json_text));
+}
+
+/// One masc-served or masc-routerd child. Both daemons announce
+/// "<name> listening on 127.0.0.1:PORT" on stdout; the port (possibly
+/// ephemeral) is scraped from that banner.
+class ChildProcess {
+ public:
+  ChildProcess(const char* binary, std::vector<std::string> extra_args)
+      : binary_(binary) {
+    spawn(std::move(extra_args));
+  }
+
+  ~ChildProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      (void)reap();
+    }
+    if (out_fd_ >= 0) ::close(out_fd_);
+  }
+
+  std::uint16_t port() const { return port_; }
+
+  void kill_hard() {
+    ASSERT_EQ(::kill(pid_, SIGKILL), 0) << std::strerror(errno);
+    const int status = reap();
+    EXPECT_TRUE(WIFSIGNALED(status));
+  }
+
+  /// Block until the child exits on its own; returns its exit code
+  /// (-1 if it died to a signal instead).
+  int wait_exit() {
+    const int status = reap();
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  void spawn(std::vector<std::string> extra_args) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0) << std::strerror(errno);
+    pid_ = ::fork();
+    ASSERT_GE(pid_, 0) << std::strerror(errno);
+    if (pid_ == 0) {
+      ::close(fds[0]);
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::close(fds[1]);
+      std::vector<std::string> args = {binary_};
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      std::fprintf(stderr, "execv %s: %s\n", binary_.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    out_fd_ = fds[0];
+    scrape_port();
+  }
+
+  int reap() {
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    pid_ = -1;
+    return status;
+  }
+
+  void scrape_port() {
+    static const std::string kTag = "listening on 127.0.0.1:";
+    std::string line;
+    char ch;
+    while (line.find('\n') == std::string::npos) {
+      const ssize_t n = ::read(out_fd_, &ch, 1);
+      ASSERT_GT(n, 0) << binary_ << " exited before announcing its port";
+      line.push_back(ch);
+    }
+    const std::size_t at = line.find(kTag);
+    ASSERT_NE(at, std::string::npos) << "unexpected banner: " << line;
+    port_ = static_cast<std::uint16_t>(
+        std::strtoul(line.c_str() + at + kTag.size(), nullptr, 10));
+    ASSERT_NE(port_, 0);
+  }
+
+  std::string binary_;
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+Client connect_to(std::uint16_t port) {
+  Client c;
+  c.connect("127.0.0.1", port, /*timeout_ms=*/5000);
+  return c;
+}
+
+std::vector<std::uint64_t> ids_of(const json::Value& resp) {
+  std::vector<std::uint64_t> ids;
+  for (const auto& id : resp.find("ids")->as_array())
+    ids.push_back(id.as_uint());
+  return ids;
+}
+
+void await_running(Client& c, std::uint64_t id) {
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  for (;;) {
+    const json::Value resp =
+        c.request("{\"op\":\"status\",\"id\":" + std::to_string(id) + "}");
+    ASSERT_TRUE(resp.get_bool("ok", false));
+    if (resp.get_string("state", "") == "running") return;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "job " << id << " never started running";
+    std::this_thread::sleep_for(5ms);
+  }
+}
+
+// Generous timeouts: under TSan on a loaded single-core host the
+// ~90M-cycle kernels plus instrumentation can stretch a few seconds of
+// native work past two minutes.
+std::string await_result_raw(Client& c, std::uint64_t id) {
+  return c.request_raw("{\"op\":\"result\",\"id\":" + std::to_string(id) +
+                       ",\"wait\":true,\"timeout_ms\":300000}");
+}
+
+json::Value router_stats(Client& c) {
+  const json::Value resp = c.request("{\"op\":\"stats\"}");
+  EXPECT_TRUE(resp.get_bool("ok", false));
+  const json::Value* stats = resp.find("stats");
+  EXPECT_NE(stats, nullptr);
+  return stats ? *stats : json::Value{};
+}
+
+/// Index (into the stats "backends" array) of the backend the router
+/// reports exactly `n` outstanding jobs on, or kNpos.
+std::size_t backend_with_outstanding(const json::Value& stats,
+                                     std::uint64_t n) {
+  const auto& arr = stats.find("backends")->as_array();
+  for (std::size_t i = 0; i < arr.size(); ++i)
+    if (arr[i].get_uint("outstanding", ~std::uint64_t{0}) == n) return i;
+  return kNpos;
+}
+
+// --- SIGKILL a backend mid-batch --------------------------------------
+
+TEST(ClusterFailover, SigkillOwnerMidBatchRelandsBitIdentically) {
+  const std::string want = canonical(serial_stats_json(kLongKernel));
+
+  // Three real backends with result caches, one real router with a
+  // fast prober so the post-restart recovery is observable in seconds.
+  std::vector<std::unique_ptr<ChildProcess>> backends;
+  std::vector<std::string> router_args = {"--port", "0",
+                                          "--fail-threshold", "2",
+                                          "--cooldown-ms", "300",
+                                          "--probe-ms", "100",
+                                          "--connect-timeout-ms", "1000"};
+  for (int i = 0; i < 3; ++i) {
+    backends.push_back(std::make_unique<ChildProcess>(
+        MASC_SERVED_BIN, std::vector<std::string>{
+                             "--port", "0", "--workers", "2",
+                             "--cache-bytes", "1048576"}));
+    router_args.push_back("--backend");
+    router_args.push_back("127.0.0.1:" +
+                          std::to_string(backends.back()->port()));
+  }
+  ChildProcess routerd(MASC_ROUTERD_BIN, router_args);
+  Client c = connect_to(routerd.port());
+
+  // One keyed two-job batch; both jobs land on one owner (all-or-
+  // nothing admission) and run concurrently on its two workers.
+  const std::string submit =
+      "{\"op\":\"submit\",\"key\":\"fleet-long\",\"jobs\":[" +
+      job_json(kLongKernel, "fo-a") + "," + job_json(kLongKernel, "fo-b") +
+      "]}";
+  const json::Value sub = c.request(submit);
+  ASSERT_TRUE(sub.get_bool("ok", false));
+  EXPECT_FALSE(sub.get_bool("duplicate", true));
+  const std::vector<std::uint64_t> ids = ids_of(sub);
+  ASSERT_EQ(ids.size(), 2u);
+  await_running(c, ids[0]);
+  await_running(c, ids[1]);
+
+  const json::Value before = router_stats(c);
+  const std::size_t owner = backend_with_outstanding(before, 2);
+  ASSERT_NE(owner, kNpos) << "no backend owns the whole batch";
+  const std::string owner_endpoint =
+      before.find("backends")->as_array()[owner].get_string("endpoint", "");
+  ASSERT_EQ(owner_endpoint,
+            "127.0.0.1:" + std::to_string(backends[owner]->port()));
+
+  // A concurrent duplicate of the keyed submit gets the original ids.
+  const json::Value dup_before = c.request(submit);
+  ASSERT_TRUE(dup_before.get_bool("ok", false));
+  EXPECT_TRUE(dup_before.get_bool("duplicate", false));
+  EXPECT_EQ(ids_of(dup_before), ids);
+
+  // Kill the owner with no goodbye, mid-simulation.
+  backends[owner]->kill_hard();
+
+  // Both results re-land on survivors, bit-identical to the serial run.
+  const std::string raw0 = await_result_raw(c, ids[0]);
+  const std::string raw1 = await_result_raw(c, ids[1]);
+  for (const std::string* raw : {&raw0, &raw1}) {
+    const json::Value resp = parse_json(*raw);
+    ASSERT_TRUE(resp.get_bool("ok", false)) << *raw;
+    const json::Value* res = resp.find("result");
+    ASSERT_NE(res, nullptr) << *raw;
+    EXPECT_EQ(res->get_string("status", ""), "finished") << *raw;
+    const json::Value* stats = res->find("stats");
+    ASSERT_NE(stats, nullptr) << *raw;
+    EXPECT_EQ(json::serialize(*stats), want)
+        << "failed-over result diverged from the serial run";
+  }
+  EXPECT_NE(raw0.find("\"label\":\"fo-a\""), std::string::npos);
+  EXPECT_NE(raw1.find("\"label\":\"fo-b\""), std::string::npos);
+
+  // Exactly-once from the client's view, even after the replay.
+  const json::Value dup_after = c.request(submit);
+  ASSERT_TRUE(dup_after.get_bool("ok", false));
+  EXPECT_TRUE(dup_after.get_bool("duplicate", false));
+  EXPECT_EQ(ids_of(dup_after), ids);
+
+  // Re-fetching a served result returns the exact same bytes.
+  EXPECT_EQ(await_result_raw(c, ids[0]), raw0);
+
+  const json::Value after = router_stats(c);
+  EXPECT_GE(after.find("router")->get_uint("jobs_rerouted", 0), 2u);
+  EXPECT_GE(after.find("router")->find("breaker")->get_uint("opened", 0),
+            1u);
+  EXPECT_EQ(after.find("router")->get_uint("alive", 0), 2u);
+
+  // Restart a backend on the dead one's port: the prober's half-open
+  // ping must close the breaker and re-admit it to the ring.
+  ChildProcess revived(
+      MASC_SERVED_BIN,
+      {"--port", std::to_string(backends[owner]->port()), "--workers", "2",
+       "--cache-bytes", "1048576"});
+  ASSERT_EQ(revived.port(), backends[owner]->port());
+  const auto deadline = std::chrono::steady_clock::now() + 60s;
+  for (;;) {
+    const json::Value stats = router_stats(c);
+    if (stats.find("backends")
+            ->as_array()[owner]
+            .get_string("breaker", "") == "closed")
+      break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "breaker never closed after the backend came back";
+    std::this_thread::sleep_for(100ms);
+  }
+  const json::Value recovered = router_stats(c);
+  EXPECT_EQ(recovered.find("router")->get_uint("alive", 0), 3u);
+  EXPECT_GE(recovered.find("router")->find("breaker")->get_uint("closed", 0),
+            1u);
+}
+
+// --- daemon lifecycle -------------------------------------------------
+
+TEST(ClusterDaemon, ServesTrafficAndStopsOnShutdownOp) {
+  ChildProcess backend(MASC_SERVED_BIN,
+                       {"--port", "0", "--workers", "1"});
+  ChildProcess routerd(
+      MASC_ROUTERD_BIN,
+      {"--port", "0", "--backend",
+       "127.0.0.1:" + std::to_string(backend.port()), "--probe-ms", "50"});
+  Client c = connect_to(routerd.port());
+
+  const json::Value pong = c.request("{\"op\":\"ping\"}");
+  EXPECT_TRUE(pong.get_bool("ok", false));
+  EXPECT_EQ(pong.get_string("type", ""), "pong");
+
+  const json::Value sub = c.request("{\"op\":\"submit\",\"jobs\":[" +
+                                    job_json(kQuickKernel, "cli") + "]}");
+  ASSERT_TRUE(sub.get_bool("ok", false));
+  const std::string raw = await_result_raw(c, ids_of(sub)[0]);
+  EXPECT_NE(raw.find("\"status\":\"finished\""), std::string::npos) << raw;
+  EXPECT_EQ(canonical(serial_stats_json(kQuickKernel)),
+            json::serialize(*parse_json(raw).find("result")->find("stats")));
+
+  const json::Value metrics = c.request("{\"op\":\"metrics_text\"}");
+  ASSERT_TRUE(metrics.get_bool("ok", false));
+  EXPECT_NE(metrics.get_string("text", "").find("masc_routerd_backend_up"),
+            std::string::npos);
+
+  const json::Value bye = c.request("{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(bye.get_bool("ok", false));
+  EXPECT_EQ(routerd.wait_exit(), 0) << "masc-routerd did not exit cleanly";
+}
+
+}  // namespace
+}  // namespace masc

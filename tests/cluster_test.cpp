@@ -1,0 +1,746 @@
+// Cluster-layer tests (docs/CLUSTER.md): rendezvous-ring ownership and
+// minimal disruption, the circuit-breaker state machine driven with
+// injected timestamps (no sleeps), scripted health probing, and an
+// in-process router fleet — real serve::Server backends behind a
+// cluster::Router on ephemeral ports — covering cache-affinity routing
+// (the routed/rerouted + cache-hit counter acceptance check),
+// keyed-submit idempotency, diversion around a saturated owner, honest
+// fleet-wide backpressure, fault-injected breaker trips with
+// exactly-once failover, transport-failure failover when a backend
+// stops, and the Prometheus rendering of the router counters.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "cluster/breaker.hpp"
+#include "cluster/health.hpp"
+#include "cluster/ring.hpp"
+#include "cluster/router.hpp"
+#include "common/hash.hpp"
+#include "common/json.hpp"
+#include "fault/fault.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "sim/machine.hpp"
+
+namespace masc {
+namespace {
+
+using cluster::BackendSpec;
+using cluster::BreakerPolicy;
+using cluster::BreakerState;
+using cluster::CircuitBreaker;
+using cluster::HealthMonitor;
+using cluster::RendezvousRing;
+using cluster::Router;
+using cluster::RouterOptions;
+using serve::Client;
+using serve::ServeError;
+using serve::Server;
+using serve::ServerOptions;
+using namespace std::chrono_literals;
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// ~90M cycles: long enough that a mid-run backend stop genuinely
+/// interrupts it (bounds as in recovery_test.cpp).
+const char* kLongKernel =
+    "li r2, 300\n"
+    "outer: li r1, 60000\n"
+    "inner: addi r1, r1, -1\n"
+    "bne r1, r0, inner\n"
+    "addi r2, r2, -1\n"
+    "bne r2, r0, outer\n"
+    "halt\n";
+
+/// Distinct loop bounds give distinct cache keys on demand.
+std::string counting_kernel(unsigned n) {
+  return "li r1, " + std::to_string(n) +
+         "\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n";
+}
+
+std::string job_json(const std::string& source, const std::string& label) {
+  return "{\"config\":{\"pes\":8,\"threads\":4,\"width\":16},"
+         "\"program\":{\"source\":" +
+         std::string("\"") + json_escape(source) + "\"},\"label\":\"" +
+         label + "\"}";
+}
+
+/// Serial ground truth for a kernel on the test geometry.
+std::string serial_stats_json(const std::string& source) {
+  MachineConfig cfg;
+  cfg.num_pes = 8;
+  cfg.num_threads = 4;
+  cfg.word_width = 16;
+  cfg.validate();
+  Machine m(cfg);
+  m.load(assemble(source));
+  EXPECT_TRUE(m.run(100'000'000));
+  return to_json(m.stats());
+}
+
+/// Canonical form: one trip through the shared parser/serializer, so
+/// strings produced by different writers compare byte-for-byte.
+std::string canonical(const std::string& json_text) {
+  return json::serialize(parse_json(json_text));
+}
+
+/// The "stats" object of a router result response, canonicalized.
+std::string result_stats_canonical(const std::string& raw) {
+  const json::Value resp = parse_json(raw);
+  EXPECT_TRUE(resp.get_bool("ok", false)) << raw;
+  const json::Value* res = resp.find("result");
+  EXPECT_NE(res, nullptr) << raw;
+  if (!res) return {};
+  EXPECT_EQ(res->get_string("status", ""), "finished") << raw;
+  const json::Value* stats = res->find("stats");
+  EXPECT_NE(stats, nullptr) << raw;
+  return stats ? json::serialize(*stats) : std::string{};
+}
+
+std::vector<std::uint64_t> ids_of(const json::Value& resp) {
+  std::vector<std::uint64_t> ids;
+  for (const auto& id : resp.find("ids")->as_array())
+    ids.push_back(id.as_uint());
+  return ids;
+}
+
+void await_running(Client& c, std::uint64_t id) {
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  for (;;) {
+    const json::Value resp =
+        c.request("{\"op\":\"status\",\"id\":" + std::to_string(id) + "}");
+    ASSERT_TRUE(resp.get_bool("ok", false));
+    if (resp.get_string("state", "") == "running") return;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "job " << id << " never started running";
+    std::this_thread::sleep_for(5ms);
+  }
+}
+
+std::string await_result_raw(Client& c, std::uint64_t id) {
+  return c.request_raw("{\"op\":\"result\",\"id\":" + std::to_string(id) +
+                       ",\"wait\":true,\"timeout_ms\":120000}");
+}
+
+// --- rendezvous ring --------------------------------------------------
+
+Hash128 key_of(std::uint64_t i) { return Fnv128().u64(i).digest(); }
+
+TEST(RendezvousRingTest, RankedIsAPermutationLedByTheOwner) {
+  const RendezvousRing ring({"127.0.0.1:7801", "127.0.0.1:7802",
+                             "127.0.0.1:7803"});
+  ASSERT_EQ(ring.size(), 3u);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    const Hash128 key = key_of(k);
+    const std::vector<std::size_t> order = ring.ranked(key);
+    ASSERT_EQ(order.size(), 3u);
+    std::vector<bool> seen(3, false);
+    for (const std::size_t i : order) {
+      ASSERT_LT(i, 3u);
+      EXPECT_FALSE(seen[i]) << "node ranked twice for key " << k;
+      seen[i] = true;
+    }
+    EXPECT_EQ(order[0], ring.owner(key, [](std::size_t) { return true; }));
+    // Scores really are ordered (ranked is not just any permutation).
+    EXPECT_GE(ring.score(order[0], key), ring.score(order[1], key));
+    EXPECT_GE(ring.score(order[1], key), ring.score(order[2], key));
+  }
+}
+
+TEST(RendezvousRingTest, OwnershipIsAPureFunctionOfMembershipAndKey) {
+  const std::vector<std::string> nodes = {"a:1", "b:2", "c:3", "d:4"};
+  const RendezvousRing ring1(nodes);
+  const RendezvousRing ring2(nodes);  // a second router replica
+  for (std::uint64_t k = 0; k < 64; ++k)
+    EXPECT_EQ(ring1.ranked(key_of(k)), ring2.ranked(key_of(k))) << k;
+}
+
+TEST(RendezvousRingTest, KeysSpreadAcrossEveryNode) {
+  const RendezvousRing ring({"a:1", "b:2", "c:3"});
+  std::vector<unsigned> owned(3, 0);
+  for (std::uint64_t k = 0; k < 96; ++k)
+    ++owned[ring.owner(key_of(k), [](std::size_t) { return true; })];
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_GT(owned[i], 0u) << "node " << i << " owns nothing";
+}
+
+TEST(RendezvousRingTest, LosingANodeOnlyMovesItsOwnKeys) {
+  const RendezvousRing ring({"a:1", "b:2", "c:3", "d:4"});
+  for (std::uint64_t k = 0; k < 128; ++k) {
+    const Hash128 key = key_of(k);
+    const std::vector<std::size_t> order = ring.ranked(key);
+    for (std::size_t dead = 0; dead < ring.size(); ++dead) {
+      const std::size_t owner =
+          ring.owner(key, [&](std::size_t i) { return i != dead; });
+      if (order[0] == dead)
+        EXPECT_EQ(owner, order[1]) << "key " << k << " skipped its runner-up";
+      else
+        EXPECT_EQ(owner, order[0])
+            << "key " << k << " moved although its owner survived";
+    }
+  }
+}
+
+// --- circuit breaker (injected time, no sleeps) -----------------------
+
+CircuitBreaker::TimePoint at(std::uint64_t ms) {
+  return CircuitBreaker::TimePoint{} + std::chrono::milliseconds(ms);
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndRecovers) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.open_cooldown_ms = 100;
+  CircuitBreaker b(policy);
+
+  EXPECT_TRUE(b.allow(at(0)));
+  b.on_failure(at(0));
+  b.on_failure(at(1));
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.consecutive_failures(), 2u);
+  b.on_success();  // a success resets the streak
+  EXPECT_EQ(b.consecutive_failures(), 0u);
+
+  b.on_failure(at(10));
+  b.on_failure(at(11));
+  b.on_failure(at(12));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.counts().opened, 1u);
+
+  EXPECT_FALSE(b.allow(at(50)));   // inside the cooldown
+  EXPECT_TRUE(b.allow(at(120)));   // cooldown over: this caller probes
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(b.counts().half_opened, 1u);
+  EXPECT_FALSE(b.allow(at(121)));  // exactly one probe in flight
+
+  b.on_success();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.counts().closed, 1u);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAFullCooldown) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 1;
+  policy.open_cooldown_ms = 100;
+  CircuitBreaker b(policy);
+
+  b.on_failure(at(0));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_TRUE(b.allow(at(100)));
+  b.on_failure(at(100));  // the probe found it still sick
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.counts().opened, 2u);
+  EXPECT_FALSE(b.allow(at(150)));  // cooldown restarted at t=100
+  EXPECT_TRUE(b.allow(at(210)));
+}
+
+TEST(CircuitBreakerTest, TripForcesOpenAndRefreshesTheCooldown) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.open_cooldown_ms = 100;
+  CircuitBreaker b(policy);
+
+  b.trip(at(0));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.counts().opened, 1u);
+  b.trip(at(50));  // already open: just restart the clock
+  EXPECT_EQ(b.counts().opened, 1u);
+  EXPECT_FALSE(b.allow(at(120)));  // 50 + 100 > 120
+  EXPECT_TRUE(b.allow(at(160)));
+}
+
+// --- health monitor with a scripted prober ----------------------------
+
+TEST(HealthMonitorTest, ScriptedProbesDriveTheFleetStateMachine) {
+  BreakerPolicy policy;
+  policy.failure_threshold = 2;
+  policy.open_cooldown_ms = 0;  // every round may re-probe
+  HealthMonitor mon(2, policy);
+
+  std::vector<int> healthy = {1, 0};
+  std::vector<std::tuple<std::size_t, BreakerState, BreakerState>> log;
+  mon.set_probe([&](std::size_t i) { return healthy[i] != 0; });
+  mon.set_on_transition([&](std::size_t i, BreakerState from,
+                            BreakerState to) { log.emplace_back(i, from, to); });
+
+  mon.probe_once();  // backend 1: failure 1 of 2
+  EXPECT_EQ(mon.state(1), BreakerState::kClosed);
+  EXPECT_EQ(mon.alive_count(), 2u);
+
+  mon.probe_once();  // failure 2 of 2: open
+  EXPECT_EQ(mon.state(1), BreakerState::kOpen);
+  EXPECT_EQ(mon.alive_count(), 1u);
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back(), std::make_tuple(std::size_t{1},
+                                        BreakerState::kClosed,
+                                        BreakerState::kOpen));
+
+  mon.probe_once();  // half-open probe, still failing: open again
+  EXPECT_EQ(mon.state(1), BreakerState::kOpen);
+  EXPECT_GE(mon.counts(1).half_opened, 1u);
+
+  healthy[1] = 1;
+  mon.probe_once();  // half-open probe succeeds: recovered
+  EXPECT_EQ(mon.state(1), BreakerState::kClosed);
+  EXPECT_EQ(mon.alive_count(), 2u);
+  EXPECT_EQ(mon.totals().closed, 1u);
+
+  // The healthy backend never transitioned at all.
+  EXPECT_EQ(mon.counts(0).opened, 0u);
+  EXPECT_EQ(mon.counts(0).closed, 0u);
+}
+
+// --- backend spec parsing ---------------------------------------------
+
+TEST(BackendSpecTest, ParsesHostPortAndBarePort) {
+  const BackendSpec a = BackendSpec::parse("10.1.2.3:7734");
+  EXPECT_EQ(a.host, "10.1.2.3");
+  EXPECT_EQ(a.port, 7734);
+  EXPECT_EQ(a.name(), "10.1.2.3:7734");
+
+  const BackendSpec b = BackendSpec::parse("9000");
+  EXPECT_EQ(b.host, "127.0.0.1");
+  EXPECT_EQ(b.port, 9000);
+
+  EXPECT_THROW(BackendSpec::parse("nonsense"), ServeError);
+  EXPECT_THROW(BackendSpec::parse("host:0"), ServeError);
+  EXPECT_THROW(BackendSpec::parse("host:99999"), ServeError);
+}
+
+// --- in-process router fleet ------------------------------------------
+
+/// N serve::Server backends on ephemeral ports behind one Router.
+struct Fleet {
+  std::vector<std::unique_ptr<Server>> servers;
+  std::unique_ptr<Router> router;
+
+  Fleet(std::size_t n, ServerOptions base, RouterOptions ropts) {
+    for (std::size_t i = 0; i < n; ++i) {
+      base.port = 0;
+      servers.push_back(std::make_unique<Server>(base));
+      servers.back()->start();
+      ropts.backends.push_back(
+          BackendSpec{"127.0.0.1", servers.back()->port()});
+    }
+    ropts.port = 0;
+    router = std::make_unique<Router>(std::move(ropts));
+    router->start();
+  }
+
+  ~Fleet() {
+    if (router) router->stop();
+    for (auto& s : servers) s->stop();
+  }
+
+  Client connect() {
+    Client c;
+    c.connect("127.0.0.1", router->port(), /*timeout_ms=*/5000);
+    return c;
+  }
+};
+
+/// Deterministic unit-test router defaults: no background prober, so
+/// breakers learn only from the requests the test issues.
+RouterOptions test_router_options() {
+  RouterOptions ropts;
+  ropts.probe_interval_ms = 0;
+  ropts.connect_timeout_ms = 2'000;
+  return ropts;
+}
+
+json::Value router_stats(Client& c) {
+  const json::Value resp = c.request("{\"op\":\"stats\"}");
+  EXPECT_TRUE(resp.get_bool("ok", false));
+  const json::Value* stats = resp.find("stats");
+  EXPECT_NE(stats, nullptr);
+  return stats ? *stats : json::Value{};
+}
+
+std::uint64_t router_counter(const json::Value& stats, const char* name) {
+  const json::Value* r = stats.find("router");
+  return r ? r->get_uint(name, 0) : 0;
+}
+
+/// Index of the (first) backend the router reports exactly `n`
+/// outstanding jobs on, or kNpos.
+std::size_t backend_with_outstanding(const json::Value& stats,
+                                     std::uint64_t n) {
+  const json::Value* backends = stats.find("backends");
+  if (!backends) return kNpos;
+  const auto& arr = backends->as_array();
+  for (std::size_t i = 0; i < arr.size(); ++i)
+    if (arr[i].get_uint("outstanding", ~std::uint64_t{0}) == n) return i;
+  return kNpos;
+}
+
+std::string backend_breaker(const json::Value& stats, std::size_t i) {
+  return stats.find("backends")->as_array()[i].get_string("breaker", "");
+}
+
+std::uint64_t server_cache_hits(const Server& s) {
+  const json::Value v = parse_json(s.stats_json());
+  const json::Value* cache = v.find("cache");
+  return cache ? cache->get_uint("hits", 0) : 0;
+}
+
+std::uint64_t server_submitted(const Server& s) {
+  const json::Value v = parse_json(s.stats_json());
+  const json::Value* counters = v.find("counters");
+  return counters ? counters->get_uint("submitted", 0) : 0;
+}
+
+TEST(RouterProxyTest, SpeaksTheServedProtocolEndToEnd) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  Fleet fleet(1, sopts, test_router_options());
+  Client c = fleet.connect();
+
+  const json::Value pong = c.request("{\"op\":\"ping\"}");
+  EXPECT_TRUE(pong.get_bool("ok", false));
+  EXPECT_EQ(pong.get_string("type", ""), "pong");
+
+  const json::Value unknown = c.request("{\"op\":\"flub\"}");
+  EXPECT_FALSE(unknown.get_bool("ok", true));
+  EXPECT_EQ(unknown.get_string("error", ""), "unknown_op");
+
+  const json::Value empty = c.request("{\"op\":\"submit\",\"jobs\":[]}");
+  EXPECT_FALSE(empty.get_bool("ok", true));
+  EXPECT_EQ(empty.get_string("error", ""), "bad_request");
+
+  const json::Value lost = c.request("{\"op\":\"status\",\"id\":424242}");
+  EXPECT_FALSE(lost.get_bool("ok", true));
+  EXPECT_EQ(lost.get_string("error", ""), "not_found");
+
+  // Cancel forwards through the router and the result reports it.
+  const json::Value sub = c.request(
+      "{\"op\":\"submit\",\"jobs\":[" + job_json(kLongKernel, "doomed") +
+      "]}");
+  ASSERT_TRUE(sub.get_bool("ok", false));
+  const std::uint64_t id = ids_of(sub)[0];
+  await_running(c, id);
+  const json::Value cancel =
+      c.request("{\"op\":\"cancel\",\"id\":" + std::to_string(id) + "}");
+  EXPECT_TRUE(cancel.get_bool("ok", false));
+  EXPECT_EQ(cancel.get_uint("id", 0), id);  // router id, not backend id
+  const std::string raw = await_result_raw(c, id);
+  EXPECT_NE(raw.find("\"cancelled\""), std::string::npos) << raw;
+}
+
+TEST(RouterAffinityTest, RepeatSubmitsLandOnTheOwnersCache) {
+  ServerOptions sopts;
+  sopts.workers = 2;
+  sopts.cache_bytes = 1 << 20;
+  Fleet fleet(3, sopts, test_router_options());
+  Client c = fleet.connect();
+
+  const std::vector<std::string> kernels = {
+      counting_kernel(100), counting_kernel(101), counting_kernel(102)};
+  std::string jobs;
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    if (i) jobs += ",";
+    jobs += job_json(kernels[i], "aff-" + std::to_string(i));
+  }
+  const std::string submit = "{\"op\":\"submit\",\"jobs\":[" + jobs + "]}";
+
+  const json::Value first = c.request(submit);
+  ASSERT_TRUE(first.get_bool("ok", false));
+  const std::vector<std::uint64_t> ids1 = ids_of(first);
+  ASSERT_EQ(ids1.size(), 3u);
+
+  // Complete and collect every result: bit-identical to a serial run
+  // (after one trip through the shared serializer on both sides).
+  for (std::size_t i = 0; i < ids1.size(); ++i)
+    EXPECT_EQ(result_stats_canonical(await_result_raw(c, ids1[i])),
+              canonical(serial_stats_json(kernels[i])))
+        << "job " << i << " diverged from the serial run";
+
+  // The identical submit hashes to the same owner, whose cache now
+  // holds all three results.
+  const json::Value second = c.request(submit);
+  ASSERT_TRUE(second.get_bool("ok", false));
+  const std::vector<std::uint64_t> ids2 = ids_of(second);
+  EXPECT_EQ(result_stats_canonical(await_result_raw(c, ids2[0])),
+            canonical(serial_stats_json(kernels[0])));
+
+  std::size_t with_hits = kNpos;
+  for (std::size_t i = 0; i < fleet.servers.size(); ++i) {
+    const std::uint64_t hits = server_cache_hits(*fleet.servers[i]);
+    if (hits == 0) continue;
+    EXPECT_EQ(with_hits, kNpos) << "cache hits on two backends";
+    EXPECT_EQ(hits, 3u);
+    with_hits = i;
+  }
+  EXPECT_NE(with_hits, kNpos) << "the repeat submit hit no cache at all";
+
+  // Router counters: both submits routed, nothing rerouted — affinity
+  // placed them, saturation and failover never intervened.
+  const json::Value stats = router_stats(c);
+  EXPECT_EQ(router_counter(stats, "submits_routed"), 2u);
+  EXPECT_EQ(router_counter(stats, "jobs_routed"), 6u);
+  EXPECT_EQ(router_counter(stats, "jobs_rerouted"), 0u);
+  EXPECT_EQ(stats.find("fleet")->get_uint("cache_hits", 0), 3u);
+}
+
+TEST(RouterIdempotencyTest, KeyedSubmitReturnsTheOriginalRouterIds) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  Fleet fleet(2, sopts, test_router_options());
+  Client c = fleet.connect();
+
+  const std::string submit =
+      "{\"op\":\"submit\",\"key\":\"router-key\",\"jobs\":[" +
+      job_json(counting_kernel(100), "keyed") + "]}";
+  const json::Value first = c.request(submit);
+  ASSERT_TRUE(first.get_bool("ok", false));
+  EXPECT_FALSE(first.get_bool("duplicate", true));
+  const std::vector<std::uint64_t> ids = ids_of(first);
+
+  const json::Value dup = c.request(submit);
+  ASSERT_TRUE(dup.get_bool("ok", false));
+  EXPECT_TRUE(dup.get_bool("duplicate", false));
+  EXPECT_EQ(ids_of(dup), ids);
+
+  // Still the same ids once the job has finished.
+  await_result_raw(c, ids[0]);
+  const json::Value late = c.request(submit);
+  ASSERT_TRUE(late.get_bool("ok", false));
+  EXPECT_TRUE(late.get_bool("duplicate", false));
+  EXPECT_EQ(ids_of(late), ids);
+}
+
+TEST(RouterBackpressureTest, DivertsAroundASaturatedOwner) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.queue_capacity = 1;
+  sopts.batch_max = 1;
+  Fleet fleet(3, sopts, test_router_options());
+  Client c = fleet.connect();
+
+  const std::string submit = "{\"op\":\"submit\",\"jobs\":[" +
+                             job_json(kLongKernel, "sat") + "]}";
+  // First copy: dispatched on the owner (await it so the queue drains).
+  const json::Value first = c.request(submit);
+  ASSERT_TRUE(first.get_bool("ok", false));
+  await_running(c, ids_of(first)[0]);
+  const std::size_t owner =
+      backend_with_outstanding(router_stats(c), 1);
+  ASSERT_NE(owner, kNpos);
+
+  // Second copy: same content, same owner — parked in its queue slot.
+  const json::Value second = c.request(submit);
+  ASSERT_TRUE(second.get_bool("ok", false));
+
+  // Third copy: the owner is saturated (1 running + 1 queued), so the
+  // router diverts it to the next candidate instead of refusing.
+  const json::Value third = c.request(submit);
+  ASSERT_TRUE(third.get_bool("ok", false))
+      << "router refused although two backends were idle";
+
+  const json::Value stats = router_stats(c);
+  EXPECT_EQ(router_counter(stats, "submits_routed"), 3u);
+  EXPECT_GE(router_counter(stats, "jobs_rerouted"), 1u);
+  EXPECT_EQ(router_counter(stats, "submits_rejected"), 0u);
+  EXPECT_EQ(stats.find("backends")
+                ->as_array()[owner]
+                .get_uint("outstanding", 0),
+            2u);
+}
+
+TEST(RouterBackpressureTest, PropagatesQueueFullWhenTheWholeFleetIsSaturated) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.queue_capacity = 1;
+  sopts.batch_max = 1;
+  Fleet fleet(1, sopts, test_router_options());
+  Client c = fleet.connect();
+
+  const std::string submit = "{\"op\":\"submit\",\"jobs\":[" +
+                             job_json(kLongKernel, "full") + "]}";
+  const json::Value first = c.request(submit);
+  ASSERT_TRUE(first.get_bool("ok", false));
+  await_running(c, ids_of(first)[0]);
+  ASSERT_TRUE(c.request(submit).get_bool("ok", false));  // fills the queue
+
+  const json::Value refused = c.request(submit);
+  EXPECT_FALSE(refused.get_bool("ok", true));
+  EXPECT_EQ(refused.get_string("error", ""), "queue_full");
+  EXPECT_GT(refused.get_uint("retry_after_ms", 0), 0u)
+      << "backpressure lost its honest retry hint through the router";
+
+  EXPECT_EQ(router_counter(router_stats(c), "submits_rejected"), 1u);
+}
+
+TEST(RouterLeastQueuedTest, SpreadsIdenticalWorkAcrossTheFleet) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  RouterOptions ropts = test_router_options();
+  ropts.affinity = false;  // cache-disabled fleet mode
+  Fleet fleet(3, sopts, ropts);
+  Client c = fleet.connect();
+
+  // Identical content would colocate under affinity; least-queued must
+  // spread it one job per backend instead.
+  const std::string submit = "{\"op\":\"submit\",\"jobs\":[" +
+                             job_json(counting_kernel(100), "spread") + "]}";
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    const json::Value resp = c.request(submit);
+    ASSERT_TRUE(resp.get_bool("ok", false));
+    ids.push_back(ids_of(resp)[0]);
+  }
+
+  const json::Value stats = router_stats(c);
+  EXPECT_EQ(stats.find("router")->get_string("mode", ""), "least_queued");
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(stats.find("backends")->as_array()[i].get_uint("outstanding",
+                                                             0),
+              1u)
+        << "backend " << i;
+
+  const std::string want = canonical(serial_stats_json(counting_kernel(100)));
+  for (const std::uint64_t id : ids)
+    EXPECT_EQ(result_stats_canonical(await_result_raw(c, id)), want);
+}
+
+TEST(RouterFailoverTest, InjectedFaultsOpenTheBreakerAndRerouteExactlyOnce) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  RouterOptions ropts = test_router_options();
+  ropts.breaker.failure_threshold = 3;
+  ropts.breaker.open_cooldown_ms = 60'000;  // stays open for the test
+  Fleet fleet(2, sopts, ropts);
+  Client c = fleet.connect();
+
+  const std::string submit =
+      "{\"op\":\"submit\",\"key\":\"fault-key\",\"jobs\":[" +
+      job_json(counting_kernel(100), "fault-job") + "]}";
+  const json::Value sub = c.request(submit);
+  ASSERT_TRUE(sub.get_bool("ok", false));
+  const std::uint64_t id = ids_of(sub)[0];
+  const std::size_t owner = backend_with_outstanding(router_stats(c), 1);
+  ASSERT_NE(owner, kNpos);
+  const std::size_t survivor = 1 - owner;
+
+  {
+    // Fail every router→backend request from here on, budgeted to the
+    // breaker threshold: the third failure opens the owner's breaker
+    // and the failover resubmit (request four) goes through untouched.
+    fault::FaultPlan plan;
+    plan.backend_fail_at = 1;
+    plan.max_faults = ropts.breaker.failure_threshold;
+    fault::ScopedInjector inj(plan);
+    for (unsigned i = 0; i < ropts.breaker.failure_threshold; ++i) {
+      const json::Value resp =
+          c.request("{\"op\":\"status\",\"id\":" + std::to_string(id) + "}");
+      EXPECT_FALSE(resp.get_bool("ok", true))
+          << "status " << i << " ignored the injected fault";
+    }
+    EXPECT_EQ(inj->counts().backend_requests_failed,
+              std::uint64_t{ropts.breaker.failure_threshold});
+  }
+  EXPECT_EQ(fleet.router->backend_state(owner), BreakerState::kOpen);
+
+  // The rerouted job completes on the survivor, bit-identical.
+  EXPECT_EQ(result_stats_canonical(await_result_raw(c, id)),
+            canonical(serial_stats_json(counting_kernel(100))));
+
+  // Exactly-once from the client's view: the key still answers with the
+  // original router ids, and each backend admitted the group once.
+  const json::Value dup = c.request(submit);
+  ASSERT_TRUE(dup.get_bool("ok", false));
+  EXPECT_TRUE(dup.get_bool("duplicate", false));
+  EXPECT_EQ(ids_of(dup), std::vector<std::uint64_t>{id});
+  EXPECT_EQ(server_submitted(*fleet.servers[owner]), 1u);
+  EXPECT_EQ(server_submitted(*fleet.servers[survivor]), 1u);
+
+  const json::Value stats = router_stats(c);
+  EXPECT_EQ(router_counter(stats, "jobs_rerouted"), 1u);
+  EXPECT_EQ(router_counter(stats, "ring_moves"), 1u);
+  EXPECT_EQ(stats.find("router")->find("breaker")->get_uint("opened", 0),
+            1u);
+  EXPECT_EQ(stats.find("router")->get_uint("alive", 0), 1u);
+  EXPECT_EQ(backend_breaker(stats, owner), "open");
+}
+
+TEST(RouterFailoverTest, BackendStopMidRunFailsOverBitIdentically) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  RouterOptions ropts = test_router_options();
+  ropts.breaker.failure_threshold = 1;  // one transport failure is enough
+  ropts.breaker.open_cooldown_ms = 60'000;
+  Fleet fleet(2, sopts, ropts);
+  Client c = fleet.connect();
+
+  const json::Value sub = c.request("{\"op\":\"submit\",\"jobs\":[" +
+                                    job_json(kLongKernel, "stop-fo") + "]}");
+  ASSERT_TRUE(sub.get_bool("ok", false));
+  const std::uint64_t id = ids_of(sub)[0];
+  await_running(c, id);
+  const std::size_t owner = backend_with_outstanding(router_stats(c), 1);
+  ASSERT_NE(owner, kNpos);
+
+  // Stop the owner mid-simulation: the next forward fails, the breaker
+  // opens, and the group is resubmitted to the survivor.
+  fleet.servers[owner]->stop();
+  const std::string raw = await_result_raw(c, id);
+  EXPECT_EQ(result_stats_canonical(raw),
+            canonical(serial_stats_json(kLongKernel)))
+      << "failed-over result diverged from the serial run";
+  EXPECT_NE(raw.find("\"label\":\"stop-fo\""), std::string::npos);
+
+  const json::Value stats = router_stats(c);
+  EXPECT_EQ(router_counter(stats, "jobs_rerouted"), 1u);
+  EXPECT_EQ(backend_breaker(stats, owner), "open");
+  EXPECT_EQ(stats.find("router")->get_uint("alive", 0), 1u);
+}
+
+TEST(RouterMetricsTest, ExposesRouterAndBackendPrometheusSeries) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.cache_bytes = 1 << 20;
+  Fleet fleet(2, sopts, test_router_options());
+  Client c = fleet.connect();
+
+  const json::Value sub = c.request("{\"op\":\"submit\",\"jobs\":[" +
+                                    job_json(counting_kernel(100), "m") +
+                                    "]}");
+  ASSERT_TRUE(sub.get_bool("ok", false));
+  await_result_raw(c, ids_of(sub)[0]);
+
+  const json::Value resp = c.request("{\"op\":\"metrics_text\"}");
+  ASSERT_TRUE(resp.get_bool("ok", false));
+  const std::string text = resp.get_string("text", "");
+  for (const char* series :
+       {"masc_routerd_backends 2", "masc_routerd_backends_alive 2",
+        "masc_routerd_submits_routed_total 1",
+        "masc_routerd_jobs_routed_total 1",
+        "masc_routerd_jobs_rerouted_total 0",
+        "masc_routerd_submits_rejected_total 0",
+        "masc_routerd_results_served_total 1",
+        "masc_routerd_ring_moves_total 0",
+        "masc_routerd_breaker_opened_total 0",
+        "masc_routerd_breaker_half_opened_total",
+        "masc_routerd_breaker_closed_total",
+        "masc_routerd_backend_up{backend=\"127.0.0.1:",
+        "masc_routerd_backend_outstanding{backend=\"127.0.0.1:"})
+    EXPECT_NE(text.find(series), std::string::npos)
+        << "missing series: " << series << "\n" << text;
+
+  // The backends' own exposition uses the masc_served_ namespace
+  // (docs/SERVER.md "Prometheus metrics") — both sides documented in
+  // docs/CLUSTER.md must actually exist.
+  const std::string backend_text = fleet.servers[0]->metrics_text();
+  EXPECT_NE(backend_text.find("masc_served_"), std::string::npos);
+  EXPECT_EQ(backend_text.find("masc_routerd_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace masc
