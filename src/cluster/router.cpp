@@ -377,10 +377,13 @@ std::string Router::handle_submit(const json::Value& req) {
     jobs_json = js.str();
   }
   if (client_key.empty()) {
+    // Reserve the key atomically: the sequence advances at generation
+    // time, so two concurrent keyless submits can never mint the same
+    // fleet key (the backend dedups purely on key — a collision would
+    // hand one client the other's results).
     std::ostringstream ks;
     const std::lock_guard<std::mutex> lock(state_mu_);
-    ks << "r:" << std::hex << key_prefix_ << ":" << std::dec
-       << next_router_id_;
+    ks << "r:" << std::hex << key_prefix_ << ":" << std::dec << fleet_seq_++;
     fleet_key = ks.str();
   } else {
     // Derive the fleet key from the client's so the SAME key reaches
@@ -431,20 +434,36 @@ std::string Router::handle_submit(const json::Value& req) {
       }
       return json::serialize(resp);
     }
-    std::vector<std::uint64_t> backend_ids = ids_from_response(resp);
+    std::vector<std::uint64_t> backend_ids;
+    try {
+      backend_ids = ids_from_response(resp);
+    } catch (const std::exception& e) {
+      // ok:true without a usable "ids" array: treat it as a candidate
+      // failure (as place_group does) — it must never unwind past the
+      // keyed reservation above, which would wedge that client key.
+      last_error = "backend " + opts_.backends[b].name() + ": " + e.what();
+      continue;
+    }
     if (backend_ids.size() != njobs) {
       last_error = "backend " + opts_.backends[b].name() +
                    " returned " + std::to_string(backend_ids.size()) +
                    " ids for " + std::to_string(njobs) + " jobs";
+      // A fresh acceptance we refuse to track would run as orphans:
+      // cancel it best-effort. A duplicate reply maps to jobs some
+      // earlier submit legitimately owns — leave those alone.
+      if (!resp.get_bool("duplicate", false))
+        cancel_backend_ids(b, backend_ids);
       continue;
     }
     auto group = std::make_unique<SubmitGroup>();
     group->jobs_json = std::move(jobs_json);
     group->deadline_ms = deadline_ms;
     group->fleet_key = std::move(fleet_key);
+    group->client_key = client_key;
     group->route_key = route_key;
     group->backend = b;
     group->backend_ids = std::move(backend_ids);
+    group->unreleased = njobs;
     std::vector<std::uint64_t> router_ids;
     router_ids.reserve(njobs);
     {
@@ -488,20 +507,24 @@ bool Router::place_group(std::size_t group_idx, std::size_t exclude) {
   std::string payload;
   Hash128 key;
   std::size_t pending = 0;
+  std::size_t expected = 0;
   {
     const std::lock_guard<std::mutex> lock(state_mu_);
-    const SubmitGroup& g = *groups_[group_idx];
-    for (const std::uint64_t rid : g.router_ids) {
+    const SubmitGroup* g = groups_[group_idx].get();
+    if (!g) return true;  // fully released and reclaimed: no move
+    for (const std::uint64_t rid : g->router_ids) {
       const auto it = jobs_.find(rid);
       if (it != jobs_.end() && it->second.result_json.empty()) ++pending;
     }
     if (pending == 0) return true;  // fully served (or released): no move
     std::ostringstream ps;
-    ps << "{\"op\":\"submit\",\"key\":\"" << json_escape(g.fleet_key) << "\"";
-    if (g.deadline_ms > 0) ps << ",\"deadline_ms\":" << g.deadline_ms;
-    ps << ",\"jobs\":" << g.jobs_json << "}";
+    ps << "{\"op\":\"submit\",\"key\":\"" << json_escape(g->fleet_key)
+       << "\"";
+    if (g->deadline_ms > 0) ps << ",\"deadline_ms\":" << g->deadline_ms;
+    ps << ",\"jobs\":" << g->jobs_json << "}";
     payload = ps.str();
-    key = g.route_key;
+    key = g->route_key;
+    expected = g->router_ids.size();
   }
   for (const std::size_t b : placement(key, exclude)) {
     json::Value resp;
@@ -517,13 +540,31 @@ bool Router::place_group(std::size_t group_idx, std::size_t exclude) {
     } catch (const std::exception&) {
       continue;
     }
+    const bool duplicate = resp.get_bool("duplicate", false);
+    if (ids.size() != expected) {
+      // The backend accepted (or remembered) the group in a different
+      // shape than it admitted it. A fresh acceptance we walk away from
+      // would run as orphans, so cancel it best-effort; a duplicate
+      // reply maps to jobs another submit may own, so leave it alone
+      // and just skip this candidate.
+      if (!duplicate) cancel_backend_ids(b, ids);
+      continue;
+    }
+    bool claimed = false;
     {
       const std::lock_guard<std::mutex> lock(state_mu_);
-      SubmitGroup& g = *groups_[group_idx];
-      if (ids.size() != g.router_ids.size()) continue;
-      g.backend = b;
-      g.backend_ids = std::move(ids);
-      jobs_rerouted_ += pending;
+      if (SubmitGroup* g = groups_[group_idx].get()) {
+        g->backend = b;
+        g->backend_ids = std::move(ids);
+        jobs_rerouted_ += pending;
+        claimed = true;
+      }
+    }
+    if (!claimed) {
+      // Every job was fetched-and-released while we were resubmitting:
+      // nobody will ever collect this copy, so unwind it best-effort.
+      if (!duplicate) cancel_backend_ids(b, ids);
+      return true;
     }
     jobs_cv_.notify_all();
     return true;
@@ -532,8 +573,34 @@ bool Router::place_group(std::size_t group_idx, std::size_t exclude) {
   // unplaced: result waiters keep polling and the next breaker-close or
   // not_found retry will try again.
   const std::lock_guard<std::mutex> lock(state_mu_);
-  groups_[group_idx]->backend = npos;
+  if (groups_[group_idx]) groups_[group_idx]->backend = npos;
   return false;
+}
+
+void Router::release_job_locked(
+    std::unordered_map<std::uint64_t, JobEntry>::iterator it) {
+  const std::size_t gidx = it->second.group;
+  jobs_.erase(it);
+  SubmitGroup* g = groups_[gidx].get();
+  if (!g || g->unreleased == 0 || --g->unreleased > 0) return;
+  // Last job released: nothing can fetch or resubmit this group again,
+  // so reclaim its record — a long-lived router must not grow with
+  // total submits. The client key goes with it: released means done,
+  // and a resend dedups at the backend via the fleet key anyway.
+  if (!g->client_key.empty()) by_client_key_.erase(g->client_key);
+  groups_[gidx].reset();
+}
+
+void Router::cancel_backend_ids(std::size_t b,
+                                const std::vector<std::uint64_t>& ids) {
+  for (const std::uint64_t id : ids) {
+    try {
+      backend_request(b, "{\"op\":\"cancel\",\"id\":" + std::to_string(id) +
+                             "}");
+    } catch (const std::exception&) {
+      // Best effort: the breaker already heard about transport failures.
+    }
+  }
 }
 
 void Router::fail_over(std::size_t dead) {
@@ -545,7 +612,7 @@ void Router::fail_over(std::size_t dead) {
   {
     const std::lock_guard<std::mutex> slock(state_mu_);
     for (std::size_t g = 0; g < groups_.size(); ++g)
-      if (groups_[g]->backend == dead) affected.push_back(g);
+      if (groups_[g] && groups_[g]->backend == dead) affected.push_back(g);
   }
   for (const std::size_t g : affected) place_group(g, dead);
 }
@@ -555,7 +622,9 @@ bool Router::reroute_group(std::size_t group_idx, bool allow_current) {
   std::size_t current;
   {
     const std::lock_guard<std::mutex> slock(state_mu_);
-    current = groups_[group_idx]->backend;
+    const SubmitGroup* g = groups_[group_idx].get();
+    if (!g) return true;  // fully released and reclaimed: nothing to move
+    current = g->backend;
   }
   return place_group(group_idx, allow_current ? npos : current);
 }
@@ -585,6 +654,11 @@ std::string Router::handle_result(const json::Value& req) {
 
   unsigned attempts = 0;
   for (;;) {
+    // The wait/retry deadline is client-chosen (and unbounded): never
+    // let it outlive the router — stop() joins this session's thread.
+    if (stopping_.load())
+      return error_json("shutting_down", "router stopping",
+                        "\"id\":" + std::to_string(rid));
     std::string cached;
     std::size_t gidx = 0, b = npos;
     std::uint64_t bid = 0;
@@ -595,7 +669,7 @@ std::string Router::handle_result(const json::Value& req) {
         return error_json("not_found", "no job " + std::to_string(rid));
       if (!it->second.result_json.empty()) {
         cached = it->second.result_json;
-        if (release) jobs_.erase(it);
+        if (release) release_job_locked(it);
         ++results_served_;
       } else {
         gidx = it->second.group;
@@ -658,7 +732,7 @@ std::string Router::handle_result(const json::Value& req) {
         const auto it = jobs_.find(rid);
         if (it != jobs_.end()) {
           if (release)
-            jobs_.erase(it);
+            release_job_locked(it);
           else
             it->second.result_json = body;
         }
@@ -796,7 +870,7 @@ std::string Router::handle_forwarded_by_id(const json::Value& req,
 
 std::string Router::stats_json() {
   std::uint64_t submits_routed, jobs_routed, jobs_rerouted, submits_rejected,
-      results_served, ring_moves, jobs_tracked;
+      results_served, ring_moves, jobs_tracked, groups_live = 0;
   {
     const std::lock_guard<std::mutex> lock(state_mu_);
     submits_routed = submits_routed_;
@@ -806,6 +880,8 @@ std::string Router::stats_json() {
     results_served = results_served_;
     ring_moves = ring_moves_;
     jobs_tracked = jobs_.size();
+    for (const auto& g : groups_)
+      if (g) ++groups_live;
   }
   const BreakerCounts trans = health_.totals();
   const std::vector<std::size_t> outstanding = outstanding_by_backend();
@@ -823,6 +899,7 @@ std::string Router::stats_json() {
   os << ",\"results_served\":" << results_served;
   os << ",\"ring_moves\":" << ring_moves;
   os << ",\"jobs_tracked\":" << jobs_tracked;
+  os << ",\"groups_live\":" << groups_live;
   os << ",\"breaker\":{\"opened\":" << trans.opened
      << ",\"half_opened\":" << trans.half_opened
      << ",\"closed\":" << trans.closed << "}";
@@ -884,7 +961,7 @@ std::string Router::stats_json() {
 
 std::string Router::metrics_text() {
   std::uint64_t submits_routed, jobs_routed, jobs_rerouted, submits_rejected,
-      results_served, ring_moves;
+      results_served, ring_moves, jobs_tracked, groups_live = 0;
   {
     const std::lock_guard<std::mutex> lock(state_mu_);
     submits_routed = submits_routed_;
@@ -893,6 +970,9 @@ std::string Router::metrics_text() {
     submits_rejected = submits_rejected_;
     results_served = results_served_;
     ring_moves = ring_moves_;
+    jobs_tracked = jobs_.size();
+    for (const auto& g : groups_)
+      if (g) ++groups_live;
   }
   const BreakerCounts trans = health_.totals();
   const std::vector<std::size_t> outstanding = outstanding_by_backend();
@@ -922,6 +1002,10 @@ std::string Router::metrics_text() {
           "Result responses returned to clients");
   counter("masc_routerd_ring_moves_total", ring_moves,
           "Routable-set changes (backend died or recovered)");
+  gauge("masc_routerd_jobs_tracked", jobs_tracked,
+        "Jobs the router still tracks (unfetched or unreleased)");
+  gauge("masc_routerd_groups_live", groups_live,
+        "Submit groups not yet fully released");
   counter("masc_routerd_breaker_opened_total", trans.opened,
           "Breaker transitions to open");
   counter("masc_routerd_breaker_half_opened_total", trans.half_opened,

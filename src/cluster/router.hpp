@@ -120,10 +120,12 @@ class Router {
     std::string jobs_json;        ///< serialized "jobs" array, for resubmits
     std::uint64_t deadline_ms = 0;
     std::string fleet_key;        ///< idempotency key used toward backends
+    std::string client_key;       ///< router-level key ("" for keyless)
     Hash128 route_key;            ///< combined content hash of the jobs
     std::vector<std::uint64_t> router_ids;
     std::size_t backend = npos;   ///< current owner (index into backends)
     std::vector<std::uint64_t> backend_ids;  ///< parallel to router_ids
+    std::size_t unreleased = 0;   ///< jobs not yet fetched-and-released
   };
 
   struct JobEntry {
@@ -184,6 +186,18 @@ class Router {
   /// Router-tracked unfinished jobs per backend (for least-queued).
   std::vector<std::size_t> outstanding_by_backend();
 
+  /// Erase a released job and, when it was its group's last unreleased
+  /// one, reclaim the whole group record (jobs payload, id maps, client
+  /// key) so a long-lived router does not grow with total submits.
+  /// Caller holds state_mu_.
+  void release_job_locked(
+      std::unordered_map<std::uint64_t, JobEntry>::iterator it);
+
+  /// Best-effort cancel of backend-side jobs the router refuses to
+  /// track (e.g. an id-count mismatch), bounding orphaned work.
+  void cancel_backend_ids(std::size_t b,
+                          const std::vector<std::uint64_t>& ids);
+
   void on_breaker_transition(std::size_t i, BreakerState from,
                              BreakerState to);
 
@@ -202,6 +216,7 @@ class Router {
   std::map<std::string, KeyedSubmit> by_client_key_;
   std::uint64_t next_router_id_ = 1;
   std::uint64_t key_prefix_ = 0;  ///< randomizes generated fleet keys
+  std::uint64_t fleet_seq_ = 1;   ///< reserves generated fleet keys
 
   /// Serializes fail_over/reroute storms. Recursive because placing a
   /// group on a survivor can open THAT survivor's breaker, whose

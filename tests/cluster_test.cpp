@@ -726,6 +726,8 @@ TEST(RouterMetricsTest, ExposesRouterAndBackendPrometheusSeries) {
         "masc_routerd_submits_rejected_total 0",
         "masc_routerd_results_served_total 1",
         "masc_routerd_ring_moves_total 0",
+        "masc_routerd_jobs_tracked 1",
+        "masc_routerd_groups_live 1",
         "masc_routerd_breaker_opened_total 0",
         "masc_routerd_breaker_half_opened_total",
         "masc_routerd_breaker_closed_total",
@@ -740,6 +742,118 @@ TEST(RouterMetricsTest, ExposesRouterAndBackendPrometheusSeries) {
   const std::string backend_text = fleet.servers[0]->metrics_text();
   EXPECT_NE(backend_text.find("masc_served_"), std::string::npos);
   EXPECT_EQ(backend_text.find("masc_routerd_"), std::string::npos);
+}
+
+TEST(RouterConcurrencyTest, ConcurrentKeylessSubmitsGetDistinctFleetKeys) {
+  // Regression: generated fleet keys must be reserved atomically at
+  // generation time. Two concurrent keyless submits once minted the
+  // same "r:<prefix>:<N>" key, so the backend deduped the second
+  // against the first and one client silently received the other's
+  // results without its jobs ever running.
+  ServerOptions sopts;
+  sopts.workers = 2;
+  Fleet fleet(1, sopts, test_router_options());
+
+  constexpr unsigned kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::string> got(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&fleet, &got, t] {
+      Client c = fleet.connect();
+      const json::Value sub = c.request(
+          "{\"op\":\"submit\",\"jobs\":[" +
+          job_json(counting_kernel(200 + t), "conc-" + std::to_string(t)) +
+          "]}");
+      if (!sub.get_bool("ok", false)) return;
+      got[t] = result_stats_canonical(await_result_raw(c, ids_of(sub)[0]));
+    });
+  for (auto& th : threads) th.join();
+  for (unsigned t = 0; t < kThreads; ++t)
+    EXPECT_EQ(got[t], canonical(serial_stats_json(counting_kernel(200 + t))))
+        << "submitter " << t << " received another client's results";
+  // Every submit really ran: the lone backend admitted all eight
+  // distinct groups instead of answering any of them as a duplicate.
+  EXPECT_EQ(server_submitted(*fleet.servers[0]), kThreads);
+}
+
+TEST(RouterReleaseTest, ReleasingEveryJobReclaimsTheGroup) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  Fleet fleet(1, sopts, test_router_options());
+  Client c = fleet.connect();
+
+  const std::string submit =
+      "{\"op\":\"submit\",\"key\":\"rel-key\",\"jobs\":[" +
+      job_json(counting_kernel(100), "rel-a") + "," +
+      job_json(counting_kernel(101), "rel-b") + "]}";
+  const json::Value sub = c.request(submit);
+  ASSERT_TRUE(sub.get_bool("ok", false));
+  const std::vector<std::uint64_t> ids = ids_of(sub);
+  ASSERT_EQ(ids.size(), 2u);
+
+  json::Value stats = router_stats(c);
+  EXPECT_EQ(router_counter(stats, "jobs_tracked"), 2u);
+  EXPECT_EQ(router_counter(stats, "groups_live"), 1u);
+
+  // Fetch the first with release: the group survives — its sibling is
+  // still tracked.
+  json::Value resp = c.request(
+      "{\"op\":\"result\",\"id\":" + std::to_string(ids[0]) +
+      ",\"wait\":true,\"release\":true,\"timeout_ms\":120000}");
+  ASSERT_TRUE(resp.get_bool("ok", false));
+  stats = router_stats(c);
+  EXPECT_EQ(router_counter(stats, "jobs_tracked"), 1u);
+  EXPECT_EQ(router_counter(stats, "groups_live"), 1u);
+
+  // Releasing the last job reclaims the whole group record: a
+  // long-lived router must not grow with total submits.
+  resp = c.request("{\"op\":\"result\",\"id\":" + std::to_string(ids[1]) +
+                   ",\"wait\":true,\"release\":true,\"timeout_ms\":120000}");
+  ASSERT_TRUE(resp.get_bool("ok", false));
+  stats = router_stats(c);
+  EXPECT_EQ(router_counter(stats, "jobs_tracked"), 0u);
+  EXPECT_EQ(router_counter(stats, "groups_live"), 0u);
+
+  // The client key was reclaimed with the group: a resend is a fresh
+  // submit with new router ids, not a duplicate of released work (the
+  // backend still dedups it via the fleet key, so nothing re-executes).
+  const json::Value again = c.request(submit);
+  ASSERT_TRUE(again.get_bool("ok", false));
+  EXPECT_FALSE(again.get_bool("duplicate", true));
+  EXPECT_NE(ids_of(again), ids);
+  EXPECT_EQ(server_submitted(*fleet.servers[0]), 2u);
+}
+
+TEST(RouterShutdownTest, StopUnblocksALongResultWait) {
+  // Regression: handle_result's wait loop honored only the
+  // client-chosen deadline, so stop() could block on a session thread
+  // for that entire (unbounded) wait.
+  ServerOptions sopts;
+  sopts.workers = 1;
+  Fleet fleet(1, sopts, test_router_options());
+
+  Client c = fleet.connect();
+  const json::Value sub = c.request("{\"op\":\"submit\",\"jobs\":[" +
+                                    job_json(kLongKernel, "stop-wait") +
+                                    "]}");
+  ASSERT_TRUE(sub.get_bool("ok", false));
+  const std::uint64_t id = ids_of(sub)[0];
+
+  // Park a waiter whose deadline is far beyond any shutdown budget.
+  std::thread waiter([&c, id] {
+    try {
+      c.request_raw("{\"op\":\"result\",\"id\":" + std::to_string(id) +
+                    ",\"wait\":true,\"timeout_ms\":600000}");
+    } catch (const std::exception&) {
+      // The router hung up mid-wait: exactly what stop() should do.
+    }
+  });
+  std::this_thread::sleep_for(100ms);  // let the wait reach the backend
+  const auto t0 = std::chrono::steady_clock::now();
+  fleet.router->stop();
+  const auto took = std::chrono::steady_clock::now() - t0;
+  waiter.join();
+  EXPECT_LT(took, 10s) << "stop() waited out a client result deadline";
 }
 
 }  // namespace
