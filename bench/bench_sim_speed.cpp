@@ -4,6 +4,8 @@
 // the "cycle-accurate simulator runs on a laptop" check.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "bench_util.hpp"
 #include "sim/funcsim.hpp"
 
@@ -38,6 +40,68 @@ BENCHMARK(BM_CycleSim)
     ->Args({256, 16})
     ->Args({1024, 16})
     ->Unit(benchmark::kMillisecond);
+
+// Intra-job threading curves (docs/THREADING.md): the same job at rising
+// --sim-threads, on a row-compute-dense workload (parallel division rows
+// are p unvectorizable host divides each, so at 1024 PEs each row loop
+// is real work the fork/join barrier can amortize). Before timing, one
+// serial and one pooled run are compared blob-for-blob: the bench refuses
+// to measure a parallel path that is not bit-identical, so the recorded
+// curves are always for the verified implementation. Speedup at T
+// threads = time(BM_CycleSimMT/p/1) / time(BM_CycleSimMT/p/T); on a
+// single-core host all thread counts collapse to roughly serial time.
+void BM_CycleSimMT(benchmark::State& state) {
+  const auto pes = static_cast<std::uint32_t>(state.range(0));
+  const auto sim_threads = static_cast<std::uint32_t>(state.range(1));
+  MachineConfig cfg;
+  cfg.num_pes = pes;
+  cfg.num_threads = 16;
+  cfg.word_width = 16;
+  cfg.sim_threads = sim_threads;
+  const Program prog = assemble(bench::parallel_dense_program(256));
+
+  {
+    // Bit-identity gate (also exercised standalone by the bench_mt_smoke
+    // ctest entry): serial and pooled runs of this exact workload must
+    // produce byte-identical state blobs, and the pool must actually be
+    // active at the requested width.
+    MachineConfig serial_cfg = cfg;
+    serial_cfg.sim_threads = 1;
+    Machine serial(serial_cfg), pooled(cfg);
+    if (pooled.active_sim_threads() != sim_threads) {
+      std::fprintf(stderr, "BM_CycleSimMT: pool inactive (%u != %u)\n",
+                   pooled.active_sim_threads(), sim_threads);
+      std::exit(1);
+    }
+    serial.load(prog);
+    pooled.load(prog);
+    serial.run(10'000'000);
+    pooled.run(10'000'000);
+    if (serial.save_state() != pooled.save_state()) {
+      std::fprintf(stderr,
+                   "BM_CycleSimMT: parallel path NOT bit-identical at "
+                   "p=%u sim_threads=%u\n", pes, sim_threads);
+      std::exit(1);
+    }
+  }
+
+  Cycle total_cycles = 0;
+  for (auto _ : state) {
+    Machine m(cfg);
+    m.load(prog);
+    benchmark::DoNotOptimize(m.run(10'000'000));
+    total_cycles += m.stats().cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
+  state.counters["cycles/run"] =
+      static_cast<double>(total_cycles) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_CycleSimMT)
+    ->Args({16, 1})->Args({16, 2})->Args({16, 4})->Args({16, 8})
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})->Args({256, 8})
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})->Args({1024, 8})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_FuncSim(benchmark::State& state) {
   const auto pes = static_cast<std::uint32_t>(state.range(0));

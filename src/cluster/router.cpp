@@ -329,6 +329,37 @@ std::string Router::handle_submit(const json::Value& req) {
   const std::uint64_t deadline_ms = req.get_uint("deadline_ms", 0);
   const std::string client_key = req.get_string("key", "");
 
+  // Fleet-wide intra-job parallelism default (docs/THREADING.md): inject
+  // "sim_threads" into each job config that doesn't set its own, before
+  // validation/serialization so backends and failover resubmits all see
+  // the same payload. Results and cache keys are unaffected — the knob
+  // is excluded from sweep_cache_key — so affinity routing still lands
+  // repeats on their cached backend.
+  json::Value jobs_owned;
+  if (opts_.default_sim_threads > 1) {
+    jobs_owned = *jobs_v;
+    for (json::Value& elem : jobs_owned.array) {
+      if (!elem.is_object()) continue;
+      json::Value* cfg = nullptr;
+      for (auto& [k, v] : elem.object)
+        if (k == "config") cfg = &v;
+      if (cfg == nullptr) {
+        json::Value obj;
+        obj.kind = json::Value::Kind::kObject;
+        elem.object.emplace_back("config", std::move(obj));
+        cfg = &elem.object.back().second;
+      }
+      if (!cfg->is_object() || cfg->find("sim_threads") != nullptr) continue;
+      json::Value n;
+      n.kind = json::Value::Kind::kNumber;
+      n.number = static_cast<double>(opts_.default_sim_threads);
+      n.integer = static_cast<std::int64_t>(opts_.default_sim_threads);
+      n.is_integer = true;
+      cfg->object.emplace_back("sim_threads", std::move(n));
+    }
+    jobs_v = &jobs_owned;
+  }
+
   // Validate every job with the backend's own parser and fold the jobs'
   // content hashes (the exact keys the backend ResultCache will use)
   // into the route key. A submit that cannot parse is refused here —

@@ -77,6 +77,12 @@ struct RouterOptions {
   std::uint64_t io_timeout_ms = 0;
   /// Reap client sessions idle this long, ms; 0 = never.
   std::uint64_t idle_timeout_ms = 0;
+  /// When > 1, inject "sim_threads": N into each submitted job config
+  /// that does not set its own, so a whole fleet can be switched to
+  /// intra-job row parallelism at the router (docs/THREADING.md).
+  /// Safe for routing: sim_threads is excluded from result-cache keys,
+  /// so affinity and backend cache hits are unaffected.
+  std::uint32_t default_sim_threads = 1;
 };
 
 class Router {

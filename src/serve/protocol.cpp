@@ -29,6 +29,10 @@ MachineConfig config_from_json(const json::Value& v) {
   else if (sched == "coarse") cfg.sched_policy = ThreadSchedPolicy::kCoarseGrain;
   else if (sched == "smt") cfg.sched_policy = ThreadSchedPolicy::kSmt;
   else throw JsonError("unknown sched policy \"" + sched + "\"");
+  // Host-execution knob, not architectural: never hashed into cache keys
+  // or config identity (docs/THREADING.md).
+  cfg.sim_threads =
+      static_cast<std::uint32_t>(v.get_uint("sim_threads", cfg.sim_threads));
   cfg.validate();
   return cfg;
 }

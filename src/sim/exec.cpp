@@ -1,10 +1,12 @@
 #include "sim/exec.hpp"
 
+#include <atomic>
 #include <span>
 #include <vector>
 
 #include "common/bits.hpp"
 #include "sim/network/trees.hpp"
+#include "sim/pe_pool.hpp"
 
 namespace masc {
 
@@ -113,6 +115,20 @@ const Word* value_row(const ArchState& st, ThreadId t, RegNum r) {
   return st.preg_row(t, r);
 }
 
+/// Run `body(lo, hi)` over the PE index space [0, p): fanned out across
+/// the pool's fixed chunks when one is attached and the array is large
+/// enough to amortize the fork/join barrier, inline otherwise. Bodies
+/// are elementwise over the SoA rows — element pe is read and written
+/// only by the chunk owning pe — so both paths compute identical state
+/// (docs/THREADING.md spells out the contract).
+template <typename Body>
+void rows(PEWorkerPool* pool, std::uint32_t p, Body&& body) {
+  if (pool != nullptr && p >= kRowFanoutMinPes)
+    pool->run(p, body);
+  else
+    body(std::size_t{0}, std::size_t{p});
+}
+
 net::ReduceOp reduce_op_of(RedFunct f) {
   switch (f) {
     case RedFunct::kAnd: return net::ReduceOp::kAnd;
@@ -135,7 +151,12 @@ net::ReduceOp reduce_op_of(RedFunct f) {
 /// bounds-checked scalar accessors. Writes to hardwired register/flag 0
 /// have no architectural effect, so those loops are skipped outright —
 /// except PLW, whose address bounds checks must still fire.
-void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
+///
+/// With a pool attached the row loops run chunk-parallel via rows();
+/// every other effect of the instruction (operand checks, scalar reads)
+/// happens before the fan-out, on the coordinator.
+void exec_parallel(ArchState& st, ThreadId t, const Instruction& in,
+                   PEWorkerPool* pool) {
   const auto& cfg = st.config();
   const unsigned w = cfg.word_width;
   const std::uint32_t p = cfg.num_pes;
@@ -163,8 +184,10 @@ void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
       const Word* const a = value_row(st, t, in.rs);
       const Word* const b = value_row(st, t, in.rt);
       Word* const d = st.preg_row(t, in.rd);
-      for (PEIndex pe = 0; pe < p; ++pe)
-        if (act[pe]) d[pe] = alu_op(f, a[pe], b[pe], w);
+      rows(pool, p, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pe = lo; pe < hi; ++pe)
+          if (act[pe]) d[pe] = alu_op(f, a[pe], b[pe], w);
+      });
       return;
     }
     case Opcode::kPAluS: {
@@ -175,8 +198,10 @@ void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
       const Word s = st.sreg(t, in.rs);
       const Word* const b = value_row(st, t, in.rt);
       Word* const d = st.preg_row(t, in.rd);
-      for (PEIndex pe = 0; pe < p; ++pe)
-        if (act[pe]) d[pe] = alu_op(f, s, b[pe], w);
+      rows(pool, p, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pe = lo; pe < hi; ++pe)
+          if (act[pe]) d[pe] = alu_op(f, s, b[pe], w);
+      });
       return;
     }
     case Opcode::kPImm: {
@@ -185,42 +210,46 @@ void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
       const Word imm = truncate(static_cast<Word>(in.imm), w);
       const Word* const a = value_row(st, t, in.rs);
       Word* const d = st.preg_row(t, in.rd);
-      switch (static_cast<PImmOp>(in.funct)) {
-        case PImmOp::kAddi:
-          for (PEIndex pe = 0; pe < p; ++pe)
-            if (act[pe]) d[pe] = alu_op(AluFunct::kAdd, a[pe], imm, w);
-          break;
-        case PImmOp::kAndi:
-          for (PEIndex pe = 0; pe < p; ++pe)
-            if (act[pe]) d[pe] = a[pe] & imm;
-          break;
-        case PImmOp::kOri:
-          for (PEIndex pe = 0; pe < p; ++pe)
-            if (act[pe]) d[pe] = a[pe] | imm;
-          break;
-        case PImmOp::kXori:
-          for (PEIndex pe = 0; pe < p; ++pe)
-            if (act[pe]) d[pe] = a[pe] ^ imm;
-          break;
-        case PImmOp::kSlli:
-          for (PEIndex pe = 0; pe < p; ++pe)
-            if (act[pe]) d[pe] = alu_op(AluFunct::kSll, a[pe], imm, w);
-          break;
-        case PImmOp::kSrli:
-          for (PEIndex pe = 0; pe < p; ++pe)
-            if (act[pe]) d[pe] = alu_op(AluFunct::kSrl, a[pe], imm, w);
-          break;
-        case PImmOp::kSrai:
-          for (PEIndex pe = 0; pe < p; ++pe)
-            if (act[pe]) d[pe] = alu_op(AluFunct::kSra, a[pe], imm, w);
-          break;
-        case PImmOp::kMovi:
-          for (PEIndex pe = 0; pe < p; ++pe)
-            if (act[pe]) d[pe] = imm;
-          break;
-        case PImmOp::kCount:
-          break;
-      }
+      // The funct switch sits inside the chunk body: one extra branch
+      // per chunk, and each case keeps its tight vectorizable loop.
+      rows(pool, p, [&](std::size_t lo, std::size_t hi) {
+        switch (static_cast<PImmOp>(in.funct)) {
+          case PImmOp::kAddi:
+            for (std::size_t pe = lo; pe < hi; ++pe)
+              if (act[pe]) d[pe] = alu_op(AluFunct::kAdd, a[pe], imm, w);
+            break;
+          case PImmOp::kAndi:
+            for (std::size_t pe = lo; pe < hi; ++pe)
+              if (act[pe]) d[pe] = a[pe] & imm;
+            break;
+          case PImmOp::kOri:
+            for (std::size_t pe = lo; pe < hi; ++pe)
+              if (act[pe]) d[pe] = a[pe] | imm;
+            break;
+          case PImmOp::kXori:
+            for (std::size_t pe = lo; pe < hi; ++pe)
+              if (act[pe]) d[pe] = a[pe] ^ imm;
+            break;
+          case PImmOp::kSlli:
+            for (std::size_t pe = lo; pe < hi; ++pe)
+              if (act[pe]) d[pe] = alu_op(AluFunct::kSll, a[pe], imm, w);
+            break;
+          case PImmOp::kSrli:
+            for (std::size_t pe = lo; pe < hi; ++pe)
+              if (act[pe]) d[pe] = alu_op(AluFunct::kSrl, a[pe], imm, w);
+            break;
+          case PImmOp::kSrai:
+            for (std::size_t pe = lo; pe < hi; ++pe)
+              if (act[pe]) d[pe] = alu_op(AluFunct::kSra, a[pe], imm, w);
+            break;
+          case PImmOp::kMovi:
+            for (std::size_t pe = lo; pe < hi; ++pe)
+              if (act[pe]) d[pe] = imm;
+            break;
+          case PImmOp::kCount:
+            break;
+        }
+      });
       return;
     }
     case Opcode::kPCmp: {
@@ -230,8 +259,10 @@ void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
       const Word* const a = value_row(st, t, in.rs);
       const Word* const b = value_row(st, t, in.rt);
       std::uint8_t* const d = st.pflag_row(t, in.rd);
-      for (PEIndex pe = 0; pe < p; ++pe)
-        if (act[pe]) d[pe] = cmp_op(f, a[pe], b[pe], w) ? 1 : 0;
+      rows(pool, p, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pe = lo; pe < hi; ++pe)
+          if (act[pe]) d[pe] = cmp_op(f, a[pe], b[pe], w) ? 1 : 0;
+      });
       return;
     }
     case Opcode::kPCmpS: {
@@ -241,8 +272,10 @@ void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
       const Word s = st.sreg(t, in.rs);
       const Word* const b = value_row(st, t, in.rt);
       std::uint8_t* const d = st.pflag_row(t, in.rd);
-      for (PEIndex pe = 0; pe < p; ++pe)
-        if (act[pe]) d[pe] = cmp_op(f, s, b[pe], w) ? 1 : 0;
+      rows(pool, p, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pe = lo; pe < hi; ++pe)
+          if (act[pe]) d[pe] = cmp_op(f, s, b[pe], w) ? 1 : 0;
+      });
       return;
     }
     case Opcode::kPFlag: {
@@ -252,31 +285,80 @@ void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
       const std::uint8_t* const a = activity_row(st, t, in.rs);
       const std::uint8_t* const b = activity_row(st, t, in.rt);
       std::uint8_t* const d = st.pflag_row(t, in.rd);
-      for (PEIndex pe = 0; pe < p; ++pe)
-        if (act[pe]) d[pe] = flag_op(f, a[pe] != 0, b[pe] != 0) ? 1 : 0;
+      rows(pool, p, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pe = lo; pe < hi; ++pe)
+          if (act[pe]) d[pe] = flag_op(f, a[pe] != 0, b[pe] != 0) ? 1 : 0;
+      });
       return;
     }
     case Opcode::kPLw: {
       if (in.rd != 0) check_preg(in.rd);
       const Word* const base = value_row(st, t, in.rs);
       Word* const d = in.rd != 0 ? st.preg_row(t, in.rd) : nullptr;
-      for (PEIndex pe = 0; pe < p; ++pe) {
-        if (!act[pe]) continue;
-        const Addr a = truncate(base[pe] + static_cast<Word>(in.imm), 32);
-        expect(a < cfg.local_mem_bytes, "local memory read out of range");
-        if (d) d[pe] = st.local_mem_row(pe)[a];
-      }
+      // The only row loops that can fault mid-array are PLW/PSW address
+      // checks. The serial loop throws at the lowest faulting PE with
+      // all lower PEs already applied; to keep that state bit-identical,
+      // the pooled path first validates addresses read-only in parallel
+      // and, if anything faults, re-runs the whole op serially so the
+      // partial effects and the thrown message match the serial machine
+      // exactly.
+      auto serial = [&] {
+        for (PEIndex pe = 0; pe < p; ++pe) {
+          if (!act[pe]) continue;
+          const Addr a = truncate(base[pe] + static_cast<Word>(in.imm), 32);
+          expect(a < cfg.local_mem_bytes, "local memory read out of range");
+          if (d) d[pe] = st.local_mem_row(pe)[a];
+        }
+      };
+      if (pool == nullptr || p < kRowFanoutMinPes) return serial();
+      std::atomic<bool> fault{false};
+      pool->run(p, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pe = lo; pe < hi; ++pe) {
+          if (!act[pe]) continue;
+          const Addr a = truncate(base[pe] + static_cast<Word>(in.imm), 32);
+          if (a >= cfg.local_mem_bytes)
+            fault.store(true, std::memory_order_relaxed);
+        }
+      });
+      if (fault.load(std::memory_order_relaxed)) return serial();
+      pool->run(p, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pe = lo; pe < hi; ++pe) {
+          if (!act[pe]) continue;
+          const Addr a = truncate(base[pe] + static_cast<Word>(in.imm), 32);
+          if (d) d[pe] = st.local_mem_row(static_cast<PEIndex>(pe))[a];
+        }
+      });
       return;
     }
     case Opcode::kPSw: {
       const Word* const base = value_row(st, t, in.rs);
       const Word* const src = value_row(st, t, in.rd);
-      for (PEIndex pe = 0; pe < p; ++pe) {
-        if (!act[pe]) continue;
-        const Addr a = truncate(base[pe] + static_cast<Word>(in.imm), 32);
-        expect(a < cfg.local_mem_bytes, "local memory write out of range");
-        st.local_mem_row(pe)[a] = src[pe];
-      }
+      auto serial = [&] {
+        for (PEIndex pe = 0; pe < p; ++pe) {
+          if (!act[pe]) continue;
+          const Addr a = truncate(base[pe] + static_cast<Word>(in.imm), 32);
+          expect(a < cfg.local_mem_bytes, "local memory write out of range");
+          st.local_mem_row(pe)[a] = src[pe];
+        }
+      };
+      if (pool == nullptr || p < kRowFanoutMinPes) return serial();
+      std::atomic<bool> fault{false};
+      pool->run(p, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pe = lo; pe < hi; ++pe) {
+          if (!act[pe]) continue;
+          const Addr a = truncate(base[pe] + static_cast<Word>(in.imm), 32);
+          if (a >= cfg.local_mem_bytes)
+            fault.store(true, std::memory_order_relaxed);
+        }
+      });
+      if (fault.load(std::memory_order_relaxed)) return serial();
+      pool->run(p, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t pe = lo; pe < hi; ++pe) {
+          if (!act[pe]) continue;
+          const Addr a = truncate(base[pe] + static_cast<Word>(in.imm), 32);
+          st.local_mem_row(static_cast<PEIndex>(pe))[a] = src[pe];
+        }
+      });
       return;
     }
     case Opcode::kPMov: {
@@ -285,11 +367,15 @@ void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
       Word* const d = st.preg_row(t, in.rd);
       if (static_cast<PMovFunct>(in.funct) == PMovFunct::kBcast) {
         const Word s = st.sreg(t, in.rs);
-        for (PEIndex pe = 0; pe < p; ++pe)
-          if (act[pe]) d[pe] = s;
+        rows(pool, p, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t pe = lo; pe < hi; ++pe)
+            if (act[pe]) d[pe] = s;
+        });
       } else {
-        for (PEIndex pe = 0; pe < p; ++pe)
-          if (act[pe]) d[pe] = truncate(pe, w);
+        rows(pool, p, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t pe = lo; pe < hi; ++pe)
+            if (act[pe]) d[pe] = truncate(static_cast<Word>(pe), w);
+        });
       }
       return;
     }
@@ -301,7 +387,13 @@ void exec_parallel(ArchState& st, ThreadId t, const Instruction& in) {
 /// Execute a reduction-class instruction (uses the reduction network).
 /// Operand vectors are passed to the network as spans over the SoA
 /// register rows — no per-instruction gather copies.
-void exec_reduction(ArchState& st, ThreadId t, const Instruction& in) {
+///
+/// Reductions and the responder resolver are GLOBAL phases: they fold
+/// the whole array in a fixed tree order, so they always run on the
+/// coordinator regardless of pool. Only RSEL's elementwise write-back
+/// loop (after `first` is known) fans out.
+void exec_reduction(ArchState& st, ThreadId t, const Instruction& in,
+                    PEWorkerPool* pool) {
   const auto& cfg = st.config();
   const unsigned w = cfg.word_width;
   const std::uint32_t p = cfg.num_pes;
@@ -317,13 +409,15 @@ void exec_reduction(ArchState& st, ThreadId t, const Instruction& in) {
     if (in.rd == 0) return;  // flag 0 is hardwired; writes are dropped
     expect(in.rd < cfg.num_flag_regs, "parallel flag out of range");
     std::uint8_t* const d = st.pflag_row(t, in.rd);
-    for (PEIndex pe = 0; pe < p; ++pe) {
-      if (!act[pe]) continue;
-      if (f == RSelFunct::kFirst)
-        d[pe] = pe == first ? 1 : 0;
-      else  // kClearFirst: source flags minus the first responder
-        d[pe] = (flags[pe] && pe != first) ? 1 : 0;
-    }
+    rows(pool, p, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t pe = lo; pe < hi; ++pe) {
+        if (!act[pe]) continue;
+        if (f == RSelFunct::kFirst)
+          d[pe] = pe == first ? 1 : 0;
+        else  // kClearFirst: source flags minus the first responder
+          d[pe] = (flags[pe] && pe != first) ? 1 : 0;
+      }
+    });
     return;
   }
 
@@ -365,7 +459,8 @@ void exec_reduction(ArchState& st, ThreadId t, const Instruction& in) {
 
 }  // namespace
 
-ExecResult execute(ArchState& st, ThreadId t, Addr pc, const Instruction& in) {
+ExecResult execute(ArchState& st, ThreadId t, Addr pc, const Instruction& in,
+                   PEWorkerPool* pool) {
   ExecResult res;
   res.next_pc = pc + 1;
   const auto& cfg = st.config();
@@ -373,10 +468,10 @@ ExecResult execute(ArchState& st, ThreadId t, Addr pc, const Instruction& in) {
 
   switch (in.instr_class()) {
     case InstrClass::kParallel:
-      exec_parallel(st, t, in);
+      exec_parallel(st, t, in, pool);
       return res;
     case InstrClass::kReduction:
-      exec_reduction(st, t, in);
+      exec_reduction(st, t, in, pool);
       return res;
     case InstrClass::kScalar:
       break;

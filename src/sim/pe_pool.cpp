@@ -1,0 +1,127 @@
+#include "sim/pe_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace masc {
+
+namespace {
+/// Idle spins before a worker parks on the condition variable. Row
+/// phases arrive back-to-back within a cycle, so spinning briefly wins;
+/// between simulated runs the pool sits parked and costs nothing.
+constexpr unsigned kSpinBudget = 4096;
+}  // namespace
+
+PEWorkerPool::PEWorkerPool(unsigned threads)
+    : nthreads_(threads),
+      slots_(threads > 1 ? threads - 1 : 0),
+      chunk_errors_(threads > 1 ? threads - 1 : 0) {
+  if (threads < 2)
+    throw std::invalid_argument("PEWorkerPool needs at least 2 threads");
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+PEWorkerPool::~PEWorkerPool() {
+  {
+    // Under the mutex so no worker can re-check its predicate between
+    // our store and notify and then sleep through the wakeup.
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_.store(true, std::memory_order_release);
+    // Unpublished-task epoch bump so spinners drop out of their
+    // inner wait loop and observe stop_.
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void PEWorkerPool::dispatch(std::size_t n, TaskFn fn, void* ctx) {
+  fn_ = fn;
+  ctx_ = ctx;
+  n_ = n;
+  // seq_cst publish: pairs with the workers' seq_cst check in the park
+  // path (see worker_main) so a worker either sees the new epoch before
+  // sleeping or has already bumped sleepers_ and we notify it.
+  const std::uint64_t e = epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (sleepers_.load(std::memory_order_seq_cst) != 0) {
+    std::lock_guard<std::mutex> lk(mu_);  // fence against the park window
+    cv_.notify_all();
+  }
+
+  // Coordinator takes chunk 0 inline. Workers run chunks 1..T-1.
+  std::exception_ptr local_error;
+  const std::size_t lo = chunk_begin(0, n);
+  const std::size_t hi = chunk_begin(1, n);
+  try {
+    if (hi > lo) fn(ctx, lo, hi);
+  } catch (...) {
+    local_error = std::current_exception();
+  }
+
+  // Join barrier: every slot must report before we return or rethrow —
+  // the task context lives on this stack frame.
+  for (auto& slot : slots_) {
+    while (slot.done.load(std::memory_order_acquire) != e) {
+      // The wait is bounded by per-chunk skew (chunks are equal-sized),
+      // but yield anyway: on hosts with fewer cores than threads the
+      // worker needs this CPU to finish its chunk at all.
+      std::this_thread::yield();
+    }
+  }
+
+  // Deterministic error selection: lowest chunk index wins, matching
+  // the serial loop which would have faulted at the lowest PE first.
+  if (local_error) std::rethrow_exception(local_error);
+  for (auto& err : chunk_errors_) {
+    if (err) {
+      std::exception_ptr e2 = std::exchange(err, nullptr);
+      std::rethrow_exception(e2);
+    }
+  }
+}
+
+void PEWorkerPool::worker_main(unsigned slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Wait for a new epoch, spinning first, then parking.
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    unsigned spins = 0;
+    while (e == seen) {
+      if (++spins >= kSpinBudget) {
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        // Re-check after advertising ourselves as a sleeper: if the
+        // dispatcher published in the window, it will either see our
+        // increment and notify, or we see its epoch here and skip the
+        // sleep entirely. Either way no wakeup is lost.
+        e = epoch_.load(std::memory_order_seq_cst);
+        if (e == seen) {
+          std::unique_lock<std::mutex> lk(mu_);
+          cv_.wait(lk, [&] {
+            e = epoch_.load(std::memory_order_acquire);
+            return e != seen || stop_.load(std::memory_order_acquire);
+          });
+        }
+        sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        spins = 0;
+      } else {
+        std::this_thread::yield();
+        e = epoch_.load(std::memory_order_acquire);
+      }
+    }
+    seen = e;
+    if (stop_.load(std::memory_order_acquire)) return;
+
+    const std::size_t lo = chunk_begin(slot + 1, n_);
+    const std::size_t hi = chunk_begin(slot + 2, n_);
+    try {
+      if (hi > lo) fn_(ctx_, lo, hi);
+    } catch (...) {
+      chunk_errors_[slot] = std::current_exception();
+    }
+    slots_[slot].done.store(seen, std::memory_order_release);
+  }
+}
+
+}  // namespace masc

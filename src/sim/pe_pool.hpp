@@ -1,0 +1,113 @@
+// Persistent worker pool for intra-job PE-row parallelism.
+//
+// One simulated cycle has two kinds of work (docs/THREADING.md): row
+// phases — elementwise loops over the structure-of-arrays PE rows in
+// sim/exec.cpp, where PE i's result depends only on row elements i —
+// and global phases (responder resolution, the reduction/broadcast
+// trees, scoreboard and stats updates), which read the whole array or
+// mutate machine-wide state. This pool parallelizes ONLY the row
+// phases: the PE index space [0, p) is split into `threads()` fixed
+// contiguous chunks, the coordinator (the thread calling run()) executes
+// chunk 0 inline while each spawned worker executes its own chunk, and
+// run() returns only after every chunk has finished — a fork/join
+// barrier per row phase. Global phases never enter the pool; they run
+// on the coordinator between barriers, exactly as in the serial path.
+//
+// Determinism contract: chunk boundaries depend only on (p, threads),
+// chunks are disjoint, and no two chunks write the same element, so the
+// machine state after a row phase is bit-identical to the serial loop
+// for every thread count. The pool therefore never appears in cache
+// keys, checkpoint headers, or config identity (common/config.hpp
+// `sim_threads` is a host-execution knob, not an architectural one).
+//
+// Dispatch cost is what bounds the useful grain: publishing a task and
+// joining the barrier costs on the order of a microsecond across cores,
+// so callers skip the pool for arrays below kRowFanoutMinPes rows
+// (results are identical either way; only host speed differs).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace masc {
+
+/// Row counts below this run inline even when a pool is attached: the
+/// fork/join barrier costs more than the loop it would split.
+inline constexpr std::uint32_t kRowFanoutMinPes = 128;
+
+class PEWorkerPool {
+ public:
+  /// `threads` = total participants including the coordinator; the pool
+  /// spawns `threads - 1` host threads, which persist (spinning briefly,
+  /// then parked on a condition variable) until destruction.
+  explicit PEWorkerPool(unsigned threads);
+  ~PEWorkerPool();
+
+  PEWorkerPool(const PEWorkerPool&) = delete;
+  PEWorkerPool& operator=(const PEWorkerPool&) = delete;
+
+  unsigned threads() const { return nthreads_; }
+
+  /// First row of chunk `i` over an `n`-row phase; chunk i covers
+  /// [chunk_begin(i, n), chunk_begin(i + 1, n)). The partition rule is
+  /// fixed ceil-division — it depends only on (i, n, threads()), never
+  /// on timing, so a phase is repartitioned identically on every run.
+  std::size_t chunk_begin(unsigned i, std::size_t n) const {
+    const std::size_t c = (n + nthreads_ - 1) / nthreads_;
+    const std::size_t b = static_cast<std::size_t>(i) * c;
+    return b < n ? b : n;
+  }
+
+  /// One row phase: body(lo, hi) over [0, n), fanned out across the
+  /// fixed chunks. Blocks until every chunk is done (the body borrows
+  /// the caller's stack frame). If chunks throw, the exception from the
+  /// lowest-indexed faulting chunk is rethrown after the barrier.
+  /// `body` must only touch rows in its [lo, hi) — the pool cannot
+  /// check that, the caller's loop structure must guarantee it.
+  template <typename Body>
+  void run(std::size_t n, Body&& body) {
+    dispatch(n, [](void* ctx, std::size_t lo, std::size_t hi) {
+      (*static_cast<std::remove_reference_t<Body>*>(ctx))(lo, hi);
+    }, &body);
+  }
+
+ private:
+  using TaskFn = void (*)(void* ctx, std::size_t lo, std::size_t hi);
+
+  /// Per-worker completion flag on its own cache line, so the join spin
+  /// of the coordinator never contends with a neighbor's store.
+  struct alignas(64) WorkerSlot {
+    std::atomic<std::uint64_t> done{0};
+  };
+
+  void dispatch(std::size_t n, TaskFn fn, void* ctx);
+  void worker_main(unsigned slot);
+
+  unsigned nthreads_;
+  std::vector<WorkerSlot> slots_;                 ///< one per spawned worker
+  std::vector<std::exception_ptr> chunk_errors_;  ///< parallel to slots_
+  std::vector<std::thread> workers_;
+
+  // Published task. Plain fields: the release store of epoch_ orders
+  // them before any worker's acquire load that observes the new epoch.
+  TaskFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> stop_{false};
+
+  // Parking: a worker that has spun idle for a while sleeps on cv_;
+  // sleepers_ tells the dispatcher whether a notify is needed at all,
+  // keeping the all-spinning fast path free of the mutex.
+  std::atomic<unsigned> sleepers_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace masc

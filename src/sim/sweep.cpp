@@ -136,6 +136,9 @@ Hash128 sweep_cache_key(const SweepJob& job) {
   h.u8(static_cast<std::uint8_t>(c.maxmin_unit));
   h.u8(static_cast<std::uint8_t>(c.regfile_impl));
   h.u8(static_cast<std::uint8_t>(c.flagfile_impl));
+  // c.sim_threads is deliberately EXCLUDED: it is a host-execution knob
+  // with bit-identical results (docs/THREADING.md), so a cached result
+  // computed at any thread count must hit for every other thread count.
   // The program image as loaded: text, data, entry. Symbols are
   // assembly-time bookkeeping the simulator never reads.
   h.u64(job.program.text.size());

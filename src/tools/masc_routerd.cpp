@@ -7,6 +7,10 @@
 //     --least-queued       route by fewest outstanding jobs instead of
 //                          cache-affinity rendezvous hashing (for fleets
 //                          running with --cache-bytes 0)
+//     --sim-threads N      inject "sim_threads": N into each job config
+//                          that doesn't set its own — fleet-wide intra-job
+//                          parallelism default (docs/THREADING.md);
+//                          results and cache keys are unchanged
 //     --fail-threshold N   consecutive failures that open a breaker (default 3)
 //     --cooldown-ms N      open-breaker dwell before a half-open probe
 //                          (default 500)
@@ -41,9 +45,10 @@ void on_signal(int sig) { g_signal = sig; }
 int usage() {
   std::fprintf(stderr,
                "usage: masc-routerd --backend HOST:PORT [--backend ...]\n"
-               "  [--port N] [--least-queued] [--fail-threshold N] "
-               "[--cooldown-ms N]\n  [--probe-ms N] [--connect-timeout-ms N] "
-               "[--io-timeout-ms N]\n  [--idle-timeout-ms N] [--fault SPEC]\n");
+               "  [--port N] [--least-queued] [--sim-threads N] "
+               "[--fail-threshold N]\n  [--cooldown-ms N] [--probe-ms N] "
+               "[--connect-timeout-ms N] [--io-timeout-ms N]\n"
+               "  [--idle-timeout-ms N] [--fault SPEC]\n");
   return 2;
 }
 
@@ -68,6 +73,9 @@ int main(int argc, char** argv) {
         opts.backends.push_back(masc::cluster::BackendSpec::parse(next()));
       else if (arg == "--least-queued")
         opts.affinity = false;
+      else if (arg == "--sim-threads")
+        opts.default_sim_threads =
+            static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
       else if (arg == "--fail-threshold")
         opts.breaker.failure_threshold =
             static_cast<unsigned>(std::strtoul(next(), nullptr, 0));

@@ -5,6 +5,8 @@
 //     --threads N    hardware threads       (default 16)
 //     --width N      word width 8|16|32     (default 16)
 //     --arity K      broadcast tree arity   (default 2)
+//     --sim-threads N  host threads simulating the PE array (default 1;
+//                      results are bit-identical, see docs/THREADING.md)
 //     --single       disable multithreading (baseline [7]-style timing)
 //     --nonpipelined-net   combinational networks (baseline)
 //     --serial       non-pipelined execution (baseline [6])
@@ -32,7 +34,7 @@ using namespace masc;
 
 int usage() {
   std::fprintf(stderr, "usage: masc-run prog.s|prog.mo [--pes N] [--threads N] "
-                       "[--width N] [--arity K]\n  [--single] "
+                       "[--width N] [--arity K]\n  [--sim-threads N] [--single] "
                        "[--nonpipelined-net] [--serial] [--max-cycles N]\n"
                        "  [--trace[=N]] [--stats] [--func] [--regs]\n");
   return 2;
@@ -93,6 +95,7 @@ int main(int argc, char** argv) {
     else if (arg == "--threads") next_u32(cfg.num_threads);
     else if (arg == "--width") { std::uint32_t w; next_u32(w); cfg.word_width = w; }
     else if (arg == "--arity") next_u32(cfg.broadcast_arity);
+    else if (arg == "--sim-threads") next_u32(cfg.sim_threads);
     else if (arg == "--single") cfg.multithreading = false;
     else if (arg == "--nonpipelined-net") cfg.pipelined_network = false;
     else if (arg == "--serial") { cfg.pipelined_execution = false; cfg.multithreading = false; }

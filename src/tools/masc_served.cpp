@@ -3,6 +3,9 @@
 //   masc-served [options]
 //     --port N            TCP port on 127.0.0.1; 0 = ephemeral (default 7733)
 //     --workers N         simulation worker threads; 0 = hardware (default 0)
+//     --sim-threads N     host threads simulating the PE array for jobs
+//                         that don't request their own "sim_threads"
+//                         (default 1; bit-identical — docs/THREADING.md)
 //     --queue N           job queue capacity                     (default 256)
 //     --batch N           max jobs coalesced per dispatch        (default 64)
 //     --max-cycles N      server-side cap on any job's cycle limit
@@ -44,8 +47,8 @@ void on_signal(int sig) { g_signal = sig; }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: masc-served [--port N] [--workers N] [--queue N] "
-               "[--batch N]\n  [--max-cycles N] [--deadline-ms N] "
+               "usage: masc-served [--port N] [--workers N] [--sim-threads N] "
+               "[--queue N] [--batch N]\n  [--max-cycles N] [--deadline-ms N] "
                "[--cache-bytes N] [--cache-shards N]\n  [--journal PATH] "
                "[--ckpt-chunks N] [--io-timeout-ms N] [--idle-timeout-ms N]\n"
                "  [--fault SPEC]\n");
@@ -69,6 +72,9 @@ int main(int argc, char** argv) {
       opts.port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--workers")
       opts.workers = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--sim-threads")
+      opts.sim_threads =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--queue")
       opts.queue_capacity = std::strtoul(next(), nullptr, 0);
     else if (arg == "--batch")

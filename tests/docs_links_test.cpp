@@ -85,7 +85,9 @@ TEST(DocsLinks, CoreDocsExist) {
   const fs::path root{MASC_SOURCE_DIR};
   for (const char* doc : {"README.md", "ROADMAP.md", "docs/ISA.md",
                           "docs/ASCAL.md", "docs/SIMULATOR.md",
-                          "docs/PERF.md"}) {
+                          "docs/PERF.md", "docs/THREADING.md",
+                          "docs/SERVER.md", "docs/RELIABILITY.md",
+                          "docs/CLUSTER.md"}) {
     EXPECT_TRUE(fs::exists(root / doc)) << doc;
   }
 }

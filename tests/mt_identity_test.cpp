@@ -1,0 +1,207 @@
+// Intra-job threading determinism contract (docs/THREADING.md): a
+// Machine with sim_threads = N must be indistinguishable from the
+// serial machine in every observable — stats, architectural state,
+// checkpoint blobs, fault points — at every tested (threads × PEs)
+// point. These suites also run TSan/ASan-instrumented as the
+// tsan_mt_identity / asan_mt_identity ctest gates.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "common/error.hpp"
+#include "common/result_cache.hpp"
+#include "sim/machine.hpp"
+#include "sim/sweep.hpp"
+
+namespace masc {
+namespace {
+
+/// A workload that drives every fanned-out row path: plain/broadcast
+/// ALU rows, immediates, compares, flag logic, masked updates, local
+/// memory loads and stores, the responder resolver, and reductions —
+/// across `threads` interleaved hardware threads so row phases and
+/// global phases alternate densely.
+std::string mt_workload(unsigned iters_per_thread) {
+  return R"(
+main:
+    nthreads r1
+    li r2, 1
+    la r3, worker
+spawn:
+    bgeu r2, r1, body
+    tspawn r4, r3
+    addi r2, r2, 1
+    j spawn
+worker:
+body:
+    li r2, )" + std::to_string(iters_per_thread) + R"(
+    pindex p1
+    pandi p6, p1, 63      # local-mem address row, always in range
+    pmov p2, p1
+    li r1, 0
+loop:
+    pcgts pf1, r1, p2     # search: r1 > p2[pe]
+    rcount r3, pf1
+    add r4, r4, r3
+    paddi p2, p2, 1 ?pf1  # masked update
+    padds p3, r3, p2      # broadcast-scalar ALU
+    pmul p4, p3, p2
+    pdivu p5, p4, p2      # divide-by-zero lanes yield all-ones (defined)
+    pfxor pf2, pf1, pf1
+    rsel pf2, pf1         # responder resolve + elementwise write-back
+    psw p3, 0(p6) ?pf1
+    plw p4, 0(p6)
+    rsum r3, p2
+    addi r1, r1, 1
+    bne r1, r2, loop
+    texit
+)";
+}
+
+MachineConfig mt_config(std::uint32_t pes, std::uint32_t sim_threads) {
+  MachineConfig cfg;
+  cfg.num_pes = pes;
+  cfg.num_threads = 8;
+  cfg.word_width = 16;
+  cfg.sim_threads = sim_threads;
+  cfg.validate();
+  return cfg;
+}
+
+std::string run_to_completion_blob(const MachineConfig& cfg,
+                                   const Program& prog) {
+  Machine m(cfg);
+  m.load(prog);
+  EXPECT_TRUE(m.run(50'000'000)) << cfg.name();
+  return m.save_state();
+}
+
+// The tentpole contract: for every tested thread count and PE count the
+// final checkpoint blob — architectural state, timing registers, and
+// cumulative Stats in one byte string — equals the serial machine's.
+TEST(MtIdentity, BitIdenticalBlobsAcrossThreadsAndPes) {
+  for (const std::uint32_t pes : {16u, 256u, 1024u}) {
+    // Scale work down at the big array so the TSan-instrumented run of
+    // this sweep stays fast; identity is per-instruction, not per-iter.
+    const unsigned iters = pes >= 1024 ? 24 : 48;
+    const Program prog = assemble(mt_workload(iters));
+    const std::string want = run_to_completion_blob(mt_config(pes, 1), prog);
+    for (const std::uint32_t t : {2u, 4u, 8u}) {
+      EXPECT_EQ(run_to_completion_blob(mt_config(pes, t), prog), want)
+          << "p=" << pes << " sim_threads=" << t;
+    }
+  }
+}
+
+// Checkpoints are portable across thread counts, both directions: a
+// blob taken serially resumes on a pooled machine (and vice versa) and
+// still lands bit-identically on the straight-run result.
+TEST(MtIdentity, CheckpointResumeAcrossThreadCounts) {
+  const Program prog = assemble(mt_workload(600));
+  const MachineConfig serial_cfg = mt_config(256, 1);
+  const MachineConfig pooled_cfg = mt_config(256, 4);
+  const std::string want = run_to_completion_blob(serial_cfg, prog);
+
+  // The sweep layer checkpoints at kSweepChunkCycles boundaries; use the
+  // same split so this covers the production resume point.
+  ASSERT_EQ(kSweepChunkCycles, 65'536u);
+  for (const bool serial_first : {true, false}) {
+    Machine first(serial_first ? serial_cfg : pooled_cfg);
+    first.load(prog);
+    ASSERT_FALSE(first.run(kSweepChunkCycles))
+        << "workload too short to split at the sweep chunk boundary";
+    Machine resumed(serial_first ? pooled_cfg : serial_cfg);
+    resumed.load(prog);
+    resumed.restore_state(first.save_state());
+    EXPECT_EQ(resumed.now(), kSweepChunkCycles);
+    EXPECT_TRUE(resumed.run(50'000'000));
+    EXPECT_EQ(resumed.save_state(), want)
+        << (serial_first ? "serial ckpt -> pooled resume"
+                         : "pooled ckpt -> serial resume");
+  }
+}
+
+// A faulting parallel store must throw the same message and leave the
+// same partial architectural state as the serial machine — the pooled
+// path pre-validates addresses and re-runs faulting ops serially.
+TEST(MtIdentity, FaultsAreBitIdenticalToo) {
+  // pindex * 8 exceeds local_mem_bytes (1024) from PE 128 up: the fault
+  // lands mid-array, past the first chunk, with low PEs already written.
+  const std::string src = R"(
+    pindex p1
+    pmov p2, p1
+    pslli p2, p2, 3
+    psw p1, 0(p2)
+    halt
+)";
+  const Program prog = assemble(src);
+  auto run_to_fault = [&](std::uint32_t sim_threads) {
+    Machine m(mt_config(256, sim_threads));
+    m.load(prog);
+    std::string what;
+    try {
+      m.run(1'000'000);
+      ADD_FAILURE() << "expected a local-memory fault";
+    } catch (const SimulationError& e) {
+      what = e.what();
+    }
+    return std::make_pair(what, m.save_state());
+  };
+  const auto [serial_msg, serial_blob] = run_to_fault(1);
+  EXPECT_NE(serial_msg.find("local memory write out of range"),
+            std::string::npos);
+  for (const std::uint32_t t : {2u, 4u}) {
+    const auto [msg, blob] = run_to_fault(t);
+    EXPECT_EQ(msg, serial_msg) << "sim_threads=" << t;
+    EXPECT_EQ(blob, serial_blob) << "sim_threads=" << t;
+  }
+}
+
+// SweepRunner plumbs job.cfg.sim_threads through to the Machine, and a
+// result computed at one thread count is a cache hit at another — the
+// key excludes the knob by design.
+TEST(MtIdentity, SweepRunnerPlumbsAndCachesAcrossThreadCounts) {
+  SweepJob serial_job;
+  serial_job.cfg = mt_config(256, 1);
+  serial_job.program = assemble(mt_workload(48));
+  serial_job.label = "serial";
+  SweepJob pooled_job = serial_job;
+  pooled_job.cfg.sim_threads = 4;
+  pooled_job.label = "pooled";
+
+  SweepRunner runner(1);
+  auto cache = std::make_shared<SweepResultCache>(16u << 20, 4);
+  runner.set_cache(cache);
+
+  const auto serial_res = runner.run({serial_job});
+  ASSERT_EQ(serial_res.size(), 1u);
+  ASSERT_TRUE(serial_res[0].error.empty()) << serial_res[0].error;
+  ASSERT_TRUE(serial_res[0].finished);
+
+  const auto pooled_res = runner.run({pooled_job});
+  ASSERT_EQ(pooled_res.size(), 1u);
+  ASSERT_TRUE(pooled_res[0].error.empty()) << pooled_res[0].error;
+  EXPECT_EQ(cache->stats().hits, 1u)
+      << "a serial result must be served to a pooled rerun";
+  EXPECT_EQ(to_json(pooled_res[0].stats), to_json(serial_res[0].stats));
+}
+
+// Config identity: the knob validates its bounds but never changes the
+// config's name (and therefore never invalidates checkpoint headers).
+TEST(MtIdentity, SimThreadsIsNotPartOfConfigIdentity) {
+  MachineConfig a = mt_config(64, 1);
+  MachineConfig b = mt_config(64, 8);
+  EXPECT_EQ(a.name(), b.name());
+
+  MachineConfig bad = a;
+  bad.sim_threads = 0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad.sim_threads = 257;
+  EXPECT_THROW(bad.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace masc
