@@ -1,0 +1,221 @@
+// E11 — multi-chip scaling: BFS throughput vs chip count on the
+// inter-chip fabric (docs/MULTICHIP.md), and the paper's multithreading
+// question re-asked at fabric scale. The prototype's argument (§5) is
+// that fine-grain multithreading exists to hide reduction latency; a
+// K-chip fabric makes that latency *much* deeper (2·depth·link_latency
+// cycles per cross-chip allreduce vs ~log2(p) inside one chip), so the
+// interesting measurement is whether background threads can still fill
+// the stalls. Two experiments:
+//
+//   1. Throughput-vs-chips: the same 120-vertex BFS on K = 1,2,4,8
+//      chips of 16 PEs. More chips = more PEs but also one inter-chip
+//      allreduce-OR per BFS level; the curve shows where fabric latency
+//      eats the parallelism.
+//
+//   2. Thread-overlap at fabric scale: A = BFS alone, B = BFS with
+//      threads 1..T-1 running local reduction work, C ~= the background
+//      work alone (measured by pairing it with a trivial 2-level BFS).
+//      Perfect overlap means B = max(A, C); full serialization means
+//      B = A + C. Efficiency = (A + C - B) / min(A, C).
+//
+// Every simulated run self-checks its BFS levels against the host
+// reference and the process exits non-zero on any mismatch, so this
+// bench doubles as an integration test (the bench_multichip_smoke ctest
+// entry runs it with --smoke).
+//
+//   bench_e11_multichip [--smoke] [--json]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "asclib/algorithms/graph.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace masc;
+
+// 120-vertex ring + deterministic LCG chords (average degree ~4): a few
+// hops of diameter, several vertices discovered per level, and enough
+// frontier words (120/16 = 8) that each level moves a real payload
+// across the fabric.
+std::vector<asc::GraphEdge> main_graph(std::uint32_t n) {
+  std::vector<asc::GraphEdge> e;
+  for (std::uint32_t i = 0; i < n; ++i) e.push_back({i, (i + 1) % n});
+  std::uint32_t lcg = 12345;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    lcg = lcg * 1103515245u + 12345u;
+    const std::uint32_t u = (lcg >> 8) % n;
+    lcg = lcg * 1103515245u + 12345u;
+    const std::uint32_t v = (lcg >> 8) % n;
+    if (u != v) e.push_back({u, v});
+  }
+  return e;
+}
+
+// Star graph: source connects to everything, so BFS is exactly 2 levels
+// and the run time is dominated by the background iterations — the
+// "background work alone" proxy for the overlap experiment.
+std::vector<asc::GraphEdge> star_graph(std::uint32_t n) {
+  std::vector<asc::GraphEdge> e;
+  for (std::uint32_t i = 1; i < n; ++i) e.push_back({0, i});
+  return e;
+}
+
+int failures = 0;
+
+asc::GraphBfs::Result run_checked(const asc::GraphBfs& bfs,
+                                  const std::vector<Word>& want,
+                                  std::uint32_t chips, Word bg_iters) {
+  asc::GraphBfs::Result r;
+  if (chips <= 1) {
+    r = bfs.run(0, bg_iters);
+  } else {
+    fabric::FabricConfig fab;
+    fab.chips = chips;
+    fab.topology = fabric::Topology::kTree;
+    fab.link_latency = 8;
+    r = bfs.run(0, fab, bg_iters);
+  }
+  if (r.level != want) {
+    std::fprintf(stderr, "E11: BFS levels WRONG at chips=%u bg=%u\n", chips,
+                 static_cast<unsigned>(bg_iters));
+    ++failures;
+  }
+  return r;
+}
+
+double per_kcycle(const std::vector<Word>& levels, Cycle cycles) {
+  std::uint32_t visited = 0;
+  for (const auto l : levels)
+    if (l != 0) ++visited;
+  return 1000.0 * static_cast<double>(visited) / static_cast<double>(cycles);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--smoke")) smoke = true;
+    else if (!std::strcmp(argv[i], "--json")) json = true;
+    else {
+      std::fprintf(stderr, "usage: bench_e11_multichip [--smoke] [--json]\n");
+      return 2;
+    }
+  }
+
+  const std::uint32_t n = 120;
+  const auto edges = main_graph(n);
+  MachineConfig cfg;
+  cfg.num_pes = 16;
+  cfg.num_threads = 8;
+  cfg.word_width = 16;
+
+  const asc::GraphBfs bfs(cfg, n, edges);
+  const auto want = asc::GraphBfs::host_reference(n, edges, false, 0);
+  const asc::GraphBfs tiny(cfg, 16, star_graph(16));
+  const auto tiny_want = asc::GraphBfs::host_reference(16, star_graph(16),
+                                                       false, 0);
+
+  const std::vector<std::uint32_t> chip_counts =
+      smoke ? std::vector<std::uint32_t>{1, 4}
+            : std::vector<std::uint32_t>{1, 2, 4, 8};
+  const Word bg_iters = smoke ? 64 : 400;
+
+  if (!json)
+    bench::header("E11 — multi-chip BFS scaling and thread overlap",
+                  "§5 at fabric scale (docs/MULTICHIP.md)");
+
+  // Experiment 1: throughput vs chips.
+  struct CurvePoint {
+    std::uint32_t chips;
+    asc::GraphBfs::Result r;
+    double vpk;
+  };
+  std::vector<CurvePoint> curve;
+  for (const auto k : chip_counts) {
+    auto r = run_checked(bfs, want, k, 0);
+    const double vpk = per_kcycle(r.level, r.cycles);
+    curve.push_back({k, std::move(r), vpk});
+  }
+
+  // Experiment 2: overlap efficiency per chip count.
+  struct OverlapPoint {
+    std::uint32_t chips;
+    Cycle a, b, c;
+    double efficiency;
+  };
+  std::vector<OverlapPoint> overlap;
+  for (const auto k : chip_counts) {
+    const Cycle a = run_checked(bfs, want, k, 0).cycles;
+    const Cycle b = run_checked(bfs, want, k, bg_iters).cycles;
+    const Cycle c = run_checked(tiny, tiny_want, k, bg_iters).cycles;
+    const Cycle lo = a < c ? a : c;
+    const double eff =
+        lo == 0 ? 0.0
+                : static_cast<double>(static_cast<long long>(a + c) -
+                                      static_cast<long long>(b)) /
+                      static_cast<double>(lo);
+    overlap.push_back({k, a, b, c, eff});
+  }
+
+  if (json) {
+    std::printf("{\"workload\":\"BFS n=%u ring+chords, chip=%s, tree "
+                "fabric link_latency=8, bg_iters=%u\",\"chips_curve\":{",
+                n, cfg.name().c_str(), static_cast<unsigned>(bg_iters));
+    for (std::size_t i = 0; i < curve.size(); ++i)
+      std::printf("%s\"%u\":{\"fleet_cycles\":%llu,\"levels\":%u,"
+                  "\"verts_per_kcycle\":%.3f,\"fabric_hops\":%llu,"
+                  "\"max_collective_latency\":%llu}",
+                  i ? "," : "", curve[i].chips,
+                  static_cast<unsigned long long>(curve[i].r.cycles),
+                  curve[i].r.levels, curve[i].vpk,
+                  static_cast<unsigned long long>(curve[i].r.fabric.hops),
+                  static_cast<unsigned long long>(
+                      curve[i].r.fabric.max_latency));
+    std::printf("},\"overlap\":{");
+    for (std::size_t i = 0; i < overlap.size(); ++i)
+      std::printf("%s\"%u\":{\"bfs_cycles\":%llu,\"combined_cycles\":%llu,"
+                  "\"bg_cycles\":%llu,\"efficiency\":%.3f}",
+                  i ? "," : "", overlap[i].chips,
+                  static_cast<unsigned long long>(overlap[i].a),
+                  static_cast<unsigned long long>(overlap[i].b),
+                  static_cast<unsigned long long>(overlap[i].c),
+                  overlap[i].efficiency);
+    std::printf("}}\n");
+    return failures ? 1 : 0;
+  }
+
+  std::printf("\nBFS throughput vs chips (n=%u, chip=%s, tree fabric, "
+              "link latency 8):\n", n, cfg.name().c_str());
+  std::printf("%6s | %12s %7s %14s %10s %12s\n", "chips", "fleet cycles",
+              "levels", "verts/kcycle", "fab hops", "max coll lat");
+  for (const auto& p : curve)
+    std::printf("%6u | %12llu %7u %14.3f %10llu %12llu\n", p.chips,
+                static_cast<unsigned long long>(p.r.cycles), p.r.levels, p.vpk,
+                static_cast<unsigned long long>(p.r.fabric.hops),
+                static_cast<unsigned long long>(p.r.fabric.max_latency));
+
+  std::printf("\nthread overlap at fabric scale (background = %u local "
+              "reductions on threads 1..%u):\n",
+              static_cast<unsigned>(bg_iters), cfg.num_threads - 1);
+  std::printf("  A = BFS alone, B = BFS + background, C ~= background alone;"
+              "\n  efficiency (A + C - B) / min(A, C): 1.0 = fully hidden, "
+              "0.0 = serialized\n");
+  std::printf("%6s | %10s %10s %10s %12s\n", "chips", "A", "B", "C",
+              "efficiency");
+  for (const auto& p : overlap)
+    std::printf("%6u | %10llu %10llu %10llu %12.3f\n", p.chips,
+                static_cast<unsigned long long>(p.a),
+                static_cast<unsigned long long>(p.b),
+                static_cast<unsigned long long>(p.c), p.efficiency);
+
+  if (failures) {
+    std::fprintf(stderr, "\nE11: %d self-check failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("\nall runs matched the host-reference BFS levels\n");
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "bench_util.hpp"
+#include "fabric/fabric.hpp"
 #include "sim/funcsim.hpp"
 
 namespace {
@@ -188,6 +189,96 @@ void BM_CacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheHit)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
+
+// Multi-chip fabric host cost (docs/MULTICHIP.md): K chips in cycle-
+// lockstep, each looping {local tree reduction -> inter-chip allreduce-
+// SUM -> spin on ACK}. Args are chips/pes/sim_threads. Like BM_CycleSimMT,
+// the setup refuses to measure an unverified parallel path: a serial-pool
+// fabric and a pooled fabric run the same workload and their checkpoint
+// blobs (fabric::Fabric::save_state — round counter, ACK sequence,
+// pending collective, stats, and every chip's full state) must be
+// byte-identical before timing starts. sim_cycles/s counts *fleet*
+// cycles, so the host cost of simulating K chips for the same wall of
+// machine time shows up directly as a K-fold rate drop.
+std::string fabric_collective_program(unsigned iters) {
+  const fabric::FabricConfig defaults;
+  return R"(
+    li r4, )" + std::to_string(defaults.mailbox_base) + R"(
+    lw r10, 5(r4)       # NUM_CHIPS (0 on a bare Machine)
+    pindex p1
+    li r6, 64           # payload address
+    li r1, 0
+    li r2, )" + std::to_string(iters) + R"(
+loop:
+    rsum r3, p1         # intra-chip reduction tree
+    sw r3, 0(r6)
+    li r5, 1
+    bleu r10, r5, skip  # single chip: no fabric traffic
+    sw r6, 1(r4)        # ADDR
+    sw r5, 2(r4)        # COUNT = 1
+    lw r7, 3(r4)
+    addi r7, r7, 1      # expected ACK
+    li r3, 3
+    sw r3, 0(r4)        # REQ = sum, posted last
+wait:
+    lw r3, 3(r4)
+    bne r3, r7, wait
+skip:
+    addi r1, r1, 1
+    bne r1, r2, loop
+    halt
+)";
+}
+
+void BM_Fabric(benchmark::State& state) {
+  const auto chips = static_cast<std::uint32_t>(state.range(0));
+  const auto pes = static_cast<std::uint32_t>(state.range(1));
+  const auto sim_threads = static_cast<std::uint32_t>(state.range(2));
+  MachineConfig cfg;
+  cfg.num_pes = pes;
+  cfg.num_threads = 16;
+  cfg.word_width = 16;
+  cfg.sim_threads = sim_threads;
+  fabric::FabricConfig fab;
+  fab.chips = chips;
+  const Program prog = assemble(fabric_collective_program(64));
+
+  {
+    // Bit-identity gate: the pooled fleet must checkpoint byte-for-byte
+    // identically to the serial fleet (also run standalone by the
+    // bench_fabric_smoke ctest entry at sim_threads=2).
+    MachineConfig serial_cfg = cfg;
+    serial_cfg.sim_threads = 1;
+    fabric::Fabric serial(serial_cfg, fab), pooled(cfg, fab);
+    serial.load(prog);
+    pooled.load(prog);
+    serial.run(10'000'000);
+    pooled.run(10'000'000);
+    if (serial.save_state() != pooled.save_state()) {
+      std::fprintf(stderr,
+                   "BM_Fabric: pooled fleet NOT bit-identical at chips=%u "
+                   "p=%u sim_threads=%u\n", chips, pes, sim_threads);
+      std::exit(1);
+    }
+  }
+
+  Cycle total_cycles = 0;
+  for (auto _ : state) {
+    fabric::Fabric f(cfg, fab);
+    f.load(prog);
+    benchmark::DoNotOptimize(f.run(10'000'000));
+    total_cycles += f.fleet_stats().cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(total_cycles), benchmark::Counter::kIsRate);
+  state.counters["cycles/run"] =
+      static_cast<double>(total_cycles) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Fabric)
+    ->Args({1, 16, 1})->Args({2, 16, 1})->Args({4, 16, 1})->Args({8, 16, 1})
+    ->Args({4, 16, 2})->Args({4, 16, 4})
+    ->Args({4, 64, 1})->Args({4, 64, 4})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_Assembler(benchmark::State& state) {
   const std::string src = bench::mixed_asc_program(512);

@@ -1,0 +1,315 @@
+#include "asclib/algorithms/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "asclib/asc_machine.hpp"
+#include "asclib/kernels.hpp"
+#include "assembler/assembler.hpp"
+#include "common/error.hpp"
+
+namespace masc::asc {
+
+namespace {
+
+/// Scalar-memory base of the frontier bitmask triple. Words 0..15 are
+/// left free for the (empty) program data segment and future use.
+constexpr Addr kFrontierBase = 16;
+
+constexpr Cycle kBfsMaxCycles = 200'000'000;
+
+}  // namespace
+
+GraphBfs::GraphBfs(const MachineConfig& cfg, std::uint32_t num_vertices,
+                   std::vector<GraphEdge> edges, bool directed)
+    : cfg_(cfg), n_(num_vertices) {
+  cfg_.validate();
+  expect(n_ >= 1, "GraphBfs: graph must have at least one vertex");
+  expect(cfg_.word_width >= 16,
+         "GraphBfs: word_width must be >= 16 (vertex ids, bitmask words "
+         "and level counts are architectural words)");
+  // Levels go up to n+1 and must be representable.
+  expect(static_cast<std::uint64_t>(n_) + 1 <
+             (std::uint64_t{1} << cfg_.word_width),
+         "GraphBfs: vertex count does not fit the word width");
+  frontier_words_ = (n_ + cfg_.word_width - 1) / cfg_.word_width;
+
+  // Dense per-vertex adjacency bitmasks: adj_[v][j] has bit (u % w) of
+  // word j = u / w set for every neighbor u of v.
+  adj_.assign(n_, std::vector<Word>(frontier_words_, 0));
+  for (const GraphEdge& e : edges) {
+    expect(e.u < n_ && e.v < n_, "GraphBfs: edge endpoint out of range");
+    adj_[e.u][e.v / cfg_.word_width] |= Word{1} << (e.v % cfg_.word_width);
+    if (!directed)
+      adj_[e.v][e.u / cfg_.word_width] |= Word{1} << (e.u % cfg_.word_width);
+  }
+}
+
+std::uint32_t GraphBfs::verts_per_chip(std::uint32_t chips) const {
+  return (n_ + chips - 1) / chips;
+}
+
+std::uint32_t GraphBfs::slots(std::uint32_t chips) const {
+  return slots_for(verts_per_chip(chips), cfg_.num_pes);
+}
+
+void GraphBfs::validate_layout(std::uint32_t chips, Addr mailbox_base) const {
+  const std::uint32_t s = slots(chips);
+  const std::uint32_t nw = frontier_words_;
+  // Local columns: VAL, LVL, FW, FM, then nw adjacency columns. The
+  // base of the last column must stay a legal 9-bit plw immediate.
+  expect((3 + nw) * s <= 255,
+         "GraphBfs: graph too large for the plw immediate layout "
+         "(reduce vertices per chip: more chips or more PEs)");
+  expect((4 + nw) * s <= cfg_.local_mem_bytes,
+         "GraphBfs: PE local memory too small for adjacency columns");
+  // Scalar bitmasks: frontier, next, visited — all below the mailbox.
+  const Addr scalar_end = kFrontierBase + 3 * nw;
+  expect(scalar_end <= mailbox_base,
+         "GraphBfs: frontier bitmasks would overlap the fabric mailbox");
+  expect(scalar_end <= cfg_.scalar_mem_bytes,
+         "GraphBfs: scalar memory too small for frontier bitmasks");
+}
+
+std::string GraphBfs::kernel_source(std::uint32_t chips, Addr mailbox_base,
+                                    bool background) const {
+  const std::uint32_t s = slots(chips);
+  const std::uint32_t nw = frontier_words_;
+  const Addr kVal = 0, kLvl = s, kFw = 2 * s, kFm = 3 * s, kAdj = 4 * s;
+  const Addr f0 = kFrontierBase;          // current frontier bitmask
+  const Addr n0 = f0 + nw;                // next-frontier accumulator
+  const Addr v0 = n0 + nw;                // visited bitmask
+  const auto a = [](Addr x) { return std::to_string(x); };
+
+  KernelBuilder k;
+  k.standard_prologue();
+  k.comment("r4 = mailbox base, r10 = NUM_CHIPS (0 on a bare Machine)");
+  k.line("li r4, " + a(mailbox_base));
+  k.line("lw r10, " + a(fabric::kMboxNumChips) + "(r4)");
+  k.line("li r9, 0");   // completed BFS levels
+  k.line("li r13, 0");
+  if (background) {
+    k.comment("spawn threads 1..T-1 as background reducers (r8 = iters)");
+    k.line("beq r8, r0, no_bg");
+    k.line("nthreads r2");
+    k.line("li r1, 1");
+    k.label("spawn_loop");
+    k.line("bgeu r1, r2, no_bg");
+    k.line("la r5, bg_entry");
+    k.line("tspawn r3, r5");
+    k.line("tput r12, r8, r3");
+    k.line("addi r1, r1, 1");
+    k.line("j spawn_loop");
+    k.label("no_bg");
+  }
+  k.label("level_loop");
+  k.line("addi r9, r9, 1");
+  k.comment("mark phase: valid & unvisited & frontier-bit -> level r9,");
+  k.comment("then OR the responders' adjacency words into NEXT");
+  const auto loop = k.begin_slot_loop(s, "r1", "r2", "p1");
+  k.line("plw p2, " + a(kVal) + "(p1)");
+  k.line("pcnes pf2, r0, p2");
+  k.line("plw p3, " + a(kLvl) + "(p1)");
+  k.line("pceqs pf3, r0, p3");
+  k.line("pfand pf2, pf2, pf3");
+  k.line("plw p4, " + a(kFw) + "(p1)");
+  k.line("plw p5, " + a(kFm) + "(p1)");
+  k.line("pfclr pf1");
+  for (std::uint32_t j = 0; j < nw; ++j) {
+    k.line("li r5, " + std::to_string(j));
+    k.line("pceqs pf3, r5, p4");
+    k.line("lw r3, " + a(f0 + j) + "(r0)");
+    k.line("pands p2, r3, p5");
+    k.line("pcnes pf4, r0, p2");
+    k.line("pfand pf3, pf3, pf4");
+    k.line("pfor pf1, pf1, pf3");
+  }
+  k.line("pfand pf1, pf1, pf2");
+  k.line("pbcast p2, r9");
+  k.line("psw p2, " + a(kLvl) + "(p1) ?pf1");
+  for (std::uint32_t j = 0; j < nw; ++j) {
+    k.line("plw p3, " + a(kAdj + j * s) + "(p1)");
+    k.line("ror r3, p3 ?pf1");
+    k.line("lw r5, " + a(n0 + j) + "(r0)");
+    k.line("or r5, r5, r3");
+    k.line("sw r5, " + a(n0 + j) + "(r0)");
+  }
+  k.end_slot_loop(loop, "r1", "r2");
+  k.comment("cross-chip merge: allreduce-OR of NEXT when NUM_CHIPS > 1");
+  k.line("li r3, 1");
+  k.line("bleu r10, r3, no_fabric");
+  k.line("li r3, " + a(n0));
+  k.line("sw r3, " + a(fabric::kMboxAddr) + "(r4)");
+  k.line("li r3, " + std::to_string(nw));
+  k.line("sw r3, " + a(fabric::kMboxCount) + "(r4)");
+  k.line("lw r7, " + a(fabric::kMboxAck) + "(r4)");
+  k.line("addi r7, r7, 1");
+  k.comment("REQ is posted last; then spin until ACK catches up");
+  k.line("li r3, " +
+         std::to_string(static_cast<int>(fabric::CollectiveOp::kOr)));
+  k.line("sw r3, " + a(fabric::kMboxReq) + "(r4)");
+  k.label("ack_wait");
+  k.line("lw r3, " + a(fabric::kMboxAck) + "(r4)");
+  k.line("bne r3, r7, ack_wait");
+  k.label("no_fabric");
+  k.comment("frontier = NEXT & ~visited; visited |= frontier; NEXT = 0");
+  k.line("li r7, 0");
+  for (std::uint32_t j = 0; j < nw; ++j) {
+    k.line("lw r3, " + a(n0 + j) + "(r0)");
+    k.line("lw r5, " + a(v0 + j) + "(r0)");
+    k.line("nor r6, r5, r5");
+    k.line("and r3, r3, r6");
+    k.line("or r5, r5, r3");
+    k.line("sw r5, " + a(v0 + j) + "(r0)");
+    k.line("sw r3, " + a(f0 + j) + "(r0)");
+    k.line("sw r0, " + a(n0 + j) + "(r0)");
+    k.line("or r7, r7, r3");
+  }
+  k.line("bne r7, r0, level_loop");
+  k.line("mov r13, r9");
+  if (background) {
+    k.comment("join the background reducers before halting");
+    k.line("beq r8, r0, done");
+    k.line("nthreads r2");
+    k.line("li r1, 1");
+    k.label("join_loop");
+    k.line("bgeu r1, r2, done");
+    k.line("tjoin r1");
+    k.line("addi r1, r1, 1");
+    k.line("j join_loop");
+    k.label("done");
+  }
+  k.line("halt");
+  if (background) {
+    k.comment("background thread: spin for the iteration count (tput");
+    k.comment("into r12), then run independent local reductions");
+    k.label("bg_entry");
+    k.line("beq r12, r0, bg_entry");
+    k.line("li r1, 0");
+    k.label("bg_loop");
+    k.line("rsumu r3, p6");
+    k.line("addi r1, r1, 1");
+    k.line("bltu r1, r12, bg_loop");
+    k.line("texit");
+  }
+  return k.str();
+}
+
+void GraphBfs::bind_chip(ArchState& st, std::uint32_t chip,
+                         std::uint32_t chips, std::uint32_t source,
+                         Word bg_iterations) const {
+  const std::uint32_t vpc = verts_per_chip(chips);
+  const std::uint32_t s = slots(chips);
+  const std::uint32_t nw = frontier_words_;
+  const std::uint32_t p = cfg_.num_pes;
+  const unsigned w = cfg_.word_width;
+  const Addr kVal = 0, kLvl = s, kFw = 2 * s, kFm = 3 * s, kAdj = 4 * s;
+  for (std::uint32_t l = 0; l < vpc; ++l) {
+    const std::uint64_t g = static_cast<std::uint64_t>(chip) * vpc + l;
+    const PEIndex pe = l % p;
+    const Addr slot = l / p;
+    const bool valid = g < n_;
+    st.set_local_mem(pe, kVal + slot, valid ? 1 : 0);
+    st.set_local_mem(pe, kLvl + slot, 0);
+    st.set_local_mem(pe, kFw + slot, valid ? static_cast<Word>(g / w) : 0);
+    st.set_local_mem(pe, kFm + slot,
+                     valid ? Word{1} << (g % w) : 0);
+    for (std::uint32_t j = 0; j < nw; ++j)
+      st.set_local_mem(pe, kAdj + j * s + slot,
+                       valid ? adj_[static_cast<std::size_t>(g)][j] : 0);
+  }
+  // Frontier = visited = {source}; NEXT = 0. Identical on every chip.
+  for (std::uint32_t j = 0; j < nw; ++j) {
+    const Word bit = (source / w == j) ? Word{1} << (source % w) : 0;
+    st.set_scalar_mem(kFrontierBase + j, bit);
+    st.set_scalar_mem(kFrontierBase + nw + j, 0);
+    st.set_scalar_mem(kFrontierBase + 2 * nw + j, bit);
+  }
+  st.set_sreg(0, kArg0, bg_iterations);
+}
+
+GraphBfs::Result GraphBfs::collect(
+    std::uint32_t chips, const std::vector<const Machine*>& machines) const {
+  Result res;
+  const std::uint32_t vpc = verts_per_chip(chips);
+  const std::uint32_t s = slots(chips);
+  const std::uint32_t p = cfg_.num_pes;
+  res.level.assign(n_, 0);
+  for (std::uint32_t g = 0; g < n_; ++g) {
+    const std::uint32_t chip = g / vpc;
+    const std::uint32_t l = g % vpc;
+    res.level[g] = machines[chip]->state().local_mem(l % p, s + l / p);
+  }
+  res.levels = machines[0]->state().sreg(0, kRes0);
+  return res;
+}
+
+GraphBfs::Result GraphBfs::run(std::uint32_t source, Word bg_iterations) const {
+  expect(source < n_, "GraphBfs: source out of range");
+  expect(bg_iterations == 0 || cfg_.multithreading,
+         "GraphBfs: background work needs multithreading enabled");
+  const fabric::FabricConfig defaults;  // mailbox location only
+  validate_layout(1, defaults.mailbox_base);
+  Machine m(cfg_);
+  m.load(assemble(kernel_source(1, defaults.mailbox_base,
+                                bg_iterations > 0)));
+  bind_chip(m.state(), 0, 1, source, bg_iterations);
+  expect(m.run(kBfsMaxCycles), "GraphBfs: kernel timed out");
+  Result res = collect(1, {&m});
+  res.fleet = m.stats();
+  res.cycles = res.fleet.cycles;
+  return res;
+}
+
+GraphBfs::Result GraphBfs::run(std::uint32_t source,
+                               const fabric::FabricConfig& fab,
+                               Word bg_iterations) const {
+  expect(source < n_, "GraphBfs: source out of range");
+  expect(bg_iterations == 0 || cfg_.multithreading,
+         "GraphBfs: background work needs multithreading enabled");
+  fab.validate();
+  validate_layout(fab.chips, fab.mailbox_base);
+  fabric::Fabric f(cfg_, fab);
+  f.load(assemble(
+      kernel_source(fab.chips, fab.mailbox_base, bg_iterations > 0)));
+  std::vector<const Machine*> machines;
+  for (std::uint32_t k = 0; k < fab.chips; ++k) {
+    bind_chip(f.chip(k).state(), k, fab.chips, source, bg_iterations);
+    machines.push_back(&f.chip(k));
+  }
+  expect(f.run(kBfsMaxCycles), "GraphBfs: fabric kernel timed out");
+  Result res = collect(fab.chips, machines);
+  res.fleet = f.fleet_stats();
+  res.cycles = res.fleet.cycles;
+  res.fabric = f.stats();
+  res.used_fabric = true;
+  return res;
+}
+
+std::vector<Word> GraphBfs::host_reference(std::uint32_t num_vertices,
+                                           const std::vector<GraphEdge>& edges,
+                                           bool directed,
+                                           std::uint32_t source) {
+  std::vector<std::vector<std::uint32_t>> adj(num_vertices);
+  for (const GraphEdge& e : edges) {
+    adj[e.u].push_back(e.v);
+    if (!directed) adj[e.v].push_back(e.u);
+  }
+  std::vector<Word> level(num_vertices, 0);
+  std::queue<std::uint32_t> q;
+  level[source] = 1;
+  q.push(source);
+  while (!q.empty()) {
+    const std::uint32_t u = q.front();
+    q.pop();
+    for (const std::uint32_t v : adj[u]) {
+      if (level[v] == 0) {
+        level[v] = level[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+}  // namespace masc::asc

@@ -1,0 +1,95 @@
+// Graph BFS-frontier kernel — the associative formulation of breadth-
+// first search, runnable on one bare Machine or on a K-chip fabric.
+//
+// Vertices are strided across chips × PEs (global vertex g lives on
+// chip g / ceil(n/K), local index l = g % ceil(n/K), i.e. PE l % p,
+// slot l / p). The frontier, next-frontier, and visited sets are dense
+// bitmasks in scalar memory, identical on every chip; adjacency is a
+// per-vertex neighbor bitmask bound into PE local memory. One BFS
+// level is the classic ASC pattern: every PE tests "am I valid,
+// unvisited, and is my frontier bit set?" in parallel, newly reached
+// PEs take the level number from a broadcast, and their adjacency
+// words are OR-reduced through the reduction tree into the next
+// frontier — per level, per frontier word, one tree reduction. On K
+// chips the per-chip next-frontier masks are then merged with a single
+// fabric allreduce-OR (docs/MULTICHIP.md), which is exactly the
+// cross-chip reduction traffic this workload exists to stress.
+//
+// Optionally, threads 1..T-1 of every chip run an independent stream
+// of local reductions ("background work") while thread 0 drives BFS —
+// the experiment bench_e11_multichip uses to ask the paper's question
+// at fabric scale: does multithreading hide the now much deeper
+// reduction latency?
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/stats.hpp"
+
+namespace masc::asc {
+
+struct GraphEdge {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+};
+
+class GraphBfs {
+ public:
+  struct Result {
+    /// Per-vertex BFS level, 1-based: level[source] == 1, unreached
+    /// vertices stay 0 (so distance = level - 1).
+    std::vector<Word> level;
+    Word levels = 0;       ///< number of BFS levels executed
+    Cycle cycles = 0;      ///< fleet time (max over chips)
+    Stats fleet;           ///< single-chip Stats or Fabric::fleet_stats
+    fabric::FabricStats fabric;  ///< all-zero for the single-chip run
+    bool used_fabric = false;
+  };
+
+  /// `cfg` is the per-chip machine; requires word_width >= 16 (vertex
+  /// ids and bitmask words must fit an architectural word) and enough
+  /// PE local memory for (4 + ceil(n/width)) strided columns.
+  GraphBfs(const MachineConfig& cfg, std::uint32_t num_vertices,
+           std::vector<GraphEdge> edges, bool directed = false);
+
+  /// Single bare chip — no fabric, the kernel's NUM_CHIPS mailbox word
+  /// reads 0 and the cross-chip merge is skipped.
+  Result run(std::uint32_t source, Word bg_iterations = 0) const;
+
+  /// K chips under the given fabric; one allreduce-OR per BFS level.
+  Result run(std::uint32_t source, const fabric::FabricConfig& fab,
+             Word bg_iterations = 0) const;
+
+  /// Host-side reference BFS with the same level convention, for
+  /// self-checking tests and benches.
+  static std::vector<Word> host_reference(std::uint32_t num_vertices,
+                                          const std::vector<GraphEdge>& edges,
+                                          bool directed, std::uint32_t source);
+
+  std::uint32_t num_vertices() const { return n_; }
+
+ private:
+  /// Vertices per chip and local-memory slots per PE for a K-chip split.
+  std::uint32_t verts_per_chip(std::uint32_t chips) const;
+  std::uint32_t slots(std::uint32_t chips) const;
+  /// Throws if the layout does not fit plw's 9-bit immediates, the PE
+  /// local memory, or scalar memory below the mailbox.
+  void validate_layout(std::uint32_t chips, Addr mailbox_base) const;
+  std::string kernel_source(std::uint32_t chips, Addr mailbox_base,
+                            bool background) const;
+  void bind_chip(ArchState& st, std::uint32_t chip, std::uint32_t chips,
+                 std::uint32_t source, Word bg_iterations) const;
+  Result collect(std::uint32_t chips,
+                 const std::vector<const Machine*>& machines) const;
+
+  MachineConfig cfg_;
+  std::uint32_t n_;
+  std::uint32_t frontier_words_;           ///< ceil(n / word_width)
+  std::vector<std::vector<Word>> adj_;     ///< [vertex][frontier word]
+};
+
+}  // namespace masc::asc

@@ -16,6 +16,55 @@ namespace masc {
 
 namespace {
 
+/// Fabric variant of the single-machine loop below: same chunked
+/// structure and stop conditions, but time advances through
+/// Fabric::run (which is itself chunk-restartable — its limit is an
+/// absolute fleet cycle count, like Machine::run). Checkpoints are
+/// Fabric::save_state blobs.
+void run_one_fabric(const SweepJob& job, std::size_t index, SweepResult& r) {
+  fabric::Fabric f(job.cfg, *job.fabric);
+  f.load(job.program);
+  if (job.initial_state) f.restore_state(*job.initial_state);
+  const bool chunked = job.cancel || job.deadline ||
+                       job.checkpoint_on_stop ||
+                       job.checkpoint_every_chunks > 0 ||
+                       fault::active() != nullptr;
+  if (!chunked) {
+    r.status = f.run(job.max_cycles) ? SweepStatus::kFinished
+                                     : SweepStatus::kCycleLimit;
+  } else {
+    r.status = SweepStatus::kCycleLimit;
+    std::uint64_t chunks_done = 0;
+    for (;;) {
+      if (job.cancel && job.cancel->load(std::memory_order_relaxed)) {
+        r.status = SweepStatus::kCancelled;
+        if (job.checkpoint_on_stop && f.now() > 0) r.checkpoint = f.save_state();
+        break;
+      }
+      if (job.deadline && std::chrono::steady_clock::now() >= *job.deadline) {
+        r.status = SweepStatus::kDeadlineExceeded;
+        if (job.checkpoint_on_stop && f.now() > 0) r.checkpoint = f.save_state();
+        break;
+      }
+      if (auto* inj = fault::active(); inj && inj->on_chunk())
+        throw fault::FaultInjected("injected fault: worker chunk killed");
+      const Cycle limit =
+          std::min<Cycle>(job.max_cycles, f.now() + kSweepChunkCycles);
+      if (f.run(limit)) {
+        r.status = SweepStatus::kFinished;
+        break;
+      }
+      if (f.now() >= job.max_cycles) break;  // true cycle-limit stop
+      ++chunks_done;
+      if (job.checkpoint_every_chunks > 0 && job.checkpoint_sink &&
+          chunks_done % job.checkpoint_every_chunks == 0)
+        (*job.checkpoint_sink)(index, f.save_state());
+    }
+  }
+  r.stats = f.fleet_stats();
+  r.fabric = f.stats();
+}
+
 SweepResult run_one(const SweepJob& job, std::size_t index) {
   SweepResult r;
   r.index = index;
@@ -27,6 +76,14 @@ SweepResult run_one(const SweepJob& job, std::size_t index) {
                        job.checkpoint_every_chunks > 0 ||
                        fault::active() != nullptr;
   try {
+    if (job.fabric) {
+      run_one_fabric(job, index, r);
+      r.finished = r.status == SweepStatus::kFinished;
+      r.host_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      return r;
+    }
     Machine m(job.cfg);
     m.load(job.program);
     if (job.initial_state) m.restore_state(*job.initial_state);
@@ -105,6 +162,7 @@ SweepResult materialize_cached(const CachedSweepRun& run, const SweepJob& job,
   r.status = run.status;
   r.finished = run.status == SweepStatus::kFinished;
   r.stats = run.stats;
+  r.fabric = run.fabric;
   r.host_seconds = host_seconds;
   return r;
 }
@@ -153,6 +211,24 @@ Hash128 sweep_cache_key(const SweepJob& job) {
   if (job.initial_state) {
     h.u8(1);
     h.str(*job.initial_state);
+  } else {
+    h.u8(0);
+  }
+  // Fabric knobs: every FabricConfig field, fixed order, preceded by a
+  // presence byte so a K=1 fabric job (which still has a live mailbox)
+  // never shares a key with a bare single-Machine job. Unlike
+  // sim_threads, all of these change simulated behavior.
+  // result_cache_test.cpp pins sizeof(FabricConfig) to keep this list
+  // complete.
+  if (job.fabric) {
+    const fabric::FabricConfig& f = *job.fabric;
+    h.u8(1);
+    h.u32(f.chips);
+    h.u8(static_cast<std::uint8_t>(f.topology));
+    h.u32(f.link_latency);
+    h.u32(f.link_width_words);
+    h.u32(f.chunk_cycles);
+    h.u32(f.mailbox_base);
   } else {
     h.u8(0);
   }
@@ -258,6 +334,7 @@ std::vector<SweepResult> SweepRunner::run(
     auto entry = std::make_shared<CachedSweepRun>();
     entry->status = r.status;
     entry->stats = r.stats;
+    entry->fabric = r.fabric;
     const std::size_t bytes = cached_run_bytes(*entry);
     cache->insert(key, std::move(entry), bytes);
   };
@@ -281,8 +358,9 @@ std::vector<SweepResult> SweepRunner::run(
           // Fan the leader's (deterministic, complete) result out to its
           // twin. The copy costs nothing on the host, hence 0.0.
           results[j] = materialize_cached(
-              CachedSweepRun{results[i].status, results[i].stats}, jobs[j], j,
-              0.0);
+              CachedSweepRun{results[i].status, results[i].stats,
+                             results[i].fabric},
+              jobs[j], j, 0.0);
         } else {
           // The leader was stopped by *its own* cancel token, deadline,
           // or an injected fault — none of which this twin shares. Run
@@ -320,6 +398,7 @@ std::string to_json(const SweepResult& r, const MachineConfig& cfg) {
     os << ",\"error\":\"" << json_escape(r.error) << "\"";
   os << ",\"host_seconds\":" << r.host_seconds;
   os << ",\"stats\":" << to_json(r.stats);
+  if (r.fabric) os << ",\"fabric\":" << fabric::to_json(*r.fabric);
   os << "}";
   return os.str();
 }

@@ -30,6 +30,7 @@
 #include "assembler/program.hpp"
 #include "common/config.hpp"
 #include "common/result_cache.hpp"
+#include "fabric/fabric.hpp"
 #include "sim/stats.hpp"
 
 namespace masc {
@@ -59,6 +60,14 @@ const char* to_string(SweepStatus s);
 /// randomized inputs off it); the simulator itself is deterministic.
 struct SweepJob {
   MachineConfig cfg;
+  /// When set, the job simulates a K-chip fabric (every chip = `cfg`)
+  /// instead of a single Machine (docs/MULTICHIP.md). The checkpoint
+  /// fields below then carry Fabric::save_state() blobs, and
+  /// SweepResult::fabric reports the inter-chip counters. Every fabric
+  /// knob changes simulated behavior, so all of them feed
+  /// sweep_cache_key() — a multi-chip run can never be served from a
+  /// single-chip cache entry or vice versa.
+  std::optional<fabric::FabricConfig> fabric;
   Program program;
   std::string label;                 ///< free-form tag echoed in the result
   std::uint64_t seed = 0;
@@ -97,6 +106,9 @@ struct SweepResult {
   std::string error;                 ///< non-empty if the simulation threw
   Stats stats;                       ///< partial up to the stop point unless
                                      ///< status == kFinished
+  /// Inter-chip counters for fabric jobs (SweepJob::fabric set);
+  /// `stats` is then the fleet aggregate (Fabric::fleet_stats).
+  std::optional<fabric::FabricStats> fabric;
   double host_seconds = 0.0;         ///< wall time of this job on its worker
   /// Machine state at the stop point, when the job asked for
   /// checkpoint_on_stop and was cancelled / deadline-stopped mid-run.
@@ -120,6 +132,7 @@ inline constexpr Cycle kSweepChunkCycles = 65'536;
 struct CachedSweepRun {
   SweepStatus status = SweepStatus::kFinished;
   Stats stats;
+  std::optional<fabric::FabricStats> fabric;  ///< fabric jobs only
 };
 
 using SweepResultCache = ResultCache<CachedSweepRun>;

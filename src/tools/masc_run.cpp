@@ -7,6 +7,12 @@
 //     --arity K      broadcast tree arity   (default 2)
 //     --sim-threads N  host threads simulating the PE array (default 1;
 //                      results are bit-identical, see docs/THREADING.md)
+//     --chips K      simulate K chips on an inter-chip fabric
+//                    (docs/MULTICHIP.md; enables the flags below)
+//     --fabric-topology T   chain|tree      (default tree)
+//     --link-latency N      cycles per inter-chip hop (default 4)
+//     --link-width N        words per flit  (default 1)
+//     --fabric-chunk N      lockstep chunk cycles (default 64)
 //     --single       disable multithreading (baseline [7]-style timing)
 //     --nonpipelined-net   combinational networks (baseline)
 //     --serial       non-pipelined execution (baseline [6])
@@ -25,6 +31,7 @@
 #include "ascal/codegen.hpp"
 #include "assembler/assembler.hpp"
 #include "assembler/program_io.hpp"
+#include "fabric/fabric.hpp"
 #include "sim/funcsim.hpp"
 #include "sim/machine.hpp"
 
@@ -36,7 +43,10 @@ int usage() {
   std::fprintf(stderr, "usage: masc-run prog.s|prog.mo [--pes N] [--threads N] "
                        "[--width N] [--arity K]\n  [--sim-threads N] [--single] "
                        "[--nonpipelined-net] [--serial] [--max-cycles N]\n"
-                       "  [--trace[=N]] [--stats] [--func] [--regs]\n");
+                       "  [--chips K] [--fabric-topology chain|tree] "
+                       "[--link-latency N] [--link-width N]\n"
+                       "  [--fabric-chunk N] "
+                       "[--trace[=N]] [--stats] [--func] [--regs]\n");
   return 2;
 }
 
@@ -84,6 +94,8 @@ int main(int argc, char** argv) {
   Cycle max_cycles = 100'000'000;
   bool trace = false, stats = false, func = false, regs = false, json = false;
   std::size_t trace_n = 64;
+  bool use_fabric = false;
+  fabric::FabricConfig fab;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,6 +112,19 @@ int main(int argc, char** argv) {
     else if (arg == "--nonpipelined-net") cfg.pipelined_network = false;
     else if (arg == "--serial") { cfg.pipelined_execution = false; cfg.multithreading = false; }
     else if (arg == "--max-cycles") { std::uint32_t n; next_u32(n); max_cycles = n; }
+    else if (arg == "--chips") { use_fabric = true; next_u32(fab.chips); }
+    else if (arg == "--fabric-topology") {
+      use_fabric = true;
+      if (++i >= argc) std::exit(usage());
+      try { fab.topology = fabric::parse_topology(argv[i]); }
+      catch (const std::exception& e) {
+        std::fprintf(stderr, "masc-run: %s\n", e.what());
+        std::exit(2);
+      }
+    }
+    else if (arg == "--link-latency") { use_fabric = true; next_u32(fab.link_latency); }
+    else if (arg == "--link-width") { use_fabric = true; next_u32(fab.link_width_words); }
+    else if (arg == "--fabric-chunk") { use_fabric = true; next_u32(fab.chunk_cycles); }
     else if (arg == "--stats") stats = true;
     else if (arg == "--json") json = true;
     else if (arg == "--func") func = true;
@@ -128,6 +153,36 @@ int main(int argc, char** argv) {
       if (regs)
         for (RegNum r = 1; r < cfg.num_scalar_regs; ++r)
           std::printf("  r%-2u = %u\n", r, f.state().sreg(0, r));
+      return ok ? 0 : 3;
+    }
+
+    if (use_fabric) {
+      fab.validate();
+      fabric::Fabric f(cfg, fab);
+      f.load(prog);
+      const bool ok = f.run(max_cycles);
+      const Stats fleet = f.fleet_stats();
+      if (json) {
+        std::printf("{\"chips\":%u,\"fleet\":%s,\"fabric\":%s}\n", fab.chips,
+                    to_json(fleet).c_str(),
+                    fabric::to_json(f.stats()).c_str());
+        return ok ? 0 : 3;
+      }
+      std::printf("%s after %llu fleet cycles (%s x %s)\n",
+                  ok ? "finished" : "CYCLE LIMIT",
+                  static_cast<unsigned long long>(fleet.cycles),
+                  fab.name().c_str(), cfg.name().c_str());
+      if (stats) {
+        print_stats(fleet);
+        std::printf("fabric        : %s\n",
+                    fabric::to_json(f.stats()).c_str());
+      }
+      if (regs)
+        for (std::uint32_t k = 0; k < fab.chips; ++k) {
+          std::printf("chip %u:\n", k);
+          for (RegNum r = 1; r < cfg.num_scalar_regs; ++r)
+            std::printf("  r%-2u = %u\n", r, f.chip(k).state().sreg(0, r));
+        }
       return ok ? 0 : 3;
     }
 

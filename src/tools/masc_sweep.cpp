@@ -18,11 +18,17 @@
 //     --max-cycles N   per-job cycle limit              (default 100M)
 //     --deadline-ms N  wall-clock deadline for every job, measured from
 //                      sweep start; late jobs report deadline-exceeded
+//     --chips LIST     comma-separated chip counts; any entry turns the
+//                      job into a multi-chip fabric run (docs/MULTICHIP.md)
+//     --fabric-topology T  chain|tree                   (default tree)
+//     --link-latency N     cycles per inter-chip hop    (default 4)
+//     --link-width N       words per flit               (default 1)
+//     --fabric-chunk N     lockstep chunk cycles        (default 64)
 //     --table          print an IPC summary table instead of JSON lines
 //
-// The grid is the cross product pes × threads × width × seeds, ordered
-// row-major in that nesting; output order equals grid order regardless
-// of --workers (deterministic result ordering).
+// The grid is the cross product chips × pes × threads × width × seeds,
+// ordered row-major in that nesting; output order equals grid order
+// regardless of --workers (deterministic result ordering).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -46,7 +52,9 @@ int usage() {
                "usage: masc-sweep prog.s|prog.mo|prog.ascal [--pes LIST] "
                "[--threads LIST]\n  [--width LIST] [--arity K] [--seeds N] "
                "[--workers N] [--sim-threads N]\n  [--max-cycles N] "
-               "[--deadline-ms N] [--table]\n");
+               "[--deadline-ms N] [--chips LIST] "
+               "[--fabric-topology chain|tree]\n  [--link-latency N] "
+               "[--link-width N] [--fabric-chunk N] [--table]\n");
   return 2;
 }
 
@@ -85,6 +93,8 @@ int main(int argc, char** argv) {
   Cycle max_cycles = 100'000'000;
   std::uint64_t deadline_ms = 0;
   bool table = false;
+  std::vector<std::uint32_t> chip_counts;  // empty = plain single-Machine jobs
+  fabric::FabricConfig fab_base;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +111,17 @@ int main(int argc, char** argv) {
     else if (arg == "--sim-threads") sim_threads = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--max-cycles") max_cycles = std::strtoul(next(), nullptr, 0);
     else if (arg == "--deadline-ms") deadline_ms = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--chips") chip_counts = parse_list(next());
+    else if (arg == "--fabric-topology") {
+      try { fab_base.topology = fabric::parse_topology(next()); }
+      catch (const std::exception& e) {
+        std::fprintf(stderr, "masc-sweep: %s\n", e.what());
+        std::exit(2);
+      }
+    }
+    else if (arg == "--link-latency") fab_base.link_latency = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--link-width") fab_base.link_width_words = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--fabric-chunk") fab_base.chunk_cycles = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--table") table = true;
     else if (!arg.empty() && arg[0] == '-') return usage();
     else if (input.empty()) input = arg;
@@ -113,26 +134,39 @@ int main(int argc, char** argv) {
   try {
     const Program prog = load_input(input);
 
+    // An empty chip list means "no fabric": one sentinel iteration that
+    // leaves SweepJob::fabric unset.
+    const bool use_fabric = !chip_counts.empty();
+    if (!use_fabric) chip_counts.push_back(0);
+
     std::vector<SweepJob> jobs;
-    jobs.reserve(static_cast<std::size_t>(pes.size()) * threads.size() *
-                 widths.size() * seeds);
-    for (const auto p : pes)
-      for (const auto t : threads)
-        for (const auto w : widths)
-          for (std::uint32_t s = 0; s < seeds; ++s) {
-            SweepJob job;
-            job.cfg.num_pes = p;
-            job.cfg.num_threads = t;
-            job.cfg.word_width = w;
-            job.cfg.broadcast_arity = arity;
-            job.cfg.sim_threads = sim_threads;
-            job.cfg.validate();
-            job.program = prog;
-            job.label = job.cfg.name();
-            job.seed = s;
-            job.max_cycles = max_cycles;
-            jobs.push_back(std::move(job));
-          }
+    jobs.reserve(static_cast<std::size_t>(chip_counts.size()) * pes.size() *
+                 threads.size() * widths.size() * seeds);
+    for (const auto c : chip_counts)
+      for (const auto p : pes)
+        for (const auto t : threads)
+          for (const auto w : widths)
+            for (std::uint32_t s = 0; s < seeds; ++s) {
+              SweepJob job;
+              job.cfg.num_pes = p;
+              job.cfg.num_threads = t;
+              job.cfg.word_width = w;
+              job.cfg.broadcast_arity = arity;
+              job.cfg.sim_threads = sim_threads;
+              job.cfg.validate();
+              job.program = prog;
+              job.label = job.cfg.name();
+              if (use_fabric) {
+                fabric::FabricConfig fab = fab_base;
+                fab.chips = c;
+                fab.validate();
+                job.fabric = fab;
+                job.label = fab.name() + "x" + job.cfg.name();
+              }
+              job.seed = s;
+              job.max_cycles = max_cycles;
+              jobs.push_back(std::move(job));
+            }
 
     if (deadline_ms > 0) {
       const auto deadline = std::chrono::steady_clock::now() +

@@ -86,8 +86,8 @@ TEST(DocsLinks, CoreDocsExist) {
   for (const char* doc : {"README.md", "ROADMAP.md", "docs/ISA.md",
                           "docs/ASCAL.md", "docs/SIMULATOR.md",
                           "docs/PERF.md", "docs/THREADING.md",
-                          "docs/SERVER.md", "docs/RELIABILITY.md",
-                          "docs/CLUSTER.md"}) {
+                          "docs/MULTICHIP.md", "docs/SERVER.md",
+                          "docs/RELIABILITY.md", "docs/CLUSTER.md"}) {
     EXPECT_TRUE(fs::exists(root / doc)) << doc;
   }
 }

@@ -141,6 +141,14 @@ TEST(ResultCacheKey, TracksEveryMachineConfigField) {
   EXPECT_EQ(sizeof(MachineConfig), 64u)
       << "MachineConfig changed: update sweep_cache_key() to hash the new "
          "field, then adjust this pin";
+  // Same discipline for the multi-chip fabric knobs: every FabricConfig
+  // field changes simulated behavior (none is a sim_threads-style host
+  // knob), so all of them must be hashed by sweep_cache_key() when
+  // SweepJob::fabric is set. fabric_test.cpp covers the behavior; this
+  // pin catches the silently-added field.
+  EXPECT_EQ(sizeof(fabric::FabricConfig), 24u)
+      << "FabricConfig changed: update sweep_cache_key() to hash the new "
+         "field, then adjust this pin";
 }
 
 TEST(ResultCacheKey, IgnoresSimThreadsByDesign) {
