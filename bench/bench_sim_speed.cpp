@@ -4,10 +4,20 @@
 // the "cycle-accurate simulator runs on a laptop" check.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
+#include <memory>
 
 #include "bench_util.hpp"
+#include "common/base64.hpp"
+#include "common/cache_store.hpp"
+#include "common/hash.hpp"
+#include "common/json.hpp"
 #include "fabric/fabric.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "sim/funcsim.hpp"
 
 namespace {
@@ -189,6 +199,112 @@ void BM_CacheHit(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheHit)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
+
+// Tiered-cache latency curve (docs/CACHE.md "Benchmarks"): the same job
+// served from each tier of the result cache. range(0) selects the tier:
+//   0  miss — no cache attached, every iteration re-simulates;
+//   1  L1 hit — warmed RAM LRU, the sharded-map fast path;
+//   2  L2 hit — the L1 is 1 byte so promotions never stick and every
+//      lookup is a real segment pread + checksum + decode from a disk
+//      store in a temp dir;
+//   3  peer hit — a `cache_get` round-trip against an in-process
+//      serve::Server plus base64 and record decode, i.e. the work the
+//      router's peer read-through does per diverted job.
+// The tier-to-tier ratios are the numbers docs/CACHE.md quotes for "how
+// much does each fallback cost".
+void BM_CacheTier(benchmark::State& state) {
+  const long tier = state.range(0);
+  MachineConfig cfg;
+  cfg.num_pes = 256;
+  cfg.num_threads = 16;
+  cfg.word_width = 16;
+  const std::string src = bench::mixed_asc_program(512);
+  const std::vector<SweepJob> jobs = {bench::make_job(cfg, src)};
+
+  std::uint64_t total_jobs = 0;
+  if (tier == 3) {
+    serve::ServerOptions sopts;
+    sopts.port = 0;
+    sopts.workers = 1;
+    sopts.cache_bytes = 64u << 20;
+    serve::Server server(sopts);
+    server.start();
+    serve::Client c;
+    c.connect("127.0.0.1", server.port());
+    const std::string job_json =
+        "{\"config\":{\"pes\":256,\"threads\":16,\"width\":16},"
+        "\"program\":{\"source\":\"" + json_escape(src) + "\"}}";
+    // Warm the server's cache with one real run, then hammer cache_get
+    // with the job's content key — exactly what a peer router does.
+    const json::Value sub =
+        c.request("{\"op\":\"submit\",\"jobs\":[" + job_json + "]}");
+    const std::uint64_t id = sub.find("ids")->as_array()[0].as_uint();
+    const json::Value res = c.request(
+        "{\"op\":\"result\",\"id\":" + std::to_string(id) +
+        ",\"wait\":true,\"timeout_ms\":60000}");
+    const std::string key =
+        to_hex(sweep_cache_key(serve::job_from_json(parse_json(job_json))));
+    if (!res.get_bool("ok", false)) {
+      std::fprintf(stderr, "BM_CacheTier: warm-up submit failed\n");
+      std::exit(1);
+    }
+    for (auto _ : state) {
+      const json::Value resp = c.request(
+          "{\"op\":\"cache_get\",\"key\":\"" + key + "\"}");
+      CachedSweepRun run;
+      if (!resp.get_bool("found", false) ||
+          !decode_cached_run(base64_decode(resp.get_string("payload", "")),
+                             run)) {
+        std::fprintf(stderr, "BM_CacheTier: peer tier lost the record\n");
+        std::exit(1);
+      }
+      benchmark::DoNotOptimize(run.stats.cycles);
+      ++total_jobs;
+    }
+  } else {
+    std::string dir;
+    {
+      SweepRunner runner(1);
+      std::shared_ptr<SweepResultCache> cache;
+      if (tier == 1) {
+        cache = std::make_shared<SweepResultCache>(64u << 20, 16);
+      } else if (tier == 2) {
+        dir = "/tmp/masc_bench_l2_" + std::to_string(::getpid());
+        std::system(("rm -rf '" + dir + "'").c_str());
+        cache = std::make_shared<SweepResultCache>(1, 1);  // L1 can't hold it
+        CacheStoreOptions copts;
+        copts.dir = dir;
+        auto store = std::make_unique<CacheStore>(copts);
+        store->open();
+        cache->attach_disk(std::move(store));
+      }
+      if (cache) {
+        runner.set_cache(cache);
+        benchmark::DoNotOptimize(runner.run(jobs));  // warm: inserts
+        cache->drain_writes();  // tier 2: the record must be on disk
+      }
+      for (auto _ : state) {
+        const auto results = runner.run(jobs);
+        benchmark::DoNotOptimize(results.data());
+        total_jobs += results.size();
+      }
+      if (cache) {
+        const auto cs = cache->stats();
+        state.counters["l1_hits"] = static_cast<double>(cs.l1_hits);
+        state.counters["l2_hits"] = static_cast<double>(cs.l2_hits);
+        if (tier == 2 && cs.l2_hits == 0) {
+          std::fprintf(stderr, "BM_CacheTier: disk tier never hit\n");
+          std::exit(1);
+        }
+      }
+    }  // runner + cache destroyed: the store's dir lock is released
+    if (!dir.empty()) std::system(("rm -rf '" + dir + "'").c_str());
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(total_jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CacheTier)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
 
 // Multi-chip fabric host cost (docs/MULTICHIP.md): K chips in cycle-
 // lockstep, each looping {local tree reduction -> inter-chip allreduce-

@@ -12,7 +12,9 @@
 #include <random>
 #include <sstream>
 
+#include "common/base64.hpp"
 #include "fault/fault.hpp"
+#include "serve/framing.hpp"
 #include "sim/sweep.hpp"
 
 namespace masc::cluster {
@@ -65,6 +67,20 @@ void rewrite_id(json::Value& v, std::uint64_t id) {
     val.is_integer = true;
     return;
   }
+}
+
+/// Decode one fetched peer-cache blob and render the result object the
+/// client will see for router id `rid` — the same materialization a
+/// backend performs on its own cache hit, so the simulation payload
+/// (status, stats, fabric) is bit-identical to a local run. Empty on
+/// decode failure.
+std::string result_from_blob(const std::string& blob, const SweepJob& job,
+                             std::uint64_t rid, double host_seconds) {
+  CachedSweepRun run;
+  if (!decode_cached_run(blob, run)) return {};
+  const SweepResult r = materialize_cached(
+      run, job, static_cast<std::size_t>(rid), host_seconds);
+  return to_json(r, job.cfg);
 }
 
 std::vector<std::uint64_t> ids_from_response(const json::Value& resp) {
@@ -206,6 +222,7 @@ void Router::accept_loop() {
       ::close(fd);
       return;
     }
+    serve::set_nodelay(fd);
     auto session = std::make_unique<Session>();
     session->fd = fd;
     Session* raw = session.get();
@@ -286,6 +303,47 @@ json::Value Router::backend_request(std::size_t b, const std::string& payload) {
   }
 }
 
+std::optional<std::vector<std::string>> Router::peer_cache_fetch(
+    std::size_t b, const std::vector<Hash128>& keys) {
+  // Like the health prober, a peer read is a fresh short-deadline
+  // connection: a hung peer costs one bounded round, never a parked
+  // pooled socket. It also bypasses the breaker on purpose — a failed
+  // optimization must not generate failure events that could open a
+  // breaker and trigger a real failover.
+  {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    ++peer_lookups_;
+  }
+  bool miss = false;
+  try {
+    const BackendSpec& be = opts_.backends[b];
+    const std::uint64_t budget =
+        opts_.peer_timeout_ms ? opts_.peer_timeout_ms : 250;
+    Client c;
+    c.connect(be.host, be.port, budget);
+    c.set_io_timeout_ms(budget);
+    std::vector<std::string> blobs;
+    blobs.reserve(keys.size());
+    for (const Hash128& k : keys) {
+      const json::Value resp = c.request(
+          "{\"op\":\"cache_get\",\"key\":\"" + to_hex(k) + "\"}");
+      if (!resp.get_bool("ok", false) || !resp.get_bool("found", false)) {
+        miss = true;  // a single absent key abandons the whole round:
+        break;        // a partial serve would still cost a submission
+      }
+      blobs.push_back(base64_decode(resp.get_string("payload", "")));
+    }
+    if (!miss) return blobs;
+  } catch (const std::exception&) {
+    const std::lock_guard<std::mutex> lock(state_mu_);
+    ++peer_errors_;
+    return std::nullopt;
+  }
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  ++peer_misses_;
+  return std::nullopt;
+}
+
 std::vector<std::size_t> Router::outstanding_by_backend() {
   std::vector<std::size_t> counts(opts_.backends.size(), 0);
   const std::lock_guard<std::mutex> lock(state_mu_);
@@ -363,13 +421,20 @@ std::string Router::handle_submit(const json::Value& req) {
   // Validate every job with the backend's own parser and fold the jobs'
   // content hashes (the exact keys the backend ResultCache will use)
   // into the route key. A submit that cannot parse is refused here —
-  // identically to every backend — without spending network on it.
+  // identically to every backend — without spending network on it. The
+  // parsed jobs and per-job keys are kept: peer read-through needs the
+  // keys to ask a cache and the jobs to materialize its answers.
   Fnv128 key_hash;
   const std::size_t njobs = jobs_v->as_array().size();
+  std::vector<SweepJob> parsed;
+  std::vector<Hash128> job_keys;
+  parsed.reserve(njobs);
+  job_keys.reserve(njobs);
   for (const auto& elem : jobs_v->as_array()) {
-    const SweepJob job = serve::job_from_json(elem);
-    const Hash128 k = sweep_cache_key(job);
+    parsed.push_back(serve::job_from_json(elem));
+    const Hash128 k = sweep_cache_key(parsed.back());
     key_hash.u64(k.hi).u64(k.lo);
+    job_keys.push_back(k);
   }
   const Hash128 route_key = key_hash.digest();
 
@@ -431,10 +496,72 @@ std::string Router::handle_submit(const json::Value& req) {
 
   const std::vector<std::size_t> candidates = placement(route_key);
   bool saw_queue_full = false;
+  bool peer_tried = false;
   std::uint64_t retry_hint = 0;
   std::string last_error = "no alive backend";
   for (std::size_t rank = 0; rank < candidates.size(); ++rank) {
     const std::size_t b = candidates[rank];
+    // Tier-3 peer read-through (docs/CACHE.md): rank > 0 means the ring
+    // owner refused or failed and this submit is about to be simulated
+    // on a non-owner — but a repeat diverted off its affinity home is
+    // exactly the submit whose answer the owner's cache already holds.
+    // One tight-deadline cache round against the owner before paying
+    // for a simulation elsewhere; any miss/timeout/decode failure falls
+    // through to the normal submission below, so this path can delay a
+    // submit by at most peer_timeout_ms, never fail it.
+    if (rank > 0 && !peer_tried && opts_.affinity && opts_.peer_read_through) {
+      peer_tried = true;
+      const auto t0 = Clock::now();
+      if (const auto blobs = peer_cache_fetch(candidates[0], job_keys)) {
+        std::vector<std::uint64_t> rids(njobs);
+        {
+          const std::lock_guard<std::mutex> lock(state_mu_);
+          for (auto& rid : rids) rid = next_router_id_++;
+        }
+        // Bill the peer round's wall time across the jobs, as a backend
+        // bills its cache-lookup time to each admitted hit.
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count() /
+            static_cast<double>(njobs);
+        std::vector<std::string> bodies(njobs);
+        bool decoded = true;
+        for (std::size_t i = 0; i < njobs && decoded; ++i) {
+          bodies[i] = result_from_blob((*blobs)[i], parsed[i], rids[i], secs);
+          if (bodies[i].empty()) decoded = false;
+        }
+        if (decoded) {
+          auto group = std::make_unique<SubmitGroup>();
+          group->jobs_json = std::move(jobs_json);
+          group->deadline_ms = deadline_ms;
+          group->fleet_key = std::move(fleet_key);
+          group->client_key = client_key;
+          group->route_key = route_key;
+          group->job_keys = std::move(job_keys);
+          group->backend = npos;  // fully served: never (re)submitted
+          group->router_ids = rids;
+          group->unreleased = njobs;
+          {
+            const std::lock_guard<std::mutex> lock(state_mu_);
+            const std::size_t gidx = groups_.size();
+            for (std::size_t i = 0; i < njobs; ++i)
+              jobs_.emplace(rids[i], JobEntry{gidx, i, std::move(bodies[i])});
+            groups_.push_back(std::move(group));
+            ++submits_routed_;
+            jobs_routed_ += njobs;
+            ++peer_hits_;
+            peer_jobs_served_ += njobs;
+            if (!client_key.empty())
+              by_client_key_[client_key] = KeyedSubmit{rids, true};
+          }
+          jobs_cv_.notify_all();
+          return submitted_json(rids, false);
+        }
+        // Fetched but undecodable (version skew, torn frame): count it
+        // and simulate — a peer's garbage must never become our error.
+        const std::lock_guard<std::mutex> lock(state_mu_);
+        ++peer_errors_;
+      }
+    }
     json::Value resp;
     try {
       resp = backend_request(b, payload);
@@ -492,6 +619,7 @@ std::string Router::handle_submit(const json::Value& req) {
     group->fleet_key = std::move(fleet_key);
     group->client_key = client_key;
     group->route_key = route_key;
+    group->job_keys = job_keys;  // kept for failover peer read-through
     group->backend = b;
     group->backend_ids = std::move(backend_ids);
     group->unreleased = njobs;
@@ -536,7 +664,10 @@ std::string Router::handle_submit(const json::Value& req) {
 
 bool Router::place_group(std::size_t group_idx, std::size_t exclude) {
   std::string payload;
+  std::string jobs_json;
   Hash128 key;
+  std::vector<Hash128> job_keys;
+  std::vector<std::uint64_t> router_ids;
   std::size_t pending = 0;
   std::size_t expected = 0;
   {
@@ -554,8 +685,68 @@ bool Router::place_group(std::size_t group_idx, std::size_t exclude) {
     if (g->deadline_ms > 0) ps << ",\"deadline_ms\":" << g->deadline_ms;
     ps << ",\"jobs\":" << g->jobs_json << "}";
     payload = ps.str();
+    jobs_json = g->jobs_json;
     key = g->route_key;
+    job_keys = g->job_keys;
+    router_ids = g->router_ids;
     expected = g->router_ids.size();
+  }
+  // Tier-3 peer read-through on re-placement (docs/CACHE.md): a group
+  // being re-landed may already be answered somewhere in the fleet —
+  // notably when its owner crashed after finishing the work but before
+  // the client fetched it, and restarted on a durable --cache-dir. One
+  // bounded cache round against the best-placed survivor beats
+  // re-simulating the whole group; any miss or failure proceeds to the
+  // normal resubmission below.
+  if (opts_.affinity && opts_.peer_read_through &&
+      job_keys.size() == expected) {
+    const std::vector<std::size_t> cands = placement(key, exclude);
+    if (!cands.empty()) {
+      const auto t0 = Clock::now();
+      if (const auto blobs = peer_cache_fetch(cands[0], job_keys)) {
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count() /
+            static_cast<double>(expected);
+        std::vector<std::string> bodies(expected);
+        bool decoded = true;
+        try {
+          const json::Value jv = parse_json(jobs_json);
+          if (!jv.is_array() || jv.as_array().size() != expected)
+            decoded = false;
+          for (std::size_t i = 0; i < expected && decoded; ++i) {
+            const SweepJob job = serve::job_from_json(jv.as_array()[i]);
+            bodies[i] =
+                result_from_blob((*blobs)[i], job, router_ids[i], secs);
+            if (bodies[i].empty()) decoded = false;
+          }
+        } catch (const std::exception&) {
+          decoded = false;
+        }
+        bool served = false;
+        {
+          const std::lock_guard<std::mutex> lock(state_mu_);
+          if (decoded) {
+            if (SubmitGroup* g = groups_[group_idx].get()) {
+              g->backend = npos;  // fully served: nothing left to place
+              for (std::size_t i = 0; i < expected; ++i) {
+                const auto it = jobs_.find(router_ids[i]);
+                if (it != jobs_.end() && it->second.result_json.empty())
+                  it->second.result_json = std::move(bodies[i]);
+              }
+              ++peer_hits_;
+              peer_jobs_served_ += pending;
+              served = true;
+            }
+          } else {
+            ++peer_errors_;
+          }
+        }
+        if (served) {
+          jobs_cv_.notify_all();
+          return true;
+        }
+      }
+    }
   }
   for (const std::size_t b : placement(key, exclude)) {
     json::Value resp;
@@ -901,7 +1092,8 @@ std::string Router::handle_forwarded_by_id(const json::Value& req,
 
 std::string Router::stats_json() {
   std::uint64_t submits_routed, jobs_routed, jobs_rerouted, submits_rejected,
-      results_served, ring_moves, jobs_tracked, groups_live = 0;
+      results_served, ring_moves, peer_lookups, peer_hits, peer_jobs_served,
+      peer_misses, peer_errors, jobs_tracked, groups_live = 0;
   {
     const std::lock_guard<std::mutex> lock(state_mu_);
     submits_routed = submits_routed_;
@@ -910,6 +1102,11 @@ std::string Router::stats_json() {
     submits_rejected = submits_rejected_;
     results_served = results_served_;
     ring_moves = ring_moves_;
+    peer_lookups = peer_lookups_;
+    peer_hits = peer_hits_;
+    peer_jobs_served = peer_jobs_served_;
+    peer_misses = peer_misses_;
+    peer_errors = peer_errors_;
     jobs_tracked = jobs_.size();
     for (const auto& g : groups_)
       if (g) ++groups_live;
@@ -931,6 +1128,10 @@ std::string Router::stats_json() {
   os << ",\"ring_moves\":" << ring_moves;
   os << ",\"jobs_tracked\":" << jobs_tracked;
   os << ",\"groups_live\":" << groups_live;
+  os << ",\"peer_cache\":{\"lookups\":" << peer_lookups
+     << ",\"hits\":" << peer_hits << ",\"jobs_served\":" << peer_jobs_served
+     << ",\"misses\":" << peer_misses << ",\"errors\":" << peer_errors
+     << "}";
   os << ",\"breaker\":{\"opened\":" << trans.opened
      << ",\"half_opened\":" << trans.half_opened
      << ",\"closed\":" << trans.closed << "}";
@@ -992,7 +1193,8 @@ std::string Router::stats_json() {
 
 std::string Router::metrics_text() {
   std::uint64_t submits_routed, jobs_routed, jobs_rerouted, submits_rejected,
-      results_served, ring_moves, jobs_tracked, groups_live = 0;
+      results_served, ring_moves, peer_lookups, peer_hits, peer_jobs_served,
+      peer_misses, peer_errors, jobs_tracked, groups_live = 0;
   {
     const std::lock_guard<std::mutex> lock(state_mu_);
     submits_routed = submits_routed_;
@@ -1001,6 +1203,11 @@ std::string Router::metrics_text() {
     submits_rejected = submits_rejected_;
     results_served = results_served_;
     ring_moves = ring_moves_;
+    peer_lookups = peer_lookups_;
+    peer_hits = peer_hits_;
+    peer_jobs_served = peer_jobs_served_;
+    peer_misses = peer_misses_;
+    peer_errors = peer_errors_;
     jobs_tracked = jobs_.size();
     for (const auto& g : groups_)
       if (g) ++groups_live;
@@ -1033,6 +1240,16 @@ std::string Router::metrics_text() {
           "Result responses returned to clients");
   counter("masc_routerd_ring_moves_total", ring_moves,
           "Routable-set changes (backend died or recovered)");
+  counter("masc_routerd_peer_cache_lookups_total", peer_lookups,
+          "Peer cache read-through rounds attempted");
+  counter("masc_routerd_peer_cache_hits_total", peer_hits,
+          "Submit groups served whole from a peer's result cache");
+  counter("masc_routerd_peer_cache_jobs_served_total", peer_jobs_served,
+          "Jobs answered from a peer cache instead of re-simulating");
+  counter("masc_routerd_peer_cache_misses_total", peer_misses,
+          "Peer cache rounds abandoned on a missing key");
+  counter("masc_routerd_peer_cache_errors_total", peer_errors,
+          "Peer cache rounds abandoned on transport or decode failure");
   gauge("masc_routerd_jobs_tracked", jobs_tracked,
         "Jobs the router still tracks (unfetched or unreleased)");
   gauge("masc_routerd_groups_live", groups_live,

@@ -38,6 +38,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -83,6 +84,17 @@ struct RouterOptions {
   /// Safe for routing: sim_threads is excluded from result-cache keys,
   /// so affinity and backend cache hits are unaffected.
   std::uint32_t default_sim_threads = 1;
+  /// Tier-3 peer cache read-through (docs/CACHE.md). When a submit is
+  /// diverted off its ring owner (saturation/drain) or a group is
+  /// re-placed by failover, ask a peer's result cache via "cache_get"
+  /// before re-simulating; all-hit groups are served straight from the
+  /// router. Strictly an optimization: any miss, timeout, or decode
+  /// failure falls back to a normal submission. Affinity mode only.
+  bool peer_read_through = true;
+  /// Whole-connection budget (connect and per-frame I/O) for one peer
+  /// cache round. Tight by design: a slow peer must cost less than the
+  /// simulation it might save.
+  std::uint64_t peer_timeout_ms = 250;
 };
 
 class Router {
@@ -128,6 +140,9 @@ class Router {
     std::string fleet_key;        ///< idempotency key used toward backends
     std::string client_key;       ///< router-level key ("" for keyless)
     Hash128 route_key;            ///< combined content hash of the jobs
+    /// Per-job cache keys (parallel to router_ids), kept so a failover
+    /// re-placement can try a peer cache before resubmitting.
+    std::vector<Hash128> job_keys;
     std::vector<std::uint64_t> router_ids;
     std::size_t backend = npos;   ///< current owner (index into backends)
     std::vector<std::uint64_t> backend_ids;  ///< parallel to router_ids
@@ -189,6 +204,14 @@ class Router {
   /// candidate that accepts it. Caller must NOT hold state_mu_.
   bool place_group(std::size_t group_idx, std::size_t exclude);
 
+  /// Fetch every key from backend `b`'s result cache over one fresh
+  /// short-deadline connection (the prober pattern — never the pool,
+  /// never the breaker: an optimization must not poison the request
+  /// path). Returns the decoded payload blobs, parallel to `keys`,
+  /// only when EVERY key was found; nullopt on any miss or failure.
+  std::optional<std::vector<std::string>> peer_cache_fetch(
+      std::size_t b, const std::vector<Hash128>& keys);
+
   /// Router-tracked unfinished jobs per backend (for least-queued).
   std::vector<std::size_t> outstanding_by_backend();
 
@@ -238,6 +261,13 @@ class Router {
   std::uint64_t results_served_ = 0;   ///< result responses to clients
   std::uint64_t ring_moves_ = 0;       ///< full deaths + full recoveries
                                        ///< (closed ↔ not-closed)
+  // Peer cache read-through (docs/CACHE.md tier L3).
+  std::uint64_t peer_lookups_ = 0;     ///< fetch rounds attempted
+  std::uint64_t peer_hits_ = 0;        ///< groups served whole from a peer
+  std::uint64_t peer_jobs_served_ = 0; ///< jobs answered without simulating
+  std::uint64_t peer_misses_ = 0;      ///< rounds abandoned on a missing key
+  std::uint64_t peer_errors_ = 0;      ///< rounds abandoned on transport or
+                                       ///< decode failure
 
   std::mutex sessions_mu_;
   std::vector<std::unique_ptr<Session>> sessions_;

@@ -1,0 +1,401 @@
+#include "common/cache_store.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace masc {
+namespace {
+
+// Record layout inside a segment (little-endian, journal-style):
+//   [u32 body_len][u64 key.hi][u64 key.lo][payload ...][u64 fnv1a64]
+// body_len counts everything after the length prefix; the checksum
+// covers the body minus its own trailing 8 bytes. kBodyOverhead is the
+// key (16) plus the checksum (8).
+constexpr std::size_t kBodyOverhead = 24;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+std::string segment_name(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg-%08" PRIu64 ".mcs", id);
+  return buf;
+}
+
+/// Parse "seg-<digits>.mcs"; 0 = not a segment file (ids start at 1).
+std::uint64_t parse_segment_name(const char* name) {
+  std::uint64_t id = 0;
+  int consumed = 0;
+  if (std::sscanf(name, "seg-%" SCNu64 ".mcs%n", &id, &consumed) != 1)
+    return 0;
+  return name[consumed] == '\0' ? id : 0;
+}
+
+bool write_all(int fd, const char* data, std::size_t size, off_t offset) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pwrite(fd, data + done, size - done,
+                               offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, char* data, std::size_t size, off_t offset) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::pread(fd, data + done, size - done,
+                              offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // short file
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+CacheStore::CacheStore(CacheStoreOptions opts) : opts_([&] {
+  // A segment larger than the whole budget could never be retired.
+  if (opts.segment_bytes > opts.capacity_bytes && opts.capacity_bytes > 0)
+    opts.segment_bytes = opts.capacity_bytes;
+  if (opts.segment_bytes == 0) opts.segment_bytes = 1;
+  return opts;
+}()) {}
+
+CacheStore::~CacheStore() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  close_locked();
+}
+
+void CacheStore::close_locked() {
+  if (!segments_.empty()) {
+    const Segment& active = segments_.rbegin()->second;
+    if (active.fd >= 0) ::fsync(active.fd);
+  }
+  for (auto& [id, seg] : segments_)
+    if (seg.fd >= 0) ::close(seg.fd);
+  segments_.clear();
+  index_.clear();
+  if (dir_fd_ >= 0) ::close(dir_fd_);
+  dir_fd_ = -1;
+  if (lock_fd_ >= 0) ::close(lock_fd_);  // releases the flock
+  lock_fd_ = -1;
+  open_ = false;
+}
+
+bool CacheStore::is_open() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return open_;
+}
+
+void CacheStore::open() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return;
+  if (opts_.dir.empty()) throw CacheStoreError("cache dir not set");
+  if (::mkdir(opts_.dir.c_str(), 0755) < 0 && errno != EEXIST)
+    throw CacheStoreError("cache mkdir " + opts_.dir + ": " +
+                          std::strerror(errno));
+  dir_fd_ = ::open(opts_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd_ < 0)
+    throw CacheStoreError("cache opendir " + opts_.dir + ": " +
+                          std::strerror(errno));
+  const std::string lock_path = opts_.dir + "/lock";
+  lock_fd_ = ::open(lock_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (lock_fd_ < 0) {
+    close_locked();
+    throw CacheStoreError("cache lock open " + lock_path + ": " +
+                          std::strerror(errno));
+  }
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) < 0) {
+    const std::string what =
+        errno == EWOULDBLOCK ? "held by another process"
+                             : std::string(std::strerror(errno));
+    close_locked();
+    throw CacheStoreError("cache dir " + opts_.dir + " lock: " + what);
+  }
+
+  // Enumerate and scan existing segments in id order: records later in
+  // the directory's timeline overwrite earlier ones in the index.
+  std::vector<std::uint64_t> ids;
+  if (DIR* d = ::opendir(opts_.dir.c_str())) {
+    while (const dirent* e = ::readdir(d))
+      if (const std::uint64_t id = parse_segment_name(e->d_name))
+        ids.push_back(id);
+    ::closedir(d);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const std::uint64_t id : ids) {
+    const std::string path = opts_.dir + "/" + segment_name(id);
+    const int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) {
+      close_locked();
+      throw CacheStoreError("cache segment open " + path + ": " +
+                            std::strerror(errno));
+    }
+    segments_[id] = Segment{fd, 0, path};
+    scan_segment_locked(id);
+  }
+  total_bytes_ = 0;
+  for (const auto& [id, seg] : segments_) total_bytes_ += seg.size;
+
+  if (segments_.empty() && !create_segment_locked()) {
+    close_locked();
+    throw CacheStoreError("cache segment create in " + opts_.dir + ": " +
+                          std::strerror(errno));
+  }
+  open_ = true;
+}
+
+void CacheStore::scan_segment_locked(std::uint64_t id) {
+  Segment& seg = segments_[id];
+  struct stat st{};
+  if (::fstat(seg.fd, &st) < 0) return;
+  std::string data(static_cast<std::size_t>(st.st_size), '\0');
+  if (!data.empty() && !read_all(seg.fd, data.data(), data.size(), 0)) {
+    data.clear();
+  }
+  std::size_t pos = 0;
+  while (data.size() - pos >= 4) {
+    const std::size_t body_len = get_u32(data.data() + pos);
+    // An implausible length is crash-written garbage, not a record:
+    // everything from here on is a torn tail.
+    if (body_len < kBodyOverhead ||
+        body_len > opts_.max_payload_bytes + kBodyOverhead)
+      break;
+    if (data.size() - pos - 4 < body_len) break;  // partial record
+    const char* body = data.data() + pos + 4;
+    const std::uint64_t want = get_u64(body + body_len - 8);
+    const std::uint64_t got = fnv1a64(body, body_len - 8);
+    if (want == got) {
+      const Hash128 key{get_u64(body), get_u64(body + 8)};
+      index_[key] = Loc{id, static_cast<std::uint64_t>(pos + 4),
+                        static_cast<std::uint32_t>(body_len)};
+    } else {
+      // Corrupt interior: framing is intact, content is not. Skip it —
+      // a cache can always re-derive a lost value.
+      ++counters_.corrupt_skipped;
+    }
+    pos += 4 + body_len;
+  }
+  if (pos < data.size()) {
+    // Torn tail from a crash mid-append: cut back to the last whole
+    // record so future appends land on a boundary.
+    if (::ftruncate(seg.fd, static_cast<off_t>(pos)) == 0)
+      ++counters_.torn_truncated;
+  }
+  seg.size = pos;
+}
+
+bool CacheStore::create_segment_locked() {
+  const std::uint64_t id =
+      segments_.empty() ? 1 : segments_.rbegin()->first + 1;
+  const std::string path = opts_.dir + "/" + segment_name(id);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return false;
+  if (!segments_.empty()) {
+    // Seal the previous active segment: its records must be durable
+    // before anything newer (recovery assumes id order = time order).
+    ::fsync(segments_.rbegin()->second.fd);
+  }
+  segments_[id] = Segment{fd, 0, path};
+  if (dir_fd_ >= 0) ::fsync(dir_fd_);  // durability of the new name
+  ++counters_.segments_created;
+  return true;
+}
+
+std::optional<std::string> CacheStore::get(const Hash128& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return std::nullopt;
+  ++counters_.gets;
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  const Loc loc = it->second;
+  const auto seg_it = segments_.find(loc.seg);
+  if (seg_it == segments_.end()) {
+    index_.erase(it);
+    return std::nullopt;
+  }
+  std::string body(loc.body_len, '\0');
+  bool ok = read_all(seg_it->second.fd, body.data(), body.size(),
+                     static_cast<off_t>(loc.offset));
+  if (ok) {
+    const std::uint64_t want = get_u64(body.data() + body.size() - 8);
+    ok = want == fnv1a64(body.data(), body.size() - 8) &&
+         get_u64(body.data()) == key.hi && get_u64(body.data() + 8) == key.lo;
+  }
+  if (!ok) {
+    // Bit rot under a live index: drop the entry and read as a miss —
+    // the caller re-derives and a later put replaces the record.
+    ++counters_.corrupt_skipped;
+    index_.erase(it);
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  return body.substr(16, body.size() - kBodyOverhead);
+}
+
+bool CacheStore::put(const Hash128& key, std::string_view payload, bool sync) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!open_ || degraded_ || payload.size() > opts_.max_payload_bytes) {
+    ++counters_.put_failures;
+    return false;
+  }
+  if (fault::FaultInjector* inj = fault::active();
+      inj && inj->on_cache_disk_write()) {
+    ++counters_.put_failures;
+    return false;
+  }
+  return append_locked(key, payload, sync, /*allow_evict=*/true);
+}
+
+bool CacheStore::append_locked(const Hash128& key, std::string_view payload,
+                               bool sync, bool allow_evict) {
+  const std::size_t body_len = payload.size() + kBodyOverhead;
+  if (segments_.rbegin()->second.size + 4 + body_len > opts_.segment_bytes &&
+      segments_.rbegin()->second.size > 0) {
+    if (!create_segment_locked()) {
+      // Cannot rotate (disk full, dir unwritable): writes are done, but
+      // reads keep working — the degraded-to-simulation path upstream.
+      degraded_ = true;
+      ++counters_.put_failures;
+      return false;
+    }
+  }
+  Segment& active = segments_.rbegin()->second;
+  const std::uint64_t active_id = segments_.rbegin()->first;
+
+  std::string rec;
+  rec.reserve(4 + body_len);
+  put_u32(rec, static_cast<std::uint32_t>(body_len));
+  put_u64(rec, key.hi);
+  put_u64(rec, key.lo);
+  rec.append(payload.data(), payload.size());
+  put_u64(rec, fnv1a64(rec.data() + 4, 16 + payload.size()));
+
+  if (!write_all(active.fd, rec.data(), rec.size(),
+                 static_cast<off_t>(active.size))) {
+    ++counters_.put_failures;
+    // Restore the record boundary; if even that fails the segment tail
+    // is unknowable and appends must stop for good.
+    if (::ftruncate(active.fd, static_cast<off_t>(active.size)) < 0)
+      degraded_ = true;
+    return false;
+  }
+  index_[key] = Loc{active_id, static_cast<std::uint64_t>(active.size + 4),
+                    static_cast<std::uint32_t>(body_len)};
+  active.size += rec.size();
+  total_bytes_ += rec.size();
+  ++counters_.puts;
+  if (sync) ::fsync(active.fd);
+  if (allow_evict)
+    while (total_bytes_ > opts_.capacity_bytes && segments_.size() > 1)
+      evict_oldest_locked();
+  return true;
+}
+
+void CacheStore::evict_oldest_locked() {
+  const std::uint64_t victim_id = segments_.begin()->first;
+  const std::size_t victim_bytes = segments_.begin()->second.size;
+
+  // Salvage pass: records whose newest copy lives in the victim are
+  // recompacted into the active segment while the post-retire total
+  // stays within budget; the rest are evicted with the file.
+  std::vector<Hash128> live;
+  for (const auto& [key, loc] : index_)
+    if (loc.seg == victim_id) live.push_back(key);
+  for (const Hash128& key : live) {
+    const Loc loc = index_[key];
+    if (loc.seg != victim_id) continue;  // a salvage rotation moved it
+    std::string body(loc.body_len, '\0');
+    const Segment& vseg = segments_[victim_id];
+    if (!read_all(vseg.fd, body.data(), body.size(),
+                  static_cast<off_t>(loc.offset)))
+      continue;
+    if (get_u64(body.data() + body.size() - 8) !=
+        fnv1a64(body.data(), body.size() - 8))
+      continue;  // corrupt: nothing worth carrying over
+    const std::size_t rec_bytes = 4 + body.size();
+    if (total_bytes_ + rec_bytes - victim_bytes > opts_.capacity_bytes)
+      break;  // budget: keep the newest salvageable prefix only
+    const std::string_view payload(body.data() + 16,
+                                   body.size() - kBodyOverhead);
+    if (append_locked(key, payload, /*sync=*/false, /*allow_evict=*/false))
+      ++counters_.records_salvaged;
+  }
+
+  Segment& victim = segments_[victim_id];
+  if (victim.fd >= 0) ::close(victim.fd);
+  ::unlink(victim.path.c_str());
+  if (dir_fd_ >= 0) ::fsync(dir_fd_);
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->second.seg == victim_id) {
+      ++counters_.records_evicted;
+      it = index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  total_bytes_ -= victim.size;
+  segments_.erase(victim_id);
+  ++counters_.segments_retired;
+}
+
+void CacheStore::sync() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!open_ || segments_.empty()) return;
+  ::fsync(segments_.rbegin()->second.fd);
+}
+
+CacheStoreStats CacheStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  CacheStoreStats out = counters_;
+  out.entries = index_.size();
+  out.bytes = total_bytes_;
+  out.segments = segments_.size();
+  out.capacity_bytes = opts_.capacity_bytes;
+  out.degraded = degraded_;
+  return out;
+}
+
+}  // namespace masc

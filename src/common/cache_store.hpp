@@ -1,0 +1,146 @@
+// Content-addressed on-disk cache segment store (tier L2 of the result
+// cache, docs/CACHE.md).
+//
+// A CacheStore is a directory of append-only segment files holding
+// (Hash128 key, payload) records in the serve/journal durability idiom:
+// length-prefixed records written as one buffer, fsync'd by the caller's
+// policy, recovered on open by truncating a torn tail at the last whole
+// record boundary. On top of that journal discipline it adds what a
+// *cache* needs and a write-ahead log does not:
+//
+//   - a per-record FNV-1a checksum, so a corrupt interior record (bad
+//     sector, partial overwrite) is skipped and counted instead of
+//     poisoning reads or aborting recovery;
+//   - a rebuild-on-open in-RAM index (key -> segment/offset), newest
+//     record wins, so get() is one pread;
+//   - byte-budgeted rotation: the active segment seals at
+//     `segment_bytes` and the oldest segment is retired when the store
+//     exceeds `capacity_bytes`, salvaging still-live records into the
+//     active segment while they fit (FIFO-with-salvage compaction);
+//   - graceful degradation: a failed write never throws into the
+//     caller's request path — the store counts the failure, restores
+//     the segment to a record boundary, and keeps serving reads.
+//
+// Exactly one process may have a directory open (flock on `<dir>/lock`);
+// a second open() throws CacheStoreError rather than interleaving
+// appends. The store is internally synchronized; callers may get()/put()
+// from any thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/hash.hpp"
+
+namespace masc {
+
+/// Raised by open() when the directory is unusable (uncreatable, locked
+/// by another process, unreadable). Never raised by get()/put().
+class CacheStoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct CacheStoreOptions {
+  std::string dir;
+  /// Total on-disk byte budget across all segments. When an append
+  /// pushes the store past it, oldest segments are retired.
+  std::size_t capacity_bytes = 256u << 20;
+  /// Seal the active segment and start a new one past this size.
+  std::size_t segment_bytes = 8u << 20;
+  /// Sanity bound on one record's payload during scan and put; a
+  /// length prefix past this is treated as a torn tail, not a record.
+  std::size_t max_payload_bytes = 64u << 20;
+};
+
+/// Observability counters (monotonic except the gauges at the bottom).
+struct CacheStoreStats {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t puts = 0;             ///< records appended successfully
+  std::uint64_t put_failures = 0;     ///< writes refused/failed (degraded path)
+  std::uint64_t corrupt_skipped = 0;  ///< checksum-failed records dropped
+  std::uint64_t torn_truncated = 0;   ///< torn tails cut on open
+  std::uint64_t segments_created = 0;
+  std::uint64_t segments_retired = 0;
+  std::uint64_t records_evicted = 0;  ///< live records lost with a retired segment
+  std::uint64_t records_salvaged = 0; ///< live records recompacted before retire
+  std::size_t entries = 0;            ///< live (newest-copy) records
+  std::size_t bytes = 0;              ///< sum of segment file sizes
+  std::size_t segments = 0;
+  std::size_t capacity_bytes = 0;
+  bool degraded = false;              ///< writes disabled after a hard failure
+};
+
+class CacheStore {
+ public:
+  explicit CacheStore(CacheStoreOptions opts);
+  ~CacheStore();  ///< fsyncs and closes; releases the directory lock
+
+  CacheStore(const CacheStore&) = delete;
+  CacheStore& operator=(const CacheStore&) = delete;
+
+  /// Create the directory if needed, take the exclusive lock, scan every
+  /// segment rebuilding the index (skipping corrupt records, truncating
+  /// torn tails), and open the newest segment for append. Throws
+  /// CacheStoreError; the store is unusable unless open() succeeded.
+  void open();
+
+  bool is_open() const;
+
+  /// Read the newest record for `key`, verifying its checksum; a
+  /// mismatch drops the index entry and reads as a miss.
+  std::optional<std::string> get(const Hash128& key);
+
+  /// Append one record; `sync` forces an fsync afterwards. Returns false
+  /// (and counts) instead of throwing when the store is degraded, the
+  /// payload is oversized, or the write fails — a cache write is always
+  /// allowed to fail. Subject to the fault::FaultPlan cache_disk_fail
+  /// hooks (docs/RELIABILITY.md).
+  bool put(const Hash128& key, std::string_view payload, bool sync);
+
+  /// fsync the active segment (write-behind callers batch puts with
+  /// sync=false and call this once per drain).
+  void sync();
+
+  CacheStoreStats stats() const;
+
+ private:
+  struct Segment {
+    int fd = -1;
+    std::size_t size = 0;
+    std::string path;
+  };
+  struct Loc {
+    std::uint64_t seg = 0;     ///< segment id
+    std::uint64_t offset = 0;  ///< record body offset (after length prefix)
+    std::uint32_t body_len = 0;
+  };
+
+  void close_locked();
+  void scan_segment_locked(std::uint64_t id);
+  bool create_segment_locked();          ///< open next active segment
+  bool append_locked(const Hash128& key, std::string_view payload, bool sync,
+                     bool allow_evict);
+  void evict_oldest_locked();
+
+  const CacheStoreOptions opts_;
+  mutable std::mutex mu_;
+  bool open_ = false;
+  bool degraded_ = false;  ///< sticky: set when the store cannot keep appending
+  int dir_fd_ = -1;
+  int lock_fd_ = -1;
+  std::map<std::uint64_t, Segment> segments_;  ///< id -> segment (last = active)
+  std::unordered_map<Hash128, Loc, Hash128Hasher> index_;
+  std::size_t total_bytes_ = 0;
+  CacheStoreStats counters_;  ///< gauges recomputed in stats()
+};
+
+}  // namespace masc

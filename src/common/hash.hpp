@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 
 namespace masc {
@@ -50,6 +51,37 @@ struct Hash128 {
     return !(a == b);
   }
 };
+
+/// 32 lowercase hex digits (hi then lo): the wire/CLI spelling of a
+/// cache key (the `cache_get` op, masc-client cache).
+inline std::string to_hex(const Hash128& h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(h.hi >> (4 * i)) & 0xF];
+    out[31 - i] = digits[(h.lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+/// Parse the to_hex() spelling; false on anything but exactly 32 hex
+/// digits (case-insensitive).
+inline bool hash128_from_hex(std::string_view s, Hash128& out) {
+  if (s.size() != 32) return false;
+  std::uint64_t half[2] = {0, 0};
+  for (std::size_t i = 0; i < 32; ++i) {
+    const char c = s[i];
+    std::uint64_t v = 0;
+    if (c >= '0' && c <= '9') v = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v = static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v = static_cast<std::uint64_t>(c - 'A' + 10);
+    else return false;
+    half[i / 16] = (half[i / 16] << 4) | v;
+  }
+  out.hi = half[0];
+  out.lo = half[1];
+  return true;
+}
 
 /// std::hash-style functor: the digest is already uniform, so folding
 /// the halves is as good as rehashing.

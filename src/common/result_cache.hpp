@@ -86,6 +86,30 @@ class ResultCache {
     return it->second->value;
   }
 
+  /// lookup() without the hit/miss accounting (still refreshes LRU
+  /// recency). For internal re-checks — single-flight claims, peer
+  /// cache_get serving — where counting would double-bill one logical
+  /// lookup and skew the hit-rate the operator sees.
+  std::shared_ptr<const Value> peek(const Hash128& key) {
+    Shard& s = shard_of(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.index.find(key);
+    if (it == s.index.end()) return nullptr;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->value;
+  }
+
+  /// Visit every live entry (shard by shard, under that shard's lock).
+  /// `fn(key, value, bytes)` must not call back into the cache.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& sp : shards_) {
+      const Shard& s = *sp;
+      const std::lock_guard<std::mutex> lock(s.mu);
+      for (const Entry& e : s.lru) fn(e.key, e.value, e.bytes);
+    }
+  }
+
   /// Insert (or refresh) a value charged at `bytes`, evicting this
   /// shard's least recently used entries until it fits. An entry larger
   /// than a whole shard's budget is not admitted (it would only evict

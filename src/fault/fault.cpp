@@ -54,6 +54,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     else if (key == "chunk_kill_at") plan.chunk_kill_at = parse_u64(key, value);
     else if (key == "backend_fail") plan.backend_fail = parse_rate(key, value);
     else if (key == "backend_fail_at") plan.backend_fail_at = parse_u64(key, value);
+    else if (key == "cache_disk_fail") plan.cache_disk_fail = parse_rate(key, value);
+    else if (key == "cache_disk_fail_at") plan.cache_disk_fail_at = parse_u64(key, value);
     else if (key == "max_faults") plan.max_faults = parse_u64(key, value);
     else
       throw std::invalid_argument("fault plan: unknown key \"" + key + "\"");
@@ -68,7 +70,8 @@ FaultInjector::FaultInjector(const FaultPlan& plan)
       frame_rng_(plan.seed ^ 0x66726d65ULL),
       dispatch_rng_(plan.seed ^ 0x64737063ULL),
       chunk_rng_(plan.seed ^ 0x63686e6bULL),
-      backend_rng_(plan.seed ^ 0x626b6e64ULL) {}
+      backend_rng_(plan.seed ^ 0x626b6e64ULL),
+      cache_disk_rng_(plan.seed ^ 0x6364736bULL) {}
 
 bool FaultInjector::fire(double rate, Rng& rng) {
   if (rate <= 0.0) return false;
@@ -133,6 +136,24 @@ bool FaultInjector::on_backend_request() {
   }
   if (fire(plan_.backend_fail, backend_rng_)) {
     ++counts_.backend_requests_failed;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::on_cache_disk_write() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t index = ++cache_disk_counter_;
+  // backend_fail_at semantics: every write from the trigger index on
+  // fails (budgeted by max_faults) — a disk does not un-fill itself, and
+  // the degraded path is only proven if writes stay broken.
+  if (plan_.cache_disk_fail_at != 0 && index >= plan_.cache_disk_fail_at &&
+      counts_.total() < plan_.max_faults) {
+    ++counts_.cache_disk_failures;
+    return true;
+  }
+  if (fire(plan_.cache_disk_fail, cache_disk_rng_)) {
+    ++counts_.cache_disk_failures;
     return true;
   }
   return false;

@@ -62,6 +62,14 @@ struct FaultPlan {
   /// the deterministic way to drive a breaker open in tests.
   double backend_fail = 0.0;
   std::uint64_t backend_fail_at = 0;
+  /// Cache-store hook (common/cache_store.cpp): probability that one L2
+  /// disk write is failed before touching the file, as if the disk were
+  /// full. `cache_disk_fail_at` names the first write index (1-based) to
+  /// fail at, and every later write also fails until max_faults runs
+  /// out — writes must *stay* broken to prove the store degrades to
+  /// simulation instead of erroring (docs/CACHE.md).
+  double cache_disk_fail = 0.0;
+  std::uint64_t cache_disk_fail_at = 0;
   std::uint64_t max_faults = ~std::uint64_t{0};
 
   /// Parse "key=value,key=value" specs, e.g.
@@ -78,9 +86,11 @@ struct FaultCounts {
   std::uint64_t dispatches_failed = 0;
   std::uint64_t chunks_killed = 0;
   std::uint64_t backend_requests_failed = 0;
+  std::uint64_t cache_disk_failures = 0;
   std::uint64_t total() const {
     return frames_dropped + frames_truncated + frames_delayed +
-           dispatches_failed + chunks_killed + backend_requests_failed;
+           dispatches_failed + chunks_killed + backend_requests_failed +
+           cache_disk_failures;
   }
 };
 
@@ -99,6 +109,9 @@ class FaultInjector {
   /// Advances the backend-request counter; true when the router must
   /// treat this backend request as failed (see FaultPlan::backend_fail).
   bool on_backend_request();
+  /// Advances the cache-disk-write counter; true when the cache store
+  /// must fail this append (see FaultPlan::cache_disk_fail).
+  bool on_cache_disk_write();
 
   FaultCounts counts() const;
 
@@ -111,8 +124,10 @@ class FaultInjector {
   Rng dispatch_rng_;
   Rng chunk_rng_;
   Rng backend_rng_;
+  Rng cache_disk_rng_;
   std::uint64_t chunk_counter_ = 0;
   std::uint64_t backend_counter_ = 0;
+  std::uint64_t cache_disk_counter_ = 0;
   FaultCounts counts_;
 };
 

@@ -110,6 +110,7 @@ void Client::connect(const std::string& host, std::uint16_t port,
                   sizeof addr) < 0)
       throw ServeError("connect " + host + ":" + std::to_string(port) + ": " +
                        std::strerror(errno));
+    set_nodelay(fd.get());
     fd_ = fd.release();
     return;
   }
@@ -145,6 +146,7 @@ void Client::connect(const std::string& host, std::uint16_t port,
   }
   if (::fcntl(fd.get(), F_SETFL, flags) < 0)
     throw ServeError(std::string("fcntl: ") + std::strerror(errno));
+  set_nodelay(fd.get());
   fd_ = fd.release();
 }
 

@@ -1,5 +1,7 @@
 #include "serve/framing.hpp"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 
@@ -143,6 +145,11 @@ void write_frame(int fd, const std::string& payload, std::uint64_t io_ms) {
 
 void write_frame(int fd, const std::string& payload) {
   write_frame(fd, payload, 0);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
 }  // namespace masc::serve

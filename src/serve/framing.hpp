@@ -51,6 +51,14 @@ void write_frame(int fd, const std::string& payload);
 bool read_frame(int fd, std::string& payload, std::uint64_t first_ms,
                 std::uint64_t io_ms);
 
+/// Disable Nagle (TCP_NODELAY) on a connected stream socket. The frame
+/// writer issues the 4-byte header and the payload as separate sends;
+/// with Nagle on, the second send can sit behind the peer's delayed ACK
+/// for ~40ms per frame — a disaster for the request/response protocol.
+/// Every speaker (client connect, server accept, router accept) calls
+/// this; failure is ignored (non-TCP fds in tests).
+void set_nodelay(int fd);
+
 /// Timed variant of write_frame: wait up to `io_ms` (0 = forever) for
 /// the socket to accept each chunk. Throws ServeTimeout on expiry.
 ///

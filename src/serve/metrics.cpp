@@ -68,7 +68,7 @@ double ServeMetrics::mean_job_seconds(double dflt) const {
 std::string ServeMetrics::to_json(std::size_t queue_depth,
                                   std::size_t in_flight,
                                   std::size_t queue_capacity,
-                                  const CacheStats* cache) const {
+                                  const TieredCacheStats* cache) const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "{\"queue_depth\":" << queue_depth;
@@ -76,7 +76,7 @@ std::string ServeMetrics::to_json(std::size_t queue_depth,
   os << ",\"in_flight\":" << in_flight;
   if (cache)
     os << ",\"cache\":{\"enabled\":true,"
-       << masc::to_json(*cache).substr(1);  // splice the CacheStats fields in
+       << masc::to_json(*cache).substr(1);  // splice the per-tier fields in
   else
     os << ",\"cache\":{\"enabled\":false}";
   os << ",\"counters\":{";
@@ -121,7 +121,7 @@ std::string ServeMetrics::to_json(std::size_t queue_depth,
 std::string ServeMetrics::to_prometheus(std::size_t queue_depth,
                                         std::size_t in_flight,
                                         std::size_t queue_capacity,
-                                        const CacheStats* cache) const {
+                                        const TieredCacheStats* cache) const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   auto gauge = [&](const char* name, auto value, const char* help) {
@@ -196,6 +196,59 @@ std::string ServeMetrics::to_prometheus(std::size_t queue_depth,
           "Live result cache charged bytes");
     gauge("masc_served_cache_capacity_bytes", cache->capacity_bytes,
           "Result cache byte budget");
+    // Tier breakdown (docs/CACHE.md): L1 = RAM LRU, L2 = disk segment
+    // store; `hits_total` above is the combined outcome.
+    counter("masc_served_cache_l1_hits_total", cache->l1_hits,
+            "Lookups served from the RAM tier");
+    counter("masc_served_cache_l2_hits_total", cache->l2_hits,
+            "Lookups served by promoting a disk record");
+    counter("masc_served_cache_promotions_total", cache->promotions,
+            "L2 -> L1 promotions");
+    counter("masc_served_cache_demotions_total", cache->demotions,
+            "Records written behind to the disk tier");
+    counter("masc_served_cache_demote_drops_total", cache->demote_drops,
+            "Write-behind records shed on queue overflow");
+    counter("masc_served_cache_decode_failures_total", cache->decode_failures,
+            "Disk records that failed to decode (served as misses)");
+    counter("masc_served_cache_flights_led_total", cache->flights_led,
+            "Single-flight computations claimed");
+    counter("masc_served_cache_flights_joined_total", cache->flights_joined,
+            "Lookups that waited behind an in-progress flight");
+    counter("masc_served_cache_flights_served_total", cache->flights_served,
+            "Waits resolved by the flight leader's publish");
+    gauge("masc_served_cache_l2_enabled", cache->disk_enabled ? 1 : 0,
+          "1 when a disk tier is attached");
+    gauge("masc_served_cache_l2_open_failed",
+          cache->disk_open_failed ? 1 : 0,
+          "1 when --cache-dir was configured but could not be opened");
+    if (cache->disk_enabled) {
+      const CacheStoreStats& d = cache->disk;
+      gauge("masc_served_cache_l2_entries", d.entries,
+            "Live records in the disk tier");
+      gauge("masc_served_cache_l2_bytes", d.bytes, "Disk tier segment bytes");
+      gauge("masc_served_cache_l2_capacity_bytes", d.capacity_bytes,
+            "Disk tier byte budget");
+      gauge("masc_served_cache_l2_segments", d.segments,
+            "Disk tier segment files");
+      counter("masc_served_cache_l2_gets_total", d.gets, "Disk tier reads");
+      counter("masc_served_cache_l2_read_hits_total", d.hits,
+              "Disk tier reads that found a valid record");
+      counter("masc_served_cache_l2_puts_total", d.puts,
+              "Records appended to the disk tier");
+      counter("masc_served_cache_l2_put_failures_total", d.put_failures,
+              "Disk writes refused or failed (degraded path)");
+      counter("masc_served_cache_l2_corrupt_skipped_total", d.corrupt_skipped,
+              "Checksum-failed records skipped");
+      counter("masc_served_cache_l2_torn_truncated_total", d.torn_truncated,
+              "Torn segment tails cut during recovery");
+      counter("masc_served_cache_l2_records_evicted_total", d.records_evicted,
+              "Live records lost with retired segments");
+      counter("masc_served_cache_l2_records_salvaged_total",
+              d.records_salvaged,
+              "Live records recompacted before segment retirement");
+      gauge("masc_served_cache_l2_degraded", d.degraded ? 1 : 0,
+            "1 when disk writes are disabled after a hard failure");
+    }
   }
   return os.str();
 }

@@ -42,7 +42,7 @@ class ServeMetrics {
   /// "cache" field then reports {"enabled":false}).
   std::string to_json(std::size_t queue_depth, std::size_t in_flight,
                       std::size_t queue_capacity,
-                      const CacheStats* cache = nullptr) const;
+                      const TieredCacheStats* cache = nullptr) const;
 
   /// The same counters in Prometheus text exposition format (served by
   /// {"op":"metrics_text"}; metric names documented in docs/SERVER.md).
@@ -50,7 +50,7 @@ class ServeMetrics {
   /// a cumulative masc_served_job_host_ms histogram.
   std::string to_prometheus(std::size_t queue_depth, std::size_t in_flight,
                             std::size_t queue_capacity,
-                            const CacheStats* cache = nullptr) const;
+                            const TieredCacheStats* cache = nullptr) const;
 
  private:
   mutable std::mutex mu_;

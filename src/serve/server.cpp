@@ -12,6 +12,7 @@
 
 #include "common/base64.hpp"
 #include "fault/fault.hpp"
+#include "serve/framing.hpp"
 
 namespace masc::serve {
 
@@ -69,9 +70,29 @@ Server::Server(ServerOptions opts)
     : opts_(opts),
       runner_(opts.workers),
       queue_(opts.queue_capacity) {
+  // A disk tier without a RAM tier in front makes no sense (every hit
+  // would pay a decode); --cache-dir alone turns the cache on.
+  if (opts_.cache_bytes == 0 && !opts_.cache_dir.empty())
+    opts_.cache_bytes = 64u << 20;
   if (opts_.cache_bytes > 0) {
     cache_ = std::make_shared<SweepResultCache>(opts_.cache_bytes,
                                                 opts_.cache_shards);
+    if (!opts_.cache_dir.empty()) {
+      // Crash-durable L2 (docs/CACHE.md). Any open failure — bad path,
+      // another process holding the lock, unreadable segments — leaves
+      // a working RAM-only cache behind a counter, never a dead server.
+      CacheStoreOptions store_opts;
+      store_opts.dir = opts_.cache_dir;
+      store_opts.capacity_bytes = opts_.cache_disk_bytes;
+      store_opts.segment_bytes = opts_.cache_segment_bytes;
+      try {
+        auto store = std::make_unique<CacheStore>(store_opts);
+        store->open();
+        cache_->attach_disk(std::move(store));
+      } catch (const CacheStoreError&) {
+        cache_->note_disk_open_failure();
+      }
+    }
     // The runner consults the same cache on dispatch, so queued repeats
     // and intra-batch duplicates are answered from memory too.
     runner_.set_cache(cache_);
@@ -273,6 +294,7 @@ void Server::accept_loop() {
       ::close(fd);
       return;
     }
+    set_nodelay(fd);
     auto session = std::make_unique<Session>();
     session->fd = fd;
     Session* raw = session.get();
@@ -315,6 +337,9 @@ std::string Server::handle_request(const std::string& payload) {
     if (op == "extend") return handle_extend(req);
     if (op == "stats")
       return "{\"ok\":true,\"type\":\"stats\",\"stats\":" + stats_json() + "}";
+    if (op == "cache_get") return handle_cache_get(req);
+    if (op == "cache_stats") return handle_cache_stats();
+    if (op == "cache_flush") return handle_cache_flush();
     if (op == "metrics_text")
       return "{\"ok\":true,\"type\":\"metrics_text\",\"text\":\"" +
              json_escape(metrics_text()) + "\"}";
@@ -731,6 +756,44 @@ void Server::dispatch_loop() {
   }
 }
 
+std::string Server::handle_cache_get(const json::Value& req) {
+  // Peer read-through (docs/CACHE.md tier L3): the router asks this
+  // backend — the ring owner for the key — before letting another
+  // backend simulate. Served entirely at the session layer (L1 peek or
+  // one disk pread), never through the queue, so it stays fast even
+  // when the dispatcher is saturated.
+  const std::string key_hex = req.get_string("key", "");
+  Hash128 key;
+  if (!hash128_from_hex(key_hex, key))
+    return error_json("bad_request",
+                      "cache_get needs a 32-hex-digit \"key\"");
+  if (!cache_) return "{\"ok\":true,\"type\":\"cache_get\",\"found\":false}";
+  const auto payload = cache_->peek_encoded(key);
+  if (!payload)
+    return "{\"ok\":true,\"type\":\"cache_get\",\"found\":false}";
+  return "{\"ok\":true,\"type\":\"cache_get\",\"found\":true,\"payload\":\"" +
+         base64_encode(*payload) + "\"}";
+}
+
+std::string Server::handle_cache_stats() {
+  std::string cache_json = "{\"enabled\":false}";
+  if (cache_)
+    cache_json =
+        "{\"enabled\":true," + masc::to_json(cache_->stats()).substr(1);
+  return "{\"ok\":true,\"type\":\"cache_stats\",\"cache\":" + cache_json + "}";
+}
+
+std::string Server::handle_cache_flush() {
+  // Operability: force L1 -> L2 demotion + fsync (incident response:
+  // make the RAM tier durable *now*, before a risky restart).
+  if (!cache_)
+    return error_json("no_cache", "result cache disabled on this server");
+  const std::size_t demoted = cache_->flush_to_disk();
+  return "{\"ok\":true,\"type\":\"cache_flush\",\"disk\":" +
+         std::string(cache_->disk_attached() ? "true" : "false") +
+         ",\"demoted\":" + std::to_string(demoted) + "}";
+}
+
 std::string Server::stats_json() const {
   const std::size_t depth = queue_.size();
   std::size_t running;
@@ -739,7 +802,7 @@ std::string Server::stats_json() const {
     running = running_;
   }
   if (!cache_) return metrics_.to_json(depth, running, opts_.queue_capacity);
-  const CacheStats cs = cache_->stats();
+  const TieredCacheStats cs = cache_->stats();
   return metrics_.to_json(depth, running, opts_.queue_capacity, &cs);
 }
 
@@ -752,7 +815,7 @@ std::string Server::metrics_text() const {
   }
   if (!cache_)
     return metrics_.to_prometheus(depth, running, opts_.queue_capacity);
-  const CacheStats cs = cache_->stats();
+  const TieredCacheStats cs = cache_->stats();
   return metrics_.to_prometheus(depth, running, opts_.queue_capacity, &cs);
 }
 

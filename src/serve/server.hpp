@@ -65,6 +65,16 @@ struct ServerOptions {
   std::size_t cache_bytes = 0;
   /// Lock shards of the cache (contention vs. memory granularity).
   unsigned cache_shards = 16;
+  /// Directory for the crash-durable L2 disk tier (docs/CACHE.md);
+  /// empty = RAM-only. Setting this with cache_bytes == 0 enables the
+  /// cache with a 64 MiB RAM tier (a disk tier needs an L1 in front).
+  /// An unusable directory degrades to RAM-only with a counter — it
+  /// never stops the server.
+  std::string cache_dir;
+  /// Disk tier byte budget (oldest segments retire past it).
+  std::size_t cache_disk_bytes = 256u << 20;
+  /// Disk tier segment size (rotation threshold).
+  std::size_t cache_segment_bytes = 8u << 20;
 
   // --- Resilience (docs/RELIABILITY.md) ---------------------------------------
   /// Append-only job journal path; empty disables journaling. With a
@@ -158,6 +168,9 @@ class Server {
   std::string handle_result(const json::Value& req);
   std::string handle_cancel(const json::Value& req);
   std::string handle_extend(const json::Value& req);
+  std::string handle_cache_get(const json::Value& req);
+  std::string handle_cache_stats();
+  std::string handle_cache_flush();
 
   /// Replay one journal record into jobs_ / jobs_by_key_ / next_id_.
   /// Unparseable or stale records are skipped (crash-written garbage

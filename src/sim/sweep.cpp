@@ -349,8 +349,44 @@ std::vector<SweepResult> SweepRunner::run(
       const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
       if (k >= leaders.size()) return;
       const std::size_t i = leaders[k];
+      // Single-flight: another runner sharing this cache may already be
+      // simulating this exact key. Join its flight instead of paying
+      // twice; otherwise claim leadership and publish (or abort) so
+      // *its* twins can adopt ours.
+      bool flight_leader = false;
+      if (cache) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (const auto v = cache->begin_flight(keys[k], &flight_leader)) {
+          results[i] = materialize_cached(
+              *v, jobs[i], i,
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count());
+          deliver(results[i]);
+          for (const std::size_t j : dups[k]) {
+            results[j] = materialize_cached(*v, jobs[j], j, 0.0);
+            deliver(results[j]);
+          }
+          continue;
+        }
+      }
       results[i] = run_one(jobs[i], i);
-      if (cache) maybe_insert(keys[k], results[i]);
+      if (cache && flight_leader) {
+        // publish() inserts when cacheable and always wakes waiters;
+        // an uncacheable stop aborts the flight so waiters rerun alone.
+        if (deterministic_outcome(results[i]) && fault::active() == nullptr) {
+          auto entry = std::make_shared<CachedSweepRun>();
+          entry->status = results[i].status;
+          entry->stats = results[i].stats;
+          entry->fabric = results[i].fabric;
+          const std::size_t bytes = cached_run_bytes(*entry);
+          cache->publish(keys[k], std::move(entry), bytes);
+        } else {
+          cache->abort_flight(keys[k]);
+        }
+      } else if (cache) {
+        maybe_insert(keys[k], results[i]);
+      }
       deliver(results[i]);
       const bool adoptable = deterministic_outcome(results[i]);
       for (const std::size_t j : dups[k]) {

@@ -20,14 +20,21 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "assembler/program.hpp"
+#include "common/cache_store.hpp"
 #include "common/config.hpp"
 #include "common/result_cache.hpp"
 #include "fabric/fabric.hpp"
@@ -135,7 +142,142 @@ struct CachedSweepRun {
   std::optional<fabric::FabricStats> fabric;  ///< fabric jobs only
 };
 
-using SweepResultCache = ResultCache<CachedSweepRun>;
+/// Binary serialization of one cached run (tier-L2 record payload and
+/// the peer `cache_get` wire format, docs/CACHE.md). Uses the
+/// checkpoint BinWriter discipline, so a decoded run's stats are
+/// bit-identical to the encoded ones.
+std::string encode_cached_run(const CachedSweepRun& run);
+/// False on any malformed/truncated payload (callers treat it as a
+/// cache miss, never an error).
+bool decode_cached_run(std::string_view payload, CachedSweepRun& out);
+
+/// Per-tier cache counters. Inherits the L1 LRU fields; `hits` /
+/// `misses` are overridden to the *combined* outcome of tiered lookups
+/// (an L2 promotion counts as a hit, not a miss), with the raw L1
+/// numbers in `l1_hits` and the disk tier's own counters in `disk`.
+struct TieredCacheStats : CacheStats {
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;          ///< lookups served by promoting from disk
+  std::uint64_t promotions = 0;       ///< L2 -> L1 copies (== l2_hits)
+  std::uint64_t demotions = 0;        ///< records written behind to disk
+  std::uint64_t demote_drops = 0;     ///< write-behind queue overflow
+  std::uint64_t decode_failures = 0;  ///< disk payloads that failed to decode
+  std::uint64_t flights_led = 0;      ///< single-flight: claims granted
+  std::uint64_t flights_joined = 0;   ///< waits behind another flight
+  std::uint64_t flights_served = 0;   ///< waits resolved by the leader's publish
+  bool disk_enabled = false;
+  bool disk_open_failed = false;      ///< --cache-dir was set but unusable
+  CacheStoreStats disk;               ///< zeroed unless disk_enabled
+};
+std::string to_json(const TieredCacheStats& s);
+
+/// The tiered result cache (docs/CACHE.md): a sharded in-RAM LRU (L1,
+/// common/result_cache.hpp) over an optional crash-durable on-disk
+/// segment store (L2, common/cache_store.hpp). Lookups fall through
+/// L1 -> L2, promoting disk hits into RAM; inserts land in L1 and are
+/// demoted to disk by a write-behind thread so the simulation hot path
+/// never blocks on fsync. Every disk failure mode degrades to "just a
+/// RAM cache" with a counter — nothing in here ever throws into the
+/// request path. Also provides the single-flight protocol so concurrent
+/// identical misses across SweepRunner invocations simulate once.
+class SweepResultCache {
+ public:
+  explicit SweepResultCache(std::size_t capacity_bytes, unsigned shards = 16);
+  ~SweepResultCache();  ///< drains and joins the write-behind thread
+
+  SweepResultCache(const SweepResultCache&) = delete;
+  SweepResultCache& operator=(const SweepResultCache&) = delete;
+
+  /// Attach an *open* disk store as tier L2 and start the write-behind
+  /// thread. Call at most once, before the cache is shared.
+  void attach_disk(std::unique_ptr<CacheStore> store);
+  /// Record that a configured disk tier could not be opened (surfaced
+  /// in stats as disk_open_failed; the cache runs RAM-only).
+  void note_disk_open_failure();
+  bool disk_attached() const { return store_ != nullptr; }
+
+  /// L1 then L2; a disk hit is decoded, promoted into L1, and returned.
+  std::shared_ptr<const CachedSweepRun> lookup(const Hash128& key);
+
+  /// Insert into L1 and (when a disk tier is attached) enqueue the
+  /// encoded record for write-behind demotion to L2.
+  void insert(const Hash128& key, std::shared_ptr<const CachedSweepRun> value,
+              std::size_t bytes);
+
+  /// Serve a peer `cache_get`: the encoded record from L1 or L2,
+  /// without touching the hit/miss counters (peer traffic must not
+  /// inflate this process's hit-rate).
+  std::optional<std::string> peek_encoded(const Hash128& key);
+
+  // --- Single-flight (docs/CACHE.md "Single-flight") -------------------------
+  /// Claim the right to compute `key`. If another flight is already in
+  /// progress, wait up to `wait` for its publish and return the value
+  /// (leader=false). Returns null with leader=true when the caller must
+  /// compute and then publish() or abort_flight(); null with
+  /// leader=false when the wait timed out or the leader aborted — the
+  /// caller computes on its own and inserts normally.
+  std::shared_ptr<const CachedSweepRun> begin_flight(
+      const Hash128& key, bool* leader,
+      std::chrono::milliseconds wait = std::chrono::milliseconds(30'000));
+  /// Leader path: insert the computed value and wake waiters with it.
+  void publish(const Hash128& key, std::shared_ptr<const CachedSweepRun> value,
+               std::size_t bytes);
+  /// Leader path when the result is not cacheable: wake waiters
+  /// empty-handed (each then computes under its own tokens).
+  void abort_flight(const Hash128& key);
+
+  /// Force L1 -> L2 demotion of every RAM entry, then drain the
+  /// write-behind queue and fsync (the `cache_flush` op). Returns the
+  /// number of records written. No-op (0) without a disk tier.
+  std::size_t flush_to_disk();
+  /// Block until the write-behind queue is empty and synced (tests and
+  /// orderly shutdown).
+  void drain_writes();
+
+  TieredCacheStats stats() const;
+  std::size_t capacity_bytes() const { return l1_.capacity_bytes(); }
+  unsigned shards() const { return l1_.shards(); }
+
+ private:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const CachedSweepRun> value;
+  };
+
+  void enqueue_write(const Hash128& key, std::string payload);
+  void finish_flight(const Hash128& key,
+                     std::shared_ptr<const CachedSweepRun> value);
+  void flusher_loop();
+
+  ResultCache<CachedSweepRun> l1_;
+  std::unique_ptr<CacheStore> store_;
+
+  mutable std::mutex tier_mu_;  ///< tiered counters
+  std::uint64_t l2_hits_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t demote_drops_ = 0;
+  std::uint64_t decode_failures_ = 0;
+  std::uint64_t flights_led_ = 0;
+  std::uint64_t flights_joined_ = 0;
+  std::uint64_t flights_served_ = 0;
+  bool disk_open_failed_ = false;
+
+  std::mutex flights_mu_;
+  std::unordered_map<Hash128, std::shared_ptr<Flight>, Hash128Hasher> flights_;
+
+  // Write-behind queue: bounded so a disk slower than the simulator
+  // sheds demotions (counted) instead of growing without bound.
+  std::mutex wb_mu_;
+  std::condition_variable wb_cv_;    ///< flusher wakeup
+  std::condition_variable wb_done_;  ///< drain_writes() wakeup
+  std::deque<std::pair<Hash128, std::string>> wb_queue_;
+  std::size_t wb_in_flight_ = 0;     ///< records popped but not yet written
+  bool wb_stop_ = false;
+  std::thread flusher_;
+  static constexpr std::size_t kWriteBehindSlots = 1024;
+};
 
 /// Content hash over every input that determines a job's outcome:
 /// program text/data/entry, the full canonical MachineConfig, the cycle

@@ -32,6 +32,11 @@
 //                                  with the server's --cache-bytes: repeats
 //                                  after the first hit the result cache).
 //                                  Response JSON is printed only when N=1.
+//     cache stats                  per-tier result-cache counters (JSON)
+//     cache flush                  force L1 -> disk demotion + fsync
+//                                  (incident response, docs/CACHE.md)
+//     cache get KEY                probe one cache entry by its 32-hex-digit
+//                                  content key; prints found/payload JSON
 //     status ID                    job state
 //     result ID [--wait] [--timeout-ms N] [--release]
 //     cancel ID
@@ -68,6 +73,7 @@ int usage() {
       "    [--connect-timeout-ms N] [--io-timeout-ms N] <command> [args]\n"
       "  ping | shutdown | metrics\n"
       "  stats [--watch SECS] [--count N]\n"
+      "  cache stats | cache flush | cache get KEY\n"
       "  submit FILE [--pes N] [--threads N] [--width N] [--arity N]\n"
       "         [--seeds N] [--label S] [--max-cycles N] [--deadline-ms N]\n"
       "         [--key S] [--wait] [--repeat N]\n"
@@ -210,6 +216,25 @@ int main(int argc, char** argv) {
         if (!resp.get_bool("ok", false)) return 3;
       }
       return 0;
+    }
+
+    if (cmd == "cache") {
+      // Subcommands map 1:1 onto the cache_* protocol ops (docs/CACHE.md
+      // "Protocol surface"); the raw response JSON is the output.
+      if (args.size() < 2) return usage();
+      const std::string sub = args[1];
+      std::string payload;
+      if (sub == "stats" && args.size() == 2)
+        payload = "{\"op\":\"cache_stats\"}";
+      else if (sub == "flush" && args.size() == 2)
+        payload = "{\"op\":\"cache_flush\"}";
+      else if (sub == "get" && args.size() == 3)
+        payload =
+            "{\"op\":\"cache_get\",\"key\":\"" + json_escape(args[2]) + "\"}";
+      else
+        return usage();
+      const json::Value resp = do_request(payload);
+      return print_response(resp, json::serialize(resp)) ? 0 : 3;
     }
 
     if (cmd == "status" || cmd == "result" || cmd == "cancel" ||

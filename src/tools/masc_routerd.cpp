@@ -11,6 +11,11 @@
 //                          that doesn't set its own — fleet-wide intra-job
 //                          parallelism default (docs/THREADING.md);
 //                          results and cache keys are unchanged
+//     --no-peer-cache      disable tier-3 peer cache read-through: diverted
+//                          or re-placed submits go straight to simulation
+//                          instead of first asking the ring owner's cache
+//                          (docs/CACHE.md)
+//     --peer-timeout-ms N  budget for one peer cache round  (default 250)
 //     --fail-threshold N   consecutive failures that open a breaker (default 3)
 //     --cooldown-ms N      open-breaker dwell before a half-open probe
 //                          (default 500)
@@ -46,9 +51,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: masc-routerd --backend HOST:PORT [--backend ...]\n"
                "  [--port N] [--least-queued] [--sim-threads N] "
-               "[--fail-threshold N]\n  [--cooldown-ms N] [--probe-ms N] "
-               "[--connect-timeout-ms N] [--io-timeout-ms N]\n"
-               "  [--idle-timeout-ms N] [--fault SPEC]\n");
+               "[--no-peer-cache]\n  [--peer-timeout-ms N] "
+               "[--fail-threshold N] [--cooldown-ms N] [--probe-ms N]\n"
+               "  [--connect-timeout-ms N] [--io-timeout-ms N] "
+               "[--idle-timeout-ms N]\n  [--fault SPEC]\n");
   return 2;
 }
 
@@ -76,6 +82,10 @@ int main(int argc, char** argv) {
       else if (arg == "--sim-threads")
         opts.default_sim_threads =
             static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+      else if (arg == "--no-peer-cache")
+        opts.peer_read_through = false;
+      else if (arg == "--peer-timeout-ms")
+        opts.peer_timeout_ms = std::strtoull(next(), nullptr, 0);
       else if (arg == "--fail-threshold")
         opts.breaker.failure_threshold =
             static_cast<unsigned>(std::strtoul(next(), nullptr, 0));

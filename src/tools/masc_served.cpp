@@ -14,6 +14,12 @@
 //                         Repeat jobs are answered from memory at submit
 //                         time, without taking queue slots.
 //     --cache-shards N    result-cache lock shards            (default 16)
+//     --cache-dir PATH    crash-durable disk tier for the result cache
+//                         (docs/CACHE.md); survives restarts. Implies
+//                         --cache-bytes 64MiB when unset. An unusable
+//                         path degrades to RAM-only, never a dead server.
+//     --cache-disk-bytes N     disk tier byte budget      (default 256 MiB)
+//     --cache-segment-bytes N  disk segment rotation size   (default 8 MiB)
 //     --journal PATH      crash-safe job journal; replayed on start
 //     --ckpt-chunks N     journal running-job checkpoints every N sweep
 //                         chunks (N x 65536 cycles); 0 = only on drain
@@ -49,7 +55,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: masc-served [--port N] [--workers N] [--sim-threads N] "
                "[--queue N] [--batch N]\n  [--max-cycles N] [--deadline-ms N] "
-               "[--cache-bytes N] [--cache-shards N]\n  [--journal PATH] "
+               "[--cache-bytes N] [--cache-shards N]\n  [--cache-dir PATH] "
+               "[--cache-disk-bytes N] [--cache-segment-bytes N]\n"
+               "  [--journal PATH] "
                "[--ckpt-chunks N] [--io-timeout-ms N] [--idle-timeout-ms N]\n"
                "  [--fault SPEC]\n");
   return 2;
@@ -87,6 +95,12 @@ int main(int argc, char** argv) {
       opts.cache_bytes = std::strtoull(next(), nullptr, 0);
     else if (arg == "--cache-shards")
       opts.cache_shards = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--cache-dir")
+      opts.cache_dir = next();
+    else if (arg == "--cache-disk-bytes")
+      opts.cache_disk_bytes = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--cache-segment-bytes")
+      opts.cache_segment_bytes = std::strtoull(next(), nullptr, 0);
     else if (arg == "--journal")
       opts.journal_path = next();
     else if (arg == "--ckpt-chunks")

@@ -1,0 +1,548 @@
+// Disk cache tier contract (docs/CACHE.md): the segment store must
+// round-trip records across reopen, cut torn tails at a record
+// boundary, skip checksum-failed interiors instead of aborting
+// recovery, rotate and retire segments inside its byte budget while
+// salvaging live records, refuse a second concurrent opener, and
+// degrade — never throw — on injected or real write failures. On top
+// of it, the tiered SweepResultCache must promote disk hits, demote
+// inserts behind the hot path, collapse concurrent identical misses to
+// one simulation (single-flight), and treat every disk problem as "just
+// a RAM cache" with a counter.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/cache_store.hpp"
+#include "common/hash.hpp"
+#include "fault/fault.hpp"
+#include "sim/machine.hpp"
+#include "sim/sweep.hpp"
+#include "test_util.hpp"
+
+namespace masc {
+namespace {
+
+/// Unique temp directory per test; recursively removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = testing::TempDir() + "masc_cache_" + tag + "_" +
+            std::to_string(::getpid());
+    remove_tree();
+  }
+  ~TempDir() { remove_tree(); }
+  const std::string& str() const { return path_; }
+
+ private:
+  void remove_tree() {
+    // The store writes a flat directory: lock + seg-*.mcs, nothing
+    // nested, so one readdir pass is a full cleanup.
+    std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+  std::string path_;
+};
+
+Hash128 key_of(std::uint64_t n) {
+  Fnv128 h;
+  h.u64(n);
+  return h.digest();
+}
+
+CacheStoreOptions small_opts(const std::string& dir,
+                             std::size_t capacity = 1u << 20,
+                             std::size_t segment = 1u << 20) {
+  CacheStoreOptions o;
+  o.dir = dir;
+  o.capacity_bytes = capacity;
+  o.segment_bytes = segment;
+  return o;
+}
+
+std::string segment_path(const std::string& dir, unsigned id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "/seg-%08u.mcs", id);
+  return dir + buf;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- CacheStore: the raw segment store --------------------------------
+
+TEST(CacheStore, RoundTripsRecordsAcrossReopen) {
+  TempDir dir("roundtrip");
+  {
+    CacheStore store(small_opts(dir.str()));
+    store.open();
+    ASSERT_TRUE(store.is_open());
+    EXPECT_TRUE(store.put(key_of(1), "alpha", /*sync=*/true));
+    EXPECT_TRUE(store.put(key_of(2), "beta", /*sync=*/true));
+    EXPECT_TRUE(store.put(key_of(3), std::string(1000, 'x'), /*sync=*/true));
+    ASSERT_TRUE(store.get(key_of(2)).has_value());
+    EXPECT_EQ(*store.get(key_of(2)), "beta");
+    EXPECT_FALSE(store.get(key_of(99)).has_value());
+  }
+  // A fresh process (destroyed store released the lock): the index is
+  // rebuilt purely from the segment files.
+  CacheStore store(small_opts(dir.str()));
+  store.open();
+  ASSERT_TRUE(store.get(key_of(1)).has_value());
+  EXPECT_EQ(*store.get(key_of(1)), "alpha");
+  EXPECT_EQ(*store.get(key_of(3)), std::string(1000, 'x'));
+  const CacheStoreStats s = store.stats();
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_EQ(s.torn_truncated, 0u);
+  EXPECT_EQ(s.corrupt_skipped, 0u);
+  EXPECT_FALSE(s.degraded);
+}
+
+TEST(CacheStore, NewestRecordWinsWithinAndAcrossOpens) {
+  TempDir dir("newest");
+  {
+    CacheStore store(small_opts(dir.str()));
+    store.open();
+    ASSERT_TRUE(store.put(key_of(7), "old", true));
+    ASSERT_TRUE(store.put(key_of(7), "new", true));
+    EXPECT_EQ(*store.get(key_of(7)), "new");
+  }
+  CacheStore store(small_opts(dir.str()));
+  store.open();
+  EXPECT_EQ(*store.get(key_of(7)), "new");
+  EXPECT_EQ(store.stats().entries, 1u);  // two records, one live key
+}
+
+TEST(CacheStore, TornTailIsTruncatedAtTheLastRecordBoundary) {
+  TempDir dir("torn");
+  {
+    CacheStore store(small_opts(dir.str()));
+    store.open();
+    ASSERT_TRUE(store.put(key_of(1), "first", true));
+    ASSERT_TRUE(store.put(key_of(2), "second", true));
+  }
+  // Crash mid-append: a plausible length prefix whose record bytes
+  // never made it to disk.
+  const std::string seg = segment_path(dir.str(), 1);
+  const std::string whole = read_file(seg);
+  ASSERT_FALSE(whole.empty());
+  std::string torn = whole;
+  torn += '\x40';  // u32 length prefix 64, little-endian, then nothing
+  torn += '\0';
+  torn += '\0';
+  torn += '\0';
+  torn += "partial";
+  write_file(seg, torn);
+
+  CacheStore store(small_opts(dir.str()));
+  store.open();
+  EXPECT_EQ(*store.get(key_of(1)), "first");
+  EXPECT_EQ(*store.get(key_of(2)), "second");
+  EXPECT_EQ(store.stats().torn_truncated, 1u);
+  // The tail is gone from disk, so appends land on a record boundary
+  // and a THIRD open sees no tear.
+  ASSERT_TRUE(store.put(key_of(3), "third", true));
+  EXPECT_EQ(*store.get(key_of(3)), "third");
+  struct stat st{};
+  ASSERT_EQ(::stat(seg.c_str(), &st), 0);
+  EXPECT_GT(static_cast<std::size_t>(st.st_size), whole.size());
+}
+
+TEST(CacheStore, CorruptInteriorRecordIsSkippedOthersSurvive) {
+  TempDir dir("corrupt");
+  std::size_t first_end = 0;
+  {
+    CacheStore store(small_opts(dir.str()));
+    store.open();
+    ASSERT_TRUE(store.put(key_of(1), "aaaaaaaa", true));
+    first_end = read_file(segment_path(dir.str(), 1)).size();
+    ASSERT_TRUE(store.put(key_of(2), "bbbbbbbb", true));
+    ASSERT_TRUE(store.put(key_of(3), "cccccccc", true));
+  }
+  // Flip one payload byte of the MIDDLE record: framing stays intact
+  // (length prefix untouched), the checksum does not.
+  const std::string seg = segment_path(dir.str(), 1);
+  std::string bytes = read_file(seg);
+  bytes[first_end + 4 + 16] ^= 0x01;  // past len prefix + key, in payload
+  write_file(seg, bytes);
+
+  CacheStore store(small_opts(dir.str()));
+  store.open();
+  EXPECT_EQ(*store.get(key_of(1)), "aaaaaaaa");
+  EXPECT_FALSE(store.get(key_of(2)).has_value()) << "corrupt record served";
+  EXPECT_EQ(*store.get(key_of(3)), "cccccccc");
+  const CacheStoreStats s = store.stats();
+  EXPECT_EQ(s.corrupt_skipped, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.torn_truncated, 0u) << "interior corruption is not a tear";
+}
+
+TEST(CacheStore, BitRotUnderALiveIndexReadsAsAMiss) {
+  TempDir dir("bitrot");
+  CacheStore store(small_opts(dir.str()));
+  store.open();
+  ASSERT_TRUE(store.put(key_of(5), "pristine", true));
+
+  // Corrupt the record behind the store's back while it stays open.
+  const std::string seg = segment_path(dir.str(), 1);
+  std::string bytes = read_file(seg);
+  bytes[4 + 16] ^= 0x80;
+  write_file(seg, bytes);
+
+  EXPECT_FALSE(store.get(key_of(5)).has_value());
+  EXPECT_EQ(store.stats().corrupt_skipped, 1u);
+  // The index entry was dropped: a re-put repairs the key for good.
+  ASSERT_TRUE(store.put(key_of(5), "repaired", true));
+  EXPECT_EQ(*store.get(key_of(5)), "repaired");
+}
+
+TEST(CacheStore, RotatesSegmentsAndRetiresOldestUnderByteBudget) {
+  TempDir dir("rotate");
+  // ~134 bytes per record (4 + 24 + 106): a 512-byte segment holds 3,
+  // and a 2 KiB budget about 15 before the oldest segment retires.
+  CacheStore store(small_opts(dir.str(), 2048, 512));
+  store.open();
+  const std::string payload(106, 'p');
+  for (std::uint64_t i = 0; i < 40; ++i)
+    ASSERT_TRUE(store.put(key_of(i), payload, false)) << i;
+
+  const CacheStoreStats s = store.stats();
+  EXPECT_GT(s.segments_created, 1u);
+  EXPECT_GE(s.segments_retired, 1u);
+  EXPECT_LE(s.bytes, 2048u);
+  EXPECT_GT(s.records_evicted, 0u);
+  // FIFO: the newest key always survives, the oldest is long gone.
+  EXPECT_TRUE(store.get(key_of(39)).has_value());
+  EXPECT_FALSE(store.get(key_of(0)).has_value());
+}
+
+TEST(CacheStore, SalvagesLiveRecordsWhenTheirSegmentRetires) {
+  TempDir dir("salvage");
+  CacheStore store(small_opts(dir.str(), 2048, 512));
+  store.open();
+  // One long-lived key written first, then a churn of OVERWRITES of a
+  // single other key: segments rotate and retire, but the live set is
+  // tiny — the long-lived record must be carried forward, not dropped
+  // with its birth segment.
+  ASSERT_TRUE(store.put(key_of(1000), "keep-me", false));
+  const std::string churn(106, 'c');
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(store.put(key_of(1), churn, false));
+
+  const CacheStoreStats s = store.stats();
+  ASSERT_GE(s.segments_retired, 1u);
+  EXPECT_GE(s.records_salvaged, 1u);
+  ASSERT_TRUE(store.get(key_of(1000)).has_value());
+  EXPECT_EQ(*store.get(key_of(1000)), "keep-me");
+  EXPECT_EQ(*store.get(key_of(1)), churn);
+}
+
+TEST(CacheStore, SecondConcurrentOpenerIsRefused) {
+  TempDir dir("flock");
+  CacheStore first(small_opts(dir.str()));
+  first.open();
+  ASSERT_TRUE(first.put(key_of(1), "mine", true));
+
+  CacheStore second(small_opts(dir.str()));
+  try {
+    second.open();
+    FAIL() << "second open() on a locked dir must throw";
+  } catch (const CacheStoreError& e) {
+    EXPECT_NE(std::string(e.what()).find("held by another process"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(second.is_open());
+  // The refused opener must not have damaged the owner.
+  EXPECT_EQ(*first.get(key_of(1)), "mine");
+}
+
+TEST(CacheStore, UnusableDirectoryThrowsNotCrashes) {
+  TempDir dir("notadir");
+  write_file(dir.str(), "a regular file where the dir should be");
+  CacheStore store(small_opts(dir.str()));
+  EXPECT_THROW(store.open(), CacheStoreError);
+  EXPECT_FALSE(store.is_open());
+  // And an unopened store serves misses / refuses puts, never throws.
+  EXPECT_FALSE(store.get(key_of(1)).has_value());
+  EXPECT_FALSE(store.put(key_of(1), "x", true));
+}
+
+TEST(CacheStore, OversizedPayloadIsRefusedWithoutSideEffects) {
+  TempDir dir("oversize");
+  CacheStoreOptions o = small_opts(dir.str());
+  o.max_payload_bytes = 64;
+  CacheStore store(o);
+  store.open();
+  EXPECT_FALSE(store.put(key_of(1), std::string(65, 'x'), true));
+  EXPECT_EQ(store.stats().put_failures, 1u);
+  EXPECT_TRUE(store.put(key_of(2), std::string(64, 'y'), true));
+  EXPECT_TRUE(store.get(key_of(2)).has_value());
+}
+
+TEST(CacheStore, InjectedDiskFaultDegradesWritesButReadsSurvive) {
+  TempDir dir("fault");
+  CacheStore store(small_opts(dir.str()));
+  store.open();
+  ASSERT_TRUE(store.put(key_of(1), "before-the-fault", true));
+
+  {
+    // cache_disk_fail_at=1: the next write and every later one fails —
+    // a disk does not un-fill itself (same >=-index semantics as
+    // backend_fail_at).
+    fault::FaultPlan plan;
+    plan.cache_disk_fail_at = 1;
+    fault::ScopedInjector injector(plan);
+    EXPECT_FALSE(store.put(key_of(2), "lost", true));
+    EXPECT_FALSE(store.put(key_of(3), "also lost", true));
+    EXPECT_EQ(fault::active()->counts().cache_disk_failures, 2u);
+  }
+  const CacheStoreStats s = store.stats();
+  EXPECT_EQ(s.put_failures, 2u);
+  EXPECT_FALSE(s.degraded) << "injected refusals are not a hard failure";
+  // Reads never stopped, and with the injector gone writes resume.
+  EXPECT_EQ(*store.get(key_of(1)), "before-the-fault");
+  EXPECT_TRUE(store.put(key_of(2), "recovered", true));
+  EXPECT_EQ(*store.get(key_of(2)), "recovered");
+}
+
+// --- the tiered SweepResultCache over a disk store --------------------
+
+CachedSweepRun sample_run(std::uint64_t cycles) {
+  CachedSweepRun run;
+  run.status = SweepStatus::kFinished;
+  run.stats.cycles = cycles;
+  run.stats.instructions = cycles / 2;
+  run.stats.idle_cycles = 3;
+  run.stats.issued_by_thread.assign(4, cycles);
+  return run;
+}
+
+std::unique_ptr<CacheStore> open_store(const std::string& dir) {
+  auto store = std::make_unique<CacheStore>(small_opts(dir));
+  store->open();
+  return store;
+}
+
+TEST(TieredCache, EncodeDecodeRoundTripIsExact) {
+  const CachedSweepRun run = sample_run(12345);
+  const std::string blob = encode_cached_run(run);
+  CachedSweepRun back;
+  ASSERT_TRUE(decode_cached_run(blob, back));
+  EXPECT_EQ(back.status, run.status);
+  EXPECT_EQ(back.stats.cycles, run.stats.cycles);
+  EXPECT_EQ(back.stats.instructions, run.stats.instructions);
+  EXPECT_EQ(back.stats.issued_by_thread, run.stats.issued_by_thread);
+  EXPECT_FALSE(back.fabric.has_value());
+
+  // Any malformed payload decodes to false, never throws: truncations,
+  // garbage, and an empty string are all just misses.
+  CachedSweepRun junk;
+  EXPECT_FALSE(decode_cached_run("", junk));
+  EXPECT_FALSE(decode_cached_run("garbage", junk));
+  for (const std::size_t cut :
+       {std::size_t{1}, std::size_t{5}, blob.size() - 1})
+    EXPECT_FALSE(decode_cached_run(std::string_view(blob).substr(0, cut),
+                                   junk))
+        << "cut at " << cut;
+}
+
+TEST(TieredCache, DiskHitIsPromotedAndCountersStayCoherent) {
+  TempDir dir("promote");
+  const Hash128 key = key_of(42);
+  {
+    SweepResultCache cache(1u << 20, 4);
+    cache.attach_disk(open_store(dir.str()));
+    cache.insert(key, std::make_shared<const CachedSweepRun>(sample_run(99)),
+                 256);
+    cache.drain_writes();
+    EXPECT_EQ(cache.stats().demotions, 1u);
+  }
+  // Fresh cache, cold RAM, warm disk: the lookup must come back from L2.
+  SweepResultCache cache(1u << 20, 4);
+  cache.attach_disk(open_store(dir.str()));
+  const auto hit = cache.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->stats.cycles, 99u);
+
+  TieredCacheStats s = cache.stats();
+  EXPECT_EQ(s.l2_hits, 1u);
+  EXPECT_EQ(s.promotions, 1u);
+  EXPECT_EQ(s.l1_hits, 0u);
+  EXPECT_EQ(s.hits, 1u) << "combined hits must count the L2 serve";
+  EXPECT_EQ(s.misses, 0u) << "an L2 promotion is not a miss";
+  EXPECT_TRUE(s.disk_enabled);
+
+  // Promoted: the second lookup is pure L1.
+  ASSERT_NE(cache.lookup(key), nullptr);
+  s = cache.stats();
+  EXPECT_EQ(s.l1_hits, 1u);
+  EXPECT_EQ(s.l2_hits, 1u);
+  EXPECT_EQ(s.hits, 2u);
+}
+
+TEST(TieredCache, UndecodableDiskRecordCountsAndReadsAsMiss) {
+  TempDir dir("decodefail");
+  const Hash128 key = key_of(7);
+  {
+    CacheStore raw(small_opts(dir.str()));
+    raw.open();
+    ASSERT_TRUE(raw.put(key, "this is not an encoded run", true));
+  }
+  SweepResultCache cache(1u << 20, 4);
+  cache.attach_disk(open_store(dir.str()));
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  const TieredCacheStats s = cache.stats();
+  EXPECT_EQ(s.decode_failures, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 0u);
+}
+
+TEST(TieredCache, FlushToDiskDemotesEveryRamEntry) {
+  TempDir dir("flush");
+  {
+    SweepResultCache cache(1u << 20, 4);
+    cache.attach_disk(open_store(dir.str()));
+    for (std::uint64_t i = 0; i < 5; ++i)
+      cache.insert(key_of(i),
+                   std::make_shared<const CachedSweepRun>(sample_run(i)), 128);
+    const std::size_t flushed = cache.flush_to_disk();
+    // Write-behind may have demoted some already; flush re-writes the
+    // whole RAM tier so every entry is durably on disk afterwards.
+    EXPECT_EQ(flushed, 5u);
+    EXPECT_GE(cache.stats().disk.puts, 5u);
+  }  // releases the dir lock
+
+  SweepResultCache reborn(1u << 20, 4);
+  reborn.attach_disk(open_store(dir.str()));
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ASSERT_NE(reborn.lookup(key_of(i)), nullptr) << i;
+}
+
+TEST(TieredCache, DiskOpenFailureDegradesToRamOnly) {
+  SweepResultCache cache(1u << 20, 4);
+  cache.note_disk_open_failure();
+  EXPECT_FALSE(cache.disk_attached());
+  cache.insert(key_of(1),
+               std::make_shared<const CachedSweepRun>(sample_run(5)), 64);
+  ASSERT_NE(cache.lookup(key_of(1)), nullptr);
+  const TieredCacheStats s = cache.stats();
+  EXPECT_TRUE(s.disk_open_failed);
+  EXPECT_FALSE(s.disk_enabled);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(TieredCache, SingleFlightWaiterIsServedByTheLeader) {
+  SweepResultCache cache(1u << 20, 4);
+  const Hash128 key = key_of(11);
+
+  bool leader1 = false;
+  ASSERT_EQ(cache.begin_flight(key, &leader1), nullptr);
+  ASSERT_TRUE(leader1) << "first flight must be the leader";
+
+  std::shared_ptr<const CachedSweepRun> waited;
+  bool leader2 = true;
+  std::thread waiter([&] {
+    waited = cache.begin_flight(key, &leader2, std::chrono::seconds(10));
+  });
+  // Publish after the waiter has (very likely) parked; correctness does
+  // not depend on the race — either it waits or it finds the flight
+  // done, both end with the leader's value.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cache.publish(key, std::make_shared<const CachedSweepRun>(sample_run(77)),
+                128);
+  waiter.join();
+
+  ASSERT_NE(waited, nullptr);
+  EXPECT_FALSE(leader2);
+  EXPECT_EQ(waited->stats.cycles, 77u);
+  const TieredCacheStats s = cache.stats();
+  EXPECT_EQ(s.flights_led, 1u);
+  EXPECT_EQ(s.flights_joined, 1u);
+  EXPECT_EQ(s.flights_served, 1u);
+  EXPECT_EQ(s.insertions, 1u) << "one logical computation, one insert";
+  // The published value is in the cache for everyone else.
+  ASSERT_NE(cache.lookup(key), nullptr);
+}
+
+TEST(TieredCache, AbortedFlightReleasesWaitersEmptyHanded) {
+  SweepResultCache cache(1u << 20, 4);
+  const Hash128 key = key_of(13);
+  bool leader = false;
+  ASSERT_EQ(cache.begin_flight(key, &leader), nullptr);
+  ASSERT_TRUE(leader);
+
+  std::shared_ptr<const CachedSweepRun> waited =
+      std::make_shared<const CachedSweepRun>();
+  bool waiter_leads = true;
+  std::thread waiter([&] {
+    waited = cache.begin_flight(key, &waiter_leads, std::chrono::seconds(10));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  cache.abort_flight(key);  // e.g. the leader's run was fault-injected
+  waiter.join();
+
+  EXPECT_EQ(waited, nullptr) << "an abort must not fabricate a value";
+  EXPECT_FALSE(waiter_leads);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  // The key is free again: the next claimant leads a fresh flight.
+  bool again = false;
+  EXPECT_EQ(cache.begin_flight(key, &again), nullptr);
+  EXPECT_TRUE(again);
+  cache.abort_flight(key);
+}
+
+TEST(TieredCache, ConcurrentIdenticalSweepsSimulateOnce) {
+  // Two runners, two threads, the SAME job, one shared cache: the
+  // single-flight guard must collapse the duplicate miss — exactly one
+  // simulation is inserted, and both callers get bit-identical stats.
+  auto shared = std::make_shared<SweepResultCache>(16u << 20, 8);
+  SweepJob job;
+  job.cfg = test::small_config();
+  job.program = assemble(
+      "pindex p1\nrsum r1, p1\npadds p2, r1, p1\nrsum r1, p2\nhalt\n");
+
+  std::vector<SweepResult> a, b;
+  std::thread t1([&] {
+    SweepRunner r(1);
+    r.set_cache(shared);
+    a = r.run({job});
+  });
+  std::thread t2([&] {
+    SweepRunner r(1);
+    r.set_cache(shared);
+    b = r.run({job});
+  });
+  t1.join();
+  t2.join();
+
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].status, SweepStatus::kFinished) << a[0].error;
+  EXPECT_EQ(a[0].stats.cycles, b[0].stats.cycles);
+  EXPECT_EQ(a[0].stats.instructions, b[0].stats.instructions);
+  const TieredCacheStats s = shared->stats();
+  EXPECT_EQ(s.insertions, 1u)
+      << "two concurrent identical misses must simulate once";
+}
+
+}  // namespace
+}  // namespace masc

@@ -702,6 +702,148 @@ TEST(RouterFailoverTest, BackendStopMidRunFailsOverBitIdentically) {
   EXPECT_EQ(stats.find("router")->get_uint("alive", 0), 1u);
 }
 
+// --- peer cache read-through (docs/CACHE.md tier L3) -------------------
+
+std::uint64_t peer_counter(const json::Value& stats, const char* name) {
+  const json::Value* r = stats.find("router");
+  if (!r) return 0;
+  const json::Value* pc = r->find("peer_cache");
+  return pc ? pc->get_uint(name, 0) : 0;
+}
+
+TEST(RouterPeerCacheTest, DivertedSubmitIsServedFromTheOwnersCache) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.cache_bytes = 1 << 20;
+  RouterOptions ropts = test_router_options();
+  ropts.breaker.failure_threshold = 3;  // one failure must NOT open it
+  Fleet fleet(2, sopts, ropts);
+  Client c = fleet.connect();
+
+  // Warm the owner's cache through the router.
+  const std::string submit = "{\"op\":\"submit\",\"jobs\":[" +
+                             job_json(counting_kernel(100), "peer-warm") +
+                             "]}";
+  const json::Value warm = c.request(submit);
+  ASSERT_TRUE(warm.get_bool("ok", false));
+  const std::string golden = result_stats_canonical(
+      await_result_raw(c, ids_of(warm)[0]));
+  ASSERT_EQ(golden, canonical(serial_stats_json(counting_kernel(100))));
+  std::size_t owner = kNpos;
+  for (std::size_t i = 0; i < fleet.servers.size(); ++i)
+    if (server_submitted(*fleet.servers[i]) == 1) owner = i;
+  ASSERT_NE(owner, kNpos);
+  const std::size_t survivor = 1 - owner;
+
+  // One injected transport failure on the next router->backend request:
+  // the repeat submit bounces off the owner and diverts — where the
+  // router first asks the owner's cache (a fresh connection, which the
+  // exhausted injector no longer touches) and serves the group itself.
+  std::uint64_t id = 0;
+  {
+    fault::FaultPlan plan;
+    plan.backend_fail_at = 1;
+    plan.max_faults = 1;
+    fault::ScopedInjector inj(plan);
+    const json::Value resp = c.request(submit);
+    ASSERT_TRUE(resp.get_bool("ok", false)) << json::serialize(resp);
+    id = ids_of(resp)[0];
+    EXPECT_EQ(inj->counts().backend_requests_failed, 1u);
+  }
+
+  // Served at submit time: done immediately, bit-identical payload.
+  const json::Value status =
+      c.request("{\"op\":\"status\",\"id\":" + std::to_string(id) + "}");
+  EXPECT_EQ(status.get_string("state", ""), "done");
+  EXPECT_EQ(result_stats_canonical(await_result_raw(c, id)), golden);
+
+  // Neither backend saw a second submission...
+  EXPECT_EQ(server_submitted(*fleet.servers[owner]), 1u);
+  EXPECT_EQ(server_submitted(*fleet.servers[survivor]), 0u);
+  // ...and the router accounted the round as a peer hit, not a reroute.
+  const json::Value stats = router_stats(c);
+  EXPECT_EQ(peer_counter(stats, "lookups"), 1u);
+  EXPECT_EQ(peer_counter(stats, "hits"), 1u);
+  EXPECT_EQ(peer_counter(stats, "jobs_served"), 1u);
+  EXPECT_EQ(peer_counter(stats, "misses"), 0u);
+  EXPECT_EQ(peer_counter(stats, "errors"), 0u);
+  EXPECT_EQ(router_counter(stats, "submits_routed"), 2u);
+  EXPECT_EQ(router_counter(stats, "jobs_rerouted"), 0u);
+  EXPECT_EQ(backend_breaker(stats, owner), "closed");
+}
+
+TEST(RouterPeerCacheTest, DisabledReadThroughDivertsToSimulation) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.cache_bytes = 1 << 20;
+  RouterOptions ropts = test_router_options();
+  ropts.peer_read_through = false;  // --no-peer-cache
+  Fleet fleet(2, sopts, ropts);
+  Client c = fleet.connect();
+
+  const std::string submit = "{\"op\":\"submit\",\"jobs\":[" +
+                             job_json(counting_kernel(100), "no-peer") + "]}";
+  const json::Value warm = c.request(submit);
+  ASSERT_TRUE(warm.get_bool("ok", false));
+  const std::string golden = result_stats_canonical(
+      await_result_raw(c, ids_of(warm)[0]));
+  std::size_t owner = kNpos;
+  for (std::size_t i = 0; i < fleet.servers.size(); ++i)
+    if (server_submitted(*fleet.servers[i]) == 1) owner = i;
+  ASSERT_NE(owner, kNpos);
+
+  std::uint64_t id = 0;
+  {
+    fault::FaultPlan plan;
+    plan.backend_fail_at = 1;
+    plan.max_faults = 1;
+    fault::ScopedInjector inj(plan);
+    const json::Value resp = c.request(submit);
+    ASSERT_TRUE(resp.get_bool("ok", false));
+    id = ids_of(resp)[0];
+  }
+  // Same divert, same answer — but simulated on the other backend, with
+  // the peer tier never consulted.
+  EXPECT_EQ(result_stats_canonical(await_result_raw(c, id)), golden);
+  EXPECT_EQ(server_submitted(*fleet.servers[1 - owner]), 1u);
+  EXPECT_EQ(peer_counter(router_stats(c), "lookups"), 0u);
+}
+
+TEST(RouterPeerCacheTest, FailoverPeerMissStillRecomputesBitIdentically) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.cache_bytes = 1 << 20;
+  RouterOptions ropts = test_router_options();
+  ropts.breaker.failure_threshold = 1;
+  ropts.breaker.open_cooldown_ms = 60'000;
+  Fleet fleet(2, sopts, ropts);
+  Client c = fleet.connect();
+
+  const json::Value sub = c.request("{\"op\":\"submit\",\"jobs\":[" +
+                                    job_json(kLongKernel, "peer-fo") + "]}");
+  ASSERT_TRUE(sub.get_bool("ok", false));
+  const std::uint64_t id = ids_of(sub)[0];
+  await_running(c, id);
+  const std::size_t owner = backend_with_outstanding(router_stats(c), 1);
+  ASSERT_NE(owner, kNpos);
+
+  // Kill the owner mid-run. The failover re-placement first asks the
+  // survivor's cache (nobody has computed this job: honest miss), then
+  // resubmits — an optimization that misses must cost one bounded round
+  // and nothing else.
+  fleet.servers[owner]->stop();
+  const std::string raw = await_result_raw(c, id);
+  EXPECT_EQ(result_stats_canonical(raw),
+            canonical(serial_stats_json(kLongKernel)));
+
+  const json::Value stats = router_stats(c);
+  EXPECT_EQ(router_counter(stats, "jobs_rerouted"), 1u);
+  EXPECT_EQ(peer_counter(stats, "lookups"), 1u);
+  EXPECT_EQ(peer_counter(stats, "hits"), 0u);
+  EXPECT_EQ(peer_counter(stats, "misses") + peer_counter(stats, "errors"),
+            1u);
+}
+
 TEST(RouterMetricsTest, ExposesRouterAndBackendPrometheusSeries) {
   ServerOptions sopts;
   sopts.workers = 1;

@@ -87,7 +87,8 @@ TEST(DocsLinks, CoreDocsExist) {
                           "docs/ASCAL.md", "docs/SIMULATOR.md",
                           "docs/PERF.md", "docs/THREADING.md",
                           "docs/MULTICHIP.md", "docs/SERVER.md",
-                          "docs/RELIABILITY.md", "docs/CLUSTER.md"}) {
+                          "docs/RELIABILITY.md", "docs/CLUSTER.md",
+                          "docs/CACHE.md"}) {
     EXPECT_TRUE(fs::exists(root / doc)) << doc;
   }
 }

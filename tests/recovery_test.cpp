@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -341,6 +342,186 @@ TEST(Recovery, SigtermDrainsCheckpointsAndResumesBitIdentically) {
   // byte-identical to one uninterrupted serial simulation.
   EXPECT_NE(raw.find("\"stats\":" + want), std::string::npos)
       << "drain + resume diverged from the serial run";
+}
+
+// --- crash-durable result cache (docs/CACHE.md) ------------------------
+
+class TempCacheDir {
+ public:
+  explicit TempCacheDir(const std::string& tag) {
+    path_ = testing::TempDir() + "masc_l2_" + tag + "_" +
+            std::to_string(::getpid());
+    remove_tree();
+  }
+  ~TempCacheDir() { remove_tree(); }
+  const std::string& str() const { return path_; }
+
+ private:
+  void remove_tree() {
+    const std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+  std::string path_;
+};
+
+/// Distinct quick kernels: vary the loop trip count so each job has its
+/// own cache key.
+std::string quick_kernel(int trips) {
+  return "li r1, " + std::to_string(trips) +
+         "\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n";
+}
+
+/// The serialized "stats" object of a result response (integer-exact
+/// bit-identity probe; raw-text compare is fine, both sides are
+/// produced by the same serializer).
+std::string stats_of(const std::string& raw) {
+  const json::Value resp = parse_json(raw);
+  EXPECT_TRUE(resp.get_bool("ok", false)) << raw;
+  const json::Value* result = resp.find("result");
+  if (!result) return "";
+  EXPECT_EQ(result->get_string("status", ""), "finished") << raw;
+  const json::Value* stats = result->find("stats");
+  return stats ? json::serialize(*stats) : "";
+}
+
+TEST(Recovery, SigkillThenRestartServesFromTheDiskCacheWithoutSimulating) {
+  TempCacheDir cache_dir("sigkill");
+  constexpr int kJobs = 4;
+
+  // Phase 1: populate the cache, make it durable, then die without a
+  // goodbye — mid-insert as far as the write-behind queue is concerned
+  // (a long job is still running and a spinner's appends may be torn;
+  // the flushed records must not care).
+  std::vector<std::string> want(kJobs);
+  {
+    ServedProcess served({"--cache-dir", cache_dir.str(), "--workers", "2"});
+    Client c = connect_to(served);
+    std::vector<std::uint64_t> ids(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+      const json::Value resp = c.request(
+          "{\"op\":\"submit\",\"jobs\":[" +
+          job_json(quick_kernel(100 + i), "warm-" + std::to_string(i)) + "]}");
+      ASSERT_TRUE(resp.get_bool("ok", false));
+      ids[static_cast<std::size_t>(i)] = ids_of(resp)[0];
+    }
+    for (int i = 0; i < kJobs; ++i) {
+      want[static_cast<std::size_t>(i)] =
+          stats_of(await_result_raw(c, ids[static_cast<std::size_t>(i)]));
+      ASSERT_FALSE(want[static_cast<std::size_t>(i)].empty());
+    }
+    // Force L1 -> L2 demotion + fsync: these records must survive.
+    const json::Value flush = c.request("{\"op\":\"cache_flush\"}");
+    ASSERT_TRUE(flush.get_bool("ok", false)) << json::serialize(flush);
+    EXPECT_TRUE(flush.get_bool("disk", false));
+
+    // Now get a long job mid-run so the SIGKILL lands mid-everything.
+    const json::Value long_resp = c.request(
+        "{\"op\":\"submit\",\"jobs\":[" + job_json(kLongKernel, "doomed") +
+        "]}");
+    ASSERT_TRUE(long_resp.get_bool("ok", false));
+    await_running(c, ids_of(long_resp)[0]);
+    served.kill_hard();
+  }
+
+  // Phase 2: a fresh process on the same --cache-dir. The resubmitted
+  // jobs must be served from L2 — bit-identically — with ZERO batches
+  // dispatched to the simulator.
+  ServedProcess revived({"--cache-dir", cache_dir.str(), "--workers", "2"});
+  Client c = connect_to(revived);
+  for (int i = 0; i < kJobs; ++i) {
+    const json::Value resp = c.request(
+        "{\"op\":\"submit\",\"jobs\":[" +
+        job_json(quick_kernel(100 + i), "replay-" + std::to_string(i)) + "]}");
+    ASSERT_TRUE(resp.get_bool("ok", false));
+    const std::string got = stats_of(await_result_raw(c, ids_of(resp)[0]));
+    EXPECT_EQ(got, want[static_cast<std::size_t>(i)])
+        << "job " << i << " not bit-identical after crash";
+  }
+
+  const json::Value resp = parse_json(c.request_raw("{\"op\":\"stats\"}"));
+  const json::Value* stats_ptr = resp.find("stats");
+  ASSERT_NE(stats_ptr, nullptr);
+  const json::Value& stats = *stats_ptr;
+  const json::Value* cache = stats.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_TRUE(cache->get_bool("enabled", false));
+  ASSERT_NE(cache->find("l2"), nullptr);
+  EXPECT_TRUE(cache->find("l2")->get_bool("enabled", false));
+  EXPECT_GE(cache->get_uint("l2_hits", 0), static_cast<std::uint64_t>(kJobs))
+      << json::serialize(*cache);
+  EXPECT_EQ(stats.find("counters")->get_uint("batches", 99), 0u)
+      << "a disk hit must not reach the simulator";
+}
+
+TEST(Recovery, CorruptedCacheDirDegradesToSimulationNotFailure) {
+  TempCacheDir cache_dir("corrupt");
+  std::string want;
+  {
+    ServedProcess served({"--cache-dir", cache_dir.str(), "--workers", "1"});
+    Client c = connect_to(served);
+    const json::Value resp = c.request(
+        "{\"op\":\"submit\",\"jobs\":[" + job_json(quick_kernel(123), "seed") +
+        "]}");
+    ASSERT_TRUE(resp.get_bool("ok", false));
+    want = stats_of(await_result_raw(c, ids_of(resp)[0]));
+    ASSERT_TRUE(c.request("{\"op\":\"cache_flush\"}").get_bool("ok", false));
+    served.kill_hard();
+  }
+
+  // Vandalize every segment: overwrite the first KiB with garbage.
+  const std::string cmd = "for f in '" + cache_dir.str() +
+                          "'/seg-*.mcs; do dd if=/dev/urandom of=\"$f\" "
+                          "bs=1024 count=1 conv=notrunc 2>/dev/null; done";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  // The revived server must come up, shrug off the corruption, and
+  // serve the job by re-simulating it — same answer, just slower.
+  ServedProcess revived({"--cache-dir", cache_dir.str(), "--workers", "1"});
+  Client c = connect_to(revived);
+  const json::Value resp = c.request(
+      "{\"op\":\"submit\",\"jobs\":[" + job_json(quick_kernel(123), "retry") +
+      "]}");
+  ASSERT_TRUE(resp.get_bool("ok", false));
+  EXPECT_EQ(stats_of(await_result_raw(c, ids_of(resp)[0])), want);
+
+  const json::Value cs = c.request("{\"op\":\"cache_stats\"}");
+  ASSERT_TRUE(cs.get_bool("ok", false));
+  const json::Value* cache = cs.find("cache");
+  ASSERT_NE(cache, nullptr);
+  ASSERT_NE(cache->find("l2"), nullptr);
+  EXPECT_TRUE(cache->find("l2")->get_bool("enabled", false))
+      << "corruption must not disable the disk tier";
+  EXPECT_EQ(cache->get_uint("l2_hits", 99), 0u);
+}
+
+TEST(Recovery, UnusableCacheDirStillServesRamOnly) {
+  // Point --cache-dir at a regular file: the disk tier cannot open, the
+  // server must start anyway and run as a RAM-only cache.
+  const std::string bogus = testing::TempDir() + "masc_l2_bogus_" +
+                            std::to_string(::getpid());
+  std::remove(bogus.c_str());
+  {
+    std::FILE* f = std::fopen(bogus.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a directory", f);
+    std::fclose(f);
+  }
+  ServedProcess served({"--cache-dir", bogus, "--workers", "1"});
+  Client c = connect_to(served);
+  const json::Value resp = c.request(
+      "{\"op\":\"submit\",\"jobs\":[" + job_json(quick_kernel(50), "ram") +
+      "]}");
+  ASSERT_TRUE(resp.get_bool("ok", false));
+  EXPECT_FALSE(stats_of(await_result_raw(c, ids_of(resp)[0])).empty());
+
+  const json::Value cs = c.request("{\"op\":\"cache_stats\"}");
+  const json::Value* cache = cs.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_TRUE(cache->get_bool("enabled", false));
+  ASSERT_NE(cache->find("l2"), nullptr);
+  EXPECT_FALSE(cache->find("l2")->get_bool("enabled", true));
+  EXPECT_TRUE(cache->find("l2")->get_bool("open_failed", false));
+  std::remove(bogus.c_str());
 }
 
 // --- client retry/backoff ---------------------------------------------

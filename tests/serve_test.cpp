@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "assembler/assembler.hpp"
+#include "common/base64.hpp"
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/json.hpp"
 #include "fault/fault.hpp"
 #include "serve/client.hpp"
@@ -28,6 +30,7 @@
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
 #include "sim/machine.hpp"
+#include "sim/sweep.hpp"
 
 namespace masc {
 namespace {
@@ -1015,6 +1018,141 @@ TEST(ServeCache, CacheHitIsJournaledAsCompletedJob) {
     server.stop();
   }
   std::remove(journal_path.c_str());
+}
+
+// --- cache ops over the wire (docs/CACHE.md) ---------------------------
+
+TEST(ServeCache, CacheGetServesTheEncodedRunBitIdentically) {
+  ServerOptions opts = test_options();
+  opts.cache_bytes = 16u << 20;
+  Server server(opts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  JobSpec quick;
+  quick.source = reduction_kernel(6);
+  quick.label = "donor";
+  const auto id = submit_ok(c, {job_json(quick)})[0];
+  const json::Value resp = parse_json(c.request_raw(result_request(id, true)));
+  ASSERT_TRUE(resp.get_bool("ok", false));
+  const std::uint64_t cycles =
+      resp.find("result")->find("stats")->get_uint("cycles", 0);
+  ASSERT_GT(cycles, 0u);
+
+  // The key a peer would ask for is the job's content hash.
+  const SweepJob job = serve::job_from_json(parse_json(job_json(quick)));
+  const std::string key_hex = to_hex(sweep_cache_key(job));
+
+  const json::Value hit =
+      c.request("{\"op\":\"cache_get\",\"key\":\"" + key_hex + "\"}");
+  ASSERT_TRUE(hit.get_bool("ok", false)) << json::serialize(hit);
+  ASSERT_TRUE(hit.get_bool("found", false));
+  CachedSweepRun run;
+  const std::string blob = base64_decode(hit.get_string("payload", ""));
+  ASSERT_TRUE(decode_cached_run(blob, run))
+      << "b64 size=" << hit.get_string("payload", "").size()
+      << " blob size=" << blob.size() << " v=" << int(blob[0])
+      << " st=" << int(blob[1]);
+  EXPECT_EQ(run.stats.cycles, cycles) << "peer payload must be bit-identical";
+
+  // An unknown key is an honest miss, not an error...
+  const json::Value miss = c.request(
+      "{\"op\":\"cache_get\",\"key\":\"00000000000000000000000000000000\"}");
+  EXPECT_TRUE(miss.get_bool("ok", false));
+  EXPECT_FALSE(miss.get_bool("found", true));
+  // ...and peer peeks must not have moved the server's own hit/miss
+  // counters (peer traffic is not local demand). The cold submit's own
+  // misses (admission fast path + runner) are all that may appear.
+  const json::Value stats = parse_json(server.stats_json());
+  EXPECT_EQ(stats.find("cache")->get_uint("hits", 99), 0u);
+  EXPECT_LE(stats.find("cache")->get_uint("misses", 99), 2u);
+
+  // cache_flush with no disk tier: succeeds, reports disk:false.
+  const json::Value flush = c.request("{\"op\":\"cache_flush\"}");
+  EXPECT_TRUE(flush.get_bool("ok", false)) << json::serialize(flush);
+  EXPECT_FALSE(flush.get_bool("disk", true));
+
+  // cache_stats mirrors stats_json's cache object, as its own op.
+  const json::Value cs = c.request("{\"op\":\"cache_stats\"}");
+  ASSERT_TRUE(cs.get_bool("ok", false));
+  EXPECT_TRUE(cs.find("cache")->get_bool("enabled", false));
+  EXPECT_GE(cs.find("cache")->get_uint("insertions", 0), 1u);
+  server.stop();
+}
+
+TEST(ServeCache, CacheOpsDegradeCleanlyWithoutACache) {
+  Server server(test_options());  // cache_bytes = 0
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+  // cache_get: a server with no cache simply has no entries.
+  const json::Value miss = c.request(
+      "{\"op\":\"cache_get\",\"key\":\"ffffffffffffffffffffffffffffffff\"}");
+  EXPECT_TRUE(miss.get_bool("ok", false));
+  EXPECT_FALSE(miss.get_bool("found", true));
+  // cache_flush: there is nothing to make durable — explicit error.
+  EXPECT_EQ(c.request("{\"op\":\"cache_flush\"}").get_string("error", ""),
+            "no_cache");
+  const json::Value cs = c.request("{\"op\":\"cache_stats\"}");
+  ASSERT_TRUE(cs.get_bool("ok", false));
+  EXPECT_FALSE(cs.find("cache")->get_bool("enabled", true));
+  server.stop();
+}
+
+TEST(ServeFuzz, CacheOpCorpusGetsErrorsNotDisconnects) {
+  ServerOptions opts = test_options();
+  opts.cache_bytes = 1u << 20;
+  Server server(opts);
+  server.start();
+  RawConn conn(server.port());
+
+  // Malformed cache requests parse as frames, so each earns an error
+  // *response* — the session survives the whole corpus.
+  const std::string corpus[] = {
+      "{\"op\":\"cache_get\"}",                        // key missing
+      "{\"op\":\"cache_get\",\"key\":\"\"}",           // empty
+      "{\"op\":\"cache_get\",\"key\":\"abc\"}",        // too short
+      "{\"op\":\"cache_get\",\"key\":\"zz" +
+          std::string(30, '0') + "\"}",                // non-hex
+      "{\"op\":\"cache_get\",\"key\":\"" +
+          std::string(33, 'a') + "\"}",                // too long
+      "{\"op\":\"cache_get\",\"key\":\"" +
+          std::string(1 << 16, 'f') + "\"}",           // absurdly long
+      "{\"op\":\"cache_get\",\"key\":12345}",          // wrong type
+      "{\"op\":\"cache_get\",\"key\":[\"a\"]}",        // wrong type
+  };
+  for (const std::string& payload : corpus) {
+    serve::write_frame(conn.fd(), payload);
+    std::string raw;
+    ASSERT_TRUE(serve::read_frame(conn.fd(), raw))
+        << "server dropped the session on: " << payload.substr(0, 80);
+    const json::Value resp = parse_json(raw);
+    EXPECT_FALSE(resp.get_bool("ok", true)) << raw;
+    EXPECT_EQ(resp.get_string("error", ""), "bad_request") << raw;
+  }
+  // Framing violations on a cache-op-shaped payload still just drop the
+  // connection, like any other framing violation.
+  {
+    RawConn truncated(server.port());
+    truncated.send_bytes(RawConn::header(512) + "{\"op\":\"cache_get\"");
+  }  // closes mid-payload
+  {
+    RawConn oversized(server.port());
+    oversized.send_bytes(RawConn::header(0xFFFFFFFFu) +
+                         "{\"op\":\"cache_flush\"}");
+    EXPECT_TRUE(oversized.closed_by_peer(5000));
+  }
+
+  // The original session and fresh sessions both still work.
+  serve::write_frame(conn.fd(), "{\"op\":\"cache_stats\"}");
+  std::string raw;
+  ASSERT_TRUE(serve::read_frame(conn.fd(), raw));
+  EXPECT_TRUE(parse_json(raw).get_bool("ok", false)) << raw;
+  Client c;
+  c.connect("127.0.0.1", server.port());
+  EXPECT_TRUE(c.request("{\"op\":\"ping\"}").get_bool("ok", false));
+  server.stop();
 }
 
 }  // namespace
