@@ -19,6 +19,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "sim/funcsim.hpp"
+#include "sim/lane_batch.hpp"
 
 namespace {
 
@@ -112,6 +113,105 @@ BENCHMARK(BM_CycleSimMT)
     ->Args({16, 1})->Args({16, 2})->Args({16, 4})->Args({16, 8})
     ->Args({256, 1})->Args({256, 2})->Args({256, 4})->Args({256, 8})
     ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})->Args({1024, 8})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// SIMD-over-jobs lane batching (docs/PERF.md "Lane batching"): N
+// homogeneous jobs (same program/config, per-lane data) executed in
+// lockstep by run_lane_batch vs. N serial run_sweep_job calls. The
+// workload is control-bound on purpose — branchy scalar loops across
+// all threads with a masked parallel update per iteration and no
+// reductions, at 16 PEs — because shared control (fetch, predecode,
+// scoreboard, scheduler scan, branch-penalty timing) is what batching
+// amortizes; per-lane data rows and reduction trees are paid per lane
+// either way. Like BM_CycleSimMT, the setup refuses to measure an
+// unverified path: every lane's batched Stats must be byte-identical
+// to its serial run, with zero lanes ejected, before timing starts.
+// Speedup at N lanes = jobs/s(BM_LaneBatch/N) / jobs/s(BM_LaneBatch/1);
+// the acceptance bar is >= 4x at some N.
+std::string lane_batch_program(unsigned total_iters) {
+  return R"(
+main:
+    nthreads r1
+    li r2, 1
+    la r3, worker
+spawn:
+    bgeu r2, r1, body
+    tspawn r4, r3
+    addi r2, r2, 1
+    j spawn
+worker:
+body:
+    nthreads r5
+    li r6, )" + std::to_string(total_iters) + R"(
+    divu r2, r6, r5
+    lw r7, 0(r0)          # per-lane memory image feeds the data path
+    pindex p1
+    padds p2, r7, p1      # fold the lane's data into parallel state once
+    li r1, 0
+loop:
+    add r8, r8, r7        # scalar data path: accumulate, mix, compare
+    xor r9, r8, r1
+    sltu r10, r9, r6
+    addi r1, r1, 1
+    bne r1, r2, loop
+    texit
+)";
+}
+
+void BM_LaneBatch(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  MachineConfig cfg;
+  cfg.num_pes = 16;
+  cfg.num_threads = 16;
+  cfg.word_width = 16;
+  const Program prog = assemble(lane_batch_program(2048));
+
+  std::vector<SweepJob> jobs(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    jobs[i].cfg = cfg;
+    jobs[i].program = prog;
+    jobs[i].program.data = {static_cast<Word>(i)};  // per-lane memory image
+    jobs[i].label = "lane" + std::to_string(i);
+    jobs[i].seed = i;
+    jobs[i].max_cycles = 10'000'000;
+  }
+  std::vector<LaneJob> batch;
+  for (std::size_t i = 0; i < lanes; ++i) batch.push_back({&jobs[i], i});
+
+  {
+    // Bit-identity gate: per-job status, error, and Stats from the
+    // batched run must equal the serial run's, lane for lane.
+    LaneBatchReport rep;
+    const auto batched = run_lane_batch(batch, &rep);
+    if (lanes > 1 && (rep.lanes != lanes || rep.replayed != 0)) {
+      std::fprintf(stderr, "BM_LaneBatch: batch degraded at %zu lanes "
+                   "(entered=%u replayed=%u)\n", lanes, rep.lanes,
+                   rep.replayed);
+      std::exit(1);
+    }
+    for (std::size_t i = 0; i < lanes; ++i) {
+      const SweepResult serial = run_sweep_job(jobs[i], i);
+      if (batched[i].status != serial.status ||
+          batched[i].error != serial.error ||
+          to_json(batched[i].stats) != to_json(serial.stats)) {
+        std::fprintf(stderr,
+                     "BM_LaneBatch: lane %zu NOT bit-identical at %zu lanes\n",
+                     i, lanes);
+        std::exit(1);
+      }
+    }
+  }
+
+  std::uint64_t total_jobs = 0;
+  for (auto _ : state) {
+    const auto results = run_lane_batch(batch);
+    benchmark::DoNotOptimize(results.data());
+    total_jobs += results.size();
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(total_jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LaneBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_FuncSim(benchmark::State& state) {

@@ -68,7 +68,8 @@ double ServeMetrics::mean_job_seconds(double dflt) const {
 std::string ServeMetrics::to_json(std::size_t queue_depth,
                                   std::size_t in_flight,
                                   std::size_t queue_capacity,
-                                  const TieredCacheStats* cache) const {
+                                  const TieredCacheStats* cache,
+                                  const SweepBatchStats* batch) const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "{\"queue_depth\":" << queue_depth;
@@ -79,6 +80,7 @@ std::string ServeMetrics::to_json(std::size_t queue_depth,
        << masc::to_json(*cache).substr(1);  // splice the per-tier fields in
   else
     os << ",\"cache\":{\"enabled\":false}";
+  if (batch) os << ",\"batch\":" << masc::to_json(*batch);
   os << ",\"counters\":{";
   os << "\"submitted\":" << submitted_;
   os << ",\"rejected\":" << rejected_;
@@ -121,7 +123,8 @@ std::string ServeMetrics::to_json(std::size_t queue_depth,
 std::string ServeMetrics::to_prometheus(std::size_t queue_depth,
                                         std::size_t in_flight,
                                         std::size_t queue_capacity,
-                                        const TieredCacheStats* cache) const {
+                                        const TieredCacheStats* cache,
+                                        const SweepBatchStats* batch) const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   auto gauge = [&](const char* name, auto value, const char* help) {
@@ -141,6 +144,33 @@ std::string ServeMetrics::to_prometheus(std::size_t queue_depth,
   counter("masc_served_jobs_rejected_total", rejected_,
           "Jobs refused with queue_full");
   counter("masc_served_batches_total", batches_, "Sweep dispatches issued");
+  if (batch) {
+    // Lane batching (docs/PERF.md "Lane batching"): one flush = one
+    // lockstep dispatch of `occupancy` homogeneous jobs on one worker.
+    counter("masc_served_batch_flushes_total", batch->batch_flushes,
+            "Lane-batched lockstep dispatches");
+    counter("masc_served_batch_jobs_total", batch->batched_jobs,
+            "Jobs entered into a lane batch");
+    counter("masc_served_batch_replayed_jobs_total", batch->replayed_jobs,
+            "Lanes ejected to a serial replay (control divergence)");
+    counter("masc_served_batch_faulted_lanes_total", batch->faulted_lanes,
+            "Lanes masked out by a per-lane data fault");
+    // Occupancy as a cumulative histogram: internal bucket b counts
+    // flushes of [2^(b-1), 2^b) lanes, so its upper edge is 2^b - 1.
+    os << "# HELP masc_served_batch_occupancy Lanes per batch flush\n"
+       << "# TYPE masc_served_batch_occupancy histogram\n";
+    std::uint64_t bcum = 0;
+    const std::size_t nb = batch->occupancy.size();
+    for (std::size_t b = 0; b + 1 < nb; ++b) {
+      bcum += batch->occupancy[b];
+      os << "masc_served_batch_occupancy_bucket{le=\"" << ((1ULL << b) - 1)
+         << "\"} " << bcum << "\n";
+    }
+    bcum += batch->occupancy[nb - 1];
+    os << "masc_served_batch_occupancy_bucket{le=\"+Inf\"} " << bcum << "\n"
+       << "masc_served_batch_occupancy_count " << bcum << "\n"
+       << "masc_served_batch_occupancy_sum " << batch->batched_jobs << "\n";
+  }
   os << "# HELP masc_served_jobs_done_total Completed jobs by final status\n"
      << "# TYPE masc_served_jobs_done_total counter\n";
   const std::pair<const char*, std::uint64_t> done[] = {

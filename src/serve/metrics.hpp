@@ -39,18 +39,22 @@ class ServeMetrics {
   /// One JSON object. Queue depth and in-flight count are owned by the
   /// server (they are live state, not counters) and passed in, as is the
   /// result-cache snapshot (null when the cache is disabled — the
-  /// "cache" field then reports {"enabled":false}).
+  /// "cache" field then reports {"enabled":false}) and the runner's
+  /// lane-batching snapshot (null omits the "batch" field entirely).
   std::string to_json(std::size_t queue_depth, std::size_t in_flight,
                       std::size_t queue_capacity,
-                      const TieredCacheStats* cache = nullptr) const;
+                      const TieredCacheStats* cache = nullptr,
+                      const SweepBatchStats* batch = nullptr) const;
 
   /// The same counters in Prometheus text exposition format (served by
   /// {"op":"metrics_text"}; metric names documented in docs/SERVER.md).
   /// Counter names end in _total; the host-time histogram is exposed as
-  /// a cumulative masc_served_job_host_ms histogram.
+  /// a cumulative masc_served_job_host_ms histogram, and the
+  /// lane-batching occupancy as masc_served_batch_occupancy.
   std::string to_prometheus(std::size_t queue_depth, std::size_t in_flight,
                             std::size_t queue_capacity,
-                            const TieredCacheStats* cache = nullptr) const;
+                            const TieredCacheStats* cache = nullptr,
+                            const SweepBatchStats* batch = nullptr) const;
 
  private:
   mutable std::mutex mu_;

@@ -71,6 +71,10 @@ SweepJob job_from_json(const json::Value& v) {
   job.label = v.get_string("label", job.cfg.name());
   job.seed = v.get_uint("seed", 0);
   job.max_cycles = v.get_uint("max_cycles", job.max_cycles);
+  // Host-execution knob like "sim_threads": 0 inherits the server's
+  // --batch-lanes default, 1 forces serial; never part of cache keys.
+  job.batch_lanes =
+      static_cast<std::uint32_t>(v.get_uint("batch_lanes", job.batch_lanes));
   return job;
 }
 

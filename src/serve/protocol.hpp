@@ -38,8 +38,9 @@ MachineConfig config_from_json(const json::Value& v);
 Program program_from_json(const json::Value& v);
 
 /// Decode one job object: "config" (object), "program" (object),
-/// "label", "seed", "max_cycles". Deadline and cancellation are
-/// attached by the server (they need the submission timestamp).
+/// "label", "seed", "max_cycles", "batch_lanes". Deadline and
+/// cancellation are attached by the server (they need the submission
+/// timestamp).
 SweepJob job_from_json(const json::Value& v);
 
 }  // namespace masc::serve

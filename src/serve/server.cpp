@@ -70,6 +70,9 @@ Server::Server(ServerOptions opts)
     : opts_(opts),
       runner_(opts.workers),
       queue_(opts.queue_capacity) {
+  // Jobs that do not carry their own "batch_lanes" inherit the server
+  // default inside the runner (docs/PERF.md "Lane batching").
+  runner_.set_batch_lanes(opts_.batch_lanes);
   // A disk tier without a RAM tier in front makes no sense (every hit
   // would pay a decode); --cache-dir alone turns the cache on.
   if (opts_.cache_bytes == 0 && !opts_.cache_dir.empty())
@@ -801,9 +804,11 @@ std::string Server::stats_json() const {
     const std::lock_guard<std::mutex> lock(jobs_mu_);
     running = running_;
   }
-  if (!cache_) return metrics_.to_json(depth, running, opts_.queue_capacity);
+  const SweepBatchStats bs = runner_.batch_stats();
+  if (!cache_)
+    return metrics_.to_json(depth, running, opts_.queue_capacity, nullptr, &bs);
   const TieredCacheStats cs = cache_->stats();
-  return metrics_.to_json(depth, running, opts_.queue_capacity, &cs);
+  return metrics_.to_json(depth, running, opts_.queue_capacity, &cs, &bs);
 }
 
 std::string Server::metrics_text() const {
@@ -813,10 +818,12 @@ std::string Server::metrics_text() const {
     const std::lock_guard<std::mutex> lock(jobs_mu_);
     running = running_;
   }
+  const SweepBatchStats bs = runner_.batch_stats();
   if (!cache_)
-    return metrics_.to_prometheus(depth, running, opts_.queue_capacity);
+    return metrics_.to_prometheus(depth, running, opts_.queue_capacity, nullptr,
+                                  &bs);
   const TieredCacheStats cs = cache_->stats();
-  return metrics_.to_prometheus(depth, running, opts_.queue_capacity, &cs);
+  return metrics_.to_prometheus(depth, running, opts_.queue_capacity, &cs, &bs);
 }
 
 }  // namespace masc::serve

@@ -55,6 +55,13 @@ struct ServerOptions {
   /// job-level parallelism (workers) for intra-job parallelism on big
   /// configs; results and cache keys are identical either way.
   std::uint32_t sim_threads = 1;
+  /// SIMD-over-jobs lane width for jobs that do not request their own
+  /// "batch_lanes" (docs/PERF.md "Lane batching"). 1 = serial. Up to N
+  /// homogeneous queued jobs execute in lockstep on one worker; results
+  /// and cache keys are identical either way. Journaled servers run
+  /// jobs with checkpoint-on-stop, which excludes them from batching,
+  /// so this knob is inert when `journal_path` is set.
+  std::uint32_t batch_lanes = 1;
 
   // --- Result cache (docs/PERF.md "Result cache") -----------------------------
   /// Byte budget for the deterministic result cache; 0 disables it.

@@ -10,6 +10,7 @@
 
 #include "common/json.hpp"
 #include "fault/fault.hpp"
+#include "sim/lane_batch.hpp"
 #include "sim/machine.hpp"
 
 namespace masc {
@@ -65,7 +66,9 @@ void run_one_fabric(const SweepJob& job, std::size_t index, SweepResult& r) {
   r.fabric = f.stats();
 }
 
-SweepResult run_one(const SweepJob& job, std::size_t index) {
+}  // namespace
+
+SweepResult run_sweep_job(const SweepJob& job, std::size_t index) {
   SweepResult r;
   r.index = index;
   r.label = job.label;
@@ -140,6 +143,8 @@ SweepResult run_one(const SweepJob& job, std::size_t index) {
   return r;
 }
 
+namespace {
+
 /// True when a result is the complete, deterministic outcome of its
 /// cache key: the run went to its natural end (program completion or
 /// the cycle budget). Early stops (cancel/deadline) and errors depend
@@ -149,6 +154,17 @@ bool deterministic_outcome(const SweepResult& r) {
   return (r.status == SweepStatus::kFinished ||
           r.status == SweepStatus::kCycleLimit) &&
          r.error.empty();
+}
+
+/// Log2 bucket for the batch-occupancy histogram: 0 for 0, else
+/// bucket b covers [2^(b-1), 2^b), saturating at the last bucket.
+std::size_t occupancy_bucket(std::uint64_t v) {
+  std::size_t b = 0;
+  while (v > 0 && b < 16) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
 }
 
 }  // namespace
@@ -257,11 +273,31 @@ const char* to_string(SweepStatus s) {
   return "?status";
 }
 
+std::string to_json(const SweepBatchStats& s) {
+  std::ostringstream os;
+  os << "{\"batch_flushes\":" << s.batch_flushes;
+  os << ",\"batched_jobs\":" << s.batched_jobs;
+  os << ",\"replayed_jobs\":" << s.replayed_jobs;
+  os << ",\"faulted_lanes\":" << s.faulted_lanes;
+  os << ",\"occupancy_log2\":[";
+  for (std::size_t i = 0; i < s.occupancy.size(); ++i) {
+    if (i) os << ",";
+    os << s.occupancy[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
 SweepRunner::SweepRunner(unsigned workers) : workers_(workers) {
   if (workers_ == 0) {
     workers_ = std::thread::hardware_concurrency();
     if (workers_ == 0) workers_ = 1;
   }
+}
+
+SweepBatchStats SweepRunner::batch_stats() const {
+  const std::lock_guard<std::mutex> lock(batch_mu_);
+  return batch_stats_;
 }
 
 std::vector<SweepResult> SweepRunner::run(const std::vector<SweepJob>& jobs) const {
@@ -339,78 +375,161 @@ std::vector<SweepResult> SweepRunner::run(
     cache->insert(key, std::move(entry), bytes);
   };
 
+  // Factored leader completion: publish/insert results[leaders[k]],
+  // deliver it, and fan out (or rerun) its intra-sweep duplicates. The
+  // serial path and every lane of a batch end here identically — that
+  // is what makes batching invisible to the cache and the dedup logic.
+  auto finish_leader = [&](std::size_t k, bool flight_leader) {
+    const std::size_t i = leaders[k];
+    if (cache && flight_leader) {
+      // publish() inserts when cacheable and always wakes waiters;
+      // an uncacheable stop aborts the flight so waiters rerun alone.
+      if (deterministic_outcome(results[i]) && fault::active() == nullptr) {
+        auto entry = std::make_shared<CachedSweepRun>();
+        entry->status = results[i].status;
+        entry->stats = results[i].stats;
+        entry->fabric = results[i].fabric;
+        const std::size_t bytes = cached_run_bytes(*entry);
+        cache->publish(keys[k], std::move(entry), bytes);
+      } else {
+        cache->abort_flight(keys[k]);
+      }
+    } else if (cache) {
+      maybe_insert(keys[k], results[i]);
+    }
+    deliver(results[i]);
+    const bool adoptable = deterministic_outcome(results[i]);
+    for (const std::size_t j : dups[k]) {
+      if (adoptable) {
+        // Fan the leader's (deterministic, complete) result out to its
+        // twin. The copy costs nothing on the host, hence 0.0.
+        results[j] = materialize_cached(
+            CachedSweepRun{results[i].status, results[i].stats,
+                           results[i].fabric},
+            jobs[j], j, 0.0);
+      } else {
+        // The leader was stopped by *its own* cancel token, deadline,
+        // or an injected fault — none of which this twin shares. Run
+        // it for real, under its own tokens.
+        results[j] = run_sweep_job(jobs[j], j);
+        if (cache) maybe_insert(keys[k], results[j]);
+      }
+      deliver(results[j]);
+    }
+  };
+
+  // Single-flight join attempt for leader k: another runner sharing
+  // this cache may already be simulating this exact key. True when the
+  // flight was joined and the result delivered (nothing left to run);
+  // otherwise *flight_leader says whether this runner must publish (or
+  // abort) so the other runner's twins can adopt ours.
+  auto try_join_flight = [&](std::size_t k, bool* flight_leader) {
+    *flight_leader = false;
+    if (!cache) return false;
+    const std::size_t i = leaders[k];
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto v = cache->begin_flight(keys[k], flight_leader);
+    if (!v) return false;
+    results[i] = materialize_cached(
+        *v, jobs[i], i,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    deliver(results[i]);
+    for (const std::size_t j : dups[k]) {
+      results[j] = materialize_cached(*v, jobs[j], j, 0.0);
+      deliver(results[j]);
+    }
+    return true;
+  };
+
+  // Lane-batch formation (docs/PERF.md "Lane batching"): leaders whose
+  // jobs can run in lockstep — lane_batchable(), same lane_batch_key(),
+  // same effective width > 1 — are grouped into units of up to that
+  // width; everything else is a singleton unit, which is exactly the
+  // pre-batching serial path. Cache hits already peeled off in the
+  // pre-pass above, so only jobs that will actually simulate compete
+  // for lanes.
+  std::vector<std::vector<std::size_t>> units;
+  units.reserve(leaders.size());
+  {
+    std::unordered_map<Hash128, std::size_t, Hash128Hasher> group_of;
+    for (std::size_t k = 0; k < leaders.size(); ++k) {
+      const SweepJob& job = jobs[leaders[k]];
+      const std::uint32_t lanes =
+          job.batch_lanes != 0 ? job.batch_lanes : batch_lanes_;
+      if (lanes <= 1 || !lane_batchable(job)) {
+        units.push_back({k});
+        continue;
+      }
+      Fnv128 gh;
+      const Hash128 bk = lane_batch_key(job);
+      gh.u64(bk.hi).u64(bk.lo).u32(lanes);
+      const Hash128 gk = gh.digest();
+      auto it = group_of.find(gk);
+      if (it == group_of.end() || units[it->second].size() >= lanes) {
+        group_of[gk] = units.size();
+        units.emplace_back();
+        it = group_of.find(gk);
+      }
+      units[it->second].push_back(k);
+    }
+  }
+
   // Work-stealing-free shared counter: each worker claims the next
-  // unclaimed leader. Results land in their job's slot, so output order
+  // unclaimed unit. Results land in their job's slot, so output order
   // is submission order no matter which worker finishes when.
   std::atomic<std::size_t> next{0};
 
   auto worker_loop = [&] {
+    std::vector<LaneJob> lanes;
+    std::vector<std::size_t> lane_ks;
+    std::vector<std::uint8_t> lane_led;
     for (;;) {
-      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
-      if (k >= leaders.size()) return;
-      const std::size_t i = leaders[k];
-      // Single-flight: another runner sharing this cache may already be
-      // simulating this exact key. Join its flight instead of paying
-      // twice; otherwise claim leadership and publish (or abort) so
-      // *its* twins can adopt ours.
-      bool flight_leader = false;
-      if (cache) {
-        const auto t0 = std::chrono::steady_clock::now();
-        if (const auto v = cache->begin_flight(keys[k], &flight_leader)) {
-          results[i] = materialize_cached(
-              *v, jobs[i], i,
-              std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            t0)
-                  .count());
-          deliver(results[i]);
-          for (const std::size_t j : dups[k]) {
-            results[j] = materialize_cached(*v, jobs[j], j, 0.0);
-            deliver(results[j]);
-          }
-          continue;
-        }
+      const std::size_t u = next.fetch_add(1, std::memory_order_relaxed);
+      if (u >= units.size()) return;
+      const std::vector<std::size_t>& unit = units[u];
+
+      lanes.clear();
+      lane_ks.clear();
+      lane_led.clear();
+      for (const std::size_t k : unit) {
+        bool led = false;
+        if (try_join_flight(k, &led)) continue;
+        lanes.push_back({&jobs[leaders[k]], leaders[k]});
+        lane_ks.push_back(k);
+        lane_led.push_back(led ? 1 : 0);
       }
-      results[i] = run_one(jobs[i], i);
-      if (cache && flight_leader) {
-        // publish() inserts when cacheable and always wakes waiters;
-        // an uncacheable stop aborts the flight so waiters rerun alone.
-        if (deterministic_outcome(results[i]) && fault::active() == nullptr) {
-          auto entry = std::make_shared<CachedSweepRun>();
-          entry->status = results[i].status;
-          entry->stats = results[i].stats;
-          entry->fabric = results[i].fabric;
-          const std::size_t bytes = cached_run_bytes(*entry);
-          cache->publish(keys[k], std::move(entry), bytes);
-        } else {
-          cache->abort_flight(keys[k]);
-        }
-      } else if (cache) {
-        maybe_insert(keys[k], results[i]);
+      if (lanes.empty()) continue;
+
+      if (lanes.size() == 1) {
+        // Down to one lane (singleton unit, or flight joins peeled the
+        // rest): the serial path, unchanged.
+        const std::size_t k = lane_ks[0];
+        results[leaders[k]] = run_sweep_job(jobs[leaders[k]], leaders[k]);
+        finish_leader(k, lane_led[0] != 0);
+        continue;
       }
-      deliver(results[i]);
-      const bool adoptable = deterministic_outcome(results[i]);
-      for (const std::size_t j : dups[k]) {
-        if (adoptable) {
-          // Fan the leader's (deterministic, complete) result out to its
-          // twin. The copy costs nothing on the host, hence 0.0.
-          results[j] = materialize_cached(
-              CachedSweepRun{results[i].status, results[i].stats,
-                             results[i].fabric},
-              jobs[j], j, 0.0);
-        } else {
-          // The leader was stopped by *its own* cancel token, deadline,
-          // or an injected fault — none of which this twin shares. Run
-          // it for real, under its own tokens.
-          results[j] = run_one(jobs[j], j);
-          if (cache) maybe_insert(keys[k], results[j]);
-        }
-        deliver(results[j]);
+
+      LaneBatchReport rep;
+      std::vector<SweepResult> lane_results = run_lane_batch(lanes, &rep);
+      {
+        const std::lock_guard<std::mutex> lock(batch_mu_);
+        ++batch_stats_.batch_flushes;
+        batch_stats_.batched_jobs += rep.lanes;
+        batch_stats_.replayed_jobs += rep.replayed;
+        batch_stats_.faulted_lanes += rep.faulted;
+        ++batch_stats_.occupancy[occupancy_bucket(rep.lanes)];
+      }
+      for (std::size_t x = 0; x < lane_ks.size(); ++x) {
+        const std::size_t k = lane_ks[x];
+        results[leaders[k]] = std::move(lane_results[x]);
+        finish_leader(k, lane_led[x] != 0);
       }
     }
   };
 
   const unsigned n =
-      static_cast<unsigned>(std::min<std::size_t>(workers_, leaders.size()));
+      static_cast<unsigned>(std::min<std::size_t>(workers_, units.size()));
   if (n <= 1) {
     worker_loop();
     return results;

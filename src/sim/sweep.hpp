@@ -18,6 +18,7 @@
 // so determinism is unaffected for jobs that complete.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -85,6 +86,15 @@ struct SweepJob {
   /// masc-sweep sets `start + --deadline-ms` for the whole grid,
   /// masc-served sets `submit_time + deadline_ms` per job.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Lane-batching width for this job (docs/PERF.md "Lane batching"):
+  /// SweepRunner may run up to this many compatible jobs in lockstep on
+  /// one batched machine. 0 = inherit the runner's default
+  /// (SweepRunner::set_batch_lanes); 1 = always serial. Like
+  /// cfg.sim_threads, this is a host-execution knob with bit-identical
+  /// results, so it is deliberately EXCLUDED from sweep_cache_key() and
+  /// checkpoint identity.
+  std::uint32_t batch_lanes = 0;
 
   // --- Checkpoint/restore (docs/RELIABILITY.md) -------------------------------
   /// Resume point: a Machine::save_state() blob taken on the same
@@ -300,6 +310,29 @@ std::size_t cached_run_bytes(const CachedSweepRun& run);
 SweepResult materialize_cached(const CachedSweepRun& run, const SweepJob& job,
                                std::size_t index, double host_seconds);
 
+/// Run one job serially to completion: the single-lane execution path
+/// every other mode is defined against. The lane-batch engine uses it
+/// to replay ejected lanes (bit-identity by construction), and tests
+/// use it as the reference run.
+SweepResult run_sweep_job(const SweepJob& job, std::size_t index);
+
+/// Lane-batching counters accumulated by SweepRunner::run across calls
+/// (docs/PERF.md "Lane batching"); surfaced by masc-served as the
+/// `batch` section of /stats and the masc_served_batch_* Prometheus
+/// series. `occupancy` is a log2 histogram of lanes-per-flush: bucket 0
+/// counts flushes where no lane entered lockstep (engine refusal),
+/// bucket b counts flushes with occupancy in [2^(b-1), 2^b).
+/// lane_batch_test.cpp pins sizeof so a new field cannot be added
+/// without deciding how it aggregates and renders.
+struct SweepBatchStats {
+  std::uint64_t batch_flushes = 0;  ///< batches handed to run_lane_batch
+  std::uint64_t batched_jobs = 0;   ///< jobs that entered lockstep execution
+  std::uint64_t replayed_jobs = 0;  ///< lanes ejected to a serial replay
+  std::uint64_t faulted_lanes = 0;  ///< lanes stopped by per-lane data faults
+  std::array<std::uint64_t, 17> occupancy{};
+};
+std::string to_json(const SweepBatchStats& s);
+
 class SweepRunner {
  public:
   /// `workers` = 0 selects std::thread::hardware_concurrency().
@@ -315,6 +348,19 @@ class SweepRunner {
     cache_ = std::move(cache);
   }
   const std::shared_ptr<SweepResultCache>& cache() const { return cache_; }
+
+  /// Default lane-batching width for jobs that leave
+  /// SweepJob::batch_lanes at 0. With an effective width of N > 1,
+  /// run() groups cache-missing compatible jobs (same lane_batch_key,
+  /// lane_batchable) into lockstep batches of up to N lanes; 1 keeps
+  /// every job on the serial path. Results are bit-identical either way.
+  void set_batch_lanes(std::uint32_t lanes) {
+    batch_lanes_ = lanes == 0 ? 1 : lanes;
+  }
+  std::uint32_t batch_lanes() const { return batch_lanes_; }
+
+  /// Snapshot of the lane-batching counters accumulated so far.
+  SweepBatchStats batch_stats() const;
 
   /// Run every job to completion and return results ordered by job
   /// index. Blocking; jobs are pulled by workers from a shared queue, so
@@ -343,6 +389,9 @@ class SweepRunner {
  private:
   unsigned workers_;
   std::shared_ptr<SweepResultCache> cache_;
+  std::uint32_t batch_lanes_ = 1;
+  mutable std::mutex batch_mu_;  ///< guards batch_stats_ (run() is const)
+  mutable SweepBatchStats batch_stats_;
 };
 
 /// JSON object for one sweep result (config name + label + stats), used

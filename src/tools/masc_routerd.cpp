@@ -11,6 +11,10 @@
 //                          that doesn't set its own — fleet-wide intra-job
 //                          parallelism default (docs/THREADING.md);
 //                          results and cache keys are unchanged
+//     --batch-lanes N      inject "batch_lanes": N into each job that
+//                          doesn't set its own — fleet-wide SIMD-over-jobs
+//                          lane batching default (docs/PERF.md "Lane
+//                          batching"); results and cache keys are unchanged
 //     --no-peer-cache      disable tier-3 peer cache read-through: diverted
 //                          or re-placed submits go straight to simulation
 //                          instead of first asking the ring owner's cache
@@ -51,7 +55,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: masc-routerd --backend HOST:PORT [--backend ...]\n"
                "  [--port N] [--least-queued] [--sim-threads N] "
-               "[--no-peer-cache]\n  [--peer-timeout-ms N] "
+               "[--batch-lanes N]\n  [--no-peer-cache] [--peer-timeout-ms N] "
                "[--fail-threshold N] [--cooldown-ms N] [--probe-ms N]\n"
                "  [--connect-timeout-ms N] [--io-timeout-ms N] "
                "[--idle-timeout-ms N]\n  [--fault SPEC]\n");
@@ -81,6 +85,9 @@ int main(int argc, char** argv) {
         opts.affinity = false;
       else if (arg == "--sim-threads")
         opts.default_sim_threads =
+            static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+      else if (arg == "--batch-lanes")
+        opts.default_batch_lanes =
             static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
       else if (arg == "--no-peer-cache")
         opts.peer_read_through = false;

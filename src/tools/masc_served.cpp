@@ -6,6 +6,11 @@
 //     --sim-threads N     host threads simulating the PE array for jobs
 //                         that don't request their own "sim_threads"
 //                         (default 1; bit-identical — docs/THREADING.md)
+//     --batch-lanes N     run up to N homogeneous queued jobs in lockstep
+//                         on one worker for jobs that don't request their
+//                         own "batch_lanes" (default 1; bit-identical —
+//                         docs/PERF.md "Lane batching"; inert with
+//                         --journal, whose jobs checkpoint on stop)
 //     --queue N           job queue capacity                     (default 256)
 //     --batch N           max jobs coalesced per dispatch        (default 64)
 //     --max-cycles N      server-side cap on any job's cycle limit
@@ -54,7 +59,8 @@ void on_signal(int sig) { g_signal = sig; }
 int usage() {
   std::fprintf(stderr,
                "usage: masc-served [--port N] [--workers N] [--sim-threads N] "
-               "[--queue N] [--batch N]\n  [--max-cycles N] [--deadline-ms N] "
+               "[--batch-lanes N]\n  [--queue N] [--batch N] "
+               "[--max-cycles N] [--deadline-ms N] "
                "[--cache-bytes N] [--cache-shards N]\n  [--cache-dir PATH] "
                "[--cache-disk-bytes N] [--cache-segment-bytes N]\n"
                "  [--journal PATH] "
@@ -82,6 +88,9 @@ int main(int argc, char** argv) {
       opts.workers = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--sim-threads")
       opts.sim_threads =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--batch-lanes")
+      opts.batch_lanes =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--queue")
       opts.queue_capacity = std::strtoul(next(), nullptr, 0);

@@ -15,6 +15,10 @@
 //                      (default 1; bit-identical results, so use it to
 //                      trade job-level for intra-job parallelism on big
 //                      configs — see docs/THREADING.md)
+//     --batch-lanes N  run up to N homogeneous grid points in lockstep
+//                      on one worker, job-index innermost (default 1;
+//                      bit-identical results — docs/PERF.md "Lane
+//                      batching")
 //     --max-cycles N   per-job cycle limit              (default 100M)
 //     --deadline-ms N  wall-clock deadline for every job, measured from
 //                      sweep start; late jobs report deadline-exceeded
@@ -51,7 +55,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: masc-sweep prog.s|prog.mo|prog.ascal [--pes LIST] "
                "[--threads LIST]\n  [--width LIST] [--arity K] [--seeds N] "
-               "[--workers N] [--sim-threads N]\n  [--max-cycles N] "
+               "[--workers N] [--sim-threads N]\n  [--batch-lanes N] "
+               "[--max-cycles N] "
                "[--deadline-ms N] [--chips LIST] "
                "[--fabric-topology chain|tree]\n  [--link-latency N] "
                "[--link-width N] [--fabric-chunk N] [--table]\n");
@@ -90,6 +95,7 @@ int main(int argc, char** argv) {
   std::string input;
   std::vector<std::uint32_t> pes{16}, threads{16}, widths{16};
   std::uint32_t arity = 2, seeds = 1, workers = 0, sim_threads = 1;
+  std::uint32_t batch_lanes = 1;
   Cycle max_cycles = 100'000'000;
   std::uint64_t deadline_ms = 0;
   bool table = false;
@@ -109,6 +115,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seeds") seeds = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--workers") workers = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--sim-threads") sim_threads = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--batch-lanes") batch_lanes = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--max-cycles") max_cycles = std::strtoul(next(), nullptr, 0);
     else if (arg == "--deadline-ms") deadline_ms = std::strtoull(next(), nullptr, 0);
     else if (arg == "--chips") chip_counts = parse_list(next());
@@ -174,7 +181,8 @@ int main(int argc, char** argv) {
       for (auto& job : jobs) job.deadline = deadline;
     }
 
-    const SweepRunner runner(workers);
+    SweepRunner runner(workers);
+    runner.set_batch_lanes(batch_lanes);
     const auto results = runner.run(jobs);
 
     bool all_ok = true;

@@ -93,4 +93,22 @@ TEST(DocsLinks, CoreDocsExist) {
   }
 }
 
+// Sections other docs and the README link to by name. A heading rename
+// would leave those references dangling without breaking any file-level
+// link, so pin the ones the lane-batching docs depend on.
+TEST(DocsLinks, LaneBatchingSectionsPresent) {
+  const fs::path root{MASC_SOURCE_DIR};
+  const auto contains = [&](const char* rel, const std::string& needle) {
+    std::ifstream in(root / rel);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str().find(needle) != std::string::npos;
+  };
+  EXPECT_TRUE(contains("docs/PERF.md", "## Lane batching"));
+  EXPECT_TRUE(contains("docs/SIMULATOR.md", "### Lane batching"));
+  EXPECT_TRUE(contains("docs/SERVER.md", "`--batch-lanes N`"));
+  EXPECT_TRUE(contains("docs/CLUSTER.md", "`--batch-lanes N`"));
+  EXPECT_TRUE(contains("README.md", "`--batch-lanes N`"));
+}
+
 }  // namespace

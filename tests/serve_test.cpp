@@ -532,6 +532,67 @@ TEST(ServeServer, BatchingCoalescesQueuedJobsIntoOneDispatch) {
   server.stop();
 }
 
+/// --batch-lanes: jobs that pile up behind a gate are dispatched as
+/// lockstep lane batches, bit-identical to serial runs, and the batch
+/// counters surface in /stats JSON and Prometheus text.
+TEST(ServeServer, LaneBatchingDefaultAppliesAndIsObservable) {
+  ServerOptions opts = test_options();
+  opts.workers = 2;
+  opts.batch_max = 16;
+  opts.batch_lanes = 4;
+  Server server(opts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  JobSpec spin;
+  spin.source = kSpinForever;
+  spin.label = "gate";
+  const auto gate_id = submit_ok(c, {job_json(spin)})[0];
+  await_state(c, gate_id, "running");
+
+  // Six homogeneous jobs (same config/program, different seeds) queue up
+  // behind the gate, then drain as lane batches of 4 + 2.
+  std::vector<JobSpec> specs;
+  std::vector<std::string> quick;
+  for (int j = 0; j < 6; ++j) {
+    JobSpec s;
+    s.source = reduction_kernel(4);
+    s.label = "q" + std::to_string(j);
+    s.seed = static_cast<std::uint64_t>(j);
+    specs.push_back(s);
+    quick.push_back(job_json(s));
+  }
+  const auto ids = submit_ok(c, quick);
+  c.request("{\"op\":\"cancel\",\"id\":" + std::to_string(gate_id) + "}");
+  for (std::size_t j = 0; j < ids.size(); ++j) {
+    const std::string raw = c.request_raw(result_request(ids[j], true));
+    EXPECT_NE(raw.find("\"status\":\"finished\""), std::string::npos) << raw;
+    // Batched execution must be indistinguishable from a serial run.
+    EXPECT_NE(raw.find("\"stats\":" + serial_stats_json(specs[j])),
+              std::string::npos)
+        << raw;
+  }
+  c.request_raw(result_request(gate_id, true));
+
+  const json::Value stats = parse_json(server.stats_json());
+  const json::Value* batch = stats.find("batch");
+  ASSERT_NE(batch, nullptr) << server.stats_json();
+  EXPECT_EQ(batch->get_uint("batched_jobs", 0), 6u);
+  EXPECT_GE(batch->get_uint("batch_flushes", 0), 2u);
+  EXPECT_EQ(batch->get_uint("replayed_jobs", 99), 0u);
+  EXPECT_EQ(batch->get_uint("faulted_lanes", 99), 0u);
+  ASSERT_NE(batch->find("occupancy_log2"), nullptr);
+
+  const std::string prom = server.metrics_text();
+  EXPECT_NE(prom.find("masc_served_batch_flushes_total"), std::string::npos);
+  EXPECT_NE(prom.find("masc_served_batch_jobs_total 6"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("masc_served_batch_occupancy_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  server.stop();
+}
+
 TEST(ServeServer, MalformedRequestsGetErrorsNotDisconnects) {
   Server server(test_options());
   server.start();
