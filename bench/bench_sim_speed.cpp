@@ -406,6 +406,121 @@ void BM_CacheTier(benchmark::State& state) {
 BENCHMARK(BM_CacheTier)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
     ->Unit(benchmark::kMicrosecond)->UseRealTime();
 
+// Wire-level cache-hit serving rate (docs/NET.md "Benchmarks"): the
+// same warmed record fetched from an in-process serve::Server over
+// loopback TCP, range(0) selecting the protocol:
+//   0  v1 baseline — one blocking JSON cache_get round-trip per
+//      request, base64 payload decoded each time (the pre-v2 peer
+//      read-through unit of work);
+//   1  v2 — negotiated binary cache_get frames pipelined in 128-deep
+//      bursts with batched sends on both sides (Client::set_pipelining
+//      + the event loop's corked batch writes), the raw record bytes
+//      decoded from each response.
+// On this single-vCPU host v2's win is pure protocol: ~2 syscalls per
+// 128 requests instead of a blocking round-trip each, and zero
+// JSON/base64 on the hot path. Before timing, the v2 record is checked
+// byte-identical to the v1 payload — the bench refuses to measure a
+// path that serves different bytes. Acceptance: >= 10x requests/s.
+void BM_ServeHit(benchmark::State& state) {
+  const bool v2_pipelined = state.range(0) != 0;
+  MachineConfig cfg;
+  cfg.num_pes = 256;
+  cfg.num_threads = 16;
+  cfg.word_width = 16;
+  const std::string src = bench::mixed_asc_program(512);
+
+  serve::ServerOptions sopts;
+  sopts.port = 0;
+  sopts.workers = 1;
+  sopts.cache_bytes = 64u << 20;
+  serve::Server server(sopts);
+  server.start();
+  serve::Client c;
+  c.connect("127.0.0.1", server.port());
+  const std::string job_json =
+      "{\"config\":{\"pes\":256,\"threads\":16,\"width\":16},"
+      "\"program\":{\"source\":\"" + json_escape(src) + "\"}}";
+  const json::Value sub =
+      c.request("{\"op\":\"submit\",\"jobs\":[" + job_json + "]}");
+  const std::uint64_t id = sub.find("ids")->as_array()[0].as_uint();
+  const json::Value res = c.request(
+      "{\"op\":\"result\",\"id\":" + std::to_string(id) +
+      ",\"wait\":true,\"timeout_ms\":60000}");
+  if (!res.get_bool("ok", false)) {
+    std::fprintf(stderr, "BM_ServeHit: warm-up submit failed\n");
+    std::exit(1);
+  }
+  const Hash128 key = sweep_cache_key(serve::job_from_json(parse_json(job_json)));
+  const std::string key_hex = to_hex(key);
+
+  // Bit-identity gate: both protocols must serve the same record bytes.
+  const json::Value v1_hit =
+      c.request("{\"op\":\"cache_get\",\"key\":\"" + key_hex + "\"}");
+  const std::string v1_blob = base64_decode(v1_hit.get_string("payload", ""));
+  if (c.negotiate() != 2) {
+    std::fprintf(stderr, "BM_ServeHit: server refused v2\n");
+    std::exit(1);
+  }
+  std::string v2_blob;
+  if (!c.cache_get_v2(key, &v2_blob) || v2_blob != v1_blob ||
+      v1_blob.empty()) {
+    std::fprintf(stderr, "BM_ServeHit: v2 record NOT bit-identical to v1\n");
+    std::exit(1);
+  }
+
+  std::uint64_t total_requests = 0;
+  if (v2_pipelined) {
+    const std::string cache_get_body = std::string(
+        std::string_view(serve::v2::encode_cache_get_request(0, key))
+            .substr(serve::v2::kHeaderBytes));
+    constexpr std::size_t kWindow = 128;
+    std::size_t in_flight = 0;
+    std::string record;
+    // Batch the window's sends into one syscall (and let the server
+    // cork the matching responses) — the point of the pipelined path.
+    // Bursts, not one-in-one-out: recv_v2 flushes pending sends, so a
+    // steady-state top-up of 1 would degenerate to a send per request.
+    c.set_pipelining(true);
+    for (auto _ : state) {
+      if (in_flight == 0) {
+        while (in_flight < kWindow) {
+          c.send_v2(serve::v2::Op::kCacheGet, cache_get_body);
+          ++in_flight;
+        }
+      }
+      const serve::Client::V2Response r = c.recv_v2();
+      --in_flight;
+      if (!r.ok ||
+          !serve::v2::decode_cache_get_response(r.body, r.request_id,
+                                                &record)) {
+        std::fprintf(stderr, "BM_ServeHit: pipelined hit went missing\n");
+        std::exit(1);
+      }
+      benchmark::DoNotOptimize(record.data());
+      ++total_requests;
+    }
+    while (in_flight--) benchmark::DoNotOptimize(c.recv_v2().ok);
+  } else {
+    const std::string req = "{\"op\":\"cache_get\",\"key\":\"" + key_hex + "\"}";
+    for (auto _ : state) {
+      const json::Value resp = c.request(req);
+      CachedSweepRun run;
+      if (!resp.get_bool("found", false) ||
+          !decode_cached_run(base64_decode(resp.get_string("payload", "")),
+                             run)) {
+        std::fprintf(stderr, "BM_ServeHit: v1 hit went missing\n");
+        std::exit(1);
+      }
+      benchmark::DoNotOptimize(run.stats.cycles);
+      ++total_requests;
+    }
+  }
+  state.counters["requests/s"] = benchmark::Counter(
+      static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeHit)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
 // Multi-chip fabric host cost (docs/MULTICHIP.md): K chips in cycle-
 // lockstep, each looping {local tree reduction -> inter-chip allreduce-
 // SUM -> spin on ACK}. Args are chips/pes/sim_threads. Like BM_CycleSimMT,

@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "common/base64.hpp"
+#include "common/hash.hpp"
 #include "fault/fault.hpp"
 #include "serve/framing.hpp"
 #include "sim/sweep.hpp"
@@ -22,6 +23,7 @@ namespace masc::cluster {
 using serve::Client;
 using serve::PooledClient;
 using serve::ServeError;
+namespace v2 = serve::v2;
 
 namespace {
 
@@ -180,6 +182,20 @@ void Router::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
 
+  net::LoopConfig loop_cfg;
+  loop_cfg.idle_timeout_ms = opts_.idle_timeout_ms;
+  loop_cfg.io_timeout_ms = 0;  // client-face frames are never throttled
+  loop_cfg.max_frame_bytes = serve::kMaxFrameBytes;
+  loop_cfg.on_frame = [this](net::Conn& c, std::string&& payload) {
+    on_frame(c, std::move(payload));
+  };
+  loops_ = std::make_unique<net::LoopGroup>(
+      opts_.io_threads ? opts_.io_threads : 1, loop_cfg);
+  loops_->start();
+  handlers_ = std::make_unique<net::TaskPool>(
+      opts_.handler_threads ? opts_.handler_threads : 4);
+  handlers_->start();
+
   accept_thread_ = std::thread([this] { accept_loop(); });
   if (opts_.probe_interval_ms > 0) health_.start(opts_.probe_interval_ms);
 }
@@ -197,13 +213,11 @@ void Router::stop() {
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
 
-  {
-    const std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (auto& s : sessions_)
-      if (s->fd >= 0) ::shutdown(s->fd, SHUT_RDWR);
-  }
-  for (auto& s : sessions_)
-    if (s->thread.joinable()) s->thread.join();
+  // Drain in dependency order: handler tasks (which see stopping_ and
+  // finish fast) may still post responses, so the loops stop after the
+  // pool — their teardown flushes the last posted deliveries.
+  if (handlers_) handlers_->stop();
+  if (loops_) loops_->stop();
 
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -223,39 +237,163 @@ void Router::accept_loop() {
       return;
     }
     serve::set_nodelay(fd);
-    auto session = std::make_unique<Session>();
-    session->fd = fd;
-    Session* raw = session.get();
-    {
-      const std::lock_guard<std::mutex> lock(sessions_mu_);
-      sessions_.push_back(std::move(session));
+    loops_->next().adopt(fd);
+  }
+}
+
+Router::ConnState& Router::conn_state(net::Conn& c) {
+  if (!c.ctx) c.ctx = std::make_shared<ConnState>();
+  return *static_cast<ConnState*>(c.ctx.get());
+}
+
+void Router::send_v1(net::Conn& c, std::uint64_t slot, std::string&& resp) {
+  ConnState& st = conn_state(c);
+  for (auto& [s, r] : st.v1_q)
+    if (s == slot) {
+      r = std::move(resp);
+      break;
     }
-    raw->thread = std::thread([this, raw] { session_loop(raw); });
+  while (!st.v1_q.empty() && st.v1_q.front().second) {
+    c.send_frame(*st.v1_q.front().second);
+    st.v1_q.pop_front();
+    if (c.closing()) return;
   }
 }
 
-void Router::session_loop(Session* s) {
-  std::string payload;
-  try {
-    while (serve::read_frame(s->fd, payload, opts_.idle_timeout_ms, 0))
-      serve::write_frame(s->fd, handle_request(payload));
-  } catch (const std::exception&) {
-    // Idle reap or transport failure: the routing state is untouched, a
-    // client can reconnect and resume by router job id.
-  }
-  const std::lock_guard<std::mutex> lock(sessions_mu_);
-  ::close(s->fd);
-  s->fd = -1;
+void Router::dispatch(net::Conn& c, Pending p, std::string&& payload,
+                      const char* forced_op) {
+  net::EventLoop* loop = &c.loop();
+  const std::uint64_t conn_id = c.id();
+  handlers_->submit([this, loop, conn_id, p, forced_op,
+                     req = std::move(payload)]() mutable {
+    // Handler thread: free to block on backend round-trips. The
+    // response is rendered to its final outgoing payload here, then
+    // posted to the owning loop, which only looks up the conn (it may
+    // have died meanwhile) and writes.
+    std::string out;
+    bool drop = false;
+    try {
+      std::string resp = handle_request(req, forced_op);
+      if (!p.v2) {
+        out = std::move(resp);
+      } else if (p.v2_op == v2::Op::kCacheGet && !v2::is_error_body(resp)) {
+        // Re-encode the backend's JSON answer as the binary v2 body.
+        try {
+          const json::Value r = parse_json(resp);
+          if (r.get_bool("found", false))
+            out = v2::encode_cache_get_hit(
+                p.v2_id, base64_decode(r.get_string("payload", "")));
+          else
+            out = v2::encode_cache_get_miss(p.v2_id);
+        } catch (const std::exception& e) {
+          out = v2::encode(p.v2_op, v2::Kind::kError, p.v2_id,
+                           error_json("bad_gateway", e.what()));
+        }
+      } else {
+        out = v2::encode(p.v2_op,
+                         v2::is_error_body(resp) ? v2::Kind::kError
+                                                 : v2::Kind::kOk,
+                         p.v2_id, resp);
+      }
+    } catch (const std::exception&) {
+      // ServeError out of handle_request means the stream is not to be
+      // trusted (matching the server): drop the connection.
+      drop = true;
+    }
+    loop->post([this, loop, conn_id, p, drop, out = std::move(out)]() mutable {
+      net::Conn* c = loop->find(conn_id);
+      if (!c) return;  // client hung up while we worked
+      if (drop) {
+        c->close();
+        return;
+      }
+      if (p.v2)
+        c->send_frame(out);
+      else
+        send_v1(*c, p.v1_slot, std::move(out));
+    });
+  });
 }
 
-std::string Router::handle_request(const std::string& payload) {
+void Router::on_frame(net::Conn& c, std::string&& payload) {
+  if (v2::is_v2(payload)) {
+    handle_v2_frame(c, payload);
+    return;
+  }
+  ConnState& st = conn_state(c);
+  Pending p;
+  p.v1_slot = st.next_slot++;
+  st.v1_q.emplace_back(p.v1_slot, std::nullopt);
+  dispatch(c, p, std::move(payload), nullptr);
+}
+
+void Router::handle_v2_frame(net::Conn& c, const std::string& payload) {
+  v2::Frame f;
   try {
-    const json::Value req = parse_json(payload);
-    const std::string op = req.get_string("op", "");
+    f = v2::decode(payload);
+  } catch (const v2::V2Error& e) {
+    if (e.fatal()) {
+      c.close();  // header garbage: the stream can't be trusted
+      return;
+    }
+    const std::uint8_t op_byte =
+        payload.size() > 2 ? static_cast<std::uint8_t>(payload[2]) : 0;
+    c.send_frame(v2::encode(static_cast<v2::Op>(op_byte), v2::Kind::kError,
+                            e.request_id(),
+                            error_json(e.code(), e.what())));
+    return;
+  }
+  if (f.kind != v2::Kind::kRequest) {
+    c.send_frame(v2::encode(f.op, v2::Kind::kError, f.request_id,
+                            error_json("bad_frame",
+                                       "expected a request frame")));
+    return;
+  }
+  Pending p;
+  p.v2 = true;
+  p.v2_id = f.request_id;
+  p.v2_op = f.op;
+  if (f.op == v2::Op::kCacheGet) {
+    // Binary in, binary out on the client face; the fleet lookup
+    // itself is the same JSON forward handle_cache_get always does.
+    try {
+      const Hash128 key = v2::decode_cache_get_key(f.body, f.request_id);
+      dispatch(c, p,
+               "{\"op\":\"cache_get\",\"key\":\"" + to_hex(key) + "\"}",
+               "cache_get");
+    } catch (const v2::V2Error& e) {
+      c.send_frame(v2::encode(f.op, v2::Kind::kError, e.request_id(),
+                              error_json(e.code(), e.what())));
+    }
+    return;
+  }
+  const char* forced_op = f.op == v2::Op::kSubmit   ? "submit"
+                          : f.op == v2::Op::kResult ? "result"
+                                                    : "stats";
+  dispatch(c, p, std::string(f.body), forced_op);
+}
+
+std::string Router::handle_request(const std::string& payload,
+                                   const char* forced_op) {
+  try {
+    const json::Value req = parse_json(payload.empty() ? "{}" : payload);
+    const std::string op = forced_op ? forced_op : req.get_string("op", "");
     if (op == "ping") return "{\"ok\":true,\"type\":\"pong\"}";
+    if (op == "hello") {
+      // Same negotiation contract as the server (docs/NET.md): the
+      // router speaks v2 on its client face regardless of what its
+      // backends speak — v2 frames are translated per-op.
+      unsigned best = 1;
+      if (const json::Value* v = req.find("versions"); v && v->is_array())
+        for (const auto& e : v->as_array())
+          if (e.is_number() && e.as_uint() == 2) best = 2;
+      return "{\"ok\":true,\"type\":\"hello\",\"version\":" +
+             std::to_string(best) + ",\"versions\":[1,2]}";
+    }
     if (op == "submit") return handle_submit(req);
     if (op == "status") return handle_status(req);
     if (op == "result") return handle_result(req);
+    if (op == "cache_get") return handle_cache_get(req);
     if (op == "cancel" || op == "extend")
       return handle_forwarded_by_id(req, op);
     if (op == "stats")
@@ -275,7 +413,8 @@ std::string Router::handle_request(const std::string& payload) {
   }
 }
 
-json::Value Router::backend_request(std::size_t b, const std::string& payload) {
+json::Value Router::backend_request(std::size_t b, const std::string& payload,
+                                    std::optional<v2::Op> hot) {
   const BackendSpec& be = opts_.backends[b];
   if (!health_.allow(b))
     throw ServeError("breaker open for backend " + be.name());
@@ -285,7 +424,12 @@ json::Value Router::backend_request(std::size_t b, const std::string& payload) {
     PooledClient lease(pool_, be.host, be.port);
     json::Value resp;
     try {
-      resp = lease->request(payload);
+      // Hot ops ride protocol v2 against a v2-capable backend: one
+      // hello per pooled connection, then the same JSON in a binary
+      // envelope (responses are bit-identical by construction).
+      if (hot && !lease->negotiated()) lease->negotiate();
+      resp = hot && lease->protocol() >= 2 ? lease->request_v2(*hot, payload)
+                                           : lease->request(payload);
     } catch (...) {
       lease.discard();
       throw;
@@ -324,14 +468,42 @@ std::optional<std::vector<std::string>> Router::peer_cache_fetch(
     c.set_io_timeout_ms(budget);
     std::vector<std::string> blobs;
     blobs.reserve(keys.size());
-    for (const Hash128& k : keys) {
-      const json::Value resp = c.request(
-          "{\"op\":\"cache_get\",\"key\":\"" + to_hex(k) + "\"}");
-      if (!resp.get_bool("ok", false) || !resp.get_bool("found", false)) {
-        miss = true;  // a single absent key abandons the whole round:
-        break;        // a partial serve would still cost a submission
+    if (c.negotiate() >= 2) {
+      // v2 peer: pipeline every binary cache_get before reading the
+      // first response — the whole round costs one RTT and zero
+      // base64/JSON, which is what keeps peer_timeout_ms honest for
+      // large groups (docs/NET.md "Pipelining").
+      std::vector<std::uint32_t> ids;
+      ids.reserve(keys.size());
+      for (const Hash128& k : keys)
+        ids.push_back(c.send_v2(
+            v2::Op::kCacheGet,
+            std::string_view(v2::encode_cache_get_request(0, k))
+                .substr(v2::kHeaderBytes)));
+      std::map<std::uint32_t, Client::V2Response> got;
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        Client::V2Response r = c.recv_v2();
+        got.emplace(r.request_id, std::move(r));
       }
-      blobs.push_back(base64_decode(resp.get_string("payload", "")));
+      for (std::size_t i = 0; i < keys.size() && !miss; ++i) {
+        const auto it = got.find(ids[i]);
+        std::string rec;
+        if (it == got.end() || !it->second.ok ||
+            !v2::decode_cache_get_response(it->second.body, ids[i], &rec))
+          miss = true;  // a single absent key abandons the whole round
+        else
+          blobs.push_back(std::move(rec));
+      }
+    } else {
+      for (const Hash128& k : keys) {
+        const json::Value resp = c.request(
+            "{\"op\":\"cache_get\",\"key\":\"" + to_hex(k) + "\"}");
+        if (!resp.get_bool("ok", false) || !resp.get_bool("found", false)) {
+          miss = true;  // a single absent key abandons the whole round:
+          break;        // a partial serve would still cost a submission
+        }
+        blobs.push_back(base64_decode(resp.get_string("payload", "")));
+      }
     }
     if (!miss) return blobs;
   } catch (const std::exception&) {
@@ -573,7 +745,7 @@ std::string Router::handle_submit(const json::Value& req) {
     }
     json::Value resp;
     try {
-      resp = backend_request(b, payload);
+      resp = backend_request(b, payload, v2::Op::kSubmit);
     } catch (const ServeError& e) {
       last_error = e.what();
       continue;
@@ -760,7 +932,7 @@ bool Router::place_group(std::size_t group_idx, std::size_t exclude) {
   for (const std::size_t b : placement(key, exclude)) {
     json::Value resp;
     try {
-      resp = backend_request(b, payload);
+      resp = backend_request(b, payload, v2::Op::kSubmit);
     } catch (const ServeError&) {
       continue;
     }
@@ -942,7 +1114,7 @@ std::string Router::handle_result(const json::Value& req) {
     ps << "}";
     json::Value resp;
     try {
-      resp = backend_request(b, ps.str());
+      resp = backend_request(b, ps.str(), v2::Op::kResult);
     } catch (const ServeError& e) {
       // Transport failure: the breaker heard about it; if it opened,
       // fail_over already re-landed the group on this thread. Re-read
@@ -1057,6 +1229,32 @@ std::string Router::handle_status(const json::Value& req) {
   return json::serialize(resp);
 }
 
+std::string Router::handle_cache_get(const json::Value& req) {
+  // Fleet cache lookup: the key IS the content hash affinity routes
+  // by, so under affinity the first candidate is exactly the backend
+  // whose cache would hold it. Scan the remaining alive backends only
+  // on a miss (bounded by fleet size; a cache probe is cheap).
+  const std::string key_hex = req.get_string("key", "");
+  Hash128 key;
+  if (!hash128_from_hex(key_hex, key))
+    return error_json("bad_request", "\"key\" must be 32 hex chars");
+  std::string last = error_json("unavailable", "no alive backend");
+  for (const std::size_t b : placement(key)) {
+    json::Value resp;
+    try {
+      resp = backend_request(
+          b, "{\"op\":\"cache_get\",\"key\":\"" + key_hex + "\"}");
+    } catch (const ServeError&) {
+      continue;
+    }
+    if (resp.get_bool("ok", false) && resp.get_bool("found", false))
+      return json::serialize(resp);
+    if (resp.get_bool("ok", false))
+      last = json::serialize(resp);  // a definite miss from a live cache
+  }
+  return last;
+}
+
 std::string Router::handle_forwarded_by_id(const json::Value& req,
                                            const std::string& op) {
   const std::uint64_t rid = require_id(req);
@@ -1163,7 +1361,8 @@ std::string Router::stats_json() {
       continue;
     }
     try {
-      const json::Value resp = backend_request(i, "{\"op\":\"stats\"}");
+      const json::Value resp =
+          backend_request(i, "{\"op\":\"stats\"}", v2::Op::kStats);
       const json::Value* stats = resp.find("stats");
       if (resp.get_bool("ok", false) && stats) {
         os << ",\"up\":true,\"stats\":" << json::serialize(*stats);

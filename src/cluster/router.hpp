@@ -35,6 +35,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -46,8 +47,11 @@
 
 #include "cluster/health.hpp"
 #include "cluster/ring.hpp"
+#include "net/event_loop.hpp"
+#include "net/task_pool.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "serve/protocol_v2.hpp"
 
 namespace masc::cluster {
 
@@ -101,6 +105,15 @@ struct RouterOptions {
   /// cache round. Tight by design: a slow peer must cost less than the
   /// simulation it might save.
   std::uint64_t peer_timeout_ms = 250;
+  /// Event-loop threads multiplexing client sessions (docs/NET.md);
+  /// 0 = 1. Loops only parse frames and write responses — request
+  /// handling (which blocks on backend round-trips) runs on the
+  /// handler pool below.
+  unsigned io_threads = 2;
+  /// Handler-pool threads executing requests against backends; bounds
+  /// how many client requests (notably blocking result-waits) are in
+  /// flight at once. 0 = 4.
+  unsigned handler_threads = 8;
 };
 
 class Router {
@@ -171,18 +184,42 @@ class Router {
     bool ready = false;
   };
 
-  struct Session {
-    int fd = -1;
-    std::thread thread;
+  /// Per-connection protocol state, attached to net::Conn::ctx — same
+  /// contract as the server's: v1 responses leave strictly in request
+  /// order (slots), v2 responses as they complete, matched by id.
+  struct ConnState {
+    std::deque<std::pair<std::uint64_t, std::optional<std::string>>> v1_q;
+    std::uint64_t next_slot = 1;
+  };
+
+  /// How one in-flight request's response must be delivered.
+  struct Pending {
+    bool v2 = false;
+    std::uint32_t v2_id = 0;         ///< v2: request id to echo
+    serve::v2::Op v2_op = serve::v2::Op::kSubmit;
+    std::uint64_t v1_slot = 0;       ///< v1: ordered-response slot
   };
 
   void accept_loop();
-  void session_loop(Session* s);
-  std::string handle_request(const std::string& payload);
+
+  // Event-loop entry points (loop thread).
+  void on_frame(net::Conn& c, std::string&& payload);
+  void handle_v2_frame(net::Conn& c, const std::string& payload);
+  static ConnState& conn_state(net::Conn& c);
+  /// Fill `slot` and flush every in-order response now available.
+  void send_v1(net::Conn& c, std::uint64_t slot, std::string&& resp);
+  /// Run `payload` on the handler pool; post the response back to the
+  /// connection's loop for delivery per `p`.
+  void dispatch(net::Conn& c, Pending p, std::string&& payload,
+                const char* forced_op);
+
+  std::string handle_request(const std::string& payload,
+                             const char* forced_op = nullptr);
 
   std::string handle_submit(const json::Value& req);
   std::string handle_status(const json::Value& req);
   std::string handle_result(const json::Value& req);
+  std::string handle_cache_get(const json::Value& req);
   std::string handle_forwarded_by_id(const json::Value& req,
                                      const std::string& op);
 
@@ -190,8 +227,11 @@ class Router {
   /// gated by its breaker and observed by it. Throws ServeError when
   /// the breaker refuses or the transport fails (after reporting the
   /// failure). This is the fault-injection hook site for
-  /// FaultPlan::backend_fail.
-  json::Value backend_request(std::size_t b, const std::string& payload);
+  /// FaultPlan::backend_fail. When `hot` names a protocol-v2 op, the
+  /// connection is hello-negotiated once and the request rides a v2
+  /// frame against a v2-capable backend (same JSON in, same JSON out).
+  json::Value backend_request(std::size_t b, const std::string& payload,
+                              std::optional<serve::v2::Op> hot = std::nullopt);
 
   /// Candidate backends for (re)placing `key`, best first: ring order
   /// under affinity, ascending outstanding-jobs otherwise; only alive
@@ -275,8 +315,10 @@ class Router {
   std::uint64_t peer_errors_ = 0;      ///< rounds abandoned on transport or
                                        ///< decode failure
 
-  std::mutex sessions_mu_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  /// `io_threads` epoll loops; every client session lives on exactly
+  /// one. Blocking work never runs on a loop — it runs on handlers_.
+  std::unique_ptr<net::LoopGroup> loops_;
+  std::unique_ptr<net::TaskPool> handlers_;
   std::thread accept_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};

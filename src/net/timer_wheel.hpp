@@ -1,0 +1,114 @@
+// Hashed timer wheel for the event loop (docs/NET.md "Timers").
+//
+// The serve path needs many cheap coarse timers — one idle timer and
+// one I/O-progress timer per connection, plus result-wait deadlines —
+// all in the hundreds-of-milliseconds range. A wheel gives O(1) add and
+// cancel with no per-timer heap churn: slot = (deadline / tick) % slots,
+// and advance() only scans the slots the clock actually crossed.
+//
+// Single-threaded by design: a wheel belongs to exactly one EventLoop
+// and is only touched from that loop's thread. Timers that must be
+// armed or cancelled from another thread go through EventLoop::post().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace masc::net {
+
+using TimerId = std::uint64_t;
+
+class TimerWheel {
+ public:
+  /// Granularity of one wheel tick. Deadlines round up to the next tick
+  /// boundary, so a timer can fire up to kTickMs late — fine for the
+  /// ms-scale idle/io budgets this wheel exists for.
+  static constexpr std::uint64_t kTickMs = 8;
+  static constexpr std::size_t kSlots = 256;
+
+  /// Arm a timer `delay_ms` from `now_ms`. The callback runs inside a
+  /// later advance() whose `now_ms` has reached the deadline. Returns a
+  /// handle for cancel(); ids are never reused.
+  TimerId add(std::uint64_t now_ms, std::uint64_t delay_ms,
+              std::function<void()> cb) {
+    const TimerId id = next_id_++;
+    const std::uint64_t deadline = now_ms + delay_ms;
+    // Place by the tick that STARTS at or after the deadline (round up):
+    // when advance() crosses tick T it holds now >= T*kTickMs >= deadline,
+    // so the entry is guaranteed due at its first slot visit. Floor
+    // placement would visit the slot up to kTickMs-1 before the deadline,
+    // skip the not-yet-due entry, and not return for a full lap
+    // (kSlots * kTickMs ≈ 2s). A deadline inside an already-scanned tick
+    // moves to the next tick advance() will cross.
+    std::uint64_t tick = (deadline + kTickMs - 1) / kTickMs;
+    if (primed_ && tick <= last_tick_) tick = last_tick_ + 1;
+    const std::size_t slot = static_cast<std::size_t>(tick) % kSlots;
+    slots_[slot].push_back(Entry{id, deadline, std::move(cb)});
+    index_.emplace(id, std::make_pair(slot, std::prev(slots_[slot].end())));
+    return id;
+  }
+
+  /// Disarm. Safe to call with an id that already fired or was already
+  /// cancelled (no-op) — callers routinely cancel stale handles.
+  void cancel(TimerId id) {
+    auto it = index_.find(id);
+    if (it == index_.end()) return;
+    slots_[it->second.first].erase(it->second.second);
+    index_.erase(it);
+  }
+
+  /// Fire every timer whose deadline is <= now_ms. Callbacks may add or
+  /// cancel other timers freely; a callback cancelling a not-yet-fired
+  /// due timer suppresses it. Returns the epoll timeout hint in ms:
+  /// kTickMs while any timer is armed, kNoTimer when the wheel is empty.
+  static constexpr std::uint64_t kNoTimer = UINT64_MAX;
+  std::uint64_t advance(std::uint64_t now_ms) {
+    const std::uint64_t cur_tick = now_ms / kTickMs;
+    if (!primed_) {
+      last_tick_ = cur_tick == 0 ? 0 : cur_tick - 1;
+      primed_ = true;
+    }
+    std::uint64_t steps = cur_tick - last_tick_;
+    if (steps > kSlots) steps = kSlots;  // a full lap visits every slot once
+    for (std::uint64_t s = 1; s <= steps; ++s) {
+      auto& slot = slots_[static_cast<std::size_t>(last_tick_ + s) % kSlots];
+      // Collect due ids first: callbacks may mutate this very slot.
+      std::vector<TimerId> due;
+      for (const Entry& e : slot)
+        if (e.deadline <= now_ms) due.push_back(e.id);
+      for (TimerId id : due) {
+        auto it = index_.find(id);
+        if (it == index_.end()) continue;  // cancelled by an earlier cb
+        std::function<void()> cb = std::move(it->second.second->cb);
+        slots_[it->second.first].erase(it->second.second);
+        index_.erase(it);
+        cb();
+      }
+    }
+    last_tick_ = cur_tick;
+    return index_.empty() ? kNoTimer : kTickMs;
+  }
+
+  std::size_t armed() const { return index_.size(); }
+
+ private:
+  struct Entry {
+    TimerId id;
+    std::uint64_t deadline;
+    std::function<void()> cb;
+  };
+
+  std::vector<std::list<Entry>> slots_ = std::vector<std::list<Entry>>(kSlots);
+  std::unordered_map<TimerId,
+                     std::pair<std::size_t, std::list<Entry>::iterator>>
+      index_;
+  TimerId next_id_ = 1;
+  std::uint64_t last_tick_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace masc::net

@@ -15,6 +15,8 @@
 #include <thread>
 #include <utility>
 
+#include "fault/fault.hpp"
+
 namespace masc::serve {
 
 namespace {
@@ -63,6 +65,13 @@ Client::Client(Client&& other) noexcept
       port_(other.port_),
       connect_timeout_ms_(other.connect_timeout_ms_),
       io_timeout_ms_(other.io_timeout_ms_),
+      protocol_(other.protocol_),
+      negotiated_(other.negotiated_),
+      pipelining_(other.pipelining_),
+      next_request_id_(other.next_request_id_),
+      obuf_(std::move(other.obuf_)),
+      rbuf_(std::move(other.rbuf_)),
+      rpos_(other.rpos_),
       retry_rng_(other.retry_rng_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
@@ -73,6 +82,13 @@ Client& Client::operator=(Client&& other) noexcept {
     port_ = other.port_;
     connect_timeout_ms_ = other.connect_timeout_ms_;
     io_timeout_ms_ = other.io_timeout_ms_;
+    protocol_ = other.protocol_;
+    negotiated_ = other.negotiated_;
+    pipelining_ = other.pipelining_;
+    next_request_id_ = other.next_request_id_;
+    obuf_ = std::move(other.obuf_);
+    rbuf_ = std::move(other.rbuf_);
+    rpos_ = other.rpos_;
     retry_rng_ = other.retry_rng_;
   }
   return *this;
@@ -155,19 +171,170 @@ void Client::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  // A fresh connection starts at v1 until hello says otherwise.
+  protocol_ = 1;
+  negotiated_ = false;
+  next_request_id_ = 1;
+  obuf_.clear();
+  rbuf_.clear();
+  rpos_ = 0;
+}
+
+bool Client::fill_rbuf() {
+  if (io_timeout_ms_ != 0) {
+    pollfd p{};
+    p.fd = fd_;
+    p.events = POLLIN;
+    int rc;
+    do {
+      rc = ::poll(&p, 1, static_cast<int>(io_timeout_ms_));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0)
+      throw ServeTimeout("recv: timed out after " +
+                         std::to_string(io_timeout_ms_) + " ms");
+    if (rc < 0) throw ServeError(std::string("poll: ") + std::strerror(errno));
+  }
+  constexpr std::size_t kChunk = 128u << 10;
+  const std::size_t old = rbuf_.size();
+  rbuf_.resize(old + kChunk);
+  ssize_t n;
+  do {
+    n = ::recv(fd_, rbuf_.data() + old, kChunk, 0);
+  } while (n < 0 && errno == EINTR);
+  rbuf_.resize(old + (n > 0 ? static_cast<std::size_t>(n) : 0));
+  if (n == 0) return false;  // peer closed
+  if (n < 0) throw ServeError(std::string("recv: ") + std::strerror(errno));
+  return true;
+}
+
+bool Client::read_frame_buffered(std::string& payload) {
+  const auto have = [&] { return rbuf_.size() - rpos_; };
+  while (have() < 4) {
+    if (!fill_rbuf()) {
+      if (have() == 0) return false;  // clean close between frames
+      throw ServeError("truncated frame header");
+    }
+  }
+  const auto* h = reinterpret_cast<const unsigned char*>(rbuf_.data() + rpos_);
+  const std::size_t len = (static_cast<std::size_t>(h[0]) << 24) |
+                          (static_cast<std::size_t>(h[1]) << 16) |
+                          (static_cast<std::size_t>(h[2]) << 8) |
+                          static_cast<std::size_t>(h[3]);
+  if (len > kMaxFrameBytes)
+    throw ServeError("frame exceeds " + std::to_string(kMaxFrameBytes) +
+                     " bytes");
+  while (have() < 4 + len) {
+    if (!fill_rbuf()) throw ServeError("truncated frame payload");
+  }
+  payload.assign(rbuf_, rpos_ + 4, len);
+  rpos_ += 4 + len;
+  // Compact once everything buffered has been consumed (the common
+  // case) or when the dead prefix gets large.
+  if (rpos_ == rbuf_.size()) {
+    rbuf_.clear();
+    rpos_ = 0;
+  } else if (rpos_ > (1u << 20)) {
+    rbuf_.erase(0, rpos_);
+    rpos_ = 0;
+  }
+  return true;
 }
 
 std::string Client::request_raw(const std::string& payload) {
   if (fd_ < 0) throw ServeError("client not connected");
+  flush_v2();  // preserve send order behind any batched v2 frames
   write_frame(fd_, payload, io_timeout_ms_);
   std::string response;
-  if (!read_frame(fd_, response, io_timeout_ms_, io_timeout_ms_))
+  if (!read_frame_buffered(response))
     throw ServeError("server closed the connection");
   return response;
 }
 
 json::Value Client::request(const std::string& payload) {
   return parse_json(request_raw(payload));
+}
+
+unsigned Client::negotiate(unsigned max_version) {
+  negotiated_ = true;
+  if (max_version < 2) return protocol_ = 1;
+  // An old server answers hello with an unknown_op error — that leaves
+  // the connection perfectly usable, it just means v1.
+  const json::Value resp =
+      request("{\"op\":\"hello\",\"versions\":[1,2]}");
+  if (resp.get_bool("ok", false) && resp.get_uint("version", 1) >= 2)
+    protocol_ = 2;
+  else
+    protocol_ = 1;
+  return protocol_;
+}
+
+void Client::set_pipelining(bool on) {
+  if (!on && fd_ >= 0) flush_v2();
+  pipelining_ = on;
+}
+
+void Client::flush_v2() {
+  if (obuf_.empty()) return;
+  write_buffer(fd_, obuf_, io_timeout_ms_);
+  obuf_.clear();
+}
+
+std::uint32_t Client::send_v2(v2::Op op, std::string_view body) {
+  if (fd_ < 0) throw ServeError("client not connected");
+  const std::uint32_t id = next_request_id_++;
+  const std::string msg = v2::encode(op, v2::Kind::kRequest, id, body);
+  if (!pipelining_ || fault::active()) {
+    // Per-frame sends: the plain path, and the only one an installed
+    // fault injector sees (drops/truncations stay frame-accurate).
+    flush_v2();
+    write_frame(fd_, msg, io_timeout_ms_);
+  } else {
+    append_frame(obuf_, msg);
+    constexpr std::size_t kFlushBytes = 256u << 10;
+    if (obuf_.size() >= kFlushBytes) flush_v2();
+  }
+  return id;
+}
+
+Client::V2Response Client::recv_v2() {
+  if (fd_ < 0) throw ServeError("client not connected");
+  flush_v2();
+  std::string payload;
+  if (!read_frame_buffered(payload))
+    throw ServeError("server closed the connection");
+  if (!v2::is_v2(payload))
+    throw ServeError("expected a v2 frame, got a v1 payload");
+  const v2::Frame f = v2::decode(payload);
+  V2Response r;
+  r.op = f.op;
+  r.request_id = f.request_id;
+  r.ok = f.kind == v2::Kind::kOk;
+  r.body.assign(f.body.data(), f.body.size());
+  return r;
+}
+
+json::Value Client::request_v2(v2::Op op, const std::string& body) {
+  const std::uint32_t id = send_v2(op, body);
+  const V2Response r = recv_v2();
+  if (r.request_id != id)
+    throw ServeError("v2 response id mismatch (pipelining misuse)");
+  return parse_json(r.body);
+}
+
+bool Client::cache_get_v2(const Hash128& key, std::string* record) {
+  const std::uint32_t id = send_v2(
+      v2::Op::kCacheGet,
+      std::string_view(v2::encode_cache_get_request(0, key)).substr(
+          v2::kHeaderBytes));
+  const V2Response r = recv_v2();
+  if (r.request_id != id)
+    throw ServeError("v2 response id mismatch (pipelining misuse)");
+  if (!r.ok) {
+    const json::Value err = parse_json(r.body);
+    throw ServeError("cache_get failed: " +
+                     err.get_string("error", "unknown"));
+  }
+  return v2::decode_cache_get_response(r.body, r.request_id, record);
 }
 
 namespace {

@@ -16,9 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/json.hpp"
 #include "common/random.hpp"
 #include "serve/protocol.hpp"
+#include "serve/protocol_v2.hpp"
 
 namespace masc::serve {
 
@@ -81,12 +83,74 @@ class Client {
   json::Value request_with_retry(const std::string& payload,
                                  const RetryPolicy& policy);
 
+  // --- Protocol v2 (serve/protocol_v2.hpp, docs/NET.md) --------------------
+
+  /// Negotiate the wire protocol via the v1 `hello` op and remember the
+  /// result. Returns the agreed version: 2 against a v2-capable server,
+  /// 1 against an older one (whose unknown_op error is swallowed — the
+  /// connection stays usable for v1). Throws only on transport failure.
+  unsigned negotiate(unsigned max_version = 2);
+  /// The negotiated version: 1 until negotiate() succeeds with 2.
+  unsigned protocol() const { return protocol_; }
+  /// True once negotiate() ran on this connection (either outcome) —
+  /// lets a pool skip re-negotiating a reused connection.
+  bool negotiated() const { return negotiated_; }
+
+  /// Pipelining primitives: queue one v2 request frame (returns its
+  /// request id) / read one v2 response frame, in server completion
+  /// order. Any number of requests may be in flight; match responses to
+  /// requests by V2Response::request_id. Loop-free code that wants one
+  /// round-trip can use request_v2() below.
+  struct V2Response {
+    v2::Op op;
+    std::uint32_t request_id = 0;
+    bool ok = false;
+    std::string body;  ///< v1 JSON response bytes, or cache_get body
+  };
+  std::uint32_t send_v2(v2::Op op, std::string_view body);
+  V2Response recv_v2();
+
+  /// Batch pipelined sends: while enabled, send_v2 appends frames to an
+  /// outbound buffer instead of hitting the socket, and the buffer is
+  /// flushed in one send by recv_v2()/flush_v2() (or when it grows past
+  /// an internal bound). Turns a 64-deep pipeline from 64 syscalls into
+  /// one on each side — the difference BM_ServeHit measures. Off by
+  /// default; sticky across reconnects. While a fault injector is
+  /// active, sends fall back to per-frame write_frame so injected
+  /// drops/truncations keep their exact semantics.
+  void set_pipelining(bool on);
+  bool pipelining() const { return pipelining_; }
+  /// Flush any batched-but-unsent request frames now.
+  void flush_v2();
+
+  /// One v2 round-trip for a JSON-bodied op (submit/result/stats): body
+  /// is the v1 request JSON, the parsed v1 response comes back. Must
+  /// not be called with other requests in flight.
+  json::Value request_v2(v2::Op op, const std::string& body);
+
+  /// One binary cache_get round-trip: true plus the encoded cache
+  /// record on a hit. Must not be called with other requests in flight.
+  bool cache_get_v2(const Hash128& key, std::string* record);
+
  private:
+  /// Buffered frame reader shared by every response path: recv() in
+  /// large chunks, carve frames out of rbuf_. Over-reading is safe —
+  /// the surplus belongs to later responses on this same connection.
+  bool read_frame_buffered(std::string& payload);
+  bool fill_rbuf();  ///< one timed recv; false on clean peer close
+
   int fd_ = -1;
   std::string host_;
   std::uint16_t port_ = 0;
   std::uint64_t connect_timeout_ms_ = 0;
   std::uint64_t io_timeout_ms_ = 0;
+  unsigned protocol_ = 1;          ///< negotiated wire version
+  bool negotiated_ = false;        ///< hello already exchanged
+  bool pipelining_ = false;        ///< batch send_v2 frames (flush_v2)
+  std::uint32_t next_request_id_ = 1;
+  std::string obuf_;               ///< framed requests awaiting one send
+  std::string rbuf_;               ///< inbound bytes awaiting extraction
+  std::size_t rpos_ = 0;           ///< parse cursor into rbuf_
   Rng retry_rng_{0x6d617363'72747279ULL};  // jitter stream; see RetryPolicy
 };
 

@@ -147,6 +147,20 @@ void write_frame(int fd, const std::string& payload) {
   write_frame(fd, payload, 0);
 }
 
+void append_frame(std::string& out, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw ServeError("frame exceeds " + std::to_string(kMaxFrameBytes) +
+                     " bytes");
+  unsigned char hdr[4];
+  frame_header(payload.size(), hdr);
+  out.append(reinterpret_cast<const char*>(hdr), 4);
+  out.append(payload.data(), payload.size());
+}
+
+void write_buffer(int fd, std::string_view bytes, std::uint64_t io_ms) {
+  send_all(fd, bytes.data(), bytes.size(), io_ms);
+}
+
 void set_nodelay(int fd) {
   const int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);

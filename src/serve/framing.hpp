@@ -68,4 +68,15 @@ void set_nodelay(int fd);
 /// ServeError, modelling a sender that died mid-send).
 void write_frame(int fd, const std::string& payload, std::uint64_t io_ms);
 
+/// Append one framed message (header + payload) to `out` without
+/// sending — the batching half of a pipelined writer: many frames
+/// accumulate, then one write_buffer() flushes them in a single send.
+/// No fault-injection hook; batching callers fall back to write_frame
+/// while an injector is active so faults keep per-frame semantics.
+/// Throws ServeError on payloads above kMaxFrameBytes.
+void append_frame(std::string& out, std::string_view payload);
+
+/// Flush pre-framed bytes (from append_frame) in one timed send.
+void write_buffer(int fd, std::string_view bytes, std::uint64_t io_ms);
+
 }  // namespace masc::serve

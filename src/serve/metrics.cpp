@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "common/simd.hpp"
+
 namespace masc::serve {
 
 namespace {
@@ -75,6 +77,9 @@ std::string ServeMetrics::to_json(std::size_t queue_depth,
   os << "{\"queue_depth\":" << queue_depth;
   os << ",\"queue_capacity\":" << queue_capacity;
   os << ",\"in_flight\":" << in_flight;
+  // Host SIMD probe: what `--batch-lanes auto` resolves to on this
+  // build (docs/PERF.md "Lane batching").
+  os << ",\"simd\":" << simd_stats_json();
   if (cache)
     os << ",\"cache\":{\"enabled\":true,"
        << masc::to_json(*cache).substr(1);  // splice the per-tier fields in
@@ -139,6 +144,10 @@ std::string ServeMetrics::to_prometheus(std::size_t queue_depth,
   gauge("masc_served_queue_capacity", queue_capacity, "Queue slots");
   gauge("masc_served_jobs_in_flight", in_flight,
         "Jobs in the currently dispatched batch");
+  gauge("masc_served_simd_width_bits", host_simd().width_bits,
+        "Host SIMD register width detected at build time");
+  gauge("masc_served_auto_batch_lanes", host_simd().auto_lanes,
+        "Lane count --batch-lanes auto resolves to on this build");
   counter("masc_served_jobs_submitted_total", submitted_,
           "Jobs admitted to the queue");
   counter("masc_served_jobs_rejected_total", rejected_,

@@ -144,6 +144,20 @@ void Server::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
 
+  // Event loops before the acceptor: a connection accepted first must
+  // have a loop to land on.
+  net::LoopConfig loop_cfg;
+  loop_cfg.idle_timeout_ms = opts_.idle_timeout_ms;
+  loop_cfg.io_timeout_ms = opts_.io_timeout_ms;
+  loop_cfg.max_frame_bytes = kMaxFrameBytes;
+  loop_cfg.on_frame = [this](net::Conn& c, std::string&& payload) {
+    on_frame(c, std::move(payload));
+  };
+  loop_cfg.on_close = [this](net::Conn& c) { on_conn_close(c); };
+  loops_ = std::make_unique<net::LoopGroup>(
+      opts_.io_threads ? opts_.io_threads : 1, loop_cfg);
+  loops_->start();
+
   dispatch_thread_ = std::thread([this] { dispatch_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
 
@@ -187,14 +201,12 @@ void Server::shutdown_impl(bool park_interrupted) {
   queue_.close();
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
 
-  // 3. Hang up on every session and join the session threads.
-  {
-    const std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (auto& s : sessions_)
-      if (s->fd >= 0) ::shutdown(s->fd, SHUT_RDWR);
-  }
-  for (auto& s : sessions_)
-    if (s->thread.joinable()) s->thread.join();
+  // 3. Flush every parked result-wait with a shutting_down response
+  //    (the loops are still running, so the posts get delivered during
+  //    loop teardown at the latest), then stop the loops: each conn
+  //    gets on_close exactly once and the loop threads join.
+  wake_all_waiters();
+  if (loops_) loops_->stop();
 
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -298,44 +310,158 @@ void Server::accept_loop() {
       return;
     }
     set_nodelay(fd);
-    auto session = std::make_unique<Session>();
-    session->fd = fd;
-    Session* raw = session.get();
-    {
-      const std::lock_guard<std::mutex> lock(sessions_mu_);
-      sessions_.push_back(std::move(session));
+    loops_->next().adopt(fd);
+  }
+}
+
+Server::ConnState& Server::conn_state(net::Conn& c) {
+  if (!c.ctx) c.ctx = std::make_shared<ConnState>();
+  return *static_cast<ConnState*>(c.ctx.get());
+}
+
+void Server::send_v1(net::Conn& c, std::uint64_t slot, std::string&& resp) {
+  ConnState& st = conn_state(c);
+  for (auto& [s, r] : st.v1_q)
+    if (s == slot) {
+      r = std::move(resp);
+      break;
     }
-    raw->thread = std::thread([this, raw] { session_loop(raw); });
+  // v1 responses leave strictly in request order: a parked result-wait
+  // holds later (already computed) responses back until it resolves.
+  while (!st.v1_q.empty() && st.v1_q.front().second) {
+    c.send_frame(*st.v1_q.front().second);
+    st.v1_q.pop_front();
+    if (c.closing()) return;
   }
 }
 
-void Server::session_loop(Session* s) {
-  std::string payload;
-  try {
-    while (read_frame(s->fd, payload, opts_.idle_timeout_ms,
-                      opts_.io_timeout_ms))
-      write_frame(s->fd, handle_request(payload), opts_.io_timeout_ms);
-  } catch (const ServeTimeout&) {
-    // Idle session (no request inside idle_timeout_ms) or a peer
-    // stalled mid-frame: reap it. The job store is untouched, so the
-    // client can reconnect and resume by job id.
-  } catch (const std::exception&) {
-    // Framing or socket failure: this session is beyond repair; the
-    // job store is untouched, so the client can reconnect and resume.
+void Server::on_frame(net::Conn& c, std::string&& payload) {
+  if (v2::is_v2(payload)) {
+    handle_v2_frame(c, payload);
+    return;
   }
-  const std::lock_guard<std::mutex> lock(sessions_mu_);
-  ::close(s->fd);
-  s->fd = -1;
+  ConnState& st = conn_state(c);
+  const std::uint64_t slot = st.next_slot++;
+  st.v1_q.emplace_back(slot, std::nullopt);
+  WaitTarget wt;
+  wt.loop = &c.loop();
+  wt.conn_id = c.id();
+  wt.v1_slot = slot;
+  wt.request = payload;
+  std::optional<std::string> resp;
+  try {
+    resp = handle_request(payload, &wt);
+  } catch (const ServeError&) {
+    // Transport failure (or an injected frame fault) mid-handling: the
+    // stream may be desynced, so drop the connection rather than write
+    // a "response" the client can't attribute.
+    c.close();
+    return;
+  }
+  if (resp) send_v1(c, slot, std::move(*resp));
 }
 
-std::string Server::handle_request(const std::string& payload) {
+void Server::handle_v2_frame(net::Conn& c, const std::string& payload) {
+  v2::Frame f;
   try {
-    const json::Value req = parse_json(payload);
-    const std::string op = req.get_string("op", "");
+    f = v2::decode(payload);
+  } catch (const v2::V2Error& e) {
+    if (e.fatal()) {
+      c.close();  // header garbage: the stream can't be trusted
+      return;
+    }
+    const std::uint8_t op_byte =
+        payload.size() > 2 ? static_cast<std::uint8_t>(payload[2]) : 0;
+    c.send_frame(v2::encode(static_cast<v2::Op>(op_byte), v2::Kind::kError,
+                            e.request_id(),
+                            error_json(e.code(), e.what())));
+    return;
+  }
+  if (f.kind != v2::Kind::kRequest) {
+    c.send_frame(v2::encode(f.op, v2::Kind::kError, f.request_id,
+                            error_json("bad_frame",
+                                       "expected a request frame")));
+    return;
+  }
+  if (f.op == v2::Op::kCacheGet) {
+    // The fully binary op: 16 raw key bytes in, the encoded cache
+    // record out — no JSON, no base64 (docs/NET.md "cache_get").
+    try {
+      const Hash128 key = v2::decode_cache_get_key(f.body, f.request_id);
+      if (cache_) {
+        if (const auto rec = cache_->peek_encoded(key)) {
+          c.send_frame(v2::encode_cache_get_hit(f.request_id, *rec));
+          return;
+        }
+      }
+      c.send_frame(v2::encode_cache_get_miss(f.request_id));
+    } catch (const v2::V2Error& e) {
+      c.send_frame(v2::encode(f.op, v2::Kind::kError, e.request_id(),
+                              error_json(e.code(), e.what())));
+    }
+    return;
+  }
+  // submit/result/stats carry the v1 JSON request as the body; the op
+  // in the header wins over any "op" member. Responses are the exact
+  // v1 response bytes inside a v2 envelope, so v2 results are
+  // bit-identical to v1 by construction.
+  const char* forced_op = f.op == v2::Op::kSubmit   ? "submit"
+                          : f.op == v2::Op::kResult ? "result"
+                                                    : "stats";
+  WaitTarget wt;
+  wt.loop = &c.loop();
+  wt.conn_id = c.id();
+  wt.v2 = true;
+  wt.v2_id = f.request_id;
+  wt.request = std::string(f.body);
+  std::optional<std::string> resp;
+  try {
+    resp = handle_request(wt.request, &wt, forced_op);
+  } catch (const ServeError&) {
+    c.close();
+    return;
+  }
+  if (resp)
+    c.send_frame(v2::encode(f.op,
+                            v2::is_error_body(*resp) ? v2::Kind::kError
+                                                     : v2::Kind::kOk,
+                            f.request_id, *resp));
+}
+
+void Server::on_conn_close(net::Conn& c) {
+  // Orphan this conn's parked result-waits; their timers no-op later.
+  const std::uint64_t conn_id = c.id();
+  net::EventLoop* loop = &c.loop();
+  const std::lock_guard<std::mutex> lock(jobs_mu_);
+  for (auto it = waiters_.begin(); it != waiters_.end();) {
+    if (it->second.target.loop == loop && it->second.target.conn_id == conn_id)
+      it = waiters_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::optional<std::string> Server::handle_request(const std::string& payload,
+                                                  const WaitTarget* wt,
+                                                  const char* forced_op) {
+  try {
+    const json::Value req = parse_json(payload.empty() ? "{}" : payload);
+    const std::string op = forced_op ? forced_op : req.get_string("op", "");
     if (op == "ping") return "{\"ok\":true,\"type\":\"pong\"}";
+    if (op == "hello") {
+      // Version negotiation (docs/NET.md "Negotiation"): answer with
+      // the highest version both sides speak. v2 frames are accepted
+      // regardless — hello is how a *client* learns it may send them.
+      unsigned best = 1;
+      if (const json::Value* v = req.find("versions"); v && v->is_array())
+        for (const auto& e : v->as_array())
+          if (e.is_number() && e.as_uint() == 2) best = 2;
+      return "{\"ok\":true,\"type\":\"hello\",\"version\":" +
+             std::to_string(best) + ",\"versions\":[1,2]}";
+    }
     if (op == "submit") return handle_submit(req);
     if (op == "status") return handle_status(req);
-    if (op == "result") return handle_result(req);
+    if (op == "result") return handle_result(req, wt);
     if (op == "cancel") return handle_cancel(req);
     if (op == "extend") return handle_extend(req);
     if (op == "stats")
@@ -352,10 +478,7 @@ std::string Server::handle_request(const std::string& payload) {
     }
     return error_json("unknown_op", "unrecognized \"op\" \"" + op + "\"");
   } catch (const ServeError&) {
-    // Transport failure (or an injected frame fault) mid-handling: the
-    // stream may be desynced, so the session must drop the connection
-    // rather than write a "response" the client can't attribute.
-    throw;
+    throw;  // transport failure: the caller drops the connection
   } catch (const std::exception& e) {
     // JsonError, ConfigError, AssemblyError, CompileError, ...: the
     // request was understood to be ill-formed, the connection is fine —
@@ -547,20 +670,38 @@ std::string Server::handle_status(const json::Value& req) {
   return os.str();
 }
 
-std::string Server::handle_result(const json::Value& req) {
+std::optional<std::string> Server::handle_result(const json::Value& req,
+                                                 const WaitTarget* wt) {
   const std::uint64_t id = require_id(req);
   const bool wait = req.get_bool("wait", false);
   const bool release = req.get_bool("release", false);
-  const auto timeout =
-      std::chrono::milliseconds(req.get_uint("timeout_ms", 60'000));
+  const std::uint64_t timeout_ms = req.get_uint("timeout_ms", 60'000);
 
   std::unique_lock<std::mutex> lock(jobs_mu_);
-  auto done_or_gone = [&] {
-    const auto it = jobs_.find(id);
-    return stopping_.load() || it == jobs_.end() ||
-           it->second.state == JobState::kDone;
-  };
-  if (wait && !done_or_gone()) jobs_cv_.wait_for(lock, timeout, done_or_gone);
+  // Async wait: instead of blocking the loop thread on jobs_cv_, park a
+  // waiter that the dispatcher's completion callback (or release, or
+  // shutdown) posts back to the owning loop. The wake re-dispatches the
+  // original request with waiting disabled, so the response — including
+  // release/journal side effects — is exactly what a fresh request at
+  // that moment would have produced.
+  if (wait && wt != nullptr && !stopping_.load()) {
+    const auto wit = jobs_.find(id);
+    if (wit != jobs_.end() && wit->second.state != JobState::kDone) {
+      ResultWaiter w;
+      w.uid = next_waiter_uid_++;
+      w.job_id = id;
+      w.target = *wt;
+      waiters_.emplace(id, w);
+      lock.unlock();
+      // Timer and registration race benignly: if the job completes
+      // before the timer is armed, the wake already removed the uid and
+      // the timer finds nothing.
+      wt->loop->add_timer(timeout_ms, [this, id, uid = w.uid] {
+        expire_waiter(id, uid);
+      });
+      return std::nullopt;
+    }
+  }
 
   const auto it = jobs_.find(id);
   if (it == jobs_.end())
@@ -587,8 +728,75 @@ std::string Server::handle_result(const json::Value& req) {
     // already consumed. Unsynced: redelivering a result is harmless.
     journal_.append("{\"rec\":\"release\",\"id\":" + std::to_string(id) + "}",
                     /*sync=*/false);
+    // Anyone else parked on this id now sees "gone": answer not_found,
+    // matching what their wake would find as a fresh request.
+    wake_result_waiters(id);
   }
   return response;
+}
+
+void Server::wake_result_waiters(std::uint64_t job_id) {
+  std::vector<ResultWaiter> woken;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    const auto [b, e] = waiters_.equal_range(job_id);
+    for (auto it = b; it != e; ++it) woken.push_back(it->second);
+    waiters_.erase(b, e);
+  }
+  for (const ResultWaiter& w : woken)
+    w.target.loop->post([this, w] { deliver_waiter(w); });
+}
+
+void Server::wake_all_waiters() {
+  std::vector<ResultWaiter> woken;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (const auto& [id, w] : waiters_) woken.push_back(w);
+    waiters_.clear();
+  }
+  for (const ResultWaiter& w : woken)
+    w.target.loop->post([this, w] { deliver_waiter(w); });
+}
+
+void Server::deliver_waiter(const ResultWaiter& w) {
+  net::Conn* c = w.target.loop->find(w.target.conn_id);
+  if (c == nullptr) return;  // conn died while the wait was parked
+  std::string resp;
+  try {
+    const json::Value req =
+        parse_json(w.target.request.empty() ? "{}" : w.target.request);
+    // wt == nullptr forces the synchronous path: the job is done (or
+    // gone, or the wait timed out), so this resolves immediately.
+    resp = *handle_result(req, nullptr);
+  } catch (const std::exception& e) {
+    resp = error_json("bad_request", e.what());
+  }
+  if (w.target.v2)
+    c->send_frame(v2::encode(v2::Op::kResult,
+                             v2::is_error_body(resp) ? v2::Kind::kError
+                                                     : v2::Kind::kOk,
+                             w.target.v2_id, resp));
+  else
+    send_v1(*c, w.target.v1_slot, std::move(resp));
+}
+
+void Server::expire_waiter(std::uint64_t job_id, std::uint64_t uid) {
+  ResultWaiter w;
+  bool found = false;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    const auto [b, e] = waiters_.equal_range(job_id);
+    for (auto it = b; it != e; ++it) {
+      if (it->second.uid == uid) {
+        w = it->second;
+        found = true;
+        waiters_.erase(it);
+        break;
+      }
+    }
+  }
+  // Already woken (job completed first): the timer is a stale no-op.
+  if (found) deliver_waiter(w);  // resolves to not_ready
 }
 
 std::string Server::handle_cancel(const json::Value& req) {
@@ -727,6 +935,7 @@ void Server::dispatch_loop() {
     runner_.run(batch, [&](const SweepResult& r) {
       const std::uint64_t id = ids[r.index];
       std::string done_rec, ckpt_rec;
+      bool completed = false;
       {
         const std::lock_guard<std::mutex> lock(jobs_mu_);
         JobRecord& rec = jobs_.at(id);
@@ -748,6 +957,7 @@ void Server::dispatch_loop() {
           if (journaling)
             done_rec = "{\"rec\":\"done\",\"id\":" + std::to_string(id) +
                        ",\"result\":" + rec.result_json + "}";
+          completed = true;
         }
         --running_;
       }
@@ -755,6 +965,11 @@ void Server::dispatch_loop() {
       if (!done_rec.empty()) journal_.append(done_rec, /*sync=*/true);
       metrics_.on_done(r);
       jobs_cv_.notify_all();
+      // Job-completion post back to the owning loop(s): every parked
+      // result-wait for this id resolves now. Parked (drain) jobs stay
+      // un-woken — their waiters ride out the timeout, like v1's
+      // predicate never turning true.
+      if (completed) wake_result_waiters(id);
     });
   }
 }

@@ -1,18 +1,23 @@
 // masc-served core: a long-running simulation service on localhost TCP.
 //
 // Architecture (one paragraph): an accept thread hands each connection
-// to its own session thread, which speaks the length-prefixed JSON
-// protocol (serve/protocol.hpp). Submitted jobs are compiled in the
-// session thread, admitted all-or-nothing into a bounded queue
+// to one of `io_threads` epoll event loops (src/net/, docs/NET.md),
+// which parse length-prefixed frames and dispatch requests inline on
+// the loop thread — both v1 JSON (serve/protocol.hpp) and the
+// negotiated binary protocol v2 (serve/protocol_v2.hpp), pipelined
+// many-in-flight per connection. Submitted jobs are compiled on the
+// loop thread, admitted all-or-nothing into a bounded queue
 // (backpressure: a full queue rejects with a retry-after hint instead
 // of blocking), and drained by a dispatcher thread that coalesces
 // everything currently waiting — up to `batch_max` — into ONE
-// SweepRunner dispatch across the worker pool. This is the paper's
-// latency-hiding argument applied to the host: bursty heterogeneous
-// arrivals keep the workers full because the dispatcher always has a
-// batch ready, while each simulation stays a pure function of
-// (config, program, seed), so results are bit-identical to a serial
-// run no matter how requests interleave.
+// SweepRunner dispatch across the worker pool. A `result` wait never
+// blocks its loop: it parks as an async waiter that the dispatcher's
+// completion callback posts back to the owning loop. This is the
+// paper's latency-hiding argument applied to the host: bursty
+// heterogeneous arrivals keep the workers full because the dispatcher
+// always has a batch ready, while each simulation stays a pure
+// function of (config, program, seed), so results are bit-identical to
+// a serial run no matter how requests interleave.
 //
 // Cancellation is cooperative (per-job token, observed at sweep chunk
 // boundaries) and deadlines are wall-clock, measured from submission.
@@ -22,16 +27,22 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "net/event_loop.hpp"
 #include "serve/journal.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
+#include "serve/protocol_v2.hpp"
 #include "serve/queue.hpp"
 
 namespace masc::serve {
@@ -97,6 +108,9 @@ struct ServerOptions {
   std::uint64_t io_timeout_ms = 0;
   /// Reap sessions idle (no request frame) this long, ms; 0 = never.
   std::uint64_t idle_timeout_ms = 0;
+  /// Event-loop threads serving connections (docs/NET.md). Each loop
+  /// multiplexes its share of the connections with epoll; 0 = 1.
+  unsigned io_threads = 2;
 };
 
 class Server {
@@ -157,22 +171,64 @@ class Server {
     bool user_cancelled = false;
   };
 
-  struct Session {
-    int fd = -1;
-    std::thread thread;
+  /// Where an async `result` response must be delivered once the job
+  /// completes (or the wait times out): the conn is named by
+  /// (loop, conn id) so a connection that died in the meantime is a
+  /// silent no-op, and the original request payload is re-dispatched on
+  /// wake so release/journal semantics are identical to a fresh request.
+  struct WaitTarget {
+    net::EventLoop* loop = nullptr;
+    std::uint64_t conn_id = 0;
+    bool v2 = false;
+    std::uint32_t v2_id = 0;     ///< v2: request id to echo
+    std::uint64_t v1_slot = 0;   ///< v1: ordered-response slot
+    std::string request;         ///< original JSON request payload
+  };
+
+  struct ResultWaiter {
+    std::uint64_t uid = 0;  ///< registry handle (timer vs wake races)
+    std::uint64_t job_id = 0;
+    WaitTarget target;
+  };
+
+  /// Per-connection protocol state, attached to net::Conn::ctx. v1
+  /// responses go out strictly in request order (slots); v2 responses
+  /// are written as they complete and matched by request id.
+  struct ConnState {
+    std::deque<std::pair<std::uint64_t, std::optional<std::string>>> v1_q;
+    std::uint64_t next_slot = 1;
   };
 
   void accept_loop();
-  void session_loop(Session* s);
   void dispatch_loop();
 
-  /// Parse + dispatch one request payload; always returns a response
-  /// payload (protocol-level errors become {"ok":false,...} responses).
-  std::string handle_request(const std::string& payload);
+  // Event-loop entry points (loop thread).
+  void on_frame(net::Conn& c, std::string&& payload);
+  void on_conn_close(net::Conn& c);
+  void handle_v2_frame(net::Conn& c, const std::string& payload);
+  static ConnState& conn_state(net::Conn& c);
+  /// Fill `slot` and flush every in-order response now available.
+  void send_v1(net::Conn& c, std::uint64_t slot, std::string&& resp);
+
+  // Async result-wait plumbing.
+  void wake_result_waiters(std::uint64_t job_id);
+  void wake_all_waiters();
+  void deliver_waiter(const ResultWaiter& w);  ///< loop thread
+  void expire_waiter(std::uint64_t job_id, std::uint64_t uid);
+
+  /// Parse + dispatch one request payload. Returns the response, or
+  /// nullopt when the request parked as an async waiter (only `result`
+  /// with wait=true does; requires `wt`). Protocol-level errors become
+  /// {"ok":false,...} responses; `forced_op` overrides the payload's
+  /// "op" member (v2 frames name the op in their header).
+  std::optional<std::string> handle_request(const std::string& payload,
+                                            const WaitTarget* wt,
+                                            const char* forced_op = nullptr);
 
   std::string handle_submit(const json::Value& req);
   std::string handle_status(const json::Value& req);
-  std::string handle_result(const json::Value& req);
+  std::optional<std::string> handle_result(const json::Value& req,
+                                           const WaitTarget* wt);
   std::string handle_cancel(const json::Value& req);
   std::string handle_extend(const json::Value& req);
   std::string handle_cache_get(const json::Value& req);
@@ -201,6 +257,10 @@ class Server {
   mutable std::mutex jobs_mu_;
   std::condition_variable jobs_cv_;          ///< signalled per job completion
   std::map<std::uint64_t, JobRecord> jobs_;  ///< id → record
+  /// job id → parked result-waits, woken by the dispatcher's completion
+  /// callback (guarded by jobs_mu_).
+  std::unordered_multimap<std::uint64_t, ResultWaiter> waiters_;
+  std::uint64_t next_waiter_uid_ = 1;        ///< guarded by jobs_mu_
   /// Idempotency: submit "key" → the ids of the submit that created it.
   /// Rebuilt from the journal on restart, so a client that resends a
   /// keyed submit after a crash gets its original ids, not fresh jobs.
@@ -208,8 +268,8 @@ class Server {
   std::atomic<std::uint64_t> next_id_{1};
   std::size_t running_ = 0;                  ///< jobs in the current batch
 
-  std::mutex sessions_mu_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  /// `io_threads` epoll loops; every connection lives on exactly one.
+  std::unique_ptr<net::LoopGroup> loops_;
 
   std::thread accept_thread_;
   std::thread dispatch_thread_;

@@ -277,6 +277,15 @@ class SweepResultCache {
   std::mutex flights_mu_;
   std::unordered_map<Hash128, std::shared_ptr<Flight>, Hash128Hasher> flights_;
 
+  // One-entry memo for peek_encoded(): serving the same hot record to a
+  // burst of peer/pipelined cache_gets must not re-serialize it each
+  // time. Validated by both key and record identity (weak_ptr), so an
+  // eviction + re-insert under the same key can never serve stale bytes.
+  std::mutex enc_mu_;
+  Hash128 enc_key_{};
+  std::weak_ptr<const CachedSweepRun> enc_src_;
+  std::string enc_bytes_;
+
   // Write-behind queue: bounded so a disk slower than the simulator
   // sheds demotions (counted) instead of growing without bound.
   std::mutex wb_mu_;

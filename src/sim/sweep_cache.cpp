@@ -107,7 +107,15 @@ void SweepResultCache::insert(const Hash128& key,
 }
 
 std::optional<std::string> SweepResultCache::peek_encoded(const Hash128& key) {
-  if (const auto hit = l1_.peek(key)) return encode_cached_run(*hit);
+  if (const auto hit = l1_.peek(key)) {
+    const std::lock_guard<std::mutex> lock(enc_mu_);
+    if (!(enc_key_ == key) || enc_src_.lock() != hit) {
+      enc_key_ = key;
+      enc_src_ = hit;
+      enc_bytes_ = encode_cached_run(*hit);
+    }
+    return enc_bytes_;
+  }
   if (!store_) return std::nullopt;
   return store_->get(key);
 }

@@ -15,9 +15,15 @@
 //                                  --watch, repeat every SECS seconds (one
 //                                  JSON line per sample, forever unless
 //                                  --count N bounds the samples)
-//     metrics                      print the server's Prometheus text
+//     metrics [--watch SECS] [--count N]
+//                                  print the server's Prometheus text
 //                                  exposition (the metrics_text op; works
 //                                  against masc-served and masc-routerd)
+//
+// Watch loops hold ONE connection open across samples instead of
+// reopening per poll; if the server goes away mid-watch the connection
+// is reopened with jittered backoff (a note goes to stderr, samples
+// resume when it returns) rather than killing the loop.
 //     submit FILE [opts]           submit .s/.ascal source or a .mo image
 //       --pes N --threads N --width N --arity N   machine geometry
 //       --seeds N                  one job per seed 0..N-1   (default 1)
@@ -71,8 +77,9 @@ int usage() {
       "usage: masc-client [--host H] [--port N] [--retries N] "
       "[--backoff-ms N]\n"
       "    [--connect-timeout-ms N] [--io-timeout-ms N] <command> [args]\n"
-      "  ping | shutdown | metrics\n"
+      "  ping | shutdown\n"
       "  stats [--watch SECS] [--count N]\n"
+      "  metrics [--watch SECS] [--count N]\n"
       "  cache stats | cache flush | cache get KEY\n"
       "  submit FILE [--pes N] [--threads N] [--width N] [--arity N]\n"
       "         [--seeds N] [--label S] [--max-cycles N] [--deadline-ms N]\n"
@@ -173,6 +180,30 @@ int main(int argc, char** argv) {
     auto do_request = [&](const std::string& payload) {
       return client.request_with_retry(payload, policy);
     };
+    // Watch loops hold the ONE connection above open across samples; a
+    // transport failure reopens it with jittered backoff (note on
+    // stderr) instead of dying — a restarting server costs a gap in
+    // the samples, never the watch itself.
+    serve::RetryPolicy watch_policy;
+    watch_policy.base_ms = 200;
+    watch_policy.max_ms = 5'000;
+    Rng watch_rng{0x77617463'68726e67ULL};
+    auto watch_request = [&](const std::string& payload) {
+      for (unsigned attempt = 0;; ++attempt) {
+        try {
+          if (!client.connected()) client.connect(host, port, connect_timeout_ms);
+          return client.request(payload);
+        } catch (const serve::ServeError& e) {
+          client.close();
+          const std::uint64_t delay_ms = serve::backoff_delay_ms(
+              watch_policy, std::min(attempt, 8u), 0, watch_rng);
+          std::fprintf(stderr,
+                       "masc-client: %s; reconnecting in %llu ms\n", e.what(),
+                       static_cast<unsigned long long>(delay_ms));
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        }
+      }
+    };
 
     if (cmd == "ping" || cmd == "shutdown") {
       if (args.size() != 1) return usage();
@@ -180,16 +211,7 @@ int main(int argc, char** argv) {
       return print_response(resp, json::serialize(resp)) ? 0 : 3;
     }
 
-    if (cmd == "metrics") {
-      if (args.size() != 1) return usage();
-      const json::Value resp = do_request("{\"op\":\"metrics_text\"}");
-      if (!resp.get_bool("ok", false))
-        return print_response(resp, json::serialize(resp)) ? 0 : 3;
-      std::fputs(resp.get_string("text", "").c_str(), stdout);
-      return 0;
-    }
-
-    if (cmd == "stats") {
+    if (cmd == "stats" || cmd == "metrics") {
       double watch_secs = 0;
       std::uint64_t count = 0;
       for (std::size_t i = 1; i < args.size(); ++i) {
@@ -199,21 +221,29 @@ int main(int argc, char** argv) {
           count = std::strtoull(args[++i].c_str(), nullptr, 0);
         else return usage();
       }
+      const std::string payload = cmd == "stats" ? "{\"op\":\"stats\"}"
+                                                 : "{\"op\":\"metrics_text\"}";
+      auto print_sample = [&](const json::Value& resp) {
+        if (cmd == "metrics" && resp.get_bool("ok", false)) {
+          std::fputs(resp.get_string("text", "").c_str(), stdout);
+        } else {
+          std::printf("%s\n", json::serialize(resp).c_str());
+        }
+        std::fflush(stdout);
+        return resp.get_bool("ok", false);
+      };
       if (watch_secs <= 0) {
         if (count != 0) return usage();  // --count only makes sense watching
-        const json::Value resp = do_request("{\"op\":\"stats\"}");
-        return print_response(resp, json::serialize(resp)) ? 0 : 3;
+        return print_sample(do_request(payload)) ? 0 : 3;
       }
-      // One JSON line per sample, flushed eagerly so `masc-client stats
-      // --watch 2 | jq .` streams; runs until --count samples (0 = until
-      // interrupted or the server goes away).
+      // One sample per tick (a JSON line for stats, a text block for
+      // metrics), flushed eagerly so `masc-client stats --watch 2 |
+      // jq .` streams; runs until --count samples (0 = until
+      // interrupted).
       for (std::uint64_t sample = 0; count == 0 || sample < count; ++sample) {
         if (sample > 0)
           std::this_thread::sleep_for(std::chrono::duration<double>(watch_secs));
-        const json::Value resp = do_request("{\"op\":\"stats\"}");
-        std::printf("%s\n", json::serialize(resp).c_str());
-        std::fflush(stdout);
-        if (!resp.get_bool("ok", false)) return 3;
+        if (!print_sample(watch_request(payload))) return 3;
       }
       return 0;
     }

@@ -14,7 +14,13 @@
 //     --batch-lanes N      inject "batch_lanes": N into each job that
 //                          doesn't set its own — fleet-wide SIMD-over-jobs
 //                          lane batching default (docs/PERF.md "Lane
-//                          batching"); results and cache keys are unchanged
+//                          batching"); results and cache keys are unchanged.
+//                          "auto" picks N from the SIMD ISA this binary
+//                          was compiled for (common/simd.hpp) and logs it
+//     --io-threads N       epoll event-loop threads serving client
+//                          sessions (default 2; docs/NET.md)
+//     --handler-threads N  handler-pool threads executing requests
+//                          against backends (default 8; docs/NET.md)
 //     --no-peer-cache      disable tier-3 peer cache read-through: diverted
 //                          or re-placed submits go straight to simulation
 //                          instead of first asking the ring owner's cache
@@ -43,6 +49,7 @@
 #include <thread>
 
 #include "cluster/router.hpp"
+#include "common/simd.hpp"
 #include "fault/fault.hpp"
 
 namespace {
@@ -55,7 +62,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: masc-routerd --backend HOST:PORT [--backend ...]\n"
                "  [--port N] [--least-queued] [--sim-threads N] "
-               "[--batch-lanes N]\n  [--no-peer-cache] [--peer-timeout-ms N] "
+               "[--batch-lanes N|auto]\n  [--io-threads N] "
+               "[--handler-threads N]\n  [--no-peer-cache] [--peer-timeout-ms N] "
                "[--fail-threshold N] [--cooldown-ms N] [--probe-ms N]\n"
                "  [--connect-timeout-ms N] [--io-timeout-ms N] "
                "[--idle-timeout-ms N]\n  [--fault SPEC]\n");
@@ -86,9 +94,18 @@ int main(int argc, char** argv) {
       else if (arg == "--sim-threads")
         opts.default_sim_threads =
             static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
-      else if (arg == "--batch-lanes")
-        opts.default_batch_lanes =
-            static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+      else if (arg == "--batch-lanes") {
+        const std::string v = next();
+        if (v == "auto") {
+          const masc::SimdInfo si = masc::host_simd();
+          opts.default_batch_lanes = si.auto_lanes;
+          std::printf("masc-routerd: batch-lanes auto -> %u (%s, %u-bit)\n",
+                      si.auto_lanes, si.isa, si.width_bits);
+        } else {
+          opts.default_batch_lanes =
+              static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 0));
+        }
+      }
       else if (arg == "--no-peer-cache")
         opts.peer_read_through = false;
       else if (arg == "--peer-timeout-ms")
@@ -106,6 +123,12 @@ int main(int argc, char** argv) {
         opts.io_timeout_ms = std::strtoull(next(), nullptr, 0);
       else if (arg == "--idle-timeout-ms")
         opts.idle_timeout_ms = std::strtoull(next(), nullptr, 0);
+      else if (arg == "--io-threads")
+        opts.io_threads =
+            static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
+      else if (arg == "--handler-threads")
+        opts.handler_threads =
+            static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
       else if (arg == "--fault")
         fault_spec = next();
       else

@@ -10,7 +10,13 @@
 //                         on one worker for jobs that don't request their
 //                         own "batch_lanes" (default 1; bit-identical —
 //                         docs/PERF.md "Lane batching"; inert with
-//                         --journal, whose jobs checkpoint on stop)
+//                         --journal, whose jobs checkpoint on stop).
+//                         "auto" picks the lane count from the SIMD ISA
+//                         this binary was compiled for (common/simd.hpp)
+//                         and logs the choice; the probe result is also
+//                         in {"op":"stats"} under "simd".
+//     --io-threads N      epoll event-loop threads serving connections
+//                         (default 2; docs/NET.md)
 //     --queue N           job queue capacity                     (default 256)
 //     --batch N           max jobs coalesced per dispatch        (default 64)
 //     --max-cycles N      server-side cap on any job's cycle limit
@@ -47,6 +53,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/simd.hpp"
 #include "fault/fault.hpp"
 #include "serve/server.hpp"
 
@@ -59,7 +66,7 @@ void on_signal(int sig) { g_signal = sig; }
 int usage() {
   std::fprintf(stderr,
                "usage: masc-served [--port N] [--workers N] [--sim-threads N] "
-               "[--batch-lanes N]\n  [--queue N] [--batch N] "
+               "[--batch-lanes N|auto]\n  [--io-threads N] [--queue N] [--batch N] "
                "[--max-cycles N] [--deadline-ms N] "
                "[--cache-bytes N] [--cache-shards N]\n  [--cache-dir PATH] "
                "[--cache-disk-bytes N] [--cache-segment-bytes N]\n"
@@ -89,9 +96,18 @@ int main(int argc, char** argv) {
     else if (arg == "--sim-threads")
       opts.sim_threads =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
-    else if (arg == "--batch-lanes")
-      opts.batch_lanes =
-          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
+    else if (arg == "--batch-lanes") {
+      const std::string v = next();
+      if (v == "auto") {
+        const masc::SimdInfo si = masc::host_simd();
+        opts.batch_lanes = si.auto_lanes;
+        std::printf("masc-served: batch-lanes auto -> %u (%s, %u-bit)\n",
+                    si.auto_lanes, si.isa, si.width_bits);
+      } else {
+        opts.batch_lanes =
+            static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 0));
+      }
+    }
     else if (arg == "--queue")
       opts.queue_capacity = std::strtoul(next(), nullptr, 0);
     else if (arg == "--batch")
@@ -119,6 +135,8 @@ int main(int argc, char** argv) {
       opts.io_timeout_ms = std::strtoull(next(), nullptr, 0);
     else if (arg == "--idle-timeout-ms")
       opts.idle_timeout_ms = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--io-threads")
+      opts.io_threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 0));
     else if (arg == "--fault")
       fault_spec = next();
     else

@@ -88,7 +88,7 @@ TEST(DocsLinks, CoreDocsExist) {
                           "docs/PERF.md", "docs/THREADING.md",
                           "docs/MULTICHIP.md", "docs/SERVER.md",
                           "docs/RELIABILITY.md", "docs/CLUSTER.md",
-                          "docs/CACHE.md"}) {
+                          "docs/CACHE.md", "docs/NET.md"}) {
     EXPECT_TRUE(fs::exists(root / doc)) << doc;
   }
 }
@@ -109,6 +109,27 @@ TEST(DocsLinks, LaneBatchingSectionsPresent) {
   EXPECT_TRUE(contains("docs/SERVER.md", "`--batch-lanes N`"));
   EXPECT_TRUE(contains("docs/CLUSTER.md", "`--batch-lanes N`"));
   EXPECT_TRUE(contains("README.md", "`--batch-lanes N`"));
+}
+
+// Source comments cite docs/NET.md sections by name (e.g. `docs/NET.md
+// "Negotiation"`); pin the headings those citations resolve to.
+TEST(DocsLinks, NetSectionsPresent) {
+  const fs::path root{MASC_SOURCE_DIR};
+  const auto contains = [&](const char* rel, const std::string& needle) {
+    std::ifstream in(root / rel);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str().find(needle) != std::string::npos;
+  };
+  EXPECT_TRUE(contains("docs/NET.md", "## Protocol v2"));
+  EXPECT_TRUE(contains("docs/NET.md", "### Negotiation"));
+  EXPECT_TRUE(contains("docs/NET.md", "### Pipelining"));
+  EXPECT_TRUE(contains("docs/NET.md", "### cache_get"));
+  EXPECT_TRUE(contains("docs/NET.md", "## Timers"));
+  EXPECT_TRUE(contains("docs/NET.md", "## Benchmarks"));
+  EXPECT_TRUE(contains("docs/SERVER.md", "`hello`"));
+  EXPECT_TRUE(contains("docs/CLUSTER.md", "`--io-threads N`"));
+  EXPECT_TRUE(contains("docs/SERVER.md", "`--io-threads N`"));
 }
 
 }  // namespace
